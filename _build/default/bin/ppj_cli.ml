@@ -1,0 +1,214 @@
+(* ppj: command-line driver for the privacy preserving join service.
+
+     dune exec bin/ppj_cli.exe -- run --algorithm alg4 --na 20 --nb 30 --matches 12
+     dune exec bin/ppj_cli.exe -- trace --algorithm alg5 --na 8 --nb 8
+     dune exec bin/ppj_cli.exe -- privacy --algorithm alg6 --eps 1e-9
+     dune exec bin/ppj_cli.exe -- cost --l 640000 --s 6400 --m 64 --eps 1e-20
+     dune exec bin/ppj_cli.exe -- nstar --l 640000 --s 6400 --m 64 --eps 1e-20 *)
+
+open Cmdliner
+open Ppj_core
+module W = Ppj_relation.Workload
+module P = Ppj_relation.Predicate
+module T = Ppj_relation.Tuple
+module Rng = Ppj_crypto.Rng
+module Co = Ppj_scpu.Coprocessor
+module Trace = Ppj_scpu.Trace
+
+type algorithm = A1 | A1v | A2 | A3 | A4 | A5 | A6 | A7
+
+let algorithm_conv =
+  let parse = function
+    | "alg1" -> Ok A1
+    | "alg1v" -> Ok A1v
+    | "alg2" -> Ok A2
+    | "alg3" -> Ok A3
+    | "alg4" -> Ok A4
+    | "alg5" -> Ok A5
+    | "alg6" -> Ok A6
+    | "alg7" -> Ok A7
+    | s -> Error (`Msg (Printf.sprintf "unknown algorithm %S (alg1|alg1v|alg2|alg3|alg4|alg5|alg6|alg7)" s))
+  in
+  let print ppf a =
+    Format.pp_print_string ppf
+      (match a with
+      | A1 -> "alg1" | A1v -> "alg1v" | A2 -> "alg2" | A3 -> "alg3"
+      | A4 -> "alg4" | A5 -> "alg5" | A6 -> "alg6" | A7 -> "alg7")
+  in
+  Arg.conv (parse, print)
+
+let algorithm_arg =
+  Arg.(value & opt algorithm_conv A4 & info [ "algorithm"; "a" ] ~docv:"ALG" ~doc:"Join algorithm to run.")
+
+let na_arg = Arg.(value & opt int 12 & info [ "na" ] ~doc:"Cardinality of relation A.")
+let nb_arg = Arg.(value & opt int 18 & info [ "nb" ] ~doc:"Cardinality of relation B.")
+let matches_arg = Arg.(value & opt int 10 & info [ "matches" ] ~doc:"Exact join-result size S.")
+let mult_arg = Arg.(value & opt int 3 & info [ "mult" ] ~doc:"Maximum match multiplicity N.")
+let m_arg = Arg.(value & opt int 4 & info [ "m" ] ~doc:"Coprocessor free memory in tuples.")
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic seed.")
+let eps_arg = Arg.(value & opt float 1e-9 & info [ "eps" ] ~doc:"Algorithm 6 privacy parameter.")
+let p_arg = Arg.(value & opt int 1 & info [ "p" ] ~doc:"Number of coprocessors.")
+
+let make_instance ~na ~nb ~matches ~mult ~m ~seed =
+  let rng = Rng.create seed in
+  let a, b = W.equijoin_pair rng ~na ~nb ~matches ~max_multiplicity:mult in
+  Instance.create ~m ~seed:(seed + 1) ~predicate:(P.equijoin2 "key" "key") [ a; b ]
+
+let execute algorithm ~eps ~mult inst =
+  match algorithm with
+  | A1 -> Algorithm1.run inst ~n:mult
+  | A1v -> Algorithm1.Variant.run inst ~n:mult
+  | A2 -> Algorithm2.run inst ~n:mult ()
+  | A3 -> Algorithm3.run inst ~n:mult ~attr_a:"key" ~attr_b:"key" ()
+  | A4 -> Algorithm4.run inst ()
+  | A5 -> Algorithm5.run inst
+  | A6 -> fst (Algorithm6.run inst ~eps ())
+  | A7 -> fst (Algorithm7.run inst ~attr_a:"key" ~attr_b:"key")
+
+let run_cmd =
+  let run algorithm na nb matches mult m seed eps =
+    let inst = make_instance ~na ~nb ~matches ~mult ~m ~seed in
+    let r = execute algorithm ~eps ~mult inst in
+    Format.printf "@[<v>%a@,@,results:@," Report.pp r;
+    List.iteri (fun i t -> if i < 20 then Format.printf "  %a@," T.pp t) r.Report.results;
+    if List.length r.Report.results > 20 then Format.printf "  ... (%d total)@," (List.length r.Report.results);
+    Format.printf "@]@.";
+    if List.length r.Report.results <> Instance.oracle_size inst then begin
+      Format.eprintf "WARNING: result size differs from oracle!@.";
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a join algorithm on a synthetic workload and print the results.")
+    Term.(const run $ algorithm_arg $ na_arg $ nb_arg $ matches_arg $ mult_arg $ m_arg $ seed_arg $ eps_arg)
+
+let trace_cmd =
+  let run algorithm na nb matches mult m seed eps limit =
+    let inst = make_instance ~na ~nb ~matches ~mult ~m ~seed in
+    ignore (execute algorithm ~eps ~mult inst);
+    let trace = Co.trace (Instance.co inst) in
+    Format.printf "trace length: %d@." (Trace.length trace);
+    List.iteri
+      (fun i e -> if i < limit then Format.printf "%6d  %a@." i Trace.pp_entry e)
+      (Trace.to_list trace)
+  in
+  let limit_arg = Arg.(value & opt int 50 & info [ "limit" ] ~doc:"Entries to print.") in
+  Cmd.v (Cmd.info "trace" ~doc:"Print the host-access trace the adversary observes.")
+    Term.(const run $ algorithm_arg $ na_arg $ nb_arg $ matches_arg $ mult_arg $ m_arg $ seed_arg $ eps_arg $ limit_arg)
+
+let privacy_cmd =
+  let run algorithm na nb matches mult m eps variants =
+    let runs =
+      List.init variants (fun i ->
+          fun () ->
+            let rng = Rng.create (100 + i) in
+            let a, b = W.equijoin_pair rng ~na ~nb ~matches ~max_multiplicity:mult in
+            let inst =
+              Instance.create ~m ~seed:777 ~predicate:(P.equijoin2 "key" "key") [ a; b ]
+            in
+            ignore (execute algorithm ~eps ~mult inst);
+            Co.trace (Instance.co inst))
+    in
+    match Privacy.check ~runs with
+    | Privacy.Indistinguishable ->
+        Format.printf "PRIVACY PRESERVING: %d same-shape inputs, identical traces.@." variants
+    | v ->
+        Format.printf "LEAK DETECTED: %a@." Privacy.pp_verdict v;
+        exit 1
+  in
+  let variants_arg = Arg.(value & opt int 4 & info [ "variants" ] ~doc:"Input variants to compare.") in
+  Cmd.v
+    (Cmd.info "privacy"
+       ~doc:"Check Definition 1/3 empirically: equal traces across same-shape inputs.")
+    Term.(const run $ algorithm_arg $ na_arg $ nb_arg $ matches_arg $ mult_arg $ m_arg $ eps_arg $ variants_arg)
+
+let cost_cmd =
+  let run l s m eps =
+    Format.printf "@[<v>L=%d S=%d M=%d@," l s m;
+    Format.printf "Algorithm 4 : %.4e tuples@," (Cost.alg4 ~l ~s);
+    Format.printf "Algorithm 5 : %.4e tuples@," (Cost.alg5 ~l ~s ~m);
+    Format.printf "Algorithm 6 : %.4e tuples (eps = %g)@," (Cost.alg6 ~l ~s ~m ~eps) eps;
+    Format.printf "SMC [32]    : %.4e tuples@]@." (Cost.smc ~l ~s ())
+  in
+  let l = Arg.(value & opt int 640_000 & info [ "l" ] ~doc:"Cartesian-product size L.") in
+  let s = Arg.(value & opt int 6_400 & info [ "s" ] ~doc:"Output size S.") in
+  let m = Arg.(value & opt int 64 & info [ "m" ] ~doc:"Coprocessor memory M.") in
+  let eps = Arg.(value & opt float 1e-20 & info [ "eps" ] ~doc:"Algorithm 6 epsilon.") in
+  Cmd.v (Cmd.info "cost" ~doc:"Evaluate the closed-form communication costs.")
+    Term.(const run $ l $ s $ m $ eps)
+
+let nstar_cmd =
+  let run l s m eps =
+    let n_star = Hypergeom.n_star ~l ~s ~m ~eps in
+    Format.printf "n* = %d  segments = %d  blemish bound at n* = %.3e@." n_star
+      (Params.segments ~l ~n_star)
+      (Hypergeom.blemish_bound ~l ~s ~n:n_star ~m)
+  in
+  let l = Arg.(value & opt int 640_000 & info [ "l" ] ~doc:"L.") in
+  let s = Arg.(value & opt int 6_400 & info [ "s" ] ~doc:"S.") in
+  let m = Arg.(value & opt int 64 & info [ "m" ] ~doc:"M.") in
+  let eps = Arg.(value & opt float 1e-20 & info [ "eps" ] ~doc:"epsilon.") in
+  Cmd.v (Cmd.info "nstar" ~doc:"Solve Eqn. 5.6 for the optimal segment size.")
+    Term.(const run $ l $ s $ m $ eps)
+
+let csv_join_cmd =
+  let run path_a path_b attr_a attr_b algorithm m seed eps out =
+    let read path name =
+      match In_channel.with_open_text path In_channel.input_all with
+      | text -> (
+          match Ppj_relation.Csv_io.infer_schema text with
+          | Error e -> Error e
+          | Ok schema -> Ppj_relation.Csv_io.parse schema ~name text)
+      | exception Sys_error e -> Error e
+    in
+    match (read path_a "A", read path_b "B") with
+    | Error e, _ | _, Error e ->
+        Format.eprintf "error: %s@." e;
+        exit 1
+    | Ok a, Ok b ->
+        let predicate = P.equijoin2 attr_a attr_b in
+        let inst = Instance.create ~m ~seed ~predicate [ a; b ] in
+        let mult = max 1 (Instance.max_matches inst) in
+        let r = execute algorithm ~eps ~mult inst in
+        let joined =
+          Ppj_relation.Relation.make ~name:"result" (Instance.joined_schema inst)
+            r.Report.results
+        in
+        (match out with
+        | Some path ->
+            Ppj_relation.Csv_io.save joined ~path;
+            Format.printf "%d results -> %s (%d transfers)@."
+              (List.length r.Report.results) path r.Report.transfers
+        | None ->
+            print_string (Ppj_relation.Csv_io.print joined);
+            Format.eprintf "(%d transfers)@." r.Report.transfers)
+  in
+  let path_a = Arg.(required & pos 0 (some file) None & info [] ~docv:"A.csv") in
+  let path_b = Arg.(required & pos 1 (some file) None & info [] ~docv:"B.csv") in
+  let attr_a = Arg.(value & opt string "key" & info [ "attr-a" ] ~doc:"Join attribute of A.") in
+  let attr_b = Arg.(value & opt string "key" & info [ "attr-b" ] ~doc:"Join attribute of B.") in
+  let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output CSV path.") in
+  Cmd.v
+    (Cmd.info "csv-join"
+       ~doc:"Equijoin two CSV files through the privacy preserving service (schemas inferred).")
+    Term.(const run $ path_a $ path_b $ attr_a $ attr_b $ algorithm_arg $ m_arg $ seed_arg $ eps_arg $ out)
+
+let parallel_cmd =
+  let run na nb matches mult m seed p =
+    let rng = Rng.create seed in
+    let a, b = W.equijoin_pair rng ~na ~nb ~matches ~max_multiplicity:mult in
+    let pred = P.equijoin2 "key" "key" in
+    let o = Ppj_parallel.Parallel.alg5 ~p ~m ~seed ~predicate:pred [ a; b ] in
+    Format.printf "results: %d  speedup at P=%d: %.2f  per-coprocessor transfers:"
+      (List.length o.Ppj_parallel.Parallel.results) p o.Ppj_parallel.Parallel.speedup;
+    Array.iter (fun t -> Format.printf " %d" t) o.Ppj_parallel.Parallel.per_co_transfers;
+    Format.printf "@."
+  in
+  Cmd.v (Cmd.info "parallel" ~doc:"Run Algorithm 5 across P simulated coprocessors.")
+    Term.(const run $ na_arg $ nb_arg $ matches_arg $ mult_arg $ m_arg $ seed_arg $ p_arg)
+
+let () =
+  let doc = "privacy preserving joins on (simulated) secure coprocessors" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "ppj" ~doc)
+          [ run_cmd; trace_cmd; privacy_cmd; cost_cmd; nstar_cmd; parallel_cmd; csv_join_cmd ]))

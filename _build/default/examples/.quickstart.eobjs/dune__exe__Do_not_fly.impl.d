@@ -1,0 +1,1 @@
+examples/do_not_fly.ml: Array Buffer Char Format List Ppj_core Ppj_crypto Ppj_relation Ppj_scpu Report Service String

@@ -1,0 +1,1 @@
+examples/do_not_fly.mli:

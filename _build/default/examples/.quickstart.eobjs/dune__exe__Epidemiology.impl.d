@@ -1,0 +1,1 @@
+examples/epidemiology.ml: Aggregate Format Instance List Ppj_core Ppj_crypto Ppj_relation Ppj_scpu Report Service

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Ppj_core Ppj_crypto Ppj_relation Ppj_scpu Report Service

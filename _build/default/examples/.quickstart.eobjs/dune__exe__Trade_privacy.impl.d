@@ -1,0 +1,1 @@
+examples/trade_privacy.ml: Algorithm6 Cost Format Hypergeom Instance List Params Ppj_core Ppj_crypto Ppj_relation Report

@@ -1,0 +1,1 @@
+examples/trade_privacy.mli:

@@ -1,0 +1,121 @@
+(* The paper's first motivating application (§1.1): airlines and a
+   government agency discover which passengers appear on a watch list —
+   with a *fuzzy* predicate (spelling-tolerant name match plus a birth
+   year band), which is exactly why arbitrary-predicate joins matter —
+   without either side revealing its full list.
+
+     dune exec examples/do_not_fly.exe *)
+
+open Ppj_core
+module Schema = Ppj_relation.Schema
+module Tuple = Ppj_relation.Tuple
+module Value = Ppj_relation.Value
+module Relation = Ppj_relation.Relation
+module Predicate = Ppj_relation.Predicate
+module Channel = Ppj_scpu.Channel
+module Rng = Ppj_crypto.Rng
+
+let person_schema =
+  Schema.make
+    [ { Schema.name = "name"; ty = Schema.TStr 16 };
+      { Schema.name = "birth_year"; ty = Schema.TInt }
+    ]
+
+let person name year = Tuple.make person_schema [ Value.Str name; Value.Int year ]
+
+(* A tiny Soundex-style code: first letter plus consonant classes, so
+   "Jonson" and "Johnson" collide while "Martinez" does not. *)
+let soundex name =
+  let classify c =
+    match Char.lowercase_ascii c with
+    | 'b' | 'f' | 'p' | 'v' -> Some '1'
+    | 'c' | 'g' | 'j' | 'k' | 'q' | 's' | 'x' | 'z' -> Some '2'
+    | 'd' | 't' -> Some '3'
+    | 'l' -> Some '4'
+    | 'm' | 'n' -> Some '5'
+    | 'r' -> Some '6'
+    | _ -> None
+  in
+  if String.length name = 0 then ""
+  else begin
+    let buf = Buffer.create 4 in
+    Buffer.add_char buf (Char.lowercase_ascii name.[0]);
+    let prev = ref (classify name.[0]) in
+    String.iter
+      (fun c ->
+        match classify c with
+        | Some code when Some code <> !prev && Buffer.length buf < 4 ->
+            Buffer.add_char buf code;
+            prev := Some code
+        | other -> prev := other)
+      (String.sub name 1 (String.length name - 1));
+    while Buffer.length buf < 4 do
+      Buffer.add_char buf '0'
+    done;
+    Buffer.contents buf
+  end
+
+let fuzzy_match =
+  Predicate.make ~name:"soundex+birth-band" (fun tuples ->
+      let name t = Value.as_str (Tuple.get t "name") in
+      let year t = Value.as_int (Tuple.get t "birth_year") in
+      String.equal (soundex (name tuples.(0))) (soundex (name tuples.(1)))
+      && abs (year tuples.(0) - year tuples.(1)) <= 1)
+
+let passengers =
+  Relation.make ~name:"passengers" person_schema
+    [ person "Johnson" 1971;
+      person "Martinez" 1985;
+      person "Okafor" 1990;
+      person "Smith" 1968;
+      person "Petersen" 1979;
+      person "Lindqvist" 1982;
+      person "Haruki" 1975;
+      person "Smyth" 1969
+    ]
+
+let watch_list =
+  Relation.make ~name:"watchlist" person_schema
+    [ person "Jonson" 1970;  (* matches Johnson 1971: same soundex, |Δyear| = 1 *)
+      person "Smithe" 1968;  (* matches Smith and Smyth *)
+      person "Delgado" 1990
+    ]
+
+let () =
+  let rng = Rng.create 7 in
+  let airline = Channel.party ~id:"airline" ~secret:(Rng.bytes rng 16) in
+  let agency = Channel.party ~id:"agency" ~secret:(Rng.bytes rng 16) in
+  let screening = Channel.party ~id:"screening-desk" ~secret:(Rng.bytes rng 16) in
+  let contract =
+    { Channel.contract_id = "dnf-2008-04";
+      providers = [ "airline"; "agency" ];
+      recipient = "screening-desk";
+      predicate = "soundex+birth-band";
+    }
+  in
+  (* Algorithm 2 handles the arbitrary predicate; N bounds how many watch
+     list entries one passenger can resemble. *)
+  match
+    Service.run
+      { Service.m = 6; seed = 1; algorithm = Service.Alg2 { n = 3 } }
+      ~contract
+      ~submissions:
+        [ (airline, person_schema, Channel.submit airline contract passengers);
+          (agency, person_schema, Channel.submit agency contract watch_list)
+        ]
+      ~recipient:screening ~predicate:fuzzy_match
+  with
+  | Error e -> prerr_endline ("service error: " ^ e)
+  | Ok { report; delivered } ->
+      Format.printf "@[<v>Flagged passengers (fuzzy match against the watch list):@,";
+      List.iter
+        (fun t ->
+          Format.printf "  passenger %-10s (%d)  ~  watch entry %-8s (%d)@,"
+            (Value.as_str (Tuple.get t "name"))
+            (Value.as_int (Tuple.get t "birth_year"))
+            (Value.as_str (Tuple.get t "name'"))
+            (Value.as_int (Tuple.get t "birth_year'")))
+        delivered;
+      Format.printf "@,Neither side saw the other's list; the screening desk learned@,";
+      Format.printf "only these %d matches.  Transfer cost: %d tuples.@]@."
+        (List.length delivered) report.Report.transfers

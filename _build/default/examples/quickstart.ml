@@ -1,0 +1,65 @@
+(* Quickstart: two mutually distrustful parties join their relations
+   through the service; a third party receives the result.
+
+     dune exec examples/quickstart.exe
+
+   This walks the full §3.2 deployment: contract, encrypted submissions,
+   the coprocessor-executed join (Algorithm 4), and recipient-side
+   decryption. *)
+
+open Ppj_core
+module Channel = Ppj_scpu.Channel
+module Workload = Ppj_relation.Workload
+module Predicate = Ppj_relation.Predicate
+module Tuple = Ppj_relation.Tuple
+module Rng = Ppj_crypto.Rng
+
+let () =
+  (* 1. Each party holds a private relation (id, key, info). *)
+  let rng = Rng.create 2024 in
+  let alice_data, bob_data =
+    Workload.equijoin_pair rng ~na:20 ~nb:30 ~matches:12 ~max_multiplicity:3
+  in
+
+  (* 2. Parties and the result recipient share session keys with the
+     coprocessor (established after checking its attestation chain). *)
+  let alice = Channel.party ~id:"alice" ~secret:(Rng.bytes rng 16) in
+  let bob = Channel.party ~id:"bob" ~secret:(Rng.bytes rng 16) in
+  let carol = Channel.party ~id:"carol" ~secret:(Rng.bytes rng 16) in
+
+  (* 3. A digital contract pins down who provides data, who receives the
+     result, and which predicate is allowed. *)
+  let contract =
+    { Channel.contract_id = "quickstart-001";
+      providers = [ "alice"; "bob" ];
+      recipient = "carol";
+      predicate = "eq(key,key)";
+    }
+  in
+
+  let predicate = Predicate.equijoin2 "key" "key" in
+  let schema = Workload.keyed_schema () in
+
+  (* 4. Run the join on a coprocessor with 8 tuples of trusted memory. *)
+  match
+    Service.run
+      { Service.m = 8; seed = 42; algorithm = Service.Alg4 }
+      ~contract
+      ~submissions:
+        [ (alice, schema, Channel.submit alice contract alice_data);
+          (bob, schema, Channel.submit bob contract bob_data)
+        ]
+      ~recipient:carol ~predicate
+  with
+  | Error e -> prerr_endline ("service error: " ^ e)
+  | Ok { report; delivered } ->
+      Format.printf "@[<v>Join delivered to carol: %d tuples@," (List.length delivered);
+      List.iteri
+        (fun i t -> if i < 5 then Format.printf "  %a@," Tuple.pp t)
+        delivered;
+      if List.length delivered > 5 then Format.printf "  ...@,";
+      Format.printf
+        "Cost: %d tuple transfers between coprocessor and host (%d reads, %d writes)@,"
+        report.Report.transfers report.Report.reads report.Report.writes;
+      Format.printf
+        "Privacy: the host observed only encrypted tuples and a data-independent access pattern.@]@."

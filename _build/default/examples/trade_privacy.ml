@@ -1,0 +1,62 @@
+(* Trading privacy preserving level against communication cost with
+   Algorithm 6 (§5.3.3) — the dissertation's headline knob.
+
+     dune exec examples/trade_privacy.exe
+
+   Sweeps ε from 10⁻⁶⁰ to 10⁻¹ at the paper's setting 1 (L = 640 000,
+   S = 6 400, M = 64), prints the optimal segment size n* and analytic
+   cost, then runs the executable algorithm at a laptop scale to show the
+   measured effect and a forced blemish + salvage. *)
+
+open Ppj_core
+module W = Ppj_relation.Workload
+module P = Ppj_relation.Predicate
+module Rng = Ppj_crypto.Rng
+
+let () =
+  let l, s, m = (640_000, 6_400, 64) in
+  Format.printf "@[<v>Analytic sweep at L=%d S=%d M=%d (paper setting 1):@," l s m;
+  Format.printf "  %-8s %-10s %-14s %-16s@," "eps" "n*" "segments" "cost (tuples)";
+  List.iter
+    (fun exp10 ->
+      let eps = 10. ** float_of_int (-exp10) in
+      let n_star = Hypergeom.n_star ~l ~s ~m ~eps in
+      Format.printf "  1e-%-5d %-10d %-14d %-16.3e@," exp10 n_star
+        (Params.segments ~l ~n_star)
+        (Cost.alg6 ~l ~s ~m ~eps))
+    [ 60; 40; 20; 10; 5; 1 ];
+  Format.printf "  (Algorithm 5 at the same setting: %.3e; Algorithm 4: %.3e)@,@,"
+    (Cost.alg5 ~l ~s ~m) (Cost.alg4 ~l ~s);
+
+  (* Measured runs at executable scale. *)
+  let make m =
+    let rng = Rng.create 2718 in
+    let a, b = W.equijoin_pair rng ~na:40 ~nb:60 ~matches:48 ~max_multiplicity:3 in
+    Instance.create ~m ~seed:31 ~predicate:(P.equijoin2 "key" "key") [ a; b ]
+  in
+  Format.printf "Measured at L=2400 S=48 M=4:@,";
+  Format.printf "  %-10s %-8s %-10s %-12s %-10s@," "eps" "n*" "segments" "transfers" "blemish";
+  List.iter
+    (fun eps ->
+      let inst = make 4 in
+      let r, st = Algorithm6.run inst ~eps () in
+      Format.printf "  %-10.0e %-8d %-10d %-12d %-10b@," eps st.Algorithm6.n_star
+        st.Algorithm6.segments r.Report.transfers st.Algorithm6.blemished)
+    [ 1e-12; 1e-6; 1e-3; 1e-1 ];
+
+  (* Force a blemish to show the salvage path: tiny memory, huge skew,
+     reckless epsilon. *)
+  let rng = Rng.create 3141 in
+  let a, b = W.skewed_worst_case rng ~na:6 ~nb:12 in
+  let inst =
+    Instance.create ~m:1 ~seed:77 ~predicate:(P.equijoin2 "key" "key") [ a; b ]
+  in
+  let r, st = Algorithm6.run inst ~eps:0.999999 () in
+  Format.printf "@,Reckless run (M=1, worst-case skew, eps ~ 1):@,";
+  Format.printf "  blemished=%b salvaged=%b results=%d (all %d recovered by Algorithm 5 fallback)@,"
+    st.Algorithm6.blemished st.Algorithm6.salvaged
+    (List.length r.Report.results)
+    (Instance.oracle_size inst);
+  Format.printf
+    "  The salvage restored correctness but its extra scans are visible —@,";
+  Format.printf "  exactly the ε-bounded privacy loss the paper's analysis prices in.@]@."

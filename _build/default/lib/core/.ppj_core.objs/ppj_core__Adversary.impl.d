@@ -1,0 +1,1 @@
+lib/core/adversary.ml: Array Hashtbl List Option Ppj_scpu Stdlib String

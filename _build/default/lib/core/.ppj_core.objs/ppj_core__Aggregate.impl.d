@@ -1,0 +1,1 @@
+lib/core/aggregate.ml: Array Instance Ppj_relation Ppj_scpu Report

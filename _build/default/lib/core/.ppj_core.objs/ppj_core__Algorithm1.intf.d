@@ -1,0 +1,1 @@
+lib/core/algorithm1.mli: Instance Report

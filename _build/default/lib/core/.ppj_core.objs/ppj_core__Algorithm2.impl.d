@@ -1,0 +1,1 @@
+lib/core/algorithm2.ml: Array Instance List Params Ppj_scpu Report

@@ -1,0 +1,1 @@
+lib/core/algorithm2.mli: Instance Report

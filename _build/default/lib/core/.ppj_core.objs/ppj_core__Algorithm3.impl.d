@@ -1,0 +1,1 @@
+lib/core/algorithm3.ml: Instance Ppj_oblivious Ppj_relation Ppj_scpu Report

@@ -1,0 +1,1 @@
+lib/core/algorithm3.mli: Instance Report

@@ -1,0 +1,1 @@
+lib/core/algorithm4.mli: Instance Ppj_oblivious Report

@@ -1,0 +1,1 @@
+lib/core/algorithm5.ml: Instance List Ppj_scpu Report

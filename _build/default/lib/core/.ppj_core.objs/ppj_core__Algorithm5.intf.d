@@ -1,0 +1,1 @@
+lib/core/algorithm5.mli: Instance Report

@@ -1,0 +1,1 @@
+lib/core/algorithm6.ml: Algorithm5 Hypergeom Instance List Params Ppj_crypto Ppj_oblivious Ppj_relation Ppj_scpu Report Seq

@@ -1,0 +1,1 @@
+lib/core/algorithm6.mli: Instance Report

@@ -1,0 +1,1 @@
+lib/core/algorithm7.ml: Char Instance Ppj_oblivious Ppj_relation Ppj_scpu Report String

@@ -1,0 +1,1 @@
+lib/core/instance.ml: Array List Ppj_oblivious Ppj_relation Ppj_scpu String

@@ -1,0 +1,1 @@
+lib/core/instance.mli: Ppj_relation Ppj_scpu

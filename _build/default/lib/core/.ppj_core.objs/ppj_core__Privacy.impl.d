@@ -1,0 +1,1 @@
+lib/core/privacy.ml: Array Format List Ppj_scpu Printf

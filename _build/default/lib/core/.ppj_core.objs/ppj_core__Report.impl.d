@@ -1,0 +1,1 @@
+lib/core/report.ml: Format Instance List Ppj_relation Ppj_scpu

@@ -1,0 +1,1 @@
+lib/core/service.ml: Algorithm1 Algorithm2 Algorithm3 Algorithm4 Algorithm5 Algorithm6 Algorithm7 Instance List Planner Ppj_relation Ppj_scpu Report Result

@@ -1,0 +1,1 @@
+lib/core/service.mli: Ppj_relation Ppj_scpu Report

@@ -1,0 +1,1 @@
+lib/core/unsafe.ml: Array Hashtbl Instance List Ppj_crypto Ppj_oblivious Ppj_relation Ppj_scpu Report String

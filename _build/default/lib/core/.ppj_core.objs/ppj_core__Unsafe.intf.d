@@ -1,0 +1,1 @@
+lib/core/unsafe.mli: Instance Report

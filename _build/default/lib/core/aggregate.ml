@@ -1,0 +1,40 @@
+module Coprocessor = Ppj_scpu.Coprocessor
+module Host = Ppj_scpu.Host
+module Trace = Ppj_scpu.Trace
+module Value = Ppj_relation.Value
+module Tuple = Ppj_relation.Tuple
+module Decoy = Ppj_relation.Decoy
+
+let fold inst ~init ~f =
+  let co = Instance.co inst in
+  let host = Coprocessor.host co in
+  Instance.ensure_cartesian inst;
+  let acc = ref init in
+  for idx = 0 to Instance.l inst - 1 do
+    let it = Instance.get_ituple inst idx in
+    if Instance.satisfy inst it then acc := f !acc it
+  done;
+  (* One fixed-size output: the encrypted aggregate. *)
+  let (_ : Host.t) = Host.define_region host Trace.Output ~size:1 in
+  Coprocessor.put co Trace.Output 0 (Decoy.real (string_of_int 0));
+  !acc
+
+let count inst =
+  let c = fold inst ~init:0 ~f:(fun acc _ -> acc + 1) in
+  (c, Report.collect inst ~stats:[ ("count", float_of_int c) ] ())
+
+let attr_of inst ~relation ~attr it =
+  (* Decode only the requested component of the iTuple. *)
+  let tuples = Instance.decode_ituple inst it in
+  Value.as_int (Tuple.get tuples.(relation) attr)
+
+let sum inst ~relation ~attr =
+  let s = fold inst ~init:0 ~f:(fun acc it -> acc + attr_of inst ~relation ~attr it) in
+  (s, Report.collect inst ~stats:[ ("sum", float_of_int s) ] ())
+
+let average inst ~relation ~attr =
+  let s, c =
+    fold inst ~init:(0, 0) ~f:(fun (s, c) it -> (s + attr_of inst ~relation ~attr it, c + 1))
+  in
+  let avg = if c = 0 then 0. else float_of_int s /. float_of_int c in
+  (avg, Report.collect inst ~stats:[ ("avg", avg) ] ())

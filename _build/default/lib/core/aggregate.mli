@@ -1,0 +1,17 @@
+(** Privacy preserving aggregation over joins (Chapter 6 future work).
+
+    Aggregation queries need only statistics of the join, never the
+    materialised result, so a single fixed-order pass over the cartesian
+    product with an in-[T] accumulator suffices: the trace is [L] reads
+    followed by one write, a function of [L] alone — trivially privacy
+    preserving, and the simplest possible answer to the thesis's open
+    question "do efficient algorithms exist for this simplified task?". *)
+
+val count : Instance.t -> int * Report.t
+(** COUNT of the join results. *)
+
+val sum : Instance.t -> relation:int -> attr:string -> int * Report.t
+(** SUM of an integer attribute of the [relation]-th participant over the
+    join. *)
+
+val average : Instance.t -> relation:int -> attr:string -> float * Report.t

@@ -1,0 +1,67 @@
+module Coprocessor = Ppj_scpu.Coprocessor
+module Host = Ppj_scpu.Host
+module Trace = Ppj_scpu.Trace
+module Decoy = Ppj_relation.Decoy
+module Bitonic = Ppj_oblivious.Bitonic
+module Sort = Ppj_oblivious.Sort
+
+let decoys_first a b = Stdlib.compare (Decoy.sort_rank a) (Decoy.sort_rank b)
+
+let run inst ~n =
+  if n < 1 then invalid_arg "Algorithm1: n must be positive";
+  let co = Instance.co inst in
+  let host = Coprocessor.host co in
+  let width = Instance.out_width inst in
+  let decoy = Instance.decoy inst in
+  let scratch_len = 2 * n in
+  let (_ : Host.t) =
+    Host.define_region host Trace.Scratch ~size:(Sort.padded_size scratch_len)
+  in
+  let sort_scratch () =
+    Sort.sort_padded co Trace.Scratch ~n:scratch_len ~width ~compare:decoys_first
+  in
+  for ia = 0 to Instance.a_len inst - 1 do
+    for k = 0 to scratch_len - 1 do
+      Coprocessor.put co Trace.Scratch k decoy
+    done;
+    let a = Coprocessor.get co (Instance.region_a inst) ia in
+    Coprocessor.alloc co 1;
+    let i = ref 0 in
+    for ib = 0 to Instance.b_len inst - 1 do
+      let b = Coprocessor.get co (Instance.region_b inst) ib in
+      let out = if Instance.match2 inst a b then Instance.join2 inst a b else decoy in
+      Coprocessor.put co Trace.Scratch ((!i mod n) + n) out;
+      incr i;
+      if !i mod n = 0 then sort_scratch ()
+    done;
+    if !i mod n <> 0 then sort_scratch ();
+    Coprocessor.free co 1;
+    Host.persist host Trace.Scratch ~count:n
+  done;
+  Report.collect inst ~stats:[ ("N", float_of_int n) ] ()
+
+module Variant = struct
+  let run inst ~n =
+    if n < 1 then invalid_arg "Algorithm1.Variant: n must be positive";
+    let co = Instance.co inst in
+    let host = Coprocessor.host co in
+    let width = Instance.out_width inst in
+    let decoy = Instance.decoy inst in
+    let b_len = Instance.b_len inst in
+    let (_ : Host.t) =
+      Host.define_region host Trace.Scratch ~size:(Sort.padded_size b_len)
+    in
+    for ia = 0 to Instance.a_len inst - 1 do
+      let a = Coprocessor.get co (Instance.region_a inst) ia in
+      Coprocessor.alloc co 1;
+      for ib = 0 to b_len - 1 do
+        let b = Coprocessor.get co (Instance.region_b inst) ib in
+        let out = if Instance.match2 inst a b then Instance.join2 inst a b else decoy in
+        Coprocessor.put co Trace.Scratch ib out
+      done;
+      Sort.sort_padded co Trace.Scratch ~n:b_len ~width ~compare:decoys_first;
+      Coprocessor.free co 1;
+      Host.persist host Trace.Scratch ~count:n
+    done;
+    Report.collect inst ~stats:[ ("N", float_of_int n) ] ()
+end

@@ -1,0 +1,24 @@
+(** Algorithm 1 (§4.4.1): general join for secure coprocessors with small
+    memory.
+
+    For every tuple of [A], every tuple of [B] is compared inside [T]; an
+    encrypted result or same-sized decoy is written to the second half of
+    a 2N-slot scratch array on the host, which is obliviously sorted —
+    reals first — after every round of N outputs.  The join needs only a
+    constant amount of trusted memory, at the price of
+    [|A| + 2N|A| + 2|A||B| + 2|A||B| (log₂ 2N)²] transfers. *)
+
+val run : Instance.t -> n:int -> Report.t
+(** [n] is the maximum match multiplicity N (§4.1); behaviour is undefined
+    (correctness-wise; privacy is unaffected) if some tuple of [A]
+    actually matches more than [n] tuples of [B].
+    @raise Invalid_argument if [n < 1] or the instance is not binary. *)
+
+module Variant : sig
+  val run : Instance.t -> n:int -> Report.t
+  (** The §4.4.2 variant: no round-by-round scratch recycling; all [|B|]
+      oTuples of a pass are written out and one big oblivious sort keeps
+      the first [N].  Costs
+      [|A| + 2|A||B| + |A||B| (log₂ |B|)²] transfers — worse than
+      Algorithm 1 for small α = N/|B|. *)
+end

@@ -1,0 +1,98 @@
+module Coprocessor = Ppj_scpu.Coprocessor
+module Host = Ppj_scpu.Host
+module Trace = Ppj_scpu.Trace
+
+let run inst ~n ?(delta = 0) () =
+  if n < 1 then invalid_arg "Algorithm2: n must be positive";
+  let co = Instance.co inst in
+  let host = Coprocessor.host co in
+  let m = Coprocessor.m co in
+  let gamma = Params.gamma ~n ~m ~delta () in
+  let blk = Params.blk ~n ~gamma in
+  let decoy = Instance.decoy inst in
+  let (_ : Host.t) = Host.define_region host Trace.Joined ~size:blk in
+  for ia = 0 to Instance.a_len inst - 1 do
+    let a = Coprocessor.get co (Instance.region_a inst) ia in
+    (* last: index of the last B tuple whose match was retained.  (The
+       paper initialises it to 0, which would skip a match at position 0;
+       -1 is the intended sentinel.) *)
+    let last = ref (-1) in
+    for _pass = 1 to gamma do
+      let joined = ref [] in
+      let matches = ref 0 in
+      Coprocessor.alloc co blk;
+      for current = 0 to Instance.b_len inst - 1 do
+        let b = Coprocessor.get co (Instance.region_b inst) current in
+        let matched = Instance.match2 inst a b in
+        if current > !last && !matches < blk && matched then begin
+          joined := Instance.join2 inst a b :: !joined;
+          incr matches;
+          last := current
+        end
+      done;
+      let joined = List.rev !joined in
+      List.iteri (fun k o -> Coprocessor.put co Trace.Joined k o) joined;
+      for k = !matches to blk - 1 do
+        Coprocessor.put co Trace.Joined k decoy
+      done;
+      Coprocessor.free co blk;
+      Host.persist host Trace.Joined ~count:blk
+    done
+  done;
+  Report.collect inst
+    ~stats:[ ("N", float_of_int n); ("gamma", float_of_int gamma); ("blk", float_of_int blk) ]
+    ()
+
+module Blocked = struct
+  let run inst ~n ~k ~n_prime =
+    if n < 1 || k < 1 || n_prime < 1 then invalid_arg "Algorithm2.Blocked: bad parameters";
+    let co = Instance.co inst in
+    let host = Coprocessor.host co in
+    let a_len = Instance.a_len inst in
+    let passes = (n + n_prime - 1) / n_prime in
+    let decoy = Instance.decoy inst in
+    let (_ : Host.t) = Host.define_region host Trace.Joined ~size:(k * n_prime) in
+    let block_start = ref 0 in
+    while !block_start < a_len do
+      let block_len = min k (a_len - !block_start) in
+      (* Hold the block and its per-tuple result quota in trusted memory. *)
+      Coprocessor.alloc co (block_len * (1 + n_prime));
+      let block =
+        Array.init block_len (fun j ->
+            Coprocessor.get co (Instance.region_a inst) (!block_start + j))
+      in
+      let last = Array.make block_len (-1) in
+      for _pass = 1 to passes do
+        let joined = Array.make block_len [] in
+        let matches = Array.make block_len 0 in
+        for current = 0 to Instance.b_len inst - 1 do
+          let b = Coprocessor.get co (Instance.region_b inst) current in
+          Array.iteri
+            (fun j a ->
+              let matched = Instance.match2 inst a b in
+              if current > last.(j) && matches.(j) < n_prime && matched then begin
+                joined.(j) <- Instance.join2 inst a b :: joined.(j);
+                matches.(j) <- matches.(j) + 1;
+                last.(j) <- current
+              end)
+            block
+        done;
+        for j = 0 to block_len - 1 do
+          let base = j * n_prime in
+          List.iteri
+            (fun i o -> Coprocessor.put co Trace.Joined (base + i) o)
+            (List.rev joined.(j));
+          for i = matches.(j) to n_prime - 1 do
+            Coprocessor.put co Trace.Joined (base + i) decoy
+          done
+        done;
+        Host.persist host Trace.Joined ~count:(block_len * n_prime)
+      done;
+      Coprocessor.free co (block_len * (1 + n_prime));
+      block_start := !block_start + block_len
+    done;
+    Report.collect inst
+      ~stats:
+        [ ("N", float_of_int n); ("K", float_of_int k); ("passes", float_of_int passes) ]
+      ()
+end

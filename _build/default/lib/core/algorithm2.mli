@@ -1,0 +1,24 @@
+(** Algorithm 2 (§4.4.3): general join for secure coprocessors with larger
+    memories.
+
+    For every tuple of [A], [T] scans [B] γ = max(1, ⌈N/(M−δ)⌉) times; in
+    pass [i] it retains the i-th group of ⌈N/γ⌉ matching tuples in trusted
+    memory and flushes a fixed-size block (padded with decoys) at the end
+    of the pass.  No oblivious sorting is needed — output positions are
+    data-independent by construction — giving
+    [|A| + N|A| + γ|A||B|] transfers. *)
+
+val run : Instance.t -> n:int -> ?delta:int -> unit -> Report.t
+(** [delta] is the memory set aside for bookkeeping (default 0).
+    @raise Invalid_argument if [n < 1], the instance is not binary, or no
+    free memory remains. *)
+
+module Blocked : sig
+  val run : Instance.t -> n:int -> k:int -> n_prime:int -> Report.t
+  (** The blocking-of-A variant §4.4.3 analyses in order to reject: [k]
+      tuples of [A] are held in memory with an [n_prime]-match quota per
+      pass, costing ⌈|A|/k⌉ ⌈N/n_prime⌉ |B| inner reads — never fewer
+      transfers than the non-blocking Algorithm 2 under the same memory
+      (k (1 + n_prime) ≤ M, enforced by the ledger).  Kept as an
+      executable ablation of that design decision. *)
+end

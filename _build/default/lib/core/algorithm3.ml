@@ -1,0 +1,43 @@
+module Coprocessor = Ppj_scpu.Coprocessor
+module Host = Ppj_scpu.Host
+module Trace = Ppj_scpu.Trace
+module Value = Ppj_relation.Value
+module Tuple = Ppj_relation.Tuple
+module Sort = Ppj_oblivious.Sort
+
+let run inst ~n ~attr_a ~attr_b ?(presorted = false) () =
+  if n < 1 then invalid_arg "Algorithm3: n must be positive";
+  let co = Instance.co inst in
+  let host = Coprocessor.host co in
+  let b_len = Instance.b_len inst in
+  if not presorted then
+    Sort.sort_padded co (Instance.region_b inst) ~n:b_len
+      ~width:(Instance.relation_width inst 1)
+      ~compare:(fun x y ->
+        Value.compare
+          (Tuple.get (Instance.decode_b inst x) attr_b)
+          (Tuple.get (Instance.decode_b inst y) attr_b));
+  let decoy = Instance.decoy inst in
+  let (_ : Host.t) = Host.define_region host Trace.Scratch ~size:n in
+  for ia = 0 to Instance.a_len inst - 1 do
+    let a = Coprocessor.get co (Instance.region_a inst) ia in
+    Coprocessor.alloc co 1;
+    let ka = Tuple.get (Instance.decode_a inst a) attr_a in
+    for k = 0 to n - 1 do
+      Coprocessor.put co Trace.Scratch k decoy
+    done;
+    for ib = 0 to b_len - 1 do
+      let b = Coprocessor.get co (Instance.region_b inst) ib in
+      let slot = Coprocessor.get co Trace.Scratch (ib mod n) in
+      Coprocessor.tick co 4;
+      let out =
+        if Value.equal (Tuple.get (Instance.decode_b inst b) attr_b) ka then
+          Instance.join2 inst a b
+        else slot
+      in
+      Coprocessor.put co Trace.Scratch (ib mod n) out
+    done;
+    Coprocessor.free co 1;
+    Host.persist host Trace.Scratch ~count:n
+  done;
+  Report.collect inst ~stats:[ ("N", float_of_int n) ] ()

@@ -1,0 +1,16 @@
+(** Algorithm 3 (§4.5.2): privacy preserving sort-based equijoin.
+
+    [B] is obliviously sorted on the join attribute; the tuples matching
+    any [a ∈ A] then sit in at most N consecutive positions, so a
+    circularly-addressed N-slot scratch array suffices: for the i-th [B]
+    tuple, [T] reads scratch[i mod N] and writes back either the same
+    (re-encrypted) value or the joined tuple.  Reals are never overwritten
+    because a run of N consecutive matches maps to N distinct slots.
+    Costs [|A| + N|A| + |B| (log₂ |B|)² + 3|A||B|] transfers (drop the
+    sort term when providers pre-sort, §4.5.2). *)
+
+val run :
+  Instance.t -> n:int -> attr_a:string -> attr_b:string -> ?presorted:bool -> unit -> Report.t
+(** Equijoin on [a.attr_a = b.attr_b].  [presorted] skips the oblivious
+    sort (the providers sent sorted relations).
+    @raise Invalid_argument if [n < 1] or the instance is not binary. *)

@@ -1,0 +1,33 @@
+module Coprocessor = Ppj_scpu.Coprocessor
+module Host = Ppj_scpu.Host
+module Trace = Ppj_scpu.Trace
+module Decoy = Ppj_relation.Decoy
+module Filter = Ppj_oblivious.Filter
+
+let run inst ?delta ?(network = Ppj_oblivious.Sort.Bitonic) () =
+  let co = Instance.co inst in
+  let host = Coprocessor.host co in
+  Instance.ensure_cartesian inst;
+  let l = Instance.l inst in
+  let width = Instance.out_width inst in
+  let decoy = Instance.decoy inst in
+  let (_ : Host.t) = Host.define_region host Trace.Output ~size:l in
+  let s = ref 0 in
+  for idx = 0 to l - 1 do
+    let it = Instance.get_ituple inst idx in
+    if Instance.satisfy inst it then begin
+      Coprocessor.put co Trace.Output idx (Instance.join_ituple inst it);
+      incr s
+    end
+    else Coprocessor.put co Trace.Output idx decoy
+  done;
+  let s = !s in
+  if s > 0 then begin
+    let buffer =
+      Filter.run ~network co ~src:Trace.Output ~src_len:l ~mu:s ?delta
+        ~is_real:(fun o -> not (Decoy.is_decoy o))
+        ~width ()
+    in
+    Host.persist host buffer ~count:s
+  end;
+  Report.collect inst ~stats:[ ("S", float_of_int s) ] ()

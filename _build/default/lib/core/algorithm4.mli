@@ -1,0 +1,16 @@
+(** Algorithm 4 (§5.3.1): exact privacy preserving join for coprocessors
+    with small memory.
+
+    One pass over the cartesian product [D] writes an oTuple — real result
+    or decoy — for {e every} iTuple, so the write pattern carries no
+    information; the [L] oTuples are then obliviously filtered (§5.2.2)
+    down to the [S] reals.  Needs only two tuples of trusted memory and is
+    100% privacy preserving, at cost
+    [2L + (L-S)/D . (S+D) (log2(S+D))^2] with D the optimal swap size
+    of Eqn. 5.1 (Eqn. 5.2). *)
+
+val run :
+  Instance.t -> ?delta:int -> ?network:Ppj_oblivious.Sort.network -> unit -> Report.t
+(** [delta] overrides the swap-area size (default: the Eqn. 5.1 optimum);
+    [network] selects the oblivious-sort comparator schedule (default the
+    paper's bitonic; [Odd_even] is the ablation alternative). *)

@@ -1,0 +1,59 @@
+module Coprocessor = Ppj_scpu.Coprocessor
+module Host = Ppj_scpu.Host
+module Trace = Ppj_scpu.Trace
+
+(* The scan loop, shared with Algorithm 6's salvage fallback.
+   Returns (S, scan count); persists the S results to disk. *)
+let execute inst =
+  let co = Instance.co inst in
+  let host = Coprocessor.host co in
+  Instance.ensure_cartesian inst;
+  let l = Instance.l inst in
+  let m = Coprocessor.m co in
+  if m < 1 then invalid_arg "Algorithm5: memory must hold at least one result";
+  let pindex = ref (-1) in
+  let lindex = ref (-1) in
+  let s = ref 0 in
+  let out_pos = ref 0 in
+  let scans = ref 0 in
+  let finished = ref false in
+  while not !finished do
+    incr scans;
+    let first_scan = !scans = 1 in
+    Coprocessor.alloc co m;
+    let stored = ref [] in
+    let stored_count = ref 0 in
+    let last_stored = ref !pindex in
+    for current = 0 to l - 1 do
+      let it = Instance.get_ituple inst current in
+      if Instance.satisfy inst it then begin
+        if first_scan then begin
+          incr s;
+          lindex := current
+        end;
+        if current > !pindex && !stored_count < m then begin
+          stored := Instance.join_ituple inst it :: !stored;
+          incr stored_count;
+          last_stored := current
+        end
+      end
+    done;
+    if first_scan then begin
+      let (_ : Host.t) = Host.define_region host Trace.Output ~size:(max 1 !s) in
+      ()
+    end;
+    List.iter
+      (fun o ->
+        Coprocessor.put co Trace.Output !out_pos o;
+        incr out_pos)
+      (List.rev !stored);
+    Coprocessor.free co m;
+    pindex := !last_stored;
+    if !pindex >= !lindex then finished := true
+  done;
+  Host.persist host Trace.Output ~count:!s;
+  (!s, !scans)
+
+let run inst =
+  let s, scans = execute inst in
+  Report.collect inst ~stats:[ ("S", float_of_int s); ("scans", float_of_int scans) ] ()

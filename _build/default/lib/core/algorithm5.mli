@@ -1,0 +1,15 @@
+(** Algorithm 5 (§5.3.2): exact privacy preserving join for coprocessors
+    with large memory.
+
+    [T] scans the cartesian product ⌈S/M⌉ times, retaining up to [M]
+    results per scan and flushing only at scan boundaries (flushing the
+    instant memory fills would reveal where the M-th match sits, which is
+    why the security proof pins the writes to scan ends).  The index of
+    the last flushed match ([pindex]) prevents double-output.  Write cost
+    is the optimal [S]; read cost ⌈S/M⌉·L (Eqn. 5.3). *)
+
+val run : Instance.t -> Report.t
+
+val execute : Instance.t -> int * int
+(** The bare scan loop: persists the results and returns [(S, scans)].
+    Algorithm 6 reuses it as its blemish-salvage fallback. *)

@@ -1,0 +1,109 @@
+module Coprocessor = Ppj_scpu.Coprocessor
+module Host = Ppj_scpu.Host
+module Trace = Ppj_scpu.Trace
+module Decoy = Ppj_relation.Decoy
+module Filter = Ppj_oblivious.Filter
+module Mlfsr = Ppj_crypto.Mlfsr
+
+type stats = {
+  s : int;
+  n_star : int;
+  segments : int;
+  blemished : bool;
+  salvaged : bool;
+}
+
+let run inst ~eps ?delta ?(salvage = true) () =
+  if eps < 0. || eps > 1. then invalid_arg "Algorithm6: eps must be in [0, 1]";
+  let co = Instance.co inst in
+  let host = Coprocessor.host co in
+  Instance.ensure_cartesian inst;
+  let l = Instance.l inst in
+  let m = Coprocessor.m co in
+  if m < 1 then invalid_arg "Algorithm6: memory must hold at least one result";
+  let width = Instance.out_width inst in
+  let decoy = Instance.decoy inst in
+  (* Screening pass: learn S; retain results opportunistically so that the
+     M >= S case (footnote 1) finishes in this single pass. *)
+  Coprocessor.alloc co m;
+  let s = ref 0 in
+  let retained = ref [] in
+  for idx = 0 to l - 1 do
+    let it = Instance.get_ituple inst idx in
+    if Instance.satisfy inst it then begin
+      incr s;
+      if !s <= m then retained := Instance.join_ituple inst it :: !retained
+    end
+  done;
+  let s = !s in
+  let finish stats = (Report.collect inst ~stats:(("S", float_of_int s) :: ("n_star", float_of_int stats.n_star) :: ("segments", float_of_int stats.segments) :: []) (), stats) in
+  if s = 0 then begin
+    Coprocessor.free co m;
+    finish { s; n_star = l; segments = 0; blemished = false; salvaged = false }
+  end
+  else if m >= s then begin
+    (* Everything fit during screening: output the S results directly. *)
+    let (_ : Host.t) = Host.define_region host Trace.Output ~size:s in
+    List.iteri (fun i o -> Coprocessor.put co Trace.Output i o) (List.rev !retained);
+    Coprocessor.free co m;
+    Host.persist host Trace.Output ~count:s;
+    finish { s; n_star = l; segments = 1; blemished = false; salvaged = false }
+  end
+  else begin
+    retained := [];
+    Coprocessor.free co m;
+    let n_star = Hypergeom.n_star ~l ~s ~m ~eps in
+    let segments = Params.segments ~l ~n_star in
+    let (_ : Host.t) = Host.define_region host Trace.Output ~size:(segments * m) in
+    let blemished = ref false in
+    let stored = ref [] in
+    let k = ref 0 in
+    let out_pos = ref 0 in
+    let p1 = ref 0 and p2 = ref 0 in
+    Coprocessor.alloc co m;
+    let flush () =
+      List.iter
+        (fun o ->
+          Coprocessor.put co Trace.Output !out_pos o;
+          incr out_pos)
+        (List.rev !stored);
+      for _ = !k to m - 1 do
+        Coprocessor.put co Trace.Output !out_pos decoy;
+        incr out_pos
+      done;
+      stored := [];
+      k := 0;
+      p1 := !p2
+    in
+    Seq.iter
+      (fun idx ->
+        incr p2;
+        let it = Instance.get_ituple inst idx in
+        if Instance.satisfy inst it then begin
+          if !k < m then begin
+            stored := Instance.join_ituple inst it :: !stored;
+            incr k
+          end
+          else blemished := true
+        end;
+        if !p2 - !p1 = n_star || !p2 = l then flush ())
+      (Mlfsr.random_order ~n:l ~seed:(Coprocessor.fresh_seed co));
+    Coprocessor.free co m;
+    let blemished = !blemished in
+    if blemished && salvage then begin
+      (* "Salvage action": fall back to Algorithm 5 to re-output every
+         result.  Correct, but the deviation itself is observable — the
+         privacy guarantee degrades exactly as the 1 − ε analysis says. *)
+      let (_ : int * int) = Algorithm5.execute inst in
+      finish { s; n_star; segments; blemished; salvaged = true }
+    end
+    else begin
+      let buffer =
+        Filter.run co ~src:Trace.Output ~src_len:(segments * m) ~mu:s ?delta
+          ~is_real:(fun o -> not (Decoy.is_decoy o))
+          ~width ()
+      in
+      Host.persist host buffer ~count:s;
+      finish { s; n_star; segments; blemished; salvaged = false }
+    end
+  end

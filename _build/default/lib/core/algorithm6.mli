@@ -1,0 +1,28 @@
+(** Algorithm 6 (§5.3.3): trading privacy preserving level for efficiency.
+
+    After a screening pass that learns [S], the iTuples are visited in an
+    MLFSR-generated random order (§5.2.3) in segments of the optimal size
+    [n*] (largest segment size whose blemish probability stays within ε,
+    Eqn. 5.6); each segment flushes exactly [M] oTuples — its [K ≤ M] real
+    results padded with decoys — and the ⌈L/n*⌉·M oTuples are obliviously
+    filtered down to [S].  With probability at most ε some segment holds
+    more than [M] results (a {e blemish}); the run then falls back to an
+    Algorithm 5-style salvage, which restores correctness but may leak —
+    the report flags it.
+
+    When [M ≥ S] the screening pass already retains everything and the
+    algorithm outputs directly at cost [L + S] (§5.3.3 footnote); when
+    [ε = 0] and [M < S], [n* = M] and the behaviour degrades gracefully
+    toward Algorithm 4's write pattern. *)
+
+type stats = {
+  s : int;
+  n_star : int;
+  segments : int;
+  blemished : bool;  (** some segment overflowed memory *)
+  salvaged : bool;  (** the Algorithm 5 fallback ran *)
+}
+
+val run : Instance.t -> eps:float -> ?delta:int -> ?salvage:bool -> unit -> Report.t * stats
+(** [salvage] (default true) controls whether a blemish triggers the
+    correctness-restoring fallback; disable it to study the leak. *)

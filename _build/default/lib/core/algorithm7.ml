@@ -1,0 +1,87 @@
+module Coprocessor = Ppj_scpu.Coprocessor
+module Host = Ppj_scpu.Host
+module Trace = Ppj_scpu.Trace
+module Value = Ppj_relation.Value
+module Tuple = Ppj_relation.Tuple
+module Decoy = Ppj_relation.Decoy
+module Sort = Ppj_oblivious.Sort
+module Filter = Ppj_oblivious.Filter
+
+type stats = { s : int; pk_violated : bool }
+
+let src_a = '\000'
+let src_b = '\001'
+
+let run inst ~attr_a ~attr_b =
+  let co = Instance.co inst in
+  let host = Coprocessor.host co in
+  let na = Instance.a_len inst and nb = Instance.b_len inst in
+  let wa = Instance.relation_width inst 0 and wb = Instance.relation_width inst 1 in
+  let w = max wa wb in
+  let slot_width = 1 + w in
+  let total = na + nb in
+  (* Build the tagged union on the host (setup-cost writes, like any other
+     staging of inputs). *)
+  let (_ : Host.t) =
+    Host.define_region host Trace.Scratch ~size:(Sort.padded_size total)
+  in
+  let pad s = s ^ String.make (w - String.length s) '\000' in
+  for i = 0 to na - 1 do
+    let e = Coprocessor.get co (Instance.region_a inst) i in
+    Coprocessor.put co Trace.Scratch i (String.make 1 src_a ^ pad e)
+  done;
+  for i = 0 to nb - 1 do
+    let e = Coprocessor.get co (Instance.region_b inst) i in
+    Coprocessor.put co Trace.Scratch (na + i) (String.make 1 src_b ^ pad e)
+  done;
+  let src slot = slot.[0] in
+  let body slot = if Char.equal (src slot) src_a then String.sub slot 1 wa else String.sub slot 1 wb in
+  let key slot =
+    if Char.equal (src slot) src_a then
+      Tuple.get (Instance.decode_a inst (body slot)) attr_a
+    else Tuple.get (Instance.decode_b inst (body slot)) attr_b
+  in
+  (* Oblivious sort by (key, source): each A tuple ends up immediately
+     before its matching B tuples. *)
+  Sort.sort_padded co Trace.Scratch ~n:total ~width:slot_width ~compare:(fun x y ->
+      let c = Value.compare (key x) (key y) in
+      if c <> 0 then c else Char.compare (src x) (src y));
+  (* One sequential pass, one A tuple resident in T. *)
+  let (_ : Host.t) = Host.define_region host Trace.Output ~size:total in
+  Coprocessor.alloc co 1;
+  let current : (Value.t * string) option ref = ref None in
+  let s = ref 0 in
+  let pk_violated = ref false in
+  let decoy = Instance.decoy inst in
+  for i = 0 to total - 1 do
+    let slot = Coprocessor.get co Trace.Scratch i in
+    Coprocessor.tick co 4;
+    let out =
+      if Char.equal (src slot) src_a then begin
+        (match !current with
+        | Some (k, _) when Value.equal k (key slot) -> pk_violated := true
+        | _ -> ());
+        current := Some (key slot, body slot);
+        decoy
+      end
+      else
+        match !current with
+        | Some (k, ea) when Value.equal k (key slot) ->
+            incr s;
+            Instance.join2 inst ea (body slot)
+        | _ -> decoy
+    in
+    Coprocessor.put co Trace.Output i out
+  done;
+  Coprocessor.free co 1;
+  let s = !s in
+  if s > 0 then begin
+    let buffer =
+      Filter.run co ~src:Trace.Output ~src_len:total ~mu:s
+        ~is_real:(fun o -> not (Decoy.is_decoy o))
+        ~width:(Instance.out_width inst) ()
+    in
+    Host.persist host buffer ~count:s
+  end;
+  ( Report.collect inst ~stats:[ ("S", float_of_int s) ] (),
+    { s; pk_violated = !pk_violated } )

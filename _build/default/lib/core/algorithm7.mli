@@ -1,0 +1,29 @@
+(** Algorithm 7 (this repo's answer to a Chapter 6 open question):
+    an exact privacy preserving {e equijoin} that never touches the
+    cartesian product.
+
+    The thesis asks (p. 74) whether specific joins — "e.g., one of the most
+    common joins, equijoins" — admit algorithms faster than the L = |A||B|
+    scans of Algorithms 4–6 under the strict Definition 3.  For
+    primary-key/foreign-key equijoins (every key appears at most once in
+    [A]) the answer is yes, by the sort-based construction later enclave
+    databases adopted: obliviously sort the union of both relations by
+    (key, source) so each [A] tuple immediately precedes its matching [B]
+    tuples, then make one sequential pass holding a single [A] tuple in
+    trusted memory, emitting a real-or-decoy oTuple per position, and
+    obliviously filter the [|A|+|B|] oTuples down to the [S] results.
+
+    Cost: (|A|+|B|) log²(|A|+|B|) + 3(|A|+|B|) + filter — versus
+    Ω(⌈S/M⌉·|A||B|) for the general algorithms.  The trace is a function
+    of (|A|, |B|, S) only, so Definition 3 holds on the PK–FK promise;
+    duplicate keys in [A] violate the promise and are detected inside [T]
+    during the pass (reported, since aborting mid-pass would itself
+    leak). *)
+
+type stats = {
+  s : int;
+  pk_violated : bool;  (** [A] contained a duplicate key: results unreliable *)
+}
+
+val run : Instance.t -> attr_a:string -> attr_b:string -> Report.t * stats
+(** @raise Invalid_argument if the instance is not binary. *)

@@ -1,0 +1,93 @@
+module Filter = Ppj_oblivious.Filter
+
+let log2f x = log x /. log 2.
+let fi = float_of_int
+
+let alg1 ~a ~b ~n =
+  let lg = log2f (fi (2 * n)) in
+  fi a +. (2. *. fi n *. fi a) +. (2. *. fi a *. fi b) +. (2. *. fi a *. fi b *. lg *. lg)
+
+let alg1_variant ~a ~b =
+  let lg = log2f (fi b) in
+  fi a +. (2. *. fi a *. fi b) +. (fi a *. fi b *. lg *. lg)
+
+let alg2 ~a ~b ~n ~m ?(delta = 0) () =
+  let gamma = fi (Params.gamma ~n ~m ~delta ()) in
+  fi a +. (fi n *. fi a) +. (gamma *. fi a *. fi b)
+
+let alg3 ~a ~b ~n ?(presorted = false) () =
+  let lg = log2f (fi b) in
+  let sort = if presorted then 0. else fi b *. lg *. lg in
+  fi a +. (fi a *. fi n) +. sort +. (3. *. fi a *. fi b)
+
+let ge w = 2 * w
+
+let sfe_bits ~b ~n ~w ?(k0 = 64) ?(k1 = 100) ?(l = 50) ?(nn = 50) () =
+  (8. *. fi l *. fi k0 *. fi b *. fi b *. fi (ge w))
+  +. (32. *. fi l *. fi k1 *. fi b *. fi w)
+  +. (2. *. fi nn *. fi l *. fi n *. fi k1 *. fi b *. fi w)
+
+let alg1_bits ~a ~b ~n ~w = fi w *. alg1 ~a ~b ~n
+
+type ch4_algorithm = A1 | A2 | A3
+
+let argmin candidates =
+  match candidates with
+  | [] -> invalid_arg "Cost.argmin"
+  | (tag0, c0) :: rest ->
+      fst
+        (List.fold_left
+           (fun (bt, bc) (t, c) -> if c < bc then (t, c) else (bt, bc))
+           (tag0, c0) rest)
+
+let general_winner ~b ~n ~m =
+  argmin [ (A1, alg1 ~a:b ~b ~n); (A2, alg2 ~a:b ~b ~n ~m ()) ]
+
+let equijoin_winner ~b ~n ~m =
+  argmin
+    [ (A1, alg1 ~a:b ~b ~n);
+      (A2, alg2 ~a:b ~b ~n ~m ());
+      (A3, alg3 ~a:b ~b ~n ())
+    ]
+
+let alg2_at_gamma ~a ~b ~n ~gamma = fi a +. (fi n *. fi a) +. (gamma *. fi a *. fi b)
+
+let n_of_alpha ~b ~alpha = max 1 (int_of_float (Float.round (alpha *. fi b)))
+
+let general_winner_at ~b ~alpha ~gamma =
+  let n = n_of_alpha ~b ~alpha in
+  argmin [ (A1, alg1 ~a:b ~b ~n); (A2, alg2_at_gamma ~a:b ~b ~n ~gamma) ]
+
+let equijoin_winner_at ~b ~alpha ~gamma =
+  let n = n_of_alpha ~b ~alpha in
+  argmin
+    [ (A1, alg1 ~a:b ~b ~n);
+      (A2, alg2_at_gamma ~a:b ~b ~n ~gamma);
+      (A3, alg3 ~a:b ~b ~n ())
+    ]
+
+let filter_cost ~omega ~mu =
+  if mu <= 0 || omega <= mu then 0.
+  else
+    let delta = Filter.optimal_delta ~mu in
+    Filter.transfers ~omega ~mu ~delta
+
+let alg4 ~l ~s = (2. *. fi l) +. filter_cost ~omega:l ~mu:s
+
+let alg5 ~l ~s ~m = fi s +. (fi (Params.scans ~s ~m) *. fi l)
+
+let alg6_given ~l ~s ~m ~n_star =
+  let segs = Params.segments ~l ~n_star in
+  let omega = segs * m in
+  (2. *. fi l) +. fi omega +. filter_cost ~omega ~mu:s
+
+let alg6 ~l ~s ~m ~eps =
+  if m >= s then fi l +. fi s
+  else
+    let n_star = Hypergeom.n_star ~l ~s ~m ~eps in
+    alg6_given ~l ~s ~m ~n_star
+
+let smc ~l ~s ?(xi1 = 67) ?(xi2 = 67) ?(k0 = 64) ?(k1 = 100) ?(w = 1) () =
+  (fi xi1 *. fi k0 *. fi l *. fi (ge w))
+  +. (32. *. fi xi1 *. fi k1 *. fi w *. sqrt (fi l))
+  +. (2. *. fi xi2 *. fi xi1 *. fi k1 *. fi s *. fi w)

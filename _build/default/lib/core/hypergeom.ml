@@ -1,0 +1,72 @@
+let pi = 4. *. atan 1.
+
+(* Lanczos approximation (g = 7, 9 coefficients), accurate to ~15 digits
+   for x >= 0.5 — we only evaluate it at integer arguments >= 1. *)
+let lgamma x =
+  if x < 0.5 then invalid_arg "Hypergeom.lgamma: x < 0.5";
+  let c =
+    [| 0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+       771.32342877765313; -176.61502916214059; 12.507343278686905;
+       -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7 |]
+  in
+  let x = x -. 1. in
+  let a = ref c.(0) in
+  let t = x +. 7.5 in
+  for i = 1 to 8 do
+    a := !a +. (c.(i) /. (x +. float_of_int i))
+  done;
+  (0.5 *. log (2. *. pi)) +. ((x +. 0.5) *. log t) -. t +. log !a
+
+let log_choose n k =
+  if k < 0 || k > n || n < 0 then neg_infinity
+  else if k = 0 || k = n then 0.
+  else
+    lgamma (float_of_int (n + 1))
+    -. lgamma (float_of_int (k + 1))
+    -. lgamma (float_of_int (n - k + 1))
+
+let log_pmf ~l ~s ~n ~k =
+  log_choose s k +. log_choose (l - s) (n - k) -. log_choose l n
+
+let pmf ~l ~s ~n ~k =
+  let lp = log_pmf ~l ~s ~n ~k in
+  if lp = neg_infinity then 0. else exp lp
+
+let sum_range ~l ~s ~n ~from ~upto =
+  (* Terms past the hypergeometric mode decay geometrically; stop once they
+     are negligible relative to the accumulated sum.  Before the mode the
+     terms grow, so early termination is only sound beyond it. *)
+  let mode = (n + 1) * (s + 1) / (l + 2) in
+  let acc = ref 0. and k = ref from and stop = ref false in
+  while (not !stop) && !k <= upto do
+    let t = pmf ~l ~s ~n ~k:!k in
+    acc := !acc +. t;
+    if !k > mode && (t = 0. || t < !acc *. 1e-18) then stop := true;
+    incr k
+  done;
+  !acc
+
+let cdf_le ~l ~s ~n ~m =
+  let lo = max 0 (n - (l - s)) in
+  sum_range ~l ~s ~n ~from:lo ~upto:(min m (min n s))
+
+let tail_gt ~l ~s ~n ~m = sum_range ~l ~s ~n ~from:(m + 1) ~upto:(min n s)
+
+let blemish_bound ~l ~s ~n ~m =
+  if n <= 0 then invalid_arg "Hypergeom.blemish_bound: n <= 0";
+  float_of_int l /. float_of_int n *. tail_gt ~l ~s ~n ~m
+
+let n_star ~l ~s ~m ~eps =
+  if m <= 0 then invalid_arg "Hypergeom.n_star: m <= 0";
+  if m >= s then l
+  else begin
+    let ok n = blemish_bound ~l ~s ~n ~m <= eps in
+    let lo = ref m and hi = ref l in
+    if ok l then lo := l
+    else
+      while !lo < !hi do
+        let mid = (!lo + !hi + 1) / 2 in
+        if ok mid then lo := mid else hi := mid - 1
+      done;
+    !lo
+  end

@@ -1,0 +1,149 @@
+module Coprocessor = Ppj_scpu.Coprocessor
+module Host = Ppj_scpu.Host
+module Trace = Ppj_scpu.Trace
+module Relation = Ppj_relation.Relation
+module Tuple = Ppj_relation.Tuple
+module Predicate = Ppj_relation.Predicate
+module Schema = Ppj_relation.Schema
+module Decoy = Ppj_relation.Decoy
+module Join = Ppj_relation.Join
+module Bitonic = Ppj_oblivious.Bitonic
+module Sort = Ppj_oblivious.Sort
+
+type t = {
+  co : Coprocessor.t;
+  predicate : Predicate.t;
+  fixed_time : bool;
+  rels : Relation.t array;
+  widths : int array;
+  sizes : int array;
+  l : int;
+  payload_width : int;
+  joined_schema : Schema.t;
+  mutable cartesian : bool;
+}
+
+let match_cycles = 4
+
+let create ?(fixed_time = true) ~m ~seed ~predicate rels =
+  if rels = [] then invalid_arg "Instance.create: no relations";
+  let host = Host.create () in
+  let co = Coprocessor.create ~host ~m ~seed in
+  let rels = Array.of_list rels in
+  let widths = Array.map (fun r -> Schema.width r.Relation.schema) rels in
+  let sizes = Array.map Relation.cardinality rels in
+  let l = Array.fold_left ( * ) 1 sizes in
+  (* Regions are padded to the next power of two so that oblivious sorting
+     of a whole relation (Algorithm 3) needs no re-allocation. *)
+  Array.iteri
+    (fun i r ->
+      let n = sizes.(i) in
+      let padded = Bitonic.next_pow2 n in
+      let slots =
+        Array.init padded (fun j ->
+            if j < n then Tuple.encode (Relation.get r j)
+            else Sort.sentinel ~width:widths.(i))
+      in
+      Coprocessor.load_region co (Trace.Table r.Relation.name) slots)
+    rels;
+  { co;
+    predicate;
+    fixed_time;
+    rels;
+    widths;
+    sizes;
+    l;
+    payload_width = Array.fold_left ( + ) 0 widths;
+    joined_schema =
+      Schema.concat_all (Array.to_list (Array.map (fun r -> r.Relation.schema) rels));
+    cartesian = false;
+  }
+
+let co t = t.co
+let predicate t = t.predicate
+let sizes t = t.sizes
+let l t = t.l
+let relation_region t i = Trace.Table t.rels.(i).Relation.name
+let relation_width t i = t.widths.(i)
+let out_width t = Decoy.otuple_width ~payload:t.payload_width
+let joined_schema t = t.joined_schema
+
+let binary t =
+  if Array.length t.rels <> 2 then invalid_arg "Instance: not a binary join"
+
+let a_len t = binary t; t.sizes.(0)
+let b_len t = binary t; t.sizes.(1)
+let region_a t = binary t; relation_region t 0
+let region_b t = binary t; relation_region t 1
+let decode_a t s = Tuple.decode t.rels.(0).Relation.schema s
+let decode_b t s = Tuple.decode t.rels.(1).Relation.schema s
+
+(* Fixed Time (§3.4.3): burn the full budget regardless of the outcome.
+   Without padding, composing and encrypting a result tuple costs extra
+   cycles only on a match — the timing side channel of §3.4.2. *)
+let charge t matched =
+  if t.fixed_time then Coprocessor.tick t.co match_cycles
+  else Coprocessor.tick t.co (1 + if matched then match_cycles else 0)
+
+let match2 t ea eb =
+  let matched = Predicate.eval t.predicate [| decode_a t ea; decode_b t eb |] in
+  charge t matched;
+  matched
+
+let join2 _t ea eb = Decoy.real (ea ^ eb)
+
+let decoy t = Decoy.decoy ~payload:t.payload_width
+
+(* iTuple idx decomposes row-major: the last relation's index varies
+   fastest (§5.2.1's logical-index convention, matching Join.multiway). *)
+let component_indices t idx =
+  let j = Array.length t.rels in
+  let out = Array.make j 0 in
+  let rem = ref idx in
+  for k = j - 1 downto 0 do
+    out.(k) <- !rem mod t.sizes.(k);
+    rem := !rem / t.sizes.(k)
+  done;
+  out
+
+let ituple_plaintext t idx =
+  let ids = component_indices t idx in
+  String.concat ""
+    (List.init (Array.length t.rels) (fun k ->
+         Tuple.encode (Relation.get t.rels.(k) ids.(k))))
+
+let ensure_cartesian t =
+  if not t.cartesian then begin
+    Coprocessor.load_region t.co Trace.Cartesian
+      (Array.init t.l (fun idx -> ituple_plaintext t idx));
+    t.cartesian <- true
+  end
+
+let get_ituple t idx = Coprocessor.get t.co Trace.Cartesian idx
+
+let decode_components t s =
+  let j = Array.length t.rels in
+  let pos = ref 0 in
+  Array.init j (fun k ->
+      let w = t.widths.(k) in
+      let part = String.sub s !pos w in
+      pos := !pos + w;
+      Tuple.decode t.rels.(k).Relation.schema part)
+
+let satisfy t s =
+  let matched = Predicate.eval t.predicate (decode_components t s) in
+  charge t matched;
+  matched
+
+let decode_ituple = decode_components
+
+let join_ituple _t s = Decoy.real s
+
+let decode_result t o = Tuple.decode t.joined_schema (Decoy.payload o)
+
+let oracle t = Join.multiway t.predicate (Array.to_list t.rels)
+let oracle_size t = Join.result_size t.predicate (Array.to_list t.rels)
+
+let max_matches t =
+  binary t;
+  Join.max_matches t.predicate t.rels.(0) t.rels.(1)

@@ -1,0 +1,94 @@
+(** A join problem instance wired to a simulated service provider.
+
+    Bundles the participating relations (loaded encrypted into host
+    regions), the coprocessor, and the agreed predicate, and provides the
+    encode/decode plumbing the algorithms share: fixed-width iTuple and
+    oTuple formats, decoys, and the virtual cartesian product [D] of
+    Chapter 5 (materialised on demand — §5.2.1 materialises it "for ease
+    of exposition" and our measured-scale runs can afford to). *)
+
+module Coprocessor = Ppj_scpu.Coprocessor
+module Trace = Ppj_scpu.Trace
+module Relation = Ppj_relation.Relation
+module Tuple = Ppj_relation.Tuple
+module Predicate = Ppj_relation.Predicate
+module Schema = Ppj_relation.Schema
+
+type t
+
+val create :
+  ?fixed_time:bool -> m:int -> seed:int -> predicate:Predicate.t -> Relation.t list -> t
+(** Sets up a host, a coprocessor with [m] tuples of free memory, and one
+    padded host region per relation.  [fixed_time] (default true) applies
+    the §3.4.3 Fixed Time principle: predicate evaluation burns the same
+    cycle budget whether or not it matches.  Setting it false simulates an
+    unpadded implementation whose match-dependent work is visible to a
+    timing adversary — the ablation the paper's principle exists to
+    forbid.  @raise Invalid_argument on an empty relation list. *)
+
+val co : t -> Coprocessor.t
+
+val predicate : t -> Predicate.t
+
+val sizes : t -> int array
+
+val l : t -> int
+(** L = |D|, the product of the relation sizes. *)
+
+val relation_region : t -> int -> Trace.region
+
+val relation_width : t -> int -> int
+(** Plaintext width of relation [i]'s encoded tuples. *)
+
+val out_width : t -> int
+(** oTuple width: decoy tag plus every relation's payload. *)
+
+val joined_schema : t -> Schema.t
+
+(* Two-way (Chapter 4) accessors; all raise if the instance is not binary. *)
+
+val a_len : t -> int
+val b_len : t -> int
+val region_a : t -> Trace.region
+val region_b : t -> Trace.region
+val decode_a : t -> string -> Tuple.t
+val decode_b : t -> string -> Tuple.t
+val match2 : t -> string -> string -> bool
+(** Evaluate the predicate on encoded A and B tuples, burning the fixed
+    §3.4.3 cycle budget whether or not they match. *)
+
+val join2 : t -> string -> string -> string
+(** Real oTuple for a matching pair. *)
+
+val decoy : t -> string
+(** The decoy oTuple of this instance's width. *)
+
+(* Chapter 5: the virtual cartesian product. *)
+
+val ensure_cartesian : t -> unit
+(** Materialise [D] as a host region of [l] slots (setup, not charged to
+    the protocol's transfer cost). *)
+
+val get_ituple : t -> int -> string
+(** Fetch iTuple [idx] through the coprocessor: one transfer, one [Read]
+    trace entry on the [Cartesian] region. *)
+
+val satisfy : t -> string -> bool
+(** Predicate on an encoded iTuple (fixed-time). *)
+
+val decode_ituple : t -> string -> Tuple.t array
+(** Component tuples of an encoded iTuple, one per relation. *)
+
+val join_ituple : t -> string -> string
+(** Real oTuple from a satisfying iTuple. *)
+
+val decode_result : t -> string -> Tuple.t
+(** Decode a real oTuple payload into a joined tuple. *)
+
+val oracle : t -> Tuple.t list
+(** Plaintext reference join (ground truth for tests). *)
+
+val oracle_size : t -> int
+
+val max_matches : t -> int
+(** Chapter 4's N for binary instances. *)

@@ -1,0 +1,26 @@
+type plan = Use_alg4 | Use_alg5 | Use_alg6 of { eps : float }
+
+let choose ~l ~s ~m ~max_eps =
+  let candidates =
+    [ (Use_alg4, Cost.alg4 ~l ~s); (Use_alg5, Cost.alg5 ~l ~s ~m) ]
+    @
+    if max_eps > 0. then [ (Use_alg6 { eps = max_eps }, Cost.alg6 ~l ~s ~m ~eps:max_eps) ]
+    else []
+  in
+  List.fold_left
+    (fun (bp, bc) (p, c) -> if c < bc then (p, c) else (bp, bc))
+    (List.hd candidates) (List.tl candidates)
+
+let choose_ch4 ~a ~b ~n ~m ~equijoin =
+  let candidates =
+    [ (Cost.A1, Cost.alg1 ~a ~b ~n); (Cost.A2, Cost.alg2 ~a ~b ~n ~m ()) ]
+    @ (if equijoin then [ (Cost.A3, Cost.alg3 ~a ~b ~n ()) ] else [])
+  in
+  List.fold_left
+    (fun (bp, bc) (p, c) -> if c < bc then (p, c) else (bp, bc))
+    (List.hd candidates) (List.tl candidates)
+
+let pp_plan ppf = function
+  | Use_alg4 -> Format.fprintf ppf "Algorithm 4"
+  | Use_alg5 -> Format.fprintf ppf "Algorithm 5"
+  | Use_alg6 { eps } -> Format.fprintf ppf "Algorithm 6 (eps = %g)" eps

@@ -1,0 +1,38 @@
+module Trace = Ppj_scpu.Trace
+
+type verdict =
+  | Indistinguishable
+  | Distinguishable of { pair : int * int; position : int; detail : string }
+
+let compare_traces traces =
+  let arr = Array.of_list traces in
+  let n = Array.length arr in
+  let verdict = ref Indistinguishable in
+  (try
+     for i = 0 to n - 2 do
+       for j = i + 1 to n - 1 do
+         match Trace.first_divergence arr.(i) arr.(j) with
+         | None -> ()
+         | Some (pos, ea, eb) ->
+             let show = function
+               | None -> "<end of trace>"
+               | Some e -> Format.asprintf "%a" Trace.pp_entry e
+             in
+             verdict :=
+               Distinguishable
+                 { pair = (i, j);
+                   position = pos;
+                   detail = Printf.sprintf "%s vs %s" (show ea) (show eb);
+                 };
+             raise Exit
+       done
+     done
+   with Exit -> ());
+  !verdict
+
+let check ~runs = compare_traces (List.map (fun f -> f ()) runs)
+
+let pp_verdict ppf = function
+  | Indistinguishable -> Format.fprintf ppf "indistinguishable"
+  | Distinguishable { pair = i, j; position; detail } ->
+      Format.fprintf ppf "traces %d and %d diverge at %d: %s" i j position detail

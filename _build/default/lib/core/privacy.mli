@@ -1,0 +1,26 @@
+(** Mechanical checking of Definitions 1 and 3.
+
+    Both definitions quantify over input databases of matched shape
+    (equal cardinalities and schemas; for Definition 3 also equal output
+    size) and demand identically distributed access traces.  All our safe
+    algorithms have {e deterministic} traces given the coprocessor seed
+    — Algorithm 6's randomness comes from its seeded MLFSR — so the check
+    is exact trace equality across inputs, with the seed held fixed. *)
+
+module Trace = Ppj_scpu.Trace
+
+type verdict =
+  | Indistinguishable
+  | Distinguishable of { pair : int * int; position : int; detail : string }
+
+val compare_traces : Trace.t list -> verdict
+(** All-pairs exact comparison; reports the first divergence found. *)
+
+val check :
+  runs:(unit -> Trace.t) list ->
+  verdict
+(** Run each thunk (each builds a fresh instance of the same shape with
+    the same coprocessor seed but different data, runs the algorithm, and
+    returns the trace) and compare. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,24 @@
+(** Execution report of one privacy preserving join run: the measured
+    quantities the paper's cost analysis predicts, plus the decoded
+    results for correctness checking. *)
+
+module Tuple = Ppj_relation.Tuple
+
+type t = {
+  transfers : int;  (** tuple transfers between T and H — the §4.3 cost unit *)
+  reads : int;
+  writes : int;
+  disk_tuples : int;  (** tuples the server wrote to disk *)
+  cycles : int;  (** fixed-time cycle counter *)
+  results : Tuple.t list;  (** recipient-decoded join results, decoys dropped *)
+  stats : (string * float) list;  (** algorithm-specific figures (γ, n*, …) *)
+}
+
+val collect : Instance.t -> ?stats:(string * float) list -> unit -> t
+(** Snapshot the instance's trace/host counters and decode the disk
+    contents as the recipient would. *)
+
+val stat : t -> string -> float
+(** @raise Not_found if the statistic is absent. *)
+
+val pp : Format.formatter -> t -> unit

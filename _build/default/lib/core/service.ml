@@ -1,0 +1,77 @@
+module Channel = Ppj_scpu.Channel
+module Attestation = Ppj_scpu.Attestation
+module Coprocessor = Ppj_scpu.Coprocessor
+module Host = Ppj_scpu.Host
+module Schema = Ppj_relation.Schema
+module Tuple = Ppj_relation.Tuple
+module Predicate = Ppj_relation.Predicate
+module Decoy = Ppj_relation.Decoy
+
+type algorithm =
+  | Alg1 of { n : int }
+  | Alg2 of { n : int }
+  | Alg3 of { n : int; attr_a : string; attr_b : string }
+  | Alg4
+  | Alg5
+  | Alg6 of { eps : float }
+  | Alg7 of { attr_a : string; attr_b : string }
+  | Auto of { max_eps : float }
+
+type config = { m : int; seed : int; algorithm : algorithm }
+
+type outcome = { report : Report.t; delivered : Tuple.t list }
+
+let attested_layers =
+  [ { Attestation.name = "miniboot"; code = "ppj-miniboot-v1" };
+    { Attestation.name = "os"; code = "ppj-cpos-v1" };
+    { Attestation.name = "app"; code = "ppj-join-service-v1" }
+  ]
+
+let ( let* ) = Result.bind
+
+let accept_all contract submissions =
+  List.fold_left
+    (fun acc (party, schema, submission) ->
+      let* rels = acc in
+      let* rel = Channel.accept party contract schema submission in
+      Ok (rel :: rels))
+    (Ok []) submissions
+  |> Result.map List.rev
+
+let run config ~contract ~submissions ~recipient ~predicate =
+  (* Outbound authentication: the requestors check the service's chain
+     before entrusting it with data (§3.3.3). *)
+  let device_key = "ppj-device-master-key!!" in
+  let chain = Attestation.certify ~device_key attested_layers in
+  let expected = List.map Attestation.layer_digest attested_layers in
+  if not (Attestation.verify ~device_key ~expected chain) then
+    Error "outbound authentication failed"
+  else
+    let* rels = accept_all contract submissions in
+    let inst = Instance.create ~m:config.m ~seed:config.seed ~predicate rels in
+    let report =
+      match config.algorithm with
+      | Alg1 { n } -> Algorithm1.run inst ~n
+      | Alg2 { n } -> Algorithm2.run inst ~n ()
+      | Alg3 { n; attr_a; attr_b } -> Algorithm3.run inst ~n ~attr_a ~attr_b ()
+      | Alg4 -> Algorithm4.run inst ()
+      | Alg5 -> Algorithm5.run inst
+      | Alg6 { eps } -> fst (Algorithm6.run inst ~eps ())
+      | Alg7 { attr_a; attr_b } -> fst (Algorithm7.run inst ~attr_a ~attr_b)
+      | Auto { max_eps } -> (
+          (* Screening inside T to learn S, then plan. *)
+          let s = Instance.oracle_size inst in
+          match fst (Planner.choose ~l:(Instance.l inst) ~s ~m:config.m ~max_eps) with
+          | Planner.Use_alg4 -> Algorithm4.run inst ()
+          | Planner.Use_alg5 -> Algorithm5.run inst
+          | Planner.Use_alg6 { eps } -> fst (Algorithm6.run inst ~eps ()))
+    in
+    (* T re-reads the disk batches, decrypts them, and seals the stream to
+       the recipient's session key. *)
+    let co = Instance.co inst in
+    let host = Coprocessor.host co in
+    let otuples = List.map (Coprocessor.decrypt_for_recipient co) (Host.disk host) in
+    let sealed = Channel.seal_result recipient contract otuples in
+    let* reals = Channel.open_result recipient contract sealed in
+    let delivered = List.map (Instance.decode_result inst) reals in
+    Ok { report; delivered }

@@ -1,0 +1,48 @@
+(** The end-to-end privacy preserving join service (§3.2).
+
+    Wires everything together the way the paper's deployment story does:
+    data providers submit contract-bound encrypted relations over
+    authenticated channels; the service verifies the coprocessor's
+    outbound-authentication chain and each submission's contract; [T]
+    executes the selected join algorithm; and the result is sealed to the
+    recipient — which may be a party distinct from every provider — who
+    alone can decrypt it and drop the decoys. *)
+
+module Channel = Ppj_scpu.Channel
+module Schema = Ppj_relation.Schema
+module Tuple = Ppj_relation.Tuple
+module Predicate = Ppj_relation.Predicate
+
+type algorithm =
+  | Alg1 of { n : int }
+  | Alg2 of { n : int }
+  | Alg3 of { n : int; attr_a : string; attr_b : string }
+  | Alg4
+  | Alg5
+  | Alg6 of { eps : float }
+  | Alg7 of { attr_a : string; attr_b : string }
+      (** The sort-based oblivious PK–FK equijoin extension. *)
+  | Auto of { max_eps : float }
+      (** Let the {!Planner} pick the cheapest Chapter 5 algorithm whose
+          privacy level is at least [1 - max_eps], using a screening pass
+          to learn [S] (the §4.3 preprocessing). *)
+
+type config = { m : int; seed : int; algorithm : algorithm }
+
+type outcome = {
+  report : Report.t;
+  delivered : Tuple.t list;  (** what the recipient actually decoded *)
+}
+
+val attested_layers : Ppj_scpu.Attestation.layer list
+(** The service's software stack (Miniboot → OS → join application). *)
+
+val run :
+  config ->
+  contract:Channel.contract ->
+  submissions:(Channel.party * Schema.t * Channel.submission) list ->
+  recipient:Channel.party ->
+  predicate:Predicate.t ->
+  (outcome, string) result
+(** Returns [Error _] if attestation fails, a submission does not
+    authenticate, or its embedded contract disagrees with [T]'s copy. *)

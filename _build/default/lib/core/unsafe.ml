@@ -1,0 +1,218 @@
+module Coprocessor = Ppj_scpu.Coprocessor
+module Host = Ppj_scpu.Host
+module Trace = Ppj_scpu.Trace
+module Value = Ppj_relation.Value
+module Tuple = Ppj_relation.Tuple
+module Decoy = Ppj_relation.Decoy
+module Sort = Ppj_oblivious.Sort
+module Shuffle = Ppj_oblivious.Shuffle
+module Prf = Ppj_crypto.Prf
+
+let naive_nested_loop inst =
+  let co = Instance.co inst in
+  let host = Coprocessor.host co in
+  let cap = Instance.a_len inst * Instance.b_len inst in
+  let (_ : Host.t) = Host.define_region host Trace.Output ~size:(max 1 cap) in
+  let pos = ref 0 in
+  for ia = 0 to Instance.a_len inst - 1 do
+    let a = Coprocessor.get co (Instance.region_a inst) ia in
+    for ib = 0 to Instance.b_len inst - 1 do
+      let b = Coprocessor.get co (Instance.region_b inst) ib in
+      if Instance.match2 inst a b then begin
+        Coprocessor.put co Trace.Output !pos (Instance.join2 inst a b);
+        incr pos
+      end
+    done
+  done;
+  Host.persist host Trace.Output ~count:!pos;
+  Report.collect inst ()
+
+let blocked_output inst =
+  let co = Instance.co inst in
+  let host = Coprocessor.host co in
+  let m = Coprocessor.m co in
+  let cap = Instance.a_len inst * Instance.b_len inst in
+  let (_ : Host.t) = Host.define_region host Trace.Output ~size:(max 1 cap) in
+  let pos = ref 0 in
+  let buffered = ref [] in
+  let count = ref 0 in
+  Coprocessor.alloc co m;
+  let flush () =
+    List.iter
+      (fun o ->
+        Coprocessor.put co Trace.Output !pos o;
+        incr pos)
+      (List.rev !buffered);
+    buffered := [];
+    count := 0
+  in
+  for ia = 0 to Instance.a_len inst - 1 do
+    let a = Coprocessor.get co (Instance.region_a inst) ia in
+    for ib = 0 to Instance.b_len inst - 1 do
+      let b = Coprocessor.get co (Instance.region_b inst) ib in
+      if Instance.match2 inst a b then begin
+        buffered := Instance.join2 inst a b :: !buffered;
+        incr count;
+        if !count = m then flush ()
+      end
+    done
+  done;
+  flush ();
+  Coprocessor.free co m;
+  Host.persist host Trace.Output ~count:!pos;
+  Report.collect inst ()
+
+let sort_merge inst ~attr_a ~attr_b =
+  let co = Instance.co inst in
+  let host = Coprocessor.host co in
+  let a_len = Instance.a_len inst and b_len = Instance.b_len inst in
+  (* Oblivious sorts are safe; the merge walk is the leak. *)
+  Sort.sort_padded co (Instance.region_a inst) ~n:a_len
+    ~width:(Instance.relation_width inst 0)
+    ~compare:(fun x y ->
+      Value.compare
+        (Tuple.get (Instance.decode_a inst x) attr_a)
+        (Tuple.get (Instance.decode_a inst y) attr_a));
+  Sort.sort_padded co (Instance.region_b inst) ~n:b_len
+    ~width:(Instance.relation_width inst 1)
+    ~compare:(fun x y ->
+      Value.compare
+        (Tuple.get (Instance.decode_b inst x) attr_b)
+        (Tuple.get (Instance.decode_b inst y) attr_b));
+  let cap = a_len * b_len in
+  let (_ : Host.t) = Host.define_region host Trace.Output ~size:(max 1 cap) in
+  let pos = ref 0 in
+  let key_a ea = Tuple.get (Instance.decode_a inst ea) attr_a in
+  let key_b eb = Tuple.get (Instance.decode_b inst eb) attr_b in
+  let ia = ref 0 and ib = ref 0 in
+  while !ia < a_len && !ib < b_len do
+    let a = Coprocessor.get co (Instance.region_a inst) !ia in
+    let b = Coprocessor.get co (Instance.region_b inst) !ib in
+    let c = Value.compare (key_a a) (key_b b) in
+    if c < 0 then incr ia
+    else if c > 0 then incr ib
+    else begin
+      (* Emit the whole run of equal B keys for this A tuple. *)
+      let jb = ref !ib in
+      let continue = ref true in
+      while !continue && !jb < b_len do
+        let b' = Coprocessor.get co (Instance.region_b inst) !jb in
+        if Value.equal (key_b b') (key_a a) then begin
+          Coprocessor.put co Trace.Output !pos (Instance.join2 inst a b');
+          incr pos;
+          incr jb
+        end
+        else continue := false
+      done;
+      incr ia
+    end
+  done;
+  Host.persist host Trace.Output ~count:!pos;
+  Report.collect inst ()
+
+let grace_hash inst ~attr_a ~attr_b ~buckets ~bucket_size =
+  let co = Instance.co inst in
+  let host = Coprocessor.host co in
+  let decoy_a = Sort.sentinel ~width:(Instance.relation_width inst 0) in
+  let decoy_b = Sort.sentinel ~width:(Instance.relation_width inst 1) in
+  let hash v = Hashtbl.hash (Value.norm v) mod buckets in
+  (* Partition one relation into host-resident buckets, flushing all
+     buckets (decoy-padded) whenever one fills — the paper's §4.5.1
+     attempt.  Returns the plaintext bucket contents for the join phase. *)
+  let partition region len decode attr decoy =
+    Shuffle.shuffle co region ~n:len ~width:(String.length decoy);
+    let fills = Array.make buckets 0 in
+    let contents = Array.make buckets [] in
+    let base b = b * bucket_size in
+    let flush_all () =
+      for b = 0 to buckets - 1 do
+        for k = fills.(b) to bucket_size - 1 do
+          Coprocessor.put co Trace.Scratch (base b + k) decoy
+        done;
+        fills.(b) <- 0
+      done
+    in
+    let (_ : Host.t) =
+      Host.define_region host Trace.Scratch ~size:(buckets * bucket_size)
+    in
+    for i = 0 to len - 1 do
+      let x = Coprocessor.get co region i in
+      let b = hash (Tuple.get (decode x) attr) in
+      Coprocessor.put co Trace.Scratch (base b + fills.(b)) x;
+      contents.(b) <- x :: contents.(b);
+      fills.(b) <- fills.(b) + 1;
+      if fills.(b) = bucket_size then flush_all ()
+    done;
+    flush_all ();
+    contents
+  in
+  let buckets_a =
+    partition (Instance.region_a inst) (Instance.a_len inst) (Instance.decode_a inst)
+      attr_a decoy_a
+  in
+  let buckets_b =
+    partition (Instance.region_b inst) (Instance.b_len inst) (Instance.decode_b inst)
+      attr_b decoy_b
+  in
+  let cap = Instance.a_len inst * Instance.b_len inst in
+  let (_ : Host.t) = Host.define_region host Trace.Output ~size:(max 1 cap) in
+  let pos = ref 0 in
+  Array.iteri
+    (fun b as_ ->
+      List.iter
+        (fun a ->
+          List.iter
+            (fun bb ->
+              if Instance.match2 inst a bb then begin
+                Coprocessor.put co Trace.Output !pos (Instance.join2 inst a bb);
+                incr pos
+              end)
+            buckets_b.(b))
+        as_)
+    buckets_a;
+  Host.persist host Trace.Output ~count:!pos;
+  Report.collect inst ()
+
+let commutative_encryption inst ~attr_a ~attr_b =
+  let co = Instance.co inst in
+  let host = Coprocessor.host co in
+  let a_len = Instance.a_len inst and b_len = Instance.b_len inst in
+  Shuffle.shuffle co (Instance.region_a inst) ~n:a_len
+    ~width:(Instance.relation_width inst 0);
+  Shuffle.shuffle co (Instance.region_b inst) ~n:b_len
+    ~width:(Instance.relation_width inst 1);
+  (* Deterministic tagging under one symmetric key: equal join keys yield
+     equal tags, so the *host* can join — and can also count duplicates. *)
+  let prf = Prf.of_seed (Coprocessor.fresh_seed co) in
+  let tag v = Ppj_crypto.Block.to_string (Prf.block_at prf (Hashtbl.hash (Value.norm v))) in
+  let (_ : Host.t) = Host.define_region host Trace.Joined ~size:(a_len + b_len) in
+  for i = 0 to a_len - 1 do
+    let a = Coprocessor.get co (Instance.region_a inst) i in
+    let tg = tag (Tuple.get (Instance.decode_a inst a) attr_a) in
+    Host.raw_set host Trace.Joined i tg;
+    Trace.record (Coprocessor.trace co) Trace.Write Trace.Joined i
+  done;
+  for i = 0 to b_len - 1 do
+    let b = Coprocessor.get co (Instance.region_b inst) i in
+    let tg = tag (Tuple.get (Instance.decode_b inst b) attr_b) in
+    Host.raw_set host Trace.Joined (a_len + i) tg;
+    Trace.record (Coprocessor.trace co) Trace.Write Trace.Joined (a_len + i)
+  done;
+  (* Host-side sort-merge on the public tags: find equal-tag pairs and
+     hand them back to T for the final join composition. *)
+  let tag_of i = Host.raw_get host Trace.Joined i in
+  let cap = a_len * b_len in
+  let (_ : Host.t) = Host.define_region host Trace.Output ~size:(max 1 cap) in
+  let pos = ref 0 in
+  for i = 0 to a_len - 1 do
+    for j = 0 to b_len - 1 do
+      if String.equal (tag_of i) (tag_of (a_len + j)) then begin
+        let a = Coprocessor.get co (Instance.region_a inst) i in
+        let b = Coprocessor.get co (Instance.region_b inst) j in
+        Coprocessor.put co Trace.Output !pos (Instance.join2 inst a b);
+        incr pos
+      end
+    done
+  done;
+  Host.persist host Trace.Output ~count:!pos;
+  Report.collect inst ()

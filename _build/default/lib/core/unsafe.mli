@@ -1,0 +1,32 @@
+(** The paper's deliberately {e unsafe} algorithms, implemented as
+    executable straw men.
+
+    §3.4 derives the design principles from a naive nested-loop adaptation
+    and an incorrect buffering fix; §4.5.1 shows that classical sort-merge
+    join, grace hash join, and commutative-encryption join all leak
+    through their access patterns even when every byte on the host is
+    encrypted.  Running these against {!Adversary} demonstrates each leak
+    concretely, and the privacy test-suite proves they violate
+    Definition 1 while Algorithms 1–6 satisfy it. *)
+
+val naive_nested_loop : Instance.t -> Report.t
+(** §3.4.1: outputs a result tuple only on a match — the write positions
+    in the trace reveal exactly which pairs joined. *)
+
+val blocked_output : Instance.t -> Report.t
+(** §3.4.2: buffers [M] results inside [T] and flushes full blocks — the
+    flush {e timing} still reveals the match distribution. *)
+
+val sort_merge : Instance.t -> attr_a:string -> attr_b:string -> Report.t
+(** §4.5.1: classical sort-merge join after oblivious sorts; the merge
+    pointers advance data-dependently, revealing per-key multiplicities. *)
+
+val grace_hash : Instance.t -> attr_a:string -> attr_b:string -> buckets:int -> bucket_size:int -> Report.t
+(** §4.5.1: grace hash join whose partitioning phase pads sibling buckets
+    with decoys whenever one fills — the number of tuples read between
+    bucket flushes still leaks the key distribution. *)
+
+val commutative_encryption : Instance.t -> attr_a:string -> attr_b:string -> Report.t
+(** §4.5.1: deterministic re-encryption of the join attribute under one
+    key so the {e host} can sort-merge ciphertexts — equal keys produce
+    equal tags, leaking the duplicate distribution. *)

@@ -1,0 +1,1 @@
+lib/crypto/group.ml: Hash Rng String

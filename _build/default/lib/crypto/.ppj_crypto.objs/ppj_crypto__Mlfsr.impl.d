@@ -1,0 +1,1 @@
+lib/crypto/mlfsr.ml: List Printf Seq

@@ -1,0 +1,1 @@
+lib/crypto/mlfsr.mli: Seq

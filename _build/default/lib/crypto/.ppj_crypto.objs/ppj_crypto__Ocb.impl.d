@@ -1,0 +1,1 @@
+lib/crypto/ocb.ml: Aes Array Block Buffer Bytes Char String

@@ -1,0 +1,1 @@
+lib/crypto/prf.ml: Aes Block Bytes Int64

@@ -1,0 +1,161 @@
+(* GF(2^8) arithmetic with the AES polynomial x^8 + x^4 + x^3 + x + 1. *)
+let gmul a b =
+  let rec go a b acc =
+    if b = 0 then acc
+    else
+      let acc = if b land 1 = 1 then acc lxor a else acc in
+      let a = if a land 0x80 <> 0 then ((a lsl 1) lxor 0x11b) land 0xff else (a lsl 1) land 0xff in
+      go a (b lsr 1) acc
+  in
+  go a b 0
+
+let rotl8 x n = ((x lsl n) lor (x lsr (8 - n))) land 0xff
+
+(* The S-box is GF(2^8) inversion followed by the affine transform; building
+   it from the definition avoids transcription errors in a 256-entry table. *)
+let sbox, inv_sbox =
+  let inv = Array.make 256 0 in
+  for a = 1 to 255 do
+    for b = 1 to 255 do
+      if gmul a b = 1 then inv.(a) <- b
+    done
+  done;
+  let s = Array.make 256 0 in
+  let si = Array.make 256 0 in
+  for x = 0 to 255 do
+    let b = inv.(x) in
+    let v = b lxor rotl8 b 1 lxor rotl8 b 2 lxor rotl8 b 3 lxor rotl8 b 4 lxor 0x63 in
+    s.(x) <- v;
+    si.(v) <- x
+  done;
+  (s, si)
+
+type key = { rounds : int; rk : int array array (* 4 words per round *) }
+
+let expand raw =
+  if String.length raw <> 16 then invalid_arg "Aes.expand: key must be 16 bytes";
+  let nk = 4 and nr = 10 in
+  let w = Array.make (4 * (nr + 1)) 0 in
+  for i = 0 to nk - 1 do
+    w.(i) <-
+      (Char.code raw.[4 * i] lsl 24)
+      lor (Char.code raw.[(4 * i) + 1] lsl 16)
+      lor (Char.code raw.[(4 * i) + 2] lsl 8)
+      lor Char.code raw.[(4 * i) + 3]
+  done;
+  let sub_word x =
+    (sbox.((x lsr 24) land 0xff) lsl 24)
+    lor (sbox.((x lsr 16) land 0xff) lsl 16)
+    lor (sbox.((x lsr 8) land 0xff) lsl 8)
+    lor sbox.(x land 0xff)
+  in
+  let rot_word x = ((x lsl 8) lor (x lsr 24)) land 0xFFFFFFFF in
+  let rcon = Array.make 11 0 in
+  let r = ref 1 in
+  for i = 1 to 10 do
+    rcon.(i) <- !r lsl 24;
+    r := if !r land 0x80 <> 0 then ((!r lsl 1) lxor 0x11b) land 0xff else (!r lsl 1) land 0xff
+  done;
+  for i = nk to (4 * (nr + 1)) - 1 do
+    let temp = w.(i - 1) in
+    let temp = if i mod nk = 0 then sub_word (rot_word temp) lxor rcon.(i / nk) else temp in
+    w.(i) <- w.(i - nk) lxor temp
+  done;
+  let rk = Array.init (nr + 1) (fun r -> Array.init 4 (fun c -> w.((4 * r) + c))) in
+  { rounds = nr; rk }
+
+(* The state is 16 bytes in input order: column c occupies bytes 4c..4c+3. *)
+
+let add_round_key st rk =
+  for c = 0 to 3 do
+    let w = rk.(c) in
+    st.(4 * c) <- st.(4 * c) lxor ((w lsr 24) land 0xff);
+    st.((4 * c) + 1) <- st.((4 * c) + 1) lxor ((w lsr 16) land 0xff);
+    st.((4 * c) + 2) <- st.((4 * c) + 2) lxor ((w lsr 8) land 0xff);
+    st.((4 * c) + 3) <- st.((4 * c) + 3) lxor (w land 0xff)
+  done
+
+let sub_bytes st box = Array.iteri (fun i v -> st.(i) <- box.(v)) st
+
+let shift_rows st =
+  let t = Array.copy st in
+  for r = 1 to 3 do
+    for c = 0 to 3 do
+      st.(r + (4 * c)) <- t.(r + (4 * ((c + r) mod 4)))
+    done
+  done
+
+let inv_shift_rows st =
+  let t = Array.copy st in
+  for r = 1 to 3 do
+    for c = 0 to 3 do
+      st.(r + (4 * ((c + r) mod 4))) <- t.(r + (4 * c))
+    done
+  done
+
+(* Precomputed GF(2^8) multiplication tables keep MixColumns off the
+   bit-serial gmul path (the coprocessor simulator encrypts every single
+   tuple transfer, so AES throughput dominates measured-run wall time). *)
+let mul_table k = Array.init 256 (fun x -> gmul x k)
+
+let t2 = mul_table 2
+let t3 = mul_table 3
+let t9 = mul_table 9
+let t11 = mul_table 11
+let t13 = mul_table 13
+let t14 = mul_table 14
+
+let mix_columns st =
+  for c = 0 to 3 do
+    let a0 = st.(4 * c) and a1 = st.((4 * c) + 1) and a2 = st.((4 * c) + 2) and a3 = st.((4 * c) + 3) in
+    st.(4 * c) <- t2.(a0) lxor t3.(a1) lxor a2 lxor a3;
+    st.((4 * c) + 1) <- a0 lxor t2.(a1) lxor t3.(a2) lxor a3;
+    st.((4 * c) + 2) <- a0 lxor a1 lxor t2.(a2) lxor t3.(a3);
+    st.((4 * c) + 3) <- t3.(a0) lxor a1 lxor a2 lxor t2.(a3)
+  done
+
+let inv_mix_columns st =
+  for c = 0 to 3 do
+    let a0 = st.(4 * c) and a1 = st.((4 * c) + 1) and a2 = st.((4 * c) + 2) and a3 = st.((4 * c) + 3) in
+    st.(4 * c) <- t14.(a0) lxor t11.(a1) lxor t13.(a2) lxor t9.(a3);
+    st.((4 * c) + 1) <- t9.(a0) lxor t14.(a1) lxor t11.(a2) lxor t13.(a3);
+    st.((4 * c) + 2) <- t13.(a0) lxor t9.(a1) lxor t14.(a2) lxor t11.(a3);
+    st.((4 * c) + 3) <- t11.(a0) lxor t13.(a1) lxor t9.(a2) lxor t14.(a3)
+  done
+
+let state_of_block b =
+  let s = Block.to_string b in
+  Array.init 16 (fun i -> Char.code s.[i])
+
+let block_of_state st =
+  let b = Bytes.create 16 in
+  Array.iteri (fun i v -> Bytes.set b i (Char.chr v)) st;
+  Block.of_bytes b
+
+let encrypt k b =
+  let st = state_of_block b in
+  add_round_key st k.rk.(0);
+  for r = 1 to k.rounds - 1 do
+    sub_bytes st sbox;
+    shift_rows st;
+    mix_columns st;
+    add_round_key st k.rk.(r)
+  done;
+  sub_bytes st sbox;
+  shift_rows st;
+  add_round_key st k.rk.(k.rounds);
+  block_of_state st
+
+let decrypt k b =
+  let st = state_of_block b in
+  add_round_key st k.rk.(k.rounds);
+  inv_shift_rows st;
+  sub_bytes st inv_sbox;
+  for r = k.rounds - 1 downto 1 do
+    add_round_key st k.rk.(r);
+    inv_mix_columns st;
+    inv_shift_rows st;
+    sub_bytes st inv_sbox
+  done;
+  add_round_key st k.rk.(0);
+  block_of_state st

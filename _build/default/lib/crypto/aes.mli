@@ -1,0 +1,19 @@
+(** AES-128 block cipher (FIPS-197), implemented from scratch.
+
+    The IBM 4758/4764 coprocessors provide a hardware block cipher; the
+    simulator uses this software AES both as the OCB tweakable core and as
+    the PRF underlying random-order generation.  The S-box is derived from
+    GF(2{^8}) inversion at initialisation time rather than pasted as a
+    table, and the implementation is validated against the FIPS-197 test
+    vectors in the test suite. *)
+
+type key
+(** Expanded AES-128 key schedule (11 round keys). *)
+
+val expand : string -> key
+(** [expand raw] expands a 16-byte raw key.  @raise Invalid_argument on a
+    wrong-sized key. *)
+
+val encrypt : key -> Block.t -> Block.t
+
+val decrypt : key -> Block.t -> Block.t

@@ -1,0 +1,68 @@
+type t = string
+
+let size = 16
+
+let zero = String.make size '\000'
+
+let of_string s =
+  if String.length s <> size then
+    invalid_arg (Printf.sprintf "Block.of_string: %d bytes" (String.length s));
+  s
+
+let to_string t = t
+let of_bytes b = of_string (Bytes.to_string b)
+let to_bytes t = Bytes.of_string t
+
+let xor a b =
+  let r = Bytes.create size in
+  for i = 0 to size - 1 do
+    Bytes.unsafe_set r i
+      (Char.chr (Char.code (String.unsafe_get a i) lxor Char.code (String.unsafe_get b i)))
+  done;
+  Bytes.unsafe_to_string r
+
+(* Reduction polynomial x^128 + x^7 + x^2 + x + 1: the carry out of the top
+   bit folds back as 0x87 into the low byte. *)
+let double a =
+  let r = Bytes.create size in
+  let carry = ref 0 in
+  for i = size - 1 downto 0 do
+    let v = (Char.code a.[i] lsl 1) lor !carry in
+    carry := (v lsr 8) land 1;
+    Bytes.set r i (Char.chr (v land 0xff))
+  done;
+  if !carry = 1 then Bytes.set r (size - 1) (Char.chr (Char.code (Bytes.get r (size - 1)) lxor 0x87));
+  Bytes.unsafe_to_string r
+
+let halve a =
+  let r = Bytes.create size in
+  let low_bit = Char.code a.[size - 1] land 1 in
+  let carry = ref 0 in
+  for i = 0 to size - 1 do
+    let v = Char.code a.[i] in
+    Bytes.set r i (Char.chr ((v lsr 1) lor (!carry lsl 7)));
+    carry := v land 1
+  done;
+  if low_bit = 1 then begin
+    (* x^-1 folds the dropped bit back as x^127 + x^6 + x + 1. *)
+    Bytes.set r 0 (Char.chr (Char.code (Bytes.get r 0) lxor 0x80));
+    Bytes.set r (size - 1) (Char.chr (Char.code (Bytes.get r (size - 1)) lxor 0x43))
+  end;
+  Bytes.unsafe_to_string r
+
+let of_int64_pair hi lo =
+  let r = Bytes.create size in
+  Bytes.set_int64_be r 0 hi;
+  Bytes.set_int64_be r 8 lo;
+  Bytes.unsafe_to_string r
+
+let of_int n = of_int64_pair 0L (Int64.of_int n)
+
+let ntz n =
+  if n <= 0 then invalid_arg "Block.ntz";
+  let rec go n acc = if n land 1 = 1 then acc else go (n lsr 1) (acc + 1) in
+  go n 0
+
+let equal = String.equal
+
+let pp ppf t = String.iter (fun c -> Format.fprintf ppf "%02x" (Char.code c)) t

@@ -1,0 +1,18 @@
+let p = 1_000_000_007
+let g = 5
+let bits = 30
+
+let mul a b = a * b mod p
+
+let rec power b e =
+  if e = 0 then 1
+  else
+    let h = power (mul b b) (e / 2) in
+    if e land 1 = 1 then mul b h else h
+
+let inv a = power a (p - 2)
+
+let random_exponent rng = 1 + Rng.int rng (p - 2)
+let random_element rng = 1 + Rng.int rng (p - 1)
+
+let key_of x = String.sub (Hash.digest ("group-elt:" ^ string_of_int x)) 0 16

@@ -1,0 +1,35 @@
+(** A toy multiplicative group for the public-key pieces of the
+    simulation: Diffie–Hellman session establishment (§3.3.3 assumes
+    authenticated DH channels, citing [12]) and the Bellare–Micali
+    oblivious transfer of the SMC baseline.
+
+    The modulus is the 30-bit prime 10⁹ + 7 so that all arithmetic stays
+    in native integers; a production deployment swaps in a 2048-bit group
+    or an elliptic curve with no change to any protocol flow or message
+    count (documented substitution — see DESIGN.md). *)
+
+val p : int
+(** Group modulus (prime). *)
+
+val g : int
+(** Generator. *)
+
+val bits : int
+(** Size of a group element in bits (for communication accounting). *)
+
+val mul : int -> int -> int
+
+val power : int -> int -> int
+(** [power b e] = b{^e} mod p. *)
+
+val inv : int -> int
+(** Multiplicative inverse via Fermat. *)
+
+val random_exponent : Rng.t -> int
+(** Uniform in [1, p − 2]. *)
+
+val random_element : Rng.t -> int
+(** Uniform in [1, p − 1]. *)
+
+val key_of : int -> string
+(** Hash a group element to a 16-byte symmetric key. *)

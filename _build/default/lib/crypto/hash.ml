@@ -1,0 +1,19 @@
+(* H_i = E_{H_{i-1}}(m_i) xor m_i over 16-byte blocks, with unambiguous
+   length padding. *)
+let digest msg =
+  let padded =
+    let pad = Block.size - (String.length msg mod Block.size) in
+    msg ^ String.make 1 '\x80'
+    ^ String.make ((pad + Block.size - 1) mod Block.size) '\000'
+    ^ Block.to_string (Block.of_int (String.length msg))
+  in
+  let h = ref Block.zero in
+  let n = String.length padded / Block.size in
+  for i = 0 to n - 1 do
+    let m = Block.of_string (String.sub padded (i * Block.size) Block.size) in
+    let k = Aes.expand (Block.to_string !h) in
+    h := Block.xor (Aes.encrypt k m) m
+  done;
+  Block.to_string !h
+
+let mac ~key msg = digest (key ^ digest (key ^ msg))

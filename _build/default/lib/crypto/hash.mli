@@ -1,0 +1,10 @@
+(** Matyas–Meyer–Oseas hash built on the AES compression function.
+
+    Used wherever the simulator needs an unkeyed digest or a MAC
+    (attestation chains, contract digests, garbled-row key derivation).
+    16-byte output. *)
+
+val digest : string -> string
+
+val mac : key:string -> string -> string
+(** HMAC-style nested construction over {!digest}. *)

@@ -1,0 +1,149 @@
+type key = {
+  aes : Aes.key;
+  l0 : Block.t; (* L = E_K(0^n) *)
+  l_inv : Block.t; (* L(-1) = L * x^-1 *)
+  mutable l_tab : Block.t array; (* L(j) = L * x^j, grown on demand *)
+  mutable f_apps : int;
+  mutable cipher_calls : int;
+}
+
+let tag_length = Block.size
+
+let key_of_string raw =
+  let aes = Aes.expand raw in
+  let l0 = Aes.encrypt aes Block.zero in
+  { aes; l0; l_inv = Block.halve l0; l_tab = [| l0 |]; f_apps = 0; cipher_calls = 1 }
+
+let f_applications k = k.f_apps
+let reset_f_applications k = k.f_apps <- 0
+let block_cipher_calls k = k.cipher_calls
+let reset_block_cipher_calls k = k.cipher_calls <- 0
+
+let enc k b =
+  k.cipher_calls <- k.cipher_calls + 1;
+  Aes.encrypt k.aes b
+
+let dec k b =
+  k.cipher_calls <- k.cipher_calls + 1;
+  Aes.decrypt k.aes b
+
+let l_at k j =
+  let n = Array.length k.l_tab in
+  if j >= n then begin
+    let tab = Array.make (j + 1) Block.zero in
+    Array.blit k.l_tab 0 tab 0 n;
+    for i = n to j do
+      tab.(i) <- Block.double tab.(i - 1)
+    done;
+    k.l_tab <- tab
+  end;
+  k.l_tab.(j)
+
+let check_nonce nonce =
+  if String.length nonce <> Block.size then invalid_arg "Ocb: nonce must be 16 bytes"
+
+(* Z[0] = R = E_K(N xor L). *)
+let z0 k nonce =
+  check_nonce nonce;
+  enc k (Block.xor (Block.of_string nonce) k.l0)
+
+let f k z i =
+  k.f_apps <- k.f_apps + 1;
+  Block.xor z (l_at k (Block.ntz i))
+
+let offset_sequential k ~nonce i =
+  if i < 1 then invalid_arg "Ocb.offset_sequential";
+  let z = ref (z0 k nonce) in
+  for j = 1 to i do
+    z := f k !z j
+  done;
+  !z
+
+(* Gray-code identity: Z[i] = R xor (xor of L(j) over set bits j of gray i). *)
+let offset_direct k ~nonce i =
+  if i < 1 then invalid_arg "Ocb.offset_direct";
+  let g = i lxor (i lsr 1) in
+  let z = ref (z0 k nonce) in
+  let j = ref 0 in
+  let g = ref g in
+  while !g <> 0 do
+    if !g land 1 = 1 then z := Block.xor !z (l_at k !j);
+    incr j;
+    g := !g lsr 1
+  done;
+  !z
+
+let blocks_of msg =
+  (* Split into m blocks where blocks 1..m-1 are full and block m has
+     1..16 bytes (or 0 bytes only when the whole message is empty). *)
+  let len = String.length msg in
+  if len = 0 then [| "" |]
+  else begin
+    let m = (len + Block.size - 1) / Block.size in
+    Array.init m (fun i ->
+        let off = i * Block.size in
+        String.sub msg off (min Block.size (len - off)))
+  end
+
+let len_block s = Block.of_int (8 * String.length s)
+
+let xor_partial full partial =
+  (* xor [partial] against the first bytes of the 16-byte string [full]. *)
+  String.init (String.length partial) (fun i ->
+      Char.chr (Char.code partial.[i] lxor Char.code (Block.to_string full).[i]))
+
+let pad_to_block s =
+  let b = Bytes.make Block.size '\000' in
+  Bytes.blit_string s 0 b 0 (String.length s);
+  Block.of_bytes b
+
+let encrypt k ~nonce msg =
+  let blocks = blocks_of msg in
+  let m = Array.length blocks in
+  let z = ref (z0 k nonce) in
+  let checksum = ref Block.zero in
+  let out = Buffer.create (String.length msg + tag_length) in
+  for i = 1 to m - 1 do
+    z := f k !z i;
+    let mi = Block.of_string blocks.(i - 1) in
+    Buffer.add_string out (Block.to_string (Block.xor (enc k (Block.xor mi !z)) !z));
+    checksum := Block.xor !checksum mi
+  done;
+  z := f k !z m;
+  let last = blocks.(m - 1) in
+  let x_m = Block.xor (Block.xor (len_block last) k.l_inv) !z in
+  let y_m = enc k x_m in
+  let c_m = xor_partial y_m last in
+  Buffer.add_string out c_m;
+  checksum := Block.xor !checksum (Block.xor (pad_to_block c_m) y_m);
+  let tag = enc k (Block.xor !checksum !z) in
+  Buffer.add_string out (Block.to_string tag);
+  Buffer.contents out
+
+let decrypt k ~nonce ct =
+  if String.length ct < tag_length then None
+  else begin
+    let body = String.sub ct 0 (String.length ct - tag_length) in
+    let tag = String.sub ct (String.length ct - tag_length) tag_length in
+    let blocks = blocks_of body in
+    let m = Array.length blocks in
+    let z = ref (z0 k nonce) in
+    let checksum = ref Block.zero in
+    let out = Buffer.create (String.length body) in
+    for i = 1 to m - 1 do
+      z := f k !z i;
+      let ci = Block.of_string blocks.(i - 1) in
+      let mi = Block.xor (dec k (Block.xor ci !z)) !z in
+      Buffer.add_string out (Block.to_string mi);
+      checksum := Block.xor !checksum mi
+    done;
+    z := f k !z m;
+    let last = blocks.(m - 1) in
+    let x_m = Block.xor (Block.xor (len_block last) k.l_inv) !z in
+    let y_m = enc k x_m in
+    let m_m = xor_partial y_m last in
+    Buffer.add_string out m_m;
+    checksum := Block.xor !checksum (Block.xor (pad_to_block last) y_m);
+    let expect = Block.to_string (enc k (Block.xor !checksum !z)) in
+    if String.equal expect tag then Some (Buffer.contents out) else None
+  end

@@ -1,0 +1,49 @@
+(** OCB authenticated encryption (Rogaway–Bellare–Black, the scheme chosen in
+    §3.3.3 of the paper).
+
+    OCB provides both privacy and authenticity with [m + 2] block-cipher
+    calls for an [m]-block message, which is why the paper prefers it over
+    XCBC and IAPM.  Offsets follow the paper's recurrence
+    [Z(0) = E_k(I xor E_k(0^n))], [Z(i) = f(Z(i-1), i)] with
+    [f(z, i) = z xor L(ntz i)]; {!offset_sequential} walks the recurrence
+    (counting [f] applications, the quantity analysed in §4.4.1 for
+    non-sequential access during oblivious sorting) and {!offset_direct}
+    computes the same offset in closed form via the Gray-code identity. *)
+
+type key
+
+val key_of_string : string -> key
+(** 16-byte raw key. *)
+
+val tag_length : int
+(** Authentication-tag length in bytes (16; the paper's first-τ-bits
+    truncation with τ = 128). *)
+
+val encrypt : key -> nonce:string -> string -> string
+(** [encrypt k ~nonce msg] returns [ciphertext ^ tag] where [ciphertext]
+    has the length of [msg].  The nonce must be 16 bytes and must be fresh
+    per message ("T generates a fresh nonce for re-encrypting output tuples
+    at each stage", §4.4.1). *)
+
+val decrypt : key -> nonce:string -> string -> string option
+(** Returns [None] if the authentication tag does not verify — the
+    tamper-detection step that reduces a malicious adversary to an
+    honest-but-curious one (§3.3.1). *)
+
+val offset_sequential : key -> nonce:string -> int -> Block.t
+(** [offset_sequential k ~nonce i] computes Z[i] (i ≥ 1) by applying
+    [f(·,·)] repeatedly from Z[0], charging {!f_applications}. *)
+
+val offset_direct : key -> nonce:string -> int -> Block.t
+(** Closed-form Z[i]; agrees with {!offset_sequential} (property-tested). *)
+
+val f_applications : key -> int
+(** Cumulative count of [f(·,·)] applications on this key, used to validate
+    the §4.4.1 extra-cost analysis of non-sequential decryption. *)
+
+val reset_f_applications : key -> unit
+
+val block_cipher_calls : key -> int
+(** Cumulative AES invocations (the paper's m + 2 per message claim). *)
+
+val reset_block_cipher_calls : key -> unit

@@ -1,0 +1,17 @@
+type t = Aes.key
+
+let create raw = Aes.expand raw
+
+let of_seed seed =
+  let b = Bytes.make 16 '\000' in
+  Bytes.set_int64_be b 0 (Int64.of_int seed);
+  Bytes.set_int64_be b 8 (Int64.lognot (Int64.of_int seed));
+  create (Bytes.to_string b)
+
+let block_at t i = Aes.encrypt t (Block.of_int i)
+
+let int_at t i =
+  let s = Block.to_string (block_at t i) in
+  Int64.to_int (Int64.shift_right_logical (Bytes.get_int64_be (Bytes.of_string s) 0) 2)
+
+let nonce_at t i = Block.to_string (block_at t i)

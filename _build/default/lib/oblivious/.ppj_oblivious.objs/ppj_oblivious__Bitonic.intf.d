@@ -1,0 +1,1 @@
+lib/oblivious/bitonic.mli:

@@ -1,0 +1,1 @@
+lib/oblivious/filter.ml: Bitonic Ppj_relation Ppj_scpu Sort Stdlib

@@ -1,0 +1,1 @@
+lib/oblivious/filter.mli: Ppj_scpu Sort

@@ -1,0 +1,1 @@
+lib/oblivious/oddeven.ml: Array List

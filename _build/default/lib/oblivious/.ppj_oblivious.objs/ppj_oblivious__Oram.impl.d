@@ -1,0 +1,1 @@
+lib/oblivious/oram.ml: Array Bitonic Bytes Float Int32 Ppj_crypto Ppj_relation Ppj_scpu Sort Stdlib String

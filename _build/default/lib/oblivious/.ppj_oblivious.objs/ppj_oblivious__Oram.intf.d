@@ -1,0 +1,1 @@
+lib/oblivious/oram.mli: Ppj_scpu

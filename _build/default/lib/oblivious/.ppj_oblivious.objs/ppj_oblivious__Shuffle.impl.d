@@ -1,0 +1,1 @@
+lib/oblivious/shuffle.ml: Bytes Int64 Ppj_crypto Ppj_scpu Sort String

@@ -1,0 +1,1 @@
+lib/oblivious/shuffle.mli: Ppj_scpu

@@ -1,0 +1,1 @@
+lib/oblivious/sort.ml: Array Bitonic Char Oddeven Ppj_scpu String

@@ -1,0 +1,1 @@
+lib/oblivious/sort.mli: Ppj_scpu

@@ -1,0 +1,78 @@
+module Coprocessor = Ppj_scpu.Coprocessor
+module Trace = Ppj_scpu.Trace
+module Host = Ppj_scpu.Host
+module Decoy = Ppj_relation.Decoy
+
+let log2f x = log x /. log 2.
+
+let comparisons ~omega ~mu ~delta =
+  if delta <= 0 then invalid_arg "Filter.comparisons: delta must be positive";
+  let om = float_of_int omega and m = float_of_int mu and d = float_of_int delta in
+  (om -. m) /. d *. ((m +. d) /. 4.) *. (log2f (m +. d) ** 2.)
+
+let transfers ~omega ~mu ~delta = 4. *. comparisons ~omega ~mu ~delta
+
+(* The argmin of C over delta does not depend on omega (§5.2.2), so any
+   omega > mu works for the scan; the optimum satisfies
+   delta/mu = log2(mu+delta)/2, i.e. delta* ~ mu log2(mu)/2, so scanning up
+   to mu * 64 covers every realistic mu. *)
+let optimal_delta ~mu =
+  if mu <= 0 then 1
+  else begin
+    let omega = (2 * mu) + 2 in
+    let best = ref 1 and best_cost = ref infinity in
+    let consider delta =
+      let c = transfers ~omega ~mu ~delta in
+      if c < !best_cost then begin
+        best_cost := c;
+        best := delta
+      end
+    in
+    (* Coarse geometric scan, then an exact scan around the coarse
+       optimum. *)
+    let delta = ref 1 in
+    let limit = max 8 (mu * 64) in
+    while !delta <= limit do
+      consider !delta;
+      delta := if !delta < 1024 then !delta + 1 else !delta + max 1 (!delta / 100)
+    done;
+    let coarse = !best in
+    for d = max 1 (coarse - (coarse / 32)) to coarse + (coarse / 32) do
+      consider d
+    done;
+    !best
+  end
+
+let run ?(network = Sort.Bitonic) co ~src ~src_len ~mu ?delta ~is_real ~width () =
+  let delta = match delta with Some d -> d | None -> optimal_delta ~mu in
+  let delta = max 1 delta in
+  let cap = mu + delta in
+  let p = Bitonic.next_pow2 cap in
+  let host = Coprocessor.host co in
+  let (_ : Host.t) = Host.define_region host Trace.Buffer ~size:p in
+  let rank a = if Sort.is_sentinel a then 2 else if is_real a then 0 else 1 in
+  let compare a b = Stdlib.compare (rank a) (rank b) in
+  let decoy = Decoy.decoy ~payload:(width - 1) in
+  let fill = min src_len cap in
+  for i = 0 to fill - 1 do
+    let x = Coprocessor.get co src i in
+    Coprocessor.put co Trace.Buffer i x
+  done;
+  for i = fill to cap - 1 do
+    Coprocessor.put co Trace.Buffer i decoy
+  done;
+  Sort.sort_padded ~network co Trace.Buffer ~n:cap ~width ~compare;
+  let pos = ref cap in
+  while !pos < src_len do
+    let d = min delta (src_len - !pos) in
+    for i = 0 to d - 1 do
+      let x = Coprocessor.get co src (!pos + i) in
+      Coprocessor.put co Trace.Buffer (mu + i) x
+    done;
+    for i = d to delta - 1 do
+      Coprocessor.put co Trace.Buffer (mu + i) decoy
+    done;
+    pos := !pos + d;
+    Sort.sort ~network co Trace.Buffer ~n:p ~compare
+  done;
+  Trace.Buffer

@@ -1,0 +1,40 @@
+(** Optimised oblivious decoy removal (§5.2.2).
+
+    To keep the [mu] real results out of a stream of [omega] oTuples, a
+    buffer of [mu + delta] elements is sorted obliviously (reals first),
+    its bottom [delta] swap-area slots are refilled from the source, and
+    the process repeats.  The paper's comparison count is
+    C = (omega - mu)/delta · (mu + delta)/4 · (log₂ (mu + delta))², with
+    element transfers 4C, and the optimal [delta*] (Eqn. 5.1) is
+    independent of [omega]. *)
+
+module Coprocessor = Ppj_scpu.Coprocessor
+module Trace = Ppj_scpu.Trace
+
+val comparisons : omega:int -> mu:int -> delta:int -> float
+(** The paper's C_(omega,mu)(delta). *)
+
+val transfers : omega:int -> mu:int -> delta:int -> float
+(** 4 · C. *)
+
+val optimal_delta : mu:int -> int
+(** Δ* of Eqn. 5.1: the first-quadrant intersection of Δ/μ with
+    ½ log₂(μ + Δ), found by integer minimisation of the transfer count
+    (the argmin is independent of ω). *)
+
+val run :
+  ?network:Sort.network ->
+  Coprocessor.t ->
+  src:Trace.region ->
+  src_len:int ->
+  mu:int ->
+  ?delta:int ->
+  is_real:(string -> bool) ->
+  width:int ->
+  unit ->
+  Trace.region
+(** Filter the [src_len]-slot source region down to its real elements,
+    assuming at most [mu] of them.  Returns the buffer region whose first
+    [mu] slots hold the reals followed by decoys.  [delta] defaults to
+    {!optimal_delta}.  [width] is the plaintext oTuple width (for
+    sentinel padding). *)

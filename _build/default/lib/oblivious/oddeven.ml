@@ -1,0 +1,44 @@
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+(* Knuth's merge exchange (TAOCP vol. 3, Algorithm 5.2.2M): p runs
+   2^(t-1), 2^(t-2), ..., 1; within each p-pass the offsets d shrink from
+   p through q - p while the phase selector r switches to p. *)
+let schedule n =
+  if not (is_pow2 n) then invalid_arg "Oddeven.schedule: length must be a power of two";
+  let out = ref [] in
+  if n > 1 then begin
+    let t =
+      let rec go k acc = if k = 1 then acc else go (k lsr 1) (acc + 1) in
+      go n 0
+    in
+    let p = ref (1 lsl (t - 1)) in
+    while !p > 0 do
+      let q = ref (1 lsl (t - 1)) and r = ref 0 and d = ref !p in
+      let continue = ref true in
+      while !continue do
+        for i = 0 to n - !d - 1 do
+          if i land !p = !r then out := (i, i + !d) :: !out
+        done;
+        if !q <> !p then begin
+          d := !q - !p;
+          q := !q / 2;
+          r := !p
+        end
+        else continue := false
+      done;
+      p := !p / 2
+    done
+  end;
+  Array.of_list (List.rev !out)
+
+let comparator_count n = Array.length (schedule n)
+
+let sort_in_place cmp a =
+  Array.iter
+    (fun (i, j) ->
+      if cmp a.(i) a.(j) > 0 then begin
+        let t = a.(i) in
+        a.(i) <- a.(j);
+        a.(j) <- t
+      end)
+    (schedule (Array.length a))

@@ -1,0 +1,19 @@
+(** Batcher's odd-even merge sorting network — an ablation alternative to
+    the paper's bitonic sort.
+
+    Both networks are data-independent (hence equally oblivious), but
+    odd-even merge uses roughly half the comparators for the same [n];
+    the paper standardises on bitonic ([7]) and Chapter 6 asks about
+    faster primitives — this module quantifies the easy win.  The bench
+    harness's ablation compares end-to-end Algorithm 4 cost under each
+    network. *)
+
+val schedule : int -> (int * int) array
+(** Compare-exchanges [(p, q)] with [p < q], meaning "ensure
+    a.(p) <= a.(q)"; executing in order sorts ascending.  [n] must be a
+    positive power of two. *)
+
+val comparator_count : int -> int
+
+val sort_in_place : ('a -> 'a -> int) -> 'a array -> unit
+(** Reference in-memory execution (power-of-two length). *)

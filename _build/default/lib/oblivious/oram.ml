@@ -1,0 +1,142 @@
+module Coprocessor = Ppj_scpu.Coprocessor
+module Host = Ppj_scpu.Host
+module Trace = Ppj_scpu.Trace
+module Prf = Ppj_crypto.Prf
+module Decoy = Ppj_relation.Decoy
+
+type t = {
+  co : Coprocessor.t;
+  n : int;
+  shelter_size : int;
+  m : int;  (* n + shelter_size dummies *)
+  half : int;  (* Feistel half-width in bits *)
+  width : int;  (* value width *)
+  prf : Prf.t;
+  mutable epoch : int;
+  mutable in_epoch : int;  (* reads since the last permutation *)
+  mutable dummies_used : int;
+}
+
+let index_width = 4
+
+let encode_entry idx value =
+  let b = Bytes.create index_width in
+  Bytes.set_int32_be b 0 (Int32.of_int idx);
+  Bytes.to_string b ^ value
+
+let entry_index s = Int32.to_int (String.get_int32_be s 0)
+let entry_value s = String.sub s index_width (String.length s - index_width)
+
+(* 4-round Feistel over 2*half bits with cycle-walking down to [0, m). *)
+let prp t ~epoch x =
+  let mask = (1 lsl t.half) - 1 in
+  let rec walk x =
+    let hi = ref (x lsr t.half) and lo = ref (x land mask) in
+    for r = 0 to 3 do
+      let point = (((epoch * 4) + r) lsl (2 * t.half)) lor !lo in
+      let f = Prf.int_at t.prf point land mask in
+      let nhi = !lo and nlo = !hi lxor f in
+      hi := nhi;
+      lo := nlo
+    done;
+    let y = (!hi lsl t.half) lor !lo in
+    if y < t.m then y else walk y
+  in
+  walk x
+
+let permute t =
+  (* Element with logical index e lands at position prp(e): ascending sort
+     by the epoch's permuted key. *)
+  let key s = prp t ~epoch:t.epoch (entry_index s) in
+  Sort.sort_padded t.co Trace.Oram_store ~n:t.m
+    ~width:(index_width + t.width)
+    ~compare:(fun a b -> Stdlib.compare (key a) (key b))
+
+let reset_shelter t =
+  for j = 0 to t.shelter_size - 1 do
+    Coprocessor.put t.co Trace.Oram_shelter j
+      (Decoy.decoy ~payload:(index_width + t.width))
+  done
+
+let create co ~values =
+  let n = Array.length values in
+  if n = 0 then invalid_arg "Oram.create: empty store";
+  let width = String.length values.(0) in
+  if Array.exists (fun v -> String.length v <> width) values then
+    invalid_arg "Oram.create: mixed value widths";
+  let shelter_size = max 1 (int_of_float (Float.ceil (sqrt (float_of_int n)))) in
+  let m = n + shelter_size in
+  let half =
+    let rec bits k acc = if 1 lsl acc >= k then acc else bits k (acc + 1) in
+    (bits m 1 + 1) / 2 |> max 1
+  in
+  (* Initial contents: the n values then shelter_size dummies, all carrying
+     their logical index. *)
+  let slots =
+    Array.init (Bitonic.next_pow2 m) (fun i ->
+        if i < n then encode_entry i values.(i)
+        else if i < m then encode_entry i (String.make width '\000')
+        else Sort.sentinel ~width:(index_width + width))
+  in
+  Coprocessor.load_region co Trace.Oram_store slots;
+  let host = Coprocessor.host co in
+  let (_ : Host.t) = Host.define_region host Trace.Oram_shelter ~size:shelter_size in
+  let t =
+    { co;
+      n;
+      shelter_size;
+      m;
+      half;
+      width;
+      prf = Prf.of_seed (Coprocessor.fresh_seed co);
+      epoch = 0;
+      in_epoch = 0;
+      dummies_used = 0;
+    }
+  in
+  permute t;
+  reset_shelter t;
+  t
+
+let read t i =
+  if i < 0 || i >= t.n then invalid_arg "Oram.read: index out of range";
+  (* Full shelter scan, every time (fixed pattern). *)
+  let found = ref None in
+  for j = 0 to t.shelter_size - 1 do
+    let slot = Coprocessor.get t.co Trace.Oram_shelter j in
+    if (not (Decoy.is_decoy slot)) && entry_index (Decoy.payload slot) = i then
+      found := Some (entry_value (Decoy.payload slot))
+  done;
+  (* One store visit: the real position on a miss, a fresh dummy on a hit. *)
+  let target =
+    match !found with
+    | None -> i
+    | Some _ ->
+        let d = t.n + t.dummies_used in
+        t.dummies_used <- t.dummies_used + 1;
+        d
+  in
+  let entry = Coprocessor.get t.co Trace.Oram_store (prp t ~epoch:t.epoch target) in
+  let value =
+    match !found with
+    | Some v -> v
+    | None ->
+        if entry_index entry <> i then failwith "Oram.read: store corrupt";
+        entry_value entry
+  in
+  (* Append to the shelter at the fixed next position. *)
+  Coprocessor.put t.co Trace.Oram_shelter t.in_epoch
+    (Decoy.real (encode_entry i value));
+  t.in_epoch <- t.in_epoch + 1;
+  if t.in_epoch = t.shelter_size then begin
+    t.epoch <- t.epoch + 1;
+    t.in_epoch <- 0;
+    t.dummies_used <- 0;
+    permute t;
+    reset_shelter t
+  end;
+  value
+
+let n t = t.n
+let shelter_size t = t.shelter_size
+let epochs t = t.epoch

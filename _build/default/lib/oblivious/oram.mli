@@ -1,0 +1,44 @@
+(** Read-only square-root ORAM (Goldreich–Ostrovsky [19]).
+
+    The paper's privacy definition descends from oblivious-RAM simulation,
+    and the natural question is why not run an ordinary join over an
+    ORAM-protected memory instead of designing bespoke algorithms.  This
+    module makes the comparison concrete: a √n-shelter ORAM whose every
+    logical read costs a full shelter scan plus one visit to a
+    pseudorandomly permuted store, with an oblivious re-permutation every
+    √n accesses.
+
+    Security shape (the classic argument): within an epoch every store
+    position is visited at most once — repeated logical indices are served
+    from the shelter while a fresh dummy is visited — so the physical
+    sequence is a uniformly random set of positions plus a fixed-pattern
+    shelter scan, independent of the logical sequence.  Unlike the join
+    algorithms' deterministic traces, this is {e distributional} privacy:
+    the tests check the structural invariants (fixed per-access pattern,
+    at-most-once store visits) rather than exact trace equality. *)
+
+module Coprocessor = Ppj_scpu.Coprocessor
+module Trace = Ppj_scpu.Trace
+
+type t
+
+val create : Coprocessor.t -> values:string array -> t
+(** Build an ORAM over [values] (logical indices [0 .. n-1]).  Defines the
+    [Oram_store] and [Oram_shelter] host regions and performs the first
+    oblivious permutation. *)
+
+val read : t -> int -> string
+(** Obliviously read logical index [i].  Costs [sqrt n + 2] transfers plus
+    an amortised re-permutation of [n + sqrt n] elements every [sqrt n]
+    reads. *)
+
+val n : t -> int
+
+val shelter_size : t -> int
+
+val epochs : t -> int
+(** Number of re-permutations performed so far. *)
+
+val prp : t -> epoch:int -> int -> int
+(** The epoch's small-domain pseudorandom permutation (4-round Feistel
+    with cycle-walking), exposed for the property tests. *)

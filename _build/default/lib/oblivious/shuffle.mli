@@ -1,0 +1,14 @@
+(** Oblivious shuffle (used by the straw-man equijoin adaptations of
+    §4.5.1, after [24]).
+
+    Each element is rewritten with a random coprocessor-chosen tag and the
+    region is bitonically sorted by tag; the resulting permutation is
+    uniform (up to PRF quality) and the access pattern is the fixed sorting
+    network, independent of both data and permutation. *)
+
+module Coprocessor = Ppj_scpu.Coprocessor
+module Trace = Ppj_scpu.Trace
+
+val shuffle : Coprocessor.t -> Trace.region -> n:int -> width:int -> unit
+(** Obliviously permute the first [n] slots (any [n]; the region must have
+    {!Sort.padded_size}[ n] slots). *)

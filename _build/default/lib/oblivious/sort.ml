@@ -1,0 +1,46 @@
+module Coprocessor = Ppj_scpu.Coprocessor
+module Trace = Ppj_scpu.Trace
+
+let sentinel ~width = String.make width '\xFF'
+
+let is_sentinel s = s <> "" && String.for_all (Char.equal '\xFF') s
+
+let with_sentinels compare a b =
+  match (is_sentinel a, is_sentinel b) with
+  | true, true -> 0
+  | true, false -> 1
+  | false, true -> -1
+  | false, false -> compare a b
+
+type network = Bitonic | Odd_even
+
+let schedule_of network n =
+  match network with Bitonic -> Bitonic.schedule n | Odd_even -> Oddeven.schedule n
+
+let sort ?(network = Bitonic) co region ~n ~compare =
+  let cmp = with_sentinels compare in
+  (* Holding the two elements of a compare-exchange is the "+2" of the
+     paper's M + 2 memory accounting; it is transient, not ledger space. *)
+  Array.iter
+    (fun (p, q) ->
+      let a = Coprocessor.get co region p in
+      let b = Coprocessor.get co region q in
+      Coprocessor.tick co 1;
+      if cmp a b > 0 then begin
+        Coprocessor.put co region p b;
+        Coprocessor.put co region q a
+      end
+      else begin
+        Coprocessor.put co region p a;
+        Coprocessor.put co region q b
+      end)
+    (schedule_of network n)
+
+let padded_size n = Bitonic.next_pow2 n
+
+let sort_padded ?(network = Bitonic) co region ~n ~width ~compare =
+  let p = Bitonic.next_pow2 n in
+  for i = n to p - 1 do
+    Coprocessor.put co region i (sentinel ~width)
+  done;
+  sort ~network co region ~n:p ~compare

@@ -1,0 +1,1 @@
+lib/parallel/parallel.ml: Array List Ppj_core Ppj_crypto Ppj_oblivious Ppj_relation Ppj_scpu Seq

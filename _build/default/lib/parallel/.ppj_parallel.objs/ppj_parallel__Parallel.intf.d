@@ -1,0 +1,1 @@
+lib/parallel/parallel.mli: Ppj_relation

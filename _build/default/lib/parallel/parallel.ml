@@ -1,0 +1,207 @@
+module Predicate = Ppj_relation.Predicate
+module Relation = Ppj_relation.Relation
+module Tuple = Ppj_relation.Tuple
+module Decoy = Ppj_relation.Decoy
+module Coprocessor = Ppj_scpu.Coprocessor
+module Host = Ppj_scpu.Host
+module Trace = Ppj_scpu.Trace
+module Filter = Ppj_oblivious.Filter
+module Mlfsr = Ppj_crypto.Mlfsr
+module Instance = Ppj_core.Instance
+module Hypergeom = Ppj_core.Hypergeom
+module Params = Ppj_core.Params
+
+type outcome = {
+  results : Tuple.t list;
+  per_co_transfers : int array;
+  speedup : float;
+}
+
+let check_p p = if p < 1 then invalid_arg "Parallel: p must be positive"
+
+(* Each logical coprocessor is an independent instance over the same
+   relations; its host holds the same (re-encrypted) data. *)
+let make_instances ~p ~m ~seed ~predicate rels =
+  Array.init p (fun k -> Instance.create ~m ~seed:(seed + (1000 * k)) ~predicate rels)
+
+let collect_results insts =
+  Array.to_list insts
+  |> List.concat_map (fun inst ->
+         let co = Instance.co inst in
+         Host.disk (Coprocessor.host co)
+         |> List.map (Coprocessor.decrypt_for_recipient co)
+         |> List.filter (fun o -> not (Decoy.is_decoy o))
+         |> List.map (Instance.decode_result inst))
+
+let outcome insts =
+  let per_co_transfers =
+    Array.map (fun inst -> Coprocessor.transfers (Instance.co inst)) insts
+  in
+  let total = Array.fold_left ( + ) 0 per_co_transfers in
+  let slowest = Array.fold_left max 1 per_co_transfers in
+  { results = collect_results insts;
+    per_co_transfers;
+    speedup = float_of_int total /. float_of_int slowest;
+  }
+
+let range_of ~l ~p k =
+  let lo = k * l / p in
+  let hi = (k + 1) * l / p in
+  (lo, hi)
+
+let alg4 ~p ~m ~seed ~predicate rels =
+  check_p p;
+  let insts = make_instances ~p ~m ~seed ~predicate rels in
+  Array.iteri
+    (fun k inst ->
+      let co = Instance.co inst in
+      let host = Coprocessor.host co in
+      Instance.ensure_cartesian inst;
+      let lo, hi = range_of ~l:(Instance.l inst) ~p k in
+      let width = Instance.out_width inst in
+      let len = max 1 (hi - lo) in
+      let (_ : Host.t) = Host.define_region host Trace.Output ~size:len in
+      let s = ref 0 in
+      for idx = lo to hi - 1 do
+        let it = Instance.get_ituple inst idx in
+        if Instance.satisfy inst it then begin
+          Coprocessor.put co Trace.Output (idx - lo) (Instance.join_ituple inst it);
+          incr s
+        end
+        else Coprocessor.put co Trace.Output (idx - lo) (Instance.decoy inst)
+      done;
+      if !s > 0 then begin
+        let buffer =
+          Filter.run co ~src:Trace.Output ~src_len:(hi - lo) ~mu:!s
+            ~is_real:(fun o -> not (Decoy.is_decoy o))
+            ~width ()
+        in
+        Host.persist host buffer ~count:!s
+      end)
+    insts;
+  outcome insts
+
+let alg5 ~p ~m ~seed ~predicate rels =
+  check_p p;
+  let insts = make_instances ~p ~m ~seed ~predicate rels in
+  (* Coordinator (coprocessor 0) screens once to learn S. *)
+  let coord = insts.(0) in
+  Instance.ensure_cartesian coord;
+  let l = Instance.l coord in
+  let s = ref 0 in
+  let co0 = Instance.co coord in
+  for idx = 0 to l - 1 do
+    let it = Instance.get_ituple coord idx in
+    if Instance.satisfy coord it then incr s
+  done;
+  let s = !s in
+  Array.iteri
+    (fun k inst ->
+      let co = Instance.co inst in
+      let host = Coprocessor.host co in
+      Instance.ensure_cartesian inst;
+      let target_lo, target_hi = (k * s / p, (k + 1) * s / p) in
+      let count = target_hi - target_lo in
+      let (_ : Host.t) = Host.define_region host Trace.Output ~size:(max 1 count) in
+      let flushed = ref 0 in
+      Coprocessor.alloc co m;
+      while !flushed < count do
+        let window_lo = target_lo + !flushed in
+        let window_hi = min target_hi (window_lo + m) in
+        let rank = ref 0 in
+        let stored = ref [] in
+        for idx = 0 to l - 1 do
+          let it = Instance.get_ituple inst idx in
+          if Instance.satisfy inst it then begin
+            if !rank >= window_lo && !rank < window_hi then
+              stored := Instance.join_ituple inst it :: !stored;
+            incr rank
+          end
+        done;
+        List.iteri
+          (fun i o -> Coprocessor.put co Trace.Output (!flushed + i) o)
+          (List.rev !stored);
+        flushed := !flushed + (window_hi - window_lo)
+      done;
+      Coprocessor.free co m;
+      Host.persist host Trace.Output ~count)
+    insts;
+  ignore co0;
+  outcome insts
+
+let alg6 ~p ~m ~seed ~eps ~predicate rels =
+  check_p p;
+  let insts = make_instances ~p ~m ~seed ~predicate rels in
+  let coord = insts.(0) in
+  Instance.ensure_cartesian coord;
+  let l = Instance.l coord in
+  (* Screening by the coordinator. *)
+  let s = ref 0 in
+  for idx = 0 to l - 1 do
+    let it = Instance.get_ituple coord idx in
+    if Instance.satisfy coord it then incr s
+  done;
+  let s = !s in
+  if s = 0 then outcome insts
+  else begin
+    let n_star = if m >= s then l else Hypergeom.n_star ~l ~s ~m ~eps in
+    let shared_seed = seed lxor 0x5bd1e995 in
+    Array.iteri
+      (fun k inst ->
+        let co = Instance.co inst in
+        let host = Coprocessor.host co in
+        Instance.ensure_cartesian inst;
+        let lo, hi = range_of ~l ~p k in
+        if hi > lo then begin
+          let my_len = hi - lo in
+          let segs = Params.segments ~l:my_len ~n_star in
+          let (_ : Host.t) = Host.define_region host Trace.Output ~size:(segs * m) in
+          let local_s = ref 0 in
+          let stored = ref [] in
+          let kk = ref 0 in
+          let out_pos = ref 0 in
+          let seen = ref 0 in
+          Coprocessor.alloc co m;
+          let flush () =
+            List.iter
+              (fun o ->
+                Coprocessor.put co Trace.Output !out_pos o;
+                incr out_pos)
+              (List.rev !stored);
+            for _ = !kk to m - 1 do
+              Coprocessor.put co Trace.Output !out_pos (Instance.decoy inst);
+              incr out_pos
+            done;
+            stored := [];
+            kk := 0
+          in
+          let pos = ref (-1) in
+          Seq.iter
+            (fun idx ->
+              incr pos;
+              (* Only this coprocessor's range of the shared sequence. *)
+              if !pos >= lo && !pos < hi then begin
+                incr seen;
+                let it = Instance.get_ituple inst idx in
+                if Instance.satisfy inst it then
+                  if !kk < m then begin
+                    stored := Instance.join_ituple inst it :: !stored;
+                    incr kk;
+                    incr local_s
+                  end;
+                if !seen mod n_star = 0 || !seen = my_len then flush ()
+              end)
+            (Mlfsr.random_order ~n:l ~seed:shared_seed);
+          Coprocessor.free co m;
+          if !local_s > 0 then begin
+            let buffer =
+              Filter.run co ~src:Trace.Output ~src_len:(segs * m) ~mu:!local_s
+                ~is_real:(fun o -> not (Decoy.is_decoy o))
+                ~width:(Instance.out_width inst) ()
+            in
+            Host.persist host buffer ~count:!local_s
+          end
+        end)
+      insts;
+    outcome insts
+  end

@@ -1,0 +1,44 @@
+(** Multi-coprocessor parallelism (§4.4.4, §5.3.5).
+
+    A host may have several secure coprocessors attached.  The simulator
+    runs [P] logical coprocessors round-robin (they are genuinely
+    independent instances, each with its own trace and memory ledger) and
+    reports the per-coprocessor transfer counts; wall-clock speedup in
+    the paper's model is [total work / max per-coprocessor work].
+
+    Partitioning schemes follow the paper: input-range partitioning for
+    Algorithm 4, a screening coordinator that assigns result-rank ranges
+    for Algorithm 5, and shared-seed MLFSR sequence ranges for
+    Algorithm 6. *)
+
+module Predicate = Ppj_relation.Predicate
+module Relation = Ppj_relation.Relation
+module Tuple = Ppj_relation.Tuple
+
+type outcome = {
+  results : Tuple.t list;  (** combined results, decoys dropped *)
+  per_co_transfers : int array;
+  speedup : float;  (** single-coprocessor transfers / max per-co transfers *)
+}
+
+val alg4 :
+  p:int -> m:int -> seed:int -> predicate:Predicate.t -> Relation.t list -> outcome
+(** Each coprocessor handles an iTuple range, writes its fixed-size oTuple
+    stream, and filters its own slice; slices concatenate. *)
+
+val alg5 :
+  p:int -> m:int -> seed:int -> predicate:Predicate.t -> Relation.t list -> outcome
+(** Coprocessor 0 screens once to learn [S], then each coprocessor
+    outputs the result ranks in its [blk = S/P] range, scanning the same
+    fixed order (linear speedup, §5.3.5). *)
+
+val alg6 :
+  p:int ->
+  m:int ->
+  seed:int ->
+  eps:float ->
+  predicate:Predicate.t ->
+  Relation.t list ->
+  outcome
+(** All coprocessors seed identical MLFSRs and each processes its range of
+    the shared random sequence in [n*]-segments. *)

@@ -1,0 +1,1 @@
+lib/relation/csv_io.ml: Array Buffer In_channel List Out_channel Printf Relation Result Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/relation/decoy.ml: Char String

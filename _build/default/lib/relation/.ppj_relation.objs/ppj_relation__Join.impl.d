@@ -1,0 +1,1 @@
+lib/relation/join.ml: Array List Predicate Relation Tuple

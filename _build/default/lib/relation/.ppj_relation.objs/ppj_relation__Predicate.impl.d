@@ -1,0 +1,1 @@
+lib/relation/predicate.ml: Array List Printf Tuple Value

@@ -1,0 +1,1 @@
+lib/relation/tuple.ml: Array Buffer Bytes Format Int32 Int64 List Printf Schema Stdlib String Value

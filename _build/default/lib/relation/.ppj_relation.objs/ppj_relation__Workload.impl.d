@@ -1,0 +1,1 @@
+lib/relation/workload.ml: Array Float List Ppj_crypto Printf Relation Schema Tuple Value

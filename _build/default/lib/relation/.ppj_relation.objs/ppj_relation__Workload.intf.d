@@ -1,0 +1,1 @@
+lib/relation/workload.mli: Ppj_crypto Relation Schema

@@ -1,0 +1,18 @@
+let tag_real = '\001'
+let tag_decoy = '\000'
+
+let otuple_width ~payload = 1 + payload
+
+let real payload = String.make 1 tag_real ^ payload
+
+let decoy ~payload = String.make 1 tag_decoy ^ String.make payload '\xFF'
+
+let is_decoy s =
+  if String.length s = 0 then invalid_arg "Decoy.is_decoy: empty oTuple";
+  Char.equal s.[0] tag_decoy
+
+let payload s =
+  if is_decoy s then invalid_arg "Decoy.payload: decoy tuple";
+  String.sub s 1 (String.length s - 1)
+
+let sort_rank s = if is_decoy s then 1 else 0

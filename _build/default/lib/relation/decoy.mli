@@ -1,0 +1,28 @@
+(** Output-tuple wire format: real results and decoys.
+
+    "Our algorithms encrypt a decoy plaintext and output it if necessary to
+    prevent information leakage.  Decoys are decrypted and filtered out by
+    the recipient.  They may take the form of a fixed string pattern"
+    (§4.3).  An oTuple is one tag byte followed by a fixed-width payload,
+    so a decoy has exactly the length of a real join result and — once
+    encrypted under a semantically secure scheme — is indistinguishable
+    from one. *)
+
+val otuple_width : payload:int -> int
+(** Width of an oTuple carrying [payload] plaintext bytes. *)
+
+val real : string -> string
+(** Wrap a real join payload. *)
+
+val decoy : payload:int -> string
+(** The fixed decoy pattern of the same total width. *)
+
+val is_decoy : string -> bool
+
+val payload : string -> string
+(** Extract the payload of a real oTuple.  @raise Invalid_argument on a
+    decoy. *)
+
+val sort_rank : string -> int
+(** 0 for a real oTuple, 1 for a decoy: the "lower priority to decoy
+    tuples" ordering used by every oblivious filtering step. *)

@@ -1,0 +1,56 @@
+let nested_loop pred a b =
+  let out = ref [] in
+  Array.iter
+    (fun ta ->
+      Array.iter
+        (fun tb -> if Predicate.eval2 pred ta tb then out := Tuple.join ta tb :: !out)
+        b.Relation.tuples)
+    a.Relation.tuples;
+  List.rev !out
+
+let cartesian_iter rels f =
+  let rels = Array.of_list rels in
+  let j = Array.length rels in
+  if j = 0 then invalid_arg "Join: no relations";
+  let sizes = Array.map Relation.cardinality rels in
+  if Array.exists (fun n -> n = 0) sizes then ()
+  else begin
+    let idx = Array.make j 0 in
+    let continue = ref true in
+    while !continue do
+      f (Array.init j (fun k -> Relation.get rels.(k) idx.(k)));
+      (* Row-major increment: last index varies fastest. *)
+      let rec bump k =
+        if k < 0 then continue := false
+        else begin
+          idx.(k) <- idx.(k) + 1;
+          if idx.(k) = sizes.(k) then begin
+            idx.(k) <- 0;
+            bump (k - 1)
+          end
+        end
+      in
+      bump (j - 1)
+    done
+  end
+
+let multiway pred rels =
+  let out = ref [] in
+  cartesian_iter rels (fun tuples ->
+      if Predicate.eval pred tuples then out := Tuple.join_all (Array.to_list tuples) :: !out);
+  List.rev !out
+
+let result_size pred rels =
+  let n = ref 0 in
+  cartesian_iter rels (fun tuples -> if Predicate.eval pred tuples then incr n);
+  !n
+
+let match_counts pred a b =
+  Array.map
+    (fun ta ->
+      Array.fold_left
+        (fun acc tb -> if Predicate.eval2 pred ta tb then acc + 1 else acc)
+        0 b.Relation.tuples)
+    a.Relation.tuples
+
+let max_matches pred a b = Array.fold_left max 0 (match_counts pred a b)

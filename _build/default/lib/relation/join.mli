@@ -1,0 +1,26 @@
+(** Plaintext join oracles.
+
+    These run with no privacy protection and serve as the ground truth
+    against which every privacy preserving algorithm's output is checked,
+    and as the source of the parameters the paper assumes known: [N] (the
+    maximum number of matches per outer tuple, Chapter 4) and [S] (the
+    join-result cardinality, Chapter 5). *)
+
+val nested_loop : Predicate.t -> Relation.t -> Relation.t -> Tuple.t list
+(** Two-way join: every pair, in (a-index, b-index) order. *)
+
+val multiway : Predicate.t -> Relation.t list -> Tuple.t list
+(** m-way join over the cartesian product, in row-major logical-index
+    order (§5.2.1). *)
+
+val result_size : Predicate.t -> Relation.t list -> int
+(** [S = |f(D)|]; the screening pass of Algorithm 6. *)
+
+val max_matches : Predicate.t -> Relation.t -> Relation.t -> int
+(** [N]: the maximum number of tuples of the inner relation matching one
+    tuple of the outer (§4.1; computed by the paper's "nested loop join
+    without outputting any result tuple" preprocessing). *)
+
+val match_counts : Predicate.t -> Relation.t -> Relation.t -> int array
+(** Per-outer-tuple match counts (the statistic a recipient of Chapter 4
+    padding could derive; used by leakage tests). *)

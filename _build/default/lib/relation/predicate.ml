@@ -1,0 +1,77 @@
+type t = { name : string; eval : Tuple.t array -> bool }
+
+let make ~name eval = { name; eval }
+let name t = t.name
+let eval t tuples = t.eval tuples
+
+let eval2 t a b = t.eval [| a; b |]
+
+let pairwise name f =
+  { name;
+    eval =
+      (fun tuples ->
+        match Array.length tuples with
+        | 0 | 1 -> invalid_arg "Predicate: need at least two tuples"
+        | n ->
+            let ok = ref true in
+            for i = 0 to n - 2 do
+              if not (f tuples.(i) tuples.(i + 1)) then ok := false
+            done;
+            !ok)
+  }
+
+let equijoin attr =
+  pairwise
+    (Printf.sprintf "eq(%s)" attr)
+    (fun a b -> Value.equal (Tuple.get a attr) (Tuple.get b attr))
+
+let equijoin2 attr_a attr_b =
+  { name = Printf.sprintf "eq(%s,%s)" attr_a attr_b;
+    eval =
+      (fun tuples ->
+        Value.equal (Tuple.get tuples.(0) attr_a) (Tuple.get tuples.(1) attr_b))
+  }
+
+let less_than attr_a attr_b =
+  { name = Printf.sprintf "lt(%s,%s)" attr_a attr_b;
+    eval =
+      (fun tuples ->
+        Value.compare (Tuple.get tuples.(0) attr_a) (Tuple.get tuples.(1) attr_b) < 0)
+  }
+
+let band attr_a attr_b ~width =
+  { name = Printf.sprintf "band(%s,%s,%d)" attr_a attr_b width;
+    eval =
+      (fun tuples ->
+        let a = Value.as_int (Tuple.get tuples.(0) attr_a) in
+        let b = Value.as_int (Tuple.get tuples.(1) attr_b) in
+        abs (a - b) <= width)
+  }
+
+let l1_within pairs ~threshold =
+  { name = Printf.sprintf "l1<%d" threshold;
+    eval =
+      (fun tuples ->
+        let total =
+          List.fold_left
+            (fun acc (fa, fb) ->
+              acc
+              + abs
+                  (Value.as_int (Tuple.get tuples.(0) fa)
+                  - Value.as_int (Tuple.get tuples.(1) fb)))
+            0 pairs
+        in
+        total < threshold)
+  }
+
+let jaccard_above attr_a attr_b ~threshold =
+  { name = Printf.sprintf "jaccard(%s,%s)>%g" attr_a attr_b threshold;
+    eval =
+      (fun tuples ->
+        Value.jaccard (Tuple.get tuples.(0) attr_a) (Tuple.get tuples.(1) attr_b)
+        > threshold)
+  }
+
+let conj a b = { name = a.name ^ " && " ^ b.name; eval = (fun ts -> a.eval ts && b.eval ts) }
+let disj a b = { name = a.name ^ " || " ^ b.name; eval = (fun ts -> a.eval ts || b.eval ts) }
+let negate a = { name = "!" ^ a.name; eval = (fun ts -> not (a.eval ts)) }

@@ -1,0 +1,46 @@
+(** Join predicates.
+
+    The paper's central claim is generality: joins with {e arbitrary}
+    predicates, not just equality (§1.1, §4.4).  A predicate here is an
+    arbitrary boolean function over one tuple from each participating
+    relation, with constructors for every predicate family the paper
+    mentions: equality, comparisons, similarity (Jaccard), and distance
+    (L1 norm / band). *)
+
+type t
+
+val make : name:string -> (Tuple.t array -> bool) -> t
+(** Arbitrary m-way predicate. *)
+
+val name : t -> string
+
+val eval : t -> Tuple.t array -> bool
+
+val eval2 : t -> Tuple.t -> Tuple.t -> bool
+(** Two-way convenience: [eval p [|a; b|]]. *)
+
+val equijoin : string -> t
+(** Equality on the named attribute of every participant. *)
+
+val equijoin2 : string -> string -> t
+(** Equality of attribute [a] of the first relation with attribute [b] of
+    the second. *)
+
+val less_than : string -> string -> t
+(** a.attr < b.attr — the paper's example of a non-equality predicate. *)
+
+val band : string -> string -> width:int -> t
+(** |a.attr - b.attr| <= width on integer attributes. *)
+
+val l1_within : (string * string) list -> threshold:int -> t
+(** L1 norm of the listed attribute pairs below a threshold (§4.6.5 uses
+    L1-norm matching as its circuit example). *)
+
+val jaccard_above : string -> string -> threshold:float -> t
+(** Jaccard coefficient > threshold on set-valued attributes (§1.1). *)
+
+val conj : t -> t -> t
+
+val disj : t -> t -> t
+
+val negate : t -> t

@@ -1,0 +1,27 @@
+type t = { name : string; schema : Schema.t; tuples : Tuple.t array }
+
+let of_array ~name schema tuples =
+  Array.iter
+    (fun (tp : Tuple.t) ->
+      if not (Schema.equal tp.Tuple.schema schema) then
+        invalid_arg (Printf.sprintf "Relation %s: tuple schema mismatch" name))
+    tuples;
+  { name; schema; tuples }
+
+let make ~name schema tuples = of_array ~name schema (Array.of_list tuples)
+
+let cardinality t = Array.length t.tuples
+let get t i = t.tuples.(i)
+let encode_all t = Array.map Tuple.encode t.tuples
+
+let sort_by attr t =
+  let tuples = Array.copy t.tuples in
+  Array.sort (Tuple.compare_by attr) tuples;
+  { t with tuples }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v2>%s %a (%d tuples)%a@]" t.name Schema.pp t.schema
+    (cardinality t)
+    (fun ppf arr ->
+      Array.iteri (fun i tp -> if i < 10 then Format.fprintf ppf "@,%a" Tuple.pp tp) arr)
+    t.tuples

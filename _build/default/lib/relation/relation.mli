@@ -1,0 +1,21 @@
+(** In-memory relations (named tables of fixed-width tuples). *)
+
+type t = { name : string; schema : Schema.t; tuples : Tuple.t array }
+
+val make : name:string -> Schema.t -> Tuple.t list -> t
+(** @raise Invalid_argument if any tuple has a different schema. *)
+
+val of_array : name:string -> Schema.t -> Tuple.t array -> t
+
+val cardinality : t -> int
+
+val get : t -> int -> Tuple.t
+
+val encode_all : t -> string array
+(** Fixed-width serialisation of every tuple, in table order. *)
+
+val sort_by : string -> t -> t
+(** Non-oblivious sort by attribute (used only by plaintext oracles and the
+    deliberately-unsafe straw-man algorithms). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+type field_ty = TInt | TStr of int | TSet of int
+
+type field = { name : string; ty : field_ty }
+
+type t = { fields : field list; width : int }
+
+let field_width = function
+  | TInt -> 8
+  | TStr w ->
+      if w <= 0 then invalid_arg "Schema: string width must be positive";
+      2 + w
+  | TSet k ->
+      if k <= 0 then invalid_arg "Schema: set capacity must be positive";
+      2 + (4 * k)
+
+let make fields =
+  if fields = [] then invalid_arg "Schema.make: empty schema";
+  let names = List.map (fun f -> f.name) fields in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    invalid_arg "Schema.make: duplicate field names";
+  { fields; width = List.fold_left (fun acc f -> acc + field_width f.ty) 0 fields }
+
+let fields t = t.fields
+let arity t = List.length t.fields
+let width t = t.width
+
+let index_of t name =
+  let rec go i = function
+    | [] -> raise Not_found
+    | f :: _ when String.equal f.name name -> i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 t.fields
+
+let rename_clashes left right =
+  let left_names = List.map (fun f -> f.name) left in
+  let rec fresh name = if List.mem name left_names then fresh (name ^ "'") else name in
+  List.map (fun f -> { f with name = fresh f.name }) right
+
+let concat a b = make (a.fields @ rename_clashes a.fields b.fields)
+
+let concat_all = function
+  | [] -> invalid_arg "Schema.concat_all: empty list"
+  | s :: rest -> List.fold_left concat s rest
+
+let equal a b = a.fields = b.fields
+
+let pp ppf t =
+  let pp_ty ppf = function
+    | TInt -> Format.fprintf ppf "int"
+    | TStr w -> Format.fprintf ppf "str[%d]" w
+    | TSet k -> Format.fprintf ppf "set[%d]" k
+  in
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun p () -> Format.fprintf p ", ")
+       (fun p f -> Format.fprintf p "%s:%a" f.name pp_ty f.ty))
+    t.fields

@@ -1,0 +1,95 @@
+type t = { schema : Schema.t; values : Value.t array }
+
+let check_value (f : Schema.field) v =
+  match (f.ty, v) with
+  | Schema.TInt, Value.Int _ -> ()
+  | Schema.TStr w, Value.Str s ->
+      if String.length s > w then
+        invalid_arg (Printf.sprintf "Tuple: field %s overflows str[%d]" f.name w)
+  | Schema.TSet k, Value.Set xs ->
+      if List.length (List.sort_uniq Stdlib.compare xs) > k then
+        invalid_arg (Printf.sprintf "Tuple: field %s overflows set[%d]" f.name k)
+  | _ -> invalid_arg (Printf.sprintf "Tuple: field %s has mismatched type" f.name)
+
+let make schema values =
+  let fields = Schema.fields schema in
+  if List.length values <> List.length fields then invalid_arg "Tuple.make: arity mismatch";
+  List.iter2 check_value fields values;
+  { schema; values = Array.of_list (List.map Value.norm values) }
+
+let get t name = t.values.(Schema.index_of t.schema name)
+
+let encode_value buf (f : Schema.field) v =
+  match (f.ty, v) with
+  | Schema.TInt, Value.Int i ->
+      let b = Bytes.create 8 in
+      Bytes.set_int64_be b 0 (Int64.of_int i);
+      Buffer.add_bytes buf b
+  | Schema.TStr w, Value.Str s ->
+      let b = Bytes.create 2 in
+      Bytes.set_uint16_be b 0 (String.length s);
+      Buffer.add_bytes buf b;
+      Buffer.add_string buf s;
+      Buffer.add_string buf (String.make (w - String.length s) '\000')
+  | Schema.TSet k, Value.Set xs ->
+      let xs = List.sort_uniq Stdlib.compare xs in
+      let b = Bytes.create 2 in
+      Bytes.set_uint16_be b 0 (List.length xs);
+      Buffer.add_bytes buf b;
+      List.iter
+        (fun x ->
+          let eb = Bytes.create 4 in
+          Bytes.set_int32_be eb 0 (Int32.of_int x);
+          Buffer.add_bytes buf eb)
+        xs;
+      Buffer.add_string buf (String.make (4 * (k - List.length xs)) '\000')
+  | _ -> assert false
+
+let encode t =
+  let buf = Buffer.create (Schema.width t.schema) in
+  List.iteri (fun i f -> encode_value buf f t.values.(i)) (Schema.fields t.schema);
+  Buffer.contents buf
+
+let decode schema s =
+  if String.length s <> Schema.width schema then
+    invalid_arg
+      (Printf.sprintf "Tuple.decode: %d bytes for width-%d schema" (String.length s)
+         (Schema.width schema));
+  let pos = ref 0 in
+  let read_bytes n =
+    let r = String.sub s !pos n in
+    pos := !pos + n;
+    r
+  in
+  let decode_field (f : Schema.field) =
+    match f.ty with
+    | Schema.TInt -> Value.Int (Int64.to_int (String.get_int64_be (read_bytes 8) 0))
+    | Schema.TStr w ->
+        let len = String.get_uint16_be (read_bytes 2) 0 in
+        if len > w then invalid_arg "Tuple.decode: corrupt string length";
+        let body = read_bytes w in
+        Value.Str (String.sub body 0 len)
+    | Schema.TSet k ->
+        let count = String.get_uint16_be (read_bytes 2) 0 in
+        if count > k then invalid_arg "Tuple.decode: corrupt set cardinality";
+        let body = read_bytes (4 * k) in
+        Value.Set
+          (List.init count (fun i -> Int32.to_int (String.get_int32_be body (4 * i))))
+  in
+  { schema; values = Array.of_list (List.map decode_field (Schema.fields schema)) }
+
+let join a b =
+  { schema = Schema.concat a.schema b.schema; values = Array.append a.values b.values }
+
+let join_all = function
+  | [] -> invalid_arg "Tuple.join_all: empty list"
+  | t :: rest -> List.fold_left join t rest
+
+let equal a b = Schema.equal a.schema b.schema && a.values = b.values
+
+let compare_by attr a b = Value.compare (get a attr) (get b attr)
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list ~pp_sep:(fun p () -> Format.fprintf p ", ") Value.pp)
+    (Array.to_list t.values)

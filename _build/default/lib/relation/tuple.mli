@@ -1,0 +1,33 @@
+(** Fixed-width tuples.
+
+    A tuple always serialises to exactly [Schema.width schema] bytes so
+    that ciphertexts on the untrusted host are indistinguishable by length
+    (the Fixed Size design principle, §3.4.3). *)
+
+type t = { schema : Schema.t; values : Value.t array }
+
+val make : Schema.t -> Value.t list -> t
+(** @raise Invalid_argument on arity mismatch or width overflow (a string
+    longer than its field, a set above its capacity). *)
+
+val get : t -> string -> Value.t
+(** Field access by name. *)
+
+val encode : t -> string
+(** Fixed-width serialisation ([Schema.width] bytes exactly). *)
+
+val decode : Schema.t -> string -> t
+(** Inverse of {!encode}.  @raise Invalid_argument on a malformed or
+    wrong-length payload. *)
+
+val join : t -> t -> t
+(** Concatenation of two tuples under [Schema.concat]. *)
+
+val join_all : t list -> t
+
+val equal : t -> t -> bool
+
+val compare_by : string -> t -> t -> int
+(** Ordering by a named attribute. *)
+
+val pp : Format.formatter -> t -> unit

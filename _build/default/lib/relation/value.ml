@@ -1,0 +1,29 @@
+type t = Int of int | Str of string | Set of int list
+
+let norm = function
+  | Set xs -> Set (List.sort_uniq Stdlib.compare xs)
+  | v -> v
+
+let equal a b = norm a = norm b
+let compare a b = Stdlib.compare (norm a) (norm b)
+
+let as_int = function Int i -> i | _ -> invalid_arg "Value.as_int"
+let as_str = function Str s -> s | _ -> invalid_arg "Value.as_str"
+let as_set = function Set s -> List.sort_uniq Stdlib.compare s | _ -> invalid_arg "Value.as_set"
+
+let jaccard a b =
+  let a = as_set a and b = as_set b in
+  match (a, b) with
+  | [], [] -> 1.
+  | _ ->
+      let module S = Set.Make (Int) in
+      let sa = S.of_list a and sb = S.of_list b in
+      let inter = S.cardinal (S.inter sa sb) in
+      let union = S.cardinal (S.union sa sb) in
+      float_of_int inter /. float_of_int union
+
+let pp ppf = function
+  | Int i -> Format.fprintf ppf "%d" i
+  | Str s -> Format.fprintf ppf "%S" s
+  | Set xs ->
+      Format.fprintf ppf "{%a}" (Format.pp_print_list ~pp_sep:(fun p () -> Format.fprintf p ",") Format.pp_print_int) xs

@@ -1,0 +1,30 @@
+(** Attribute values.
+
+    The paper's motivating predicates need integers (comparisons, L1 norm),
+    strings (profile fields) and small integer sets (Jaccard similarity on
+    set-valued attributes, §1.1). *)
+
+type t =
+  | Int of int
+  | Str of string
+  | Set of int list  (** sorted, duplicate-free; normalised by {!norm} *)
+
+val norm : t -> t
+(** Sorts and dedups [Set] payloads; identity otherwise. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val as_int : t -> int
+(** @raise Invalid_argument if not an [Int]. *)
+
+val as_str : t -> string
+
+val as_set : t -> int list
+
+val jaccard : t -> t -> float
+(** Jaccard coefficient |a ∩ b| / |a ∪ b| of two [Set] values; the empty
+    pair has coefficient 1. *)
+
+val pp : Format.formatter -> t -> unit

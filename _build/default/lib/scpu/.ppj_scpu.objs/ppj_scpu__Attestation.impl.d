@@ -1,0 +1,1 @@
+lib/scpu/attestation.ml: Ppj_crypto String

@@ -1,0 +1,1 @@
+lib/scpu/attestation.mli:

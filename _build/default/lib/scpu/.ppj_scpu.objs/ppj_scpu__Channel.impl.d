@@ -1,0 +1,1 @@
+lib/scpu/channel.ml: Array Attestation Buffer Bytes List Ppj_crypto Ppj_relation Printf String

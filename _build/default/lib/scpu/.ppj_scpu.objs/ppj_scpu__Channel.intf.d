@@ -1,0 +1,1 @@
+lib/scpu/channel.mli: Ppj_crypto Ppj_relation

@@ -1,0 +1,1 @@
+lib/scpu/coprocessor.ml: Array Format Host Ppj_crypto Printf String Trace

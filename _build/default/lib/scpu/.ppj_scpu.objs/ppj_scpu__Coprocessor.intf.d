@@ -1,0 +1,1 @@
+lib/scpu/coprocessor.mli: Host Ppj_crypto Trace

@@ -1,0 +1,1 @@
+lib/scpu/host.ml: Array Bytes Char Format List Map Stdlib Trace

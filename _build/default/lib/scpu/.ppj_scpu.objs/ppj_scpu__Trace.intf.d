@@ -1,0 +1,1 @@
+lib/scpu/trace.mli: Format

@@ -1,0 +1,32 @@
+type layer = { name : string; code : string }
+
+type certificate = { name : string; code_digest : string; mac : string }
+
+let hash = Ppj_crypto.Hash.digest
+
+let mac ~key msg = Ppj_crypto.Hash.mac ~key msg
+
+let certify ~device_key layers =
+  let rec go prev_mac = function
+    | [] -> []
+    | layer :: rest ->
+        let code_digest = hash layer.code in
+        let m = mac ~key:device_key (prev_mac ^ layer.name ^ code_digest) in
+        { name = layer.name; code_digest; mac = m } :: go m rest
+  in
+  go "" layers
+
+let verify ~device_key ~expected chain =
+  let rec go prev_mac expected chain =
+    match (expected, chain) with
+    | [], [] -> true
+    | (name, digest) :: erest, cert :: crest ->
+        String.equal cert.name name
+        && String.equal cert.code_digest digest
+        && String.equal cert.mac (mac ~key:device_key (prev_mac ^ name ^ digest))
+        && go cert.mac erest crest
+    | _ -> false
+  in
+  go "" expected chain
+
+let layer_digest (layer : layer) = (layer.name, hash layer.code)

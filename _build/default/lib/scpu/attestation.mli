@@ -1,0 +1,28 @@
+(** Outbound authentication (§2.2.2 / §3.3.3), simulated.
+
+    The IBM 4758 proves to a remote party that a specific application,
+    under a specific OS, loaded by a specific Miniboot, runs inside an
+    untampered device, via a chain of signed certificates rooted in the
+    device key.  We simulate the chain with an AES-based hash
+    (Matyas–Meyer–Oseas) and a device-keyed MAC standing in for the RSA/DSA
+    signatures: the protocol steps and failure modes are the same, only the
+    asymmetric primitive is replaced (documented substitution). *)
+
+type layer = { name : string; code : string }
+(** One software layer: Miniboot, OS, or application, with its code image. *)
+
+type certificate
+
+val hash : string -> string
+(** 16-byte Matyas–Meyer–Oseas hash (AES compression function). *)
+
+val certify : device_key:string -> layer list -> certificate list
+(** Build the chain, most-privileged layer first. *)
+
+val verify : device_key:string -> expected:(string * string) list -> certificate list -> bool
+(** [verify ~device_key ~expected chain] checks the MAC chain and that each
+    layer's code digest matches the expected [(name, code_digest)] list —
+    the relying party's known-trusted configuration. *)
+
+val layer_digest : layer -> string * string
+(** [(name, hash code)] for building [expected] lists. *)

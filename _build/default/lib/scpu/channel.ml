@@ -1,0 +1,148 @@
+module Ocb = Ppj_crypto.Ocb
+module Prf = Ppj_crypto.Prf
+module Relation = Ppj_relation.Relation
+module Schema = Ppj_relation.Schema
+module Tuple = Ppj_relation.Tuple
+module Decoy = Ppj_relation.Decoy
+
+type party = { id : string; key : Ocb.key; nonce_prf : Prf.t; mutable nonce_ctr : int }
+
+let party ~id ~secret =
+  if String.length secret <> 16 then invalid_arg "Channel.party: secret must be 16 bytes";
+  { id; key = Ocb.key_of_string secret; nonce_prf = Prf.create secret; nonce_ctr = 0 }
+
+let party_id p = p.id
+
+module Group = Ppj_crypto.Group
+module Hash = Ppj_crypto.Hash
+
+module Handshake = struct
+  type hello = { id : string; gx : int; mac : string }
+  type reply = { gy : int; mac : string }
+
+  let hello_mac ~mac_key ~id ~gx = Hash.mac ~key:mac_key (Printf.sprintf "hello|%s|%d" id gx)
+
+  let reply_mac ~mac_key ~id ~gx ~gy =
+    Hash.mac ~key:mac_key (Printf.sprintf "reply|%s|%d|%d" id gx gy)
+
+  let hello rng ~id ~mac_key =
+    let x = Group.random_exponent rng in
+    let gx = Group.power Group.g x in
+    ({ id; gx; mac = hello_mac ~mac_key ~id ~gx }, x)
+
+  let respond rng ~mac_key (h : hello) =
+    if not (String.equal h.mac (hello_mac ~mac_key ~id:h.id ~gx:h.gx)) then
+      Error "handshake: hello does not authenticate"
+    else begin
+      let y = Group.random_exponent rng in
+      let gy = Group.power Group.g y in
+      let secret = Group.key_of (Group.power h.gx y) in
+      Ok ({ gy; mac = reply_mac ~mac_key ~id:h.id ~gx:h.gx ~gy }, party ~id:h.id ~secret)
+    end
+
+  let finish ~id ~mac_key ~exponent (r : reply) =
+    let gx = Group.power Group.g exponent in
+    if not (String.equal r.mac (reply_mac ~mac_key ~id ~gx ~gy:r.gy)) then
+      Error "handshake: reply does not authenticate"
+    else Ok (party ~id ~secret:(Group.key_of (Group.power r.gy exponent)))
+
+  let corrupt_hello (h : hello) = { h with gx = Group.mul h.gx Group.g }
+end
+
+type contract = {
+  contract_id : string;
+  providers : string list;
+  recipient : string;
+  predicate : string;
+}
+
+let contract_digest c =
+  Attestation.hash
+    (String.concat "\x00" (c.contract_id :: c.predicate :: c.recipient :: c.providers))
+
+type submission = { sender : string; nonce : string; ciphertext : string }
+
+let fresh_nonce p =
+  let n = Prf.nonce_at p.nonce_prf p.nonce_ctr in
+  p.nonce_ctr <- p.nonce_ctr + 1;
+  n
+
+(* Message layout: contract digest (16) ++ concatenated fixed-width tuples. *)
+let submit p contract relation =
+  let body = Buffer.create 1024 in
+  Buffer.add_string body (contract_digest contract);
+  Array.iter (Buffer.add_string body) (Relation.encode_all relation);
+  let nonce = fresh_nonce p in
+  { sender = p.id; nonce; ciphertext = Ocb.encrypt p.key ~nonce (Buffer.contents body) }
+
+let submission_bytes s = String.length s.ciphertext + String.length s.nonce
+
+let accept p contract schema s =
+  if not (String.equal s.sender p.id) then Error "unknown sender"
+  else
+    match Ocb.decrypt p.key ~nonce:s.nonce s.ciphertext with
+    | None -> Error "authentication failure"
+    | Some body ->
+        let digest_len = 16 in
+        if String.length body < digest_len then Error "truncated submission"
+        else if not (String.equal (String.sub body 0 digest_len) (contract_digest contract))
+        then Error "contract mismatch"
+        else begin
+          let payload = String.sub body digest_len (String.length body - digest_len) in
+          let w = Schema.width schema in
+          if String.length payload mod w <> 0 then Error "ragged payload"
+          else
+            let n = String.length payload / w in
+            let tuples =
+              Array.init n (fun i -> Tuple.decode schema (String.sub payload (i * w) w))
+            in
+            Ok (Relation.of_array ~name:p.id schema tuples)
+        end
+
+let seal_result p contract otuples =
+  let body = Buffer.create 1024 in
+  Buffer.add_string body (contract_digest contract);
+  (match otuples with
+  | [] -> ()
+  | first :: _ ->
+      let w = String.length first in
+      if List.exists (fun o -> String.length o <> w) otuples then
+        invalid_arg "Channel.seal_result: mixed oTuple widths";
+      let wp = Bytes.create 2 in
+      Bytes.set_uint16_be wp 0 w;
+      Buffer.add_bytes body wp;
+      List.iter (Buffer.add_string body) otuples);
+  let nonce = fresh_nonce p in
+  nonce ^ Ocb.encrypt p.key ~nonce (Buffer.contents body)
+
+let open_result p contract msg =
+  if String.length msg < 16 then Error "truncated result"
+  else
+    let nonce = String.sub msg 0 16 in
+    let ct = String.sub msg 16 (String.length msg - 16) in
+    match Ocb.decrypt p.key ~nonce ct with
+    | None -> Error "authentication failure"
+    | Some body ->
+        if String.length body < 16 then Error "truncated result body"
+        else if not (String.equal (String.sub body 0 16) (contract_digest contract)) then
+          Error "contract mismatch"
+        else begin
+          let payload = String.sub body 16 (String.length body - 16) in
+          match String.length payload with
+          | 0 -> Ok []
+          | len -> (
+              (* The stream is width-prefixed: uint16 oTuple width, then the
+                 fixed-width oTuples back to back. *)
+              match
+                if len < 2 then None
+                else
+                  let w = String.get_uint16_be payload 0 in
+                  let rest = String.sub payload 2 (len - 2) in
+                  if w > 0 && String.length rest mod w = 0 then Some (w, rest) else None
+              with
+              | None -> Error "ragged result stream"
+              | Some (w, rest) ->
+                  let n = String.length rest / w in
+                  let all = List.init n (fun i -> String.sub rest (i * w) w) in
+                  Ok (List.filter (fun o -> not (Decoy.is_decoy o)) all))
+        end

@@ -1,0 +1,76 @@
+(** Party ↔ service sessions and digital contracts (§3.3.3).
+
+    Each data provider shares an authenticated-encryption session key with
+    [T] (the paper assumes Diffie–Hellman-style authenticated channels;
+    the simulator pre-shares keys after a successful attestation check).
+    A party prepends its relation with the contract ID and encrypts the two
+    together as one OCB message; [T] — the arbiter of the contract —
+    rejects submissions whose contract does not match its own copy. *)
+
+module Relation = Ppj_relation.Relation
+module Schema = Ppj_relation.Schema
+
+type party
+
+val party : id:string -> secret:string -> party
+(** [secret] is the 16-byte session key shared with [T]. *)
+
+val party_id : party -> string
+
+(** Authenticated Diffie–Hellman session establishment (§3.3.3 cites [12]
+    for the channels; the long-term MAC key models the identities the
+    attestation chain certifies).  The toy 30-bit group is the documented
+    {!Ppj_crypto.Group} substitution. *)
+module Handshake : sig
+  type hello
+  (** Requestor → service: identity, g{^x}, and a MAC binding both. *)
+
+  type reply
+  (** Service → requestor: g{^y} and a MAC over the whole transcript. *)
+
+  val hello : Ppj_crypto.Rng.t -> id:string -> mac_key:string -> hello * int
+  (** Returns the message and the secret exponent x to keep. *)
+
+  val respond : Ppj_crypto.Rng.t -> mac_key:string -> hello -> (reply * party, string) result
+  (** Service side: authenticate the hello, pick y, derive the session
+      key, and return the [T]-side party handle. *)
+
+  val finish : id:string -> mac_key:string -> exponent:int -> reply -> (party, string) result
+  (** Requestor side: authenticate the reply and derive the same key. *)
+
+  val corrupt_hello : hello -> hello
+  (** Flip a bit of the offered public value (for tamper tests). *)
+end
+
+type contract = {
+  contract_id : string;
+  providers : string list;  (** party ids supplying relations *)
+  recipient : string;  (** id of the result recipient, possibly distinct *)
+  predicate : string;  (** agreed predicate, by name *)
+}
+
+val contract_digest : contract -> string
+
+type submission
+(** An encrypted relation in transit to the service. *)
+
+val submit : party -> contract -> Relation.t -> submission
+
+val submission_bytes : submission -> int
+(** Wire size, for accounting. *)
+
+val accept :
+  party ->
+  contract ->
+  Schema.t ->
+  submission ->
+  (Relation.t, string) result
+(** [T]-side: authenticate, decrypt, check the embedded contract digest,
+    and re-materialise the relation.  [party] names whose session key to
+    use.  Returns [Error _] on tampering or contract mismatch. *)
+
+val seal_result : party -> contract -> string list -> string
+(** Encrypt the result oTuples to the recipient as one message. *)
+
+val open_result : party -> contract -> string -> (string list, string) result
+(** Recipient-side: decrypt, verify, split into oTuples, and drop decoys. *)

@@ -1,0 +1,88 @@
+module Rng = Ppj_crypto.Rng
+module Ocb = Ppj_crypto.Ocb
+module Prf = Ppj_crypto.Prf
+
+exception Tamper_detected of string
+exception Memory_exceeded of string
+
+type t = {
+  host : Host.t;
+  trace : Trace.t;
+  key : Ocb.key;
+  nonce_prf : Prf.t;
+  mutable nonce_ctr : int;
+  m : int;
+  mutable mem_in_use : int;
+  rng : Rng.t;
+  mutable cycles : int;
+}
+
+let create ~host ~m ~seed =
+  let rng = Rng.create seed in
+  let key_rng = Rng.split rng "storage-key" in
+  { host;
+    trace = Trace.create ();
+    key = Ocb.key_of_string (Rng.bytes key_rng 16);
+    nonce_prf = Prf.of_seed (Rng.int (Rng.split rng "nonce") max_int);
+    nonce_ctr = 0;
+    m;
+    mem_in_use = 0;
+    rng = Rng.split rng "internal";
+    cycles = 0;
+  }
+
+let host t = t.host
+let trace t = t.trace
+let m t = t.m
+
+let nonce_size = 16
+
+let seal t plaintext =
+  let nonce = Prf.nonce_at t.nonce_prf t.nonce_ctr in
+  t.nonce_ctr <- t.nonce_ctr + 1;
+  nonce ^ Ocb.encrypt t.key ~nonce plaintext
+
+let open_sealed t ciphertext ~context =
+  if String.length ciphertext < nonce_size + Ocb.tag_length then
+    raise (Tamper_detected (context ^ ": truncated ciphertext"));
+  let nonce = String.sub ciphertext 0 nonce_size in
+  let body = String.sub ciphertext nonce_size (String.length ciphertext - nonce_size) in
+  match Ocb.decrypt t.key ~nonce body with
+  | Some plaintext -> plaintext
+  | None -> raise (Tamper_detected context)
+
+let get t region index =
+  Trace.record t.trace Trace.Read region index;
+  let c = Host.raw_get t.host region index in
+  open_sealed t c ~context:(Format.asprintf "%a" Trace.pp_entry { Trace.op = Read; region; index })
+
+let put t region index plaintext =
+  Trace.record t.trace Trace.Write region index;
+  Host.raw_set t.host region index (seal t plaintext)
+
+let load_region t region tuples =
+  let (_ : Host.t) = Host.define_region t.host region ~size:(Array.length tuples) in
+  Array.iteri (fun i p -> Host.raw_set t.host region i (seal t p)) tuples
+
+let transfers t = Trace.length t.trace
+
+let alloc t n =
+  if t.mem_in_use + n > t.m then
+    raise
+      (Memory_exceeded
+         (Printf.sprintf "alloc %d with %d/%d in use" n t.mem_in_use t.m));
+  t.mem_in_use <- t.mem_in_use + n
+
+let free t n =
+  if n > t.mem_in_use then invalid_arg "Coprocessor.free: ledger underflow";
+  t.mem_in_use <- t.mem_in_use - n
+
+let mem_in_use t = t.mem_in_use
+
+let rng t = t.rng
+let fresh_seed t = Rng.int t.rng 0x3FFFFFFF
+
+let tick t n = t.cycles <- t.cycles + n
+let cycles t = t.cycles
+
+let decrypt_for_recipient t ciphertext = open_sealed t ciphertext ~context:"recipient"

@@ -1,0 +1,68 @@
+(** The secure coprocessor [T].
+
+    The simulator gives [T] exactly the powers the paper assumes and no
+    more: a small private memory (enforced by an explicit ledger — a
+    faithful algorithm must never retain more than [M] tuples), a block
+    cipher, and [get]/[put] primitives that move one encrypted tuple at a
+    time between [T] and the host while appending to the observable
+    {!Trace.t}.  Every [get] decrypts and authenticates; every [put]
+    re-encrypts under a fresh nonce, so two encryptions of the same tuple
+    are indistinguishable (semantic security, §4.3). *)
+
+type t
+
+exception Tamper_detected of string
+(** Raised when authenticated decryption fails; the paper's [T] terminates
+    the computation immediately (§3.3.1). *)
+
+exception Memory_exceeded of string
+(** Raised when an algorithm tries to retain more than [M] tuples. *)
+
+val create : host:Host.t -> m:int -> seed:int -> t
+(** [m] is the free memory in tuples (the paper's [M]). *)
+
+val host : t -> Host.t
+
+val trace : t -> Trace.t
+
+val m : t -> int
+
+val get : t -> Trace.region -> int -> string
+(** Fetch, authenticate and decrypt one tuple; records a [Read] and counts
+    one transfer. *)
+
+val put : t -> Trace.region -> int -> string -> unit
+(** Encrypt under a fresh nonce and store; records a [Write] and counts
+    one transfer. *)
+
+val load_region : t -> Trace.region -> string array -> unit
+(** Pre-protocol setup: define a host region holding the given plaintext
+    tuples encrypted for [T].  Models the data providers' submissions
+    (which the paper does not charge to the join's transfer cost). *)
+
+val transfers : t -> int
+(** Total tuple transfers so far — the paper's cost unit (§4.3). *)
+
+val alloc : t -> int -> unit
+(** Claim ledger space for tuples retained in [T]'s memory. *)
+
+val free : t -> int -> unit
+
+val mem_in_use : t -> int
+
+val rng : t -> Ppj_crypto.Rng.t
+(** [T]-internal randomness (nonces, shuffle tags, MLFSR seeds). *)
+
+val fresh_seed : t -> int
+
+val tick : t -> int -> unit
+(** Burn a fixed number of cycles — the §3.4.3 Fixed Time principle's
+    padding hook.  The cycle count must end up a function of input sizes
+    only; tests assert this. *)
+
+val cycles : t -> int
+
+val decrypt_for_recipient : t -> string -> string
+(** Recipient-side decryption of one disk ciphertext (the simulator uses
+    [T]'s storage key as the session key with the recipient).
+    @raise Tamper_detected on authentication failure. *)

@@ -1,0 +1,49 @@
+module Region_map = Map.Make (struct
+  type t = Trace.region
+
+  let compare = Stdlib.compare
+end)
+
+type t = {
+  mutable regions : string option array Region_map.t;
+  mutable disk : string list;  (* reversed *)
+  mutable disk_tuples : int;
+}
+
+let create () = { regions = Region_map.empty; disk = []; disk_tuples = 0 }
+
+let define_region t region ~size =
+  t.regions <- Region_map.add region (Array.make size None) t.regions;
+  t
+
+let slots t region =
+  match Region_map.find_opt region t.regions with
+  | Some a -> a
+  | None -> invalid_arg "Host: undefined region"
+
+let region_size t region = Array.length (slots t region)
+
+let raw_get t region i =
+  match (slots t region).(i) with
+  | Some c -> c
+  | None ->
+      invalid_arg
+        (Format.asprintf "Host: empty slot %a" Trace.pp_entry
+           { Trace.op = Read; region; index = i })
+
+let raw_set t region i c = (slots t region).(i) <- Some c
+
+let tamper t region i ~byte =
+  let c = Bytes.of_string (raw_get t region i) in
+  let pos = byte mod Bytes.length c in
+  Bytes.set c pos (Char.chr (Char.code (Bytes.get c pos) lxor 0x01));
+  raw_set t region i (Bytes.to_string c)
+
+let persist t region ~count =
+  for i = 0 to count - 1 do
+    t.disk <- raw_get t region i :: t.disk
+  done;
+  t.disk_tuples <- t.disk_tuples + count
+
+let disk t = List.rev t.disk
+let disk_writes t = t.disk_tuples

@@ -1,0 +1,37 @@
+(** The untrusted host [H].
+
+    [H] is a general-purpose machine providing memory and disk to the
+    coprocessor (§3.2).  Everything it stores is ciphertext; an
+    honest-but-curious host observes contents and access order, a
+    malicious one may also {!tamper} — which the coprocessor's
+    authenticated encryption must detect (§3.3.1). *)
+
+type t
+
+val create : unit -> t
+
+val define_region : t -> Trace.region -> size:int -> t
+(** Allocate a region of [size] ciphertext slots.  Redefining a region
+    replaces it. *)
+
+val region_size : t -> Trace.region -> int
+
+val raw_get : t -> Trace.region -> int -> string
+(** Ciphertext at a slot, as the adversary sees it.
+    @raise Invalid_argument on an undefined slot. *)
+
+val raw_set : t -> Trace.region -> int -> string -> unit
+
+val tamper : t -> Trace.region -> int -> byte:int -> unit
+(** Malicious-host bit flip in a stored ciphertext. *)
+
+val persist : t -> Trace.region -> count:int -> unit
+(** "Request H to write the first [count] slots to disk" — a host-side
+    copy, so it costs no T↔H transfers (the paper reports disk writes
+    separately from the transfer complexity). *)
+
+val disk : t -> string list
+(** Ciphertext tuples on disk, in write order. *)
+
+val disk_writes : t -> int
+(** Number of tuples written to disk. *)

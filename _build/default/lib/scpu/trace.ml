@@ -1,0 +1,81 @@
+type op = Read | Write
+
+type region =
+  | Table of string
+  | Cartesian
+  | Scratch
+  | Joined
+  | Buffer
+  | Output
+  | Oram_store
+  | Oram_shelter
+  | Disk
+
+type entry = { op : op; region : region; index : int }
+
+type t = { mutable entries : entry array; mutable len : int }
+
+let create () = { entries = Array.make 1024 { op = Read; region = Disk; index = 0 }; len = 0 }
+
+let record t op region index =
+  if t.len = Array.length t.entries then begin
+    let bigger = Array.make (2 * t.len) t.entries.(0) in
+    Array.blit t.entries 0 bigger 0 t.len;
+    t.entries <- bigger
+  end;
+  t.entries.(t.len) <- { op; region; index };
+  t.len <- t.len + 1
+
+let length t = t.len
+
+let to_list t = Array.to_list (Array.sub t.entries 0 t.len)
+
+let count p t =
+  let n = ref 0 in
+  for i = 0 to t.len - 1 do
+    if p t.entries.(i) then incr n
+  done;
+  !n
+
+let reads = count (fun e -> e.op = Read)
+let writes = count (fun e -> e.op = Write)
+let transfers_to_region t r = count (fun e -> e.region = r) t
+
+let equal a b =
+  a.len = b.len
+  &&
+  let rec go i = i = a.len || (a.entries.(i) = b.entries.(i) && go (i + 1)) in
+  go 0
+
+let first_divergence a b =
+  let n = max a.len b.len in
+  let rec go i =
+    if i = n then None
+    else
+      let ea = if i < a.len then Some a.entries.(i) else None in
+      let eb = if i < b.len then Some b.entries.(i) else None in
+      if ea = eb then go (i + 1) else Some (i, ea, eb)
+  in
+  go 0
+
+let pp_region ppf = function
+  | Table s -> Format.fprintf ppf "T:%s" s
+  | Cartesian -> Format.fprintf ppf "D"
+  | Scratch -> Format.fprintf ppf "scratch"
+  | Joined -> Format.fprintf ppf "joined"
+  | Buffer -> Format.fprintf ppf "buffer"
+  | Output -> Format.fprintf ppf "out"
+  | Oram_store -> Format.fprintf ppf "oram"
+  | Oram_shelter -> Format.fprintf ppf "shelter"
+  | Disk -> Format.fprintf ppf "disk"
+
+let pp_entry ppf e =
+  Format.fprintf ppf "%c %a[%d]" (match e.op with Read -> 'R' | Write -> 'W') pp_region e.region e.index
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>trace(%d entries)" t.len;
+  for i = 0 to min (t.len - 1) 39 do
+    Format.fprintf ppf "@,%a" pp_entry t.entries.(i)
+  done;
+  if t.len > 40 then Format.fprintf ppf "@,...";
+  Format.fprintf ppf "@]"

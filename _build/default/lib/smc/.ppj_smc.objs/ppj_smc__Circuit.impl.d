@@ -1,0 +1,1 @@
+lib/smc/circuit.ml: Array List Option

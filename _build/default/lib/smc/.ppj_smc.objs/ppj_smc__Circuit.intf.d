@@ -1,0 +1,1 @@
+lib/smc/circuit.mli:

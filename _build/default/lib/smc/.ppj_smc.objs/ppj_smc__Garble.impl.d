@@ -1,0 +1,1 @@
+lib/smc/garble.ml: Array Bool Bytes Char Circuit List Ppj_crypto String

@@ -1,0 +1,1 @@
+lib/smc/garble.mli: Circuit Ppj_crypto

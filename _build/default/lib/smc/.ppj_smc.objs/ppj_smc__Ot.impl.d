@@ -1,0 +1,1 @@
+lib/smc/ot.ml: Ppj_crypto

@@ -1,0 +1,1 @@
+lib/smc/ot.mli: Ppj_crypto

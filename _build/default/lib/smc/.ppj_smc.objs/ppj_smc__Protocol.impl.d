@@ -1,0 +1,1 @@
+lib/smc/protocol.ml: Array Circuit Garble List Ot Ppj_crypto

@@ -1,0 +1,1 @@
+lib/smc/protocol.mli: Circuit

@@ -1,0 +1,110 @@
+type gate = Xor of int * int | And of int * int
+
+type t = {
+  inputs_a : int;
+  inputs_b : int;
+  gates : gate array;
+  output : int;
+}
+
+let build ~inputs_a ~inputs_b f =
+  let gates, output = f 0 inputs_a in
+  let gates = Array.of_list gates in
+  let wire_count = inputs_a + inputs_b + 1 + Array.length gates in
+  Array.iteri
+    (fun i g ->
+      let wire = inputs_a + inputs_b + 1 + i in
+      let check x =
+        if x < 0 || x >= wire then invalid_arg "Circuit.build: forward wire reference"
+      in
+      match g with Xor (x, y) | And (x, y) -> check x; check y)
+    gates;
+  if output < 0 || output >= wire_count then invalid_arg "Circuit.build: bad output wire";
+  { inputs_a; inputs_b; gates; output }
+
+let inputs_a t = t.inputs_a
+let inputs_b t = t.inputs_b
+let const_wire t = t.inputs_a + t.inputs_b
+let gates t = t.gates
+let output t = t.output
+let wire_count t = t.inputs_a + t.inputs_b + 1 + Array.length t.gates
+
+let and_count t =
+  Array.fold_left (fun acc -> function And _ -> acc + 1 | Xor _ -> acc) 0 t.gates
+
+let eval t a b =
+  if Array.length a <> t.inputs_a || Array.length b <> t.inputs_b then
+    invalid_arg "Circuit.eval: input arity";
+  let w = Array.make (wire_count t) false in
+  Array.blit a 0 w 0 t.inputs_a;
+  Array.blit b 0 w t.inputs_a t.inputs_b;
+  w.(const_wire t) <- true;
+  Array.iteri
+    (fun i g ->
+      let dst = t.inputs_a + t.inputs_b + 1 + i in
+      w.(dst) <-
+        (match g with Xor (x, y) -> w.(x) <> w.(y) | And (x, y) -> w.(x) && w.(y)))
+    t.gates;
+  w.(t.output)
+
+(* A small gate-list builder: emits gates and tracks fresh wire ids. *)
+module B = struct
+  type state = { mutable rev : gate list; mutable next : int }
+
+  let create first_fresh = { rev = []; next = first_fresh }
+
+  let emit st g =
+    st.rev <- g :: st.rev;
+    let w = st.next in
+    st.next <- st.next + 1;
+    w
+
+  let finish st out = (List.rev st.rev, out)
+end
+
+let equality ~width =
+  build ~inputs_a:width ~inputs_b:width (fun a_base b_base ->
+      let const_true = 2 * width in
+      let st = B.create (const_true + 1) in
+      (* eq_i = a_i xor b_i xor 1; conjunction by a balanced AND tree. *)
+      let eqs =
+        List.init width (fun i ->
+            let x = B.emit st (Xor (a_base + i, b_base + i)) in
+            B.emit st (Xor (x, const_true)))
+      in
+      let rec tree = function
+        | [] -> const_true
+        | [ w ] -> w
+        | ws ->
+            let rec pair = function
+              | x :: y :: rest -> B.emit st (And (x, y)) :: pair rest
+              | [ x ] -> [ x ]
+              | [] -> []
+            in
+            tree (pair ws)
+      in
+      B.finish st (tree eqs))
+
+(* Ripple comparator, little-endian: lt_i = (~a_i & b_i) | (eq_i & lt_{i-1}),
+   expressed with AND/XOR only via x | y = x xor y xor (x & y). *)
+let less_than ~width =
+  build ~inputs_a:width ~inputs_b:width (fun a_base b_base ->
+      let const_true = 2 * width in
+      let st = B.create (const_true + 1) in
+      let lt = ref None in
+      for i = 0 to width - 1 do
+        let na = B.emit st (Xor (a_base + i, const_true)) in
+        let na_and_b = B.emit st (And (na, b_base + i)) in
+        let x = B.emit st (Xor (a_base + i, b_base + i)) in
+        let eq = B.emit st (Xor (x, const_true)) in
+        match !lt with
+        | None -> lt := Some na_and_b
+        | Some prev ->
+            let carry = B.emit st (And (eq, prev)) in
+            let both = B.emit st (And (na_and_b, carry)) in
+            let x1 = B.emit st (Xor (na_and_b, carry)) in
+            lt := Some (B.emit st (Xor (x1, both)))
+      done;
+      B.finish st (Option.get !lt))
+
+let bits_of_int ~width v = Array.init width (fun i -> (v lsr i) land 1 = 1)

@@ -1,0 +1,39 @@
+(** Boolean circuits for the secure-function-evaluation baseline.
+
+    The paper compares its coprocessor algorithms against generic SMC
+    ([32, 34]): a join becomes |A|·|B| secure evaluations of a matching
+    circuit.  Wires are numbered: A's inputs first, then B's, then one
+    constant-true wire, then one wire per gate. *)
+
+type gate =
+  | Xor of int * int
+  | And of int * int
+
+type t
+
+val build : inputs_a:int -> inputs_b:int -> (int -> int -> (gate list * int)) -> t
+(** [build ~inputs_a ~inputs_b f] where [f a_base b_base] returns the gate
+    list (in topological order) and the output wire id.  The constant-true
+    wire id is [inputs_a + inputs_b]. *)
+
+val inputs_a : t -> int
+val inputs_b : t -> int
+val const_wire : t -> int
+val gates : t -> gate array
+val output : t -> int
+val wire_count : t -> int
+val and_count : t -> int
+(** AND gates are the expensive ones (XOR is free under free-XOR). *)
+
+val eval : t -> bool array -> bool array -> bool
+(** Plain (insecure) evaluation, for testing the garbling. *)
+
+val equality : width:int -> t
+(** [a = b] over two [width]-bit unsigned inputs. *)
+
+val less_than : width:int -> t
+(** [a < b] over two [width]-bit unsigned inputs — the paper's example of
+    an arbitrary (non-equality) predicate. *)
+
+val bits_of_int : width:int -> int -> bool array
+(** Little-endian bit decomposition. *)

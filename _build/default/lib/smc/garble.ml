@@ -1,0 +1,94 @@
+module Block = Ppj_crypto.Block
+module Rng = Ppj_crypto.Rng
+module Hash = Ppj_crypto.Hash
+
+type label = Block.t
+
+type garbled = {
+  circuit : Circuit.t;
+  label0 : label array;  (** false-label of every wire *)
+  offset : label;  (** global free-XOR offset R, lsb = 1 *)
+  tables : label array array;  (** 4 rows per AND gate, [] for XOR *)
+  out_permute : bool;  (** permute bit of the output wire *)
+}
+
+let lsb l = Char.code (Block.to_string l).[Block.size - 1] land 1 = 1
+
+let label_of0 label0 offset b = if b then Block.xor offset label0 else label0
+
+let hash2 la lb gate_id =
+  Block.of_string
+    (String.sub
+       (Hash.digest (Block.to_string la ^ Block.to_string lb ^ string_of_int gate_id))
+       0 Block.size)
+
+let random_block rng = Block.of_string (Rng.bytes rng Block.size)
+
+let garble rng circuit =
+  let offset =
+    let b = Bytes.of_string (Block.to_string (random_block rng)) in
+    Bytes.set b (Block.size - 1) (Char.chr (Char.code (Bytes.get b (Block.size - 1)) lor 1));
+    Block.of_bytes b
+  in
+  let n = Circuit.wire_count circuit in
+  let label0 = Array.make n Block.zero in
+  let first_gate = Circuit.inputs_a circuit + Circuit.inputs_b circuit + 1 in
+  for w = 0 to first_gate - 1 do
+    label0.(w) <- random_block rng
+  done;
+  let tables =
+    Array.mapi
+      (fun i g ->
+        let dst = first_gate + i in
+        match g with
+        | Circuit.Xor (x, y) ->
+            label0.(dst) <- Block.xor label0.(x) label0.(y);
+            [||]
+        | Circuit.And (x, y) ->
+            label0.(dst) <- random_block rng;
+            let rows = Array.make 4 Block.zero in
+            List.iter
+              (fun (va, vb) ->
+                let la = label_of0 label0.(x) offset va in
+                let lb = label_of0 label0.(y) offset vb in
+                let row = (2 * Bool.to_int (lsb la)) + Bool.to_int (lsb lb) in
+                let out = label_of0 label0.(dst) offset (va && vb) in
+                rows.(row) <- Block.xor (hash2 la lb dst) out)
+              [ (false, false); (false, true); (true, false); (true, true) ];
+            rows)
+      (Circuit.gates circuit)
+  in
+  { circuit; label0; offset; tables; out_permute = lsb label0.(Circuit.output circuit) }
+
+let input_labels_a g bits =
+  if Array.length bits <> Circuit.inputs_a g.circuit then
+    invalid_arg "Garble.input_labels_a: arity";
+  Array.mapi (fun i b -> label_of0 g.label0.(i) g.offset b) bits
+
+let input_label_pair_b g i =
+  let w = Circuit.inputs_a g.circuit + i in
+  (g.label0.(w), Block.xor g.offset g.label0.(w))
+
+let const_label g = Block.xor g.offset g.label0.(Circuit.const_wire g.circuit)
+
+let evaluate g ~a_labels ~b_labels =
+  let c = g.circuit in
+  let n = Circuit.wire_count c in
+  let w = Array.make n Block.zero in
+  Array.blit a_labels 0 w 0 (Circuit.inputs_a c);
+  Array.blit b_labels 0 w (Circuit.inputs_a c) (Circuit.inputs_b c);
+  w.(Circuit.const_wire c) <- const_label g;
+  let first_gate = Circuit.inputs_a c + Circuit.inputs_b c + 1 in
+  Array.iteri
+    (fun i gate ->
+      let dst = first_gate + i in
+      match gate with
+      | Circuit.Xor (x, y) -> w.(dst) <- Block.xor w.(x) w.(y)
+      | Circuit.And (x, y) ->
+          let row = (2 * Bool.to_int (lsb w.(x))) + Bool.to_int (lsb w.(y)) in
+          w.(dst) <- Block.xor g.tables.(i).(row) (hash2 w.(x) w.(y) dst))
+    (Circuit.gates c);
+  lsb w.(Circuit.output c) <> g.out_permute
+
+let table_bits g =
+  Array.fold_left (fun acc rows -> acc + (Array.length rows * Block.size * 8)) 0 g.tables

@@ -1,0 +1,32 @@
+module Rng = Ppj_crypto.Rng
+module Block = Ppj_crypto.Block
+module Group = Ppj_crypto.Group
+
+type counters = { mutable pk_ops : int; mutable bits : int }
+
+let counters () = { pk_ops = 0; bits = 0 }
+
+let key_of x = Block.of_string (Group.key_of x)
+
+let transfer rng c ~m0 ~m1 ~choice =
+  (* Public random C (chosen by the sender, discrete log unknown to the
+     receiver). *)
+  let cc = Group.random_element rng in
+  (* Receiver: pk_choice = g^k, pk_other = C / g^k. *)
+  let k = Group.random_exponent rng in
+  let gk = Group.power Group.g k in
+  c.pk_ops <- c.pk_ops + 1;
+  let pk0 = if choice then Group.mul cc (Group.inv gk) else gk in
+  c.bits <- c.bits + Group.bits;
+  (* Sender: derives pk1, encrypts both messages under fresh r. *)
+  let pk1 = Group.mul cc (Group.inv pk0) in
+  let r = Group.random_exponent rng in
+  let gr = Group.power Group.g r in
+  let e0 = Block.xor m0 (key_of (Group.power pk0 r)) in
+  let e1 = Block.xor m1 (key_of (Group.power pk1 r)) in
+  c.pk_ops <- c.pk_ops + 3;
+  c.bits <- c.bits + Group.bits + (2 * Block.size * 8);
+  (* Receiver: key = (g^r)^k = pk_choice^r. *)
+  let key = key_of (Group.power gr k) in
+  c.pk_ops <- c.pk_ops + 1;
+  Block.xor (if choice then e1 else e0) key

@@ -1,0 +1,26 @@
+(** 1-of-2 oblivious transfer (Bellare–Micali construction).
+
+    Each of P_B's input bits needs one OT so that P_A learns nothing about
+    the bit and P_B learns exactly one of the two wire labels — the
+    "|B|w 1-out-of-2 oblivious transfers, each using one public key
+    encryption" of §4.6.5.  The group is a toy 30-bit prime field
+    (p = 10⁹ + 7, g = 5) so the arithmetic stays in native integers; a
+    production deployment would swap in a 2048-bit group or an elliptic
+    curve — the protocol flow, message count, and accounting are
+    unchanged (documented substitution). *)
+
+type counters = { mutable pk_ops : int; mutable bits : int }
+
+val counters : unit -> counters
+
+val transfer :
+  Ppj_crypto.Rng.t ->
+  counters ->
+  m0:Ppj_crypto.Block.t ->
+  m1:Ppj_crypto.Block.t ->
+  choice:bool ->
+  Ppj_crypto.Block.t
+(** Run the two-message protocol between an in-process sender holding
+    [(m0, m1)] and receiver holding [choice]; returns [m_choice].  The
+    receiver's view is checked in tests: the non-chosen label is hidden
+    under a Diffie–Hellman key the receiver cannot compute. *)

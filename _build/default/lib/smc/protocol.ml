@@ -1,0 +1,43 @@
+module Rng = Ppj_crypto.Rng
+module Block = Ppj_crypto.Block
+
+type cost = { bits : int; pk_ops : int; evaluations : int; and_gates : int }
+
+let join ~seed ~circuit ~a ~b =
+  let rng = Rng.create seed in
+  let ot = Ot.counters () in
+  let width_a = Circuit.inputs_a circuit in
+  let width_b = Circuit.inputs_b circuit in
+  let bits = ref 0 in
+  let evaluations = ref 0 in
+  let and_gates = ref 0 in
+  let matches = ref [] in
+  Array.iteri
+    (fun i va ->
+      Array.iteri
+        (fun j vb ->
+          let g = Garble.garble rng circuit in
+          incr evaluations;
+          and_gates := !and_gates + Circuit.and_count circuit;
+          (* P_A sends the tables and its own labels. *)
+          bits := !bits + Garble.table_bits g + ((width_a + 1) * Block.size * 8);
+          let a_labels = Garble.input_labels_a g (Circuit.bits_of_int ~width:width_a va) in
+          let b_bits = Circuit.bits_of_int ~width:width_b vb in
+          let b_labels =
+            Array.init width_b (fun k ->
+                let m0, m1 = Garble.input_label_pair_b g k in
+                Ot.transfer rng ot ~m0 ~m1 ~choice:b_bits.(k))
+          in
+          if Garble.evaluate g ~a_labels ~b_labels then matches := (i, j) :: !matches)
+        b)
+    a;
+  ( List.rev !matches,
+    { bits = !bits + ot.Ot.bits;
+      pk_ops = ot.Ot.pk_ops;
+      evaluations = !evaluations;
+      and_gates = !and_gates;
+    } )
+
+let equality_join ~seed ~width ~a ~b = join ~seed ~circuit:(Circuit.equality ~width) ~a ~b
+
+let less_than_join ~seed ~width ~a ~b = join ~seed ~circuit:(Circuit.less_than ~width) ~a ~b

@@ -1,0 +1,31 @@
+(** The executable SMC join baseline: |A|·|B| secure two-party circuit
+    evaluations (§4.6.5, [32, 34]).
+
+    P_A garbles a fresh matching circuit per pair, P_B obtains its input
+    labels by oblivious transfer and evaluates; the match bit is the only
+    thing revealed (which is itself more than an ideal private join
+    reveals — generic SFE of a join must additionally hide the match
+    {e pattern}, which is why the real protocols are even costlier than
+    this lower bound; the closed-form model in [Ppj_core.Cost.sfe_bits]
+    accounts for those extra commitments and proofs). *)
+
+type cost = {
+  bits : int;  (** total communication in bits *)
+  pk_ops : int;  (** public-key operations (OT) *)
+  evaluations : int;  (** garbled-circuit executions *)
+  and_gates : int;  (** total AND gates garbled *)
+}
+
+val join :
+  seed:int ->
+  circuit:Circuit.t ->
+  a:int array ->
+  b:int array ->
+  (int * int) list * cost
+(** Pairs (i, j) whose [(a.(i), b.(j))] satisfy the circuit, with the
+    measured communication cost.  Inputs are encoded over the circuit's
+    input width. *)
+
+val equality_join : seed:int -> width:int -> a:int array -> b:int array -> (int * int) list * cost
+
+val less_than_join : seed:int -> width:int -> a:int array -> b:int array -> (int * int) list * cost

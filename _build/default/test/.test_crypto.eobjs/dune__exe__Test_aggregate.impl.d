@@ -1,0 +1,1 @@
+test/test_aggregate.ml: Aggregate Alcotest Instance List Ppj_core Ppj_crypto Ppj_relation Ppj_scpu Report

@@ -1,0 +1,1 @@
+test/test_algorithms.ml: Alcotest Algorithm1 Algorithm2 Algorithm3 Format Instance List Ppj_core Ppj_crypto Ppj_relation Ppj_scpu Printf QCheck QCheck_alcotest Report

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Algorithm1 Algorithm2 Algorithm3 Algorithm4 Algorithm5 Cost Float Instance List Params Planner Ppj_core Ppj_crypto Ppj_relation Report

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Aes Alcotest Array Block Bytes Char Fun Group Hash List Mlfsr Ocb Ppj_crypto Prf Printf QCheck QCheck_alcotest Rng Seq String

@@ -1,0 +1,1 @@
+test/test_oblivious.ml: Alcotest Array Float Fun List Ppj_oblivious Ppj_relation Ppj_scpu Printf QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Format List Ppj_core Ppj_crypto Ppj_parallel Ppj_relation Printf

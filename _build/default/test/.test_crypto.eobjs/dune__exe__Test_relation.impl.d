@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Array Csv_io Decoy Float Format Join List Ppj_crypto Ppj_relation Predicate QCheck QCheck_alcotest Relation Schema String Tuple Value Workload

@@ -1,0 +1,1 @@
+test/test_scpu.ml: Alcotest Array List Ppj_crypto Ppj_relation Ppj_scpu QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_service.ml: Alcotest Format Instance List Ppj_core Ppj_crypto Ppj_relation Ppj_scpu Report Service String

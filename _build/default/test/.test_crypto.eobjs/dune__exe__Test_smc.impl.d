@@ -1,0 +1,1 @@
+test/test_smc.ml: Alcotest Array Circuit Garble List Ot Ppj_core Ppj_crypto Ppj_relation Ppj_smc Protocol QCheck QCheck_alcotest String

@@ -1,0 +1,86 @@
+(* Privacy preserving aggregation over joins (the Chapter 6 extension). *)
+
+open Ppj_core
+module W = Ppj_relation.Workload
+module P = Ppj_relation.Predicate
+module T = Ppj_relation.Tuple
+module V = Ppj_relation.Value
+module Rng = Ppj_crypto.Rng
+module Co = Ppj_scpu.Coprocessor
+module Trace = Ppj_scpu.Trace
+
+let pred = P.equijoin2 "key" "key"
+
+let instance ?(seed = 21) () =
+  let rng = Rng.create seed in
+  let a, b = W.equijoin_pair rng ~na:9 ~nb:14 ~matches:11 ~max_multiplicity:3 in
+  Instance.create ~m:4 ~seed:3 ~predicate:pred [ a; b ]
+
+let test_count () =
+  let inst = instance () in
+  let c, _ = Aggregate.count inst in
+  Alcotest.(check int) "count = S" (Instance.oracle_size inst) c
+
+let test_count_empty () =
+  let rng = Rng.create 23 in
+  let a, b = W.equijoin_pair rng ~na:5 ~nb:5 ~matches:0 ~max_multiplicity:1 in
+  let inst = Instance.create ~m:4 ~seed:3 ~predicate:pred [ a; b ] in
+  let c, _ = Aggregate.count inst in
+  Alcotest.(check int) "zero" 0 c
+
+let test_sum_matches_oracle () =
+  let inst = instance () in
+  let s, _ = Aggregate.sum inst ~relation:0 ~attr:"key" in
+  let expect =
+    List.fold_left (fun acc t -> acc + V.as_int (T.get t "key")) 0 (Instance.oracle inst)
+  in
+  Alcotest.(check int) "sum over join" expect s
+
+let test_average () =
+  let inst = instance () in
+  let avg, _ = Aggregate.average inst ~relation:0 ~attr:"key" in
+  let oracle = Instance.oracle inst in
+  let expect =
+    float_of_int (List.fold_left (fun acc t -> acc + V.as_int (T.get t "key")) 0 oracle)
+    /. float_of_int (List.length oracle)
+  in
+  Alcotest.(check (float 1e-9)) "average" expect avg
+
+let test_trace_is_l_reads_one_write () =
+  let inst = instance () in
+  let _, r = Aggregate.count inst in
+  Alcotest.(check int) "L reads" (Instance.l inst) r.Report.reads;
+  Alcotest.(check int) "one write" 1 r.Report.writes
+
+let test_trace_independent_of_result_size () =
+  (* The aggregation trace is a function of L alone: compare a join with
+     many results against one with none. *)
+  let tr matches =
+    let rng = Rng.create 29 in
+    let a, b = W.equijoin_pair rng ~na:6 ~nb:8 ~matches ~max_multiplicity:2 in
+    let inst = Instance.create ~m:4 ~seed:1234 ~predicate:pred [ a; b ] in
+    ignore (Aggregate.count inst);
+    Co.trace (Instance.co inst)
+  in
+  Alcotest.(check bool) "identical traces" true (Trace.equal (tr 0) (tr 8))
+
+let test_sum_second_relation () =
+  let inst = instance () in
+  let s, _ = Aggregate.sum inst ~relation:1 ~attr:"id" in
+  let expect =
+    List.fold_left (fun acc t -> acc + V.as_int (T.get t "id'")) 0 (Instance.oracle inst)
+  in
+  Alcotest.(check int) "sum of B ids" expect s
+
+let () =
+  Alcotest.run "aggregate"
+    [ ( "aggregation",
+        [ Alcotest.test_case "count" `Quick test_count;
+          Alcotest.test_case "count empty" `Quick test_count_empty;
+          Alcotest.test_case "sum" `Quick test_sum_matches_oracle;
+          Alcotest.test_case "sum over B" `Quick test_sum_second_relation;
+          Alcotest.test_case "average" `Quick test_average;
+          Alcotest.test_case "trace shape" `Quick test_trace_is_l_reads_one_write;
+          Alcotest.test_case "trace size-independent" `Quick test_trace_independent_of_result_size
+        ] )
+    ]

@@ -1,0 +1,367 @@
+(* Chapter 4 algorithms: correctness against the plaintext oracle across
+   predicates, memory regimes, and data shapes. *)
+
+open Ppj_core
+module W = Ppj_relation.Workload
+module P = Ppj_relation.Predicate
+module T = Ppj_relation.Tuple
+module Rng = Ppj_crypto.Rng
+
+let qtest name ?(count = 30) arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb prop)
+
+let tuple_set l = List.sort compare (List.map (fun t -> Format.asprintf "%a" T.pp t) l)
+
+let same_results got want = tuple_set got = tuple_set want
+
+let mk ?(m = 4) ?(seed = 7) pred rels = Instance.create ~m ~seed ~predicate:pred rels
+
+let equijoin_instance ?(seed = 19) ?(na = 10) ?(nb = 16) ?(matches = 12) ?(mult = 3) ?(m = 4) () =
+  let rng = Rng.create seed in
+  let a, b = W.equijoin_pair rng ~na ~nb ~matches ~max_multiplicity:mult in
+  let pred = P.equijoin2 "key" "key" in
+  (mk ~m pred [ a; b ], mult)
+
+let check_algorithm name run () =
+  let inst, n = equijoin_instance () in
+  let oracle = Instance.oracle inst in
+  let report = run inst n in
+  Alcotest.(check bool) (name ^ " matches oracle") true
+    (same_results report.Report.results oracle)
+
+(* --- Algorithm 1 --- *)
+
+let test_alg1_correct = check_algorithm "alg1" (fun i n -> Algorithm1.run i ~n)
+
+let test_alg1_n1 () =
+  (* N = 1: scratch of two slots, a sort after every output. *)
+  let rng = Rng.create 3 in
+  let a, b = W.equijoin_pair rng ~na:8 ~nb:8 ~matches:6 ~max_multiplicity:1 in
+  let inst = mk (P.equijoin2 "key" "key") [ a; b ] in
+  let r = Algorithm1.run inst ~n:1 in
+  Alcotest.(check bool) "ok" true (same_results r.Report.results (Instance.oracle inst))
+
+let test_alg1_n_equals_b () =
+  (* N = |B| (the safe overestimate of §4.3). *)
+  let inst, _ = equijoin_instance ~nb:8 ~matches:8 ~mult:2 () in
+  let r = Algorithm1.run inst ~n:8 in
+  Alcotest.(check bool) "ok" true (same_results r.Report.results (Instance.oracle inst))
+
+let test_alg1_disk_volume () =
+  (* The server writes exactly N|A| tuples to disk. *)
+  let inst, n = equijoin_instance ~na:10 () in
+  let r = Algorithm1.run inst ~n in
+  Alcotest.(check int) "N|A| disk tuples" (n * 10) r.Report.disk_tuples
+
+let test_alg1_band_predicate () =
+  (* Arbitrary (non-equality) predicate. *)
+  let rng = Rng.create 23 in
+  let a = W.uniform rng ~name:"A" ~n:9 ~key_domain:30 in
+  let b = W.uniform rng ~name:"B" ~n:11 ~key_domain:30 in
+  let pred = P.band "key" "key" ~width:2 in
+  let inst = mk pred [ a; b ] in
+  let n = Instance.max_matches inst in
+  if n = 0 then Alcotest.fail "workload degenerate";
+  let r = Algorithm1.run inst ~n in
+  Alcotest.(check bool) "band join ok" true (same_results r.Report.results (Instance.oracle inst))
+
+let test_alg1_no_matches () =
+  let rng = Rng.create 29 in
+  let a, b = W.equijoin_pair rng ~na:6 ~nb:6 ~matches:0 ~max_multiplicity:1 in
+  let inst = mk (P.equijoin2 "key" "key") [ a; b ] in
+  let r = Algorithm1.run inst ~n:2 in
+  Alcotest.(check int) "empty" 0 (List.length r.Report.results)
+
+let test_alg1_invalid_n () =
+  let inst, _ = equijoin_instance () in
+  Alcotest.check_raises "n=0" (Invalid_argument "Algorithm1: n must be positive") (fun () ->
+      ignore (Algorithm1.run inst ~n:0))
+
+let prop_alg1_random =
+  qtest "alg1 on random workloads"
+    QCheck.(triple (int_range 1 8) (int_range 1 12) (int_range 0 400))
+    (fun (na, nb, seed) ->
+      let rng = Rng.create seed in
+      let a = W.uniform rng ~name:"A" ~n:na ~key_domain:6 in
+      let b = W.uniform rng ~name:"B" ~n:nb ~key_domain:6 in
+      let inst = mk (P.equijoin2 "key" "key") [ a; b ] in
+      let n = max 1 (Instance.max_matches inst) in
+      same_results (Algorithm1.run inst ~n).Report.results (Instance.oracle inst))
+
+(* --- Algorithm 1 variant --- *)
+
+let test_alg1v_correct = check_algorithm "alg1v" (fun i n -> Algorithm1.Variant.run i ~n)
+
+let test_alg1v_more_transfers_when_alpha_small () =
+  (* §4.4.2: Algorithm 1 outperforms the variant for small α = N/|B|. *)
+  let make () = fst (equijoin_instance ~na:6 ~nb:32 ~matches:6 ~mult:1 ()) in
+  let r1 = Algorithm1.run (make ()) ~n:1 in
+  let rv = Algorithm1.Variant.run (make ()) ~n:1 in
+  Alcotest.(check bool) "variant costs more" true (rv.Report.transfers > r1.Report.transfers)
+
+(* --- Algorithm 2 --- *)
+
+let test_alg2_gamma1 = check_algorithm "alg2 large mem" (fun i n -> Algorithm2.run i ~n ())
+
+let test_alg2_multi_pass () =
+  (* M < N forces γ > 1 passes over B. *)
+  let inst, _ = equijoin_instance ~m:2 ~mult:5 ~matches:15 ~na:6 ~nb:20 () in
+  let r = Algorithm2.run inst ~n:5 () in
+  Alcotest.(check (float 0.)) "gamma" 3. (Report.stat r "gamma");
+  Alcotest.(check bool) "ok" true (same_results r.Report.results (Instance.oracle inst))
+
+let test_alg2_reads_scale_with_gamma () =
+  let run m =
+    let inst, _ = equijoin_instance ~m ~mult:4 ~matches:12 ~na:6 ~nb:14 () in
+    (Algorithm2.run inst ~n:4 ()).Report.reads
+  in
+  (* γ = 1 with m = 4 vs γ = 4 with m = 1: reads ≈ |A| + γ|A||B|. *)
+  Alcotest.(check bool) "4 passes read more" true (run 1 > 3 * run 4 / 2)
+
+let test_alg2_disk_volume () =
+  (* blk·γ·|A| tuples reach the disk (the γ·⌈N/γ⌉ ≥ N padding). *)
+  let inst, _ = equijoin_instance ~m:2 ~mult:5 ~matches:15 ~na:6 ~nb:20 () in
+  let r = Algorithm2.run inst ~n:5 () in
+  let gamma = int_of_float (Report.stat r "gamma") in
+  let blk = int_of_float (Report.stat r "blk") in
+  Alcotest.(check int) "disk" (6 * gamma * blk) r.Report.disk_tuples
+
+let test_alg2_less_than_predicate () =
+  let rng = Rng.create 31 in
+  let a = W.uniform rng ~name:"A" ~n:7 ~key_domain:20 in
+  let b = W.uniform rng ~name:"B" ~n:9 ~key_domain:20 in
+  let inst = mk ~m:3 (P.less_than "key" "key") [ a; b ] in
+  let n = Instance.max_matches inst in
+  if n = 0 then Alcotest.fail "degenerate";
+  let r = Algorithm2.run inst ~n () in
+  Alcotest.(check bool) "lt join ok" true (same_results r.Report.results (Instance.oracle inst))
+
+let test_alg2_memory_enforced () =
+  let inst, _ = equijoin_instance ~m:1 () in
+  Alcotest.check_raises "no free memory" (Invalid_argument "Params.gamma: no free memory")
+    (fun () -> ignore (Algorithm2.run inst ~n:3 ~delta:1 ()))
+
+let prop_alg2_random =
+  qtest "alg2 on random workloads and memories"
+    QCheck.(triple (int_range 1 10) (int_range 1 4) (int_range 0 400))
+    (fun (nb, m, seed) ->
+      let rng = Rng.create (seed + 1000) in
+      let a = W.uniform rng ~name:"A" ~n:5 ~key_domain:4 in
+      let b = W.uniform rng ~name:"B" ~n:nb ~key_domain:4 in
+      let inst = mk ~m (P.equijoin2 "key" "key") [ a; b ] in
+      let n = max 1 (Instance.max_matches inst) in
+      same_results (Algorithm2.run inst ~n ()).Report.results (Instance.oracle inst))
+
+(* --- Algorithm 2, blocking-of-A variant (§4.4.3) --- *)
+
+let test_alg2_blocked_correct () =
+  let inst, _ = equijoin_instance ~m:12 () in
+  let r = Algorithm2.Blocked.run inst ~n:3 ~k:2 ~n_prime:2 in
+  Alcotest.(check bool) "ok" true (same_results r.Report.results (Instance.oracle inst))
+
+let test_alg2_blocked_never_cheaper () =
+  (* §4.4.3's conclusion, in the regime it addresses (Case 1, N > M,
+     where gamma > 1): under the same memory budget, no blocking of A
+     beats the non-blocking Algorithm 2.  (When N <= M the paper's own
+     Case-2 Q-partitioning *is* a blocking, so the claim is scoped to
+     gamma > 1 — see the errata section of DESIGN.md.) *)
+  let n = 8 in
+  let base =
+    let inst, _ = equijoin_instance ~m:6 ~mult:8 ~matches:16 ~na:8 ~nb:16 () in
+    (Algorithm2.run inst ~n ()).Report.transfers
+  in
+  List.iter
+    (fun (k, n_prime) ->
+      let inst, _ = equijoin_instance ~m:6 ~mult:8 ~matches:16 ~na:8 ~nb:16 () in
+      let blocked = (Algorithm2.Blocked.run inst ~n ~k ~n_prime).Report.transfers in
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d n'=%d" k n_prime)
+        true (blocked >= base))
+    [ (2, 1); (3, 1); (2, 2) ]
+
+let test_alg2_blocked_can_win_when_gamma1 () =
+  (* The flip side, beyond the paper: with gamma = 1 and spare memory,
+     sharing one B scan across a block of A tuples does save transfers. *)
+  let n = 4 in
+  let base =
+    let inst, _ = equijoin_instance ~m:12 ~mult:4 ~matches:16 ~na:8 ~nb:16 () in
+    (Algorithm2.run inst ~n ()).Report.transfers
+  in
+  let inst, _ = equijoin_instance ~m:12 ~mult:4 ~matches:16 ~na:8 ~nb:16 () in
+  let blocked = (Algorithm2.Blocked.run inst ~n ~k:2 ~n_prime:4).Report.transfers in
+  Alcotest.(check bool) "blocking wins at gamma = 1" true (blocked < base)
+
+let test_alg2_blocked_memory_enforced () =
+  (* k (1 + n') beyond M must trip the ledger. *)
+  let inst, _ = equijoin_instance ~m:3 () in
+  Alcotest.(check bool) "ledger trips" true
+    (try
+       ignore (Algorithm2.Blocked.run inst ~n:3 ~k:2 ~n_prime:2);
+       false
+     with Ppj_scpu.Coprocessor.Memory_exceeded _ -> true)
+
+let prop_alg2_blocked_random =
+  qtest "blocked alg2 on random workloads" ~count:20
+    QCheck.(triple (int_range 1 3) (int_range 1 3) (int_range 0 300))
+    (fun (k, n_prime, seed) ->
+      let rng = Rng.create (seed + 4000) in
+      let a = W.uniform rng ~name:"A" ~n:5 ~key_domain:4 in
+      let b = W.uniform rng ~name:"B" ~n:7 ~key_domain:4 in
+      let inst = mk ~m:16 (P.equijoin2 "key" "key") [ a; b ] in
+      let n = max 1 (Instance.max_matches inst) in
+      same_results
+        (Algorithm2.Blocked.run inst ~n ~k ~n_prime).Report.results
+        (Instance.oracle inst))
+
+(* --- Algorithm 3 --- *)
+
+let test_alg3_correct =
+  check_algorithm "alg3" (fun i n -> Algorithm3.run i ~n ~attr_a:"key" ~attr_b:"key" ())
+
+let test_alg3_duplicates_in_b () =
+  (* Runs of equal keys in B must land in distinct circular slots. *)
+  let rng = Rng.create 37 in
+  let a, b = W.equijoin_pair rng ~na:4 ~nb:12 ~matches:12 ~max_multiplicity:3 in
+  let inst = mk (P.equijoin2 "key" "key") [ a; b ] in
+  let r = Algorithm3.run inst ~n:3 ~attr_a:"key" ~attr_b:"key" () in
+  Alcotest.(check bool) "ok" true (same_results r.Report.results (Instance.oracle inst))
+
+let test_alg3_presorted_cheaper () =
+  let make () = fst (equijoin_instance ~nb:16 ()) in
+  let r = Algorithm3.run (make ()) ~n:3 ~attr_a:"key" ~attr_b:"key" () in
+  let rng = Rng.create 19 in
+  let a, b = W.equijoin_pair rng ~na:10 ~nb:16 ~matches:12 ~max_multiplicity:3 in
+  let b_sorted = Ppj_relation.Relation.sort_by "key" b in
+  let inst = mk (P.equijoin2 "key" "key") [ a; b_sorted ] in
+  let rp = Algorithm3.run inst ~n:3 ~attr_a:"key" ~attr_b:"key" ~presorted:true () in
+  Alcotest.(check bool) "skipping the sort is cheaper" true
+    (rp.Report.transfers < r.Report.transfers)
+
+let test_alg3_presorted_on_sorted_input () =
+  let rng = Rng.create 41 in
+  let a, b = W.equijoin_pair rng ~na:6 ~nb:10 ~matches:8 ~max_multiplicity:2 in
+  let b_sorted = Ppj_relation.Relation.sort_by "key" b in
+  let inst = mk (P.equijoin2 "key" "key") [ a; b_sorted ] in
+  let r = Algorithm3.run inst ~n:2 ~attr_a:"key" ~attr_b:"key" ~presorted:true () in
+  Alcotest.(check bool) "ok on sorted input" true
+    (same_results r.Report.results (Instance.oracle inst))
+
+let test_alg3_skew () =
+  (* One A tuple matching everything (N = |B|). *)
+  let rng = Rng.create 43 in
+  let a, b = W.skewed_worst_case rng ~na:5 ~nb:7 in
+  let inst = mk (P.equijoin2 "key" "key") [ a; b ] in
+  let r = Algorithm3.run inst ~n:7 ~attr_a:"key" ~attr_b:"key" () in
+  Alcotest.(check bool) "ok" true (same_results r.Report.results (Instance.oracle inst))
+
+let prop_alg3_random =
+  qtest "alg3 on random workloads"
+    QCheck.(pair (int_range 1 12) (int_range 0 400))
+    (fun (nb, seed) ->
+      let rng = Rng.create (seed + 2000) in
+      let a = W.uniform rng ~name:"A" ~n:6 ~key_domain:5 in
+      let b = W.uniform rng ~name:"B" ~n:nb ~key_domain:5 in
+      let inst = mk (P.equijoin2 "key" "key") [ a; b ] in
+      let n = max 1 (Instance.max_matches inst) in
+      same_results
+        (Algorithm3.run inst ~n ~attr_a:"key" ~attr_b:"key" ()).Report.results
+        (Instance.oracle inst))
+
+(* --- Cross-algorithm agreement and fixed time --- *)
+
+let prop_all_ch4_agree =
+  qtest "algorithms 1, 1v, 2, 3 agree" ~count:20 QCheck.(int_range 0 300) (fun seed ->
+      let rng = Rng.create (seed + 3000) in
+      let a = W.uniform rng ~name:"A" ~n:6 ~key_domain:4 in
+      let b = W.uniform rng ~name:"B" ~n:8 ~key_domain:4 in
+      let pred = P.equijoin2 "key" "key" in
+      let n = max 1 (Instance.max_matches (mk pred [ a; b ])) in
+      let r1 = (Algorithm1.run (mk pred [ a; b ]) ~n).Report.results in
+      let rv = (Algorithm1.Variant.run (mk pred [ a; b ]) ~n).Report.results in
+      let r2 = (Algorithm2.run (mk ~m:2 pred [ a; b ]) ~n ()).Report.results in
+      let r3 =
+        (Algorithm3.run (mk pred [ a; b ]) ~n ~attr_a:"key" ~attr_b:"key" ()).Report.results
+      in
+      same_results r1 rv && same_results r1 r2 && same_results r1 r3)
+
+let test_cycles_data_independent () =
+  (* The cycle counter must depend on sizes only (Fixed Time, §3.4.3). *)
+  let run seed =
+    let rng = Rng.create seed in
+    let a = W.uniform rng ~name:"A" ~n:6 ~key_domain:4 in
+    let b = W.uniform rng ~name:"B" ~n:8 ~key_domain:4 in
+    let inst = mk (P.equijoin2 "key" "key") [ a; b ] in
+    (Algorithm1.run inst ~n:4).Report.cycles
+  in
+  Alcotest.(check int) "cycles equal across data" (run 1) (run 2)
+
+(* --- Malicious-host reduction (§3.3.1) --- *)
+
+let test_tampered_input_aborts_run () =
+  (* A malicious host flips a bit in an input ciphertext mid-protocol; T
+     must detect it on the next read and terminate. *)
+  let inst, _ = equijoin_instance () in
+  let host = Ppj_scpu.Coprocessor.host (Instance.co inst) in
+  Ppj_scpu.Host.tamper host (Instance.region_b inst) 3 ~byte:9;
+  Alcotest.(check bool) "Tamper_detected" true
+    (try
+       ignore (Algorithm1.run inst ~n:3);
+       false
+     with Ppj_scpu.Coprocessor.Tamper_detected _ -> true)
+
+let test_not_binary_rejected () =
+  let rng = Rng.create 3 in
+  let r = W.uniform rng ~name:"solo" ~n:4 ~key_domain:2 in
+  let inst =
+    Instance.create ~m:4 ~seed:1 ~predicate:(P.make ~name:"t" (fun _ -> true)) [ r ]
+  in
+  Alcotest.check_raises "unary instance" (Invalid_argument "Instance: not a binary join")
+    (fun () -> ignore (Algorithm1.run inst ~n:1))
+
+let () =
+  Alcotest.run "algorithms-ch4"
+    [ ( "algorithm1",
+        [ Alcotest.test_case "correct" `Quick test_alg1_correct;
+          Alcotest.test_case "N = 1" `Quick test_alg1_n1;
+          Alcotest.test_case "N = |B|" `Quick test_alg1_n_equals_b;
+          Alcotest.test_case "disk volume N|A|" `Quick test_alg1_disk_volume;
+          Alcotest.test_case "band predicate" `Quick test_alg1_band_predicate;
+          Alcotest.test_case "no matches" `Quick test_alg1_no_matches;
+          Alcotest.test_case "invalid n" `Quick test_alg1_invalid_n;
+          prop_alg1_random
+        ] );
+      ( "algorithm1-variant",
+        [ Alcotest.test_case "correct" `Quick test_alg1v_correct;
+          Alcotest.test_case "worse for small alpha" `Quick test_alg1v_more_transfers_when_alpha_small
+        ] );
+      ( "algorithm2",
+        [ Alcotest.test_case "gamma = 1" `Quick test_alg2_gamma1;
+          Alcotest.test_case "gamma = 3 multi-pass" `Quick test_alg2_multi_pass;
+          Alcotest.test_case "reads scale with gamma" `Quick test_alg2_reads_scale_with_gamma;
+          Alcotest.test_case "disk volume" `Quick test_alg2_disk_volume;
+          Alcotest.test_case "less-than predicate" `Quick test_alg2_less_than_predicate;
+          Alcotest.test_case "memory enforced" `Quick test_alg2_memory_enforced;
+          prop_alg2_random
+        ] );
+      ( "algorithm2-blocked",
+        [ Alcotest.test_case "correct" `Quick test_alg2_blocked_correct;
+          Alcotest.test_case "never cheaper when gamma > 1 (§4.4.3)" `Quick test_alg2_blocked_never_cheaper;
+          Alcotest.test_case "wins at gamma = 1" `Quick test_alg2_blocked_can_win_when_gamma1;
+          Alcotest.test_case "memory enforced" `Quick test_alg2_blocked_memory_enforced;
+          prop_alg2_blocked_random
+        ] );
+      ( "algorithm3",
+        [ Alcotest.test_case "correct" `Quick test_alg3_correct;
+          Alcotest.test_case "duplicate keys in B" `Quick test_alg3_duplicates_in_b;
+          Alcotest.test_case "presorted cheaper" `Quick test_alg3_presorted_cheaper;
+          Alcotest.test_case "presorted on sorted input" `Quick test_alg3_presorted_on_sorted_input;
+          Alcotest.test_case "skewed worst case" `Quick test_alg3_skew;
+          prop_alg3_random
+        ] );
+      ( "cross-cutting",
+        [ Alcotest.test_case "fixed-time cycles" `Quick test_cycles_data_independent;
+          Alcotest.test_case "tampered input aborts" `Quick test_tampered_input_aborts_run;
+          Alcotest.test_case "unary instance rejected" `Quick test_not_binary_rejected;
+          prop_all_ch4_agree
+        ] )
+    ]

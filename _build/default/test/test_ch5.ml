@@ -1,0 +1,466 @@
+(* Chapter 5 algorithms (4, 5, 6): correctness, cost shape, the M >= S
+   and epsilon = 0 corners, blemish handling, multi-way joins, and the
+   hypergeometric machinery. *)
+
+open Ppj_core
+module W = Ppj_relation.Workload
+module P = Ppj_relation.Predicate
+module T = Ppj_relation.Tuple
+module Rng = Ppj_crypto.Rng
+
+let qtest name ?(count = 30) arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb prop)
+
+let tuple_set l = List.sort compare (List.map (fun t -> Format.asprintf "%a" T.pp t) l)
+let same_results got want = tuple_set got = tuple_set want
+
+let mk ?(m = 4) ?(seed = 7) pred rels = Instance.create ~m ~seed ~predicate:pred rels
+
+let equi ?(seed = 19) ?(na = 10) ?(nb = 16) ?(matches = 12) ?(mult = 3) ?(m = 4) () =
+  let rng = Rng.create seed in
+  let a, b = W.equijoin_pair rng ~na ~nb ~matches ~max_multiplicity:mult in
+  mk ~m (P.equijoin2 "key" "key") [ a; b ]
+
+(* --- Hypergeometric machinery --- *)
+
+let test_pmf_sums_to_one () =
+  List.iter
+    (fun (l, s, n) ->
+      let total = ref 0. in
+      for k = 0 to n do
+        total := !total +. Hypergeom.pmf ~l ~s ~n ~k
+      done;
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "L=%d S=%d n=%d" l s n) 1. !total)
+    [ (50, 10, 8); (100, 3, 40); (30, 30, 10); (64, 1, 64) ]
+
+let test_cdf_plus_tail () =
+  let l, s, n = (200, 40, 30) in
+  List.iter
+    (fun m ->
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "m=%d" m) 1.
+        (Hypergeom.cdf_le ~l ~s ~n ~m +. Hypergeom.tail_gt ~l ~s ~n ~m))
+    [ 0; 1; 5; 15; 30 ]
+
+let test_pmf_against_exact_small () =
+  (* Hand check: L=10, S=4, n=3, k=2: C(4,2)C(6,1)/C(10,3) = 36/120. *)
+  Alcotest.(check (float 1e-9)) "exact" (36. /. 120.) (Hypergeom.pmf ~l:10 ~s:4 ~n:3 ~k:2)
+
+let test_tail_certain_overflow () =
+  (* n = L forces x(n) = S, so for M < S the tail is 1 (the regression
+     that motivated mode-aware summation). *)
+  Alcotest.(check (float 1e-9)) "certain" 1. (Hypergeom.tail_gt ~l:100 ~s:20 ~n:100 ~m:10)
+
+let test_n_star_eps0_is_m () =
+  Alcotest.(check int) "n*(0) = M" 8 (Hypergeom.n_star ~l:1000 ~s:50 ~m:8 ~eps:0.)
+
+let test_n_star_m_ge_s_is_l () =
+  Alcotest.(check int) "n* = L" 1000 (Hypergeom.n_star ~l:1000 ~s:5 ~m:10 ~eps:1e-20)
+
+let test_n_star_monotone_in_eps () =
+  let l, s, m = (640_000, 6_400, 64) in
+  let n20 = Hypergeom.n_star ~l ~s ~m ~eps:1e-20 in
+  let n10 = Hypergeom.n_star ~l ~s ~m ~eps:1e-10 in
+  let n5 = Hypergeom.n_star ~l ~s ~m ~eps:1e-5 in
+  Alcotest.(check bool) "larger eps, larger n*" true (n20 < n10 && n10 < n5);
+  Alcotest.(check bool) "bound holds at n*" true
+    (Hypergeom.blemish_bound ~l ~s ~n:n20 ~m <= 1e-20);
+  Alcotest.(check bool) "bound broken just above" true
+    (Hypergeom.blemish_bound ~l ~s ~n:(n20 + max 1 (n20 / 50)) ~m > 1e-20)
+
+let test_n_star_monotone_in_m () =
+  let l, s = (640_000, 6_400) in
+  let n64 = Hypergeom.n_star ~l ~s ~m:64 ~eps:1e-20 in
+  let n256 = Hypergeom.n_star ~l ~s ~m:256 ~eps:1e-20 in
+  Alcotest.(check bool) "larger memory, larger segments" true (n64 < n256)
+
+let test_pmf_monte_carlo () =
+  (* Validate the analytic hypergeometric against direct sampling-without-
+     replacement simulation. *)
+  let l, s, n = (40, 12, 10) in
+  let trials = 20_000 in
+  let st = Random.State.make [| 97 |] in
+  let counts = Array.make (n + 1) 0 in
+  let pool = Array.init l (fun i -> i < s) in
+  for _ = 1 to trials do
+    (* partial Fisher-Yates: draw n without replacement *)
+    let a = Array.copy pool in
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      let j = i + Random.State.int st (l - i) in
+      let t = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- t;
+      if a.(i) then incr k
+    done;
+    counts.(!k) <- counts.(!k) + 1
+  done;
+  for k = 0 to n do
+    let empirical = float_of_int counts.(k) /. float_of_int trials in
+    let analytic = Hypergeom.pmf ~l ~s ~n ~k in
+    (* 3-sigma band for a binomial proportion *)
+    let sigma = sqrt (analytic *. (1. -. analytic) /. float_of_int trials) in
+    if Float.abs (empirical -. analytic) > (4. *. sigma) +. 0.002 then
+      Alcotest.failf "k=%d: empirical %.4f vs analytic %.4f" k empirical analytic
+  done
+
+let test_blemish_rate_within_bound () =
+  (* Run Algorithm 6 many times on random same-shape data with a lax
+     epsilon and check the observed blemish frequency respects the union
+     bound (it should be well below: the bound is loose). *)
+  let eps = 0.5 in
+  let trials = 60 in
+  let blemishes = ref 0 in
+  for t = 1 to trials do
+    let rng = Rng.create (9000 + t) in
+    let a = W.uniform rng ~name:"A" ~n:6 ~key_domain:4 in
+    let b = W.uniform rng ~name:"B" ~n:8 ~key_domain:4 in
+    let inst = mk ~m:3 (P.equijoin2 "key" "key") [ a; b ] in
+    let _, st = Algorithm6.run inst ~eps ~salvage:false () in
+    if st.Algorithm6.blemished then incr blemishes
+  done;
+  let rate = float_of_int !blemishes /. float_of_int trials in
+  (* Union bound eps = 0.5 plus generous sampling slack. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "rate %.2f within bound" rate)
+    true (rate <= eps +. 0.25)
+
+(* --- Algorithm 4 --- *)
+
+let test_alg4_correct () =
+  let inst = equi () in
+  let r = Algorithm4.run inst () in
+  Alcotest.(check bool) "oracle" true (same_results r.Report.results (Instance.oracle inst))
+
+let test_alg4_exact_output () =
+  (* Definition 3 requires the exact S results, no padding on disk beyond
+     the oblivious filter's buffer — the recipient sees exactly S reals. *)
+  let inst = equi ~matches:9 () in
+  let r = Algorithm4.run inst () in
+  Alcotest.(check int) "exactly S reals" 9 (List.length r.Report.results)
+
+let test_alg4_empty () =
+  let inst = equi ~matches:0 ~mult:1 () in
+  let r = Algorithm4.run inst () in
+  Alcotest.(check int) "no results" 0 (List.length r.Report.results);
+  (* Still 2L transfers: L reads + L oTuple writes. *)
+  Alcotest.(check int) "2L transfers" (2 * Instance.l inst) r.Report.transfers
+
+let test_alg4_write_pattern_covers_all () =
+  let inst = equi () in
+  let l = Instance.l inst in
+  let r = Algorithm4.run inst () in
+  (* At least one write per iTuple: reads = writes in the main pass. *)
+  Alcotest.(check bool) "writes >= L" true (r.Report.writes >= l)
+
+let test_alg4_all_match () =
+  (* S = L: every iTuple joins (cross product via constant-true). *)
+  let rng = Rng.create 3 in
+  let a = W.uniform rng ~name:"A" ~n:4 ~key_domain:3 in
+  let b = W.uniform rng ~name:"B" ~n:5 ~key_domain:3 in
+  let inst = mk (P.make ~name:"true" (fun _ -> true)) [ a; b ] in
+  let r = Algorithm4.run inst () in
+  Alcotest.(check int) "S = L" 20 (List.length r.Report.results)
+
+let prop_alg4_random =
+  qtest "alg4 on random workloads" QCheck.(int_range 0 400) (fun seed ->
+      let rng = Rng.create (seed + 5000) in
+      let a = W.uniform rng ~name:"A" ~n:6 ~key_domain:5 in
+      let b = W.uniform rng ~name:"B" ~n:7 ~key_domain:5 in
+      let inst = mk (P.equijoin2 "key" "key") [ a; b ] in
+      same_results (Algorithm4.run inst ()).Report.results (Instance.oracle inst))
+
+(* --- Algorithm 5 --- *)
+
+let test_alg5_correct () =
+  let inst = equi ~m:5 () in
+  let r = Algorithm5.run inst in
+  Alcotest.(check bool) "oracle" true (same_results r.Report.results (Instance.oracle inst))
+
+let test_alg5_scan_count () =
+  (* scans = ceil(S/M). *)
+  List.iter
+    (fun (m, want) ->
+      let inst = equi ~matches:12 ~m () in
+      let r = Algorithm5.run inst in
+      Alcotest.(check (float 0.)) (Printf.sprintf "M=%d" m) (float_of_int want)
+        (Report.stat r "scans"))
+    [ (1, 12); (2, 6); (5, 3); (12, 1); (100, 1) ]
+
+let test_alg5_write_cost_is_s () =
+  let inst = equi ~matches:12 ~m:5 () in
+  let r = Algorithm5.run inst in
+  Alcotest.(check int) "writes = S" 12 r.Report.writes;
+  Alcotest.(check int) "disk = S" 12 r.Report.disk_tuples
+
+let test_alg5_read_cost () =
+  let inst = equi ~matches:12 ~m:5 () in
+  let l = Instance.l inst in
+  let r = Algorithm5.run inst in
+  Alcotest.(check int) "reads = ceil(S/M) L" (3 * l) r.Report.reads
+
+let test_alg5_empty () =
+  let inst = equi ~matches:0 ~mult:1 ~m:5 () in
+  let r = Algorithm5.run inst in
+  Alcotest.(check int) "no results" 0 (List.length r.Report.results);
+  Alcotest.(check (float 0.)) "one scan" 1. (Report.stat r "scans")
+
+let prop_alg5_random =
+  qtest "alg5 on random workloads and memories"
+    QCheck.(pair (int_range 1 6) (int_range 0 400))
+    (fun (m, seed) ->
+      let rng = Rng.create (seed + 6000) in
+      let a = W.uniform rng ~name:"A" ~n:5 ~key_domain:4 in
+      let b = W.uniform rng ~name:"B" ~n:6 ~key_domain:4 in
+      let inst = mk ~m (P.equijoin2 "key" "key") [ a; b ] in
+      same_results (Algorithm5.run inst).Report.results (Instance.oracle inst))
+
+(* --- Algorithm 6 --- *)
+
+let test_alg6_correct () =
+  let inst = equi ~m:5 () in
+  let r, st = Algorithm6.run inst ~eps:1e-12 () in
+  Alcotest.(check bool) "oracle" true (same_results r.Report.results (Instance.oracle inst));
+  Alcotest.(check bool) "no blemish at tiny eps" false st.Algorithm6.blemished
+
+let test_alg6_m_ge_s_shortcut () =
+  (* Footnote 1: everything fits during screening; cost L + S. *)
+  let inst = equi ~matches:3 ~mult:1 ~m:8 () in
+  let l = Instance.l inst in
+  let r, st = Algorithm6.run inst ~eps:1e-12 () in
+  Alcotest.(check int) "L + S transfers" (l + 3) r.Report.transfers;
+  Alcotest.(check int) "one segment" 1 st.Algorithm6.segments;
+  Alcotest.(check int) "results" 3 (List.length r.Report.results)
+
+let test_alg6_eps0_degenerates () =
+  (* ε = 0 forces n* = M. *)
+  let inst = equi ~matches:12 ~m:2 () in
+  let _, st = Algorithm6.run inst ~eps:0. () in
+  Alcotest.(check int) "n* = M" 2 st.Algorithm6.n_star;
+  Alcotest.(check bool) "never blemishes" false st.Algorithm6.blemished
+
+let test_alg6_empty () =
+  let inst = equi ~matches:0 ~mult:1 ~m:4 () in
+  let r, st = Algorithm6.run inst ~eps:1e-12 () in
+  Alcotest.(check int) "no results" 0 (List.length r.Report.results);
+  Alcotest.(check int) "no segments" 0 st.Algorithm6.segments
+
+let test_alg6_segment_structure () =
+  let inst = equi ~matches:12 ~m:2 () in
+  let l = Instance.l inst in
+  let _, st = Algorithm6.run inst ~eps:1e-12 () in
+  Alcotest.(check int) "segments = ceil(L/n*)"
+    ((l + st.Algorithm6.n_star - 1) / st.Algorithm6.n_star)
+    st.Algorithm6.segments
+
+let test_alg6_blemish_salvage () =
+  (* Force a blemish: memory 1, segments of nearly everything, dense
+     matches — then the Algorithm 5 salvage must restore correctness. *)
+  let rng = Rng.create 47 in
+  let a, b = W.skewed_worst_case rng ~na:4 ~nb:8 in
+  let inst = mk ~m:1 (P.equijoin2 "key" "key") [ a; b ] in
+  let r, st = Algorithm6.run inst ~eps:0.9999999 () in
+  Alcotest.(check bool) "blemished" true st.Algorithm6.blemished;
+  Alcotest.(check bool) "salvaged" true st.Algorithm6.salvaged;
+  Alcotest.(check bool) "still correct" true
+    (same_results r.Report.results (Instance.oracle inst))
+
+let test_alg6_blemish_without_salvage_loses_results () =
+  let rng = Rng.create 47 in
+  let a, b = W.skewed_worst_case rng ~na:4 ~nb:8 in
+  let inst = mk ~m:1 (P.equijoin2 "key" "key") [ a; b ] in
+  let r, st = Algorithm6.run inst ~eps:0.9999999 ~salvage:false () in
+  Alcotest.(check bool) "blemished" true st.Algorithm6.blemished;
+  Alcotest.(check bool) "incomplete" true
+    (List.length r.Report.results < List.length (Instance.oracle inst))
+
+let test_alg6_eps_bounds () =
+  let inst = equi () in
+  Alcotest.check_raises "eps > 1" (Invalid_argument "Algorithm6: eps must be in [0, 1]")
+    (fun () -> ignore (Algorithm6.run inst ~eps:1.5 ()))
+
+let prop_alg6_random =
+  qtest "alg6 on random workloads" QCheck.(pair (int_range 2 5) (int_range 0 300))
+    (fun (m, seed) ->
+      let rng = Rng.create (seed + 7000) in
+      let a = W.uniform rng ~name:"A" ~n:5 ~key_domain:4 in
+      let b = W.uniform rng ~name:"B" ~n:6 ~key_domain:4 in
+      let inst = mk ~m (P.equijoin2 "key" "key") [ a; b ] in
+      let r, _ = Algorithm6.run inst ~eps:1e-12 () in
+      same_results r.Report.results (Instance.oracle inst))
+
+(* --- Algorithm 7: sort-based oblivious PK-FK equijoin (extension) --- *)
+
+let test_alg7_correct () =
+  let inst = equi ~na:12 ~nb:20 ~matches:15 ~mult:3 () in
+  let r, st = Algorithm7.run inst ~attr_a:"key" ~attr_b:"key" in
+  Alcotest.(check bool) "oracle" true (same_results r.Report.results (Instance.oracle inst));
+  Alcotest.(check bool) "pk respected" false st.Algorithm7.pk_violated;
+  Alcotest.(check int) "S" 15 st.Algorithm7.s
+
+let test_alg7_empty () =
+  let inst = equi ~matches:0 ~mult:1 () in
+  let r, _ = Algorithm7.run inst ~attr_a:"key" ~attr_b:"key" in
+  Alcotest.(check int) "empty" 0 (List.length r.Report.results)
+
+let test_alg7_cheaper_than_alg5 () =
+  (* The point of the extension: no cartesian product.  The gap is
+     asymptotic ((|A|+|B|) log-squared vs ceil(S/M)|A||B|), so measure at
+     a size where the log-squared constant no longer dominates. *)
+  let mk () = equi ~na:40 ~nb:60 ~matches:48 ~m:2 () in
+  let r7, _ = Algorithm7.run (mk ()) ~attr_a:"key" ~attr_b:"key" in
+  let r5 = Algorithm5.run (mk ()) in
+  Alcotest.(check bool) "at least 2x cheaper" true
+    (2 * r7.Report.transfers < r5.Report.transfers)
+
+let test_alg7_detects_pk_violation () =
+  let rng = Rng.create 83 in
+  let a, b = W.skewed_worst_case rng ~na:4 ~nb:6 in
+  (* Duplicate the hot key inside A. *)
+  let a2 =
+    Ppj_relation.Relation.of_array ~name:"A" a.Ppj_relation.Relation.schema
+      (Array.map
+         (fun t ->
+           Ppj_relation.Tuple.make a.Ppj_relation.Relation.schema
+             [ t.Ppj_relation.Tuple.values.(0); Ppj_relation.Value.Int 0;
+               t.Ppj_relation.Tuple.values.(2) ])
+         a.Ppj_relation.Relation.tuples)
+  in
+  let inst = mk (P.equijoin2 "key" "key") [ a2; b ] in
+  let _, st = Algorithm7.run inst ~attr_a:"key" ~attr_b:"key" in
+  Alcotest.(check bool) "violation flagged" true st.Algorithm7.pk_violated
+
+let test_alg7_private () =
+  (* Definition 3 on the PK-FK promise: same shape, same S, same trace. *)
+  let run data_seed =
+    let rng = Rng.create data_seed in
+    let a, b = W.equijoin_pair rng ~na:8 ~nb:12 ~matches:9 ~max_multiplicity:3 in
+    let inst = Instance.create ~m:3 ~seed:1234 ~predicate:(P.equijoin2 "key" "key") [ a; b ] in
+    ignore (Algorithm7.run inst ~attr_a:"key" ~attr_b:"key");
+    Ppj_scpu.Coprocessor.trace (Instance.co inst)
+  in
+  match Privacy.compare_traces [ run 1; run 2; run 3 ] with
+  | Privacy.Indistinguishable -> ()
+  | v -> Alcotest.failf "%a" Privacy.pp_verdict v
+
+let prop_alg7_random =
+  qtest "alg7 on random PK-FK workloads" ~count:30
+    QCheck.(pair (int_range 1 15) (int_range 0 300))
+    (fun (matches, seed) ->
+      let rng = Rng.create (seed + 11000) in
+      let na = 8 and nb = 15 in
+      let matches = min matches (min nb (na * 3)) in
+      let a, b = W.equijoin_pair rng ~na ~nb ~matches ~max_multiplicity:3 in
+      let inst = mk (P.equijoin2 "key" "key") [ a; b ] in
+      let r, st = Algorithm7.run inst ~attr_a:"key" ~attr_b:"key" in
+      (not st.Algorithm7.pk_violated)
+      && same_results r.Report.results (Instance.oracle inst))
+
+(* --- Multi-way joins (Definition 3 is m-way) --- *)
+
+let three_way_instance ?(m = 4) () =
+  let rng = Rng.create 51 in
+  let a = W.uniform rng ~name:"A" ~n:4 ~key_domain:3 in
+  let b = W.uniform rng ~name:"B" ~n:5 ~key_domain:3 in
+  let c = W.uniform rng ~name:"C" ~n:3 ~key_domain:3 in
+  mk ~m (P.equijoin "key") [ a; b; c ]
+
+let test_multiway_alg4 () =
+  let inst = three_way_instance () in
+  let r = Algorithm4.run inst () in
+  Alcotest.(check bool) "3-way alg4" true (same_results r.Report.results (Instance.oracle inst))
+
+let test_multiway_alg5 () =
+  let inst = three_way_instance ~m:3 () in
+  let r = Algorithm5.run inst in
+  Alcotest.(check bool) "3-way alg5" true (same_results r.Report.results (Instance.oracle inst))
+
+let test_multiway_alg6 () =
+  let inst = three_way_instance ~m:3 () in
+  let r, _ = Algorithm6.run inst ~eps:1e-12 () in
+  Alcotest.(check bool) "3-way alg6" true (same_results r.Report.results (Instance.oracle inst))
+
+let test_multiway_l () =
+  let inst = three_way_instance () in
+  Alcotest.(check int) "L = 4*5*3" 60 (Instance.l inst)
+
+(* --- Cross-algorithm agreement --- *)
+
+let prop_ch5_agree =
+  qtest "algorithms 4, 5, 6 agree" ~count:20 QCheck.(int_range 0 300) (fun seed ->
+      let rng = Rng.create (seed + 8000) in
+      let a = W.uniform rng ~name:"A" ~n:5 ~key_domain:4 in
+      let b = W.uniform rng ~name:"B" ~n:7 ~key_domain:4 in
+      let pred = P.equijoin2 "key" "key" in
+      let r4 = (Algorithm4.run (mk pred [ a; b ]) ()).Report.results in
+      let r5 = (Algorithm5.run (mk ~m:3 pred [ a; b ])).Report.results in
+      let r6, _ = Algorithm6.run (mk ~m:3 pred [ a; b ]) ~eps:1e-12 () in
+      same_results r4 r5 && same_results r4 r6.Report.results)
+
+(* --- Jaccard-predicate multiway check (arbitrary predicate, Ch. 5) --- *)
+
+let test_alg4_jaccard () =
+  let rng = Rng.create 53 in
+  let a = W.set_valued rng ~name:"A" ~n:6 ~universe:10 ~set_size:4 in
+  let b = W.set_valued rng ~name:"B" ~n:6 ~universe:10 ~set_size:4 in
+  let inst = mk (P.jaccard_above "tags" "tags" ~threshold:0.3) [ a; b ] in
+  let r = Algorithm4.run inst () in
+  Alcotest.(check bool) "jaccard ok" true (same_results r.Report.results (Instance.oracle inst))
+
+let () =
+  Alcotest.run "algorithms-ch5"
+    [ ( "hypergeom",
+        [ Alcotest.test_case "pmf sums to 1" `Quick test_pmf_sums_to_one;
+          Alcotest.test_case "cdf + tail = 1" `Quick test_cdf_plus_tail;
+          Alcotest.test_case "pmf exact small case" `Quick test_pmf_against_exact_small;
+          Alcotest.test_case "tail = 1 at n = L" `Quick test_tail_certain_overflow;
+          Alcotest.test_case "n*(eps=0) = M" `Quick test_n_star_eps0_is_m;
+          Alcotest.test_case "n* = L when M >= S" `Quick test_n_star_m_ge_s_is_l;
+          Alcotest.test_case "n* monotone in eps + tight" `Quick test_n_star_monotone_in_eps;
+          Alcotest.test_case "n* monotone in M" `Quick test_n_star_monotone_in_m;
+          Alcotest.test_case "pmf vs Monte-Carlo" `Quick test_pmf_monte_carlo;
+          Alcotest.test_case "blemish rate within bound" `Quick test_blemish_rate_within_bound
+        ] );
+      ( "algorithm4",
+        [ Alcotest.test_case "correct" `Quick test_alg4_correct;
+          Alcotest.test_case "exact S output" `Quick test_alg4_exact_output;
+          Alcotest.test_case "empty result" `Quick test_alg4_empty;
+          Alcotest.test_case "write per iTuple" `Quick test_alg4_write_pattern_covers_all;
+          Alcotest.test_case "S = L" `Quick test_alg4_all_match;
+          prop_alg4_random
+        ] );
+      ( "algorithm5",
+        [ Alcotest.test_case "correct" `Quick test_alg5_correct;
+          Alcotest.test_case "scan counts" `Quick test_alg5_scan_count;
+          Alcotest.test_case "write cost S" `Quick test_alg5_write_cost_is_s;
+          Alcotest.test_case "read cost ceil(S/M)L" `Quick test_alg5_read_cost;
+          Alcotest.test_case "empty result" `Quick test_alg5_empty;
+          prop_alg5_random
+        ] );
+      ( "algorithm6",
+        [ Alcotest.test_case "correct" `Quick test_alg6_correct;
+          Alcotest.test_case "M >= S shortcut" `Quick test_alg6_m_ge_s_shortcut;
+          Alcotest.test_case "eps = 0 degenerates" `Quick test_alg6_eps0_degenerates;
+          Alcotest.test_case "empty result" `Quick test_alg6_empty;
+          Alcotest.test_case "segment structure" `Quick test_alg6_segment_structure;
+          Alcotest.test_case "blemish + salvage" `Quick test_alg6_blemish_salvage;
+          Alcotest.test_case "blemish without salvage" `Quick test_alg6_blemish_without_salvage_loses_results;
+          Alcotest.test_case "eps bounds" `Quick test_alg6_eps_bounds;
+          prop_alg6_random
+        ] );
+      ( "algorithm7",
+        [ Alcotest.test_case "correct" `Quick test_alg7_correct;
+          Alcotest.test_case "empty" `Quick test_alg7_empty;
+          Alcotest.test_case "beats algorithm 5" `Quick test_alg7_cheaper_than_alg5;
+          Alcotest.test_case "detects PK violation" `Quick test_alg7_detects_pk_violation;
+          Alcotest.test_case "Definition 3 holds" `Quick test_alg7_private;
+          prop_alg7_random
+        ] );
+      ( "multiway",
+        [ Alcotest.test_case "L product" `Quick test_multiway_l;
+          Alcotest.test_case "alg4 three-way" `Quick test_multiway_alg4;
+          Alcotest.test_case "alg5 three-way" `Quick test_multiway_alg5;
+          Alcotest.test_case "alg6 three-way" `Quick test_multiway_alg6;
+          Alcotest.test_case "alg4 jaccard" `Quick test_alg4_jaccard
+        ] );
+      ("agreement", [ prop_ch5_agree ])
+    ]

@@ -1,0 +1,312 @@
+(* The closed-form cost model (§4.6, Table 5.1, Eqns. 5.2/5.3/5.7/5.8):
+   reproduction of the paper's published numbers and validation of the
+   formulas against the measured transfer counts of the executable
+   algorithms. *)
+
+open Ppj_core
+module W = Ppj_relation.Workload
+module P = Ppj_relation.Predicate
+module Rng = Ppj_crypto.Rng
+
+let within_pct ~pct got want =
+  let err = Float.abs (got -. want) /. want in
+  if err > pct /. 100. then
+    Alcotest.failf "got %.4g, want %.4g (%.1f%% off, tolerance %.0f%%)" got want
+      (100. *. err) pct
+
+(* --- Chapter 4 formulas --- *)
+
+let test_alg1_formula_components () =
+  (* |A| + 2N|A| + 2|A||B| + 2|A||B|(log2 2N)^2 at friendly values. *)
+  let v = Cost.alg1 ~a:10 ~b:20 ~n:4 in
+  let expect = 10. +. 80. +. 400. +. (400. *. 9.) in
+  Alcotest.(check (float 1e-6)) "closed form" expect v
+
+let test_alg2_formula () =
+  (* gamma = ceil(4/2) = 2. *)
+  Alcotest.(check (float 1e-6)) "closed form"
+    (10. +. 40. +. (2. *. 200.))
+    (Cost.alg2 ~a:10 ~b:20 ~n:4 ~m:2 ())
+
+let test_alg3_formula () =
+  let lg = log 16. /. log 2. in
+  Alcotest.(check (float 1e-6)) "closed form"
+    (10. +. 40. +. (16. *. lg *. lg) +. (3. *. 160.))
+    (Cost.alg3 ~a:10 ~b:16 ~n:4 ());
+  Alcotest.(check (float 1e-6)) "presorted drops the sort"
+    (10. +. 40. +. (3. *. 160.))
+    (Cost.alg3 ~a:10 ~b:16 ~n:4 ~presorted:true ())
+
+let test_gamma1_alg2_dominates () =
+  (* §4.6.1: with γ = 1 Algorithm 2 beats 1 and 3 even at its worst α. *)
+  let b = 10_000 in
+  let m = 200 in
+  List.iter
+    (fun n ->
+      let c2 = Cost.alg2 ~a:b ~b ~n ~m () in
+      Alcotest.(check bool) "beats alg1" true (c2 < Cost.alg1 ~a:b ~b ~n);
+      Alcotest.(check bool) "beats alg3" true (c2 < Cost.alg3 ~a:b ~b ~n ()))
+    [ 1; 10; 100; 200 ]
+
+let test_general_crossover () =
+  (* §4.6.2: with α at its minimum, Algorithm 1 wins once γ > ~4. *)
+  let b = 100_000 in
+  let n = 1 in
+  Alcotest.(check bool) "gamma 1: alg2" true (Cost.general_winner ~b ~n ~m:n = Cost.A2);
+  (* §4.6.2's threshold is gamma > 2 + alpha + 2(log2 2·alpha·|B|)^2; at
+     alpha = 400/100000 that is ~190, so gamma = 200 flips the winner. *)
+  let n = 400 and m = 2 in
+  Alcotest.(check bool) "gamma 200: alg1" true (Cost.general_winner ~b ~n ~m = Cost.A1)
+
+let test_equijoin_winner_alg3_region () =
+  (* §4.6.3: for equijoins with γ >= 4, Algorithm 3 wins. *)
+  let b = 100_000 and n = 400 and m = 10 in
+  Alcotest.(check bool) "alg3 wins" true (Cost.equijoin_winner ~b ~n ~m = Cost.A3)
+
+let test_sfe_orders_of_magnitude () =
+  (* §4.6.5: SFE is orders of magnitude more expensive for low α. *)
+  let b = 10_000 and n = 10 and w = 64 in
+  let sfe = Cost.sfe_bits ~b ~n ~w () in
+  let a1 = Cost.alg1_bits ~a:b ~b ~n ~w in
+  Alcotest.(check bool) "at least 100x" true (sfe > 100. *. a1)
+
+(* --- Chapter 5 formulas at the paper's settings (Table 5.2/5.3) --- *)
+
+let settings = [ (640_000, 6_400, 64); (640_000, 6_400, 256); (2_560_000, 25_600, 256) ]
+
+let test_smc_table53 () =
+  (* Paper: 1.1e10, 1.1e10, 4.5e10. *)
+  List.iter2
+    (fun (l, s, _) want -> within_pct ~pct:5. (Cost.smc ~l ~s ()) want)
+    settings
+    [ 1.1e10; 1.1e10; 4.5e10 ]
+
+let test_alg4_table53 () =
+  (* Paper: 2.3e8, 2.3e8, 1.2e9.  Our Δ* optimisation is slightly better
+     than the paper's approximate fixed point, so allow a wider band; the
+     ordering and magnitude are the reproduction target. *)
+  List.iter2
+    (fun (l, s, _) want -> within_pct ~pct:35. (Cost.alg4 ~l ~s) want)
+    settings
+    [ 2.3e8; 2.3e8; 1.2e9 ]
+
+let test_alg5_table53 () =
+  (* Paper: 6.4e7, 1.6e7, 2.6e8 — these are exact. *)
+  List.iter2
+    (fun (l, s, m) want -> within_pct ~pct:2. (Cost.alg5 ~l ~s ~m) want)
+    settings
+    [ 6.4e7; 1.6e7; 2.6e8 ]
+
+let test_alg6_table53 () =
+  (* Paper: eps=1e-20 -> 7.4e6, 3.4e6, 1.8e7; eps=1e-10 -> 4.6e6, 2.8e6, 1.5e7. *)
+  List.iter2
+    (fun (l, s, m) (w20, w10) ->
+      within_pct ~pct:40. (Cost.alg6 ~l ~s ~m ~eps:1e-20) w20;
+      within_pct ~pct:40. (Cost.alg6 ~l ~s ~m ~eps:1e-10) w10)
+    settings
+    [ (7.4e6, 4.6e6); (3.4e6, 2.8e6); (1.8e7, 1.5e7) ]
+
+let test_table53_orderings () =
+  (* The qualitative content of Table 5.3: SMC >> Alg4 > Alg5 > Alg6, and
+     Alg6 gets cheaper as eps grows. *)
+  List.iter
+    (fun (l, s, m) ->
+      let smc = Cost.smc ~l ~s () in
+      let a4 = Cost.alg4 ~l ~s in
+      let a5 = Cost.alg5 ~l ~s ~m in
+      let a620 = Cost.alg6 ~l ~s ~m ~eps:1e-20 in
+      let a610 = Cost.alg6 ~l ~s ~m ~eps:1e-10 in
+      Alcotest.(check bool) "smc > alg4 x10" true (smc > 10. *. a4);
+      Alcotest.(check bool) "alg4 > alg5" true (a4 > a5);
+      Alcotest.(check bool) "alg5 > alg6" true (a5 > a620);
+      Alcotest.(check bool) "alg6 monotone in eps" true (a610 <= a620))
+    settings
+
+let test_cost_reduction_row () =
+  (* Last row of Table 5.3: reduction of Alg6(1e-20) vs Alg5 = 88%, 79%,
+     93%. *)
+  List.iter2
+    (fun (l, s, m) want ->
+      let red = 1. -. (Cost.alg6 ~l ~s ~m ~eps:1e-20 /. Cost.alg5 ~l ~s ~m) in
+      within_pct ~pct:8. red want)
+    settings
+    [ 0.88; 0.79; 0.93 ]
+
+let test_fig51_shape () =
+  (* Figure 5.1: Algorithm 5's cost falls roughly as 1/M, steeply for
+     small M, approaching L + S as M -> S. *)
+  let l, s = (640_000, 6_400) in
+  let costs = List.map (fun m -> Cost.alg5 ~l ~s ~m) [ 2; 8; 64; 512; 6_400 ] in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a > b && decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone decreasing" true (decreasing costs);
+  Alcotest.(check (float 1e-6)) "floor at L + S"
+    (float_of_int (l + s))
+    (List.nth costs 4)
+
+let test_fig52_shape () =
+  (* Figure 5.2: Algorithm 6's cost decreases monotonically in eps, and
+     the marginal gain shrinks as eps grows (trade when eps is small). *)
+  let l, s, m = (640_000, 6_400, 64) in
+  let at e = Cost.alg6 ~l ~s ~m ~eps:e in
+  let c60 = at 1e-60 and c50 = at 1e-50 and c20 = at 1e-20 and c10 = at 1e-10 in
+  Alcotest.(check bool) "monotone" true (c60 > c50 && c50 > c20 && c20 > c10);
+  Alcotest.(check bool) "diminishing returns" true (c60 -. c50 > c20 -. c10)
+
+let test_fig53_shape () =
+  (* Figure 5.3: cost vs memory at eps = 1e-20; reaches L + S once
+     M >= S. *)
+  let l, s = (640_000, 6_400) in
+  let at m = Cost.alg6 ~l ~s ~m ~eps:1e-20 in
+  Alcotest.(check bool) "monotone in M" true (at 16 > at 64 && at 64 > at 1024);
+  Alcotest.(check (float 1e-6)) "floor" (float_of_int (l + s)) (at 6_400)
+
+(* --- Measured-vs-formula validation at executable scale --- *)
+
+let measured_vs_formula ~name ~pct ~formula ~run () =
+  let got = float_of_int (run ()) in
+  within_pct ~pct got (formula ());
+  ignore name
+
+let small_instance ?(m = 4) ?(na = 12) ?(nb = 16) ?(matches = 12) ?(mult = 3) () =
+  let rng = Rng.create 77 in
+  let a, b = W.equijoin_pair rng ~na ~nb ~matches ~max_multiplicity:mult in
+  Instance.create ~m ~seed:5 ~predicate:(P.equijoin2 "key" "key") [ a; b ]
+
+let test_measured_alg2 =
+  (* Algorithm 2's formula is exact up to the blk*gamma >= N padding. *)
+  measured_vs_formula ~name:"alg2" ~pct:10.
+    ~formula:(fun () -> Cost.alg2 ~a:12 ~b:16 ~n:3 ~m:4 ())
+    ~run:(fun () ->
+      let inst = small_instance () in
+      (Algorithm2.run inst ~n:3 ()).Report.transfers)
+
+let test_measured_alg5 =
+  (* S + ceil(S/M) L, exactly. *)
+  measured_vs_formula ~name:"alg5" ~pct:0.5
+    ~formula:(fun () -> Cost.alg5 ~l:(12 * 16) ~s:12 ~m:4)
+    ~run:(fun () ->
+      let inst = small_instance () in
+      (Algorithm5.run inst).Report.transfers)
+
+let test_measured_alg4_order () =
+  (* Algorithm 4's measured cost: the 2L term is exact; the filter term
+     uses power-of-two padded networks whose overhead shrinks with scale
+     (ratio 3.3 at L = 192, 2.5 at L = 1536), so compare within a factor
+     of four at this scale. *)
+  let inst = small_instance () in
+  let r = Algorithm4.run inst () in
+  let formula = Cost.alg4 ~l:192 ~s:12 in
+  let ratio = float_of_int r.Report.transfers /. formula in
+  Alcotest.(check bool) "within 4x" true (ratio < 4. && ratio > 1. /. 4.)
+
+let test_measured_alg1_order () =
+  let inst = small_instance () in
+  let r = Algorithm1.run inst ~n:3 in
+  let formula = Cost.alg1 ~a:12 ~b:16 ~n:3 in
+  let ratio = float_of_int r.Report.transfers /. formula in
+  Alcotest.(check bool) "within 3x" true (ratio < 3. && ratio > 1. /. 3.)
+
+let test_measured_alg3_order () =
+  let inst = small_instance () in
+  let r = Algorithm3.run inst ~n:3 ~attr_a:"key" ~attr_b:"key" () in
+  let formula = Cost.alg3 ~a:12 ~b:16 ~n:3 () in
+  let ratio = float_of_int r.Report.transfers /. formula in
+  Alcotest.(check bool) "within 3x" true (ratio < 3. && ratio > 1. /. 3.)
+
+(* --- Planner --- *)
+
+let test_planner_prefers_alg6_when_allowed () =
+  let plan, cost = Planner.choose ~l:640_000 ~s:6_400 ~m:64 ~max_eps:1e-20 in
+  (match plan with
+  | Planner.Use_alg6 { eps } -> Alcotest.(check (float 0.)) "eps" 1e-20 eps
+  | _ -> Alcotest.fail "expected Algorithm 6");
+  Alcotest.(check bool) "cost matches formula" true
+    (Float.abs (cost -. Cost.alg6 ~l:640_000 ~s:6_400 ~m:64 ~eps:1e-20) < 1.)
+
+let test_planner_exact_only () =
+  (* max_eps = 0 rules out Algorithm 6; Algorithm 5 wins at these sizes. *)
+  match Planner.choose ~l:640_000 ~s:6_400 ~m:64 ~max_eps:0. with
+  | Planner.Use_alg5, _ -> ()
+  | _ -> Alcotest.fail "expected Algorithm 5"
+
+let test_planner_alg4_when_memory_tiny () =
+  (* With M = 1 Algorithm 5 costs S*L; Algorithm 4 wins. *)
+  match Planner.choose ~l:10_000 ~s:2_000 ~m:1 ~max_eps:0. with
+  | Planner.Use_alg4, _ -> ()
+  | _ -> Alcotest.fail "expected Algorithm 4"
+
+let test_planner_ch4 () =
+  let alg, _ = Planner.choose_ch4 ~a:100_000 ~b:100_000 ~n:400 ~m:2 ~equijoin:false in
+  Alcotest.(check bool) "alg1 at huge gamma" true (alg = Cost.A1);
+  let alg, _ = Planner.choose_ch4 ~a:100_000 ~b:100_000 ~n:400 ~m:2 ~equijoin:true in
+  Alcotest.(check bool) "alg3 for equijoins" true (alg = Cost.A3);
+  let alg, _ = Planner.choose_ch4 ~a:1_000 ~b:1_000 ~n:4 ~m:64 ~equijoin:true in
+  Alcotest.(check bool) "alg2 at gamma 1" true (alg = Cost.A2)
+
+(* --- Params --- *)
+
+let test_params () =
+  Alcotest.(check int) "gamma" 3 (Params.gamma ~n:5 ~m:2 ());
+  Alcotest.(check int) "gamma floor" 1 (Params.gamma ~n:1 ~m:64 ());
+  Alcotest.(check int) "blk" 2 (Params.blk ~n:5 ~gamma:3);
+  Alcotest.(check int) "segments" 92 (Params.segments ~l:640 ~n_star:7);
+  Alcotest.(check int) "scans" 3 (Params.scans ~s:12 ~m:5);
+  Alcotest.(check (float 1e-9)) "alpha" 0.25 (Params.alpha ~n:4 ~b:16)
+
+let test_params_partition () =
+  (match Params.algorithm2_partition ~n:100 ~m:10 () with
+  | `Stream_b (fb, fj) ->
+      Alcotest.(check bool) "fb + fj = m" true (fb + fj = 10);
+      Alcotest.(check bool) "fj = blk" true (fj = Params.blk ~n:100 ~gamma:(Params.gamma ~n:100 ~m:10 ()))
+  | `Block_a _ -> Alcotest.fail "expected streaming case");
+  match Params.algorithm2_partition ~n:3 ~m:20 () with
+  | `Block_a (q, _, fj) ->
+      Alcotest.(check int) "Q" 5 q;
+      Alcotest.(check int) "fj = QN" 15 fj
+  | `Stream_b _ -> Alcotest.fail "expected blocking case"
+
+let () =
+  Alcotest.run "cost"
+    [ ( "chapter4",
+        [ Alcotest.test_case "alg1 closed form" `Quick test_alg1_formula_components;
+          Alcotest.test_case "alg2 closed form" `Quick test_alg2_formula;
+          Alcotest.test_case "alg3 closed form" `Quick test_alg3_formula;
+          Alcotest.test_case "gamma=1: alg2 dominates" `Quick test_gamma1_alg2_dominates;
+          Alcotest.test_case "general crossover" `Quick test_general_crossover;
+          Alcotest.test_case "equijoin alg3 region" `Quick test_equijoin_winner_alg3_region;
+          Alcotest.test_case "SFE gap" `Quick test_sfe_orders_of_magnitude
+        ] );
+      ( "table5.3",
+        [ Alcotest.test_case "SMC row" `Quick test_smc_table53;
+          Alcotest.test_case "Algorithm 4 row" `Quick test_alg4_table53;
+          Alcotest.test_case "Algorithm 5 row" `Quick test_alg5_table53;
+          Alcotest.test_case "Algorithm 6 rows" `Quick test_alg6_table53;
+          Alcotest.test_case "orderings" `Quick test_table53_orderings;
+          Alcotest.test_case "cost-reduction row" `Quick test_cost_reduction_row
+        ] );
+      ( "figures",
+        [ Alcotest.test_case "fig 5.1 shape" `Quick test_fig51_shape;
+          Alcotest.test_case "fig 5.2 shape" `Quick test_fig52_shape;
+          Alcotest.test_case "fig 5.3 shape" `Quick test_fig53_shape
+        ] );
+      ( "measured-vs-formula",
+        [ Alcotest.test_case "alg2 near-exact" `Quick test_measured_alg2;
+          Alcotest.test_case "alg5 exact" `Quick test_measured_alg5;
+          Alcotest.test_case "alg4 order" `Quick test_measured_alg4_order;
+          Alcotest.test_case "alg1 order" `Quick test_measured_alg1_order;
+          Alcotest.test_case "alg3 order" `Quick test_measured_alg3_order
+        ] );
+      ( "planner",
+        [ Alcotest.test_case "prefers alg6" `Quick test_planner_prefers_alg6_when_allowed;
+          Alcotest.test_case "exact only" `Quick test_planner_exact_only;
+          Alcotest.test_case "alg4 for tiny memory" `Quick test_planner_alg4_when_memory_tiny;
+          Alcotest.test_case "chapter 4 choices" `Quick test_planner_ch4
+        ] );
+      ( "params",
+        [ Alcotest.test_case "basics" `Quick test_params;
+          Alcotest.test_case "memory partition" `Quick test_params_partition
+        ] )
+    ]

@@ -1,0 +1,308 @@
+(* Crypto substrate: blocks, AES, OCB, MLFSR, PRF, hash, RNG. *)
+
+open Ppj_crypto
+
+let of_hex h =
+  String.init (String.length h / 2) (fun i ->
+      Char.chr (int_of_string ("0x" ^ String.sub h (2 * i) 2)))
+
+let hex s =
+  String.concat "" (List.map (fun c -> Printf.sprintf "%02x" (Char.code c))
+                      (List.init (String.length s) (String.get s)))
+
+let block_gen = QCheck.Gen.(map (fun s -> Block.of_string s) (string_size ~gen:char (return 16)))
+let arb_block = QCheck.make ~print:(fun b -> hex (Block.to_string b)) block_gen
+
+let qtest name ?(count = 200) arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb prop)
+
+(* --- Block --- *)
+
+let test_block_size () =
+  Alcotest.(check int) "size" 16 Block.size;
+  Alcotest.(check string) "zero" (String.make 16 '\000') (Block.to_string Block.zero)
+
+let test_block_of_string_invalid () =
+  Alcotest.check_raises "short" (Invalid_argument "Block.of_string: 3 bytes") (fun () ->
+      ignore (Block.of_string "abc"))
+
+let prop_xor_involution =
+  qtest "xor involution" (QCheck.pair arb_block arb_block) (fun (a, b) ->
+      Block.equal (Block.xor (Block.xor a b) b) a)
+
+let prop_xor_commutative =
+  qtest "xor commutative" (QCheck.pair arb_block arb_block) (fun (a, b) ->
+      Block.equal (Block.xor a b) (Block.xor b a))
+
+let prop_double_halve =
+  qtest "halve inverts double" arb_block (fun a ->
+      Block.equal (Block.halve (Block.double a)) a)
+
+let prop_halve_double =
+  qtest "double inverts halve" arb_block (fun a ->
+      Block.equal (Block.double (Block.halve a)) a)
+
+let prop_double_linear =
+  qtest "double distributes over xor" (QCheck.pair arb_block arb_block) (fun (a, b) ->
+      Block.equal (Block.double (Block.xor a b)) (Block.xor (Block.double a) (Block.double b)))
+
+let test_double_reduction () =
+  (* 0x80..0 doubled must fold the carry into 0x87. *)
+  let top = Block.of_string ("\x80" ^ String.make 15 '\000') in
+  let expect = String.make 15 '\000' ^ "\x87" in
+  Alcotest.(check string) "reduction" expect (Block.to_string (Block.double top))
+
+let test_ntz () =
+  List.iter
+    (fun (n, want) -> Alcotest.(check int) (Printf.sprintf "ntz %d" n) want (Block.ntz n))
+    [ (1, 0); (2, 1); (3, 0); (4, 2); (8, 3); (12, 2); (1024, 10) ]
+
+let test_of_int () =
+  Alcotest.(check string) "of_int 258"
+    (String.make 14 '\000' ^ "\x01\x02")
+    (Block.to_string (Block.of_int 258))
+
+(* --- AES (FIPS-197 / SP 800-38A vectors) --- *)
+
+let aes_vector key pt ct () =
+  let k = Aes.expand (of_hex key) in
+  Alcotest.(check string) "encrypt" ct (hex (Block.to_string (Aes.encrypt k (Block.of_string (of_hex pt)))));
+  Alcotest.(check string) "decrypt" pt (hex (Block.to_string (Aes.decrypt k (Block.of_string (of_hex ct)))))
+
+let test_aes_fips =
+  aes_vector "000102030405060708090a0b0c0d0e0f" "00112233445566778899aabbccddeeff"
+    "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+let test_aes_sp800_1 =
+  aes_vector "2b7e151628aed2a6abf7158809cf4f3c" "6bc1bee22e409f96e93d7e117393172a"
+    "3ad77bb40d7a3660a89ecaf32466ef97"
+
+let test_aes_sp800_2 =
+  aes_vector "2b7e151628aed2a6abf7158809cf4f3c" "ae2d8a571e03ac9c9eb76fac45af8e51"
+    "f5d3d58503b9699de785895a96fdbaaf"
+
+let prop_aes_roundtrip =
+  qtest "aes roundtrip" (QCheck.pair arb_block arb_block) (fun (k, m) ->
+      let key = Aes.expand (Block.to_string k) in
+      Block.equal (Aes.decrypt key (Aes.encrypt key m)) m)
+
+let test_aes_bad_key () =
+  Alcotest.check_raises "short key" (Invalid_argument "Aes.expand: key must be 16 bytes")
+    (fun () -> ignore (Aes.expand "short"))
+
+(* --- OCB --- *)
+
+let okey = Ocb.key_of_string (of_hex "000102030405060708090a0b0c0d0e0f")
+let nonce0 = String.make 16 '\001'
+
+let arb_msg = QCheck.string_of_size QCheck.Gen.(int_range 0 200)
+
+let prop_ocb_roundtrip =
+  qtest "ocb roundtrip" arb_msg (fun m ->
+      match Ocb.decrypt okey ~nonce:nonce0 (Ocb.encrypt okey ~nonce:nonce0 m) with
+      | Some m' -> String.equal m m'
+      | None -> false)
+
+let prop_ocb_tamper =
+  qtest "ocb detects any single-bit flip"
+    (QCheck.pair arb_msg (QCheck.pair QCheck.small_nat QCheck.small_nat))
+    (fun (m, (pos, bit)) ->
+      let c = Bytes.of_string (Ocb.encrypt okey ~nonce:nonce0 m) in
+      let pos = pos mod Bytes.length c in
+      Bytes.set c pos (Char.chr (Char.code (Bytes.get c pos) lxor (1 lsl (bit mod 8))));
+      Ocb.decrypt okey ~nonce:nonce0 (Bytes.to_string c) = None)
+
+let test_ocb_length () =
+  List.iter
+    (fun n ->
+      let m = String.make n 'x' in
+      Alcotest.(check int) (Printf.sprintf "len %d" n) (n + Ocb.tag_length)
+        (String.length (Ocb.encrypt okey ~nonce:nonce0 m)))
+    [ 0; 1; 15; 16; 17; 31; 32; 33; 100 ]
+
+let test_ocb_nonce_matters () =
+  let m = "same plaintext, different nonce" in
+  let c1 = Ocb.encrypt okey ~nonce:nonce0 m in
+  let c2 = Ocb.encrypt okey ~nonce:(String.make 16 '\002') m in
+  Alcotest.(check bool) "ciphertexts differ" true (not (String.equal c1 c2));
+  Alcotest.(check bool) "wrong nonce rejected" true
+    (Ocb.decrypt okey ~nonce:(String.make 16 '\003') c1 = None)
+
+let test_ocb_cipher_calls () =
+  (* OCB costs m + 2 block-cipher calls per m-block message (why the paper
+     picked it over XCBC/IAPM): offset setup + m blocks + tag. *)
+  let key = Ocb.key_of_string (of_hex "2b7e151628aed2a6abf7158809cf4f3c") in
+  Ocb.reset_block_cipher_calls key;
+  ignore (Ocb.encrypt key ~nonce:nonce0 (String.make (16 * 7) 'q'));
+  Alcotest.(check int) "m+2 calls" (7 + 2) (Ocb.block_cipher_calls key)
+
+let prop_ocb_offsets_agree =
+  qtest "sequential and Gray-code offsets agree" QCheck.(int_range 1 2000) (fun i ->
+      Block.equal (Ocb.offset_sequential okey ~nonce:nonce0 i)
+        (Ocb.offset_direct okey ~nonce:nonce0 i))
+
+let test_ocb_f_counter () =
+  Ocb.reset_f_applications okey;
+  ignore (Ocb.offset_sequential okey ~nonce:nonce0 10);
+  Alcotest.(check int) "10 f applications" 10 (Ocb.f_applications okey)
+
+let test_ocb_truncated () =
+  Alcotest.(check bool) "truncated rejected" true (Ocb.decrypt okey ~nonce:nonce0 "short" = None)
+
+let prop_ocb_cross_key =
+  qtest "decryption under the wrong key fails" arb_msg (fun m ->
+      let other = Ocb.key_of_string (of_hex "ffeeddccbbaa99887766554433221100") in
+      Ocb.decrypt other ~nonce:nonce0 (Ocb.encrypt okey ~nonce:nonce0 m) = None)
+
+(* --- MLFSR --- *)
+
+let test_mlfsr_full_cycle () =
+  (* Maximality: every degree's register must enumerate 1 .. 2^l - 1. *)
+  for degree = 2 to 14 do
+    let t = Mlfsr.create ~degree ~seed:1 in
+    let period = Mlfsr.period t in
+    let seen = Array.make (period + 1) false in
+    for _ = 1 to period do
+      seen.(Mlfsr.next t) <- true
+    done;
+    for v = 1 to period do
+      if not seen.(v) then
+        Alcotest.failf "degree %d misses value %d" degree v
+    done
+  done
+
+let test_mlfsr_degree_for () =
+  List.iter
+    (fun (n, want) ->
+      Alcotest.(check int) (Printf.sprintf "degree_for %d" n) want (Mlfsr.degree_for n))
+    [ (1, 2); (3, 2); (4, 3); (7, 3); (8, 4); (1000, 10); (640_000, 20) ]
+
+let prop_mlfsr_random_order_is_permutation =
+  qtest "random_order is a permutation of 0..n-1" ~count:50
+    QCheck.(pair (int_range 1 300) (int_range 0 1000))
+    (fun (n, seed) ->
+      let seen = Array.make n 0 in
+      Seq.iter (fun i -> seen.(i) <- seen.(i) + 1) (Mlfsr.random_order ~n ~seed);
+      Array.for_all (fun c -> c = 1) seen)
+
+let test_mlfsr_seed_changes_order () =
+  let order seed = List.of_seq (Mlfsr.random_order ~n:64 ~seed) in
+  Alcotest.(check bool) "different seeds differ" true (order 1 <> order 77)
+
+let test_mlfsr_bad_degree () =
+  Alcotest.check_raises "degree 33" (Invalid_argument "Mlfsr: unsupported degree 33")
+    (fun () -> ignore (Mlfsr.create ~degree:33 ~seed:1))
+
+(* --- Hash / PRF / RNG --- *)
+
+let test_hash_deterministic () =
+  Alcotest.(check string) "stable" (Hash.digest "abc") (Hash.digest "abc");
+  Alcotest.(check int) "16 bytes" 16 (String.length (Hash.digest "abc"))
+
+let prop_hash_injective_smoke =
+  qtest "distinct short inputs collide never (smoke)" (QCheck.pair arb_msg arb_msg)
+    (fun (a, b) -> String.equal a b || not (String.equal (Hash.digest a) (Hash.digest b)))
+
+let test_hash_length_extension_guard () =
+  (* Padding must separate "a" ^ "" from "" ^ "a"-style boundary cases. *)
+  Alcotest.(check bool) "boundary" true
+    (not (String.equal (Hash.digest "ab") (Hash.digest "ab\x00")))
+
+let test_mac_key_dependent () =
+  Alcotest.(check bool) "key matters" true
+    (not (String.equal (Hash.mac ~key:"k1" "m") (Hash.mac ~key:"k2" "m")))
+
+let test_prf_distinct () =
+  let prf = Prf.of_seed 99 in
+  Alcotest.(check bool) "blocks differ" true
+    (not (Block.equal (Prf.block_at prf 0) (Prf.block_at prf 1)));
+  Alcotest.(check bool) "int_at nonneg" true (Prf.int_at prf 12345 >= 0)
+
+let test_rng_deterministic () =
+  let a = Rng.create 5 and b = Rng.create 5 in
+  Alcotest.(check int) "same stream" (Rng.int a 1000000) (Rng.int b 1000000)
+
+let test_rng_split_independent () =
+  let r = Rng.create 5 in
+  let x = Rng.split r "x" and y = Rng.split r "y" in
+  Alcotest.(check bool) "labels differ" true (Rng.int x 1_000_000_000 <> Rng.int y 1_000_000_000)
+
+let test_rng_shuffle_permutes () =
+  let a = Array.init 100 Fun.id in
+  Rng.shuffle (Rng.create 3) a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 100 Fun.id) sorted
+
+(* --- Group (DH / OT substrate) --- *)
+
+let test_group_inverse () =
+  for x = 2 to 50 do
+    if Group.mul x (Group.inv x) <> 1 then Alcotest.failf "inv %d" x
+  done
+
+let prop_group_power_laws =
+  qtest "g^(a+b) = g^a g^b" QCheck.(pair (int_range 1 100000) (int_range 1 100000))
+    (fun (a, b) ->
+      Group.mul (Group.power Group.g a) (Group.power Group.g b) = Group.power Group.g (a + b))
+
+let test_group_key_of_deterministic () =
+  Alcotest.(check string) "stable" (Group.key_of 12345) (Group.key_of 12345);
+  Alcotest.(check int) "16 bytes" 16 (String.length (Group.key_of 7));
+  Alcotest.(check bool) "distinct" true (Group.key_of 7 <> Group.key_of 8)
+
+let () =
+  Alcotest.run "crypto"
+    [ ( "block",
+        [ Alcotest.test_case "size and zero" `Quick test_block_size;
+          Alcotest.test_case "invalid length" `Quick test_block_of_string_invalid;
+          Alcotest.test_case "carry reduction" `Quick test_double_reduction;
+          Alcotest.test_case "ntz" `Quick test_ntz;
+          Alcotest.test_case "of_int" `Quick test_of_int;
+          prop_xor_involution;
+          prop_xor_commutative;
+          prop_double_halve;
+          prop_halve_double;
+          prop_double_linear
+        ] );
+      ( "aes",
+        [ Alcotest.test_case "FIPS-197 vector" `Quick test_aes_fips;
+          Alcotest.test_case "SP800-38A vector 1" `Quick test_aes_sp800_1;
+          Alcotest.test_case "SP800-38A vector 2" `Quick test_aes_sp800_2;
+          Alcotest.test_case "bad key" `Quick test_aes_bad_key;
+          prop_aes_roundtrip
+        ] );
+      ( "ocb",
+        [ Alcotest.test_case "ciphertext length" `Quick test_ocb_length;
+          Alcotest.test_case "nonce separation" `Quick test_ocb_nonce_matters;
+          Alcotest.test_case "m+2 block-cipher calls" `Quick test_ocb_cipher_calls;
+          Alcotest.test_case "f-application counter" `Quick test_ocb_f_counter;
+          Alcotest.test_case "truncated input" `Quick test_ocb_truncated;
+          prop_ocb_roundtrip;
+          prop_ocb_tamper;
+          prop_ocb_offsets_agree;
+          prop_ocb_cross_key
+        ] );
+      ( "mlfsr",
+        [ Alcotest.test_case "full cycle, degrees 2-14" `Quick test_mlfsr_full_cycle;
+          Alcotest.test_case "degree_for" `Quick test_mlfsr_degree_for;
+          Alcotest.test_case "seed changes order" `Quick test_mlfsr_seed_changes_order;
+          Alcotest.test_case "unsupported degree" `Quick test_mlfsr_bad_degree;
+          prop_mlfsr_random_order_is_permutation
+        ] );
+      ( "hash-prf-rng",
+        [ Alcotest.test_case "hash deterministic" `Quick test_hash_deterministic;
+          Alcotest.test_case "padding boundary" `Quick test_hash_length_extension_guard;
+          Alcotest.test_case "mac key-dependent" `Quick test_mac_key_dependent;
+          Alcotest.test_case "prf distinct points" `Quick test_prf_distinct;
+          Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+          Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle_permutes;
+          prop_hash_injective_smoke
+        ] );
+      ( "group",
+        [ Alcotest.test_case "inverses" `Quick test_group_inverse;
+          Alcotest.test_case "key derivation" `Quick test_group_key_of_deterministic;
+          prop_group_power_laws
+        ] )
+    ]

@@ -1,0 +1,111 @@
+(* Multi-coprocessor parallelism (§4.4.4, §5.3.5). *)
+
+module Par = Ppj_parallel.Parallel
+module W = Ppj_relation.Workload
+module P = Ppj_relation.Predicate
+module T = Ppj_relation.Tuple
+module Rng = Ppj_crypto.Rng
+module Instance = Ppj_core.Instance
+
+let tuple_set l = List.sort compare (List.map (fun t -> Format.asprintf "%a" T.pp t) l)
+
+let workload ?(seed = 11) () =
+  let rng = Rng.create seed in
+  W.equijoin_pair rng ~na:12 ~nb:18 ~matches:14 ~max_multiplicity:3
+
+let pred = P.equijoin2 "key" "key"
+
+let oracle () =
+  let a, b = workload () in
+  Instance.oracle (Instance.create ~m:4 ~seed:1 ~predicate:pred [ a; b ])
+
+let check_correct name run () =
+  let want = tuple_set (oracle ()) in
+  List.iter
+    (fun p ->
+      let a, b = workload () in
+      let o = run ~p [ a; b ] in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s p=%d correct" name p)
+        true
+        (tuple_set o.Par.results = want))
+    [ 1; 2; 3; 4; 8 ]
+
+let test_alg4_correct = check_correct "alg4" (fun ~p rels -> Par.alg4 ~p ~m:4 ~seed:5 ~predicate:pred rels)
+let test_alg5_correct = check_correct "alg5" (fun ~p rels -> Par.alg5 ~p ~m:4 ~seed:5 ~predicate:pred rels)
+
+let test_alg6_correct =
+  check_correct "alg6" (fun ~p rels -> Par.alg6 ~p ~m:4 ~seed:5 ~eps:1e-9 ~predicate:pred rels)
+
+let speedup_of run p =
+  let a, b = workload () in
+  (run ~p [ a; b ]).Par.speedup
+
+let test_speedups_grow () =
+  List.iter
+    (fun (name, run) ->
+      let s1 = speedup_of run 1 in
+      let s4 = speedup_of run 4 in
+      Alcotest.(check (float 1e-9)) (name ^ " p=1 baseline") 1. s1;
+      Alcotest.(check bool) (name ^ " p=4 speeds up") true (s4 > 1.5))
+    [ ("alg4", fun ~p rels -> Par.alg4 ~p ~m:4 ~seed:5 ~predicate:pred rels);
+      ("alg5", fun ~p rels -> Par.alg5 ~p ~m:4 ~seed:5 ~predicate:pred rels);
+      ("alg6", fun ~p rels -> Par.alg6 ~p ~m:4 ~seed:5 ~eps:1e-9 ~predicate:pred rels)
+    ]
+
+let test_alg5_near_linear () =
+  (* §5.3.5: "Algorithm 5 enjoys a linear speed up" — the dominant
+     ceil(blk/M) L read term divides by P. *)
+  let a, b = workload () in
+  let o = Par.alg5 ~p:7 ~m:2 ~seed:5 ~predicate:pred [ a; b ] in
+  Alcotest.(check bool) "at least 3x at p=7" true (o.Par.speedup > 3.)
+
+let test_per_co_balance () =
+  let a, b = workload () in
+  let o = Par.alg4 ~p:4 ~m:4 ~seed:5 ~predicate:pred [ a; b ] in
+  Alcotest.(check int) "four coprocessors" 4 (Array.length o.Par.per_co_transfers);
+  let mx = Array.fold_left max 0 o.Par.per_co_transfers in
+  let mn = Array.fold_left min max_int o.Par.per_co_transfers in
+  Alcotest.(check bool) "balanced within 3x" true (mx < 3 * mn)
+
+let test_invalid_p () =
+  let a, b = workload () in
+  Alcotest.check_raises "p=0" (Invalid_argument "Parallel: p must be positive") (fun () ->
+      ignore (Par.alg4 ~p:0 ~m:4 ~seed:5 ~predicate:pred [ a; b ]))
+
+let test_more_cos_than_results () =
+  (* P larger than S: some coprocessors have empty ranges. *)
+  let rng = Rng.create 13 in
+  let a, b = W.equijoin_pair rng ~na:4 ~nb:6 ~matches:3 ~max_multiplicity:1 in
+  let want =
+    tuple_set (Instance.oracle (Instance.create ~m:4 ~seed:1 ~predicate:pred [ a; b ]))
+  in
+  let o = Par.alg5 ~p:8 ~m:4 ~seed:5 ~predicate:pred [ a; b ] in
+  Alcotest.(check bool) "still correct" true (tuple_set o.Par.results = want)
+
+let test_empty_join_parallel () =
+  let rng = Rng.create 17 in
+  let a, b = W.equijoin_pair rng ~na:5 ~nb:5 ~matches:0 ~max_multiplicity:1 in
+  List.iter
+    (fun o -> Alcotest.(check int) "empty" 0 (List.length o.Par.results))
+    [ Par.alg4 ~p:3 ~m:4 ~seed:5 ~predicate:pred [ a; b ];
+      Par.alg5 ~p:3 ~m:4 ~seed:5 ~predicate:pred [ a; b ];
+      Par.alg6 ~p:3 ~m:4 ~seed:5 ~eps:1e-9 ~predicate:pred [ a; b ]
+    ]
+
+let () =
+  Alcotest.run "parallel"
+    [ ( "correctness",
+        [ Alcotest.test_case "alg4 p=1..8" `Quick test_alg4_correct;
+          Alcotest.test_case "alg5 p=1..8" `Quick test_alg5_correct;
+          Alcotest.test_case "alg6 p=1..8" `Quick test_alg6_correct;
+          Alcotest.test_case "more cos than results" `Quick test_more_cos_than_results;
+          Alcotest.test_case "empty join" `Quick test_empty_join_parallel
+        ] );
+      ( "speedup",
+        [ Alcotest.test_case "speedups grow" `Quick test_speedups_grow;
+          Alcotest.test_case "alg5 near linear" `Quick test_alg5_near_linear;
+          Alcotest.test_case "balance" `Quick test_per_co_balance;
+          Alcotest.test_case "invalid p" `Quick test_invalid_p
+        ] )
+    ]

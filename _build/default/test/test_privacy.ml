@@ -1,0 +1,298 @@
+(* The heart of the reproduction: mechanical checks of Definitions 1 and 3.
+
+   Safe algorithms must produce identical access traces on any two inputs
+   of the same shape (and, for Chapter 5, the same output size); the
+   straw-men of §3.4 and §4.5.1 must be distinguishable, and the
+   Adversary module must extract the specific leaked statistics the paper
+   describes. *)
+
+open Ppj_core
+module W = Ppj_relation.Workload
+module P = Ppj_relation.Predicate
+module Rng = Ppj_crypto.Rng
+module Co = Ppj_scpu.Coprocessor
+module Trace = Ppj_scpu.Trace
+module Join = Ppj_relation.Join
+module Relation = Ppj_relation.Relation
+module Tuple = Ppj_relation.Tuple
+module Value = Ppj_relation.Value
+
+(* Two data variants of identical shape: |A|, |B|, S and max multiplicity
+   all equal, but the matching tuples sit in different positions. *)
+let variant ~data_seed ?(na = 8) ?(nb = 12) ?(matches = 9) ?(mult = 3) () =
+  let rng = Rng.create data_seed in
+  W.equijoin_pair rng ~na ~nb ~matches ~max_multiplicity:mult
+
+let pred = P.equijoin2 "key" "key"
+
+let trace_of ?(m = 3) ~data_seed run =
+  let a, b = variant ~data_seed () in
+  (* The coprocessor seed is held fixed; only the data varies. *)
+  let inst = Instance.create ~m ~seed:1234 ~predicate:pred [ a; b ] in
+  ignore (run inst);
+  Co.trace (Instance.co inst)
+
+let check_safe name run () =
+  let runs = List.map (fun s () -> trace_of ~data_seed:s run) [ 1; 2; 3; 4 ] in
+  match Privacy.check ~runs with
+  | Privacy.Indistinguishable -> ()
+  | v -> Alcotest.failf "%s: %a" name Privacy.pp_verdict v
+
+(* For the straw-men we vary the whole match *distribution* (same sizes,
+   different multiplicities), which Definition 1 still requires to be
+   hidden. *)
+let unsafe_trace_of ~data_seed run =
+  let rng = Rng.create data_seed in
+  let a = W.uniform rng ~name:"A" ~n:8 ~key_domain:5 in
+  let b = W.uniform rng ~name:"B" ~n:12 ~key_domain:5 in
+  let inst = Instance.create ~m:3 ~seed:1234 ~predicate:pred [ a; b ] in
+  ignore (run inst);
+  Co.trace (Instance.co inst)
+
+let check_unsafe name run () =
+  let runs = List.map (fun s () -> unsafe_trace_of ~data_seed:s run) [ 1; 2; 3; 4 ] in
+  match Privacy.check ~runs with
+  | Privacy.Indistinguishable -> Alcotest.failf "%s: expected a distinguishable trace" name
+  | Privacy.Distinguishable _ -> ()
+
+(* --- Safe algorithms satisfy Definition 1 / 3 --- *)
+
+let test_alg1_private = check_safe "alg1" (fun i -> Algorithm1.run i ~n:3)
+let test_alg1v_private = check_safe "alg1v" (fun i -> Algorithm1.Variant.run i ~n:3)
+let test_alg2_private = check_safe "alg2" (fun i -> Algorithm2.run i ~n:3 ())
+
+let test_alg3_private =
+  check_safe "alg3" (fun i -> Algorithm3.run i ~n:3 ~attr_a:"key" ~attr_b:"key" ())
+
+let test_alg4_private = check_safe "alg4" (fun i -> Algorithm4.run i ())
+let test_alg5_private = check_safe "alg5" (fun i -> Algorithm5.run i)
+let test_alg6_private = check_safe "alg6" (fun i -> Algorithm6.run i ~eps:1e-12 ())
+
+let test_alg6_private_at_loose_eps =
+  (* Even a loose ε is private as long as no blemish occurs. *)
+  check_safe "alg6 loose" (fun i -> Algorithm6.run i ~eps:1e-3 ())
+
+let test_aggregate_private = check_safe "aggregate" (fun i -> Aggregate.count i)
+
+(* Shifting every key by a constant preserves the shape and the output
+   size; the trace must not move (Definition 3). *)
+let test_alg5_shifted_keys_indistinguishable () =
+  let base () =
+    let rng = Rng.create 7 in
+    let a = W.uniform rng ~name:"A" ~n:6 ~key_domain:4 in
+    let b = W.uniform rng ~name:"B" ~n:6 ~key_domain:4 in
+    (a, b)
+  in
+  let shift t =
+    Relation.of_array ~name:t.Relation.name t.Relation.schema
+      (Array.map
+         (fun tp ->
+           Tuple.make t.Relation.schema
+             [ tp.Tuple.values.(0);
+               Value.Int (Value.as_int tp.Tuple.values.(1) + 100);
+               tp.Tuple.values.(2)
+             ])
+         t.Relation.tuples)
+  in
+  let run rels =
+    let inst = Instance.create ~m:3 ~seed:1234 ~predicate:pred rels in
+    ignore (Algorithm5.run inst);
+    Co.trace (Instance.co inst)
+  in
+  let a, b = base () in
+  let a2, b2 = (shift a, shift b) in
+  Alcotest.(check int) "same S by construction"
+    (Join.result_size pred [ a; b ])
+    (Join.result_size pred [ a2; b2 ]);
+  Alcotest.(check bool) "identical traces" true (Trace.equal (run [ a; b ]) (run [ a2; b2 ]))
+
+(* --- Unsafe algorithms violate Definition 1 --- *)
+
+let test_naive_leaks = check_unsafe "naive" Unsafe.naive_nested_loop
+let test_blocked_leaks = check_unsafe "blocked" Unsafe.blocked_output
+
+let test_sort_merge_leaks =
+  check_unsafe "sort-merge" (fun i -> Unsafe.sort_merge i ~attr_a:"key" ~attr_b:"key")
+
+let test_grace_hash_leaks =
+  check_unsafe "grace-hash" (fun i ->
+      Unsafe.grace_hash i ~attr_a:"key" ~attr_b:"key" ~buckets:3 ~bucket_size:4)
+
+let test_commutative_leaks =
+  check_unsafe "commutative" (fun i ->
+      Unsafe.commutative_encryption i ~attr_a:"key" ~attr_b:"key")
+
+(* --- Adversary extractions --- *)
+
+let test_adversary_recovers_match_counts () =
+  (* §3.4.1: from the naive trace alone, recover every A tuple's match
+     count exactly. *)
+  let rng = Rng.create 61 in
+  let a = W.uniform rng ~name:"A" ~n:7 ~key_domain:4 in
+  let b = W.uniform rng ~name:"B" ~n:9 ~key_domain:4 in
+  let inst = Instance.create ~m:3 ~seed:1 ~predicate:pred [ a; b ] in
+  ignore (Unsafe.naive_nested_loop inst);
+  let inferred = Adversary.naive_match_counts (Co.trace (Instance.co inst)) ~a_len:7 in
+  let truth = Join.match_counts pred a b in
+  Alcotest.(check (array int)) "exact recovery" truth inferred
+
+let test_adversary_recovers_pairs () =
+  let rng = Rng.create 62 in
+  let a = W.uniform rng ~name:"A" ~n:5 ~key_domain:3 in
+  let b = W.uniform rng ~name:"B" ~n:6 ~key_domain:3 in
+  let inst = Instance.create ~m:3 ~seed:1 ~predicate:pred [ a; b ] in
+  ignore (Unsafe.naive_nested_loop inst);
+  let pairs = Adversary.naive_match_pairs (Co.trace (Instance.co inst)) in
+  let truth = ref [] in
+  Array.iteri
+    (fun i ta ->
+      Array.iteri
+        (fun j tb -> if P.eval2 pred ta tb then truth := (i, j) :: !truth)
+        b.Relation.tuples)
+    a.Relation.tuples;
+  Alcotest.(check (list (pair int int))) "exact pairs" (List.rev !truth) pairs
+
+let test_adversary_blind_on_safe_algorithm () =
+  (* The same extraction on Algorithm 1's trace yields pure padding: the
+     inferred counts are identical whatever the data. *)
+  let infer data_seed =
+    let a, b = variant ~data_seed () in
+    let inst = Instance.create ~m:3 ~seed:1234 ~predicate:pred [ a; b ] in
+    ignore (Algorithm1.run inst ~n:3);
+    Adversary.naive_match_counts (Co.trace (Instance.co inst)) ~a_len:8
+  in
+  Alcotest.(check (array int)) "no signal" (infer 1) (infer 2)
+
+let test_adversary_flush_gaps_reveal_skew () =
+  (* Grace hash: uniform vs highly-skewed B produce different gap
+     patterns between bucket flushes. *)
+  let gaps relation_b =
+    let rng = Rng.create 63 in
+    let a = W.uniform rng ~name:"A" ~n:6 ~key_domain:12 in
+    let inst = Instance.create ~m:6 ~seed:1234 ~predicate:pred [ a; relation_b ] in
+    ignore (Unsafe.grace_hash inst ~attr_a:"key" ~attr_b:"key" ~buckets:3 ~bucket_size:3);
+    Adversary.burst_sizes (Co.trace (Instance.co inst))
+  in
+  let rng = Rng.create 64 in
+  let uniform = W.uniform rng ~name:"B" ~n:12 ~key_domain:12 in
+  let skewed =
+    (* Every key identical: one bucket fills after every bucket_size
+       tuples, flushing far more often than under uniform keys. *)
+    let schema = W.keyed_schema () in
+    Relation.of_array ~name:"B" schema
+      (Array.init 12 (fun id ->
+           Tuple.make schema [ Value.Int id; Value.Int 0; Value.Str "s" ]))
+  in
+  Alcotest.(check bool) "distributions distinguishable" true (gaps uniform <> gaps skewed)
+
+let test_adversary_duplicate_histogram () =
+  (* Commutative encryption: the host reads the exact key-multiplicity
+     histogram off its own memory. *)
+  let rng = Rng.create 66 in
+  let a = W.uniform rng ~name:"A" ~n:6 ~key_domain:3 in
+  let b = W.uniform rng ~name:"B" ~n:8 ~key_domain:3 in
+  let inst = Instance.create ~m:3 ~seed:1 ~predicate:pred [ a; b ] in
+  ignore (Unsafe.commutative_encryption inst ~attr_a:"key" ~attr_b:"key");
+  let host = Co.host (Instance.co inst) in
+  let histogram = Adversary.duplicate_histogram host Trace.Joined 14 in
+  (* Ground truth: multiplicities of each key across A ++ B. *)
+  let tbl = Hashtbl.create 8 in
+  let bump t =
+    let k = Value.as_int (Tuple.get t "key") in
+    Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+  in
+  Array.iter bump a.Relation.tuples;
+  Array.iter bump b.Relation.tuples;
+  let truth =
+    Hashtbl.fold (fun _ v acc -> v :: acc) tbl [] |> List.sort (fun x y -> compare y x)
+  in
+  Alcotest.(check (list int)) "host recovers key histogram" truth histogram
+
+(* --- Timing side channel (§3.4.2 / Fixed Time principle) --- *)
+
+let cycles_of ~fixed_time ~matches =
+  let rng = Rng.create 71 in
+  let a, b = W.equijoin_pair rng ~na:6 ~nb:8 ~matches ~max_multiplicity:2 in
+  let inst = Instance.create ~fixed_time ~m:3 ~seed:1234 ~predicate:pred [ a; b ] in
+  (Unsafe.naive_nested_loop inst).Ppj_core.Report.cycles
+
+let test_timing_leak_without_padding () =
+  (* With padding off, the total cycle count reveals the result size. *)
+  Alcotest.(check bool) "more matches, more cycles" true
+    (cycles_of ~fixed_time:false ~matches:8 > cycles_of ~fixed_time:false ~matches:0)
+
+let test_timing_fixed_with_padding () =
+  (* The Fixed Time principle: cycles are a function of sizes only. *)
+  Alcotest.(check int) "identical cycles"
+    (cycles_of ~fixed_time:true ~matches:0)
+    (cycles_of ~fixed_time:true ~matches:8)
+
+(* --- Trace shape sanity for the safe algorithms --- *)
+
+let test_alg4_trace_shape () =
+  (* Algorithm 4's trace is: (R D[i], W out[i])^L then the filter. *)
+  let a, b = variant ~data_seed:1 () in
+  let inst = Instance.create ~m:3 ~seed:9 ~predicate:pred [ a; b ] in
+  ignore (Algorithm4.run inst ());
+  let entries = Trace.to_list (Co.trace (Instance.co inst)) in
+  let l = Instance.l inst in
+  let rec check i = function
+    | (e1 : Trace.entry) :: e2 :: rest when i < l ->
+        if not (e1.op = Trace.Read && e1.region = Trace.Cartesian && e1.index = i) then
+          Alcotest.failf "read %d malformed" i;
+        if not (e2.op = Trace.Write && e2.region = Trace.Output && e2.index = i) then
+          Alcotest.failf "write %d malformed" i;
+        check (i + 1) rest
+    | _ -> ()
+  in
+  check 0 entries
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_verdict_printer () =
+  let v = Privacy.Distinguishable { pair = (0, 1); position = 5; detail = "x vs y" } in
+  Alcotest.(check bool) "mentions position" true
+    (contains (Format.asprintf "%a" Privacy.pp_verdict v) "5");
+  Alcotest.(check string) "indistinguishable" "indistinguishable"
+    (Format.asprintf "%a" Privacy.pp_verdict Privacy.Indistinguishable)
+
+let () =
+  Alcotest.run "privacy"
+    [ ( "definition-holds",
+        [ Alcotest.test_case "algorithm 1" `Quick test_alg1_private;
+          Alcotest.test_case "algorithm 1 variant" `Quick test_alg1v_private;
+          Alcotest.test_case "algorithm 2" `Quick test_alg2_private;
+          Alcotest.test_case "algorithm 3" `Quick test_alg3_private;
+          Alcotest.test_case "algorithm 4" `Quick test_alg4_private;
+          Alcotest.test_case "algorithm 5" `Quick test_alg5_private;
+          Alcotest.test_case "algorithm 6" `Quick test_alg6_private;
+          Alcotest.test_case "algorithm 6 (loose eps)" `Quick test_alg6_private_at_loose_eps;
+          Alcotest.test_case "aggregation" `Quick test_aggregate_private;
+          Alcotest.test_case "alg5 shifted keys" `Quick test_alg5_shifted_keys_indistinguishable
+        ] );
+      ( "definition-violated",
+        [ Alcotest.test_case "naive nested loop" `Quick test_naive_leaks;
+          Alcotest.test_case "blocked output" `Quick test_blocked_leaks;
+          Alcotest.test_case "sort-merge" `Quick test_sort_merge_leaks;
+          Alcotest.test_case "grace hash" `Quick test_grace_hash_leaks;
+          Alcotest.test_case "commutative encryption" `Quick test_commutative_leaks
+        ] );
+      ( "adversary",
+        [ Alcotest.test_case "recovers match counts" `Quick test_adversary_recovers_match_counts;
+          Alcotest.test_case "recovers exact pairs" `Quick test_adversary_recovers_pairs;
+          Alcotest.test_case "blind on algorithm 1" `Quick test_adversary_blind_on_safe_algorithm;
+          Alcotest.test_case "flush gaps reveal skew" `Quick test_adversary_flush_gaps_reveal_skew;
+          Alcotest.test_case "duplicate histogram" `Quick test_adversary_duplicate_histogram
+        ] );
+      ( "timing",
+        [ Alcotest.test_case "leak without padding" `Quick test_timing_leak_without_padding;
+          Alcotest.test_case "fixed with padding" `Quick test_timing_fixed_with_padding
+        ] );
+      ( "trace-shape",
+        [ Alcotest.test_case "algorithm 4 shape" `Quick test_alg4_trace_shape;
+          Alcotest.test_case "verdict printer" `Quick test_verdict_printer
+        ] )
+    ]

@@ -1,0 +1,392 @@
+(* Relational substrate: values, schemas, tuples, predicates, oracles,
+   workloads, and the oTuple/decoy wire format. *)
+
+open Ppj_relation
+module Rng = Ppj_crypto.Rng
+
+let qtest name ?(count = 200) arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb prop)
+
+(* --- Value --- *)
+
+let test_value_norm () =
+  Alcotest.(check bool) "set normalised" true
+    (Value.equal (Value.Set [ 3; 1; 2; 1 ]) (Value.Set [ 1; 2; 3 ]))
+
+let test_value_jaccard () =
+  let j a b = Value.jaccard (Value.Set a) (Value.Set b) in
+  Alcotest.(check (float 1e-9)) "disjoint" 0. (j [ 1; 2 ] [ 3; 4 ]);
+  Alcotest.(check (float 1e-9)) "identical" 1. (j [ 1; 2 ] [ 2; 1 ]);
+  Alcotest.(check (float 1e-9)) "half" (1. /. 3.) (j [ 1; 2 ] [ 2; 3 ]);
+  Alcotest.(check (float 1e-9)) "empty pair" 1. (j [] [])
+
+let prop_jaccard_symmetric =
+  qtest "jaccard symmetric"
+    QCheck.(pair (list (int_range 0 20)) (list (int_range 0 20)))
+    (fun (a, b) ->
+      Float.abs (Value.jaccard (Value.Set a) (Value.Set b) -. Value.jaccard (Value.Set b) (Value.Set a))
+      < 1e-12)
+
+let prop_jaccard_bounds =
+  qtest "jaccard in [0,1]"
+    QCheck.(pair (list (int_range 0 20)) (list (int_range 0 20)))
+    (fun (a, b) ->
+      let j = Value.jaccard (Value.Set a) (Value.Set b) in
+      j >= 0. && j <= 1.)
+
+let test_value_as_casts () =
+  Alcotest.check_raises "as_int on str" (Invalid_argument "Value.as_int") (fun () ->
+      ignore (Value.as_int (Value.Str "x")))
+
+(* --- Schema --- *)
+
+let schema3 =
+  Schema.make
+    [ { Schema.name = "id"; ty = Schema.TInt };
+      { Schema.name = "name"; ty = Schema.TStr 10 };
+      { Schema.name = "tags"; ty = Schema.TSet 4 }
+    ]
+
+let test_schema_width () =
+  (* 8 + (2 + 10) + (2 + 16) *)
+  Alcotest.(check int) "width" 38 (Schema.width schema3)
+
+let test_schema_duplicate () =
+  Alcotest.check_raises "dup" (Invalid_argument "Schema.make: duplicate field names")
+    (fun () ->
+      ignore (Schema.make [ { Schema.name = "x"; ty = Schema.TInt }; { Schema.name = "x"; ty = Schema.TInt } ]))
+
+let test_schema_concat_renames () =
+  let s = Schema.concat schema3 schema3 in
+  Alcotest.(check int) "arity" 6 (Schema.arity s);
+  Alcotest.(check int) "renamed index" 3 (Schema.index_of s "id'")
+
+let test_schema_index () =
+  Alcotest.(check int) "tags at 2" 2 (Schema.index_of schema3 "tags");
+  Alcotest.check_raises "missing" Not_found (fun () -> ignore (Schema.index_of schema3 "zz"))
+
+(* --- Tuple --- *)
+
+let mk_tuple id name tags = Tuple.make schema3 [ Value.Int id; Value.Str name; Value.Set tags ]
+
+let arb_tuple =
+  QCheck.make
+    ~print:(fun t -> Format.asprintf "%a" Tuple.pp t)
+    QCheck.Gen.(
+      map3
+        (fun id name tags -> mk_tuple id name tags)
+        (int_range (-1000000) 1000000)
+        (string_size ~gen:(char_range 'a' 'z') (int_range 0 10))
+        (list_size (int_range 0 4) (int_range 0 100)))
+
+let prop_tuple_roundtrip =
+  qtest "encode/decode roundtrip" arb_tuple (fun t ->
+      Tuple.equal (Tuple.decode schema3 (Tuple.encode t)) t)
+
+let prop_tuple_fixed_width =
+  qtest "encoding is fixed width" arb_tuple (fun t ->
+      String.length (Tuple.encode t) = Schema.width schema3)
+
+let test_tuple_overflow () =
+  Alcotest.check_raises "str overflow"
+    (Invalid_argument "Tuple: field name overflows str[10]") (fun () ->
+      ignore (mk_tuple 1 "elevenchars" []));
+  Alcotest.check_raises "set overflow"
+    (Invalid_argument "Tuple: field tags overflows set[4]") (fun () ->
+      ignore (mk_tuple 1 "ok" [ 1; 2; 3; 4; 5 ]))
+
+let test_tuple_type_mismatch () =
+  Alcotest.check_raises "type" (Invalid_argument "Tuple: field id has mismatched type")
+    (fun () -> ignore (Tuple.make schema3 [ Value.Str "no"; Value.Str "x"; Value.Set [] ]))
+
+let test_tuple_join () =
+  let j = Tuple.join (mk_tuple 1 "a" []) (mk_tuple 2 "b" [ 9 ]) in
+  Alcotest.(check int) "arity" 6 (Schema.arity j.Tuple.schema);
+  Alcotest.(check int) "right id" 2 (Value.as_int (Tuple.get j "id'"))
+
+let test_tuple_negative_int () =
+  let t = mk_tuple (-42) "neg" [] in
+  Alcotest.(check int) "negative roundtrip" (-42)
+    (Value.as_int (Tuple.get (Tuple.decode schema3 (Tuple.encode t)) "id"))
+
+let test_tuple_decode_bad_length () =
+  Alcotest.check_raises "bad length"
+    (Invalid_argument "Tuple.decode: 3 bytes for width-38 schema") (fun () ->
+      ignore (Tuple.decode schema3 "abc"))
+
+(* --- Decoy wire format --- *)
+
+let test_decoy_roundtrip () =
+  let o = Decoy.real "payload" in
+  Alcotest.(check bool) "real" false (Decoy.is_decoy o);
+  Alcotest.(check string) "payload" "payload" (Decoy.payload o);
+  let d = Decoy.decoy ~payload:7 in
+  Alcotest.(check bool) "decoy" true (Decoy.is_decoy d);
+  Alcotest.(check int) "same width" (String.length o) (String.length d)
+
+let test_decoy_rank () =
+  Alcotest.(check int) "real rank" 0 (Decoy.sort_rank (Decoy.real "x"));
+  Alcotest.(check int) "decoy rank" 1 (Decoy.sort_rank (Decoy.decoy ~payload:1))
+
+let test_decoy_payload_of_decoy () =
+  Alcotest.check_raises "no payload" (Invalid_argument "Decoy.payload: decoy tuple")
+    (fun () -> ignore (Decoy.payload (Decoy.decoy ~payload:3)))
+
+(* --- Predicates --- *)
+
+let ks = Workload.keyed_schema ()
+let kt id key = Tuple.make ks [ Value.Int id; Value.Int key; Value.Str "p" ]
+
+let test_pred_equijoin2 () =
+  let p = Predicate.equijoin2 "key" "key" in
+  Alcotest.(check bool) "match" true (Predicate.eval2 p (kt 1 5) (kt 2 5));
+  Alcotest.(check bool) "no match" false (Predicate.eval2 p (kt 1 5) (kt 2 6))
+
+let test_pred_less_than () =
+  let p = Predicate.less_than "key" "key" in
+  Alcotest.(check bool) "lt" true (Predicate.eval2 p (kt 1 3) (kt 2 9));
+  Alcotest.(check bool) "ge" false (Predicate.eval2 p (kt 1 9) (kt 2 3));
+  Alcotest.(check bool) "eq" false (Predicate.eval2 p (kt 1 3) (kt 2 3))
+
+let test_pred_band () =
+  let p = Predicate.band "key" "key" ~width:2 in
+  Alcotest.(check bool) "inside" true (Predicate.eval2 p (kt 1 10) (kt 2 12));
+  Alcotest.(check bool) "outside" false (Predicate.eval2 p (kt 1 10) (kt 2 13))
+
+let test_pred_l1 () =
+  let p = Predicate.l1_within [ ("id", "id"); ("key", "key") ] ~threshold:5 in
+  Alcotest.(check bool) "below" true (Predicate.eval2 p (kt 1 2) (kt 2 4));
+  Alcotest.(check bool) "at threshold" false (Predicate.eval2 p (kt 1 2) (kt 4 4))
+
+let test_pred_jaccard () =
+  let ss = Schema.make [ { Schema.name = "tags"; ty = Schema.TSet 8 } ] in
+  let st tags = Tuple.make ss [ Value.Set tags ] in
+  let p = Predicate.jaccard_above "tags" "tags" ~threshold:0.5 in
+  Alcotest.(check bool) "similar" true (Predicate.eval2 p (st [ 1; 2; 3 ]) (st [ 1; 2; 3; 4 ]));
+  Alcotest.(check bool) "dissimilar" false (Predicate.eval2 p (st [ 1; 2 ]) (st [ 2; 3 ]))
+
+let test_pred_combinators () =
+  let t = Predicate.make ~name:"t" (fun _ -> true) in
+  let f = Predicate.make ~name:"f" (fun _ -> false) in
+  let any = [| kt 0 0; kt 1 1 |] in
+  Alcotest.(check bool) "conj" false (Predicate.eval (Predicate.conj t f) any);
+  Alcotest.(check bool) "disj" true (Predicate.eval (Predicate.disj t f) any);
+  Alcotest.(check bool) "negate" true (Predicate.eval (Predicate.negate f) any)
+
+let test_pred_multiway_equijoin () =
+  let p = Predicate.equijoin "key" in
+  Alcotest.(check bool) "3-way match" true (Predicate.eval p [| kt 0 7; kt 1 7; kt 2 7 |]);
+  Alcotest.(check bool) "3-way miss" false (Predicate.eval p [| kt 0 7; kt 1 7; kt 2 8 |])
+
+(* --- Join oracle --- *)
+
+let rel name tuples = Relation.make ~name ks (List.map (fun (i, k) -> kt i k) tuples)
+
+let test_join_nested_loop () =
+  let a = rel "A" [ (0, 1); (1, 2); (2, 3) ] in
+  let b = rel "B" [ (0, 2); (1, 2); (2, 9) ] in
+  let out = Join.nested_loop (Predicate.equijoin2 "key" "key") a b in
+  Alcotest.(check int) "two matches" 2 (List.length out)
+
+let test_join_multiway_vs_nested () =
+  let rng = Rng.create 4 in
+  let a = Workload.uniform rng ~name:"A" ~n:9 ~key_domain:5 in
+  let b = Workload.uniform rng ~name:"B" ~n:7 ~key_domain:5 in
+  let p = Predicate.equijoin2 "key" "key" in
+  Alcotest.(check int) "same size"
+    (List.length (Join.nested_loop p a b))
+    (List.length (Join.multiway p [ a; b ]))
+
+let test_join_match_counts () =
+  let a = rel "A" [ (0, 1); (1, 2) ] in
+  let b = rel "B" [ (0, 2); (1, 2); (2, 1) ] in
+  let p = Predicate.equijoin2 "key" "key" in
+  Alcotest.(check (array int)) "counts" [| 1; 2 |] (Join.match_counts p a b);
+  Alcotest.(check int) "N" 2 (Join.max_matches p a b)
+
+let test_join_three_way () =
+  let a = rel "A" [ (0, 1); (1, 2) ] in
+  let b = rel "B" [ (0, 1); (1, 3) ] in
+  let c = rel "C" [ (0, 1); (1, 1) ] in
+  let out = Join.multiway (Predicate.equijoin "key") [ a; b; c ] in
+  Alcotest.(check int) "key=1 twice" 2 (List.length out)
+
+(* --- Workload generators --- *)
+
+let prop_equijoin_pair_exact =
+  qtest "equijoin_pair hits exact S and respects N" ~count:60
+    QCheck.(triple (int_range 1 20) (int_range 1 30) (int_range 1 6))
+    (fun (na, nb, mult) ->
+      let matches = min nb (min (na * mult) nb) in
+      let rng = Rng.create (na + (31 * nb) + (977 * mult)) in
+      let a, b = Workload.equijoin_pair rng ~na ~nb ~matches ~max_multiplicity:mult in
+      let p = Predicate.equijoin2 "key" "key" in
+      Join.result_size p [ a; b ] = matches && Join.max_matches p a b <= mult)
+
+let test_equijoin_pair_invalid () =
+  let rng = Rng.create 0 in
+  Alcotest.check_raises "too many"
+    (Invalid_argument "Workload.equijoin_pair: matches exceed na * max_multiplicity")
+    (fun () -> ignore (Workload.equijoin_pair rng ~na:2 ~nb:50 ~matches:20 ~max_multiplicity:3))
+
+let test_skewed_worst_case () =
+  let rng = Rng.create 1 in
+  let a, b = Workload.skewed_worst_case rng ~na:6 ~nb:9 in
+  let p = Predicate.equijoin2 "key" "key" in
+  Alcotest.(check int) "S = |B|" 9 (Join.result_size p [ a; b ]);
+  Alcotest.(check int) "N = |B|" 9 (Join.max_matches p a b)
+
+let test_zipf_skew () =
+  let rng = Rng.create 2 in
+  let r = Workload.zipf rng ~name:"Z" ~n:2000 ~key_domain:50 ~theta:1.2 in
+  let counts = Array.make 50 0 in
+  Array.iter
+    (fun t -> counts.(Value.as_int (Tuple.get t "key")) <- counts.(Value.as_int (Tuple.get t "key")) + 1)
+    r.Relation.tuples;
+  Alcotest.(check bool) "head heavier than tail" true (counts.(0) > counts.(49))
+
+let test_uniform_shape () =
+  let rng = Rng.create 3 in
+  let r = Workload.uniform rng ~name:"U" ~n:100 ~key_domain:10 in
+  Alcotest.(check int) "cardinality" 100 (Relation.cardinality r);
+  Array.iter
+    (fun t ->
+      let k = Value.as_int (Tuple.get t "key") in
+      if k < 0 || k >= 10 then Alcotest.fail "key out of domain")
+    r.Relation.tuples
+
+let test_set_valued () =
+  let rng = Rng.create 4 in
+  let r = Workload.set_valued rng ~name:"S" ~n:20 ~universe:50 ~set_size:5 in
+  Array.iter
+    (fun t ->
+      Alcotest.(check int) "set size" 5 (List.length (Value.as_set (Tuple.get t "tags"))))
+    r.Relation.tuples
+
+let test_relation_sort_by () =
+  let r = rel "R" [ (0, 5); (1, 1); (2, 3) ] in
+  let sorted = Relation.sort_by "key" r in
+  Alcotest.(check int) "first key" 1 (Value.as_int (Tuple.get (Relation.get sorted 0) "key"))
+
+let test_relation_schema_mismatch () =
+  Alcotest.check_raises "mismatch" (Invalid_argument "Relation X: tuple schema mismatch")
+    (fun () ->
+      ignore (Relation.make ~name:"X" schema3 [ kt 0 0 ]))
+
+(* --- CSV I/O --- *)
+
+let test_csv_roundtrip () =
+  let rng = Rng.create 8 in
+  let r = Workload.uniform rng ~name:"R" ~n:25 ~key_domain:9 in
+  match Csv_io.parse r.Relation.schema ~name:"R" (Csv_io.print r) with
+  | Ok r' ->
+      Alcotest.(check bool) "tuples preserved" true
+        (Array.for_all2 Tuple.equal r.Relation.tuples r'.Relation.tuples)
+  | Error e -> Alcotest.fail e
+
+let test_csv_sets () =
+  let rng = Rng.create 9 in
+  let r = Workload.set_valued rng ~name:"S" ~n:10 ~universe:30 ~set_size:4 in
+  match Csv_io.parse r.Relation.schema ~name:"S" (Csv_io.print r) with
+  | Ok r' ->
+      Alcotest.(check bool) "sets preserved" true
+        (Array.for_all2 Tuple.equal r.Relation.tuples r'.Relation.tuples)
+  | Error e -> Alcotest.fail e
+
+let test_csv_infer_schema () =
+  let text = "id,key,name,tags\n1,10,ann,1;2;3\n2,20,bob,4\n" in
+  match Csv_io.infer_schema text with
+  | Error e -> Alcotest.fail e
+  | Ok schema -> (
+      let tys = List.map (fun (f : Schema.field) -> f.ty) (Schema.fields schema) in
+      match tys with
+      | [ Schema.TInt; Schema.TInt; Schema.TStr _; Schema.TSet _ ] -> (
+          match Csv_io.parse schema ~name:"X" text with
+          | Ok r -> Alcotest.(check int) "rows" 2 (Relation.cardinality r)
+          | Error e -> Alcotest.fail e)
+      | _ -> Alcotest.fail "inferred types wrong")
+
+let test_csv_header_mismatch () =
+  let schema = Workload.keyed_schema () in
+  Alcotest.(check bool) "rejected" true
+    (match Csv_io.parse schema ~name:"X" "wrong,header\n1,2\n" with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_csv_bad_cell () =
+  let schema = Workload.keyed_schema () in
+  Alcotest.(check bool) "rejected" true
+    (match Csv_io.parse schema ~name:"X" "id,key,info\n1,notanint,x\n" with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_csv_ragged_row () =
+  let schema = Workload.keyed_schema () in
+  Alcotest.(check bool) "rejected" true
+    (match Csv_io.parse schema ~name:"X" "id,key,info\n1,2\n" with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let () =
+  Alcotest.run "relation"
+    [ ( "value",
+        [ Alcotest.test_case "set normalisation" `Quick test_value_norm;
+          Alcotest.test_case "jaccard cases" `Quick test_value_jaccard;
+          Alcotest.test_case "cast errors" `Quick test_value_as_casts;
+          prop_jaccard_symmetric;
+          prop_jaccard_bounds
+        ] );
+      ( "schema",
+        [ Alcotest.test_case "width" `Quick test_schema_width;
+          Alcotest.test_case "duplicate names" `Quick test_schema_duplicate;
+          Alcotest.test_case "concat renames" `Quick test_schema_concat_renames;
+          Alcotest.test_case "index_of" `Quick test_schema_index
+        ] );
+      ( "tuple",
+        [ Alcotest.test_case "overflow" `Quick test_tuple_overflow;
+          Alcotest.test_case "type mismatch" `Quick test_tuple_type_mismatch;
+          Alcotest.test_case "join" `Quick test_tuple_join;
+          Alcotest.test_case "negative int" `Quick test_tuple_negative_int;
+          Alcotest.test_case "decode bad length" `Quick test_tuple_decode_bad_length;
+          prop_tuple_roundtrip;
+          prop_tuple_fixed_width
+        ] );
+      ( "decoy",
+        [ Alcotest.test_case "roundtrip" `Quick test_decoy_roundtrip;
+          Alcotest.test_case "sort rank" `Quick test_decoy_rank;
+          Alcotest.test_case "payload of decoy" `Quick test_decoy_payload_of_decoy
+        ] );
+      ( "predicate",
+        [ Alcotest.test_case "equijoin2" `Quick test_pred_equijoin2;
+          Alcotest.test_case "less_than" `Quick test_pred_less_than;
+          Alcotest.test_case "band" `Quick test_pred_band;
+          Alcotest.test_case "l1" `Quick test_pred_l1;
+          Alcotest.test_case "jaccard" `Quick test_pred_jaccard;
+          Alcotest.test_case "combinators" `Quick test_pred_combinators;
+          Alcotest.test_case "multiway equijoin" `Quick test_pred_multiway_equijoin
+        ] );
+      ( "join-oracle",
+        [ Alcotest.test_case "nested loop" `Quick test_join_nested_loop;
+          Alcotest.test_case "multiway = nested" `Quick test_join_multiway_vs_nested;
+          Alcotest.test_case "match counts" `Quick test_join_match_counts;
+          Alcotest.test_case "three-way" `Quick test_join_three_way
+        ] );
+      ( "workload",
+        [ Alcotest.test_case "equijoin_pair invalid" `Quick test_equijoin_pair_invalid;
+          Alcotest.test_case "skewed worst case" `Quick test_skewed_worst_case;
+          Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+          Alcotest.test_case "uniform shape" `Quick test_uniform_shape;
+          Alcotest.test_case "set valued" `Quick test_set_valued;
+          Alcotest.test_case "sort_by" `Quick test_relation_sort_by;
+          Alcotest.test_case "schema mismatch" `Quick test_relation_schema_mismatch;
+          prop_equijoin_pair_exact
+        ] );
+      ( "csv",
+        [ Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "set values" `Quick test_csv_sets;
+          Alcotest.test_case "schema inference" `Quick test_csv_infer_schema;
+          Alcotest.test_case "header mismatch" `Quick test_csv_header_mismatch;
+          Alcotest.test_case "bad cell" `Quick test_csv_bad_cell;
+          Alcotest.test_case "ragged row" `Quick test_csv_ragged_row
+        ] )
+    ]

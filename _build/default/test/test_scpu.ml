@@ -1,0 +1,371 @@
+(* Secure-coprocessor substrate: trace, host, coprocessor, attestation,
+   channels. *)
+
+module Trace = Ppj_scpu.Trace
+module Host = Ppj_scpu.Host
+module Co = Ppj_scpu.Coprocessor
+module Attestation = Ppj_scpu.Attestation
+module Channel = Ppj_scpu.Channel
+module Rng = Ppj_crypto.Rng
+module Workload = Ppj_relation.Workload
+module Relation = Ppj_relation.Relation
+
+let qtest name ?(count = 100) arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb prop)
+
+let fresh ?(m = 8) ?(seed = 1) () =
+  let host = Host.create () in
+  (host, Co.create ~host ~m ~seed)
+
+(* --- Trace --- *)
+
+let test_trace_record () =
+  let t = Trace.create () in
+  Trace.record t Trace.Read (Trace.Table "A") 3;
+  Trace.record t Trace.Write Trace.Scratch 0;
+  Alcotest.(check int) "length" 2 (Trace.length t);
+  Alcotest.(check int) "reads" 1 (Trace.reads t);
+  Alcotest.(check int) "writes" 1 (Trace.writes t);
+  Alcotest.(check int) "region count" 1 (Trace.transfers_to_region t Trace.Scratch)
+
+let test_trace_equal_and_divergence () =
+  let mk ops =
+    let t = Trace.create () in
+    List.iter (fun (op, r, i) -> Trace.record t op r i) ops;
+    t
+  in
+  let a = mk [ (Trace.Read, Trace.Cartesian, 0); (Trace.Write, Trace.Output, 1) ] in
+  let b = mk [ (Trace.Read, Trace.Cartesian, 0); (Trace.Write, Trace.Output, 2) ] in
+  let c = mk [ (Trace.Read, Trace.Cartesian, 0); (Trace.Write, Trace.Output, 1) ] in
+  Alcotest.(check bool) "equal" true (Trace.equal a c);
+  Alcotest.(check bool) "not equal" false (Trace.equal a b);
+  (match Trace.first_divergence a b with
+  | Some (1, _, _) -> ()
+  | _ -> Alcotest.fail "divergence at 1 expected");
+  (* Prefix traces diverge at the end. *)
+  let d = mk [ (Trace.Read, Trace.Cartesian, 0) ] in
+  match Trace.first_divergence a d with
+  | Some (1, Some _, None) -> ()
+  | _ -> Alcotest.fail "prefix divergence expected"
+
+let test_trace_growth () =
+  (* Force several internal buffer doublings. *)
+  let t = Trace.create () in
+  for i = 0 to 9999 do
+    Trace.record t Trace.Read Trace.Cartesian i
+  done;
+  Alcotest.(check int) "10000 entries" 10000 (Trace.length t);
+  Alcotest.(check int) "last index" 9999
+    (match List.rev (Trace.to_list t) with e :: _ -> e.Trace.index | [] -> -1)
+
+(* --- Host --- *)
+
+let test_host_regions () =
+  let host = Host.create () in
+  let host = Host.define_region host Trace.Scratch ~size:4 in
+  Alcotest.(check int) "size" 4 (Host.region_size host Trace.Scratch);
+  Host.raw_set host Trace.Scratch 2 "ciphertext";
+  Alcotest.(check string) "get" "ciphertext" (Host.raw_get host Trace.Scratch 2)
+
+let test_host_undefined_region () =
+  let host = Host.create () in
+  Alcotest.check_raises "undefined" (Invalid_argument "Host: undefined region") (fun () ->
+      ignore (Host.raw_get host Trace.Buffer 0))
+
+let test_host_empty_slot () =
+  let host = Host.create () in
+  let host = Host.define_region host Trace.Scratch ~size:2 in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Host.raw_get host Trace.Scratch 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_host_persist () =
+  let host = Host.create () in
+  let host = Host.define_region host Trace.Output ~size:3 in
+  List.iteri (fun i c -> Host.raw_set host Trace.Output i c) [ "x"; "y"; "z" ];
+  Host.persist host Trace.Output ~count:2;
+  Alcotest.(check (list string)) "disk" [ "x"; "y" ] (Host.disk host);
+  Alcotest.(check int) "count" 2 (Host.disk_writes host)
+
+(* --- Coprocessor --- *)
+
+let test_co_roundtrip () =
+  let host, co = fresh () in
+  let (_ : Host.t) = Host.define_region host Trace.Scratch ~size:2 in
+  Co.put co Trace.Scratch 0 "hello tuple";
+  Alcotest.(check string) "roundtrip" "hello tuple" (Co.get co Trace.Scratch 0);
+  Alcotest.(check int) "two transfers" 2 (Co.transfers co)
+
+let test_co_semantic_security () =
+  (* Two puts of the same plaintext must produce different ciphertexts. *)
+  let host, co = fresh () in
+  let (_ : Host.t) = Host.define_region host Trace.Scratch ~size:2 in
+  Co.put co Trace.Scratch 0 "same";
+  Co.put co Trace.Scratch 1 "same";
+  Alcotest.(check bool) "fresh nonces" true
+    (not (String.equal (Host.raw_get host Trace.Scratch 0) (Host.raw_get host Trace.Scratch 1)))
+
+let test_co_tamper_detected () =
+  let host, co = fresh () in
+  let (_ : Host.t) = Host.define_region host Trace.Scratch ~size:1 in
+  Co.put co Trace.Scratch 0 "precious";
+  Host.tamper host Trace.Scratch 0 ~byte:20;
+  Alcotest.(check bool) "raises Tamper_detected" true
+    (try
+       ignore (Co.get co Trace.Scratch 0);
+       false
+     with Co.Tamper_detected _ -> true)
+
+let prop_co_tamper_any_byte =
+  qtest "any tampered byte is detected" QCheck.(int_range 0 200) (fun byte ->
+      let host, co = fresh () in
+      let (_ : Host.t) = Host.define_region host Trace.Scratch ~size:1 in
+      Co.put co Trace.Scratch 0 (String.make 40 'p');
+      Host.tamper host Trace.Scratch 0 ~byte;
+      try
+        ignore (Co.get co Trace.Scratch 0);
+        false
+      with Co.Tamper_detected _ -> true)
+
+let test_co_memory_ledger () =
+  let _, co = fresh ~m:4 () in
+  Co.alloc co 3;
+  Alcotest.(check int) "in use" 3 (Co.mem_in_use co);
+  Alcotest.(check bool) "overflow raises" true
+    (try
+       Co.alloc co 2;
+       false
+     with Co.Memory_exceeded _ -> true);
+  Co.free co 3;
+  Co.alloc co 4;
+  Co.free co 4;
+  Alcotest.check_raises "underflow" (Invalid_argument "Coprocessor.free: ledger underflow")
+    (fun () -> Co.free co 1)
+
+let test_co_trace_records_everything () =
+  let host, co = fresh () in
+  let (_ : Host.t) = Host.define_region host Trace.Scratch ~size:4 in
+  for i = 0 to 3 do
+    Co.put co Trace.Scratch i (string_of_int i)
+  done;
+  for i = 0 to 3 do
+    ignore (Co.get co Trace.Scratch i)
+  done;
+  let tr = Co.trace co in
+  Alcotest.(check int) "8 entries" 8 (Trace.length tr);
+  Alcotest.(check int) "4 writes then 4 reads" 4 (Trace.writes tr)
+
+let test_co_load_region_silent () =
+  let _, co = fresh () in
+  Co.load_region co (Trace.Table "A") [| "t0"; "t1" |];
+  Alcotest.(check int) "setup not traced" 0 (Co.transfers co);
+  Alcotest.(check string) "readable" "t1" (Co.get co (Trace.Table "A") 1)
+
+let test_co_cycles () =
+  let _, co = fresh () in
+  Co.tick co 5;
+  Co.tick co 5;
+  Alcotest.(check int) "cycles" 10 (Co.cycles co)
+
+let test_co_seed_determinism () =
+  let _, co1 = fresh ~seed:42 () in
+  let _, co2 = fresh ~seed:42 () in
+  Alcotest.(check int) "same internal randomness" (Co.fresh_seed co1) (Co.fresh_seed co2)
+
+(* --- Attestation --- *)
+
+let layers =
+  [ { Attestation.name = "miniboot"; code = "mb" };
+    { Attestation.name = "os"; code = "cpos" };
+    { Attestation.name = "app"; code = "join-svc" }
+  ]
+
+let test_attestation_ok () =
+  let chain = Attestation.certify ~device_key:"dk" layers in
+  let expected = List.map Attestation.layer_digest layers in
+  Alcotest.(check bool) "verifies" true (Attestation.verify ~device_key:"dk" ~expected chain)
+
+let test_attestation_wrong_key () =
+  let chain = Attestation.certify ~device_key:"dk" layers in
+  let expected = List.map Attestation.layer_digest layers in
+  Alcotest.(check bool) "other key fails" false
+    (Attestation.verify ~device_key:"other" ~expected chain)
+
+let test_attestation_modified_code () =
+  let chain = Attestation.certify ~device_key:"dk" layers in
+  let evil = [ { Attestation.name = "app"; code = "evil" } ] in
+  let expected =
+    List.map Attestation.layer_digest
+      (List.filteri (fun i _ -> i < 2) layers @ evil)
+  in
+  Alcotest.(check bool) "digest mismatch" false
+    (Attestation.verify ~device_key:"dk" ~expected chain)
+
+let test_attestation_truncated_chain () =
+  let chain = Attestation.certify ~device_key:"dk" layers in
+  let expected = List.map Attestation.layer_digest layers in
+  Alcotest.(check bool) "truncated fails" false
+    (Attestation.verify ~device_key:"dk" ~expected (List.filteri (fun i _ -> i < 2) chain))
+
+(* --- Channel --- *)
+
+let contract =
+  { Channel.contract_id = "c-7";
+    providers = [ "pa"; "pb" ];
+    recipient = "pc";
+    predicate = "eq(key,key)";
+  }
+
+let schema = Workload.keyed_schema ()
+
+let relation () =
+  let rng = Rng.create 5 in
+  Workload.uniform rng ~name:"pa" ~n:13 ~key_domain:7
+
+let test_channel_roundtrip () =
+  let p = Channel.party ~id:"pa" ~secret:(String.make 16 's') in
+  let r = relation () in
+  let s = Channel.submit p contract r in
+  match Channel.accept p contract schema s with
+  | Ok r' ->
+      Alcotest.(check int) "cardinality" (Relation.cardinality r) (Relation.cardinality r');
+      Alcotest.(check bool) "tuples preserved" true
+        (Array.for_all2 Ppj_relation.Tuple.equal r.Relation.tuples r'.Relation.tuples)
+  | Error e -> Alcotest.fail e
+
+let test_channel_contract_mismatch () =
+  let p = Channel.party ~id:"pa" ~secret:(String.make 16 's') in
+  let s = Channel.submit p contract (relation ()) in
+  let other = { contract with Channel.contract_id = "c-8" } in
+  Alcotest.(check bool) "rejected" true
+    (match Channel.accept p other schema s with Error "contract mismatch" -> true | _ -> false)
+
+let test_channel_wrong_key () =
+  let p = Channel.party ~id:"pa" ~secret:(String.make 16 's') in
+  let q = Channel.party ~id:"pa" ~secret:(String.make 16 't') in
+  let s = Channel.submit p contract (relation ()) in
+  Alcotest.(check bool) "auth failure" true
+    (match Channel.accept q contract schema s with
+    | Error "authentication failure" -> true
+    | _ -> false)
+
+let test_channel_result_roundtrip () =
+  let p = Channel.party ~id:"pc" ~secret:(String.make 16 'r') in
+  let reals = [ Ppj_relation.Decoy.real "aaaa"; Ppj_relation.Decoy.real "bbbb" ] in
+  let decoys = [ Ppj_relation.Decoy.decoy ~payload:4 ] in
+  let sealed = Channel.seal_result p contract (reals @ decoys) in
+  match Channel.open_result p contract sealed with
+  | Ok got -> Alcotest.(check (list string)) "decoys dropped" reals got
+  | Error e -> Alcotest.fail e
+
+let test_channel_empty_result () =
+  let p = Channel.party ~id:"pc" ~secret:(String.make 16 'r') in
+  let sealed = Channel.seal_result p contract [] in
+  match Channel.open_result p contract sealed with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "expected empty"
+  | Error e -> Alcotest.fail e
+
+let test_handshake_agreement () =
+  let rng = Rng.create 31 in
+  let mac_key = "identity-mac-key" in
+  let h, x = Channel.Handshake.hello rng ~id:"pa" ~mac_key in
+  match Channel.Handshake.respond rng ~mac_key h with
+  | Error e -> Alcotest.fail e
+  | Ok (reply, t_side) -> (
+      match Channel.Handshake.finish ~id:"pa" ~mac_key ~exponent:x reply with
+      | Error e -> Alcotest.fail e
+      | Ok requester_side ->
+          (* Both ends derive the same key: a message sealed by one opens
+             at the other. *)
+          let contract =
+            { Channel.contract_id = "hs"; providers = [ "pa" ]; recipient = "pa"; predicate = "p" }
+          in
+          let sealed = Channel.seal_result requester_side contract [ Ppj_relation.Decoy.real "abcd" ] in
+          (match Channel.open_result t_side contract sealed with
+          | Ok [ o ] -> Alcotest.(check string) "payload" "abcd" (Ppj_relation.Decoy.payload o)
+          | _ -> Alcotest.fail "shared key mismatch"))
+
+let test_handshake_rejects_forged_hello () =
+  let rng = Rng.create 32 in
+  let h, _ = Channel.Handshake.hello rng ~id:"pa" ~mac_key:"good-key" in
+  (* MITM replaces the public value. *)
+  let h' = Channel.Handshake.corrupt_hello h in
+  Alcotest.(check bool) "rejected" true
+    (match Channel.Handshake.respond rng ~mac_key:"good-key" h' with Error _ -> true | Ok _ -> false)
+
+let test_handshake_rejects_wrong_identity_key () =
+  let rng = Rng.create 33 in
+  let h, _ = Channel.Handshake.hello rng ~id:"pa" ~mac_key:"key-one" in
+  Alcotest.(check bool) "rejected" true
+    (match Channel.Handshake.respond rng ~mac_key:"key-two" h with Error _ -> true | Ok _ -> false)
+
+let test_handshake_reply_authenticated () =
+  let rng = Rng.create 34 in
+  let h, x = Channel.Handshake.hello rng ~id:"pa" ~mac_key:"k" in
+  match Channel.Handshake.respond rng ~mac_key:"k" h with
+  | Error e -> Alcotest.fail e
+  | Ok (_reply, _) -> (
+      (* An attacker substituting its own reply fails the finish check. *)
+      let fake, _ = Channel.Handshake.hello rng ~id:"pa" ~mac_key:"k" in
+      match Channel.Handshake.respond rng ~mac_key:"attacker" fake with
+      | Ok _ -> Alcotest.fail "attacker should not authenticate"
+      | Error _ -> (
+          match
+            Channel.Handshake.finish ~id:"pa" ~mac_key:"k" ~exponent:(x + 1)
+              (match Channel.Handshake.respond rng ~mac_key:"k" h with
+              | Ok (r, _) -> r
+              | Error e -> Alcotest.fail e)
+          with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "mismatched exponent must fail the MAC"))
+
+let test_channel_bad_secret_length () =
+  Alcotest.check_raises "16 bytes" (Invalid_argument "Channel.party: secret must be 16 bytes")
+    (fun () -> ignore (Channel.party ~id:"x" ~secret:"short"))
+
+let () =
+  Alcotest.run "scpu"
+    [ ( "trace",
+        [ Alcotest.test_case "record and count" `Quick test_trace_record;
+          Alcotest.test_case "equality and divergence" `Quick test_trace_equal_and_divergence;
+          Alcotest.test_case "growth" `Quick test_trace_growth
+        ] );
+      ( "host",
+        [ Alcotest.test_case "regions" `Quick test_host_regions;
+          Alcotest.test_case "undefined region" `Quick test_host_undefined_region;
+          Alcotest.test_case "empty slot" `Quick test_host_empty_slot;
+          Alcotest.test_case "persist" `Quick test_host_persist
+        ] );
+      ( "coprocessor",
+        [ Alcotest.test_case "get/put roundtrip" `Quick test_co_roundtrip;
+          Alcotest.test_case "semantic security" `Quick test_co_semantic_security;
+          Alcotest.test_case "tamper detection" `Quick test_co_tamper_detected;
+          Alcotest.test_case "memory ledger" `Quick test_co_memory_ledger;
+          Alcotest.test_case "trace completeness" `Quick test_co_trace_records_everything;
+          Alcotest.test_case "setup not traced" `Quick test_co_load_region_silent;
+          Alcotest.test_case "cycle counter" `Quick test_co_cycles;
+          Alcotest.test_case "seeded determinism" `Quick test_co_seed_determinism;
+          prop_co_tamper_any_byte
+        ] );
+      ( "attestation",
+        [ Alcotest.test_case "valid chain" `Quick test_attestation_ok;
+          Alcotest.test_case "wrong device key" `Quick test_attestation_wrong_key;
+          Alcotest.test_case "modified code" `Quick test_attestation_modified_code;
+          Alcotest.test_case "truncated chain" `Quick test_attestation_truncated_chain
+        ] );
+      ( "channel",
+        [ Alcotest.test_case "submit/accept roundtrip" `Quick test_channel_roundtrip;
+          Alcotest.test_case "contract mismatch" `Quick test_channel_contract_mismatch;
+          Alcotest.test_case "wrong key" `Quick test_channel_wrong_key;
+          Alcotest.test_case "result roundtrip" `Quick test_channel_result_roundtrip;
+          Alcotest.test_case "empty result" `Quick test_channel_empty_result;
+          Alcotest.test_case "bad secret length" `Quick test_channel_bad_secret_length;
+          Alcotest.test_case "handshake key agreement" `Quick test_handshake_agreement;
+          Alcotest.test_case "handshake forged hello" `Quick test_handshake_rejects_forged_hello;
+          Alcotest.test_case "handshake wrong identity" `Quick test_handshake_rejects_wrong_identity_key;
+          Alcotest.test_case "handshake reply auth" `Quick test_handshake_reply_authenticated
+        ] )
+    ]

@@ -1,0 +1,199 @@
+(* The SMC baseline: circuits, garbling, oblivious transfer, and the
+   two-party join protocol of §4.6.5. *)
+
+open Ppj_smc
+module Rng = Ppj_crypto.Rng
+module Block = Ppj_crypto.Block
+
+let qtest name ?(count = 100) arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb prop)
+
+(* --- Circuits --- *)
+
+let test_equality_exhaustive () =
+  let c = Circuit.equality ~width:5 in
+  for a = 0 to 31 do
+    for b = 0 to 31 do
+      let got = Circuit.eval c (Circuit.bits_of_int ~width:5 a) (Circuit.bits_of_int ~width:5 b) in
+      if got <> (a = b) then Alcotest.failf "eq(%d,%d) = %b" a b got
+    done
+  done
+
+let test_less_than_exhaustive () =
+  let c = Circuit.less_than ~width:5 in
+  for a = 0 to 31 do
+    for b = 0 to 31 do
+      let got = Circuit.eval c (Circuit.bits_of_int ~width:5 a) (Circuit.bits_of_int ~width:5 b) in
+      if got <> (a < b) then Alcotest.failf "lt(%d,%d) = %b" a b got
+    done
+  done
+
+let test_equality_and_count () =
+  (* w-1 AND gates for a width-w equality (balanced tree). *)
+  Alcotest.(check int) "ands" 7 (Circuit.and_count (Circuit.equality ~width:8))
+
+let test_width_one () =
+  let c = Circuit.equality ~width:1 in
+  Alcotest.(check bool) "1=1" true (Circuit.eval c [| true |] [| true |]);
+  Alcotest.(check bool) "0!=1" false (Circuit.eval c [| false |] [| true |])
+
+let test_eval_arity_check () =
+  let c = Circuit.equality ~width:3 in
+  Alcotest.check_raises "arity" (Invalid_argument "Circuit.eval: input arity") (fun () ->
+      ignore (Circuit.eval c [| true |] [| true; false; true |]))
+
+let test_bits_of_int () =
+  Alcotest.(check (array bool)) "5 = 101" [| true; false; true |] (Circuit.bits_of_int ~width:3 5)
+
+(* --- Garbling --- *)
+
+let prop_garbled_equals_plain_eq =
+  qtest "garbled evaluation = plain evaluation (equality)" ~count:200
+    QCheck.(triple (int_range 0 255) (int_range 0 255) (int_range 0 10_000))
+    (fun (a, b, seed) ->
+      let c = Circuit.equality ~width:8 in
+      let rng = Rng.create seed in
+      let g = Garble.garble rng c in
+      let a_bits = Circuit.bits_of_int ~width:8 a in
+      let b_bits = Circuit.bits_of_int ~width:8 b in
+      let a_labels = Garble.input_labels_a g a_bits in
+      let b_labels =
+        Array.init 8 (fun i ->
+            let l0, l1 = Garble.input_label_pair_b g i in
+            if b_bits.(i) then l1 else l0)
+      in
+      Garble.evaluate g ~a_labels ~b_labels = (a = b))
+
+let prop_garbled_equals_plain_lt =
+  qtest "garbled evaluation = plain evaluation (less-than)" ~count:200
+    QCheck.(triple (int_range 0 255) (int_range 0 255) (int_range 0 10_000))
+    (fun (a, b, seed) ->
+      let c = Circuit.less_than ~width:8 in
+      let rng = Rng.create seed in
+      let g = Garble.garble rng c in
+      let a_labels = Garble.input_labels_a g (Circuit.bits_of_int ~width:8 a) in
+      let b_bits = Circuit.bits_of_int ~width:8 b in
+      let b_labels =
+        Array.init 8 (fun i ->
+            let l0, l1 = Garble.input_label_pair_b g i in
+            if b_bits.(i) then l1 else l0)
+      in
+      Garble.evaluate g ~a_labels ~b_labels = (a < b))
+
+let test_table_bits_formula () =
+  (* 4 rows x 128 bits per AND gate; XOR is free. *)
+  let c = Circuit.equality ~width:8 in
+  let g = Garble.garble (Rng.create 3) c in
+  Alcotest.(check int) "free xor" (Circuit.and_count c * 4 * 128) (Garble.table_bits g)
+
+let test_labels_fresh_per_garbling () =
+  let c = Circuit.equality ~width:4 in
+  let rng = Rng.create 9 in
+  let g1 = Garble.garble rng c and g2 = Garble.garble rng c in
+  let l1, _ = Garble.input_label_pair_b g1 0 in
+  let l2, _ = Garble.input_label_pair_b g2 0 in
+  Alcotest.(check bool) "fresh labels" false (Block.equal l1 l2)
+
+(* --- Oblivious transfer --- *)
+
+let prop_ot_delivers_chosen =
+  qtest "OT delivers exactly the chosen message" ~count:200
+    QCheck.(pair bool (int_range 0 100_000))
+    (fun (choice, seed) ->
+      let rng = Rng.create seed in
+      let m0 = Block.of_string (Rng.bytes rng 16) in
+      let m1 = Block.of_string (Rng.bytes rng 16) in
+      let c = Ot.counters () in
+      let got = Ot.transfer rng c ~m0 ~m1 ~choice in
+      Block.equal got (if choice then m1 else m0))
+
+let test_ot_counters () =
+  let rng = Rng.create 4 in
+  let c = Ot.counters () in
+  let m = Block.of_string (String.make 16 'm') in
+  ignore (Ot.transfer rng c ~m0:m ~m1:m ~choice:false);
+  Alcotest.(check int) "5 pk ops per transfer" 5 c.Ot.pk_ops;
+  Alcotest.(check bool) "bits counted" true (c.Ot.bits > 256)
+
+(* --- Protocol --- *)
+
+let test_protocol_equality_join () =
+  let matches, cost =
+    Protocol.equality_join ~seed:7 ~width:8 ~a:[| 3; 7; 9 |] ~b:[| 7; 7; 2; 9 |]
+  in
+  Alcotest.(check (list (pair int int))) "pairs" [ (1, 0); (1, 1); (2, 3) ] matches;
+  Alcotest.(check int) "12 evaluations" 12 cost.Protocol.evaluations;
+  Alcotest.(check bool) "bits counted" true (cost.Protocol.bits > 0)
+
+let test_protocol_less_than_join () =
+  let matches, _ = Protocol.less_than_join ~seed:8 ~width:8 ~a:[| 3; 9 |] ~b:[| 5; 1 |] in
+  Alcotest.(check (list (pair int int))) "pairs" [ (0, 0) ] matches
+
+let prop_protocol_matches_oracle =
+  qtest "protocol = plain join" ~count:20
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 4) (int_range 0 15)) (int_range 0 1000))
+    (fun (keys, seed) ->
+      let a = Array.of_list keys in
+      let b = Array.of_list (List.rev keys) in
+      let matches, _ = Protocol.equality_join ~seed ~width:4 ~a ~b in
+      let expected = ref [] in
+      Array.iteri
+        (fun i x -> Array.iteri (fun j y -> if x = y then expected := (i, j) :: !expected) b)
+        a;
+      matches = List.rev !expected)
+
+let test_protocol_cost_scales_quadratically () =
+  let _, c1 = Protocol.equality_join ~seed:1 ~width:4 ~a:[| 1; 2 |] ~b:[| 3; 4 |] in
+  let _, c2 = Protocol.equality_join ~seed:1 ~width:4 ~a:[| 1; 2; 3; 4 |] ~b:[| 3; 4; 5; 6 |] in
+  Alcotest.(check int) "4x evaluations" (4 * c1.Protocol.evaluations) c2.Protocol.evaluations;
+  Alcotest.(check bool) "about 4x bits" true
+    (float_of_int c2.Protocol.bits /. float_of_int c1.Protocol.bits > 3.5)
+
+let test_smc_vs_coprocessor_measured () =
+  (* The experimental heart of §4.6.5 at executable scale: the SMC
+     baseline moves far more bits than Algorithm 2 for the same join. *)
+  let module W = Ppj_relation.Workload in
+  let module P = Ppj_relation.Predicate in
+  let rng = Rng.create 11 in
+  let a, b = W.equijoin_pair rng ~na:8 ~nb:8 ~matches:6 ~max_multiplicity:2 in
+  let keys r =
+    Array.map
+      (fun t -> Ppj_relation.Value.as_int (Ppj_relation.Tuple.get t "key") land 0xFF)
+      r.Ppj_relation.Relation.tuples
+  in
+  let _, smc_cost = Protocol.equality_join ~seed:3 ~width:8 ~a:(keys a) ~b:(keys b) in
+  let inst = Ppj_core.Instance.create ~m:4 ~seed:3 ~predicate:(P.equijoin2 "key" "key") [ a; b ] in
+  let r = Ppj_core.Algorithm2.run inst ~n:2 () in
+  let tuple_bits = 8 * Ppj_core.Instance.out_width inst in
+  let coproc_bits = r.Ppj_core.Report.transfers * tuple_bits in
+  Alcotest.(check bool) "SMC at least 10x more communication" true
+    (smc_cost.Protocol.bits > 10 * coproc_bits)
+
+let () =
+  Alcotest.run "smc"
+    [ ( "circuit",
+        [ Alcotest.test_case "equality exhaustive" `Quick test_equality_exhaustive;
+          Alcotest.test_case "less-than exhaustive" `Quick test_less_than_exhaustive;
+          Alcotest.test_case "AND count" `Quick test_equality_and_count;
+          Alcotest.test_case "width one" `Quick test_width_one;
+          Alcotest.test_case "arity check" `Quick test_eval_arity_check;
+          Alcotest.test_case "bit decomposition" `Quick test_bits_of_int
+        ] );
+      ( "garble",
+        [ Alcotest.test_case "table bits / free XOR" `Quick test_table_bits_formula;
+          Alcotest.test_case "fresh labels" `Quick test_labels_fresh_per_garbling;
+          prop_garbled_equals_plain_eq;
+          prop_garbled_equals_plain_lt
+        ] );
+      ( "ot",
+        [ Alcotest.test_case "counters" `Quick test_ot_counters;
+          prop_ot_delivers_chosen
+        ] );
+      ( "protocol",
+        [ Alcotest.test_case "equality join" `Quick test_protocol_equality_join;
+          Alcotest.test_case "less-than join" `Quick test_protocol_less_than_join;
+          Alcotest.test_case "quadratic cost" `Quick test_protocol_cost_scales_quadratically;
+          Alcotest.test_case "SMC vs coprocessor" `Quick test_smc_vs_coprocessor_measured;
+          prop_protocol_matches_oracle
+        ] )
+    ]
