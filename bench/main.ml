@@ -2,18 +2,29 @@
    evaluation, validates the closed forms against the executable
    algorithms, and runs Bechamel microbenches.
 
-     dune exec bench/main.exe            # everything
-     dune exec bench/main.exe fig5.2     # one experiment
+     dune exec bench/main.exe                              # everything
+     dune exec bench/main.exe fig5.2                       # one experiment
+     dune exec bench/main.exe -- measured --json out.json  # machine-readable export
 
    Experiments: tab5.1 tab5.2 tab5.3 fig4.1 sec4.6.5 fig5.1 fig5.2
    fig5.3 fig5.4 measured parallel aggregate ablation oram bechamel.
-   Set PPJ_CSV_DIR to also emit plottable CSV for the figures. *)
+   Set PPJ_CSV_DIR to also emit plottable CSV for the figures.
+   [--json PATH] dumps the metrics registry (per-region transfer
+   counters, model-vs-measured gauges, per-experiment wall-clock spans)
+   as JSON; if PATH is a directory a BENCH_<timestamp>.json is created
+   inside it.  Schema: DESIGN.md. *)
 
 open Ppj_core
 module W = Ppj_relation.Workload
 module P = Ppj_relation.Predicate
 module Rng = Ppj_crypto.Rng
 module Par = Ppj_parallel.Parallel
+module Obs = Ppj_obs
+
+(* Experiments record into this registry; [--json PATH] dumps it (plus
+   the run manifest) as a BENCH_*.json file — see DESIGN.md for the
+   schema. *)
+let registry = Obs.Registry.default
 
 let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -271,39 +282,82 @@ let fig54 () =
 
 (* --- Measured vs formula --- *)
 
+(* Documented tolerance bands on measured/formula (DESIGN.md): algorithms
+   whose formulas count the sequential scans exactly sit close to 1;
+   those running power-of-two-padded sorting networks sit above the
+   paper's big-O-style approximations by a bounded factor. *)
+let exact_band = (0.9, 2.0)
+let padded_band = (0.9, 4.0)
+
 let measured () =
   header "Formula vs measured transfer counts (L = 2400 scaled setting)";
-  let fmt_row name measured formula =
-    row "%-14s %12d %14.0f %9.2fx\n" name measured formula
-      (float_of_int measured /. formula)
-  in
-  row "%-14s %12s %14s %9s\n" "algorithm" "measured" "formula" "ratio";
+  row "%-14s %12s %14s %9s %6s\n" "algorithm" "measured" "formula" "ratio" "band";
   let n = 3 in
-  let r1 = Algorithm1.run (measured_instance ()) ~n in
-  fmt_row "Algorithm 1" r1.Report.transfers (Cost.alg1 ~a:40 ~b:60 ~n);
-  let rv = Algorithm1.Variant.run (measured_instance ()) ~n in
-  fmt_row "Alg 1 variant" rv.Report.transfers (Cost.alg1_variant ~a:40 ~b:60);
-  let r2 = Algorithm2.run (measured_instance ~m:2 ()) ~n () in
-  fmt_row "Algorithm 2" r2.Report.transfers (Cost.alg2 ~a:40 ~b:60 ~n ~m:2 ());
-  let r3 = Algorithm3.run (measured_instance ()) ~n ~attr_a:"key" ~attr_b:"key" () in
-  fmt_row "Algorithm 3" r3.Report.transfers (Cost.alg3 ~a:40 ~b:60 ~n ());
-  let r4 = Algorithm4.run (measured_instance ()) () in
-  fmt_row "Algorithm 4" r4.Report.transfers (Cost.alg4 ~l:2400 ~s:24);
-  let r5 = Algorithm5.run (measured_instance ()) in
-  fmt_row "Algorithm 5" r5.Report.transfers (Cost.alg5 ~l:2400 ~s:24 ~m:4);
-  let r6, st = Algorithm6.run (measured_instance ()) ~eps:1e-9 () in
-  fmt_row "Algorithm 6" r6.Report.transfers
-    (Cost.alg6_given ~l:2400 ~s:24 ~m:4 ~n_star:st.Algorithm6.n_star);
-  let r7, _ = Algorithm7.run (measured_instance ()) ~attr_a:"key" ~attr_b:"key" in
-  let total = 100. in
-  let lg = log total /. log 2. in
-  fmt_row "Algorithm 7*" r7.Report.transfers
-    ((total *. lg *. lg) +. (3. *. total) +. Ppj_oblivious.Filter.transfers ~omega:100 ~mu:24
-        ~delta:(Ppj_oblivious.Filter.optimal_delta ~mu:24));
+  let alg7_formula =
+    let total = 100. in
+    let lg = log total /. log 2. in
+    (total *. lg *. lg) +. (3. *. total)
+    +. Ppj_oblivious.Filter.transfers ~omega:100 ~mu:24
+         ~delta:(Ppj_oblivious.Filter.optimal_delta ~mu:24)
+  in
+  let runs =
+    [ ( "alg1", "Algorithm 1", padded_band,
+        fun () ->
+          let i = measured_instance () in
+          (i, Algorithm1.run i ~n, Cost.alg1 ~a:40 ~b:60 ~n) );
+      ( "alg1v", "Alg 1 variant", padded_band,
+        fun () ->
+          let i = measured_instance () in
+          (i, Algorithm1.Variant.run i ~n, Cost.alg1_variant ~a:40 ~b:60) );
+      ( "alg2", "Algorithm 2", exact_band,
+        fun () ->
+          let i = measured_instance ~m:2 () in
+          (i, Algorithm2.run i ~n (), Cost.alg2 ~a:40 ~b:60 ~n ~m:2 ()) );
+      ( "alg3", "Algorithm 3", exact_band,
+        fun () ->
+          let i = measured_instance () in
+          (i, Algorithm3.run i ~n ~attr_a:"key" ~attr_b:"key" (), Cost.alg3 ~a:40 ~b:60 ~n ()) );
+      ( "alg4", "Algorithm 4", padded_band,
+        fun () ->
+          let i = measured_instance () in
+          (i, Algorithm4.run i (), Cost.alg4 ~l:2400 ~s:24) );
+      ( "alg5", "Algorithm 5", exact_band,
+        fun () ->
+          let i = measured_instance () in
+          (i, Algorithm5.run i, Cost.alg5 ~l:2400 ~s:24 ~m:4) );
+      ( "alg6", "Algorithm 6", padded_band,
+        fun () ->
+          let i = measured_instance () in
+          let r, st = Algorithm6.run i ~eps:1e-9 () in
+          (i, r, Cost.alg6_given ~l:2400 ~s:24 ~m:4 ~n_star:st.Algorithm6.n_star) );
+      ( "alg7", "Algorithm 7*", padded_band,
+        fun () ->
+          let i = measured_instance () in
+          (i, fst (Algorithm7.run i ~attr_a:"key" ~attr_b:"key"), alg7_formula) )
+    ]
+  in
+  List.iter
+    (fun (tag, name, (lo, hi), run) ->
+      let inst, r, formula = run () in
+      let ratio = float_of_int r.Report.transfers /. formula in
+      let ok = ratio >= lo && ratio <= hi in
+      let labels = [ ("alg", tag) ] in
+      Ppj_scpu.Coprocessor.observe ~labels (Instance.co inst) registry;
+      Ppj_scpu.Host.observe ~labels (Ppj_scpu.Coprocessor.host (Instance.co inst)) registry;
+      Obs.Registry.set_gauge ~labels registry "bench.measured.transfers"
+        (float_of_int r.Report.transfers);
+      Obs.Registry.set_gauge ~labels registry "bench.formula.transfers" formula;
+      Obs.Registry.set_gauge ~labels registry "bench.ratio" ratio;
+      Obs.Registry.set_gauge ~labels registry "bench.within_tolerance" (if ok then 1. else 0.);
+      row "%-14s %12d %14.0f %9.2fx %6s\n" name r.Report.transfers formula ratio
+        (if ok then "ok" else "FAIL"))
+    runs;
   row "(* Algorithm 7 is this repo's sort-based PK-FK equijoin extension)\n";
   row "\nRatios near 1 validate the closed forms; Algorithms 1/4/6 run\n";
   row "power-of-two-padded sorting networks, so their measured counts sit\n";
-  row "above the paper's big-O-style approximations by a bounded factor.\n"
+  row "above the paper's big-O-style approximations by a bounded factor\n";
+  row "(band: exact formulas %.2g-%.2g, padded networks %.2g-%.2g).\n" (fst exact_band)
+    (snd exact_band) (fst padded_band) (snd padded_band)
 
 (* --- Parallelism --- *)
 
@@ -315,13 +369,18 @@ let parallel () =
   List.iter (fun p -> row " %10d" p) [ 1; 2; 4; 8 ];
   row "\n";
   List.iter
-    (fun (name, run) ->
+    (fun (tag, name, run) ->
       row "%-12s" name;
-      List.iter (fun p -> row " %10.2f" (run ~p).Par.speedup) [ 1; 2; 4; 8 ];
+      List.iter
+        (fun p ->
+          let o = run ~p in
+          Par.observe ~labels:[ ("alg", tag); ("p", string_of_int p) ] o registry;
+          row " %10.2f" o.Par.speedup)
+        [ 1; 2; 4; 8 ];
       row "\n")
-    [ ("Algorithm 4", fun ~p -> Par.alg4 ~p ~m:4 ~seed:5 ~predicate:pred [ a; b ]);
-      ("Algorithm 5", fun ~p -> Par.alg5 ~p ~m:4 ~seed:5 ~predicate:pred [ a; b ]);
-      ("Algorithm 6", fun ~p -> Par.alg6 ~p ~m:4 ~seed:5 ~eps:1e-9 ~predicate:pred [ a; b ])
+    [ ("alg4", "Algorithm 4", fun ~p -> Par.alg4 ~p ~m:4 ~seed:5 ~predicate:pred [ a; b ]);
+      ("alg5", "Algorithm 5", fun ~p -> Par.alg5 ~p ~m:4 ~seed:5 ~predicate:pred [ a; b ]);
+      ("alg6", "Algorithm 6", fun ~p -> Par.alg6 ~p ~m:4 ~seed:5 ~eps:1e-9 ~predicate:pred [ a; b ])
     ];
   row "(speedup = total transfers / slowest coprocessor's transfers)\n"
 
@@ -536,16 +595,78 @@ let experiments =
     ("bechamel", bechamel)
   ]
 
+(* [--json PATH] may appear anywhere in the argument list; the remaining
+   arguments select experiments as before.  PATH may be a directory, in
+   which case a timestamped BENCH_*.json is created inside it. *)
+let parse_args argv =
+  let rec go json acc = function
+    | "--json" :: path :: rest -> go (Some path) acc rest
+    | "--json" :: [] ->
+        prerr_endline "--json requires a path";
+        exit 1
+    | x :: rest -> go json (x :: acc) rest
+    | [] -> (json, List.rev acc)
+  in
+  match Array.to_list argv with _ :: args -> go None [] args | [] -> (None, [])
+
+let json_file_of path =
+  if Sys.file_exists path && Sys.is_directory path then begin
+    let tm = Unix.localtime (Unix.time ()) in
+    Filename.concat path
+      (Printf.sprintf "BENCH_%04d%02d%02d_%02d%02d%02d.json" (tm.Unix.tm_year + 1900)
+         (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec)
+  end
+  else path
+
+let write_json path ran =
+  let doc =
+    Obs.Json.Obj
+      [ ("schema", Obs.Json.Str "ppj.bench/1");
+        ("generated_at_unix", Obs.Json.Float (Unix.time ()));
+        ("experiments", Obs.Json.List (List.map (fun n -> Obs.Json.Str n) ran));
+        ("metrics", Obs.Snapshot.to_json (Obs.Registry.snapshot registry))
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "(wrote %s)\n" path
+
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: (_ :: _ as names) ->
-      List.iter
-        (fun name ->
-          match List.assoc_opt name experiments with
-          | Some f -> f ()
-          | None ->
-              Printf.eprintf "unknown experiment %s; known: %s\n" name
-                (String.concat " " (List.map fst experiments));
-              exit 1)
+  let json, names = parse_args Sys.argv in
+  (* Resolve (and fail on) an unwritable destination before spending a
+     minute running experiments. *)
+  let json =
+    Option.map
+      (fun path ->
+        let file = json_file_of path in
+        (match open_out file with
+        | oc -> close_out oc
+        | exception Sys_error msg ->
+            Printf.eprintf "--json: cannot write %s\n" msg;
+            exit 1);
+        file)
+      json
+  in
+  let run_one name f =
+    Obs.Registry.span ~labels:[ ("experiment", name) ] registry "bench.experiment.seconds" f
+  in
+  let ran =
+    match names with
+    | [] ->
+        List.iter (fun (name, f) -> run_one name f) experiments;
+        List.map fst experiments
+    | names ->
+        List.iter
+          (fun name ->
+            match List.assoc_opt name experiments with
+            | Some f -> run_one name f
+            | None ->
+                Printf.eprintf "unknown experiment %s; known: %s\n" name
+                  (String.concat " " (List.map fst experiments));
+                exit 1)
+          names;
         names
-  | _ -> List.iter (fun (_, f) -> f ()) experiments
+  in
+  Option.iter (fun file -> write_json file ran) json

@@ -49,6 +49,12 @@ let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic see
 let eps_arg = Arg.(value & opt float 1e-9 & info [ "eps" ] ~doc:"Algorithm 6 privacy parameter.")
 let p_arg = Arg.(value & opt int 1 & info [ "p" ] ~doc:"Number of coprocessors.")
 
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Also print the run's metrics snapshot (per-region transfer counters, memory ledger, stats).")
+
 let make_instance ~na ~nb ~matches ~mult ~m ~seed =
   let rng = Rng.create seed in
   let a, b = W.equijoin_pair rng ~na ~nb ~matches ~max_multiplicity:mult in
@@ -66,20 +72,21 @@ let execute algorithm ~eps ~mult inst =
   | A7 -> fst (Algorithm7.run inst ~attr_a:"key" ~attr_b:"key")
 
 let run_cmd =
-  let run algorithm na nb matches mult m seed eps =
+  let run algorithm na nb matches mult m seed eps metrics =
     let inst = make_instance ~na ~nb ~matches ~mult ~m ~seed in
     let r = execute algorithm ~eps ~mult inst in
     Format.printf "@[<v>%a@,@,results:@," Report.pp r;
     List.iteri (fun i t -> if i < 20 then Format.printf "  %a@," T.pp t) r.Report.results;
     if List.length r.Report.results > 20 then Format.printf "  ... (%d total)@," (List.length r.Report.results);
     Format.printf "@]@.";
+    if metrics then Format.printf "@.metrics:@.%a@." Ppj_obs.Snapshot.pp r.Report.metrics;
     if List.length r.Report.results <> Instance.oracle_size inst then begin
       Format.eprintf "WARNING: result size differs from oracle!@.";
       exit 1
     end
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a join algorithm on a synthetic workload and print the results.")
-    Term.(const run $ algorithm_arg $ na_arg $ nb_arg $ matches_arg $ mult_arg $ m_arg $ seed_arg $ eps_arg)
+    Term.(const run $ algorithm_arg $ na_arg $ nb_arg $ matches_arg $ mult_arg $ m_arg $ seed_arg $ eps_arg $ metrics_arg)
 
 let trace_cmd =
   let run algorithm na nb matches mult m seed eps limit =
@@ -193,7 +200,7 @@ let csv_join_cmd =
     Term.(const run $ path_a $ path_b $ attr_a $ attr_b $ algorithm_arg $ m_arg $ seed_arg $ eps_arg $ out)
 
 let parallel_cmd =
-  let run na nb matches mult m seed p =
+  let run na nb matches mult m seed p metrics =
     let rng = Rng.create seed in
     let a, b = W.equijoin_pair rng ~na ~nb ~matches ~max_multiplicity:mult in
     let pred = P.equijoin2 "key" "key" in
@@ -201,10 +208,15 @@ let parallel_cmd =
     Format.printf "results: %d  speedup at P=%d: %.2f  per-coprocessor transfers:"
       (List.length o.Ppj_parallel.Parallel.results) p o.Ppj_parallel.Parallel.speedup;
     Array.iter (fun t -> Format.printf " %d" t) o.Ppj_parallel.Parallel.per_co_transfers;
-    Format.printf "@."
+    Format.printf "@.";
+    if metrics then begin
+      let reg = Ppj_obs.Registry.create () in
+      Ppj_parallel.Parallel.observe o reg;
+      Format.printf "@.metrics:@.%a@." Ppj_obs.Snapshot.pp (Ppj_obs.Registry.snapshot reg)
+    end
   in
   Cmd.v (Cmd.info "parallel" ~doc:"Run Algorithm 5 across P simulated coprocessors.")
-    Term.(const run $ na_arg $ nb_arg $ matches_arg $ mult_arg $ m_arg $ seed_arg $ p_arg)
+    Term.(const run $ na_arg $ nb_arg $ matches_arg $ mult_arg $ m_arg $ seed_arg $ p_arg $ metrics_arg)
 
 let () =
   let doc = "privacy preserving joins on (simulated) secure coprocessors" in

@@ -12,6 +12,7 @@ type t = {
   cycles : int;
   results : Tuple.t list;
   stats : (string * float) list;
+  metrics : Ppj_obs.Snapshot.t;
 }
 
 let collect inst ?(stats = []) () =
@@ -24,6 +25,10 @@ let collect inst ?(stats = []) () =
     |> List.filter (fun o -> not (Decoy.is_decoy o))
     |> List.map (Instance.decode_result inst)
   in
+  let reg = Ppj_obs.Registry.create () in
+  Coprocessor.observe co reg;
+  Host.observe host reg;
+  List.iter (fun (k, v) -> Ppj_obs.Registry.set_gauge reg ("stat." ^ k) v) stats;
   { transfers = Trace.length trace;
     reads = Trace.reads trace;
     writes = Trace.writes trace;
@@ -31,6 +36,7 @@ let collect inst ?(stats = []) () =
     cycles = Coprocessor.cycles co;
     results;
     stats;
+    metrics = Ppj_obs.Registry.snapshot reg;
   }
 
 let stat t name = List.assoc name t.stats

@@ -12,11 +12,16 @@ type t = {
   cycles : int;  (** fixed-time cycle counter *)
   results : Tuple.t list;  (** recipient-decoded join results, decoys dropped *)
   stats : (string * float) list;  (** algorithm-specific figures (γ, n*, …) *)
+  metrics : Ppj_obs.Snapshot.t;
+      (** full labelled snapshot: per-region transfer counters, memory
+          ledger, disk figures and the [stats] as gauges — the
+          machine-readable face of this report *)
 }
 
 val collect : Instance.t -> ?stats:(string * float) list -> unit -> t
 (** Snapshot the instance's trace/host counters and decode the disk
-    contents as the recipient would. *)
+    contents as the recipient would.  [metrics] is populated from
+    {!Ppj_scpu.Coprocessor.observe} and {!Ppj_scpu.Host.observe}. *)
 
 val stat : t -> string -> float
 (** @raise Not_found if the statistic is absent. *)

@@ -39,17 +39,25 @@ let accept_all contract submissions =
   |> Result.map List.rev
 
 let run config ~contract ~submissions ~recipient ~predicate =
+  (* Every phase runs under a wall-clock span; the spans land in the
+     report's metrics next to the per-region transfer counters. *)
+  let reg = Ppj_obs.Registry.create () in
+  let phase name f = Ppj_obs.Registry.span ~labels:[ ("phase", name) ] reg "service.phase.seconds" f in
   (* Outbound authentication: the requestors check the service's chain
      before entrusting it with data (§3.3.3). *)
   let device_key = "ppj-device-master-key!!" in
-  let chain = Attestation.certify ~device_key attested_layers in
-  let expected = List.map Attestation.layer_digest attested_layers in
-  if not (Attestation.verify ~device_key ~expected chain) then
-    Error "outbound authentication failed"
+  let attested =
+    phase "attestation" (fun () ->
+        let chain = Attestation.certify ~device_key attested_layers in
+        let expected = List.map Attestation.layer_digest attested_layers in
+        Attestation.verify ~device_key ~expected chain)
+  in
+  if not attested then Error "outbound authentication failed"
   else
-    let* rels = accept_all contract submissions in
+    let* rels = phase "submission_verify" (fun () -> accept_all contract submissions) in
     let inst = Instance.create ~m:config.m ~seed:config.seed ~predicate rels in
     let report =
+      phase "join" @@ fun () ->
       match config.algorithm with
       | Alg1 { n } -> Algorithm1.run inst ~n
       | Alg2 { n } -> Algorithm2.run inst ~n ()
@@ -70,8 +78,17 @@ let run config ~contract ~submissions ~recipient ~predicate =
        the recipient's session key. *)
     let co = Instance.co inst in
     let host = Coprocessor.host co in
-    let otuples = List.map (Coprocessor.decrypt_for_recipient co) (Host.disk host) in
-    let sealed = Channel.seal_result recipient contract otuples in
-    let* reals = Channel.open_result recipient contract sealed in
-    let delivered = List.map (Instance.decode_result inst) reals in
+    let* delivered =
+      phase "sealing" (fun () ->
+          let otuples = List.map (Coprocessor.decrypt_for_recipient co) (Host.disk host) in
+          let sealed = Channel.seal_result recipient contract otuples in
+          let* reals = Channel.open_result recipient contract sealed in
+          Ok (List.map (Instance.decode_result inst) reals))
+    in
+    let report =
+      { report with
+        Report.metrics =
+          Ppj_obs.Snapshot.union report.Report.metrics (Ppj_obs.Registry.snapshot reg)
+      }
+    in
     Ok { report; delivered }

@@ -45,4 +45,9 @@ val run :
   predicate:Predicate.t ->
   (outcome, string) result
 (** Returns [Error _] if attestation fails, a submission does not
-    authenticate, or its embedded contract disagrees with [T]'s copy. *)
+    authenticate, or its embedded contract disagrees with [T]'s copy.
+
+    Each phase — attestation, submission verify, join, sealing — runs
+    under a wall-clock span; the spans appear in the returned report's
+    [metrics] as [service.phase.seconds] histograms labelled by phase,
+    alongside the coprocessor's transfer counters. *)

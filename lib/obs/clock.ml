@@ -1,0 +1,9 @@
+let real = Unix.gettimeofday
+
+let source = ref real
+
+let now () = !source ()
+
+let set_source f = source := f
+
+let reset_source () = source := real

@@ -1,0 +1,14 @@
+(** Wall-clock source for timers and spans.
+
+    A single process-wide indirection so tests can substitute a fake
+    clock and make span durations deterministic. *)
+
+val now : unit -> float
+(** Seconds since the epoch (sub-microsecond resolution in the real
+    source). *)
+
+val set_source : (unit -> float) -> unit
+(** Replace the time source (tests). *)
+
+val reset_source : unit -> unit
+(** Restore the real wall clock. *)

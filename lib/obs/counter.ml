@@ -1,0 +1,11 @@
+type t = { mutable v : int }
+
+let create () = { v = 0 }
+
+let incr ?(by = 1) t =
+  if by < 0 then invalid_arg "Counter.incr: negative increment";
+  t.v <- t.v + by
+
+let set_to t v = if v > t.v then t.v <- v
+
+let value t = t.v

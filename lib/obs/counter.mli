@@ -1,0 +1,16 @@
+(** Monotonic integer counters. *)
+
+type t
+
+val create : unit -> t
+
+val incr : ?by:int -> t -> unit
+(** Add [by] (default 1).
+    @raise Invalid_argument if [by] is negative — counters only go up. *)
+
+val set_to : t -> int -> unit
+(** Raise the counter to an absolute value observed elsewhere (used when
+    publishing an already-accumulated total into a registry).  A value
+    below the current one is a no-op, preserving monotonicity. *)
+
+val value : t -> int

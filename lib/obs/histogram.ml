@@ -1,0 +1,53 @@
+type t = { mutable values : float array; mutable len : int; mutable total : float }
+
+type summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p95 : float;
+}
+
+let create () = { values = Array.make 16 0.; len = 0; total = 0. }
+
+let observe t v =
+  if not (Float.is_finite v) then invalid_arg "Histogram.observe: non-finite value";
+  if t.len = Array.length t.values then begin
+    let bigger = Array.make (2 * t.len) 0. in
+    Array.blit t.values 0 bigger 0 t.len;
+    t.values <- bigger
+  end;
+  t.values.(t.len) <- v;
+  t.len <- t.len + 1;
+  t.total <- t.total +. v
+
+let count t = t.len
+
+let sum t = t.total
+
+let sorted t =
+  let a = Array.sub t.values 0 t.len in
+  Array.sort compare a;
+  a
+
+let rank_of q len = max 1 (int_of_float (ceil (q /. 100. *. float_of_int len)))
+
+let percentile t q =
+  if not (q > 0. && q <= 100.) then invalid_arg "Histogram.percentile: q outside (0, 100]";
+  if t.len = 0 then None else Some (sorted t).(rank_of q t.len - 1)
+
+let summary t =
+  if t.len = 0 then None
+  else
+    let a = sorted t in
+    Some
+      { count = t.len;
+        sum = t.total;
+        min = a.(0);
+        max = a.(t.len - 1);
+        mean = t.total /. float_of_int t.len;
+        p50 = a.(rank_of 50. t.len - 1);
+        p95 = a.(rank_of 95. t.len - 1);
+      }

@@ -1,0 +1,34 @@
+(** Value histograms with exact quantiles.
+
+    Observations are retained (this is an instrumentation layer for a
+    simulator, not a telemetry agent), so quantiles are exact
+    nearest-rank values rather than sketch approximations. *)
+
+type t
+
+type summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p95 : float;
+}
+
+val create : unit -> t
+
+val observe : t -> float -> unit
+(** Non-finite observations raise [Invalid_argument]. *)
+
+val count : t -> int
+
+val sum : t -> float
+
+val percentile : t -> float -> float option
+(** Nearest-rank percentile: for [q] in (0, 100], the value at sorted
+    rank [ceil (q/100 * count)]; [None] on an empty histogram.
+    @raise Invalid_argument if [q] is outside (0, 100]. *)
+
+val summary : t -> summary option
+(** [None] on an empty histogram. *)

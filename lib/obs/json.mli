@@ -1,0 +1,35 @@
+(** Minimal JSON values — just enough for the observability layer to emit
+    machine-readable snapshots and read them back, with no dependency
+    beyond the standard library.
+
+    Numbers keep the int/float distinction: integers print without a
+    decimal point and parse back as {!Int}; floats always print with a
+    point or exponent so the round trip is type-stable.  Non-finite
+    floats have no JSON spelling and serialise as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line serialisation. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented, human-readable serialisation (still valid JSON). *)
+
+val of_string : string -> (t, string) result
+(** Recursive-descent parser for the subset above: objects, arrays,
+    strings with the standard escapes (including [\uXXXX], encoded to
+    UTF-8), numbers, [true]/[false]/[null].  Errors carry the byte
+    offset. *)
+
+val equal : t -> t -> bool
+(** Structural equality; object field order is significant. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on anything else. *)

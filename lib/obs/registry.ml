@@ -1,0 +1,79 @@
+type instrument =
+  | I_counter of Counter.t
+  | I_gauge of float ref
+  | I_histogram of Histogram.t
+
+type t = (string * (string * string) list, instrument) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let default = create ()
+
+let kind_name = function
+  | I_counter _ -> "counter"
+  | I_gauge _ -> "gauge"
+  | I_histogram _ -> "histogram"
+
+let find t ~labels name make =
+  let key = (name, List.sort compare labels) in
+  match Hashtbl.find_opt t key with
+  | Some i -> i
+  | None ->
+      let i = make () in
+      Hashtbl.replace t key i;
+      i
+
+let mismatch name want got =
+  invalid_arg
+    (Printf.sprintf "Registry: %s already registered as a %s, not a %s" name (kind_name got)
+       want)
+
+let counter ?(labels = []) t name =
+  match find t ~labels name (fun () -> I_counter (Counter.create ())) with
+  | I_counter c -> c
+  | i -> mismatch name "counter" i
+
+let histogram ?(labels = []) t name =
+  match find t ~labels name (fun () -> I_histogram (Histogram.create ())) with
+  | I_histogram h -> h
+  | i -> mismatch name "histogram" i
+
+let gauge_ref ?(labels = []) t name =
+  match find t ~labels name (fun () -> I_gauge (ref 0.)) with
+  | I_gauge r -> r
+  | i -> mismatch name "gauge" i
+
+let set_gauge ?labels t name v = gauge_ref ?labels t name := v
+
+let span ?labels t name f =
+  let h = histogram ?labels t name in
+  let t0 = Clock.now () in
+  let record () = Histogram.observe h (Clock.now () -. t0) in
+  match f () with
+  | v ->
+      record ();
+      v
+  | exception e ->
+      record ();
+      raise e
+
+let snapshot t =
+  Hashtbl.fold
+    (fun (name, labels) i acc ->
+      let value =
+        match i with
+        | I_counter c -> Some (Snapshot.Counter (Counter.value c))
+        | I_gauge r -> Some (Snapshot.Gauge !r)
+        | I_histogram h -> (
+            match Histogram.summary h with
+            | Some s -> Some (Snapshot.Summary s)
+            | None -> None (* empty histograms stay out of snapshots *))
+      in
+      match value with
+      | Some value -> { Snapshot.name; labels; value } :: acc
+      | None -> acc)
+    t []
+  |> List.sort (fun a b ->
+         compare (a.Snapshot.name, a.Snapshot.labels) (b.Snapshot.name, b.Snapshot.labels))
+
+let clear = Hashtbl.reset

@@ -1,0 +1,30 @@
+(** A labelled collection of live metrics.
+
+    Metric identity is (name, sorted labels); asking twice for the same
+    identity returns the same underlying instrument, and asking for an
+    existing identity with a different kind raises.  {!snapshot} is
+    deterministic — see {!Snapshot}. *)
+
+type t
+
+val create : unit -> t
+
+val default : t
+(** A process-wide registry for code without an obvious owner (the bench
+    harness).  Prefer passing an explicit registry. *)
+
+val counter : ?labels:(string * string) list -> t -> string -> Counter.t
+
+val histogram : ?labels:(string * string) list -> t -> string -> Histogram.t
+
+val set_gauge : ?labels:(string * string) list -> t -> string -> float -> unit
+(** Last write wins. *)
+
+val span : ?labels:(string * string) list -> t -> string -> (unit -> 'a) -> 'a
+(** Run the thunk, recording its wall-clock duration (seconds, via
+    {!Clock}) into the histogram [name].  Durations of raising thunks are
+    recorded too, then the exception is re-raised. *)
+
+val snapshot : t -> Snapshot.t
+
+val clear : t -> unit

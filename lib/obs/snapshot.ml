@@ -1,0 +1,145 @@
+type value =
+  | Counter of int
+  | Gauge of float
+  | Summary of Histogram.summary
+
+type metric = { name : string; labels : (string * string) list; value : value }
+
+type t = metric list
+
+let empty = []
+
+let identity m = (m.name, m.labels)
+
+let sort ms = List.sort_uniq (fun a b -> compare (identity a) (identity b)) ms
+
+let union a b =
+  (* List.sort_uniq keeps the first of equal elements; putting [b] first
+     gives it precedence on identity collisions. *)
+  sort (b @ a)
+
+let find ?(labels = []) ms name =
+  let labels = List.sort compare labels in
+  List.find_opt (fun m -> m.name = name && m.labels = labels) ms
+
+let value_fields = function
+  | Counter v -> [ ("kind", Json.Str "counter"); ("value", Json.Int v) ]
+  | Gauge v -> [ ("kind", Json.Str "gauge"); ("value", Json.Float v) ]
+  | Summary s ->
+      [ ("kind", Json.Str "histogram");
+        ("count", Json.Int s.Histogram.count);
+        ("sum", Json.Float s.Histogram.sum);
+        ("min", Json.Float s.Histogram.min);
+        ("max", Json.Float s.Histogram.max);
+        ("mean", Json.Float s.Histogram.mean);
+        ("p50", Json.Float s.Histogram.p50);
+        ("p95", Json.Float s.Histogram.p95)
+      ]
+
+let metric_to_json m =
+  Json.Obj
+    (("name", Json.Str m.name)
+     :: (if m.labels = [] then []
+         else [ ("labels", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) m.labels)) ])
+    @ value_fields m.value)
+
+let to_json ms =
+  Json.Obj
+    [ ("schema", Json.Str "ppj.obs/1");
+      ("metrics", Json.List (List.map metric_to_json (sort ms)))
+    ]
+
+(* --- parsing back --- *)
+
+let ( let* ) = Result.bind
+
+let str_field j name =
+  match Json.member name j with
+  | Some (Json.Str s) -> Ok s
+  | _ -> Error (Printf.sprintf "snapshot: missing string field %S" name)
+
+let num_field j name =
+  match Json.member name j with
+  | Some (Json.Float f) -> Ok f
+  | Some (Json.Int i) -> Ok (float_of_int i)
+  | _ -> Error (Printf.sprintf "snapshot: missing numeric field %S" name)
+
+let int_field j name =
+  match Json.member name j with
+  | Some (Json.Int i) -> Ok i
+  | _ -> Error (Printf.sprintf "snapshot: missing integer field %S" name)
+
+let labels_of_json j =
+  match Json.member "labels" j with
+  | None -> Ok []
+  | Some (Json.Obj fields) ->
+      List.fold_left
+        (fun acc (k, v) ->
+          let* acc = acc in
+          match v with
+          | Json.Str s -> Ok ((k, s) :: acc)
+          | _ -> Error "snapshot: non-string label value")
+        (Ok []) fields
+      |> Result.map (List.sort compare)
+  | Some _ -> Error "snapshot: labels must be an object"
+
+let metric_of_json j =
+  let* name = str_field j "name" in
+  let* labels = labels_of_json j in
+  let* kind = str_field j "kind" in
+  let* value =
+    match kind with
+    | "counter" ->
+        let* v = int_field j "value" in
+        Ok (Counter v)
+    | "gauge" ->
+        let* v = num_field j "value" in
+        Ok (Gauge v)
+    | "histogram" ->
+        let* count = int_field j "count" in
+        let* sum = num_field j "sum" in
+        let* mn = num_field j "min" in
+        let* mx = num_field j "max" in
+        let* mean = num_field j "mean" in
+        let* p50 = num_field j "p50" in
+        let* p95 = num_field j "p95" in
+        Ok (Summary { Histogram.count; sum; min = mn; max = mx; mean; p50; p95 })
+    | k -> Error (Printf.sprintf "snapshot: unknown metric kind %S" k)
+  in
+  Ok { name; labels; value }
+
+let of_json j =
+  match Json.member "metrics" j with
+  | Some (Json.List ms) ->
+      List.fold_left
+        (fun acc m ->
+          let* acc = acc in
+          let* m = metric_of_json m in
+          Ok (m :: acc))
+        (Ok []) ms
+      |> Result.map sort
+  | _ -> Error "snapshot: missing metrics array"
+
+let pp_labels ppf = function
+  | [] -> ()
+  | labels ->
+      Format.fprintf ppf "{%s}"
+        (String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels))
+
+let pp_metric ppf m =
+  match m.value with
+  | Counter v -> Format.fprintf ppf "%s%a %d" m.name pp_labels m.labels v
+  | Gauge v -> Format.fprintf ppf "%s%a %g" m.name pp_labels m.labels v
+  | Summary s ->
+      Format.fprintf ppf "%s%a count=%d sum=%g min=%g p50=%g p95=%g max=%g" m.name pp_labels
+        m.labels s.Histogram.count s.Histogram.sum s.Histogram.min s.Histogram.p50
+        s.Histogram.p95 s.Histogram.max
+
+let pp ppf ms =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i m ->
+      if i > 0 then Format.fprintf ppf "@,";
+      pp_metric ppf m)
+    (sort ms);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,34 @@
+(** Immutable, deterministic view of a {!Registry}.
+
+    A snapshot is a list of metrics sorted by (name, labels) — two
+    registries holding the same state produce equal snapshots whatever
+    the order the metrics were touched in, which is what makes
+    [BENCH_*.json] files diffable across runs and PRs. *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Summary of Histogram.summary
+
+type metric = { name : string; labels : (string * string) list; value : value }
+(** [labels] are sorted by key. *)
+
+type t = metric list
+
+val empty : t
+
+val union : t -> t -> t
+(** Re-sorted concatenation.  On identity collision (same name and
+    labels) the metric from the second argument wins. *)
+
+val find : ?labels:(string * string) list -> t -> string -> metric option
+
+val to_json : t -> Json.t
+(** [{ "schema": "ppj.obs/1", "metrics": [ ... ] }]; see DESIGN.md for
+    the full schema. *)
+
+val of_json : Json.t -> (t, string) result
+(** Inverse of {!to_json}; [to_json] then [of_json] is the identity. *)
+
+val pp : Format.formatter -> t -> unit
+(** One metric per line, for [--metrics]-style terminal output. *)

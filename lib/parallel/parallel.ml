@@ -44,6 +44,23 @@ let outcome insts =
     speedup = float_of_int total /. float_of_int slowest;
   }
 
+let observe ?(labels = []) o reg =
+  let module Registry = Ppj_obs.Registry in
+  let p = Array.length o.per_co_transfers in
+  let total = Array.fold_left ( + ) 0 o.per_co_transfers in
+  Registry.set_gauge ~labels reg "parallel.p" (float_of_int p);
+  Registry.set_gauge ~labels reg "parallel.speedup" o.speedup;
+  Ppj_obs.Counter.set_to (Registry.counter ~labels reg "parallel.transfers.total") total;
+  let load = Registry.histogram ~labels reg "parallel.co.load" in
+  Array.iteri
+    (fun k transfers ->
+      Ppj_obs.Counter.set_to
+        (Registry.counter ~labels:(("co", string_of_int k) :: labels) reg
+           "parallel.co.transfers")
+        transfers;
+      Ppj_obs.Histogram.observe load (float_of_int transfers))
+    o.per_co_transfers
+
 let range_of ~l ~p k =
   let lo = k * l / p in
   let hi = (k + 1) * l / p in

@@ -21,6 +21,12 @@ type outcome = {
   speedup : float;  (** single-coprocessor transfers / max per-co transfers *)
 }
 
+val observe : ?labels:(string * string) list -> outcome -> Ppj_obs.Registry.t -> unit
+(** Publish the load picture into a registry: [parallel.p],
+    [parallel.speedup], the total and per-coprocessor transfer counters
+    (labelled [co=k]), and a [parallel.co.load] histogram whose p95/max
+    expose load imbalance directly. *)
+
 val alg4 :
   p:int -> m:int -> seed:int -> predicate:Predicate.t -> Relation.t list -> outcome
 (** Each coprocessor handles an iTuple range, writes its fixed-size oTuple

@@ -13,6 +13,7 @@ type t = {
   mutable nonce_ctr : int;
   m : int;
   mutable mem_in_use : int;
+  mutable mem_peak : int;
   rng : Rng.t;
   mutable cycles : int;
 }
@@ -27,6 +28,7 @@ let create ~host ~m ~seed =
     nonce_ctr = 0;
     m;
     mem_in_use = 0;
+    mem_peak = 0;
     rng = Rng.split rng "internal";
     cycles = 0;
   }
@@ -71,13 +73,15 @@ let alloc t n =
     raise
       (Memory_exceeded
          (Printf.sprintf "alloc %d with %d/%d in use" n t.mem_in_use t.m));
-  t.mem_in_use <- t.mem_in_use + n
+  t.mem_in_use <- t.mem_in_use + n;
+  if t.mem_in_use > t.mem_peak then t.mem_peak <- t.mem_in_use
 
 let free t n =
   if n > t.mem_in_use then invalid_arg "Coprocessor.free: ledger underflow";
   t.mem_in_use <- t.mem_in_use - n
 
 let mem_in_use t = t.mem_in_use
+let mem_peak t = t.mem_peak
 
 let rng t = t.rng
 let fresh_seed t = Rng.int t.rng 0x3FFFFFFF
@@ -86,3 +90,23 @@ let tick t n = t.cycles <- t.cycles + n
 let cycles t = t.cycles
 
 let decrypt_for_recipient t ciphertext = open_sealed t ciphertext ~context:"recipient"
+
+module Registry = Ppj_obs.Registry
+module Obs_counter = Ppj_obs.Counter
+
+let observe ?(labels = []) t reg =
+  let set name v = Obs_counter.set_to (Registry.counter ~labels reg name) v in
+  set "scpu.transfers" (Trace.length t.trace);
+  set "scpu.reads" (Trace.reads t.trace);
+  set "scpu.writes" (Trace.writes t.trace);
+  set "scpu.cycles" t.cycles;
+  List.iter
+    (fun (region, (r, w)) ->
+      let labels = ("region", Trace.region_name region) :: labels in
+      Obs_counter.set_to (Registry.counter ~labels reg "scpu.region.reads") r;
+      Obs_counter.set_to (Registry.counter ~labels reg "scpu.region.writes") w;
+      Obs_counter.set_to (Registry.counter ~labels reg "scpu.region.transfers") (r + w))
+    (Trace.by_region t.trace);
+  Registry.set_gauge ~labels reg "scpu.mem_limit" (float_of_int t.m);
+  Registry.set_gauge ~labels reg "scpu.mem_in_use" (float_of_int t.mem_in_use);
+  Registry.set_gauge ~labels reg "scpu.mem_peak" (float_of_int t.mem_peak)

@@ -50,6 +50,10 @@ val free : t -> int -> unit
 
 val mem_in_use : t -> int
 
+val mem_peak : t -> int
+(** Memory-ledger high-water mark: the most tuples simultaneously
+    retained in [T] so far. *)
+
 val rng : t -> Ppj_crypto.Rng.t
 (** [T]-internal randomness (nonces, shuffle tags, MLFSR seeds). *)
 
@@ -66,3 +70,11 @@ val decrypt_for_recipient : t -> string -> string
 (** Recipient-side decryption of one disk ciphertext (the simulator uses
     [T]'s storage key as the session key with the recipient).
     @raise Tamper_detected on authentication failure. *)
+
+val observe : ?labels:(string * string) list -> t -> Ppj_obs.Registry.t -> unit
+(** Publish this coprocessor's counters into a registry: total/per-region
+    transfer counts ([scpu.transfers], [scpu.region.*] with a [region]
+    label), cycle count, and the memory-ledger gauges ([scpu.mem_limit],
+    [scpu.mem_in_use], [scpu.mem_peak]).  Pull-based and idempotent: the
+    hot [get]/[put] path is untouched, and re-observing the same
+    coprocessor into the same registry just refreshes the values. *)

@@ -47,3 +47,15 @@ let persist t region ~count =
 
 let disk t = List.rev t.disk
 let disk_writes t = t.disk_tuples
+
+let observe ?(labels = []) t reg =
+  let module Registry = Ppj_obs.Registry in
+  Ppj_obs.Counter.set_to (Registry.counter ~labels reg "host.disk_tuples") t.disk_tuples;
+  Registry.set_gauge ~labels reg "host.regions" (float_of_int (Region_map.cardinal t.regions));
+  Region_map.iter
+    (fun region slots ->
+      Registry.set_gauge
+        ~labels:(("region", Trace.region_name region) :: labels)
+        reg "host.region.size"
+        (float_of_int (Array.length slots)))
+    t.regions

@@ -35,3 +35,7 @@ val disk : t -> string list
 
 val disk_writes : t -> int
 (** Number of tuples written to disk. *)
+
+val observe : ?labels:(string * string) list -> t -> Ppj_obs.Registry.t -> unit
+(** Publish host-side figures into a registry: [host.disk_tuples], the
+    region count, and each region's slot count (labelled by region). *)

@@ -41,6 +41,27 @@ let reads = count (fun e -> e.op = Read)
 let writes = count (fun e -> e.op = Write)
 let transfers_to_region t r = count (fun e -> e.region = r) t
 
+let region_name = function
+  | Table s -> "table:" ^ s
+  | Cartesian -> "cartesian"
+  | Scratch -> "scratch"
+  | Joined -> "joined"
+  | Buffer -> "buffer"
+  | Output -> "output"
+  | Oram_store -> "oram_store"
+  | Oram_shelter -> "oram_shelter"
+  | Disk -> "disk"
+
+let by_region t =
+  let order = ref [] in
+  let tbl = Hashtbl.create 8 in
+  for i = 0 to t.len - 1 do
+    let e = t.entries.(i) in
+    let r, w = match Hashtbl.find_opt tbl e.region with Some c -> c | None -> order := e.region :: !order; (0, 0) in
+    Hashtbl.replace tbl e.region (match e.op with Read -> (r + 1, w) | Write -> (r, w + 1))
+  done;
+  List.rev_map (fun region -> (region, Hashtbl.find tbl region)) !order
+
 let equal a b =
   a.len = b.len
   &&

@@ -39,6 +39,13 @@ val writes : t -> int
 val transfers_to_region : t -> region -> int
 (** Number of entries touching [region]. *)
 
+val region_name : region -> string
+(** Stable machine-readable region label for metrics and JSON export
+    (e.g. ["table:A"], ["cartesian"], ["oram_shelter"]). *)
+
+val by_region : t -> (region * (int * int)) list
+(** Per-region (reads, writes), in first-appearance order. *)
+
 val equal : t -> t -> bool
 (** Exact equality of ordered location lists — the check for
     deterministic-schedule algorithms. *)

@@ -81,6 +81,14 @@ let test_aes_sp800_2 =
   aes_vector "2b7e151628aed2a6abf7158809cf4f3c" "ae2d8a571e03ac9c9eb76fac45af8e51"
     "f5d3d58503b9699de785895a96fdbaaf"
 
+let test_aes_sp800_3 =
+  aes_vector "2b7e151628aed2a6abf7158809cf4f3c" "30c81c46a35ce411e5fbc1191a0a52ef"
+    "43b1cd7f598ece23881b00e3ed030688"
+
+let test_aes_sp800_4 =
+  aes_vector "2b7e151628aed2a6abf7158809cf4f3c" "f69f2445df4f9b17ad2b417be66c3710"
+    "7b0c785e27e8ad3f8223207104725dd4"
+
 let prop_aes_roundtrip =
   qtest "aes roundtrip" (QCheck.pair arb_block arb_block) (fun (k, m) ->
       let key = Aes.expand (Block.to_string k) in
@@ -153,6 +161,44 @@ let prop_ocb_cross_key =
   qtest "decryption under the wrong key fails" arb_msg (fun m ->
       let other = Ocb.key_of_string (of_hex "ffeeddccbbaa99887766554433221100") in
       Ocb.decrypt other ~nonce:nonce0 (Ocb.encrypt okey ~nonce:nonce0 m) = None)
+
+(* Pinned known-answer vectors for this OCB implementation.
+
+   These are NOT the RFC 7253 (OCB3) or the published OCB1 vectors: the
+   implementation follows the OCB1-style mode of the paper's era (Gray-code
+   offsets, 16-byte nonce mixed via one block-cipher call, no associated
+   data), whose ciphertexts differ from both published parameterizations —
+   see DESIGN.md.  The values below were computed from this implementation
+   and pinned so that any future change to offsets, padding or tag
+   derivation shows up as a hard failure, not a silent wire-format break
+   (sealed results written by older code would otherwise stop decrypting). *)
+
+let ocb_kat pt ct () =
+  let key = Ocb.key_of_string (of_hex "000102030405060708090a0b0c0d0e0f") in
+  let nonce = of_hex "00000000000000000000000000000001" in
+  Alcotest.(check string) "encrypt" ct (hex (Ocb.encrypt key ~nonce (of_hex pt)));
+  match Ocb.decrypt key ~nonce (of_hex ct) with
+  | Some m -> Alcotest.(check string) "decrypt" pt (hex m)
+  | None -> Alcotest.fail "pinned ciphertext failed to authenticate"
+
+let test_ocb_kat_empty = ocb_kat "" "15d37dd7c890d5d6acab927bc0dc60ee"
+let test_ocb_kat_1 = ocb_kat "00" "3b45303a4a46d63101a060f8895d1fdfce"
+
+let test_ocb_kat_15 =
+  ocb_kat "000102030405060708090a0b0c0d0e"
+    "f756746dacdbaa9a0f11769c4e5ddfb0ea7656433008954c05ecab112799ee"
+
+let test_ocb_kat_16 =
+  ocb_kat "000102030405060708090a0b0c0d0e0f"
+    "37df8ce15b489bf31d0fc44da1faf6d6dfb763ebdb5f0e719c7b4161808004df"
+
+let test_ocb_kat_24 =
+  ocb_kat "000102030405060708090a0b0c0d0e0f1011121314151617"
+    "01a075f0d815b1a4e9c881a1bcffc3ebec616acd6937f556c28dff03bcc5432283ed3cefe1517e26"
+
+let test_ocb_kat_40 =
+  ocb_kat "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f2021222324252627"
+    "01a075f0d815b1a4e9c881a1bcffc3ebd4903dd0025ba4aa837c74f121b0260f78765916d245d8ecbe9f53a65dd5330b570723f2edde604b"
 
 (* --- MLFSR --- *)
 
@@ -269,6 +315,8 @@ let () =
         [ Alcotest.test_case "FIPS-197 vector" `Quick test_aes_fips;
           Alcotest.test_case "SP800-38A vector 1" `Quick test_aes_sp800_1;
           Alcotest.test_case "SP800-38A vector 2" `Quick test_aes_sp800_2;
+          Alcotest.test_case "SP800-38A vector 3" `Quick test_aes_sp800_3;
+          Alcotest.test_case "SP800-38A vector 4" `Quick test_aes_sp800_4;
           Alcotest.test_case "bad key" `Quick test_aes_bad_key;
           prop_aes_roundtrip
         ] );
@@ -278,6 +326,12 @@ let () =
           Alcotest.test_case "m+2 block-cipher calls" `Quick test_ocb_cipher_calls;
           Alcotest.test_case "f-application counter" `Quick test_ocb_f_counter;
           Alcotest.test_case "truncated input" `Quick test_ocb_truncated;
+          Alcotest.test_case "pinned KAT: empty" `Quick test_ocb_kat_empty;
+          Alcotest.test_case "pinned KAT: 1 byte" `Quick test_ocb_kat_1;
+          Alcotest.test_case "pinned KAT: 15 bytes" `Quick test_ocb_kat_15;
+          Alcotest.test_case "pinned KAT: 16 bytes" `Quick test_ocb_kat_16;
+          Alcotest.test_case "pinned KAT: 24 bytes" `Quick test_ocb_kat_24;
+          Alcotest.test_case "pinned KAT: 40 bytes" `Quick test_ocb_kat_40;
           prop_ocb_roundtrip;
           prop_ocb_tamper;
           prop_ocb_offsets_agree;

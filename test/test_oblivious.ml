@@ -64,6 +64,35 @@ let test_schedule_data_independent () =
   (* The same (n) must always yield the identical comparator list. *)
   Alcotest.(check bool) "identical schedules" true (Bitonic.schedule 64 = Bitonic.schedule 64)
 
+(* --- 0-1 principle (Knuth, TAOCP vol. 3, Thm. Z) ---
+
+   A comparator network sorts every input iff it sorts every 0/1 input.
+   Exhausting all 2^n binary vectors for n up to 16 is therefore a
+   *complete* correctness proof for those widths — stronger than any
+   amount of random testing, and cheap because the networks are data
+   independent (65536 vectors x 63 comparators at n = 16). *)
+
+let exhaustive_01 name sort_in_place =
+  let check_n n =
+    for bits = 0 to (1 lsl n) - 1 do
+      let a = Array.init n (fun i -> (bits lsr i) land 1) in
+      let ones = Array.fold_left ( + ) 0 a in
+      sort_in_place compare a;
+      (* A sorted 0/1 vector is (n - ones) zeros then (ones) ones. *)
+      Array.iteri
+        (fun i v ->
+          let want = if i < n - ones then 0 else 1 in
+          if v <> want then
+            Alcotest.failf "%s n=%d input=%#x: position %d is %d, want %d" name n bits i v
+              want)
+        a
+    done
+  in
+  fun () -> List.iter check_n [ 2; 4; 8; 16 ]
+
+let test_bitonic_01_principle = exhaustive_01 "bitonic" Bitonic.sort_in_place
+let test_oddeven_01_principle = exhaustive_01 "odd-even" Oddeven.sort_in_place
+
 (* --- Odd-even merge network (ablation alternative) --- *)
 
 let prop_oddeven_sorts =
@@ -379,6 +408,7 @@ let () =
           Alcotest.test_case "pow2 required" `Quick test_schedule_requires_pow2;
           Alcotest.test_case "exact counts" `Quick test_counts_match_formula;
           Alcotest.test_case "schedule deterministic" `Quick test_schedule_data_independent;
+          Alcotest.test_case "0-1 principle, exhaustive to n=16" `Quick test_bitonic_01_principle;
           prop_bitonic_sorts;
           prop_bitonic_sorts_adversarial
         ] );
@@ -386,6 +416,7 @@ let () =
         [ Alcotest.test_case "fewer comparators than bitonic" `Quick test_oddeven_cheaper_than_bitonic;
           Alcotest.test_case "known comparator counts" `Quick test_oddeven_known_counts;
           Alcotest.test_case "region sort via odd-even" `Quick test_sort_with_oddeven_network;
+          Alcotest.test_case "0-1 principle, exhaustive to n=16" `Quick test_oddeven_01_principle;
           prop_oddeven_sorts
         ] );
       ( "sort",

@@ -1,0 +1,223 @@
+(* Unit tests for lib/obs: counters, histograms, spans, the registry and
+   the JSON snapshot format.  The snapshot/JSON round-trip tests are what
+   make BENCH_*.json files trustworthy as machine-readable artefacts. *)
+
+module Obs = Ppj_obs
+module Counter = Obs.Counter
+module Histogram = Obs.Histogram
+module Registry = Obs.Registry
+module Snapshot = Obs.Snapshot
+module Json = Obs.Json
+module Clock = Obs.Clock
+
+(* --- Counter semantics --- *)
+
+let test_counter_basics () =
+  let c = Counter.create () in
+  Alcotest.(check int) "starts at zero" 0 (Counter.value c);
+  Counter.incr c;
+  Counter.incr c ~by:5;
+  Alcotest.(check int) "incr accumulates" 6 (Counter.value c);
+  Counter.set_to c 4;
+  Alcotest.(check int) "set_to never regresses" 6 (Counter.value c);
+  Counter.set_to c 10;
+  Alcotest.(check int) "set_to advances" 10 (Counter.value c)
+
+let test_counter_rejects_negative () =
+  let c = Counter.create () in
+  Alcotest.check_raises "negative increment"
+    (Invalid_argument "Counter.incr: negative increment") (fun () -> Counter.incr c ~by:(-1))
+
+(* --- Histogram semantics --- *)
+
+let test_histogram_percentiles () =
+  let h = Histogram.create () in
+  (* 1..100 in scrambled order: nearest-rank percentiles are exact. *)
+  List.iter
+    (fun i -> Histogram.observe h (float_of_int (((i * 37) mod 100) + 1)))
+    (List.init 100 Fun.id);
+  match Histogram.summary h with
+  | None -> Alcotest.fail "expected a summary"
+  | Some s ->
+      Alcotest.(check int) "count" 100 s.Histogram.count;
+      Alcotest.(check (float 1e-9)) "min" 1.0 s.Histogram.min;
+      Alcotest.(check (float 1e-9)) "max" 100.0 s.Histogram.max;
+      Alcotest.(check (float 1e-9)) "mean" 50.5 s.Histogram.mean;
+      Alcotest.(check (float 1e-9)) "p50" 50.0 s.Histogram.p50;
+      Alcotest.(check (float 1e-9)) "p95" 95.0 s.Histogram.p95
+
+let test_histogram_single_observation () =
+  let h = Histogram.create () in
+  Histogram.observe h 3.25;
+  match Histogram.summary h with
+  | None -> Alcotest.fail "expected a summary"
+  | Some s ->
+      Alcotest.(check (float 1e-9)) "p50 = the value" 3.25 s.Histogram.p50;
+      Alcotest.(check (float 1e-9)) "p95 = the value" 3.25 s.Histogram.p95
+
+let test_histogram_empty () =
+  Alcotest.(check bool) "empty has no summary" true (Histogram.summary (Histogram.create ()) = None)
+
+let test_histogram_rejects_non_finite () =
+  let h = Histogram.create () in
+  Alcotest.check_raises "nan" (Invalid_argument "Histogram.observe: non-finite value")
+    (fun () -> Histogram.observe h Float.nan)
+
+(* --- Spans under a fake clock --- *)
+
+let test_span_measures_elapsed () =
+  let t = ref 100.0 in
+  Clock.set_source (fun () -> !t);
+  Fun.protect ~finally:Clock.reset_source (fun () ->
+      let reg = Registry.create () in
+      let result = Registry.span reg "phase.seconds" (fun () -> t := !t +. 2.5; 42) in
+      Alcotest.(check int) "span is transparent" 42 result;
+      match Snapshot.find (Registry.snapshot reg) "phase.seconds" with
+      | Some { Snapshot.value = Snapshot.Summary s; _ } ->
+          Alcotest.(check (float 1e-9)) "elapsed" 2.5 s.Histogram.p50
+      | _ -> Alcotest.fail "span did not record a summary")
+
+let test_span_records_on_raise () =
+  let t = ref 0.0 in
+  Clock.set_source (fun () -> !t);
+  Fun.protect ~finally:Clock.reset_source (fun () ->
+      let reg = Registry.create () in
+      (try
+         Registry.span reg "failing.seconds" (fun () -> t := !t +. 1.0; failwith "boom")
+       with Failure _ -> ());
+      match Snapshot.find (Registry.snapshot reg) "failing.seconds" with
+      | Some { Snapshot.value = Snapshot.Summary s; _ } ->
+          Alcotest.(check int) "one observation despite the raise" 1 s.Histogram.count
+      | _ -> Alcotest.fail "raised span was not recorded")
+
+(* --- Registry semantics --- *)
+
+let test_registry_memoizes () =
+  let reg = Registry.create () in
+  Counter.incr (Registry.counter reg "hits") ~by:3;
+  Counter.incr (Registry.counter reg "hits") ~by:4;
+  match Snapshot.find (Registry.snapshot reg) "hits" with
+  | Some { Snapshot.value = Snapshot.Counter v; _ } ->
+      Alcotest.(check int) "same name, same instrument" 7 v
+  | _ -> Alcotest.fail "counter missing from snapshot"
+
+let test_registry_label_order_is_identity () =
+  let reg = Registry.create () in
+  Counter.incr (Registry.counter reg ~labels:[ ("a", "1"); ("b", "2") ] "x");
+  Counter.incr (Registry.counter reg ~labels:[ ("b", "2"); ("a", "1") ] "x");
+  match Registry.snapshot reg with
+  | [ { Snapshot.value = Snapshot.Counter 2; _ } ] -> ()
+  | snap -> Alcotest.failf "expected one metric at 2, got %a" Snapshot.pp snap
+
+let test_registry_kind_mismatch () =
+  let reg = Registry.create () in
+  ignore (Registry.counter reg "m");
+  Alcotest.(check bool) "histogram over counter raises" true
+    (try
+       ignore (Registry.histogram reg "m");
+       false
+     with Invalid_argument _ -> true)
+
+let test_snapshot_order_independent () =
+  (* Two registries populated in opposite insertion order must snapshot
+     identically — this is what makes BENCH_*.json diffable. *)
+  let fill names =
+    let reg = Registry.create () in
+    List.iter (fun n -> Counter.incr (Registry.counter reg n)) names;
+    Registry.snapshot reg
+  in
+  let a = fill [ "zeta"; "alpha"; "mid" ] and b = fill [ "mid"; "alpha"; "zeta" ] in
+  Alcotest.(check bool) "sorted snapshots equal" true (a = b)
+
+(* --- JSON --- *)
+
+let test_json_round_trip () =
+  let v =
+    Json.Obj
+      [ ("s", Json.Str "a \"quoted\"\nline \t with \\ specials");
+        ("i", Json.Int 42);
+        ("f", Json.Float 1.5);
+        ("neg", Json.Int (-7));
+        ("null", Json.Null);
+        ("flags", Json.List [ Json.Bool true; Json.Bool false ]);
+        ("nested", Json.Obj [ ("empty_list", Json.List []); ("empty_obj", Json.Obj []) ])
+      ]
+  in
+  match Json.of_string (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "round trip" true (Json.equal v v')
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_json_float_stays_float () =
+  (* 2.0 must not silently become Int 2 across a round trip: gauge metrics
+     rely on the distinction. *)
+  match Json.of_string (Json.to_string (Json.Float 2.0)) with
+  | Ok (Json.Float f) -> Alcotest.(check (float 1e-9)) "value" 2.0 f
+  | Ok _ -> Alcotest.fail "float decoded as a different constructor"
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" s)
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2" ]
+
+let test_json_unicode_escape () =
+  match Json.of_string {|"é\n"|} with
+  | Ok (Json.Str s) -> Alcotest.(check string) "utf-8 decode" "\xc3\xa9\n" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_snapshot_json_round_trip () =
+  let reg = Registry.create () in
+  Counter.incr (Registry.counter reg ~labels:[ ("alg", "alg5") ] "transfers") ~by:123;
+  Registry.set_gauge reg "speedup" 2.5;
+  let h = Registry.histogram reg ~labels:[ ("phase", "join") ] "seconds" in
+  List.iter (Histogram.observe h) [ 0.5; 1.5; 2.5 ];
+  let snap = Registry.snapshot reg in
+  match Snapshot.of_json (Snapshot.to_json snap) with
+  | Ok snap' -> Alcotest.(check bool) "snapshot round trip" true (snap = snap')
+  | Error e -> Alcotest.failf "of_json failed: %s" e
+
+let test_snapshot_union_second_wins () =
+  let mk v =
+    let reg = Registry.create () in
+    Counter.incr (Registry.counter reg "n") ~by:v;
+    Registry.snapshot reg
+  in
+  match Snapshot.find (Snapshot.union (mk 1) (mk 9)) "n" with
+  | Some { Snapshot.value = Snapshot.Counter 9; _ } -> ()
+  | _ -> Alcotest.fail "union did not prefer the second snapshot"
+
+let () =
+  Alcotest.run "obs"
+    [ ( "counter",
+        [ Alcotest.test_case "basics" `Quick test_counter_basics;
+          Alcotest.test_case "rejects negative" `Quick test_counter_rejects_negative
+        ] );
+      ( "histogram",
+        [ Alcotest.test_case "percentiles 1..100" `Quick test_histogram_percentiles;
+          Alcotest.test_case "single observation" `Quick test_histogram_single_observation;
+          Alcotest.test_case "empty" `Quick test_histogram_empty;
+          Alcotest.test_case "rejects non-finite" `Quick test_histogram_rejects_non_finite
+        ] );
+      ( "span",
+        [ Alcotest.test_case "measures elapsed" `Quick test_span_measures_elapsed;
+          Alcotest.test_case "records on raise" `Quick test_span_records_on_raise
+        ] );
+      ( "registry",
+        [ Alcotest.test_case "memoizes" `Quick test_registry_memoizes;
+          Alcotest.test_case "label order" `Quick test_registry_label_order_is_identity;
+          Alcotest.test_case "kind mismatch" `Quick test_registry_kind_mismatch;
+          Alcotest.test_case "snapshot order-independent" `Quick test_snapshot_order_independent
+        ] );
+      ( "json",
+        [ Alcotest.test_case "round trip" `Quick test_json_round_trip;
+          Alcotest.test_case "float stays float" `Quick test_json_float_stays_float;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "unicode escape" `Quick test_json_unicode_escape;
+          Alcotest.test_case "snapshot round trip" `Quick test_snapshot_json_round_trip;
+          Alcotest.test_case "union second wins" `Quick test_snapshot_union_second_wins
+        ] )
+    ]

@@ -1,0 +1,134 @@
+(* Property-based hardening of Definitions 1 and 3.
+
+   test_privacy.ml checks a handful of hand-picked instances; here we let
+   QCheck draw the shapes.  For every safe algorithm we generate random
+   same-shape instance *pairs* — identical |A|, |B|, S and maximum
+   multiplicity, freshly random data on each side — run both under the
+   same coprocessor seed and require Privacy.check to return
+   [Indistinguishable].  A negative control does the mirror-image check on
+   the naive nested loop: pairs whose match counts differ must be
+   [Distinguishable].
+
+   Every generator is driven by an explicit [Random.State] seed via
+   [QCheck.Test.check_exn ~rand], so the suite is deterministic run to
+   run: a failure here is a real privacy regression, not flaky sampling. *)
+
+open Ppj_core
+module W = Ppj_relation.Workload
+module P = Ppj_relation.Predicate
+module Rng = Ppj_crypto.Rng
+module Co = Ppj_scpu.Coprocessor
+
+let pred = P.equijoin2 "key" "key"
+let runs_per_property = 20
+
+(* A random joinable shape plus two distinct data seeds.  The workload
+   generator requires matches <= nb and matches <= na * mult. *)
+type shape = { na : int; nb : int; mult : int; matches : int; s1 : int; s2 : int }
+
+let shape_gen =
+  let open QCheck.Gen in
+  let* na = int_range 4 9 in
+  let* nb = int_range 4 12 in
+  let* mult = int_range 1 3 in
+  let* matches = int_range 1 (min nb (na * mult)) in
+  let* s1 = int_range 0 9999 in
+  let* s2 = int_range 0 9999 in
+  let s2 = if s2 = s1 then s2 + 10000 else s2 in
+  return { na; nb; mult; matches; s1; s2 }
+
+let pp_shape sh =
+  Printf.sprintf "{na=%d; nb=%d; mult=%d; matches=%d; s1=%d; s2=%d}" sh.na sh.nb sh.mult
+    sh.matches sh.s1 sh.s2
+
+let shape_arb = QCheck.make ~print:pp_shape shape_gen
+
+let trace_of sh ~data_seed run =
+  let rng = Rng.create data_seed in
+  let a, b =
+    W.equijoin_pair rng ~na:sh.na ~nb:sh.nb ~matches:sh.matches ~max_multiplicity:sh.mult
+  in
+  (* Fixed coprocessor seed: Definition 1 quantifies over the data only. *)
+  let inst = Instance.create ~m:3 ~seed:1234 ~predicate:pred [ a; b ] in
+  ignore (run inst);
+  Co.trace (Instance.co inst)
+
+let indistinguishable_on sh run =
+  let runs = List.map (fun s () -> trace_of sh ~data_seed:s run) [ sh.s1; sh.s2 ] in
+  match Privacy.check ~runs with
+  | Privacy.Indistinguishable -> true
+  | Privacy.Distinguishable _ -> false
+
+(* Each safe algorithm becomes one deterministic Alcotest case running
+   [runs_per_property] random instance pairs. *)
+let property_case ~qcheck_seed name run =
+  let cell =
+    QCheck.Test.make_cell ~count:runs_per_property ~name shape_arb (fun sh ->
+        indistinguishable_on sh run)
+  in
+  Alcotest.test_case name `Quick (fun () ->
+      QCheck.Test.check_cell_exn ~rand:(Random.State.make [| qcheck_seed |]) cell)
+
+let safe_algorithms =
+  [ ("algorithm 1", fun i -> ignore (Algorithm1.run i ~n:3));
+    ("algorithm 1 variant", fun i -> ignore (Algorithm1.Variant.run i ~n:3));
+    ("algorithm 2", fun i -> ignore (Algorithm2.run i ~n:3 ()));
+    ("algorithm 3", fun i -> ignore (Algorithm3.run i ~n:3 ~attr_a:"key" ~attr_b:"key" ()));
+    ("algorithm 4", fun i -> ignore (Algorithm4.run i ()));
+    ("algorithm 5", fun i -> ignore (Algorithm5.run i));
+    ("algorithm 6", fun i -> ignore (Algorithm6.run i ~eps:1e-12 ()))
+  ]
+
+let definition_cases =
+  List.mapi
+    (fun k (name, run) -> property_case ~qcheck_seed:(4242 + k) name run)
+    safe_algorithms
+
+(* Negative control: instance pairs engineered to have *different* match
+   counts (same |A| and |B|).  The naive nested loop writes one output
+   tuple per match, so its trace must diverge — if this property ever
+   passed vacuously, the positive properties above would be meaningless. *)
+let control_gen =
+  let open QCheck.Gen in
+  let* na = int_range 4 9 in
+  let* nb = int_range 4 12 in
+  let* m1 = int_range 0 (min nb na) in
+  let* m2 = int_range 0 (min nb na - 1) in
+  let m2 = if m2 >= m1 then m2 + 1 else m2 in
+  let* s = int_range 0 9999 in
+  return (na, nb, m1, m2, s)
+
+let control_arb =
+  QCheck.make
+    ~print:(fun (na, nb, m1, m2, s) ->
+      Printf.sprintf "{na=%d; nb=%d; m1=%d; m2=%d; s=%d}" na nb m1 m2 s)
+    control_gen
+
+let naive_trace ~na ~nb ~matches ~data_seed =
+  let rng = Rng.create data_seed in
+  let a, b = W.equijoin_pair rng ~na ~nb ~matches ~max_multiplicity:1 in
+  let inst = Instance.create ~m:3 ~seed:1234 ~predicate:pred [ a; b ] in
+  ignore (Unsafe.naive_nested_loop inst);
+  Co.trace (Instance.co inst)
+
+let control_case =
+  let cell =
+    QCheck.Test.make_cell ~count:runs_per_property ~name:"naive nested loop leaks"
+      control_arb (fun (na, nb, m1, m2, s) ->
+        let runs =
+          [ (fun () -> naive_trace ~na ~nb ~matches:m1 ~data_seed:s);
+            (fun () -> naive_trace ~na ~nb ~matches:m2 ~data_seed:(s + 1))
+          ]
+        in
+        match Privacy.check ~runs with
+        | Privacy.Distinguishable _ -> true
+        | Privacy.Indistinguishable -> false)
+  in
+  Alcotest.test_case "naive nested loop leaks" `Quick (fun () ->
+      QCheck.Test.check_cell_exn ~rand:(Random.State.make [| 777 |]) cell)
+
+let () =
+  Alcotest.run "privacy-prop"
+    [ ("definition-holds-randomized", definition_cases);
+      ("negative-control", [ control_case ])
+    ]
