@@ -218,9 +218,193 @@ let parallel_cmd =
   Cmd.v (Cmd.info "parallel" ~doc:"Run Algorithm 5 across P simulated coprocessors.")
     Term.(const run $ na_arg $ nb_arg $ matches_arg $ mult_arg $ m_arg $ seed_arg $ p_arg $ metrics_arg)
 
+(* --- networked deployment: serve / submit / fetch / gen -------------- *)
+
+module Net = Ppj_net
+module Channel = Ppj_scpu.Channel
+
+let read_csv path ~name =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> (
+      match Ppj_relation.Csv_io.infer_schema text with
+      | Error e -> Error e
+      | Ok schema -> Ppj_relation.Csv_io.parse schema ~name text)
+  | exception Sys_error e -> Error e
+
+let connect_with_retry ~wait path =
+  let delay = 0.25 in
+  let attempts = 1 + int_of_float (Float.max 0. wait /. delay) in
+  let rec go n =
+    match Net.Transport.connect_unix ~path () with
+    | Ok t -> Ok t
+    | Error e -> if n <= 1 then Error e else (Unix.sleepf delay; go (n - 1))
+  in
+  go attempts
+
+let wait_arg =
+  Arg.(
+    value & opt float 10.
+    & info [ "wait" ] ~doc:"Seconds to keep retrying the initial connection (0 = one attempt).")
+
+let die fmt = Format.kasprintf (fun m -> Format.eprintf "error: %s@." m; exit 1) fmt
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path of the service.")
+
+let mac_key_arg =
+  Arg.(
+    value & opt string "ppj-demo-mac"
+    & info [ "mac-key" ]
+        ~doc:"Long-term MAC key rooting the handshake (must match between serve and clients).")
+
+let id_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "id" ] ~docv:"ID" ~doc:"Party identity for this session.")
+
+let contract_term =
+  let make contract_id providers recipient predicate =
+    { Channel.contract_id; providers; recipient; predicate }
+  in
+  let contract_id =
+    Arg.(value & opt string "contract-1" & info [ "contract-id" ] ~doc:"Digital contract id.")
+  in
+  let providers =
+    Arg.(
+      value
+      & opt (list string) [ "alice"; "bob" ]
+      & info [ "providers" ] ~doc:"Comma-separated provider ids, in relation order.")
+  in
+  let recipient =
+    Arg.(value & opt string "carol" & info [ "recipient" ] ~doc:"Result recipient id.")
+  in
+  let predicate =
+    Arg.(
+      value & opt string "eq(key)"
+      & info [ "predicate" ] ~doc:"Contract predicate: eq(attr) | eq(a,b) | lt(a,b) | band(a,b,w).")
+  in
+  Term.(const make $ contract_id $ providers $ recipient $ predicate)
+
+let print_client_metrics client =
+  Format.printf "@.metrics:@.%a@." Ppj_obs.Snapshot.pp
+    (Ppj_obs.Registry.snapshot (Net.Client.registry client))
+
+let serve_cmd =
+  let run socket mac_key seed max_sessions metrics =
+    let server = Net.Server.create ~seed ~mac_key () in
+    Format.printf "ppj serve: listening on %s@." socket;
+    Format.print_flush ();
+    Net.Server.serve_unix server ~path:socket ?max_sessions ();
+    Format.printf "ppj serve: done after %d session(s)@." (Net.Server.sessions_closed server);
+    if metrics then
+      Format.printf "@.metrics:@.%a@." Ppj_obs.Snapshot.pp
+        (Ppj_obs.Registry.snapshot (Net.Server.registry server))
+  in
+  let max_sessions_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-sessions" ] ~doc:"Exit once this many sessions have closed.")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Run the join service as a server on a Unix-domain socket.")
+    Term.(const run $ socket_arg $ mac_key_arg $ seed_arg $ max_sessions_arg $ metrics_arg)
+
+let submit_cmd =
+  let run socket mac_key id contract path metrics wait =
+    match read_csv path ~name:id with
+    | Error e -> die "%s" e
+    | Ok rel -> (
+        match connect_with_retry ~wait socket with
+        | Error e -> die "%s" e
+        | Ok transport ->
+            let client = Net.Client.create transport in
+            let rng = Rng.create (Hashtbl.hash (id, path)) in
+            let schema = rel.Ppj_relation.Relation.schema in
+            let outcome = Net.Client.submit_relation client ~rng ~id ~mac_key ~contract ~schema rel in
+            if metrics then print_client_metrics client;
+            Net.Client.close client;
+            (match outcome with
+            | Ok () ->
+                Format.printf "submitted %d tuples under %s as %s@."
+                  (Array.length rel.Ppj_relation.Relation.tuples)
+                  contract.Channel.contract_id id
+            | Error e -> die "%s" e))
+  in
+  let path_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"REL.csv") in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit a CSV relation to a running service as a data provider (attest, handshake, \
+             bind the contract, upload encrypted).")
+    Term.(
+      const run $ socket_arg $ mac_key_arg $ id_arg $ contract_term $ path_arg $ metrics_arg
+      $ wait_arg)
+
+let fetch_cmd =
+  let run socket mac_key id contract algorithm m seed eps mult attr_a attr_b out metrics wait =
+    let algorithm =
+      match algorithm with
+      | A1 -> Service.Alg1 { n = mult }
+      | A1v -> die "alg1v is not exposed over the wire (use alg1)"
+      | A2 -> Service.Alg2 { n = mult }
+      | A3 -> Service.Alg3 { n = mult; attr_a; attr_b }
+      | A4 -> Service.Alg4
+      | A5 -> Service.Alg5
+      | A6 -> Service.Alg6 { eps }
+      | A7 -> Service.Alg7 { attr_a; attr_b }
+    in
+    let config = { Service.m; seed; algorithm } in
+    match connect_with_retry ~wait socket with
+    | Error e -> die "%s" e
+    | Ok transport -> (
+        let client = Net.Client.create transport in
+        let rng = Rng.create (Hashtbl.hash (id, "fetch")) in
+        let outcome = Net.Client.fetch_result client ~rng ~id ~mac_key ~contract config in
+        if metrics then print_client_metrics client;
+        Net.Client.close client;
+        match outcome with
+        | Error e -> die "%s" e
+        | Ok (schema, tuples) -> (
+            let joined = Ppj_relation.Relation.make ~name:"result" schema tuples in
+            match out with
+            | Some path ->
+                Ppj_relation.Csv_io.save joined ~path;
+                Format.printf "%d results -> %s@." (List.length tuples) path
+            | None -> print_string (Ppj_relation.Csv_io.print joined)))
+  in
+  let attr_a = Arg.(value & opt string "key" & info [ "attr-a" ] ~doc:"Join attribute of A.") in
+  let attr_b = Arg.(value & opt string "key" & info [ "attr-b" ] ~doc:"Join attribute of B.") in
+  let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output CSV path.") in
+  Cmd.v
+    (Cmd.info "fetch"
+       ~doc:"As the contract's recipient, ask a running service to execute the join and download \
+             the sealed result.")
+    Term.(
+      const run $ socket_arg $ mac_key_arg $ id_arg $ contract_term $ algorithm_arg $ m_arg
+      $ seed_arg $ eps_arg $ mult_arg $ attr_a $ attr_b $ out $ metrics_arg $ wait_arg)
+
+let gen_cmd =
+  let run na nb matches mult seed out_a out_b =
+    let rng = Rng.create seed in
+    let a, b = W.equijoin_pair rng ~na ~nb ~matches ~max_multiplicity:mult in
+    Ppj_relation.Csv_io.save a ~path:out_a;
+    Ppj_relation.Csv_io.save b ~path:out_b;
+    Format.printf "wrote %s (%d tuples) and %s (%d tuples)@." out_a na out_b nb
+  in
+  let out_a = Arg.(required & pos 0 (some string) None & info [] ~docv:"A.csv") in
+  let out_b = Arg.(required & pos 1 (some string) None & info [] ~docv:"B.csv") in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic equijoin CSV pair (for demos and smoke tests).")
+    Term.(const run $ na_arg $ nb_arg $ matches_arg $ mult_arg $ seed_arg $ out_a $ out_b)
+
 let () =
   let doc = "privacy preserving joins on (simulated) secure coprocessors" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "ppj" ~doc)
-          [ run_cmd; trace_cmd; privacy_cmd; cost_cmd; nstar_cmd; parallel_cmd; csv_join_cmd ]))
+       (Cmd.group (Cmd.info "ppj" ~version:"0.2.0" ~doc)
+          [ run_cmd; trace_cmd; privacy_cmd; cost_cmd; nstar_cmd; parallel_cmd; csv_join_cmd;
+            serve_cmd; submit_cmd; fetch_cmd; gen_cmd ]))

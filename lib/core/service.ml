@@ -29,6 +29,47 @@ let attested_layers =
 
 let ( let* ) = Result.bind
 
+let device_key = "ppj-device-master-key!!"
+
+let attestation_chain () = Attestation.certify ~device_key attested_layers
+
+let verify_chain chain =
+  let expected = List.map Attestation.layer_digest attested_layers in
+  Attestation.verify ~device_key ~expected chain
+
+let execute_join config ~predicate rels =
+  let inst = Instance.create ~m:config.m ~seed:config.seed ~predicate rels in
+  let report =
+    match config.algorithm with
+    | Alg1 { n } -> Algorithm1.run inst ~n
+    | Alg2 { n } -> Algorithm2.run inst ~n ()
+    | Alg3 { n; attr_a; attr_b } -> Algorithm3.run inst ~n ~attr_a ~attr_b ()
+    | Alg4 -> Algorithm4.run inst ()
+    | Alg5 -> Algorithm5.run inst
+    | Alg6 { eps } -> fst (Algorithm6.run inst ~eps ())
+    | Alg7 { attr_a; attr_b } -> fst (Algorithm7.run inst ~attr_a ~attr_b)
+    | Auto { max_eps } -> (
+        (* Screening inside T to learn S, then plan. *)
+        let s = Instance.oracle_size inst in
+        match fst (Planner.choose ~l:(Instance.l inst) ~s ~m:config.m ~max_eps) with
+        | Planner.Use_alg4 -> Algorithm4.run inst ()
+        | Planner.Use_alg5 -> Algorithm5.run inst
+        | Planner.Use_alg6 { eps } -> fst (Algorithm6.run inst ~eps ()))
+  in
+  (inst, report)
+
+let seal_to inst ~recipient ~contract =
+  (* T re-reads the disk batches, decrypts them, and seals the stream to
+     the recipient's session key. *)
+  let co = Instance.co inst in
+  let host = Coprocessor.host co in
+  let otuples = List.map (Coprocessor.decrypt_for_recipient co) (Host.disk host) in
+  Channel.seal_result recipient contract otuples
+
+let open_delivery ~schema ~recipient ~contract sealed =
+  let* reals = Channel.open_result recipient contract sealed in
+  Ok (List.map (fun o -> Tuple.decode schema (Decoy.payload o)) reals)
+
 let accept_all contract submissions =
   List.fold_left
     (fun acc (party, schema, submission) ->
@@ -45,45 +86,15 @@ let run config ~contract ~submissions ~recipient ~predicate =
   let phase name f = Ppj_obs.Registry.span ~labels:[ ("phase", name) ] reg "service.phase.seconds" f in
   (* Outbound authentication: the requestors check the service's chain
      before entrusting it with data (§3.3.3). *)
-  let device_key = "ppj-device-master-key!!" in
-  let attested =
-    phase "attestation" (fun () ->
-        let chain = Attestation.certify ~device_key attested_layers in
-        let expected = List.map Attestation.layer_digest attested_layers in
-        Attestation.verify ~device_key ~expected chain)
-  in
+  let attested = phase "attestation" (fun () -> verify_chain (attestation_chain ())) in
   if not attested then Error "outbound authentication failed"
   else
     let* rels = phase "submission_verify" (fun () -> accept_all contract submissions) in
-    let inst = Instance.create ~m:config.m ~seed:config.seed ~predicate rels in
-    let report =
-      phase "join" @@ fun () ->
-      match config.algorithm with
-      | Alg1 { n } -> Algorithm1.run inst ~n
-      | Alg2 { n } -> Algorithm2.run inst ~n ()
-      | Alg3 { n; attr_a; attr_b } -> Algorithm3.run inst ~n ~attr_a ~attr_b ()
-      | Alg4 -> Algorithm4.run inst ()
-      | Alg5 -> Algorithm5.run inst
-      | Alg6 { eps } -> fst (Algorithm6.run inst ~eps ())
-      | Alg7 { attr_a; attr_b } -> fst (Algorithm7.run inst ~attr_a ~attr_b)
-      | Auto { max_eps } -> (
-          (* Screening inside T to learn S, then plan. *)
-          let s = Instance.oracle_size inst in
-          match fst (Planner.choose ~l:(Instance.l inst) ~s ~m:config.m ~max_eps) with
-          | Planner.Use_alg4 -> Algorithm4.run inst ()
-          | Planner.Use_alg5 -> Algorithm5.run inst
-          | Planner.Use_alg6 { eps } -> fst (Algorithm6.run inst ~eps ()))
-    in
-    (* T re-reads the disk batches, decrypts them, and seals the stream to
-       the recipient's session key. *)
-    let co = Instance.co inst in
-    let host = Coprocessor.host co in
+    let inst, report = phase "join" (fun () -> execute_join config ~predicate rels) in
     let* delivered =
       phase "sealing" (fun () ->
-          let otuples = List.map (Coprocessor.decrypt_for_recipient co) (Host.disk host) in
-          let sealed = Channel.seal_result recipient contract otuples in
-          let* reals = Channel.open_result recipient contract sealed in
-          Ok (List.map (Instance.decode_result inst) reals))
+          let sealed = seal_to inst ~recipient ~contract in
+          open_delivery ~schema:(Instance.joined_schema inst) ~recipient ~contract sealed)
     in
     let report =
       { report with

@@ -37,6 +37,41 @@ type outcome = {
 val attested_layers : Ppj_scpu.Attestation.layer list
 (** The service's software stack (Miniboot → OS → join application). *)
 
+(** {2 Server-side handlers}
+
+    {!run} is the in-process composition of the four steps below; the
+    wire protocol ([lib/net]) drives the same steps from a remote client,
+    so the two deployments share one implementation. *)
+
+val attestation_chain : unit -> Ppj_scpu.Attestation.certificate list
+(** The chain a requestor fetches before entrusting the service with
+    data (§3.3.3 outbound authentication). *)
+
+val verify_chain : Ppj_scpu.Attestation.certificate list -> bool
+(** Requestor-side check of a fetched chain against the known-trusted
+    {!attested_layers} digests.  (The device-keyed MAC stands in for the
+    4758's signatures — the documented {!Ppj_scpu.Attestation}
+    substitution — so verification uses the same device key.) *)
+
+val execute_join :
+  config -> predicate:Predicate.t -> Ppj_relation.Relation.t list -> Instance.t * Report.t
+(** The join phase alone: build the instance over already-accepted
+    relations and run the configured algorithm. *)
+
+val seal_to :
+  Instance.t -> recipient:Channel.party -> contract:Channel.contract -> string
+(** Re-read the persisted oTuple stream through [T], decrypt, and seal it
+    to the recipient's session key as one message. *)
+
+val open_delivery :
+  schema:Schema.t ->
+  recipient:Channel.party ->
+  contract:Channel.contract ->
+  string ->
+  (Tuple.t list, string) result
+(** Recipient-side: open a sealed result, drop decoys, and decode the
+    surviving payloads under the joined schema. *)
+
 val run :
   config ->
   contract:Channel.contract ->

@@ -1,0 +1,205 @@
+module Channel = Ppj_scpu.Channel
+module Schema = Ppj_relation.Schema
+module Relation = Ppj_relation.Relation
+module Tuple = Ppj_relation.Tuple
+module Service = Ppj_core.Service
+module Registry = Ppj_obs.Registry
+
+type config = {
+  recv_timeout : float;
+  max_retries : int;
+  backoff_base : float;
+  backoff_factor : float;
+  sleep : float -> unit;
+  chunk_bytes : int;
+}
+
+let default_config =
+  { recv_timeout = 2.0;
+    max_retries = 3;
+    backoff_base = 0.05;
+    backoff_factor = 2.0;
+    sleep = Unix.sleepf;
+    chunk_bytes = 1024;
+  }
+
+type t = {
+  transport : Transport.t;
+  config : config;
+  registry : Registry.t;
+  decoder : Frame.Decoder.t;
+  mutable party : Channel.party option;
+  mutable contract : Channel.contract option;
+}
+
+let create ?(config = default_config) ?registry transport =
+  { transport;
+    config;
+    registry = (match registry with Some r -> r | None -> Registry.create ());
+    decoder = Frame.Decoder.create ();
+    party = None;
+    contract = None;
+  }
+
+let registry t = t.registry
+
+let count ?by t name = Ppj_obs.Counter.incr ?by (Registry.counter t.registry name)
+
+let send t msg =
+  let f = Wire.to_frame msg in
+  count t "net.client.frames.out";
+  count ~by:(String.length f.Frame.payload + 5) t "net.client.bytes.out";
+  t.transport.Transport.send (Frame.encode f)
+
+(* Pump transport chunks through the decoder until one whole frame is out
+   or the deadline passes.  The loopback transport's [recv] never waits,
+   so a dropped reply times out instantly — retry tests run with zero
+   real sleeping (the backoff [sleep] is injected too). *)
+let recv_frame t =
+  let deadline = Unix.gettimeofday () +. t.config.recv_timeout in
+  let rec go () =
+    match Frame.Decoder.next t.decoder with
+    | Error e -> Error (`Garbage e)
+    | Ok (Some frame) ->
+        count t "net.client.frames.in";
+        count ~by:(String.length frame.Frame.payload + 5) t "net.client.bytes.in";
+        Ok frame
+    | Ok None -> (
+        let remaining = deadline -. Unix.gettimeofday () in
+        if remaining <= 0. then Error `Timeout
+        else
+          match t.transport.Transport.recv ~timeout:remaining with
+          | None -> Error `Timeout
+          | Some bytes ->
+              Frame.Decoder.feed t.decoder bytes;
+              go ())
+  in
+  go ()
+
+(* One request/reply exchange.  Only steps the server handles
+   idempotently (attest, contract, execute, fetch) are retried; the
+   others fail on the first lost reply rather than risk double effect. *)
+let rpc t ~name ~idempotent msg =
+  Registry.span ~labels:[ ("rpc", name) ] t.registry "net.client.rpc.seconds" (fun () ->
+      let rec attempt tries backoff =
+        match
+          send t msg;
+          recv_frame t
+        with
+        | exception Transport.Closed -> Error (name ^ ": connection closed by peer")
+        | Error (`Garbage e) -> Error (Printf.sprintf "%s: undecodable reply: %s" name e)
+        | Error `Timeout ->
+            count t "net.client.timeouts";
+            if idempotent && tries < t.config.max_retries then begin
+              count t "net.client.retries";
+              t.config.sleep backoff;
+              attempt (tries + 1) (backoff *. t.config.backoff_factor)
+            end
+            else Error (Printf.sprintf "%s: no reply after %d attempt(s)" name (tries + 1))
+        | Ok frame -> (
+            match Wire.of_frame frame with
+            | Error e -> Error (Printf.sprintf "%s: %s" name e)
+            | Ok (Wire.Error { code; message }) ->
+                Error
+                  (Printf.sprintf "%s: server error [%s]: %s" name
+                     (Wire.error_code_to_string code) message)
+            | Ok reply -> Ok reply)
+      in
+      attempt 0 t.config.backoff_base)
+
+let unexpected name msg = Error (Format.asprintf "%s: unexpected reply %a" name Wire.pp msg)
+
+let with_party t k =
+  match t.party with
+  | Some party -> k party
+  | None -> Error "client: handshake not complete"
+
+let attest t =
+  match rpc t ~name:"attest" ~idempotent:true (Wire.Attest_request { version = Wire.version }) with
+  | Ok (Wire.Attest_chain chain) ->
+      if Service.verify_chain chain then Ok ()
+      else Error "attest: chain failed verification against the trusted layer digests"
+  | Ok m -> unexpected "attest" m
+  | Error _ as e -> e
+
+let handshake t ~rng ~id ~mac_key =
+  let hello, exponent = Channel.Handshake.hello rng ~id ~mac_key in
+  match rpc t ~name:"handshake" ~idempotent:false (Wire.Hello hello) with
+  | Ok (Wire.Hello_reply reply) -> (
+      match Channel.Handshake.finish ~id ~mac_key ~exponent reply with
+      | Ok party ->
+          t.party <- Some party;
+          Ok ()
+      | Error _ as e -> e)
+  | Ok m -> unexpected "handshake" m
+  | Error _ as e -> e
+
+let bind_contract t contract =
+  with_party t (fun party ->
+      let sealed = Channel.seal party (Wire.contract_to_string contract) in
+      match rpc t ~name:"contract" ~idempotent:true (Wire.Contract { sealed }) with
+      | Ok Wire.Contract_ok ->
+          t.contract <- Some contract;
+          Ok ()
+      | Ok m -> unexpected "contract" m
+      | Error _ as e -> e)
+
+let upload t ~schema relation =
+  with_party t (fun party ->
+      match t.contract with
+      | None -> Error "client: no contract bound"
+      | Some contract ->
+          let body = Wire.submission_to_string (Channel.submit party contract relation) in
+          let n = String.length body in
+          let chunk_bytes = max 1 t.config.chunk_bytes in
+          let chunks = max 1 ((n + chunk_bytes - 1) / chunk_bytes) in
+          let sealed_schema = Channel.seal party (Wire.schema_to_string schema) in
+          send t (Wire.Upload_begin { sealed_schema; chunks });
+          for seq = 0 to chunks - 1 do
+            let off = seq * chunk_bytes in
+            send t
+              (Wire.Upload_chunk { seq; bytes = String.sub body off (min chunk_bytes (n - off)) })
+          done;
+          (match rpc t ~name:"upload" ~idempotent:false Wire.Upload_done with
+          | Ok Wire.Upload_ok -> Ok ()
+          | Ok m -> unexpected "upload" m
+          | Error _ as e -> e))
+
+let execute t config =
+  with_party t (fun party ->
+      let sealed_config = Channel.seal party (Wire.config_to_string config) in
+      match rpc t ~name:"execute" ~idempotent:true (Wire.Execute { sealed_config }) with
+      | Ok (Wire.Execute_ok { transfers }) -> Ok transfers
+      | Ok m -> unexpected "execute" m
+      | Error _ as e -> e)
+
+let ( let* ) = Result.bind
+
+let fetch t =
+  with_party t (fun party ->
+      match t.contract with
+      | None -> Error "client: no contract bound"
+      | Some contract -> (
+          match rpc t ~name:"fetch" ~idempotent:true Wire.Fetch with
+          | Ok (Wire.Result { sealed_schema; sealed_body }) ->
+              let* plain = Channel.open_sealed party sealed_schema in
+              let* schema = Wire.schema_of_string plain in
+              let* tuples = Service.open_delivery ~schema ~recipient:party ~contract sealed_body in
+              Ok (schema, tuples)
+          | Ok m -> unexpected "fetch" m
+          | Error _ as e -> e))
+
+let close t = t.transport.Transport.close ()
+
+let submit_relation t ~rng ~id ~mac_key ~contract ~schema relation =
+  let* () = attest t in
+  let* () = handshake t ~rng ~id ~mac_key in
+  let* () = bind_contract t contract in
+  upload t ~schema relation
+
+let fetch_result t ~rng ~id ~mac_key ~contract config =
+  let* () = attest t in
+  let* () = handshake t ~rng ~id ~mac_key in
+  let* () = bind_contract t contract in
+  let* _transfers = execute t config in
+  fetch t

@@ -1,0 +1,85 @@
+(** The requestor side of the wire protocol.
+
+    A client owns one transport connection and walks the session
+    lifecycle: {!attest} (fetch and verify the chain before entrusting
+    the service with anything), {!handshake} (authenticated DH → session
+    key), {!bind_contract}, {!upload} (chunked encrypted relation),
+    {!execute} and {!fetch}.  Each step is one RPC with a receive
+    timeout; steps the server handles idempotently (attest, contract,
+    execute, fetch) are retried under bounded exponential backoff, the
+    others fail fast.  Every RPC records [net.client.*] metrics —
+    latency histograms per RPC, retry and timeout counters, frame and
+    byte counts — into the registry it was created with. *)
+
+module Channel = Ppj_scpu.Channel
+module Schema = Ppj_relation.Schema
+module Relation = Ppj_relation.Relation
+module Tuple = Ppj_relation.Tuple
+module Service = Ppj_core.Service
+
+type config = {
+  recv_timeout : float;  (** seconds to wait for each reply *)
+  max_retries : int;  (** extra attempts for idempotent RPCs *)
+  backoff_base : float;  (** sleep before the first retry *)
+  backoff_factor : float;  (** multiplier per subsequent retry *)
+  sleep : float -> unit;  (** injectable for deterministic tests *)
+  chunk_bytes : int;  (** upload chunk size *)
+}
+
+val default_config : config
+(** 2 s timeout, 3 retries, 50 ms base backoff doubling per retry,
+    [Unix.sleepf], 1 KiB chunks. *)
+
+type t
+
+val create : ?config:config -> ?registry:Ppj_obs.Registry.t -> Transport.t -> t
+
+val registry : t -> Ppj_obs.Registry.t
+
+val attest : t -> (unit, string) result
+(** Fetch the attestation chain and verify it against
+    {!Service.attested_layers} — refuse to talk to an unattested
+    service. *)
+
+val handshake :
+  t -> rng:Ppj_crypto.Rng.t -> id:string -> mac_key:string -> (unit, string) result
+
+val bind_contract : t -> Channel.contract -> (unit, string) result
+
+val upload : t -> schema:Schema.t -> Relation.t -> (unit, string) result
+(** Submit a relation under the bound contract: encrypt with
+    {!Channel.submit}, then stream the envelope in
+    [config.chunk_bytes]-sized chunks. *)
+
+val execute : t -> Service.config -> (int, string) result
+(** Ask the service to run the join; returns the transfer count.
+    Requires this session to be the contract's recipient. *)
+
+val fetch : t -> (Schema.t * Tuple.t list, string) result
+(** Download and open the sealed result: joined schema plus the decoded
+    real tuples (decoys dropped). *)
+
+val close : t -> unit
+
+(** {2 Whole-lifecycle conveniences} *)
+
+val submit_relation :
+  t ->
+  rng:Ppj_crypto.Rng.t ->
+  id:string ->
+  mac_key:string ->
+  contract:Channel.contract ->
+  schema:Schema.t ->
+  Relation.t ->
+  (unit, string) result
+(** attest → handshake → bind → upload, as a data provider. *)
+
+val fetch_result :
+  t ->
+  rng:Ppj_crypto.Rng.t ->
+  id:string ->
+  mac_key:string ->
+  contract:Channel.contract ->
+  Service.config ->
+  (Schema.t * Tuple.t list, string) result
+(** attest → handshake → bind → execute → fetch, as the recipient. *)

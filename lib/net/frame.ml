@@ -1,0 +1,39 @@
+type t = { tag : int; payload : string }
+
+let max_payload = 16 * 1024 * 1024
+
+let encode { tag; payload } =
+  if tag < 0 || tag > 0xff then invalid_arg "Frame.encode: tag must be a byte";
+  if String.length payload > max_payload then invalid_arg "Frame.encode: payload too large";
+  let len = 1 + String.length payload in
+  let b = Bytes.create (4 + len) in
+  Bytes.set_int32_be b 0 (Int32.of_int len);
+  Bytes.set_uint8 b 4 tag;
+  Bytes.blit_string payload 0 b 5 (String.length payload);
+  Bytes.unsafe_to_string b
+
+module Decoder = struct
+  type nonrec t = { mutable buf : string }
+
+  let create () = { buf = "" }
+
+  let feed d chunk = if String.length chunk > 0 then d.buf <- d.buf ^ chunk
+
+  let buffered d = String.length d.buf
+
+  let next d =
+    let have = String.length d.buf in
+    if have < 4 then Ok None
+    else
+      let len = Int32.to_int (String.get_int32_be d.buf 0) in
+      if len < 1 then Error (Printf.sprintf "frame: bad length %d" len)
+      else if len - 1 > max_payload then
+        Error (Printf.sprintf "frame: payload of %d bytes exceeds limit" (len - 1))
+      else if have < 4 + len then Ok None
+      else begin
+        let tag = Char.code d.buf.[4] in
+        let payload = String.sub d.buf 5 (len - 1) in
+        d.buf <- String.sub d.buf (4 + len) (have - 4 - len);
+        Ok (Some { tag; payload })
+      end
+end

@@ -1,0 +1,45 @@
+(** Length-prefixed binary framing.
+
+    Everything on a ppj connection is a frame:
+
+    {v
+    +----------------+-----+------------------+
+    | u32 BE length  | u8  |  payload bytes   |
+    |  = 1 + |payload| tag |                  |
+    +----------------+-----+------------------+
+    v}
+
+    The length covers the tag byte and the payload, so a reader needs
+    exactly [4 + length] bytes to hold a whole frame.  Tags name message
+    types ({!Wire}); payloads are opaque at this layer.  An adversary on
+    the wire therefore observes exactly (tag, length) per frame — the
+    surface the {!Wiretap} privacy tests pin down. *)
+
+type t = { tag : int; payload : string }
+
+val max_payload : int
+(** Upper bound on payload size (16 MiB); both ends reject bigger frames
+    rather than buffering unboundedly. *)
+
+val encode : t -> string
+(** @raise Invalid_argument if the tag is not a byte or the payload
+    exceeds {!max_payload}. *)
+
+(** Incremental decoder: feed arbitrary byte chunks as the transport
+    delivers them, pop complete frames as they form. *)
+module Decoder : sig
+  type frame := t
+
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> string -> unit
+
+  val next : t -> (frame option, string) result
+  (** [Ok None] when no complete frame is buffered yet; [Error _] on an
+      oversized length prefix (the connection should be dropped). *)
+
+  val buffered : t -> int
+  (** Bytes currently buffered (diagnostics). *)
+end

@@ -1,0 +1,394 @@
+module Channel = Ppj_scpu.Channel
+module Schema = Ppj_relation.Schema
+module Relation = Ppj_relation.Relation
+module Predicate = Ppj_relation.Predicate
+module Service = Ppj_core.Service
+module Instance = Ppj_core.Instance
+module Report = Ppj_core.Report
+module Registry = Ppj_obs.Registry
+module Rng = Ppj_crypto.Rng
+
+type contract_state = {
+  contract : Channel.contract;
+  digest : string;
+  submissions : (string, Schema.t * Relation.t) Hashtbl.t;  (* provider id -> *)
+}
+
+type upload = {
+  schema : Schema.t;
+  total_chunks : int;
+  parts : Buffer.t;
+  mutable next_seq : int;
+  mutable failed : (Wire.error_code * string) option;
+      (* first chunk error, reported once at Upload_done *)
+}
+
+type phase = Expect_attest | Expect_hello | Established
+
+type session = {
+  mutable phase : phase;
+  mutable party : Channel.party option;
+  mutable peer_id : string;
+  mutable bound : contract_state option;
+  mutable upload : upload option;
+  mutable result : (string * string * int) option;
+      (* sealed joined schema, sealed body, transfers — cached so Execute
+         and Fetch are idempotent under client retries *)
+}
+
+type t = {
+  mac_key : string;
+  registry : Registry.t;
+  rng : Rng.t;
+  guard : Channel.Handshake.responder;
+  contracts : (string, contract_state) Hashtbl.t;  (* digest -> *)
+  mutable sessions_closed : int;
+}
+
+let create ?registry ?(seed = 7) ~mac_key () =
+  { mac_key;
+    registry = (match registry with Some r -> r | None -> Registry.create ());
+    rng = Rng.create seed;
+    guard = Channel.Handshake.responder ();
+    contracts = Hashtbl.create 8;
+    sessions_closed = 0;
+  }
+
+let registry t = t.registry
+
+let sessions_closed t = t.sessions_closed
+
+let counter ?labels t name = Ppj_obs.Counter.incr (Registry.counter ?labels t.registry name)
+
+let open_session t =
+  counter t "net.server.sessions.opened";
+  { phase = Expect_attest;
+    party = None;
+    peer_id = "?";
+    bound = None;
+    upload = None;
+    result = None;
+  }
+
+let close_session t (_ : session) =
+  t.sessions_closed <- t.sessions_closed + 1;
+  counter t "net.server.sessions.closed"
+
+let err code fmt =
+  Printf.ksprintf (fun message -> [ Wire.Error { code; message } ]) fmt
+
+(* --- per-message handlers ------------------------------------------- *)
+
+let on_attest_request session v =
+  if v <> Wire.version then
+    err Wire.Unsupported_version "server speaks version %d, client offered %d" Wire.version v
+  else begin
+    (* Duplicate-tolerant: a client whose reply frame was lost re-asks. *)
+    if session.phase = Expect_attest then session.phase <- Expect_hello;
+    [ Wire.Attest_chain (Service.attestation_chain ()) ]
+  end
+
+let on_hello t session h =
+  match session.phase with
+  | Expect_attest -> err Wire.Bad_state "hello before attestation fetch"
+  | Established -> err Wire.Bad_state "handshake already complete"
+  | Expect_hello -> (
+      match Channel.Handshake.respond_guarded t.guard t.rng ~mac_key:t.mac_key h with
+      | Error e -> err Wire.Auth_failed "%s" e
+      | Ok (reply, party) ->
+          session.party <- Some party;
+          session.peer_id <- h.Channel.Handshake.id;
+          session.phase <- Established;
+          [ Wire.Hello_reply reply ])
+
+let established session k =
+  match (session.phase, session.party) with
+  | Established, Some party -> k party
+  | _ -> err Wire.Bad_state "handshake not complete"
+
+let bound session k =
+  established session (fun party ->
+      match session.bound with
+      | Some cs -> k party cs
+      | None -> err Wire.Bad_state "no contract bound to this session")
+
+let on_contract t session sealed =
+  established session (fun party ->
+      match Channel.open_sealed party sealed with
+      | Error e -> err Wire.Auth_failed "contract: %s" e
+      | Ok plain -> (
+          match Wire.contract_of_string plain with
+          | Error e -> err Wire.Malformed "contract: %s" e
+          | Ok contract ->
+              let id = session.peer_id in
+              if
+                not
+                  (List.mem id contract.Channel.providers
+                  || String.equal id contract.Channel.recipient)
+              then err Wire.Contract_rejected "%s is neither provider nor recipient" id
+              else begin
+                let digest = Channel.contract_digest contract in
+                let cs =
+                  match Hashtbl.find_opt t.contracts digest with
+                  | Some cs -> cs
+                  | None ->
+                      let cs = { contract; digest; submissions = Hashtbl.create 4 } in
+                      Hashtbl.replace t.contracts digest cs;
+                      counter t "net.server.contracts.registered";
+                      cs
+                in
+                (match session.bound with
+                | Some prev when not (String.equal prev.digest digest) ->
+                    (* Rebinding resets any per-contract session state. *)
+                    session.result <- None;
+                    session.upload <- None
+                | _ -> ());
+                session.bound <- Some cs;
+                [ Wire.Contract_ok ]
+              end))
+
+let on_upload_begin _t session ~sealed_schema ~chunks =
+  bound session (fun party cs ->
+      if not (List.mem session.peer_id cs.contract.Channel.providers) then
+        err Wire.Contract_rejected "%s is not a provider of this contract" session.peer_id
+      else if chunks < 1 then err Wire.Malformed "upload of %d chunks" chunks
+      else
+        match Channel.open_sealed party sealed_schema with
+        | Error e -> err Wire.Auth_failed "schema: %s" e
+        | Ok plain -> (
+            match Wire.schema_of_string plain with
+            | Error e -> err Wire.Malformed "schema: %s" e
+            | Ok schema ->
+                session.upload <-
+                  Some
+                    { schema;
+                      total_chunks = chunks;
+                      parts = Buffer.create 1024;
+                      next_seq = 0;
+                      failed = None;
+                    };
+                []))
+
+let on_upload_chunk _t session ~seq ~bytes =
+  match session.upload with
+  | None -> err Wire.Bad_state "chunk outside an upload"
+  | Some u ->
+      (match u.failed with
+      | Some _ -> ()  (* already failed; swallow the rest of the stream *)
+      | None ->
+          if seq <> u.next_seq then
+            u.failed <-
+              Some (Wire.Bad_state, Printf.sprintf "chunk %d arrived, expected %d" seq u.next_seq)
+          else if seq >= u.total_chunks then
+            u.failed <-
+              Some (Wire.Bad_state, Printf.sprintf "chunk %d beyond announced %d" seq u.total_chunks)
+          else begin
+            Buffer.add_string u.parts bytes;
+            u.next_seq <- u.next_seq + 1
+          end);
+      []
+
+let on_upload_done t session =
+  match session.upload with
+  | None -> err Wire.Bad_state "upload-done outside an upload"
+  | Some u -> (
+      session.upload <- None;
+      match u.failed with
+      | Some (code, message) -> [ Wire.Error { code; message } ]
+      | None ->
+          if u.next_seq <> u.total_chunks then
+            err Wire.Bad_state "upload closed after %d of %d chunks" u.next_seq u.total_chunks
+          else
+            bound session (fun party cs ->
+                match Wire.submission_of_string (Buffer.contents u.parts) with
+                | Error e -> err Wire.Malformed "submission: %s" e
+                | Ok submission -> (
+                    match Channel.accept party cs.contract u.schema submission with
+                    | Error e -> err Wire.Auth_failed "submission: %s" e
+                    | Ok relation ->
+                        Hashtbl.replace cs.submissions session.peer_id (u.schema, relation);
+                        counter t "net.server.submissions.accepted";
+                        [ Wire.Upload_ok ])))
+
+let on_execute t session sealed_config =
+  bound session (fun party cs ->
+      if not (String.equal session.peer_id cs.contract.Channel.recipient) then
+        err Wire.Contract_rejected "%s is not the contract's recipient" session.peer_id
+      else
+        match session.result with
+        | Some (_, _, transfers) -> [ Wire.Execute_ok { transfers } ]
+        | None -> (
+            match Channel.open_sealed party sealed_config with
+            | Error e -> err Wire.Auth_failed "config: %s" e
+            | Ok plain -> (
+                match Wire.config_of_string plain with
+                | Error e -> err Wire.Malformed "config: %s" e
+                | Ok config -> (
+                    let missing =
+                      List.filter
+                        (fun p -> not (Hashtbl.mem cs.submissions p))
+                        cs.contract.Channel.providers
+                    in
+                    if missing <> [] then
+                      err Wire.Missing_submission "waiting for: %s" (String.concat ", " missing)
+                    else
+                      match Predicate.parse cs.contract.Channel.predicate with
+                      | Error e -> err Wire.Malformed "%s" e
+                      | Ok predicate -> (
+                          let rels =
+                            List.map
+                              (fun p -> snd (Hashtbl.find cs.submissions p))
+                              cs.contract.Channel.providers
+                          in
+                          match
+                            Registry.span t.registry "net.server.join.seconds" (fun () ->
+                                let inst, report =
+                                  Service.execute_join config ~predicate rels
+                                in
+                                let sealed_body =
+                                  Service.seal_to inst ~recipient:party ~contract:cs.contract
+                                in
+                                let sealed_schema =
+                                  Channel.seal party
+                                    (Wire.schema_to_string (Instance.joined_schema inst))
+                                in
+                                (sealed_schema, sealed_body, report.Report.transfers))
+                          with
+                          | result ->
+                              session.result <- Some result;
+                              counter t "net.server.joins.executed";
+                              let _, _, transfers = result in
+                              [ Wire.Execute_ok { transfers } ]
+                          | exception e ->
+                              err Wire.Internal "join failed: %s" (Printexc.to_string e))))))
+
+let on_fetch session =
+  established session (fun _party ->
+      match session.result with
+      | Some (sealed_schema, sealed_body, _) -> [ Wire.Result { sealed_schema; sealed_body } ]
+      | None -> err Wire.Bad_state "nothing executed on this session yet")
+
+let handle t session msg =
+  match msg with
+  | Wire.Attest_request { version } -> on_attest_request session version
+  | Wire.Hello h -> on_hello t session h
+  | Wire.Contract { sealed } -> on_contract t session sealed
+  | Wire.Upload_begin { sealed_schema; chunks } -> on_upload_begin t session ~sealed_schema ~chunks
+  | Wire.Upload_chunk { seq; bytes } -> on_upload_chunk t session ~seq ~bytes
+  | Wire.Upload_done -> on_upload_done t session
+  | Wire.Execute { sealed_config } -> on_execute t session sealed_config
+  | Wire.Fetch -> on_fetch session
+  | Wire.Attest_chain _ | Wire.Hello_reply _ | Wire.Contract_ok | Wire.Upload_ok
+  | Wire.Execute_ok _ | Wire.Result _ | Wire.Error _ ->
+      err Wire.Bad_state "client-bound message sent to server"
+
+let handle_frame t session frame =
+  counter t "net.server.frames.in";
+  Ppj_obs.Counter.incr
+    ~by:(String.length frame.Frame.payload + 5)
+    (Registry.counter t.registry "net.server.bytes.in");
+  let replies =
+    match Wire.of_frame frame with
+    | Error e ->
+        Registry.span
+          ~labels:[ ("msg", "undecodable") ]
+          t.registry "net.server.handle.seconds"
+          (fun () -> err Wire.Malformed "%s" e)
+    | Ok msg ->
+        Registry.span
+          ~labels:[ ("msg", Wire.tag_name frame.Frame.tag) ]
+          t.registry "net.server.handle.seconds"
+          (fun () -> handle t session msg)
+  in
+  List.map
+    (fun reply ->
+      let f = Wire.to_frame reply in
+      counter t "net.server.frames.out";
+      Ppj_obs.Counter.incr
+        ~by:(String.length f.Frame.payload + 5)
+        (Registry.counter t.registry "net.server.bytes.out");
+      f)
+    replies
+
+(* --- Unix-domain-socket serve loop ---------------------------------- *)
+
+type conn = { fd : Unix.file_descr; session : session; decoder : Frame.Decoder.t }
+
+let write_all fd s =
+  let len = String.length s in
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < len then
+      let n = Unix.write fd b off (len - off) in
+      go (off + n)
+  in
+  go 0
+
+let serve_unix t ~path ?(poll_interval = 0.05) ?max_sessions ?(stop = fun () -> false) () =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 8 in
+  let drop conn =
+    close_session t conn.session;
+    Hashtbl.remove conns conn.fd;
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  in
+  let finished () =
+    match max_sessions with Some n -> t.sessions_closed >= n | None -> false
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) conns;
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind lfd (Unix.ADDR_UNIX path);
+      Unix.listen lfd 16;
+      let buf = Bytes.create 65536 in
+      while not (stop ()) && not (finished ()) do
+        let fds = lfd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
+        let readable =
+          match Unix.select fds [] [] poll_interval with
+          | r, _, _ -> r
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+        in
+        List.iter
+          (fun fd ->
+            if fd == lfd then begin
+              match Unix.accept lfd with
+              | cfd, _ ->
+                  Hashtbl.replace conns cfd
+                    { fd = cfd; session = open_session t; decoder = Frame.Decoder.create () }
+              | exception Unix.Unix_error _ -> ()
+            end
+            else
+              match Hashtbl.find_opt conns fd with
+              | None -> ()
+              | Some conn -> (
+                  match Unix.read fd buf 0 (Bytes.length buf) with
+                  | 0 -> drop conn
+                  | n ->
+                      Frame.Decoder.feed conn.decoder (Bytes.sub_string buf 0 n);
+                      let rec pump () =
+                        match Frame.Decoder.next conn.decoder with
+                        | Ok None -> ()
+                        | Ok (Some frame) ->
+                            let replies = handle_frame t conn.session frame in
+                            (try
+                               List.iter (fun f -> write_all fd (Frame.encode f)) replies;
+                               pump ()
+                             with Unix.Unix_error _ -> drop conn)
+                        | Error e ->
+                            (try
+                               write_all fd
+                                 (Frame.encode
+                                    (Wire.to_frame
+                                       (Wire.Error { code = Wire.Malformed; message = e })))
+                             with Unix.Unix_error _ -> ());
+                            drop conn
+                      in
+                      pump ()
+                  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR), _, _) -> ()
+                  | exception Unix.Unix_error _ -> drop conn))
+          readable
+      done)

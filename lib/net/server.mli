@@ -1,0 +1,53 @@
+(** The join service as a network server.
+
+    A {!t} is the protocol engine: shared state (registered contracts,
+    collected submissions, the handshake replay guard) plus per-session
+    state machines that walk attest → hello → established, then accept
+    contract binding, chunked uploads, execute and fetch.  The engine is
+    transport-agnostic — {!handle_frame} maps one inbound frame to its
+    reply frames — so the deterministic loopback transport and the
+    Unix-domain-socket loop below drive identical code.
+
+    Join execution reuses the decomposed {!Ppj_core.Service} handlers, so
+    a networked join and an in-process [Service.run] produce byte-identical
+    deliveries for the same seed and config. *)
+
+module Channel = Ppj_scpu.Channel
+
+type t
+
+val create :
+  ?registry:Ppj_obs.Registry.t -> ?seed:int -> mac_key:string -> unit -> t
+(** [mac_key] is the long-term identity key the handshake MACs are rooted
+    in (what the attestation chain certifies); [seed] drives the
+    service-side handshake exponents deterministically. *)
+
+val registry : t -> Ppj_obs.Registry.t
+
+val sessions_closed : t -> int
+
+type session
+
+val open_session : t -> session
+
+val close_session : t -> session -> unit
+
+val handle_frame : t -> session -> Frame.t -> Frame.t list
+(** Process one inbound frame, returning the frames to send back (often
+    one; zero for streamed upload chunks; a typed [Error] reply on any
+    protocol violation — the connection survives unless the transport
+    drops it). *)
+
+val serve_unix :
+  t ->
+  path:string ->
+  ?poll_interval:float ->
+  ?max_sessions:int ->
+  ?stop:(unit -> bool) ->
+  unit ->
+  unit
+(** Bind a Unix-domain socket at [path] (replacing any stale file) and
+    multiplex concurrent connections with [select] — one {!session} per
+    connection, interleaved frame handling, no threads.  Returns when
+    [stop ()] becomes true or, if [max_sessions] is given, once that many
+    sessions have closed; the socket file is removed on exit. *)

@@ -1,0 +1,87 @@
+exception Closed
+
+type t = {
+  send : string -> unit;
+  recv : timeout:float -> string option;
+  close : unit -> unit;
+  peer : string;
+}
+
+let loopback ?tap ?(fault = fun _ _ -> false) server =
+  let session = Server.open_session server in
+  let inbox : string Queue.t = Queue.create () in
+  let decoder = Frame.Decoder.create () in
+  let closed = ref false in
+  let observe dir frame =
+    (match tap with Some w -> Wiretap.record w dir frame | None -> ());
+    not (fault dir frame)
+  in
+  let send bytes =
+    if !closed then raise Closed;
+    Frame.Decoder.feed decoder bytes;
+    let rec pump () =
+      match Frame.Decoder.next decoder with
+      | Ok None -> ()
+      | Error e -> failwith ("loopback: client sent garbage: " ^ e)
+      | Ok (Some frame) ->
+          if observe Wiretap.To_server frame then
+            List.iter
+              (fun reply ->
+                if observe Wiretap.To_client reply then
+                  Queue.push (Frame.encode reply) inbox)
+              (Server.handle_frame server session frame);
+          pump ()
+    in
+    pump ()
+  in
+  let recv ~timeout:_ = if Queue.is_empty inbox then None else Some (Queue.pop inbox) in
+  let close () =
+    if not !closed then begin
+      closed := true;
+      Server.close_session server session
+    end
+  in
+  { send; recv; close; peer = "loopback" }
+
+let connect_unix ~path () =
+  match
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX path)
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    fd
+  with
+  | exception Unix.Unix_error (err, _, _) ->
+      Error (Printf.sprintf "connect %s: %s" path (Unix.error_message err))
+  | fd ->
+      let closed = ref false in
+      let send s =
+        if !closed then raise Closed;
+        let b = Bytes.of_string s in
+        let rec go off =
+          if off < Bytes.length b then
+            match Unix.write fd b off (Bytes.length b - off) with
+            | n -> go (off + n)
+            | exception Unix.Unix_error (Unix.EPIPE, _, _) -> raise Closed
+        in
+        go 0
+      in
+      let buf = Bytes.create 65536 in
+      let recv ~timeout =
+        if !closed then raise Closed;
+        match Unix.select [ fd ] [] [] timeout with
+        | [], _, _ -> None
+        | _ -> (
+            match Unix.read fd buf 0 (Bytes.length buf) with
+            | 0 -> raise Closed
+            | n -> Some (Bytes.sub_string buf 0 n))
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> None
+      in
+      let close () =
+        if not !closed then begin
+          closed := true;
+          try Unix.close fd with Unix.Unix_error _ -> ()
+        end
+      in
+      Ok { send; recv; close; peer = path }

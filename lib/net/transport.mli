@@ -1,0 +1,38 @@
+(** Client-side byte transports.
+
+    A transport moves opaque byte chunks; framing and message semantics
+    live above it ({!Frame}, {!Wire}, {!Client}).  Two implementations:
+
+    - {!loopback} — deterministic in-memory pair wired straight into a
+      {!Server} engine.  Sends are handled synchronously, receives pop a
+      queue, nothing sleeps: tests of retry and timeout logic run in
+      microseconds and are exactly reproducible.  Supports fault
+      injection (dropping frames in either direction) and a {!Wiretap}
+      observing every frame.
+    - {!connect_unix} — a Unix-domain-socket connection to a process
+      running {!Server.serve_unix}, with [select]-based receive
+      timeouts. *)
+
+exception Closed
+(** Raised by [recv]/[send] when the peer has gone away. *)
+
+type t = {
+  send : string -> unit;
+  recv : timeout:float -> string option;
+      (** Next chunk of bytes, or [None] if nothing arrived within
+          [timeout] seconds. *)
+  close : unit -> unit;
+  peer : string;  (** description for error messages *)
+}
+
+val loopback :
+  ?tap:Wiretap.t ->
+  ?fault:(Wiretap.dir -> Frame.t -> bool) ->
+  Server.t ->
+  t
+(** One client connection to an in-process server engine.  [fault]
+    returning true drops that frame ({e after} the tap records it — loss
+    happens on the wire, where the adversary already looked).  Call it
+    several times on one server to simulate several parties. *)
+
+val connect_unix : path:string -> unit -> (t, string) result

@@ -1,0 +1,405 @@
+module Channel = Ppj_scpu.Channel
+module Attestation = Ppj_scpu.Attestation
+module Schema = Ppj_relation.Schema
+module Service = Ppj_core.Service
+
+let version = 1
+
+(* --- primitive writers/readers ------------------------------------- *)
+(* Integers are big-endian; [str] is a u32 length prefix plus the raw
+   bytes; [vint] is a full 8-byte signed int (seeds may be any int). *)
+
+exception Malformed_payload of string
+
+module W = struct
+  let u8 b v = Buffer.add_uint8 b v
+  let u16 b v = Buffer.add_uint16_be b v
+  let u32 b v = Buffer.add_int32_be b (Int32.of_int v)
+  let vint b v = Buffer.add_int64_be b (Int64.of_int v)
+  let f64 b v = Buffer.add_int64_be b (Int64.bits_of_float v)
+
+  let str b s =
+    u32 b (String.length s);
+    Buffer.add_string b s
+
+  let list b f items =
+    u16 b (List.length items);
+    List.iter (f b) items
+end
+
+module R = struct
+  type t = { src : string; mutable pos : int }
+
+  let of_string src = { src; pos = 0 }
+
+  let fail fmt = Printf.ksprintf (fun m -> raise (Malformed_payload m)) fmt
+
+  let need r n = if r.pos + n > String.length r.src then fail "truncated payload"
+
+  let u8 r =
+    need r 1;
+    let v = Char.code r.src.[r.pos] in
+    r.pos <- r.pos + 1;
+    v
+
+  let u16 r =
+    need r 2;
+    let v = String.get_uint16_be r.src r.pos in
+    r.pos <- r.pos + 2;
+    v
+
+  let u32 r =
+    need r 4;
+    let v = Int32.to_int (String.get_int32_be r.src r.pos) in
+    r.pos <- r.pos + 4;
+    if v < 0 then fail "negative length" else v
+
+  let vint r =
+    need r 8;
+    let v = Int64.to_int (String.get_int64_be r.src r.pos) in
+    r.pos <- r.pos + 8;
+    v
+
+  let f64 r =
+    need r 8;
+    let v = Int64.float_of_bits (String.get_int64_be r.src r.pos) in
+    r.pos <- r.pos + 8;
+    v
+
+  let str r =
+    let n = u32 r in
+    need r n;
+    let s = String.sub r.src r.pos n in
+    r.pos <- r.pos + n;
+    s
+
+  let list r f = List.init (u16 r) (fun _ -> f r)
+
+  let eof r = if r.pos <> String.length r.src then fail "trailing bytes in payload"
+end
+
+let encode f =
+  let b = Buffer.create 64 in
+  f b;
+  Buffer.contents b
+
+let decode s f =
+  match
+    let r = R.of_string s in
+    let v = f r in
+    R.eof r;
+    v
+  with
+  | v -> Ok v
+  | exception Malformed_payload m -> Error m
+  | exception Invalid_argument m -> Error m
+
+(* --- control-plane records ------------------------------------------ *)
+
+let contract_to_string (c : Channel.contract) =
+  encode (fun b ->
+      W.str b c.contract_id;
+      W.list b W.str c.providers;
+      W.str b c.recipient;
+      W.str b c.predicate)
+
+let contract_of_string s =
+  decode s (fun r ->
+      let contract_id = R.str r in
+      let providers = R.list r R.str in
+      let recipient = R.str r in
+      let predicate = R.str r in
+      { Channel.contract_id; providers; recipient; predicate })
+
+let schema_to_string schema =
+  encode (fun b ->
+      W.list b
+        (fun b (f : Schema.field) ->
+          W.str b f.name;
+          match f.ty with
+          | Schema.TInt -> W.u8 b 0
+          | Schema.TStr w ->
+              W.u8 b 1;
+              W.u16 b w
+          | Schema.TSet c ->
+              W.u8 b 2;
+              W.u16 b c)
+        (Schema.fields schema))
+
+let schema_of_string s =
+  decode s (fun r ->
+      Schema.make
+        (R.list r (fun r ->
+             let name = R.str r in
+             let ty =
+               match R.u8 r with
+               | 0 -> Schema.TInt
+               | 1 -> Schema.TStr (R.u16 r)
+               | 2 -> Schema.TSet (R.u16 r)
+               | k -> R.fail "unknown field kind %d" k
+             in
+             { Schema.name; ty })))
+
+let algorithm_to b (a : Service.algorithm) =
+  match a with
+  | Service.Alg1 { n } ->
+      W.u8 b 1;
+      W.vint b n
+  | Service.Alg2 { n } ->
+      W.u8 b 2;
+      W.vint b n
+  | Service.Alg3 { n; attr_a; attr_b } ->
+      W.u8 b 3;
+      W.vint b n;
+      W.str b attr_a;
+      W.str b attr_b
+  | Service.Alg4 -> W.u8 b 4
+  | Service.Alg5 -> W.u8 b 5
+  | Service.Alg6 { eps } ->
+      W.u8 b 6;
+      W.f64 b eps
+  | Service.Alg7 { attr_a; attr_b } ->
+      W.u8 b 7;
+      W.str b attr_a;
+      W.str b attr_b
+  | Service.Auto { max_eps } ->
+      W.u8 b 8;
+      W.f64 b max_eps
+
+let algorithm_of r : Service.algorithm =
+  match R.u8 r with
+  | 1 -> Service.Alg1 { n = R.vint r }
+  | 2 -> Service.Alg2 { n = R.vint r }
+  | 3 ->
+      let n = R.vint r in
+      let attr_a = R.str r in
+      let attr_b = R.str r in
+      Service.Alg3 { n; attr_a; attr_b }
+  | 4 -> Service.Alg4
+  | 5 -> Service.Alg5
+  | 6 -> Service.Alg6 { eps = R.f64 r }
+  | 7 ->
+      let attr_a = R.str r in
+      let attr_b = R.str r in
+      Service.Alg7 { attr_a; attr_b }
+  | 8 -> Service.Auto { max_eps = R.f64 r }
+  | k -> R.fail "unknown algorithm tag %d" k
+
+let config_to_string (c : Service.config) =
+  encode (fun b ->
+      W.vint b c.m;
+      W.vint b c.seed;
+      algorithm_to b c.algorithm)
+
+let config_of_string s =
+  decode s (fun r ->
+      let m = R.vint r in
+      let seed = R.vint r in
+      let algorithm = algorithm_of r in
+      { Service.m; seed; algorithm })
+
+let submission_to_string (s : Channel.submission) =
+  encode (fun b ->
+      W.str b s.sender;
+      W.str b s.nonce;
+      W.str b s.ciphertext)
+
+let submission_of_string s =
+  decode s (fun r ->
+      let sender = R.str r in
+      let nonce = R.str r in
+      let ciphertext = R.str r in
+      { Channel.sender; nonce; ciphertext })
+
+(* --- messages ------------------------------------------------------- *)
+
+type error_code =
+  | Unsupported_version
+  | Bad_state
+  | Auth_failed
+  | Contract_rejected
+  | Missing_submission
+  | Malformed
+  | Internal
+
+let error_code_to_string = function
+  | Unsupported_version -> "unsupported-version"
+  | Bad_state -> "bad-state"
+  | Auth_failed -> "auth-failed"
+  | Contract_rejected -> "contract-rejected"
+  | Missing_submission -> "missing-submission"
+  | Malformed -> "malformed"
+  | Internal -> "internal"
+
+let error_code_to_int = function
+  | Unsupported_version -> 1
+  | Bad_state -> 2
+  | Auth_failed -> 3
+  | Contract_rejected -> 4
+  | Missing_submission -> 5
+  | Malformed -> 6
+  | Internal -> 7
+
+let error_code_of_int = function
+  | 1 -> Unsupported_version
+  | 2 -> Bad_state
+  | 3 -> Auth_failed
+  | 4 -> Contract_rejected
+  | 5 -> Missing_submission
+  | 6 -> Malformed
+  | _ -> Internal
+
+type msg =
+  | Attest_request of { version : int }
+  | Attest_chain of Attestation.certificate list
+  | Hello of Channel.Handshake.hello
+  | Hello_reply of Channel.Handshake.reply
+  | Contract of { sealed : string }
+  | Contract_ok
+  | Upload_begin of { sealed_schema : string; chunks : int }
+  | Upload_chunk of { seq : int; bytes : string }
+  | Upload_done
+  | Upload_ok
+  | Execute of { sealed_config : string }
+  | Execute_ok of { transfers : int }
+  | Fetch
+  | Result of { sealed_schema : string; sealed_body : string }
+  | Error of { code : error_code; message : string }
+
+let tag_of = function
+  | Attest_request _ -> 1
+  | Attest_chain _ -> 2
+  | Hello _ -> 3
+  | Hello_reply _ -> 4
+  | Contract _ -> 5
+  | Contract_ok -> 6
+  | Upload_begin _ -> 7
+  | Upload_chunk _ -> 8
+  | Upload_done -> 9
+  | Upload_ok -> 10
+  | Execute _ -> 11
+  | Execute_ok _ -> 12
+  | Fetch -> 13
+  | Result _ -> 14
+  | Error _ -> 15
+
+let tag_name = function
+  | 1 -> "attest-request"
+  | 2 -> "attest-chain"
+  | 3 -> "hello"
+  | 4 -> "hello-reply"
+  | 5 -> "contract"
+  | 6 -> "contract-ok"
+  | 7 -> "upload-begin"
+  | 8 -> "upload-chunk"
+  | 9 -> "upload-done"
+  | 10 -> "upload-ok"
+  | 11 -> "execute"
+  | 12 -> "execute-ok"
+  | 13 -> "fetch"
+  | 14 -> "result"
+  | 15 -> "error"
+  | t -> Printf.sprintf "tag-%d" t
+
+let to_frame msg =
+  let payload =
+    match msg with
+    | Attest_request { version } -> encode (fun b -> W.u16 b version)
+    | Attest_chain certs ->
+        encode (fun b ->
+            W.list b
+              (fun b (c : Attestation.certificate) ->
+                W.str b c.name;
+                W.str b c.code_digest;
+                W.str b c.mac)
+              certs)
+    | Hello h ->
+        encode (fun b ->
+            W.str b h.Channel.Handshake.id;
+            W.u32 b h.Channel.Handshake.gx;
+            W.str b h.Channel.Handshake.mac)
+    | Hello_reply r ->
+        encode (fun b ->
+            W.u32 b r.Channel.Handshake.gy;
+            W.str b r.Channel.Handshake.mac)
+    | Contract { sealed } -> encode (fun b -> W.str b sealed)
+    | Contract_ok -> ""
+    | Upload_begin { sealed_schema; chunks } ->
+        encode (fun b ->
+            W.str b sealed_schema;
+            W.u32 b chunks)
+    | Upload_chunk { seq; bytes } ->
+        encode (fun b ->
+            W.u32 b seq;
+            W.str b bytes)
+    | Upload_done -> ""
+    | Upload_ok -> ""
+    | Execute { sealed_config } -> encode (fun b -> W.str b sealed_config)
+    | Execute_ok { transfers } -> encode (fun b -> W.vint b transfers)
+    | Fetch -> ""
+    | Result { sealed_schema; sealed_body } ->
+        encode (fun b ->
+            W.str b sealed_schema;
+            W.str b sealed_body)
+    | Error { code; message } ->
+        encode (fun b ->
+            W.u8 b (error_code_to_int code);
+            W.str b message)
+  in
+  { Frame.tag = tag_of msg; payload }
+
+let of_frame { Frame.tag; payload } =
+  let dec f = decode payload f in
+  match tag with
+  | 1 -> dec (fun r -> Attest_request { version = R.u16 r })
+  | 2 ->
+      dec (fun r ->
+          Attest_chain
+            (R.list r (fun r ->
+                 let name = R.str r in
+                 let code_digest = R.str r in
+                 let mac = R.str r in
+                 { Attestation.name; code_digest; mac })))
+  | 3 ->
+      dec (fun r ->
+          let id = R.str r in
+          let gx = R.u32 r in
+          let mac = R.str r in
+          Hello { Channel.Handshake.id; gx; mac })
+  | 4 ->
+      dec (fun r ->
+          let gy = R.u32 r in
+          let mac = R.str r in
+          Hello_reply { Channel.Handshake.gy; mac })
+  | 5 -> dec (fun r -> Contract { sealed = R.str r })
+  | 6 -> dec (fun _ -> Contract_ok)
+  | 7 ->
+      dec (fun r ->
+          let sealed_schema = R.str r in
+          let chunks = R.u32 r in
+          Upload_begin { sealed_schema; chunks })
+  | 8 ->
+      dec (fun r ->
+          let seq = R.u32 r in
+          let bytes = R.str r in
+          Upload_chunk { seq; bytes })
+  | 9 -> dec (fun _ -> Upload_done)
+  | 10 -> dec (fun _ -> Upload_ok)
+  | 11 -> dec (fun r -> Execute { sealed_config = R.str r })
+  | 12 -> dec (fun r -> Execute_ok { transfers = R.vint r })
+  | 13 -> dec (fun _ -> Fetch)
+  | 14 ->
+      dec (fun r ->
+          let sealed_schema = R.str r in
+          let sealed_body = R.str r in
+          Result { sealed_schema; sealed_body })
+  | 15 ->
+      dec (fun r ->
+          let code = error_code_of_int (R.u8 r) in
+          let message = R.str r in
+          Error { code; message })
+  | t -> Result.Error (Printf.sprintf "unknown message tag %d" t)
+
+let pp ppf msg =
+  let f = to_frame msg in
+  Format.fprintf ppf "%s[%dB]" (tag_name f.Frame.tag) (String.length f.Frame.payload)

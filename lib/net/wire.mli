@@ -1,0 +1,79 @@
+(** Message codec: the grammar spoken over {!Frame}s.
+
+    One session walks the lifecycle of §3.2–§3.3.3: fetch and verify the
+    service's attestation chain, run the authenticated Diffie–Hellman
+    handshake, bind a digital contract, upload the contract-bound
+    encrypted relation in chunks, request execution, and download the
+    sealed result.  Control-plane payloads that §3.3.3 would have inside
+    the authenticated channel — the contract, the schema, the execute
+    config — travel OCB-sealed under the session key, so the only
+    plaintext on the wire is message tags, lengths, handshake public
+    values, and party identifiers.  See DESIGN.md ("Wire protocol") for
+    the byte-level grammar and the versioning rule. *)
+
+module Channel = Ppj_scpu.Channel
+module Attestation = Ppj_scpu.Attestation
+module Schema = Ppj_relation.Schema
+module Service = Ppj_core.Service
+
+val version : int
+(** Protocol version, carried by [Attest_request] — the first frame of
+    every session.  A server speaking a different version answers with a
+    typed [Unsupported_version] error and nothing else. *)
+
+type error_code =
+  | Unsupported_version
+  | Bad_state  (** message arrived in a phase that does not expect it *)
+  | Auth_failed  (** handshake MAC, replay, or submission tag failure *)
+  | Contract_rejected  (** digest mismatch, or party not named by it *)
+  | Missing_submission  (** execute before every provider uploaded *)
+  | Malformed  (** undecodable payload *)
+  | Internal
+
+val error_code_to_string : error_code -> string
+
+type msg =
+  | Attest_request of { version : int }
+  | Attest_chain of Attestation.certificate list
+  | Hello of Channel.Handshake.hello
+  | Hello_reply of Channel.Handshake.reply
+  | Contract of { sealed : string }  (** sealed contract *)
+  | Contract_ok
+  | Upload_begin of { sealed_schema : string; chunks : int }
+  | Upload_chunk of { seq : int; bytes : string }
+  | Upload_done
+  | Upload_ok
+  | Execute of { sealed_config : string }
+  | Execute_ok of { transfers : int }
+  | Fetch
+  | Result of { sealed_schema : string; sealed_body : string }
+  | Error of { code : error_code; message : string }
+
+val to_frame : msg -> Frame.t
+
+val of_frame : Frame.t -> (msg, string) result
+
+val tag_of : msg -> int
+
+val tag_name : int -> string
+(** Human-readable tag, for logs and the adversary's shape view. *)
+
+val pp : Format.formatter -> msg -> unit
+(** Tag plus payload size only — never message contents. *)
+
+(** {2 Plain codecs for sealed payloads}
+
+    These serialise the control-plane records to the byte strings that
+    are then passed through {!Channel.seal}. *)
+
+val contract_to_string : Channel.contract -> string
+val contract_of_string : string -> (Channel.contract, string) result
+
+val schema_to_string : Schema.t -> string
+val schema_of_string : string -> (Schema.t, string) result
+
+val config_to_string : Service.config -> string
+val config_of_string : string -> (Service.config, string) result
+
+val submission_to_string : Channel.submission -> string
+val submission_of_string : string -> (Channel.submission, string) result

@@ -1,0 +1,44 @@
+type dir = To_server | To_client
+
+type entry = { dir : dir; frame : Frame.t }
+
+type t = entry list ref
+
+let create () = ref []
+
+let record t dir frame = t := { dir; frame } :: !t
+
+let entries t = List.rev !t
+
+let shape t =
+  List.map
+    (fun { dir; frame } -> (dir, frame.Frame.tag, String.length frame.Frame.payload))
+    (entries t)
+
+let pp_shape ppf t =
+  List.iter
+    (fun (dir, tag, len) ->
+      Format.fprintf ppf "%s %s[%dB]@,"
+        (match dir with To_server -> "->" | To_client -> "<-")
+        (Wire.tag_name tag) len)
+    (shape t)
+
+(* Naive substring scan: captures are small and markers few. *)
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  n > 0
+  &&
+  let rec go i = i + n <= h && (String.equal (String.sub hay i n) needle || go (i + 1)) in
+  go 0
+
+let leaks t ~markers =
+  List.concat
+    (List.mapi
+       (fun i { frame; _ } ->
+         List.filter_map
+           (fun m ->
+             if contains ~needle:m frame.Frame.payload then Some (m, i) else None)
+           markers)
+       (entries t))
+
+let clear t = t := []

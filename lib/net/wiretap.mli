@@ -1,0 +1,34 @@
+(** The network adversary's view.
+
+    Arasu & Kaushik frame the adversary as observing {e all} I/O; for a
+    networked deployment that includes every frame on the wire.  A
+    wiretap records them verbatim so tests can assert the Definition 1/3
+    story at the network boundary: the observable sequence of
+    (direction, tag, length) triples — the {!shape} — must be identical
+    across same-shape inputs, and no frame may carry plaintext schema,
+    contract, or tuple bytes ({!leaks}). *)
+
+type dir = To_server | To_client
+
+type entry = { dir : dir; frame : Frame.t }
+
+type t
+
+val create : unit -> t
+
+val record : t -> dir -> Frame.t -> unit
+
+val entries : t -> entry list
+(** In capture order. *)
+
+val shape : t -> (dir * int * int) list
+(** [(direction, tag, payload length)] per frame — everything a
+    ciphertext-only adversary learns. *)
+
+val pp_shape : Format.formatter -> t -> unit
+
+val leaks : t -> markers:string list -> (string * int) list
+(** Plaintext markers found in any captured payload, as
+    [(marker, frame index)] pairs.  Empty on a healthy wire. *)
+
+val clear : t -> unit

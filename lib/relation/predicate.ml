@@ -72,6 +72,30 @@ let jaccard_above attr_a attr_b ~threshold =
         > threshold)
   }
 
+(* Inverse of the [name] spellings above, for the predicate families a
+   digital contract can carry by name.  Attribute names may not contain
+   '(' ')' ',' — true of every schema in the repo. *)
+let parse s =
+  let s = String.trim s in
+  let call_of s =
+    match String.index_opt s '(' with
+    | Some i when String.length s > 0 && s.[String.length s - 1] = ')' ->
+        let f = String.sub s 0 i in
+        let args = String.sub s (i + 1) (String.length s - i - 2) in
+        let args = if String.equal args "" then [] else String.split_on_char ',' args in
+        Some (f, List.map String.trim args)
+    | _ -> None
+  in
+  match call_of s with
+  | Some ("eq", [ attr ]) -> Ok (equijoin attr)
+  | Some ("eq", [ a; b ]) -> Ok (equijoin2 a b)
+  | Some ("lt", [ a; b ]) -> Ok (less_than a b)
+  | Some ("band", [ a; b; w ]) -> (
+      match int_of_string_opt w with
+      | Some width -> Ok (band a b ~width)
+      | None -> Error (Printf.sprintf "predicate: bad band width %S" w))
+  | _ -> Error (Printf.sprintf "predicate: cannot parse %S (eq/lt/band)" s)
+
 let conj a b = { name = a.name ^ " && " ^ b.name; eval = (fun ts -> a.eval ts && b.eval ts) }
 let disj a b = { name = a.name ^ " || " ^ b.name; eval = (fun ts -> a.eval ts || b.eval ts) }
 let negate a = { name = "!" ^ a.name; eval = (fun ts -> not (a.eval ts)) }

@@ -39,6 +39,13 @@ val l1_within : (string * string) list -> threshold:int -> t
 val jaccard_above : string -> string -> threshold:float -> t
 (** Jaccard coefficient > threshold on set-valued attributes (§1.1). *)
 
+val parse : string -> (t, string) result
+(** Inverse of {!name} for the families a digital contract names in text:
+    ["eq(key)"] → {!equijoin}, ["eq(a,b)"] → {!equijoin2}, ["lt(a,b)"] →
+    {!less_than}, ["band(a,b,8)"] → {!band}.  The service uses this to
+    turn the contract's agreed predicate string into an executable
+    predicate at the trust boundary. *)
+
 val conj : t -> t -> t
 
 val disj : t -> t -> t

@@ -11,7 +11,9 @@
 type layer = { name : string; code : string }
 (** One software layer: Miniboot, OS, or application, with its code image. *)
 
-type certificate
+type certificate = { name : string; code_digest : string; mac : string }
+(** One link of the chain.  Concrete so the wire layer can serialise a
+    fetched chain; forging a link without the device key fails {!verify}. *)
 
 val hash : string -> string
 (** 16-byte Matyas–Meyer–Oseas hash (AES compression function). *)

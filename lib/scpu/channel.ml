@@ -47,6 +47,19 @@ module Handshake = struct
     else Ok (party ~id ~secret:(Group.key_of (Group.power r.gy exponent)))
 
   let corrupt_hello (h : hello) = { h with gx = Group.mul h.gx Group.g }
+
+  type responder = (string * int * string, unit) Hashtbl.t
+
+  let responder () : responder = Hashtbl.create 16
+
+  let respond_guarded guard rng ~mac_key (h : hello) =
+    if Hashtbl.mem guard (h.id, h.gx, h.mac) then Error "handshake: replayed hello"
+    else
+      match respond rng ~mac_key h with
+      | Error _ as e -> e
+      | Ok _ as ok ->
+          Hashtbl.replace guard (h.id, h.gx, h.mac) ();
+          ok
 end
 
 type contract = {
@@ -98,6 +111,19 @@ let accept p contract schema s =
             in
             Ok (Relation.of_array ~name:p.id schema tuples)
         end
+
+let seal p msg =
+  let nonce = fresh_nonce p in
+  nonce ^ Ocb.encrypt p.key ~nonce msg
+
+let open_sealed p msg =
+  if String.length msg < 16 + Ocb.tag_length then Error "truncated sealed message"
+  else
+    let nonce = String.sub msg 0 16 in
+    let ct = String.sub msg 16 (String.length msg - 16) in
+    match Ocb.decrypt p.key ~nonce ct with
+    | None -> Error "authentication failure"
+    | Some body -> Ok body
 
 let seal_result p contract otuples =
   let body = Buffer.create 1024 in

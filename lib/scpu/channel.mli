@@ -22,10 +22,12 @@ val party_id : party -> string
     attestation chain certifies).  The toy 30-bit group is the documented
     {!Ppj_crypto.Group} substitution. *)
 module Handshake : sig
-  type hello
-  (** Requestor → service: identity, g{^x}, and a MAC binding both. *)
+  type hello = { id : string; gx : int; mac : string }
+  (** Requestor → service: identity, g{^x}, and a MAC binding both.  The
+      record is concrete so the wire layer ([lib/net]) can serialise it
+      and tamper tests can forge arbitrary variants. *)
 
-  type reply
+  type reply = { gy : int; mac : string }
   (** Service → requestor: g{^y} and a MAC over the whole transcript. *)
 
   val hello : Ppj_crypto.Rng.t -> id:string -> mac_key:string -> hello * int
@@ -40,6 +42,17 @@ module Handshake : sig
 
   val corrupt_hello : hello -> hello
   (** Flip a bit of the offered public value (for tamper tests). *)
+
+  type responder
+  (** Replay guard: a service-side log of the hellos already answered. *)
+
+  val responder : unit -> responder
+
+  val respond_guarded :
+    responder -> Ppj_crypto.Rng.t -> mac_key:string -> hello -> (reply * party, string) result
+  (** Like {!respond}, but a hello that was already answered is rejected
+      with ["handshake: replayed hello"] — an attacker capturing a valid
+      hello cannot open a second session by replaying it. *)
 end
 
 type contract = {
@@ -51,8 +64,11 @@ type contract = {
 
 val contract_digest : contract -> string
 
-type submission
-(** An encrypted relation in transit to the service. *)
+type submission = { sender : string; nonce : string; ciphertext : string }
+(** An encrypted relation in transit to the service.  Concrete so the
+    wire layer can frame it; the payload is protected by OCB, so exposing
+    the envelope grants an adversary nothing beyond what the host already
+    observes. *)
 
 val submit : party -> contract -> Relation.t -> submission
 
@@ -68,6 +84,15 @@ val accept :
 (** [T]-side: authenticate, decrypt, check the embedded contract digest,
     and re-materialise the relation.  [party] names whose session key to
     use.  Returns [Error _] on tampering or contract mismatch. *)
+
+val seal : party -> string -> string
+(** Generic authenticated encryption of an arbitrary message under the
+    session key: [nonce ^ ciphertext].  Used by the wire protocol for
+    control-plane payloads (contracts, schemas, execute configs) that must
+    not travel in the clear. *)
+
+val open_sealed : party -> string -> (string, string) result
+(** Inverse of {!seal}; [Error _] on truncation or tag failure. *)
 
 val seal_result : party -> contract -> string list -> string
 (** Encrypt the result oTuples to the recipient as one message. *)

@@ -1,0 +1,566 @@
+(* The wire protocol end to end: framing, codecs, loopback sessions that
+   must deliver byte-identical tuples to the in-process service, the
+   adversary's view of the wire, client retry/timeout behaviour under
+   injected faults, protocol error paths, and a real two-process join
+   over a Unix-domain socket. *)
+
+open Ppj_net
+module Ch = Ppj_scpu.Channel
+module W = Ppj_relation.Workload
+module P = Ppj_relation.Predicate
+module T = Ppj_relation.Tuple
+module Schema = Ppj_relation.Schema
+module Relation = Ppj_relation.Relation
+module Value = Ppj_relation.Value
+module Rng = Ppj_crypto.Rng
+module Service = Ppj_core.Service
+module Registry = Ppj_obs.Registry
+module Counter = Ppj_obs.Counter
+
+let mac_key = "test-net-mac-key"
+let schema = W.keyed_schema ()
+
+let contract =
+  { Ch.contract_id = "contract-net-001";
+    providers = [ "alice"; "bob" ];
+    recipient = "carol";
+    predicate = "eq(key,key)";
+  }
+
+let workload () =
+  let rng = Rng.create 11 in
+  W.equijoin_pair rng ~na:12 ~nb:18 ~matches:14 ~max_multiplicity:3
+
+let service_config algorithm = { Service.m = 4; seed = 9; algorithm }
+
+(* What the recipient decodes when the same join runs entirely in
+   process — the network path must deliver these exact bytes. *)
+let in_process_delivery algorithm =
+  let pa = Ch.party ~id:"alice" ~secret:(String.make 16 'a') in
+  let pb = Ch.party ~id:"bob" ~secret:(String.make 16 'b') in
+  let pc = Ch.party ~id:"carol" ~secret:(String.make 16 'c') in
+  let a, b = workload () in
+  match
+    Service.run (service_config algorithm) ~contract
+      ~submissions:
+        [ (pa, schema, Ch.submit pa contract a); (pb, schema, Ch.submit pb contract b) ]
+      ~recipient:pc ~predicate:(P.equijoin2 "key" "key")
+  with
+  | Ok o -> List.map T.encode o.Service.delivered
+  | Error e -> Alcotest.fail e
+
+let no_sleep = { Client.default_config with recv_timeout = 0.05; sleep = ignore }
+
+let client ?config ?registry ?tap ?fault server =
+  Client.create ?config ?registry (Transport.loopback ?tap ?fault server)
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.equal (String.sub s i n) sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* --- framing --------------------------------------------------------- *)
+
+let test_frame_roundtrip () =
+  let frames =
+    [ { Frame.tag = 1; payload = "" };
+      { Frame.tag = 255; payload = "x" };
+      { Frame.tag = 7; payload = String.init 300 (fun i -> Char.chr (i mod 256)) };
+    ]
+  in
+  let bytes = String.concat "" (List.map Frame.encode frames) in
+  (* Deliver one byte at a time: frames must reassemble exactly. *)
+  let d = Frame.Decoder.create () in
+  let out = ref [] in
+  String.iter
+    (fun c ->
+      Frame.Decoder.feed d (String.make 1 c);
+      match Frame.Decoder.next d with
+      | Ok (Some f) -> out := f :: !out
+      | Ok None -> ()
+      | Error e -> Alcotest.fail e)
+    bytes;
+  Alcotest.(check bool) "all frames recovered" true (List.rev !out = frames);
+  Alcotest.(check int) "nothing left over" 0 (Frame.Decoder.buffered d)
+
+let test_frame_rejects_oversized () =
+  let d = Frame.Decoder.create () in
+  let b = Buffer.create 8 in
+  Buffer.add_int32_be b (Int32.of_int (Frame.max_payload + 2));
+  Frame.Decoder.feed d (Buffer.contents b);
+  match Frame.Decoder.next d with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized length prefix accepted"
+
+(* --- message codecs -------------------------------------------------- *)
+
+let test_wire_roundtrip () =
+  let msgs =
+    [ Wire.Attest_request { version = 1 };
+      Wire.Attest_chain (Service.attestation_chain ());
+      Wire.Hello { Ch.Handshake.id = "alice"; gx = 123456; mac = "m" };
+      Wire.Hello_reply { Ch.Handshake.gy = 654321; mac = "mm" };
+      Wire.Contract { sealed = "\x00\x01opaque" };
+      Wire.Contract_ok;
+      Wire.Upload_begin { sealed_schema = "s"; chunks = 3 };
+      Wire.Upload_chunk { seq = 2; bytes = "chunk" };
+      Wire.Upload_done;
+      Wire.Upload_ok;
+      Wire.Execute { sealed_config = "cfg" };
+      Wire.Execute_ok { transfers = 42 };
+      Wire.Fetch;
+      Wire.Result { sealed_schema = "a"; sealed_body = "b" };
+      Wire.Error { code = Wire.Auth_failed; message = "nope" };
+    ]
+  in
+  List.iter
+    (fun m ->
+      match Wire.of_frame (Wire.to_frame m) with
+      | Ok m' -> Alcotest.(check bool) "roundtrips" true (m = m')
+      | Error e -> Alcotest.fail e)
+    msgs
+
+let test_codec_roundtrips () =
+  (match Wire.contract_of_string (Wire.contract_to_string contract) with
+  | Ok c -> Alcotest.(check bool) "contract" true (c = contract)
+  | Error e -> Alcotest.fail e);
+  (match Wire.schema_of_string (Wire.schema_to_string schema) with
+  | Ok s -> Alcotest.(check bool) "schema" true (Schema.fields s = Schema.fields schema)
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun algorithm ->
+      let cfg = service_config algorithm in
+      match Wire.config_of_string (Wire.config_to_string cfg) with
+      | Ok c -> Alcotest.(check bool) "config" true (c = cfg)
+      | Error e -> Alcotest.fail e)
+    [ Service.Alg1 { n = 3 };
+      Service.Alg3 { n = 2; attr_a = "key"; attr_b = "key" };
+      Service.Alg4;
+      Service.Alg6 { eps = 1e-12 };
+      Service.Alg7 { attr_a = "key"; attr_b = "key" };
+      Service.Auto { max_eps = 1e-9 };
+    ]
+
+let test_malformed_payload_rejected () =
+  match Wire.of_frame { Frame.tag = 3; payload = "\x00\x00" } with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated hello decoded"
+
+(* --- loopback end to end --------------------------------------------- *)
+
+let submit_over server id rel =
+  let c = client ~config:no_sleep server in
+  ok (Client.submit_relation c ~rng:(Rng.create (Hashtbl.hash id)) ~id ~mac_key ~contract ~schema rel);
+  Client.close c
+
+let fetch_over ?tap ?registry server algorithm =
+  let c = client ~config:no_sleep ?registry ?tap server in
+  let r =
+    ok
+      (Client.fetch_result c ~rng:(Rng.create 99) ~id:"carol" ~mac_key ~contract
+         (service_config algorithm))
+  in
+  Client.close c;
+  r
+
+let run_loopback ?tap server algorithm =
+  let a, b = workload () in
+  (match tap with
+  | Some _ ->
+      (* share the tap across all three sessions so the adversary sees
+         the whole exchange *)
+      let submit_tapped id rel =
+        let c = client ~config:no_sleep ?tap server in
+        ok
+          (Client.submit_relation c ~rng:(Rng.create (Hashtbl.hash id)) ~id ~mac_key ~contract
+             ~schema rel);
+        Client.close c
+      in
+      submit_tapped "alice" a;
+      submit_tapped "bob" b
+  | None ->
+      submit_over server "alice" a;
+      submit_over server "bob" b);
+  fetch_over ?tap server algorithm
+
+let test_loopback_matches_in_process algorithm () =
+  let server = Server.create ~mac_key ~seed:5 () in
+  let joined_schema, tuples = run_loopback server algorithm in
+  Alcotest.(check bool) "joined schema arrives" true (Schema.fields joined_schema <> []);
+  Alcotest.(check (list string))
+    "byte-identical delivery"
+    (in_process_delivery algorithm)
+    (List.map T.encode tuples)
+
+let test_server_metrics_exported () =
+  let server = Server.create ~mac_key ~seed:5 () in
+  let _ = run_loopback server Service.Alg4 in
+  let snap = Registry.snapshot (Server.registry server) in
+  List.iter
+    (fun name ->
+      if Ppj_obs.Snapshot.find snap name = None then Alcotest.fail (name ^ " not exported"))
+    [ "net.server.sessions.opened";
+      "net.server.frames.in";
+      "net.server.frames.out";
+      "net.server.bytes.in";
+      "net.server.bytes.out";
+      "net.server.contracts.registered";
+      "net.server.submissions.accepted";
+      "net.server.joins.executed";
+      "net.server.join.seconds";
+    ]
+
+(* --- the adversary's view of the wire -------------------------------- *)
+
+let marked_relation ~name ~marker keys =
+  let sch =
+    Schema.make [ { Schema.name = "key"; ty = Schema.TInt }; { name = "tag"; ty = Schema.TStr 24 } ]
+  in
+  Relation.make ~name sch (List.map (fun k -> T.make sch [ Value.Int k; Value.Str marker ]) keys)
+
+let secret_contract =
+  { Ch.contract_id = "super-secret-contract-identifier";
+    providers = [ "alice"; "bob" ];
+    recipient = "carol";
+    predicate = "eq(key,key)";
+  }
+
+let run_marked server tap marker ~keys_a ~keys_b =
+  let sch = (marked_relation ~name:"A" ~marker [ 1 ]).Relation.schema in
+  let a = marked_relation ~name:"A" ~marker keys_a in
+  let b = marked_relation ~name:"B" ~marker keys_b in
+  let submit id rel =
+    let c = client ~config:no_sleep ~tap server in
+    ok
+      (Client.submit_relation c ~rng:(Rng.create (Hashtbl.hash id)) ~id ~mac_key
+         ~contract:secret_contract ~schema:sch rel);
+    Client.close c
+  in
+  submit "alice" a;
+  submit "bob" b;
+  let c = client ~config:no_sleep ~tap server in
+  let r =
+    ok
+      (Client.fetch_result c ~rng:(Rng.create 99) ~id:"carol" ~mac_key ~contract:secret_contract
+         (service_config Service.Alg4))
+  in
+  Client.close c;
+  r
+
+let test_wire_leaks_only_shape () =
+  (* Two inputs of identical sizes but different contents: the captured
+     frame sequences must have identical (dir, tag, length) shapes, and
+     neither capture may contain any plaintext secret. *)
+  let marker1 = "TOPSECRET-PAYLOAD-AAAAA" in
+  let marker2 = "TOPSECRET-PAYLOAD-BBBBB" in
+  let tap1 = Wiretap.create () in
+  let tap2 = Wiretap.create () in
+  let _ =
+    run_marked (Server.create ~mac_key ~seed:5 ()) tap1 marker1 ~keys_a:[ 1; 2; 3; 4 ]
+      ~keys_b:[ 2; 3; 4; 5 ]
+  in
+  let _ =
+    run_marked (Server.create ~mac_key ~seed:5 ()) tap2 marker2 ~keys_a:[ 6; 7; 8; 9 ]
+      ~keys_b:[ 7; 8; 9; 10 ]
+  in
+  Alcotest.(check bool)
+    "same shape across same-shape inputs" true
+    (Wiretap.shape tap1 = Wiretap.shape tap2);
+  let markers =
+    [ marker1; secret_contract.Ch.contract_id; secret_contract.Ch.predicate ]
+  in
+  (match Wiretap.leaks tap1 ~markers with
+  | [] -> ()
+  | (m, i) :: _ -> Alcotest.fail (Printf.sprintf "marker %S visible in frame %d" m i));
+  (* Sanity-check the detector itself: the marker is present in what the
+     provider encrypted, so a plaintext wire would have tripped it. *)
+  Alcotest.(check bool)
+    "detector sees plaintext when given one" true
+    (Wiretap.leaks tap1 ~markers:[ "alice" ] <> [])
+
+(* --- retries and timeouts -------------------------------------------- *)
+
+let counter_value reg name = Counter.value (Registry.counter reg name)
+
+let test_retry_recovers_from_drop () =
+  let server = Server.create ~mac_key () in
+  let dropped = ref false in
+  let fault dir (f : Frame.t) =
+    if (not !dropped) && dir = Wiretap.To_client && f.Frame.tag = Wire.tag_of Wire.Contract_ok
+    then begin
+      dropped := true;
+      true
+    end
+    else false
+  in
+  let sleeps = ref [] in
+  let config =
+    { Client.default_config with recv_timeout = 0.01; sleep = (fun d -> sleeps := d :: !sleeps) }
+  in
+  let reg = Registry.create () in
+  let c = client ~config ~registry:reg ~fault server in
+  ok (Client.attest c);
+  ok (Client.handshake c ~rng:(Rng.create 1) ~id:"carol" ~mac_key);
+  ok (Client.bind_contract c contract);
+  Alcotest.(check int) "one retry" 1 (counter_value reg "net.client.retries");
+  Alcotest.(check int) "one timeout" 1 (counter_value reg "net.client.timeouts");
+  Alcotest.(check (list (float 1e-9))) "one backoff sleep" [ 0.05 ] !sleeps
+
+let test_retries_exhaust () =
+  let server = Server.create ~mac_key () in
+  let fault dir _ = dir = Wiretap.To_client in
+  let sleeps = ref [] in
+  let config =
+    { Client.default_config with
+      recv_timeout = 0.01;
+      max_retries = 3;
+      sleep = (fun d -> sleeps := d :: !sleeps);
+    }
+  in
+  let reg = Registry.create () in
+  let c = client ~config ~registry:reg ~fault server in
+  (match Client.attest c with
+  | Ok () -> Alcotest.fail "attest succeeded with every reply dropped"
+  | Error e -> Alcotest.(check bool) "mentions attempts" true (contains ~sub:"4 attempt" e));
+  Alcotest.(check int) "retries = max_retries" 3 (counter_value reg "net.client.retries");
+  Alcotest.(check int) "a timeout per attempt" 4 (counter_value reg "net.client.timeouts");
+  Alcotest.(check (list (float 1e-9)))
+    "exponential backoff" [ 0.2; 0.1; 0.05 ] !sleeps
+
+let test_non_idempotent_not_retried () =
+  let server = Server.create ~mac_key () in
+  let fault dir (f : Frame.t) =
+    dir = Wiretap.To_client && f.Frame.tag = Wire.tag_of Wire.Upload_ok
+  in
+  let reg = Registry.create () in
+  let c = client ~config:no_sleep ~registry:reg ~fault server in
+  let a, _ = workload () in
+  ok (Client.attest c);
+  ok (Client.handshake c ~rng:(Rng.create 2) ~id:"alice" ~mac_key);
+  ok (Client.bind_contract c contract);
+  (match Client.upload c ~schema a with
+  | Ok () -> Alcotest.fail "upload succeeded with its ack dropped"
+  | Error _ -> ());
+  Alcotest.(check int) "upload not retried" 0 (counter_value reg "net.client.retries");
+  Alcotest.(check int) "single timeout" 1 (counter_value reg "net.client.timeouts")
+
+let test_execute_retry_is_idempotent () =
+  (* A lost Execute_ok must not run the join twice: the retry is answered
+     from the session's cached result. *)
+  let server = Server.create ~mac_key ~seed:5 () in
+  let a, b = workload () in
+  submit_over server "alice" a;
+  submit_over server "bob" b;
+  let dropped = ref false in
+  let fault dir (f : Frame.t) =
+    if
+      (not !dropped)
+      && dir = Wiretap.To_client
+      && f.Frame.tag = Wire.tag_of (Wire.Execute_ok { transfers = 0 })
+    then begin
+      dropped := true;
+      true
+    end
+    else false
+  in
+  let c = client ~config:no_sleep ~fault server in
+  let _, tuples =
+    ok
+      (Client.fetch_result c ~rng:(Rng.create 99) ~id:"carol" ~mac_key ~contract
+         (service_config Service.Alg4))
+  in
+  Alcotest.(check (list string))
+    "delivery survives a lost execute ack"
+    (in_process_delivery Service.Alg4)
+    (List.map T.encode tuples);
+  Alcotest.(check int) "join ran once" 1
+    (counter_value (Server.registry server) "net.server.joins.executed")
+
+(* --- protocol error paths -------------------------------------------- *)
+
+let reply_of server session msg =
+  match Server.handle_frame server session (Wire.to_frame msg) with
+  | [ f ] -> ok (Wire.of_frame f)
+  | l -> Alcotest.fail (Printf.sprintf "expected one reply, got %d" (List.length l))
+
+let check_error code = function
+  | Wire.Error e when e.code = code -> ()
+  | Wire.Error e -> Alcotest.fail ("wrong error: " ^ Wire.error_code_to_string e.code)
+  | m -> Alcotest.fail (Format.asprintf "expected error, got %a" Wire.pp m)
+
+let test_version_mismatch () =
+  let server = Server.create ~mac_key () in
+  let session = Server.open_session server in
+  check_error Wire.Unsupported_version
+    (reply_of server session (Wire.Attest_request { version = 99 }))
+
+let test_hello_before_attest () =
+  let server = Server.create ~mac_key () in
+  let session = Server.open_session server in
+  let h, _ = Ch.Handshake.hello (Rng.create 3) ~id:"alice" ~mac_key in
+  check_error Wire.Bad_state (reply_of server session (Wire.Hello h))
+
+let test_wrong_mac_key_rejected () =
+  let server = Server.create ~mac_key () in
+  let c = client ~config:no_sleep server in
+  ok (Client.attest c);
+  match Client.handshake c ~rng:(Rng.create 4) ~id:"eve" ~mac_key:"not-the-real-mac-key" with
+  | Ok () -> Alcotest.fail "handshake succeeded under the wrong identity key"
+  | Error e ->
+      Alcotest.(check bool) "typed auth failure" true (contains ~sub:"auth-failed" e)
+
+let test_replayed_hello_rejected () =
+  let server = Server.create ~mac_key () in
+  let h, _ = Ch.Handshake.hello (Rng.create 5) ~id:"alice" ~mac_key in
+  let s1 = Server.open_session server in
+  let _ = reply_of server s1 (Wire.Attest_request { version = Wire.version }) in
+  (match reply_of server s1 (Wire.Hello h) with
+  | Wire.Hello_reply _ -> ()
+  | m -> Alcotest.fail (Format.asprintf "expected hello-reply, got %a" Wire.pp m));
+  (* An adversary replays the captured hello on a fresh connection. *)
+  let s2 = Server.open_session server in
+  let _ = reply_of server s2 (Wire.Attest_request { version = Wire.version }) in
+  check_error Wire.Auth_failed (reply_of server s2 (Wire.Hello h))
+
+let test_non_recipient_cannot_execute () =
+  let server = Server.create ~mac_key () in
+  let a, _ = workload () in
+  let c = client ~config:no_sleep server in
+  ok (Client.submit_relation c ~rng:(Rng.create 6) ~id:"alice" ~mac_key ~contract ~schema a);
+  match Client.execute c (service_config Service.Alg4) with
+  | Ok _ -> Alcotest.fail "a provider was allowed to execute"
+  | Error e ->
+      Alcotest.(check bool) "contract-rejected" true (contains ~sub:"contract-rejected" e)
+
+let test_execute_before_uploads () =
+  let server = Server.create ~mac_key () in
+  let c = client ~config:no_sleep server in
+  ok (Client.attest c);
+  ok (Client.handshake c ~rng:(Rng.create 7) ~id:"carol" ~mac_key);
+  ok (Client.bind_contract c contract);
+  match Client.execute c (service_config Service.Alg4) with
+  | Ok _ -> Alcotest.fail "execute succeeded with no submissions"
+  | Error e ->
+      Alcotest.(check bool) "missing-submission" true (contains ~sub:"missing-submission" e)
+
+let establish server id =
+  let session = Server.open_session server in
+  let send msg = Server.handle_frame server session (Wire.to_frame msg) in
+  let _ = send (Wire.Attest_request { version = Wire.version }) in
+  let h, exponent = Ch.Handshake.hello (Rng.create 8) ~id ~mac_key in
+  match send (Wire.Hello h) with
+  | [ f ] -> (
+      match ok (Wire.of_frame f) with
+      | Wire.Hello_reply r -> (session, ok (Ch.Handshake.finish ~id ~mac_key ~exponent r))
+      | m -> Alcotest.fail (Format.asprintf "expected hello-reply, got %a" Wire.pp m))
+  | _ -> Alcotest.fail "handshake failed"
+
+let test_out_of_order_chunk () =
+  let server = Server.create ~mac_key () in
+  let session, party = establish server "alice" in
+  let send msg = Server.handle_frame server session (Wire.to_frame msg) in
+  (match send (Wire.Contract { sealed = Ch.seal party (Wire.contract_to_string contract) }) with
+  | [ f ] -> ( match ok (Wire.of_frame f) with Wire.Contract_ok -> () | _ -> Alcotest.fail "bind")
+  | _ -> Alcotest.fail "bind failed");
+  let sealed_schema = Ch.seal party (Wire.schema_to_string schema) in
+  let _ = send (Wire.Upload_begin { sealed_schema; chunks = 2 }) in
+  let _ = send (Wire.Upload_chunk { seq = 1; bytes = "later" }) in
+  check_error Wire.Bad_state (reply_of server session Wire.Upload_done)
+
+(* --- two OS processes over a Unix-domain socket ---------------------- *)
+
+let test_unix_socket_two_process () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ppj-net-test-%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  match Unix.fork () with
+  | 0 ->
+      (* Child: a separate OS process running the service. *)
+      (try
+         let server = Server.create ~mac_key ~seed:5 () in
+         Server.serve_unix server ~path ~max_sessions:3 ()
+       with _ -> ());
+      Unix._exit 0
+  | pid ->
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        (fun () ->
+          let connect () =
+            let rec go n =
+              match Transport.connect_unix ~path () with
+              | Ok t -> t
+              | Error e -> if n = 0 then Alcotest.fail e else (Unix.sleepf 0.05; go (n - 1))
+            in
+            go 100
+          in
+          let a, b = workload () in
+          let submit id rel =
+            let c = Client.create (connect ()) in
+            ok
+              (Client.submit_relation c ~rng:(Rng.create (Hashtbl.hash id)) ~id ~mac_key ~contract
+                 ~schema rel);
+            Client.close c
+          in
+          submit "alice" a;
+          submit "bob" b;
+          let c = Client.create (connect ()) in
+          let _, tuples =
+            ok
+              (Client.fetch_result c ~rng:(Rng.create 99) ~id:"carol" ~mac_key ~contract
+                 (service_config Service.Alg5))
+          in
+          Client.close c;
+          Alcotest.(check (list string))
+            "cross-process delivery is byte-identical"
+            (in_process_delivery Service.Alg5)
+            (List.map T.encode tuples))
+
+let () =
+  Alcotest.run "net"
+    [ ( "frame",
+        [ Alcotest.test_case "chunked roundtrip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "oversized rejected" `Quick test_frame_rejects_oversized;
+        ] );
+      ( "wire",
+        [ Alcotest.test_case "message roundtrip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "payload codecs roundtrip" `Quick test_codec_roundtrips;
+          Alcotest.test_case "malformed rejected" `Quick test_malformed_payload_rejected;
+        ] );
+      ( "loopback",
+        [ Alcotest.test_case "alg4 matches in-process" `Quick
+            (test_loopback_matches_in_process Service.Alg4);
+          Alcotest.test_case "alg5 matches in-process" `Quick
+            (test_loopback_matches_in_process Service.Alg5);
+          Alcotest.test_case "alg7 matches in-process" `Quick
+            (test_loopback_matches_in_process (Service.Alg7 { attr_a = "key"; attr_b = "key" }));
+          Alcotest.test_case "server metrics exported" `Quick test_server_metrics_exported;
+        ] );
+      ( "adversary",
+        [ Alcotest.test_case "wire leaks only shape" `Quick test_wire_leaks_only_shape ] );
+      ( "retry",
+        [ Alcotest.test_case "recovers from a dropped reply" `Quick test_retry_recovers_from_drop;
+          Alcotest.test_case "bounded retries exhaust" `Quick test_retries_exhaust;
+          Alcotest.test_case "non-idempotent steps fail fast" `Quick
+            test_non_idempotent_not_retried;
+          Alcotest.test_case "execute retry reuses cached result" `Quick
+            test_execute_retry_is_idempotent;
+        ] );
+      ( "errors",
+        [ Alcotest.test_case "version mismatch" `Quick test_version_mismatch;
+          Alcotest.test_case "hello before attest" `Quick test_hello_before_attest;
+          Alcotest.test_case "wrong mac key" `Quick test_wrong_mac_key_rejected;
+          Alcotest.test_case "replayed hello" `Quick test_replayed_hello_rejected;
+          Alcotest.test_case "non-recipient execute" `Quick test_non_recipient_cannot_execute;
+          Alcotest.test_case "execute before uploads" `Quick test_execute_before_uploads;
+          Alcotest.test_case "out-of-order chunk" `Quick test_out_of_order_chunk;
+        ] );
+      ( "unix",
+        [ Alcotest.test_case "two-process join over a socket" `Quick
+            test_unix_socket_two_process ] );
+    ]

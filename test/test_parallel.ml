@@ -93,6 +93,60 @@ let test_empty_join_parallel () =
       Par.alg6 ~p:3 ~m:4 ~seed:5 ~eps:1e-9 ~predicate:pred [ a; b ]
     ]
 
+let test_transfer_accounting_invariant () =
+  (* The reported speedup is definitionally total work over the slowest
+     coprocessor: sum(per_co) = speedup * max(per_co) must hold exactly,
+     and partitioned work can never beat the slowest straggler, so
+     speedup >= 1 whenever any work happened. *)
+  List.iter
+    (fun (name, run) ->
+      List.iter
+        (fun p ->
+          let a, b = workload () in
+          let o = run ~p [ a; b ] in
+          let sum = Array.fold_left ( + ) 0 o.Par.per_co_transfers in
+          let mx = Array.fold_left max 1 o.Par.per_co_transfers in
+          Alcotest.(check int) (Printf.sprintf "%s p=%d arity" name p) p
+            (Array.length o.Par.per_co_transfers);
+          Alcotest.(check (float 1e-6))
+            (Printf.sprintf "%s p=%d sum = speedup * max" name p)
+            (float_of_int sum)
+            (o.Par.speedup *. float_of_int mx);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s p=%d speedup >= 1" name p)
+            true (o.Par.speedup >= 1.))
+        [ 1; 2; 3; 5; 8 ])
+    [ ("alg4", fun ~p rels -> Par.alg4 ~p ~m:4 ~seed:5 ~predicate:pred rels);
+      ("alg5", fun ~p rels -> Par.alg5 ~p ~m:4 ~seed:5 ~predicate:pred rels);
+      ("alg6", fun ~p rels -> Par.alg6 ~p ~m:4 ~seed:5 ~eps:1e-9 ~predicate:pred rels)
+    ]
+
+let test_p1_matches_sequential_trace () =
+  (* One logical coprocessor is just the sequential algorithm: its
+     transfer total must equal the transfer count of the corresponding
+     single-instance run's trace. *)
+  let sequential run_alg =
+    let a, b = workload () in
+    let inst = Instance.create ~m:4 ~seed:5 ~predicate:pred [ a; b ] in
+    (run_alg inst).Ppj_core.Report.transfers
+  in
+  List.iter
+    (fun (name, par_total, seq_total) ->
+      Alcotest.(check int) (name ^ " p=1 total = sequential trace") seq_total par_total)
+    [ ( "alg4",
+        (let a, b = workload () in
+         Array.fold_left ( + ) 0
+           (Par.alg4 ~p:1 ~m:4 ~seed:5 ~predicate:pred [ a; b ]).Par.per_co_transfers),
+        sequential (fun i -> Ppj_core.Algorithm4.run i ()) );
+      ( "alg5 (+ screening pass of L reads)",
+        (let a, b = workload () in
+         Array.fold_left ( + ) 0
+           (Par.alg5 ~p:1 ~m:4 ~seed:5 ~predicate:pred [ a; b ]).Par.per_co_transfers),
+        (let a, b = workload () in
+         let l = Instance.l (Instance.create ~m:4 ~seed:5 ~predicate:pred [ a; b ]) in
+         l + sequential (fun i -> Ppj_core.Algorithm5.run i)) )
+    ]
+
 let () =
   Alcotest.run "parallel"
     [ ( "correctness",
@@ -107,5 +161,10 @@ let () =
           Alcotest.test_case "alg5 near linear" `Quick test_alg5_near_linear;
           Alcotest.test_case "balance" `Quick test_per_co_balance;
           Alcotest.test_case "invalid p" `Quick test_invalid_p
+        ] );
+      ( "invariants",
+        [ Alcotest.test_case "transfer accounting" `Quick test_transfer_accounting_invariant;
+          Alcotest.test_case "p=1 matches sequential trace" `Quick
+            test_p1_matches_sequential_trace
         ] )
     ]

@@ -322,6 +322,62 @@ let test_handshake_reply_authenticated () =
           | Error _ -> ()
           | Ok _ -> Alcotest.fail "mismatched exponent must fail the MAC"))
 
+let flip_last s =
+  let b = Bytes.of_string s in
+  let i = Bytes.length b - 1 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+  Bytes.to_string b
+
+let test_handshake_rejects_tampered_hello_mac () =
+  let rng = Rng.create 35 in
+  let h, _ = Channel.Handshake.hello rng ~id:"pa" ~mac_key:"k" in
+  let h' = { h with Channel.Handshake.mac = flip_last h.Channel.Handshake.mac } in
+  match Channel.Handshake.respond rng ~mac_key:"k" h' with
+  | Error e -> Alcotest.(check bool) "useful error" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "hello with a flipped MAC bit authenticated"
+
+let test_handshake_rejects_tampered_reply_mac () =
+  let rng = Rng.create 36 in
+  let h, x = Channel.Handshake.hello rng ~id:"pa" ~mac_key:"k" in
+  match Channel.Handshake.respond rng ~mac_key:"k" h with
+  | Error e -> Alcotest.fail e
+  | Ok (reply, _) -> (
+      let reply' = { reply with Channel.Handshake.mac = flip_last reply.Channel.Handshake.mac } in
+      match Channel.Handshake.finish ~id:"pa" ~mac_key:"k" ~exponent:x reply' with
+      | Error e -> Alcotest.(check bool) "useful error" true (String.length e > 0)
+      | Ok _ -> Alcotest.fail "reply with a flipped MAC bit authenticated")
+
+let test_handshake_rejects_wrong_key_at_finish () =
+  let rng = Rng.create 37 in
+  let h, x = Channel.Handshake.hello rng ~id:"pa" ~mac_key:"k" in
+  match Channel.Handshake.respond rng ~mac_key:"k" h with
+  | Error e -> Alcotest.fail e
+  | Ok (reply, _) -> (
+      match Channel.Handshake.finish ~id:"pa" ~mac_key:"other-key" ~exponent:x reply with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "finish accepted a reply under the wrong identity key")
+
+let test_handshake_replay_rejected () =
+  let rng = Rng.create 38 in
+  let guard = Channel.Handshake.responder () in
+  let h, x = Channel.Handshake.hello rng ~id:"pa" ~mac_key:"k" in
+  (match Channel.Handshake.respond_guarded guard rng ~mac_key:"k" h with
+  | Error e -> Alcotest.fail e
+  | Ok (reply, _) -> (
+      match Channel.Handshake.finish ~id:"pa" ~mac_key:"k" ~exponent:x reply with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e));
+  (* Same hello again: a captured first flight must not open a second
+     session. *)
+  (match Channel.Handshake.respond_guarded guard rng ~mac_key:"k" h with
+  | Error e -> Alcotest.(check string) "reason" "handshake: replayed hello" e
+  | Ok _ -> Alcotest.fail "replayed hello answered");
+  (* A fresh hello from the same identity is still fine. *)
+  let h2, _ = Channel.Handshake.hello rng ~id:"pa" ~mac_key:"k" in
+  match Channel.Handshake.respond_guarded guard rng ~mac_key:"k" h2 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
 let test_channel_bad_secret_length () =
   Alcotest.check_raises "16 bytes" (Invalid_argument "Channel.party: secret must be 16 bytes")
     (fun () -> ignore (Channel.party ~id:"x" ~secret:"short"))
@@ -366,6 +422,13 @@ let () =
           Alcotest.test_case "handshake key agreement" `Quick test_handshake_agreement;
           Alcotest.test_case "handshake forged hello" `Quick test_handshake_rejects_forged_hello;
           Alcotest.test_case "handshake wrong identity" `Quick test_handshake_rejects_wrong_identity_key;
-          Alcotest.test_case "handshake reply auth" `Quick test_handshake_reply_authenticated
+          Alcotest.test_case "handshake reply auth" `Quick test_handshake_reply_authenticated;
+          Alcotest.test_case "handshake tampered hello mac" `Quick
+            test_handshake_rejects_tampered_hello_mac;
+          Alcotest.test_case "handshake tampered reply mac" `Quick
+            test_handshake_rejects_tampered_reply_mac;
+          Alcotest.test_case "handshake wrong key at finish" `Quick
+            test_handshake_rejects_wrong_key_at_finish;
+          Alcotest.test_case "handshake replay rejected" `Quick test_handshake_replay_rejected
         ] )
     ]
