@@ -30,6 +30,11 @@ type t = {
   decoder : Frame.Decoder.t;
   mutable party : Channel.party option;
   mutable contract : Channel.contract option;
+  mutable next_seq : int;  (* seq stamped on the next outbound frame *)
+  mutable last_done : int;
+      (* seq of the newest concluded request: any reply at or below it is
+         a stale duplicate (a retried RPC whose first reply was slow, not
+         lost) and must be dropped, not handed to the next RPC *)
 }
 
 let create ?(config = default_config) ?registry transport =
@@ -39,30 +44,39 @@ let create ?(config = default_config) ?registry transport =
     decoder = Frame.Decoder.create ();
     party = None;
     contract = None;
+    next_seq = 1;
+    last_done = 0;
   }
 
 let registry t = t.registry
 
 let count ?by t name = Ppj_obs.Counter.incr ?by (Registry.counter t.registry name)
 
-let send t msg =
-  let f = Wire.to_frame msg in
+let alloc_seq t =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  seq
+
+let send_seq t ~seq msg =
+  let f = Wire.to_frame ~seq msg in
   count t "net.client.frames.out";
-  count ~by:(String.length f.Frame.payload + 5) t "net.client.bytes.out";
+  count ~by:(String.length f.Frame.payload + Frame.header_bytes) t "net.client.bytes.out";
   t.transport.Transport.send (Frame.encode f)
+
+let send t msg = send_seq t ~seq:(alloc_seq t) msg
 
 (* Pump transport chunks through the decoder until one whole frame is out
    or the deadline passes.  The loopback transport's [recv] never waits,
    so a dropped reply times out instantly — retry tests run with zero
    real sleeping (the backoff [sleep] is injected too). *)
-let recv_frame t =
-  let deadline = Unix.gettimeofday () +. t.config.recv_timeout in
+let recv_frame t ~deadline =
   let rec go () =
     match Frame.Decoder.next t.decoder with
     | Error e -> Error (`Garbage e)
     | Ok (Some frame) ->
         count t "net.client.frames.in";
-        count ~by:(String.length frame.Frame.payload + 5) t "net.client.bytes.in";
+        count ~by:(String.length frame.Frame.payload + Frame.header_bytes) t
+          "net.client.bytes.in";
         Ok frame
     | Ok None -> (
         let remaining = deadline -. Unix.gettimeofday () in
@@ -76,18 +90,47 @@ let recv_frame t =
   in
   go ()
 
+(* Wait for a reply to a live request.  The server echoes the request
+   seq in every reply, so a frame at or below [last_done] is a duplicate
+   of an already-concluded exchange (a retried RPC whose first reply was
+   slow rather than lost) — drop it and keep waiting.  Anything above
+   [last_done] is live: either the current RPC's reply or an [Error]
+   answering a streamed upload frame, both surfaced to the caller. *)
+let recv_reply t =
+  let deadline = Unix.gettimeofday () +. t.config.recv_timeout in
+  let rec go () =
+    match recv_frame t ~deadline with
+    | Error _ as e -> e
+    | Ok frame ->
+        if frame.Frame.seq > t.last_done then Ok frame
+        else begin
+          count t "net.client.stale.dropped";
+          go ()
+        end
+  in
+  go ()
+
 (* One request/reply exchange.  Only steps the server handles
    idempotently (attest, contract, execute, fetch) are retried; the
-   others fail on the first lost reply rather than risk double effect. *)
+   others fail on the first lost reply rather than risk double effect.
+   Retransmissions reuse the request's seq, so however many duplicate
+   replies a retried RPC provokes, all of them share one seq and are
+   swept aside once that seq concludes. *)
 let rpc t ~name ~idempotent msg =
   Registry.span ~labels:[ ("rpc", name) ] t.registry "net.client.rpc.seconds" (fun () ->
+      let seq = alloc_seq t in
+      let conclude r =
+        t.last_done <- max t.last_done seq;
+        r
+      in
       let rec attempt tries backoff =
         match
-          send t msg;
-          recv_frame t
+          send_seq t ~seq msg;
+          recv_reply t
         with
-        | exception Transport.Closed -> Error (name ^ ": connection closed by peer")
-        | Error (`Garbage e) -> Error (Printf.sprintf "%s: undecodable reply: %s" name e)
+        | exception Transport.Closed -> conclude (Error (name ^ ": connection closed by peer"))
+        | Error (`Garbage e) ->
+            conclude (Error (Printf.sprintf "%s: undecodable reply: %s" name e))
         | Error `Timeout ->
             count t "net.client.timeouts";
             if idempotent && tries < t.config.max_retries then begin
@@ -95,15 +138,17 @@ let rpc t ~name ~idempotent msg =
               t.config.sleep backoff;
               attempt (tries + 1) (backoff *. t.config.backoff_factor)
             end
-            else Error (Printf.sprintf "%s: no reply after %d attempt(s)" name (tries + 1))
-        | Ok frame -> (
-            match Wire.of_frame frame with
-            | Error e -> Error (Printf.sprintf "%s: %s" name e)
-            | Ok (Wire.Error { code; message }) ->
-                Error
-                  (Printf.sprintf "%s: server error [%s]: %s" name
-                     (Wire.error_code_to_string code) message)
-            | Ok reply -> Ok reply)
+            else
+              conclude (Error (Printf.sprintf "%s: no reply after %d attempt(s)" name (tries + 1)))
+        | Ok frame ->
+            conclude
+              (match Wire.of_frame frame with
+              | Error e -> Error (Printf.sprintf "%s: %s" name e)
+              | Ok (Wire.Error { code; message }) ->
+                  Error
+                    (Printf.sprintf "%s: server error [%s]: %s" name
+                       (Wire.error_code_to_string code) message)
+              | Ok reply -> Ok reply)
       in
       attempt 0 t.config.backoff_base)
 

@@ -7,9 +7,14 @@
     {!execute} and {!fetch}.  Each step is one RPC with a receive
     timeout; steps the server handles idempotently (attest, contract,
     execute, fetch) are retried under bounded exponential backoff, the
-    others fail fast.  Every RPC records [net.client.*] metrics —
-    latency histograms per RPC, retry and timeout counters, frame and
-    byte counts — into the registry it was created with. *)
+    others fail fast.  Requests carry a strictly increasing sequence
+    number that the server echoes in replies, so a retried RPC whose
+    first reply was merely slow cannot desync the session: late
+    duplicate replies are recognised by their concluded seq, counted
+    under [net.client.stale.dropped], and discarded.  Every RPC records
+    [net.client.*] metrics — latency histograms per RPC, retry and
+    timeout counters, frame and byte counts — into the registry it was
+    created with. *)
 
 module Channel = Ppj_scpu.Channel
 module Schema = Ppj_relation.Schema

@@ -1,39 +1,76 @@
-type t = { tag : int; payload : string }
+type t = { tag : int; seq : int; payload : string }
 
 let max_payload = 16 * 1024 * 1024
+let header_bytes = 9
+let max_seq = 0x7fffffff
 
-let encode { tag; payload } =
+let encode { tag; seq; payload } =
   if tag < 0 || tag > 0xff then invalid_arg "Frame.encode: tag must be a byte";
+  if seq < 0 || seq > max_seq then invalid_arg "Frame.encode: seq out of range";
   if String.length payload > max_payload then invalid_arg "Frame.encode: payload too large";
-  let len = 1 + String.length payload in
+  let len = 5 + String.length payload in
   let b = Bytes.create (4 + len) in
   Bytes.set_int32_be b 0 (Int32.of_int len);
   Bytes.set_uint8 b 4 tag;
-  Bytes.blit_string payload 0 b 5 (String.length payload);
+  Bytes.set_int32_be b 5 (Int32.of_int seq);
+  Bytes.blit_string payload 0 b 9 (String.length payload);
   Bytes.unsafe_to_string b
 
 module Decoder = struct
-  type nonrec t = { mutable buf : string }
+  (* Valid bytes are buf.[pos .. pos+len-1].  [feed] appends (compacting
+     or growing first when the tail has no room), [next] consumes from
+     the front by advancing [pos] — each fed byte is copied O(1) times
+     amortised, instead of re-copying the whole buffer per feed. *)
+  type nonrec t = { mutable buf : Bytes.t; mutable pos : int; mutable len : int }
 
-  let create () = { buf = "" }
+  let initial_capacity = 4096
 
-  let feed d chunk = if String.length chunk > 0 then d.buf <- d.buf ^ chunk
+  let create () = { buf = Bytes.create initial_capacity; pos = 0; len = 0 }
 
-  let buffered d = String.length d.buf
+  let buffered d = d.len
+
+  let feed d chunk =
+    let n = String.length chunk in
+    if n > 0 then begin
+      let cap = Bytes.length d.buf in
+      if d.pos + d.len + n > cap then
+        if d.len + n <= cap then begin
+          Bytes.blit d.buf d.pos d.buf 0 d.len;
+          d.pos <- 0
+        end
+        else begin
+          let cap' = ref cap in
+          while d.len + n > !cap' do
+            cap' := !cap' * 2
+          done;
+          let grown = Bytes.create !cap' in
+          Bytes.blit d.buf d.pos grown 0 d.len;
+          d.buf <- grown;
+          d.pos <- 0
+        end;
+      Bytes.blit_string chunk 0 d.buf (d.pos + d.len) n;
+      d.len <- d.len + n
+    end
 
   let next d =
-    let have = String.length d.buf in
-    if have < 4 then Ok None
+    if d.len < 4 then Ok None
     else
-      let len = Int32.to_int (String.get_int32_be d.buf 0) in
-      if len < 1 then Error (Printf.sprintf "frame: bad length %d" len)
-      else if len - 1 > max_payload then
-        Error (Printf.sprintf "frame: payload of %d bytes exceeds limit" (len - 1))
-      else if have < 4 + len then Ok None
+      let len = Int32.to_int (Bytes.get_int32_be d.buf d.pos) in
+      if len < 5 then Error (Printf.sprintf "frame: bad length %d" len)
+      else if len - 5 > max_payload then
+        Error (Printf.sprintf "frame: payload of %d bytes exceeds limit" (len - 5))
+      else if d.len < 4 + len then Ok None
       else begin
-        let tag = Char.code d.buf.[4] in
-        let payload = String.sub d.buf 5 (len - 1) in
-        d.buf <- String.sub d.buf (4 + len) (have - 4 - len);
-        Ok (Some { tag; payload })
+        let tag = Bytes.get_uint8 d.buf (d.pos + 4) in
+        let seq = Int32.to_int (Bytes.get_int32_be d.buf (d.pos + 5)) land max_seq in
+        let payload = Bytes.sub_string d.buf (d.pos + 9) (len - 5) in
+        d.pos <- d.pos + 4 + len;
+        d.len <- d.len - (4 + len);
+        if d.len = 0 then begin
+          d.pos <- 0;
+          (* Let go of an occasional huge frame's buffer. *)
+          if Bytes.length d.buf > 1 lsl 20 then d.buf <- Bytes.create initial_capacity
+        end;
+        Ok (Some { tag; seq; payload })
       end
 end

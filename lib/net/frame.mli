@@ -3,30 +3,44 @@
     Everything on a ppj connection is a frame:
 
     {v
-    +----------------+-----+------------------+
-    | u32 BE length  | u8  |  payload bytes   |
-    |  = 1 + |payload| tag |                  |
-    +----------------+-----+------------------+
+    +----------------+-----+------------+------------------+
+    | u32 BE length  | u8  | u32 BE seq |  payload bytes   |
+    |  = 5 + |payload| tag |            |                  |
+    +----------------+-----+------------+------------------+
     v}
 
-    The length covers the tag byte and the payload, so a reader needs
-    exactly [4 + length] bytes to hold a whole frame.  Tags name message
-    types ({!Wire}); payloads are opaque at this layer.  An adversary on
-    the wire therefore observes exactly (tag, length) per frame — the
-    surface the {!Wiretap} privacy tests pin down. *)
+    The length covers the tag byte, the sequence number and the payload,
+    so a reader needs exactly [4 + length] bytes to hold a whole frame.
+    Tags name message types ({!Wire}); payloads are opaque at this layer.
+    [seq] correlates replies with requests: a client stamps each request
+    with a strictly increasing sequence number and the server echoes it
+    in every reply frame that request produces, so a retried RPC's late
+    duplicate reply can be recognised and dropped instead of desyncing
+    the exchange.  An adversary on the wire therefore observes exactly
+    (tag, seq, length) per frame — the surface the {!Wiretap} privacy
+    tests pin down. *)
 
-type t = { tag : int; payload : string }
+type t = { tag : int; seq : int; payload : string }
 
 val max_payload : int
 (** Upper bound on payload size (16 MiB); both ends reject bigger frames
     rather than buffering unboundedly. *)
 
+val header_bytes : int
+(** Bytes of framing around a payload (length + tag + seq = 9), for
+    byte-accounting metrics. *)
+
+val max_seq : int
+(** Largest representable sequence number (2{^31}-1). *)
+
 val encode : t -> string
-(** @raise Invalid_argument if the tag is not a byte or the payload
-    exceeds {!max_payload}. *)
+(** @raise Invalid_argument if the tag is not a byte, the seq is out of
+    range, or the payload exceeds {!max_payload}. *)
 
 (** Incremental decoder: feed arbitrary byte chunks as the transport
-    delivers them, pop complete frames as they form. *)
+    delivers them, pop complete frames as they form.  Internally an
+    offset-into-buffer scheme, so feeding a large frame in many small
+    chunks costs O(total bytes), not O(chunks × frame size). *)
 module Decoder : sig
   type frame := t
 

@@ -1,4 +1,5 @@
 module Channel = Ppj_scpu.Channel
+module Attestation = Ppj_scpu.Attestation
 module Schema = Ppj_relation.Schema
 module Relation = Ppj_relation.Relation
 module Predicate = Ppj_relation.Predicate
@@ -25,15 +26,24 @@ type upload = {
 
 type phase = Expect_attest | Expect_hello | Established
 
+type outcome = {
+  sealed_schema : string;
+  sealed_body : string;
+  transfers : int;
+  config_digest : string;
+      (* digest of the decrypted config that produced this result: an
+         Execute retry with the same config is answered from cache, a
+         different config recomputes instead of silently serving stale
+         tuples *)
+}
+
 type session = {
   mutable phase : phase;
   mutable party : Channel.party option;
   mutable peer_id : string;
   mutable bound : contract_state option;
   mutable upload : upload option;
-  mutable result : (string * string * int) option;
-      (* sealed joined schema, sealed body, transfers — cached so Execute
-         and Fetch are idempotent under client retries *)
+  mutable result : outcome option;
 }
 
 type t = {
@@ -42,15 +52,17 @@ type t = {
   rng : Rng.t;
   guard : Channel.Handshake.responder;
   contracts : (string, contract_state) Hashtbl.t;  (* digest -> *)
+  max_contracts : int;
   mutable sessions_closed : int;
 }
 
-let create ?registry ?(seed = 7) ~mac_key () =
+let create ?registry ?(seed = 7) ?(replay_capacity = 4096) ?(max_contracts = 1024) ~mac_key () =
   { mac_key;
     registry = (match registry with Some r -> r | None -> Registry.create ());
     rng = Rng.create seed;
-    guard = Channel.Handshake.responder ();
+    guard = Channel.Handshake.responder ~capacity:replay_capacity ();
     contracts = Hashtbl.create 8;
+    max_contracts;
     sessions_closed = 0;
   }
 
@@ -128,23 +140,28 @@ let on_contract t session sealed =
               then err Wire.Contract_rejected "%s is neither provider nor recipient" id
               else begin
                 let digest = Channel.contract_digest contract in
-                let cs =
-                  match Hashtbl.find_opt t.contracts digest with
-                  | Some cs -> cs
-                  | None ->
-                      let cs = { contract; digest; submissions = Hashtbl.create 4 } in
-                      Hashtbl.replace t.contracts digest cs;
-                      counter t "net.server.contracts.registered";
-                      cs
-                in
-                (match session.bound with
-                | Some prev when not (String.equal prev.digest digest) ->
-                    (* Rebinding resets any per-contract session state. *)
-                    session.result <- None;
-                    session.upload <- None
-                | _ -> ());
-                session.bound <- Some cs;
-                [ Wire.Contract_ok ]
+                match Hashtbl.find_opt t.contracts digest with
+                | None when Hashtbl.length t.contracts >= t.max_contracts ->
+                    err Wire.Contract_rejected "server is at its %d-contract capacity"
+                      t.max_contracts
+                | found ->
+                    let cs =
+                      match found with
+                      | Some cs -> cs
+                      | None ->
+                          let cs = { contract; digest; submissions = Hashtbl.create 4 } in
+                          Hashtbl.replace t.contracts digest cs;
+                          counter t "net.server.contracts.registered";
+                          cs
+                    in
+                    (match session.bound with
+                    | Some prev when not (String.equal prev.digest digest) ->
+                        (* Rebinding resets any per-contract session state. *)
+                        session.result <- None;
+                        session.upload <- None
+                    | _ -> ());
+                    session.bound <- Some cs;
+                    [ Wire.Contract_ok ]
               end))
 
 let on_upload_begin _t session ~sealed_schema ~chunks =
@@ -215,15 +232,17 @@ let on_execute t session sealed_config =
       if not (String.equal session.peer_id cs.contract.Channel.recipient) then
         err Wire.Contract_rejected "%s is not the contract's recipient" session.peer_id
       else
-        match session.result with
-        | Some (_, _, transfers) -> [ Wire.Execute_ok { transfers } ]
-        | None -> (
-            match Channel.open_sealed party sealed_config with
-            | Error e -> err Wire.Auth_failed "config: %s" e
-            | Ok plain -> (
-                match Wire.config_of_string plain with
-                | Error e -> err Wire.Malformed "config: %s" e
-                | Ok config -> (
+        match Channel.open_sealed party sealed_config with
+        | Error e -> err Wire.Auth_failed "config: %s" e
+        | Ok plain -> (
+            match Wire.config_of_string plain with
+            | Error e -> err Wire.Malformed "config: %s" e
+            | Ok config -> (
+                let config_digest = Attestation.hash plain in
+                match session.result with
+                | Some r when String.equal r.config_digest config_digest ->
+                    [ Wire.Execute_ok { transfers = r.transfers } ]
+                | _ -> (
                     let missing =
                       List.filter
                         (fun p -> not (Hashtbl.mem cs.submissions p))
@@ -252,20 +271,23 @@ let on_execute t session sealed_config =
                                   Channel.seal party
                                     (Wire.schema_to_string (Instance.joined_schema inst))
                                 in
-                                (sealed_schema, sealed_body, report.Report.transfers))
+                                { sealed_schema;
+                                  sealed_body;
+                                  transfers = report.Report.transfers;
+                                  config_digest;
+                                })
                           with
                           | result ->
                               session.result <- Some result;
                               counter t "net.server.joins.executed";
-                              let _, _, transfers = result in
-                              [ Wire.Execute_ok { transfers } ]
+                              [ Wire.Execute_ok { transfers = result.transfers } ]
                           | exception e ->
                               err Wire.Internal "join failed: %s" (Printexc.to_string e))))))
 
 let on_fetch session =
   established session (fun _party ->
       match session.result with
-      | Some (sealed_schema, sealed_body, _) -> [ Wire.Result { sealed_schema; sealed_body } ]
+      | Some { sealed_schema; sealed_body; _ } -> [ Wire.Result { sealed_schema; sealed_body } ]
       | None -> err Wire.Bad_state "nothing executed on this session yet")
 
 let handle t session msg =
@@ -285,7 +307,7 @@ let handle t session msg =
 let handle_frame t session frame =
   counter t "net.server.frames.in";
   Ppj_obs.Counter.incr
-    ~by:(String.length frame.Frame.payload + 5)
+    ~by:(String.length frame.Frame.payload + Frame.header_bytes)
     (Registry.counter t.registry "net.server.bytes.in");
   let replies =
     match Wire.of_frame frame with
@@ -302,36 +324,76 @@ let handle_frame t session frame =
   in
   List.map
     (fun reply ->
-      let f = Wire.to_frame reply in
+      (* Replies carry the seq of the request that produced them, so the
+         client can correlate them and discard retry duplicates. *)
+      let f = Wire.to_frame ~seq:frame.Frame.seq reply in
       counter t "net.server.frames.out";
       Ppj_obs.Counter.incr
-        ~by:(String.length f.Frame.payload + 5)
+        ~by:(String.length f.Frame.payload + Frame.header_bytes)
         (Registry.counter t.registry "net.server.bytes.out");
       f)
     replies
 
 (* --- Unix-domain-socket serve loop ---------------------------------- *)
 
-type conn = { fd : Unix.file_descr; session : session; decoder : Frame.Decoder.t }
+(* Client fds are non-blocking: outbound frames queue in [outq] and are
+   flushed opportunistically plus whenever select reports the socket
+   writable, so one client that stops reading while a large Result frame
+   is in flight cannot stall every other session.  [closing] marks a
+   connection to be dropped once its queued output drains (the garbage
+   -> typed-error -> disconnect path). *)
+type conn = {
+  fd : Unix.file_descr;
+  session : session;
+  decoder : Frame.Decoder.t;
+  outq : string Queue.t;
+  mutable out_off : int;  (* bytes of the queue head already written *)
+  mutable closing : bool;
+}
 
-let write_all fd s =
-  let len = String.length s in
-  let b = Bytes.of_string s in
-  let rec go off =
-    if off < len then
-      let n = Unix.write fd b off (len - off) in
-      go (off + n)
-  in
-  go 0
+(* Write as much queued output as the socket accepts right now. *)
+let flush_conn conn =
+  match
+    while not (Queue.is_empty conn.outq) do
+      let s = Queue.peek conn.outq in
+      let remaining = String.length s - conn.out_off in
+      let n = Unix.write_substring conn.fd s conn.out_off remaining in
+      if n = remaining then begin
+        ignore (Queue.pop conn.outq);
+        conn.out_off <- 0
+      end
+      else begin
+        conn.out_off <- conn.out_off + n;
+        raise Exit
+      end
+    done
+  with
+  | () -> `Drained
+  | exception Exit -> `Pending
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> `Pending
+  | exception Unix.Unix_error _ -> `Broken
 
 let serve_unix t ~path ?(poll_interval = 0.05) ?max_sessions ?(stop = fun () -> false) () =
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 8 in
   let drop conn =
-    close_session t conn.session;
-    Hashtbl.remove conns conn.fd;
-    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+    (* Idempotent: a broken flush mid-reply-list may drop a connection
+       that later enqueues or the select loop try to touch again. *)
+    if Hashtbl.mem conns conn.fd then begin
+      close_session t conn.session;
+      Hashtbl.remove conns conn.fd;
+      try Unix.close conn.fd with Unix.Unix_error _ -> ()
+    end
+  in
+  let after_flush conn = function
+    | `Broken -> drop conn
+    | `Drained -> if conn.closing then drop conn
+    | `Pending -> ()
+  in
+  let enqueue conn frame =
+    Queue.push (Frame.encode frame) conn.outq;
+    after_flush conn (flush_conn conn)
   in
   let finished () =
     match max_sessions with Some n -> t.sessions_closed >= n | None -> false
@@ -346,49 +408,63 @@ let serve_unix t ~path ?(poll_interval = 0.05) ?max_sessions ?(stop = fun () -> 
       Unix.listen lfd 16;
       let buf = Bytes.create 65536 in
       while not (stop ()) && not (finished ()) do
-        let fds = lfd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
-        let readable =
-          match Unix.select fds [] [] poll_interval with
-          | r, _, _ -> r
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+        let rfds = lfd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
+        let wfds =
+          Hashtbl.fold
+            (fun fd c acc -> if Queue.is_empty c.outq then acc else fd :: acc)
+            conns []
         in
+        let readable, writable =
+          match Unix.select rfds wfds [] poll_interval with
+          | r, w, _ -> (r, w)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
+        in
+        List.iter
+          (fun fd ->
+            match Hashtbl.find_opt conns fd with
+            | None -> ()
+            | Some conn -> after_flush conn (flush_conn conn))
+          writable;
         List.iter
           (fun fd ->
             if fd == lfd then begin
               match Unix.accept lfd with
               | cfd, _ ->
+                  Unix.set_nonblock cfd;
                   Hashtbl.replace conns cfd
-                    { fd = cfd; session = open_session t; decoder = Frame.Decoder.create () }
+                    { fd = cfd;
+                      session = open_session t;
+                      decoder = Frame.Decoder.create ();
+                      outq = Queue.create ();
+                      out_off = 0;
+                      closing = false;
+                    }
               | exception Unix.Unix_error _ -> ()
             end
             else
               match Hashtbl.find_opt conns fd with
               | None -> ()
+              | Some conn when conn.closing -> ()
               | Some conn -> (
                   match Unix.read fd buf 0 (Bytes.length buf) with
                   | 0 -> drop conn
                   | n ->
                       Frame.Decoder.feed conn.decoder (Bytes.sub_string buf 0 n);
                       let rec pump () =
-                        match Frame.Decoder.next conn.decoder with
-                        | Ok None -> ()
-                        | Ok (Some frame) ->
-                            let replies = handle_frame t conn.session frame in
-                            (try
-                               List.iter (fun f -> write_all fd (Frame.encode f)) replies;
-                               pump ()
-                             with Unix.Unix_error _ -> drop conn)
-                        | Error e ->
-                            (try
-                               write_all fd
-                                 (Frame.encode
-                                    (Wire.to_frame
-                                       (Wire.Error { code = Wire.Malformed; message = e })))
-                             with Unix.Unix_error _ -> ());
-                            drop conn
+                        if Hashtbl.mem conns conn.fd && not conn.closing then
+                          match Frame.Decoder.next conn.decoder with
+                          | Ok None -> ()
+                          | Ok (Some frame) ->
+                              List.iter (enqueue conn) (handle_frame t conn.session frame);
+                              pump ()
+                          | Error e ->
+                              conn.closing <- true;
+                              enqueue conn
+                                (Wire.to_frame (Wire.Error { code = Wire.Malformed; message = e }))
                       in
                       pump ()
-                  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR), _, _) -> ()
+                  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+                    -> ()
                   | exception Unix.Unix_error _ -> drop conn))
           readable
       done)

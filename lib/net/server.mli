@@ -17,10 +17,21 @@ module Channel = Ppj_scpu.Channel
 type t
 
 val create :
-  ?registry:Ppj_obs.Registry.t -> ?seed:int -> mac_key:string -> unit -> t
+  ?registry:Ppj_obs.Registry.t ->
+  ?seed:int ->
+  ?replay_capacity:int ->
+  ?max_contracts:int ->
+  mac_key:string ->
+  unit ->
+  t
 (** [mac_key] is the long-term identity key the handshake MACs are rooted
     in (what the attestation chain certifies); [seed] drives the
-    service-side handshake exponents deterministically. *)
+    service-side handshake exponents deterministically.  Long-lived
+    server state is bounded: the handshake replay guard remembers the
+    last [replay_capacity] (default 4096) hellos, and at most
+    [max_contracts] (default 1024) distinct contracts may be registered —
+    binding a fresh contract beyond that is answered with a typed
+    [Contract_rejected] error rather than growing without limit. *)
 
 val registry : t -> Ppj_obs.Registry.t
 
@@ -36,7 +47,9 @@ val handle_frame : t -> session -> Frame.t -> Frame.t list
 (** Process one inbound frame, returning the frames to send back (often
     one; zero for streamed upload chunks; a typed [Error] reply on any
     protocol violation — the connection survives unless the transport
-    drops it). *)
+    drops it).  Every reply frame echoes the request frame's sequence
+    number, so clients can match replies to requests and discard retry
+    duplicates. *)
 
 val serve_unix :
   t ->
@@ -48,6 +61,9 @@ val serve_unix :
   unit
 (** Bind a Unix-domain socket at [path] (replacing any stale file) and
     multiplex concurrent connections with [select] — one {!session} per
-    connection, interleaved frame handling, no threads.  Returns when
-    [stop ()] becomes true or, if [max_sessions] is given, once that many
-    sessions have closed; the socket file is removed on exit. *)
+    connection, interleaved frame handling, no threads.  Client sockets
+    are non-blocking with per-connection outbound queues flushed via the
+    [select] write set, so a slow-reading client only delays its own
+    replies, never the other sessions.  Returns when [stop ()] becomes
+    true or, if [max_sessions] is given, once that many sessions have
+    closed; the socket file is removed on exit. *)

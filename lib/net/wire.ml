@@ -3,7 +3,7 @@ module Attestation = Ppj_scpu.Attestation
 module Schema = Ppj_relation.Schema
 module Service = Ppj_core.Service
 
-let version = 1
+let version = 2
 
 (* --- primitive writers/readers ------------------------------------- *)
 (* Integers are big-endian; [str] is a u32 length prefix plus the raw
@@ -301,7 +301,7 @@ let tag_name = function
   | 15 -> "error"
   | t -> Printf.sprintf "tag-%d" t
 
-let to_frame msg =
+let to_frame ?(seq = 0) msg =
   let payload =
     match msg with
     | Attest_request { version } -> encode (fun b -> W.u16 b version)
@@ -346,9 +346,9 @@ let to_frame msg =
             W.u8 b (error_code_to_int code);
             W.str b message)
   in
-  { Frame.tag = tag_of msg; payload }
+  { Frame.tag = tag_of msg; seq; payload }
 
-let of_frame { Frame.tag; payload } =
+let of_frame { Frame.tag; payload; _ } =
   let dec f = decode payload f in
   match tag with
   | 1 -> dec (fun r -> Attest_request { version = R.u16 r })

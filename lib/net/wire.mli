@@ -49,7 +49,10 @@ type msg =
   | Result of { sealed_schema : string; sealed_body : string }
   | Error of { code : error_code; message : string }
 
-val to_frame : msg -> Frame.t
+val to_frame : ?seq:int -> msg -> Frame.t
+(** [seq] (default 0) stamps the frame's sequence number: requests carry
+    a client-chosen strictly increasing value, replies echo the seq of
+    the request they answer. *)
 
 val of_frame : Frame.t -> (msg, string) result
 

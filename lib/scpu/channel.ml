@@ -5,11 +5,32 @@ module Schema = Ppj_relation.Schema
 module Tuple = Ppj_relation.Tuple
 module Decoy = Ppj_relation.Decoy
 
-type party = { id : string; key : Ocb.key; nonce_prf : Prf.t; mutable nonce_ctr : int }
+type role = Initiator | Responder
 
-let party ~id ~secret =
+type party = {
+  id : string;
+  key : Ocb.key;
+  nonce_prf : Prf.t;
+  nonce_base : int;
+  mutable nonce_ctr : int;
+}
+
+(* The two ends of a DH-derived session hold the same key, so their nonce
+   streams must be disjoint: the responder draws nonces from a counter
+   range with bit 61 set, the initiator from [0, 2^61). *)
+let responder_nonce_base = 1 lsl 61
+
+let make_party role ~id ~secret =
   if String.length secret <> 16 then invalid_arg "Channel.party: secret must be 16 bytes";
-  { id; key = Ocb.key_of_string secret; nonce_prf = Prf.create secret; nonce_ctr = 0 }
+  { id;
+    key = Ocb.key_of_string secret;
+    nonce_prf = Prf.create secret;
+    nonce_base = (match role with Initiator -> 0 | Responder -> responder_nonce_base);
+    nonce_ctr = 0;
+  }
+
+let party ~id ~secret = make_party Initiator ~id ~secret
+let responder_party ~id ~secret = make_party Responder ~id ~secret
 
 let party_id p = p.id
 
@@ -37,7 +58,9 @@ module Handshake = struct
       let y = Group.random_exponent rng in
       let gy = Group.power Group.g y in
       let secret = Group.key_of (Group.power h.gx y) in
-      Ok ({ gy; mac = reply_mac ~mac_key ~id:h.id ~gx:h.gx ~gy }, party ~id:h.id ~secret)
+      Ok
+        ( { gy; mac = reply_mac ~mac_key ~id:h.id ~gx:h.gx ~gy },
+          responder_party ~id:h.id ~secret )
     end
 
   let finish ~id ~mac_key ~exponent (r : reply) =
@@ -48,17 +71,29 @@ module Handshake = struct
 
   let corrupt_hello (h : hello) = { h with gx = Group.mul h.gx Group.g }
 
-  type responder = (string * int * string, unit) Hashtbl.t
+  type responder = {
+    seen : (string * int * string, unit) Hashtbl.t;
+    order : (string * int * string) Queue.t;  (* FIFO eviction when full *)
+    capacity : int;
+  }
 
-  let responder () : responder = Hashtbl.create 16
+  let responder ?(capacity = 4096) () : responder =
+    if capacity < 1 then invalid_arg "Channel.Handshake.responder: capacity must be positive";
+    { seen = Hashtbl.create 16; order = Queue.create (); capacity }
 
   let respond_guarded guard rng ~mac_key (h : hello) =
-    if Hashtbl.mem guard (h.id, h.gx, h.mac) then Error "handshake: replayed hello"
+    let key = (h.id, h.gx, h.mac) in
+    if Hashtbl.mem guard.seen key then Error "handshake: replayed hello"
     else
       match respond rng ~mac_key h with
       | Error _ as e -> e
       | Ok _ as ok ->
-          Hashtbl.replace guard (h.id, h.gx, h.mac) ();
+          if Hashtbl.length guard.seen >= guard.capacity then begin
+            let oldest = Queue.pop guard.order in
+            Hashtbl.remove guard.seen oldest
+          end;
+          Hashtbl.replace guard.seen key ();
+          Queue.push key guard.order;
           ok
 end
 
@@ -76,7 +111,7 @@ let contract_digest c =
 type submission = { sender : string; nonce : string; ciphertext : string }
 
 let fresh_nonce p =
-  let n = Prf.nonce_at p.nonce_prf p.nonce_ctr in
+  let n = Prf.nonce_at p.nonce_prf (p.nonce_base lor p.nonce_ctr) in
   p.nonce_ctr <- p.nonce_ctr + 1;
   n
 

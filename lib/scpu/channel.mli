@@ -12,8 +12,23 @@ module Schema = Ppj_relation.Schema
 
 type party
 
+type role = Initiator | Responder
+(** Which end of a session a party handle encrypts from.  Both ends of
+    a DH-derived session hold the same key, so the two directions must
+    never draw the same nonce: the responder's nonce PRF counters live in
+    a range disjoint from the initiator's.  A single shared handle (the
+    in-process simulator) only ever uses one counter and stays
+    [Initiator]. *)
+
 val party : id:string -> secret:string -> party
-(** [secret] is the 16-byte session key shared with [T]. *)
+(** An [Initiator]-side handle; [secret] is the 16-byte session key
+    shared with [T]. *)
+
+val responder_party : id:string -> secret:string -> party
+(** The [T]-side handle for the same session: identical key, nonces
+    drawn from the responder's disjoint counter range.
+    {!Handshake.respond} builds its party with this, so client→server
+    and server→client messages never reuse a (key, nonce) pair. *)
 
 val party_id : party -> string
 
@@ -44,9 +59,13 @@ module Handshake : sig
   (** Flip a bit of the offered public value (for tamper tests). *)
 
   type responder
-  (** Replay guard: a service-side log of the hellos already answered. *)
+  (** Replay guard: a service-side log of the hellos already answered.
+      Bounded — at most [capacity] entries are remembered, oldest evicted
+      first, so a long-lived server does not grow without limit.  The
+      replay window therefore covers the last [capacity] handshakes. *)
 
-  val responder : unit -> responder
+  val responder : ?capacity:int -> unit -> responder
+  (** [capacity] defaults to 4096 and must be positive. *)
 
   val respond_guarded :
     responder -> Ppj_crypto.Rng.t -> mac_key:string -> hello -> (reply * party, string) result

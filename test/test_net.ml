@@ -65,9 +65,9 @@ let contains ~sub s =
 
 let test_frame_roundtrip () =
   let frames =
-    [ { Frame.tag = 1; payload = "" };
-      { Frame.tag = 255; payload = "x" };
-      { Frame.tag = 7; payload = String.init 300 (fun i -> Char.chr (i mod 256)) };
+    [ { Frame.tag = 1; seq = 0; payload = "" };
+      { Frame.tag = 255; seq = Frame.max_seq; payload = "x" };
+      { Frame.tag = 7; seq = 12345; payload = String.init 300 (fun i -> Char.chr (i mod 256)) };
     ]
   in
   let bytes = String.concat "" (List.map Frame.encode frames) in
@@ -88,11 +88,44 @@ let test_frame_roundtrip () =
 let test_frame_rejects_oversized () =
   let d = Frame.Decoder.create () in
   let b = Buffer.create 8 in
-  Buffer.add_int32_be b (Int32.of_int (Frame.max_payload + 2));
+  Buffer.add_int32_be b (Int32.of_int (Frame.max_payload + 6));
   Frame.Decoder.feed d (Buffer.contents b);
   match Frame.Decoder.next d with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "oversized length prefix accepted"
+
+let test_frame_large_payload_chunked () =
+  (* A ~1 MiB frame trickled in small chunks, then two small frames in
+     one feed: the offset-based decoder must reassemble all three and
+     end empty (this path was quadratic when the buffer was re-copied on
+     every feed). *)
+  let big = { Frame.tag = 9; seq = 41; payload = String.init (1 lsl 20) (fun i -> Char.chr (i land 0xff)) } in
+  let small1 = { Frame.tag = 2; seq = 42; payload = "alpha" } in
+  let small2 = { Frame.tag = 3; seq = 43; payload = "" } in
+  let bytes = Frame.encode big ^ Frame.encode small1 ^ Frame.encode small2 in
+  let d = Frame.Decoder.create () in
+  let out = ref [] in
+  let chunk = 4093 in
+  let n = String.length bytes in
+  let rec feed off =
+    if off < n then begin
+      Frame.Decoder.feed d (String.sub bytes off (min chunk (n - off)));
+      let rec pop () =
+        match Frame.Decoder.next d with
+        | Ok (Some f) ->
+            out := f :: !out;
+            pop ()
+        | Ok None -> ()
+        | Error e -> Alcotest.fail e
+      in
+      pop ();
+      feed (off + chunk)
+    end
+  in
+  feed 0;
+  Alcotest.(check bool) "all three frames recovered" true
+    (List.rev !out = [ big; small1; small2 ]);
+  Alcotest.(check int) "nothing left over" 0 (Frame.Decoder.buffered d)
 
 (* --- message codecs -------------------------------------------------- *)
 
@@ -144,9 +177,19 @@ let test_codec_roundtrips () =
     ]
 
 let test_malformed_payload_rejected () =
-  match Wire.of_frame { Frame.tag = 3; payload = "\x00\x00" } with
+  match Wire.of_frame { Frame.tag = 3; seq = 0; payload = "\x00\x00" } with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "truncated hello decoded"
+
+let test_replies_echo_request_seq () =
+  let server = Server.create ~mac_key () in
+  let session = Server.open_session server in
+  match
+    Server.handle_frame server session
+      (Wire.to_frame ~seq:77 (Wire.Attest_request { version = Wire.version }))
+  with
+  | [ f ] -> Alcotest.(check int) "seq echoed" 77 f.Frame.seq
+  | l -> Alcotest.fail (Printf.sprintf "expected one reply, got %d" (List.length l))
 
 (* --- loopback end to end --------------------------------------------- *)
 
@@ -378,6 +421,75 @@ let test_execute_retry_is_idempotent () =
   Alcotest.(check int) "join ran once" 1
     (counter_value (Server.registry server) "net.server.joins.executed")
 
+let test_slow_reply_duplicate_discarded () =
+  (* The reply is slow, not lost: the first Execute_ok arrives only after
+     the retry has provoked a second one.  The client must consume one
+     and discard the buffered duplicate instead of handing it to the
+     next RPC (which used to fail with "unexpected reply" and desync the
+     whole exchange). *)
+  let server = Server.create ~mac_key ~seed:5 () in
+  let a, b = workload () in
+  submit_over server "alice" a;
+  submit_over server "bob" b;
+  let inner = Transport.loopback server in
+  let execute_ok = Wire.tag_of (Wire.Execute_ok { transfers = 0 }) in
+  let held = ref None and intercepted = ref false in
+  let recv ~timeout =
+    match !held with
+    | Some bytes ->
+        (* deliver the delayed original; the retry's duplicate is still
+           queued behind it *)
+        held := None;
+        Some bytes
+    | None -> (
+        match inner.Transport.recv ~timeout with
+        | Some bytes when (not !intercepted) && Char.code bytes.[4] = execute_ok ->
+            intercepted := true;
+            held := Some bytes;
+            None  (* starve this attempt: the RPC times out and retries *)
+        | r -> r)
+  in
+  let reg = Registry.create () in
+  let c = Client.create ~config:no_sleep ~registry:reg { inner with Transport.recv } in
+  ok (Client.attest c);
+  ok (Client.handshake c ~rng:(Rng.create 99) ~id:"carol" ~mac_key);
+  ok (Client.bind_contract c contract);
+  let _ = ok (Client.execute c (service_config Service.Alg4)) in
+  let _, tuples = ok (Client.fetch c) in
+  Alcotest.(check (list string))
+    "delivery survives a slow execute ack"
+    (in_process_delivery Service.Alg4)
+    (List.map T.encode tuples);
+  Alcotest.(check int) "execute retried once" 1 (counter_value reg "net.client.retries");
+  Alcotest.(check int) "duplicate reply dropped" 1
+    (counter_value reg "net.client.stale.dropped");
+  Alcotest.(check int) "join ran once" 1
+    (counter_value (Server.registry server) "net.server.joins.executed")
+
+let test_execute_config_change_recomputes () =
+  (* A second Execute with a different config on the same session must
+     not be served the first run's cached result. *)
+  let server = Server.create ~mac_key ~seed:5 () in
+  let a, b = workload () in
+  submit_over server "alice" a;
+  submit_over server "bob" b;
+  let c = client ~config:no_sleep server in
+  ok (Client.attest c);
+  ok (Client.handshake c ~rng:(Rng.create 99) ~id:"carol" ~mac_key);
+  ok (Client.bind_contract c contract);
+  let joins () = counter_value (Server.registry server) "net.server.joins.executed" in
+  let _ = ok (Client.execute c (service_config Service.Alg4)) in
+  Alcotest.(check int) "first execute runs the join" 1 (joins ());
+  let _ = ok (Client.execute c (service_config Service.Alg4)) in
+  Alcotest.(check int) "same config is served from cache" 1 (joins ());
+  let _ = ok (Client.execute c (service_config Service.Alg5)) in
+  Alcotest.(check int) "changed config recomputes" 2 (joins ());
+  let _, tuples = ok (Client.fetch c) in
+  Alcotest.(check (list string))
+    "fetch delivers the latest config's result"
+    (in_process_delivery Service.Alg5)
+    (List.map T.encode tuples)
+
 (* --- protocol error paths -------------------------------------------- *)
 
 let reply_of server session msg =
@@ -457,6 +569,20 @@ let establish server id =
       | m -> Alcotest.fail (Format.asprintf "expected hello-reply, got %a" Wire.pp m))
   | _ -> Alcotest.fail "handshake failed"
 
+let test_contract_capacity_bounded () =
+  let server = Server.create ~mac_key ~max_contracts:1 () in
+  let c = client ~config:no_sleep server in
+  ok (Client.attest c);
+  ok (Client.handshake c ~rng:(Rng.create 12) ~id:"carol" ~mac_key);
+  ok (Client.bind_contract c contract);
+  (match Client.bind_contract c secret_contract with
+  | Ok () -> Alcotest.fail "a second contract was registered past the capacity"
+  | Error e ->
+      Alcotest.(check bool) "typed rejection" true (contains ~sub:"contract-rejected" e);
+      Alcotest.(check bool) "names the capacity" true (contains ~sub:"capacity" e));
+  (* The already-registered contract can still be rebound. *)
+  ok (Client.bind_contract c contract)
+
 let test_out_of_order_chunk () =
   let server = Server.create ~mac_key () in
   let session, party = establish server "alice" in
@@ -526,11 +652,13 @@ let () =
     [ ( "frame",
         [ Alcotest.test_case "chunked roundtrip" `Quick test_frame_roundtrip;
           Alcotest.test_case "oversized rejected" `Quick test_frame_rejects_oversized;
+          Alcotest.test_case "large payload in chunks" `Quick test_frame_large_payload_chunked;
         ] );
       ( "wire",
         [ Alcotest.test_case "message roundtrip" `Quick test_wire_roundtrip;
           Alcotest.test_case "payload codecs roundtrip" `Quick test_codec_roundtrips;
           Alcotest.test_case "malformed rejected" `Quick test_malformed_payload_rejected;
+          Alcotest.test_case "replies echo request seq" `Quick test_replies_echo_request_seq;
         ] );
       ( "loopback",
         [ Alcotest.test_case "alg4 matches in-process" `Quick
@@ -550,6 +678,10 @@ let () =
             test_non_idempotent_not_retried;
           Alcotest.test_case "execute retry reuses cached result" `Quick
             test_execute_retry_is_idempotent;
+          Alcotest.test_case "slow duplicate reply is discarded" `Quick
+            test_slow_reply_duplicate_discarded;
+          Alcotest.test_case "changed execute config recomputes" `Quick
+            test_execute_config_change_recomputes;
         ] );
       ( "errors",
         [ Alcotest.test_case "version mismatch" `Quick test_version_mismatch;
@@ -558,6 +690,7 @@ let () =
           Alcotest.test_case "replayed hello" `Quick test_replayed_hello_rejected;
           Alcotest.test_case "non-recipient execute" `Quick test_non_recipient_cannot_execute;
           Alcotest.test_case "execute before uploads" `Quick test_execute_before_uploads;
+          Alcotest.test_case "contract capacity bounded" `Quick test_contract_capacity_bounded;
           Alcotest.test_case "out-of-order chunk" `Quick test_out_of_order_chunk;
         ] );
       ( "unix",

@@ -378,6 +378,57 @@ let test_handshake_replay_rejected () =
   | Ok _ -> ()
   | Error e -> Alcotest.fail e
 
+let test_direction_nonces_disjoint () =
+  (* Both ends of a DH-derived session hold the same OCB key, so the two
+     directions must never seal under the same nonce: the responder's
+     nonce stream (handed out by [respond]) has to be disjoint from the
+     initiator's (handed out by [finish]) at every counter position. *)
+  let rng = Rng.create 39 in
+  let mac_key = "k" in
+  let h, x = Channel.Handshake.hello rng ~id:"pa" ~mac_key in
+  match Channel.Handshake.respond rng ~mac_key h with
+  | Error e -> Alcotest.fail e
+  | Ok (reply, t_side) -> (
+      match Channel.Handshake.finish ~id:"pa" ~mac_key ~exponent:x reply with
+      | Error e -> Alcotest.fail e
+      | Ok requester_side ->
+          let nonce_of sealed = String.sub sealed 0 16 in
+          let stream p = List.init 64 (fun i -> nonce_of (Channel.seal p (string_of_int i))) in
+          let initiator = stream requester_side in
+          let responder = stream t_side in
+          List.iter
+            (fun n ->
+              if List.mem n responder then
+                Alcotest.fail "initiator and responder drew the same nonce")
+            initiator;
+          (* Disjoint nonces, same key: traffic still opens across
+             directions. *)
+          let sealed = Channel.seal t_side "from-T" in
+          (match Channel.open_sealed requester_side sealed with
+          | Ok "from-T" -> ()
+          | _ -> Alcotest.fail "responder-sealed message did not open at the initiator"))
+
+let test_replay_guard_bounded () =
+  let rng = Rng.create 40 in
+  let guard = Channel.Handshake.responder ~capacity:2 () in
+  let answer h =
+    match Channel.Handshake.respond_guarded guard rng ~mac_key:"k" h with
+    | Ok _ -> `Answered
+    | Error _ -> `Rejected
+  in
+  let hello () = fst (Channel.Handshake.hello rng ~id:"pa" ~mac_key:"k") in
+  let h1 = hello () and h2 = hello () and h3 = hello () in
+  Alcotest.(check bool) "h1 answered" true (answer h1 = `Answered);
+  Alcotest.(check bool) "h2 answered" true (answer h2 = `Answered);
+  Alcotest.(check bool) "h2 replay rejected" true (answer h2 = `Rejected);
+  (* A third handshake evicts the oldest entry... *)
+  Alcotest.(check bool) "h3 answered" true (answer h3 = `Answered);
+  (* ...so the guard still rejects replays inside its window... *)
+  Alcotest.(check bool) "h3 replay rejected" true (answer h3 = `Rejected);
+  Alcotest.(check bool) "h2 replay still rejected" true (answer h2 = `Rejected);
+  (* ...while the evicted h1 falls outside it (the documented bound). *)
+  Alcotest.(check bool) "evicted h1 is answerable again" true (answer h1 = `Answered)
+
 let test_channel_bad_secret_length () =
   Alcotest.check_raises "16 bytes" (Invalid_argument "Channel.party: secret must be 16 bytes")
     (fun () -> ignore (Channel.party ~id:"x" ~secret:"short"))
@@ -429,6 +480,8 @@ let () =
             test_handshake_rejects_tampered_reply_mac;
           Alcotest.test_case "handshake wrong key at finish" `Quick
             test_handshake_rejects_wrong_key_at_finish;
-          Alcotest.test_case "handshake replay rejected" `Quick test_handshake_replay_rejected
+          Alcotest.test_case "handshake replay rejected" `Quick test_handshake_replay_rejected;
+          Alcotest.test_case "direction nonces disjoint" `Quick test_direction_nonces_disjoint;
+          Alcotest.test_case "replay guard bounded" `Quick test_replay_guard_bounded
         ] )
     ]
