@@ -7,7 +7,8 @@
      dune exec bench/main.exe -- measured --json out.json  # machine-readable export
 
    Experiments: tab5.1 tab5.2 tab5.3 fig4.1 sec4.6.5 fig5.1 fig5.2
-   fig5.3 fig5.4 measured parallel aggregate ablation oram bechamel.
+   fig5.3 fig5.4 measured parallel aggregate ablation oram equijoin
+   netjoin chaos bechamel.
    Set PPJ_CSV_DIR to also emit plottable CSV for the figures.
    [--json PATH] dumps the metrics registry (per-region transfer
    counters, model-vs-measured gauges, per-experiment wall-clock spans)
@@ -581,6 +582,47 @@ let netjoin () =
   row " the oTuple stream stays inside the service, so remote deployment\n";
   row " adds a vanishing fraction of the protocol's data movement)\n"
 
+(* --- chaos soak: seeded fault plans against the networked service --- *)
+
+let chaos () =
+  header "Chaos soak: seeded fault plans against the client/server stack";
+  let module Net = Ppj_net in
+  let runs = 60 in
+  (* The chaos.* counters land in the shared registry, so a --json export
+     of this experiment is the machine-readable soak verdict. *)
+  let results =
+    Obs.Registry.span ~labels:[ ("phase", "chaos") ] registry "bench.chaos.seconds" (fun () ->
+        Net.Chaos.soak ~registry ~seed0:1 ~runs ())
+  in
+  let tally p = List.length (List.filter p results) in
+  let correct = tally (fun r -> r.Net.Chaos.outcome = Net.Chaos.Correct) in
+  let resumed = tally (fun r -> r.Net.Chaos.outcome = Net.Chaos.Correct && r.Net.Chaos.crashes > 0) in
+  let tamper =
+    tally (fun r -> match r.Net.Chaos.outcome with Net.Chaos.Tamper _ -> true | _ -> false)
+  in
+  let refused =
+    tally (fun r -> match r.Net.Chaos.outcome with Net.Chaos.Refused _ -> true | _ -> false)
+  in
+  let wrong = tally (fun r -> not (Net.Chaos.safe r)) in
+  let injected = List.fold_left (fun n r -> n + r.Net.Chaos.injected) 0 results in
+  row "runs                    : %d (seeds 1..%d, one random plan each)\n" runs runs;
+  row "correct deliveries      : %d (%d of them resumed after a coprocessor crash)\n" correct
+    resumed;
+  row "tamper detected         : %d (refused, as the paper's T must)\n" tamper;
+  row "typed refusals          : %d (retries exhausted, auth failures, ...)\n" refused;
+  row "wrong answers           : %d\n" wrong;
+  row "fault events fired      : %d\n" injected;
+  if wrong > 0 then begin
+    List.iter
+      (fun r ->
+        if not (Net.Chaos.safe r) then
+          row "  seed %d  %s  %s\n" r.Net.Chaos.seed
+            (Ppj_fault.Plan.to_string r.Net.Chaos.plan)
+            (Net.Chaos.outcome_to_string r.Net.Chaos.outcome))
+      results;
+    failwith "chaos soak produced a wrong answer"
+  end
+
 (* --- Bechamel microbenches --- *)
 
 let bechamel () =
@@ -650,6 +692,7 @@ let experiments =
     ("oram", oram);
     ("equijoin", equijoin_ext);
     ("netjoin", netjoin);
+    ("chaos", chaos);
     ("bechamel", bechamel)
   ]
 

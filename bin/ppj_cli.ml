@@ -55,10 +55,28 @@ let metrics_arg =
     & info [ "metrics" ]
         ~doc:"Also print the run's metrics snapshot (per-region transfer counters, memory ledger, stats).")
 
-let make_instance ~na ~nb ~matches ~mult ~m ~seed =
+let make_instance ?faults ~na ~nb ~matches ~mult ~m ~seed () =
   let rng = Rng.create seed in
   let a, b = W.equijoin_pair rng ~na ~nb ~matches ~max_multiplicity:mult in
-  Instance.create ~m ~seed:(seed + 1) ~predicate:(P.equijoin2 "key" "key") [ a; b ]
+  Instance.create ?faults ~m ~seed:(seed + 1) ~predicate:(P.equijoin2 "key" "key") [ a; b ]
+
+let fault_plan_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault-plan" ] ~docv:"PLAN"
+        ~doc:
+          "Deterministic fault plan to inject, e.g. \
+           'crash\\@t=150;checkpoint\\@every=32' or 'corrupt\\@t=40'.  Injected \
+           crashes are survived by resuming from the plan's sealed \
+           checkpoints; detected tampering aborts with a nonzero exit.")
+
+let make_injector plan_str =
+  match Ppj_fault.Plan.of_string plan_str with
+  | Ok plan -> Ppj_fault.Injector.create plan
+  | Error e ->
+      Format.eprintf "error: bad --fault-plan: %s@." e;
+      exit 2
 
 let execute algorithm ~eps ~mult inst =
   match algorithm with
@@ -72,25 +90,51 @@ let execute algorithm ~eps ~mult inst =
   | A7 -> fst (Algorithm7.run inst ~attr_a:"key" ~attr_b:"key")
 
 let run_cmd =
-  let run algorithm na nb matches mult m seed eps metrics =
-    let inst = make_instance ~na ~nb ~matches ~mult ~m ~seed in
-    let r = execute algorithm ~eps ~mult inst in
+  let run algorithm na nb matches mult m seed eps metrics fault_plan =
+    let faults = Option.map make_injector fault_plan in
+    let inst = make_instance ?faults ~na ~nb ~matches ~mult ~m ~seed () in
+    let rec attempt resumes_left =
+      match execute algorithm ~eps ~mult inst with
+      | r -> r
+      | exception Co.Crashed { transfer } ->
+          if resumes_left = 0 then begin
+            Format.eprintf "error: coprocessor kept crashing; giving up@.";
+            exit 1
+          end;
+          Format.printf "coprocessor crashed at transfer %d; resuming from last checkpoint@."
+            transfer;
+          Instance.recover inst;
+          attempt (resumes_left - 1)
+      | exception Co.Tamper_detected msg ->
+          Format.eprintf "TAMPER DETECTED: %s@." msg;
+          exit 1
+    in
+    let r = attempt 8 in
+    if Instance.resumes inst > 0 then
+      Format.printf "(join completed after %d crash-resume(s))@.@." (Instance.resumes inst);
     Format.printf "@[<v>%a@,@,results:@," Report.pp r;
     List.iteri (fun i t -> if i < 20 then Format.printf "  %a@," T.pp t) r.Report.results;
     if List.length r.Report.results > 20 then Format.printf "  ... (%d total)@," (List.length r.Report.results);
     Format.printf "@]@.";
-    if metrics then Format.printf "@.metrics:@.%a@." Ppj_obs.Snapshot.pp r.Report.metrics;
+    if metrics then begin
+      Format.printf "@.metrics:@.%a@." Ppj_obs.Snapshot.pp r.Report.metrics;
+      match faults with
+      | Some inj ->
+          Format.printf "@.fault metrics:@.%a@." Ppj_obs.Snapshot.pp
+            (Ppj_obs.Registry.snapshot (Ppj_fault.Injector.registry inj))
+      | None -> ()
+    end;
     if List.length r.Report.results <> Instance.oracle_size inst then begin
       Format.eprintf "WARNING: result size differs from oracle!@.";
       exit 1
     end
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a join algorithm on a synthetic workload and print the results.")
-    Term.(const run $ algorithm_arg $ na_arg $ nb_arg $ matches_arg $ mult_arg $ m_arg $ seed_arg $ eps_arg $ metrics_arg)
+    Term.(const run $ algorithm_arg $ na_arg $ nb_arg $ matches_arg $ mult_arg $ m_arg $ seed_arg $ eps_arg $ metrics_arg $ fault_plan_arg)
 
 let trace_cmd =
   let run algorithm na nb matches mult m seed eps limit =
-    let inst = make_instance ~na ~nb ~matches ~mult ~m ~seed in
+    let inst = make_instance ~na ~nb ~matches ~mult ~m ~seed () in
     ignore (execute algorithm ~eps ~mult inst);
     let trace = Co.trace (Instance.co inst) in
     Format.printf "trace length: %d@." (Trace.length trace);
@@ -401,10 +445,53 @@ let gen_cmd =
     (Cmd.info "gen" ~doc:"Generate a synthetic equijoin CSV pair (for demos and smoke tests).")
     Term.(const run $ na_arg $ nb_arg $ matches_arg $ mult_arg $ seed_arg $ out_a $ out_b)
 
+let chaos_cmd =
+  let run runs seed0 verbose =
+    let reg = Ppj_obs.Registry.create () in
+    let results = Net.Chaos.soak ~registry:reg ~seed0 ~runs () in
+    let tally p = List.length (List.filter p results) in
+    let correct = tally (fun r -> r.Net.Chaos.outcome = Net.Chaos.Correct) in
+    let resumed =
+      tally (fun r -> r.Net.Chaos.outcome = Net.Chaos.Correct && r.Net.Chaos.crashes > 0)
+    in
+    let tamper =
+      tally (fun r -> match r.Net.Chaos.outcome with Net.Chaos.Tamper _ -> true | _ -> false)
+    in
+    let refused =
+      tally (fun r -> match r.Net.Chaos.outcome with Net.Chaos.Refused _ -> true | _ -> false)
+    in
+    let wrong = List.filter (fun r -> not (Net.Chaos.safe r)) results in
+    let injected = List.fold_left (fun n r -> n + r.Net.Chaos.injected) 0 results in
+    List.iter
+      (fun r ->
+        if verbose || not (Net.Chaos.safe r) then
+          Format.printf "seed %-4d  %-48s  %s@." r.Net.Chaos.seed
+            (Ppj_fault.Plan.to_string r.Net.Chaos.plan)
+            (Net.Chaos.outcome_to_string r.Net.Chaos.outcome))
+      results;
+    Format.printf
+      "chaos: %d runs — %d correct (%d after crash-resume), %d tamper-detected, %d refused, %d \
+       wrong; %d fault event(s) fired@."
+      runs correct resumed tamper refused (List.length wrong) injected;
+    if wrong <> [] then exit 1
+  in
+  let runs_arg = Arg.(value & opt int 50 & info [ "runs" ] ~doc:"Seeded fault plans to soak.") in
+  let seed0_arg = Arg.(value & opt int 1 & info [ "seed0" ] ~doc:"First seed of the soak.") in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every run, not only unsafe ones.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Soak the client/server join under random seeded fault plans: every run must end in \
+          the oracle's answer or a typed refusal.  Exits nonzero if any run returns a wrong \
+          answer.")
+    Term.(const run $ runs_arg $ seed0_arg $ verbose_arg)
+
 let () =
   let doc = "privacy preserving joins on (simulated) secure coprocessors" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "ppj" ~version:"0.2.0" ~doc)
           [ run_cmd; trace_cmd; privacy_cmd; cost_cmd; nstar_cmd; parallel_cmd; csv_join_cmd;
-            serve_cmd; submit_cmd; fetch_cmd; gen_cmd ]))
+            serve_cmd; submit_cmd; fetch_cmd; gen_cmd; chaos_cmd ]))

@@ -11,7 +11,13 @@ module Bitonic = Ppj_oblivious.Bitonic
 module Sort = Ppj_oblivious.Sort
 
 type t = {
-  co : Coprocessor.t;
+  mutable co : Coprocessor.t;
+  host : Host.t;
+  m : int;
+  seed : int;
+  faults : Ppj_fault.Injector.t option;
+  checkpoint_every : int option;
+  nvram : int ref;
   predicate : Predicate.t;
   fixed_time : bool;
   rels : Relation.t array;
@@ -21,20 +27,18 @@ type t = {
   payload_width : int;
   joined_schema : Schema.t;
   mutable cartesian : bool;
+  mutable prior_traces : Trace.t list;  (* reversed; pre-crash views *)
+  mutable resume_count : int;
 }
 
 let match_cycles = 4
 
-let create ?(fixed_time = true) ~m ~seed ~predicate rels =
-  if rels = [] then invalid_arg "Instance.create: no relations";
-  let host = Host.create () in
-  let co = Coprocessor.create ~host ~m ~seed in
-  let rels = Array.of_list rels in
-  let widths = Array.map (fun r -> Schema.width r.Relation.schema) rels in
-  let sizes = Array.map Relation.cardinality rels in
-  let l = Array.fold_left ( * ) 1 sizes in
-  (* Regions are padded to the next power of two so that oblivious sorting
-     of a whole relation (Algorithm 3) needs no re-allocation. *)
+(* The providers' submissions, re-playable: loading is deterministic in
+   (relations, seed), so a resumed coprocessor's ghost replay re-seals
+   byte-identical ciphertexts.  Regions are padded to the next power of
+   two so that oblivious sorting of a whole relation (Algorithm 3) needs
+   no re-allocation. *)
+let load_tables co ~rels ~sizes ~widths =
   Array.iteri
     (fun i r ->
       let n = sizes.(i) in
@@ -45,8 +49,32 @@ let create ?(fixed_time = true) ~m ~seed ~predicate rels =
             else Sort.sentinel ~width:widths.(i))
       in
       Coprocessor.load_region co (Trace.Table r.Relation.name) slots)
-    rels;
+    rels
+
+let create ?(fixed_time = true) ?faults ?checkpoint_every ~m ~seed ~predicate rels =
+  if rels = [] then invalid_arg "Instance.create: no relations";
+  (* A fault plan may carry its own checkpoint interval
+     ([checkpoint@every=C]); an explicit argument wins. *)
+  let checkpoint_every =
+    match checkpoint_every with
+    | Some _ as c -> c
+    | None -> Option.bind faults Ppj_fault.Injector.checkpoint_every
+  in
+  let host = Host.create () in
+  let nvram = ref 0 in
+  let co = Coprocessor.create ?faults ?checkpoint_every ~nvram ~host ~m ~seed () in
+  let rels = Array.of_list rels in
+  let widths = Array.map (fun r -> Schema.width r.Relation.schema) rels in
+  let sizes = Array.map Relation.cardinality rels in
+  let l = Array.fold_left ( * ) 1 sizes in
+  load_tables co ~rels ~sizes ~widths;
   { co;
+    host;
+    m;
+    seed;
+    faults;
+    checkpoint_every;
+    nvram;
     predicate;
     fixed_time;
     rels;
@@ -57,7 +85,34 @@ let create ?(fixed_time = true) ~m ~seed ~predicate rels =
     joined_schema =
       Schema.concat_all (Array.to_list (Array.map (fun r -> r.Relation.schema) rels));
     cartesian = false;
+    prior_traces = [];
+    resume_count = 0;
   }
+
+let recover t =
+  t.prior_traces <- Coprocessor.trace t.co :: t.prior_traces;
+  let { host; m; seed; faults; checkpoint_every; nvram; _ } = t in
+  let co =
+    if Host.has_checkpoint host then
+      Coprocessor.resume ?faults ?checkpoint_every ~nvram ~host ~m ~seed ()
+    else begin
+      (* Crash before the first checkpoint: nothing sealed, so the rerun
+         is a fresh protocol execution from the pristine inputs. *)
+      Host.reset host;
+      Coprocessor.create ?faults ?checkpoint_every ~nvram ~host ~m ~seed ()
+    end
+  in
+  load_tables co ~rels:t.rels ~sizes:t.sizes ~widths:t.widths;
+  t.co <- co;
+  t.cartesian <- false;
+  t.resume_count <- t.resume_count + 1
+
+let resumes t = t.resume_count
+
+let extended_trace t =
+  match t.prior_traces with
+  | [] -> Coprocessor.trace t.co
+  | prior -> Trace.concat (List.rev (Coprocessor.trace t.co :: prior))
 
 let co t = t.co
 let predicate t = t.predicate

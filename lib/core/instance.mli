@@ -17,16 +17,43 @@ module Schema = Ppj_relation.Schema
 type t
 
 val create :
-  ?fixed_time:bool -> m:int -> seed:int -> predicate:Predicate.t -> Relation.t list -> t
+  ?fixed_time:bool ->
+  ?faults:Ppj_fault.Injector.t ->
+  ?checkpoint_every:int ->
+  m:int ->
+  seed:int ->
+  predicate:Predicate.t ->
+  Relation.t list ->
+  t
 (** Sets up a host, a coprocessor with [m] tuples of free memory, and one
     padded host region per relation.  [fixed_time] (default true) applies
     the §3.4.3 Fixed Time principle: predicate evaluation burns the same
     cycle budget whether or not it matches.  Setting it false simulates an
     unpadded implementation whose match-dependent work is visible to a
     timing adversary — the ablation the paper's principle exists to
-    forbid.  @raise Invalid_argument on an empty relation list. *)
+    forbid.  [faults] schedules host attacks and coprocessor crashes
+    against the run; [checkpoint_every] arms sealed recovery checkpoints.
+    @raise Invalid_argument on an empty relation list. *)
 
 val co : t -> Coprocessor.t
+(** The {e current} coprocessor — replaced by {!recover}, so algorithms
+    must re-read it rather than hold it across a crash. *)
+
+val recover : t -> unit
+(** After [Coprocessor.Crashed]: bank the crashed run's trace, bring up a
+    replacement coprocessor from the same seed (resuming from the sealed
+    checkpoint when one exists, else rerunning from scratch on a reset
+    host), and re-load the providers' tables.  The caller then re-runs
+    the join algorithm from the top; replayed transfers are ghosts until
+    the checkpointed transfer is reached. *)
+
+val resumes : t -> int
+(** How many times {!recover} ran. *)
+
+val extended_trace : t -> Trace.t
+(** The adversary's full view across crashes: every pre-crash trace
+    followed by the current one (Definitions 1 and 3 are checked against
+    this for crash-resume runs). *)
 
 val predicate : t -> Predicate.t
 

@@ -32,6 +32,8 @@ let compare_traces traces =
 
 let check ~runs = compare_traces (List.map (fun f -> f ()) runs)
 
+let compare_extended trace_lists = compare_traces (List.map Trace.concat trace_lists)
+
 let pp_verdict ppf = function
   | Indistinguishable -> Format.fprintf ppf "indistinguishable"
   | Distinguishable { pair = i, j; position; detail } ->

@@ -16,6 +16,15 @@ type verdict =
 val compare_traces : Trace.t list -> verdict
 (** All-pairs exact comparison; reports the first divergence found. *)
 
+val compare_extended : Trace.t list list -> verdict
+(** Crash-resume variant: each run contributes its {e extended trace} —
+    the pre-crash views followed by the completing one, concatenated —
+    and those are compared exactly.  Checkpoint placement depends only on
+    the transfer clock and crash points come from the (input-independent)
+    fault plan, so Definitions 1 and 3 extend to recovered runs: the
+    check holds iff the whole adversary view is a function of input
+    shape. *)
+
 val check :
   runs:(unit -> Trace.t) list ->
   verdict

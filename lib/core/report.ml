@@ -18,7 +18,9 @@ type t = {
 let collect inst ?(stats = []) () =
   let co = Instance.co inst in
   let host = Coprocessor.host co in
-  let trace = Coprocessor.trace co in
+  (* For crash-resume runs the cost figures cover the adversary's whole
+     view, pre-crash attempts included. *)
+  let trace = Instance.extended_trace inst in
   let results =
     Host.disk host
     |> List.map (Coprocessor.decrypt_for_recipient co)

@@ -37,26 +37,50 @@ let verify_chain chain =
   let expected = List.map Attestation.layer_digest attested_layers in
   Attestation.verify ~device_key ~expected chain
 
-let execute_join config ~predicate rels =
-  let inst = Instance.create ~m:config.m ~seed:config.seed ~predicate rels in
-  let report =
-    match config.algorithm with
-    | Alg1 { n } -> Algorithm1.run inst ~n
-    | Alg2 { n } -> Algorithm2.run inst ~n ()
-    | Alg3 { n; attr_a; attr_b } -> Algorithm3.run inst ~n ~attr_a ~attr_b ()
-    | Alg4 -> Algorithm4.run inst ()
-    | Alg5 -> Algorithm5.run inst
-    | Alg6 { eps } -> fst (Algorithm6.run inst ~eps ())
-    | Alg7 { attr_a; attr_b } -> fst (Algorithm7.run inst ~attr_a ~attr_b)
-    | Auto { max_eps } -> (
-        (* Screening inside T to learn S, then plan. *)
-        let s = Instance.oracle_size inst in
-        match fst (Planner.choose ~l:(Instance.l inst) ~s ~m:config.m ~max_eps) with
-        | Planner.Use_alg4 -> Algorithm4.run inst ()
-        | Planner.Use_alg5 -> Algorithm5.run inst
-        | Planner.Use_alg6 { eps } -> fst (Algorithm6.run inst ~eps ()))
+let run_algorithm config inst =
+  match config.algorithm with
+  | Alg1 { n } -> Algorithm1.run inst ~n
+  | Alg2 { n } -> Algorithm2.run inst ~n ()
+  | Alg3 { n; attr_a; attr_b } -> Algorithm3.run inst ~n ~attr_a ~attr_b ()
+  | Alg4 -> Algorithm4.run inst ()
+  | Alg5 -> Algorithm5.run inst
+  | Alg6 { eps } -> fst (Algorithm6.run inst ~eps ())
+  | Alg7 { attr_a; attr_b } -> fst (Algorithm7.run inst ~attr_a ~attr_b)
+  | Auto { max_eps } -> (
+      (* Screening inside T to learn S, then plan. *)
+      let s = Instance.oracle_size inst in
+      match fst (Planner.choose ~l:(Instance.l inst) ~s ~m:config.m ~max_eps) with
+      | Planner.Use_alg4 -> Algorithm4.run inst ()
+      | Planner.Use_alg5 -> Algorithm5.run inst
+      | Planner.Use_alg6 { eps } -> fst (Algorithm6.run inst ~eps ()))
+
+exception Join_crashed of { inst : Instance.t; transfer : int }
+
+let execute_join ?faults ?checkpoint_every ?(max_resumes = 0) config ~predicate rels =
+  let inst =
+    Instance.create ?faults ?checkpoint_every ~m:config.m ~seed:config.seed ~predicate rels
   in
-  (inst, report)
+  let rec attempt resumes_left =
+    match run_algorithm config inst with
+    | report -> report
+    | exception Coprocessor.Crashed { transfer } ->
+        if resumes_left <= 0 then raise (Join_crashed { inst; transfer })
+        else begin
+          Instance.recover inst;
+          attempt (resumes_left - 1)
+        end
+  in
+  (inst, attempt max_resumes)
+
+let resume_join config inst =
+  (* One recovery per call: if the replacement coprocessor also crashes
+     (a plan can carry several crash events), the caller — typically a
+     server answering a retrying client — gets [Join_crashed] again and
+     may call back. *)
+  Instance.recover inst;
+  match run_algorithm config inst with
+  | report -> (inst, report)
+  | exception Coprocessor.Crashed { transfer } -> raise (Join_crashed { inst; transfer })
 
 let seal_to inst ~recipient ~contract =
   (* T re-reads the disk batches, decrypts them, and seals the stream to

@@ -53,10 +53,31 @@ val verify_chain : Ppj_scpu.Attestation.certificate list -> bool
     4758's signatures — the documented {!Ppj_scpu.Attestation}
     substitution — so verification uses the same device key.) *)
 
+exception Join_crashed of { inst : Instance.t; transfer : int }
+(** The coprocessor died (injected crash) and the caller's resume budget
+    is spent.  The instance is retained so a later {!resume_join} — e.g.
+    when a remote client retries — can pick the join back up from the
+    last sealed checkpoint. *)
+
 val execute_join :
-  config -> predicate:Predicate.t -> Ppj_relation.Relation.t list -> Instance.t * Report.t
+  ?faults:Ppj_fault.Injector.t ->
+  ?checkpoint_every:int ->
+  ?max_resumes:int ->
+  config ->
+  predicate:Predicate.t ->
+  Ppj_relation.Relation.t list ->
+  Instance.t * Report.t
 (** The join phase alone: build the instance over already-accepted
-    relations and run the configured algorithm. *)
+    relations and run the configured algorithm.  [faults] arms the fault
+    injector for this run and [checkpoint_every] the sealed recovery
+    checkpoints; on an injected coprocessor crash, up to [max_resumes]
+    (default 0) in-process recoveries are attempted before
+    {!Join_crashed} escapes. *)
+
+val resume_join : config -> Instance.t -> Instance.t * Report.t
+(** Recover the crashed instance from its last sealed checkpoint (or from
+    scratch if it never checkpointed) and re-run the algorithm to
+    completion.  @raise Join_crashed if a further crash event fires. *)
 
 val seal_to :
   Instance.t -> recipient:Channel.party -> contract:Channel.contract -> string

@@ -1,0 +1,125 @@
+module Registry = Ppj_obs.Registry
+
+(* Per-event firing state.  [skip] and [remaining] start from the plan
+   and count down; an event with [remaining = 0] is spent. *)
+type cell = { event : Plan.event; mutable skip : int; mutable remaining : int }
+
+type t = {
+  plan : Plan.t;
+  cells : cell list;
+  registry : Registry.t;
+  mutable recv_calls : int;
+  mutable injected : int;
+}
+
+let create ?registry plan =
+  { plan;
+    cells =
+      List.map
+        (fun event ->
+          match event with
+          | Plan.Net { skip; count; _ } -> { event; skip; remaining = count }
+          | Plan.Scpu _ | Plan.Recv_timeout _ -> { event; skip = 0; remaining = 1 })
+        plan.Plan.events;
+    registry = (match registry with Some r -> r | None -> Registry.create ());
+    recv_calls = 0;
+    injected = 0;
+  }
+
+let plan t = t.plan
+let registry t = t.registry
+let checkpoint_every t = t.plan.Plan.checkpoint_every
+let injected t = t.injected
+
+let fired t name =
+  t.injected <- t.injected + 1;
+  Ppj_obs.Counter.incr (Registry.counter t.registry "fault.injected");
+  Ppj_obs.Counter.incr (Registry.counter t.registry name)
+
+type scpu_fault = Corrupt | Replay | Crash
+
+let on_transfer t ~transfer =
+  let rec scan = function
+    | [] -> None
+    | cell :: rest -> (
+        match cell.event with
+        | Plan.Scpu { action; transfer = k } when cell.remaining > 0 && k = transfer ->
+            cell.remaining <- 0;
+            Some
+              (match action with
+              | Plan.Corrupt ->
+                  fired t "fault.scpu.corrupt";
+                  Corrupt
+              | Plan.Replay ->
+                  fired t "fault.scpu.replay";
+                  Replay
+              | Plan.Crash ->
+                  fired t "fault.scpu.crash";
+                  Crash)
+        | _ -> scan rest)
+  in
+  scan t.cells
+
+let wants_replay t =
+  List.exists
+    (fun cell ->
+      match cell.event with
+      | Plan.Scpu { action = Plan.Replay; _ } -> cell.remaining > 0
+      | _ -> false)
+    t.cells
+
+type frame_fault = Drop | Duplicate | Delay | Corrupt
+
+let matches cell ~dir ~tag =
+  match cell.event with
+  | Plan.Net { dir = d; tag = g; _ } when cell.remaining > 0 ->
+      (match d with None -> true | Some d -> d = dir)
+      && (match g with None -> true | Some g -> String.equal g tag)
+  | _ -> false
+
+let on_frame t ~dir ~tag =
+  let rec scan = function
+    | [] -> None
+    | cell :: rest when not (matches cell ~dir ~tag) -> scan rest
+    | cell :: _ ->
+        if cell.skip > 0 then begin
+          cell.skip <- cell.skip - 1;
+          None
+        end
+        else begin
+          cell.remaining <- cell.remaining - 1;
+          match cell.event with
+          | Plan.Net { action; _ } ->
+              Some
+                (match action with
+                | Plan.Drop ->
+                    fired t "fault.net.drop";
+                    Drop
+                | Plan.Duplicate ->
+                    fired t "fault.net.duplicate";
+                    Duplicate
+                | Plan.Delay ->
+                    fired t "fault.net.delay";
+                    Delay
+                | Plan.Corrupt_frame ->
+                    fired t "fault.net.corrupt";
+                    Corrupt)
+          | _ -> assert false
+        end
+  in
+  scan t.cells
+
+let on_recv t =
+  let call = t.recv_calls in
+  t.recv_calls <- t.recv_calls + 1;
+  let rec scan = function
+    | [] -> false
+    | cell :: rest -> (
+        match cell.event with
+        | Plan.Recv_timeout { call = k } when cell.remaining > 0 && k = call ->
+            cell.remaining <- 0;
+            fired t "fault.recv.timeout";
+            true
+        | _ -> scan rest)
+  in
+  scan t.cells

@@ -1,0 +1,52 @@
+(** The mutable runtime of a {!Plan}.
+
+    One injector is shared by every layer a run threads it through — the
+    coprocessor asks before each transfer, the transports ask per frame
+    and per [recv] call — and each plan event fires at most the number of
+    times its plan entry allows ([count] for net matchers, once for
+    everything else).  One-shot consumption is what makes crash/resume
+    converge: the crash that killed the first coprocessor does not fire
+    again when the resumed run replays past the same transfer index.
+
+    Every firing bumps a [fault.*] counter in the injector's registry:
+    [fault.scpu.corrupt|replay|crash], [fault.net.drop|duplicate|delay|
+    corrupt], [fault.recv.timeout], and the total [fault.injected]. *)
+
+type t
+
+val create : ?registry:Ppj_obs.Registry.t -> Plan.t -> t
+(** Without [registry] the counters land in a private one (reachable via
+    {!registry}). *)
+
+val plan : t -> Plan.t
+
+val registry : t -> Ppj_obs.Registry.t
+
+val checkpoint_every : t -> int option
+(** The plan's checkpoint interval, for the layer that builds the
+    coprocessor. *)
+
+val injected : t -> int
+(** Events fired so far across all families. *)
+
+type scpu_fault = Corrupt | Replay | Crash
+
+val on_transfer : t -> transfer:int -> scpu_fault option
+(** Called by the coprocessor before executing transfer [transfer].
+    Consumes (at most) one matching plan event. *)
+
+val wants_replay : t -> bool
+(** An unconsumed replay event exists — the host should keep stale
+    ciphertexts around to serve. *)
+
+type frame_fault = Drop | Duplicate | Delay | Corrupt
+
+val on_frame : t -> dir:Plan.dir -> tag:string -> frame_fault option
+(** Called by a transport for each whole frame moving in [dir] whose wire
+    tag name is [tag].  The first live matching event handles the frame:
+    while its [skip] window is open the frame passes (and the window
+    shrinks); afterwards it fires [count] times. *)
+
+val on_recv : t -> bool
+(** Called by a transport at each client [recv]; [true] means pretend
+    nothing arrived within the timeout.  Calls are counted from 0. *)

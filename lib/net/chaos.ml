@@ -1,0 +1,134 @@
+module Ch = Ppj_scpu.Channel
+module W = Ppj_relation.Workload
+module P = Ppj_relation.Predicate
+module Tuple = Ppj_relation.Tuple
+module Rng = Ppj_crypto.Rng
+module Service = Ppj_core.Service
+module Registry = Ppj_obs.Registry
+module Plan = Ppj_fault.Plan
+module Injector = Ppj_fault.Injector
+
+type outcome =
+  | Correct
+  | Tamper of string
+  | Refused of string
+  | Wrong of { expected : int; delivered : int }
+
+type run = {
+  seed : int;
+  plan : Plan.t;
+  outcome : outcome;
+  crashes : int;
+  injected : int;
+}
+
+let safe r = match r.outcome with Wrong _ -> false | _ -> true
+
+let outcome_to_string = function
+  | Correct -> "correct"
+  | Tamper m -> "tamper-detected: " ^ m
+  | Refused m -> "refused: " ^ m
+  | Wrong { expected; delivered } ->
+      Printf.sprintf "WRONG ANSWER: expected %d tuples, delivered %d" expected delivered
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.equal (String.sub s i n) sub || go (i + 1)) in
+  n = 0 || go 0
+
+let mac_key = "chaos-soak-mac-key"
+let schema = W.keyed_schema ()
+
+let contract =
+  { Ch.contract_id = "chaos-contract";
+    providers = [ "alice"; "bob" ];
+    recipient = "carol";
+    predicate = "eq(key,key)";
+  }
+
+(* The workload varies with the seed so the soak covers many data shapes,
+   but stays small enough that a run is milliseconds while still pushing
+   the coprocessor's transfer counter through the window random plans
+   schedule their crash/corrupt/replay events in. *)
+let workload seed =
+  let rng = Rng.create (2 * seed + 1) in
+  W.equijoin_pair rng ~na:8 ~nb:12 ~matches:9 ~max_multiplicity:3
+
+let config = { Service.m = 4; seed = 7; algorithm = Service.Alg5 }
+
+(* What the recipient must decode when nothing interferes. *)
+let oracle seed =
+  let pa = Ch.party ~id:"alice" ~secret:(String.make 16 'a') in
+  let pb = Ch.party ~id:"bob" ~secret:(String.make 16 'b') in
+  let pc = Ch.party ~id:"carol" ~secret:(String.make 16 'c') in
+  let a, b = workload seed in
+  match
+    Service.run config ~contract
+      ~submissions:
+        [ (pa, schema, Ch.submit pa contract a); (pb, schema, Ch.submit pb contract b) ]
+      ~recipient:pc ~predicate:(P.equijoin2 "key" "key")
+  with
+  | Ok o -> List.map Tuple.encode o.Service.delivered
+  | Error e -> invalid_arg ("chaos oracle failed: " ^ e)
+
+(* Nothing in this stack sleeps: the loopback transport answers (or
+   stays silent) synchronously, receive timeouts resolve on the first
+   poll, and the backoff sleeps are ignored — a chaos run cannot hang,
+   only finish. *)
+let client_config =
+  { Client.default_config with recv_timeout = 0.01; max_retries = 6; sleep = ignore }
+
+let ( let* ) = Result.bind
+
+let play ~faults server seed =
+  let a, b = workload seed in
+  let session k =
+    let c = Client.create ~config:client_config (Transport.loopback ~faults server) in
+    Fun.protect ~finally:(fun () -> Client.close c) (fun () -> k c)
+  in
+  let submit id rel =
+    session (fun c ->
+        Client.submit_relation c
+          ~rng:(Rng.create (seed + Hashtbl.hash id))
+          ~id ~mac_key ~contract ~schema rel)
+  in
+  let* () = submit "alice" a in
+  let* () = submit "bob" b in
+  session (fun c ->
+      Client.fetch_result c
+        ~rng:(Rng.create (seed + 99))
+        ~id:"carol" ~mac_key ~contract config)
+
+let run_one ?registry ~seed () =
+  let reg = match registry with Some r -> r | None -> Registry.create () in
+  let plan = Plan.random ~seed in
+  let faults = Injector.create plan in
+  let server = Server.create ~mac_key ~seed:5 ~faults () in
+  let expected = oracle seed in
+  let outcome =
+    match play ~faults server seed with
+    | Error e -> if contains ~sub:"tamper" e then Tamper e else Refused e
+    | Ok (_schema, tuples) ->
+        let got = List.map Tuple.encode tuples in
+        if List.sort compare got = List.sort compare expected then Correct
+        else Wrong { expected = List.length expected; delivered = List.length got }
+  in
+  let crashes =
+    Ppj_obs.Counter.value (Registry.counter (Server.registry server) "net.server.joins.crashed")
+  in
+  let count ?by name = Ppj_obs.Counter.incr ?by (Registry.counter reg name) in
+  (* make the headline counters present in exports even at zero *)
+  List.iter
+    (fun n -> ignore (Registry.counter reg n))
+    [ "chaos.correct"; "chaos.tamper"; "chaos.refused"; "chaos.wrong" ];
+  count "chaos.runs";
+  count ~by:(Injector.injected faults) "chaos.faults.injected";
+  (match outcome with
+  | Correct -> count "chaos.correct"
+  | Tamper _ -> count "chaos.tamper"
+  | Refused _ -> count "chaos.refused"
+  | Wrong _ -> count "chaos.wrong");
+  { seed; plan; outcome; crashes; injected = Injector.injected faults }
+
+let soak ?registry ?(seed0 = 1) ~runs () =
+  List.init runs (fun i -> run_one ?registry ~seed:(seed0 + i) ())

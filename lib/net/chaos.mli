@@ -1,0 +1,50 @@
+(** Seeded chaos soaks of the networked join service.
+
+    Each run draws a random-but-deterministic fault plan
+    ({!Ppj_fault.Plan.random}), arms one injector with it, and threads
+    that injector through {e every} layer at once: the server's
+    coprocessor (crash / ciphertext corruption / replay), the loopback
+    wire in both directions (drop / duplicate / delay / payload
+    corruption), and the client's receive path (injected timeouts).
+    Then it plays the full three-party exchange — two providers upload,
+    the recipient executes and fetches — and judges the result against
+    the fault-free in-process oracle.
+
+    The safety claim under test is the paper's: whatever the adversary
+    does to the wire or the host, the recipient either gets exactly the
+    right answer (possibly after checkpoint resume) or a typed refusal —
+    never a wrong answer, and, because nothing in the loopback stack
+    sleeps or blocks, never a hang. *)
+
+type outcome =
+  | Correct  (** delivery matches the fault-free oracle, byte for byte *)
+  | Tamper of string
+      (** the coprocessor detected tampering and refused — safe *)
+  | Refused of string
+      (** a typed failure (retries exhausted, auth failure, protocol
+          error...) — safe *)
+  | Wrong of { expected : int; delivered : int }
+      (** the one outcome that must never happen *)
+
+type run = {
+  seed : int;
+  plan : Ppj_fault.Plan.t;
+  outcome : outcome;
+  crashes : int;  (** coprocessor crashes the server answered with retryable errors *)
+  injected : int;  (** plan events that actually fired *)
+}
+
+val safe : run -> bool
+(** Everything except [Wrong]. *)
+
+val outcome_to_string : outcome -> string
+
+val run_one : ?registry:Ppj_obs.Registry.t -> seed:int -> unit -> run
+(** One seeded trial.  Deterministic: the same [seed] reproduces the
+    same plan, the same fault firings, and the same outcome.  Counters
+    [chaos.runs], [chaos.correct], [chaos.tamper], [chaos.refused],
+    [chaos.wrong] and [chaos.faults.injected] accumulate in
+    [registry]. *)
+
+val soak : ?registry:Ppj_obs.Registry.t -> ?seed0:int -> runs:int -> unit -> run list
+(** [runs] trials on consecutive seeds starting at [seed0] (default 1). *)

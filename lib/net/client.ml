@@ -140,15 +140,25 @@ let rpc t ~name ~idempotent msg =
             end
             else
               conclude (Error (Printf.sprintf "%s: no reply after %d attempt(s)" name (tries + 1)))
-        | Ok frame ->
-            conclude
-              (match Wire.of_frame frame with
-              | Error e -> Error (Printf.sprintf "%s: %s" name e)
-              | Ok (Wire.Error { code; message }) ->
-                  Error
-                    (Printf.sprintf "%s: server error [%s]: %s" name
-                       (Wire.error_code_to_string code) message)
-              | Ok reply -> Ok reply)
+        | Ok frame -> (
+            match Wire.of_frame frame with
+            | Error e -> conclude (Error (Printf.sprintf "%s: %s" name e))
+            | Ok (Wire.Error { code = Wire.Unavailable; message = _ })
+              when idempotent && tries < t.config.max_retries ->
+                (* Transient server-side failure (e.g. the coprocessor
+                   crashed and will resume from its checkpoint): retry
+                   under the same seq and backoff schedule as a lost
+                   reply. *)
+                count t "net.client.unavailable";
+                count t "net.client.retries";
+                t.config.sleep backoff;
+                attempt (tries + 1) (backoff *. t.config.backoff_factor)
+            | Ok (Wire.Error { code; message }) ->
+                conclude
+                  (Error
+                     (Printf.sprintf "%s: server error [%s]: %s" name
+                        (Wire.error_code_to_string code) message))
+            | Ok reply -> conclude (Ok reply))
       in
       attempt 0 t.config.backoff_base)
 

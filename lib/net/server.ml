@@ -44,6 +44,11 @@ type session = {
   mutable bound : contract_state option;
   mutable upload : upload option;
   mutable result : outcome option;
+  mutable crashed : (string * Instance.t) option;
+      (* (config digest, instance) of a join whose coprocessor died
+         mid-run: the client was told Unavailable, and a retry of the
+         same config resumes this instance from its sealed checkpoint
+         instead of starting over *)
 }
 
 type t = {
@@ -53,16 +58,21 @@ type t = {
   guard : Channel.Handshake.responder;
   contracts : (string, contract_state) Hashtbl.t;  (* digest -> *)
   max_contracts : int;
+  faults : Ppj_fault.Injector.t option;
+  checkpoint_every : int option;
   mutable sessions_closed : int;
 }
 
-let create ?registry ?(seed = 7) ?(replay_capacity = 4096) ?(max_contracts = 1024) ~mac_key () =
+let create ?registry ?(seed = 7) ?(replay_capacity = 4096) ?(max_contracts = 1024) ?faults
+    ?checkpoint_every ~mac_key () =
   { mac_key;
     registry = (match registry with Some r -> r | None -> Registry.create ());
     rng = Rng.create seed;
     guard = Channel.Handshake.responder ~capacity:replay_capacity ();
     contracts = Hashtbl.create 8;
     max_contracts;
+    faults;
+    checkpoint_every;
     sessions_closed = 0;
   }
 
@@ -80,6 +90,7 @@ let open_session t =
     bound = None;
     upload = None;
     result = None;
+    crashed = None;
   }
 
 let close_session t (_ : session) =
@@ -158,7 +169,8 @@ let on_contract t session sealed =
                     | Some prev when not (String.equal prev.digest digest) ->
                         (* Rebinding resets any per-contract session state. *)
                         session.result <- None;
-                        session.upload <- None
+                        session.upload <- None;
+                        session.crashed <- None
                     | _ -> ());
                     session.bound <- Some cs;
                     [ Wire.Contract_ok ]
@@ -262,7 +274,17 @@ let on_execute t session sealed_config =
                           match
                             Registry.span t.registry "net.server.join.seconds" (fun () ->
                                 let inst, report =
-                                  Service.execute_join config ~predicate rels
+                                  match session.crashed with
+                                  | Some (digest, inst) when String.equal digest config_digest
+                                    ->
+                                      (* Same config retried after a crash:
+                                         pick the join up from the last
+                                         sealed checkpoint. *)
+                                      Service.resume_join config inst
+                                  | _ ->
+                                      Service.execute_join ?faults:t.faults
+                                        ?checkpoint_every:t.checkpoint_every config ~predicate
+                                        rels
                                 in
                                 let sealed_body =
                                   Service.seal_to inst ~recipient:party ~contract:cs.contract
@@ -278,9 +300,21 @@ let on_execute t session sealed_config =
                                 })
                           with
                           | result ->
+                              session.crashed <- None;
                               session.result <- Some result;
                               counter t "net.server.joins.executed";
                               [ Wire.Execute_ok { transfers = result.transfers } ]
+                          | exception Service.Join_crashed { inst; transfer } ->
+                              session.crashed <- Some (config_digest, inst);
+                              counter t "net.server.joins.crashed";
+                              err Wire.Unavailable
+                                "coprocessor crashed at transfer %d; retry to resume" transfer
+                          | exception Ppj_scpu.Coprocessor.Tamper_detected msg ->
+                              (* Abort, never answer wrong: the paper's T
+                                 terminates on detected tampering. *)
+                              session.crashed <- None;
+                              counter t "net.server.joins.tampered";
+                              err Wire.Internal "tamper detected: %s" msg
                           | exception e ->
                               err Wire.Internal "join failed: %s" (Printexc.to_string e))))))
 
@@ -374,6 +408,13 @@ let flush_conn conn =
   | exception Unix.Unix_error _ -> `Broken
 
 let serve_unix t ~path ?(poll_interval = 0.05) ?max_sessions ?(stop = fun () -> false) () =
+  (* A client that vanishes mid-reply turns our next write into SIGPIPE,
+     which kills the whole process by default; ignore it so the write
+     surfaces as EPIPE and tears down that one connection instead.  The
+     previous disposition is restored on exit. *)
+  let sigpipe_prev =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> None
+  in
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 8 in
@@ -402,7 +443,10 @@ let serve_unix t ~path ?(poll_interval = 0.05) ?max_sessions ?(stop = fun () -> 
     ~finally:(fun () ->
       Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) conns;
       (try Unix.close lfd with Unix.Unix_error _ -> ());
-      try Unix.unlink path with Unix.Unix_error _ -> ())
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      match sigpipe_prev with
+      | Some prev -> ( try Sys.set_signal Sys.sigpipe prev with Invalid_argument _ -> ())
+      | None -> ())
     (fun () ->
       Unix.bind lfd (Unix.ADDR_UNIX path);
       Unix.listen lfd 16;

@@ -21,6 +21,8 @@ val create :
   ?seed:int ->
   ?replay_capacity:int ->
   ?max_contracts:int ->
+  ?faults:Ppj_fault.Injector.t ->
+  ?checkpoint_every:int ->
   mac_key:string ->
   unit ->
   t
@@ -31,7 +33,15 @@ val create :
     last [replay_capacity] (default 4096) hellos, and at most
     [max_contracts] (default 1024) distinct contracts may be registered —
     binding a fresh contract beyond that is answered with a typed
-    [Contract_rejected] error rather than growing without limit. *)
+    [Contract_rejected] error rather than growing without limit.
+
+    [faults] arms coprocessor fault injection for every join this server
+    runs and [checkpoint_every] sealed recovery checkpoints.  An injected
+    coprocessor crash answers the [Execute] with a typed [Unavailable]
+    error and stashes the crashed instance on the session; the client's
+    retry of the same config resumes it from the last sealed checkpoint
+    rather than starting over.  Detected tampering is terminal: a typed
+    [Internal] "tamper detected" error, never a wrong answer. *)
 
 val registry : t -> Ppj_obs.Registry.t
 

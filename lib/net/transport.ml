@@ -1,3 +1,6 @@
+module Plan = Ppj_fault.Plan
+module Injector = Ppj_fault.Injector
+
 exception Closed
 
 type t = {
@@ -7,14 +10,64 @@ type t = {
   peer : string;
 }
 
-let loopback ?tap ?(fault = fun _ _ -> false) server =
+let plan_dir = function
+  | Wiretap.To_server -> Plan.To_server
+  | Wiretap.To_client -> Plan.To_client
+
+let corrupt_payload frame =
+  let p = frame.Frame.payload in
+  if String.length p = 0 then None  (* nothing to flip: degrade to a drop *)
+  else begin
+    let b = Bytes.of_string p in
+    let i = Bytes.length b / 2 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+    Some { frame with Frame.payload = Bytes.to_string b }
+  end
+
+(* A stateful per-connection gate deciding each frame's fate.  Delay is a
+   one-slot hold per direction: the delayed frame travels right behind
+   the next frame that passes, reordering without loss.  The tap (the
+   adversary's view) records the frame as sent, before the network loses
+   or mangles it. *)
+let gate faults =
+  let held = [| None; None |] in
+  fun dir frame ->
+    match faults with
+    | None -> [ frame ]
+    | Some inj ->
+        let idx = match dir with Wiretap.To_server -> 0 | Wiretap.To_client -> 1 in
+        let release delivered =
+          match held.(idx) with
+          | Some f when delivered <> [] ->
+              held.(idx) <- None;
+              delivered @ [ f ]
+          | _ -> delivered
+        in
+        (match
+           Injector.on_frame inj ~dir:(plan_dir dir) ~tag:(Wire.tag_name frame.Frame.tag)
+         with
+        | None -> release [ frame ]
+        | Some Injector.Drop -> []
+        | Some Injector.Duplicate -> release [ frame; frame ]
+        | Some Injector.Delay ->
+            held.(idx) <- Some frame;
+            []
+        | Some Injector.Corrupt ->
+            release (match corrupt_payload frame with Some f -> [ f ] | None -> []))
+
+let wants_recv_timeout = function
+  | None -> false
+  | Some inj -> Injector.on_recv inj
+
+let loopback ?tap ?faults server =
   let session = Server.open_session server in
   let inbox : string Queue.t = Queue.create () in
   let decoder = Frame.Decoder.create () in
   let closed = ref false in
-  let observe dir frame =
+  let gate = gate faults in
+  let pass dir frame =
     (match tap with Some w -> Wiretap.record w dir frame | None -> ());
-    not (fault dir frame)
+    gate dir frame
   in
   let send bytes =
     if !closed then raise Closed;
@@ -24,17 +77,24 @@ let loopback ?tap ?(fault = fun _ _ -> false) server =
       | Ok None -> ()
       | Error e -> failwith ("loopback: client sent garbage: " ^ e)
       | Ok (Some frame) ->
-          if observe Wiretap.To_server frame then
-            List.iter
-              (fun reply ->
-                if observe Wiretap.To_client reply then
-                  Queue.push (Frame.encode reply) inbox)
-              (Server.handle_frame server session frame);
+          List.iter
+            (fun delivered ->
+              List.iter
+                (fun reply ->
+                  List.iter
+                    (fun out -> Queue.push (Frame.encode out) inbox)
+                    (pass Wiretap.To_client reply))
+                (Server.handle_frame server session delivered))
+            (pass Wiretap.To_server frame);
           pump ()
     in
     pump ()
   in
-  let recv ~timeout:_ = if Queue.is_empty inbox then None else Some (Queue.pop inbox) in
+  let recv ~timeout:_ =
+    if wants_recv_timeout faults then None
+    else if Queue.is_empty inbox then None
+    else Some (Queue.pop inbox)
+  in
   let close () =
     if not !closed then begin
       closed := true;
@@ -42,6 +102,43 @@ let loopback ?tap ?(fault = fun _ _ -> false) server =
     end
   in
   { send; recv; close; peer = "loopback" }
+
+(* Wrap a byte transport in the same fault gate the loopback uses: both
+   directions are reassembled into frames, gated, and re-encoded, so one
+   plan grammar covers in-process and socket deployments alike. *)
+let faulty ~faults inner =
+  let out_dec = Frame.Decoder.create () in
+  let in_dec = Frame.Decoder.create () in
+  let gate = gate (Some faults) in
+  let pump decoder dir k =
+    let rec go () =
+      match Frame.Decoder.next decoder with
+      | Ok None -> ()
+      | Error e -> failwith ("faulty transport: undecodable stream: " ^ e)
+      | Ok (Some frame) ->
+          List.iter k (gate dir frame);
+          go ()
+    in
+    go ()
+  in
+  let send bytes =
+    Frame.Decoder.feed out_dec bytes;
+    pump out_dec Wiretap.To_server (fun f -> inner.send (Frame.encode f))
+  in
+  let recv ~timeout =
+    if wants_recv_timeout (Some faults) then None
+    else
+      match inner.recv ~timeout with
+      | None -> None
+      | Some bytes ->
+          let buf = Buffer.create (String.length bytes) in
+          Frame.Decoder.feed in_dec bytes;
+          pump in_dec Wiretap.To_client (fun f -> Buffer.add_string buf (Frame.encode f));
+          (* Possibly empty when every buffered frame was dropped: the
+             caller's deadline loop treats it as silence. *)
+          Some (Buffer.contents buf)
+  in
+  { send; recv; close = inner.close; peer = inner.peer ^ "+faults" }
 
 let connect_unix ~path () =
   match

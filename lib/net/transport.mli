@@ -6,12 +6,13 @@
     - {!loopback} — deterministic in-memory pair wired straight into a
       {!Server} engine.  Sends are handled synchronously, receives pop a
       queue, nothing sleeps: tests of retry and timeout logic run in
-      microseconds and are exactly reproducible.  Supports fault
-      injection (dropping frames in either direction) and a {!Wiretap}
-      observing every frame.
+      microseconds and are exactly reproducible.  Takes a
+      {!Ppj_fault.Injector} for frame faults and a {!Wiretap} observing
+      every frame.
     - {!connect_unix} — a Unix-domain-socket connection to a process
       running {!Server.serve_unix}, with [select]-based receive
-      timeouts. *)
+      timeouts.  Wrap it in {!faulty} to drive the same fault plans over
+      a real socket. *)
 
 exception Closed
 (** Raised by [recv]/[send] when the peer has gone away. *)
@@ -27,12 +28,19 @@ type t = {
 
 val loopback :
   ?tap:Wiretap.t ->
-  ?fault:(Wiretap.dir -> Frame.t -> bool) ->
+  ?faults:Ppj_fault.Injector.t ->
   Server.t ->
   t
-(** One client connection to an in-process server engine.  [fault]
-    returning true drops that frame ({e after} the tap records it — loss
-    happens on the wire, where the adversary already looked).  Call it
-    several times on one server to simulate several parties. *)
+(** One client connection to an in-process server engine.  [faults]
+    applies the plan's frame events — drop, duplicate, one-slot delay,
+    payload corruption — per direction ({e after} the tap records the
+    frame: loss happens on the wire, where the adversary already
+    looked), and its [timeout\@recv] events make [recv] report silence.
+    Call it several times on one server to simulate several parties. *)
+
+val faulty : faults:Ppj_fault.Injector.t -> t -> t
+(** Interpose the same fault gate on any byte transport: both directions
+    are reassembled into frames, gated by the plan, and re-encoded —
+    socket deployments and loopback tests share one fault grammar. *)
 
 val connect_unix : path:string -> unit -> (t, string) result

@@ -221,6 +221,7 @@ type error_code =
   | Missing_submission
   | Malformed
   | Internal
+  | Unavailable
 
 let error_code_to_string = function
   | Unsupported_version -> "unsupported-version"
@@ -230,6 +231,7 @@ let error_code_to_string = function
   | Missing_submission -> "missing-submission"
   | Malformed -> "malformed"
   | Internal -> "internal"
+  | Unavailable -> "unavailable"
 
 let error_code_to_int = function
   | Unsupported_version -> 1
@@ -239,6 +241,7 @@ let error_code_to_int = function
   | Missing_submission -> 5
   | Malformed -> 6
   | Internal -> 7
+  | Unavailable -> 8
 
 let error_code_of_int = function
   | 1 -> Unsupported_version
@@ -247,6 +250,7 @@ let error_code_of_int = function
   | 4 -> Contract_rejected
   | 5 -> Missing_submission
   | 6 -> Malformed
+  | 8 -> Unavailable
   | _ -> Internal
 
 type msg =

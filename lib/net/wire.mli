@@ -29,6 +29,10 @@ type error_code =
   | Missing_submission  (** execute before every provider uploaded *)
   | Malformed  (** undecodable payload *)
   | Internal
+  | Unavailable
+      (** transient server-side failure (e.g. the coprocessor crashed
+          mid-join); an idempotent request may be retried and can
+          succeed — the join resumes from its last sealed checkpoint *)
 
 val error_code_to_string : error_code -> string
 

@@ -1,9 +1,25 @@
 module Rng = Ppj_crypto.Rng
 module Ocb = Ppj_crypto.Ocb
 module Prf = Ppj_crypto.Prf
+module Injector = Ppj_fault.Injector
 
 exception Tamper_detected of string
 exception Memory_exceeded of string
+exception Crashed of { transfer : int }
+
+(* Parsed contents of a sealed checkpoint: everything [T] needs to prove a
+   replayed prefix re-derived exactly the state it sealed. *)
+type saved = {
+  s_version : int;
+  s_ops : int;
+  s_nonce_ctr : int;
+  s_cycles : int;
+  s_mem_in_use : int;
+  s_mem_peak : int;
+  s_epochs : (string * int * int) list;  (* region name, index, epoch — sorted *)
+}
+
+type mode = Normal | Ghost of { until : int; target : saved }
 
 type t = {
   host : Host.t;
@@ -16,9 +32,32 @@ type t = {
   mutable mem_peak : int;
   rng : Rng.t;
   mutable cycles : int;
+  (* --- robustness layer --- *)
+  faults : Injector.t option;
+  checkpoint_every : int option;
+  nvram : int ref;
+      (* monotonic checkpoint version in [T]'s battery-backed NVRAM (the
+         4758 keeps such a counter across power loss): a host replaying
+         an older sealed checkpoint is caught by version mismatch *)
+  epochs : (Trace.region * int, int) Hashtbl.t;
+      (* per-slot write epoch, [T]-private.  A stale-but-authentic
+         ciphertext replayed into a slot carries an older epoch in its
+         sealed header and is rejected.  Stands in for the Merkle tree a
+         real deployment would use; not charged to the M-tuple ledger,
+         like the paper's own bookkeeping state. *)
+  replay_stash : (Trace.region * int, string) Hashtbl.t;
+      (* host-side memory of overwritten ciphertexts, kept only while the
+         fault plan still owes a replay event *)
+  mutable ops : int;  (* logical transfer clock, including ghost replay *)
+  mutable last_checkpoint : int;
+  mutable mode : mode;
+  mutable checkpoints_taken : int;
+  mutable last_checkpoint_bytes : int;
+  mutable ghost_ops : int;
+  mutable resumed : bool;
 }
 
-let create ~host ~m ~seed =
+let make_t ?faults ?checkpoint_every ?nvram ~host ~m ~seed () =
   let rng = Rng.create seed in
   let key_rng = Rng.split rng "storage-key" in
   { host;
@@ -31,7 +70,22 @@ let create ~host ~m ~seed =
     mem_peak = 0;
     rng = Rng.split rng "internal";
     cycles = 0;
+    faults;
+    checkpoint_every;
+    nvram = (match nvram with Some r -> r | None -> ref 0);
+    epochs = Hashtbl.create 64;
+    replay_stash = Hashtbl.create 16;
+    ops = 0;
+    last_checkpoint = -1;
+    mode = Normal;
+    checkpoints_taken = 0;
+    last_checkpoint_bytes = 0;
+    ghost_ops = 0;
+    resumed = false;
   }
+
+let create ?faults ?checkpoint_every ?nvram ~host ~m ~seed () =
+  make_t ?faults ?checkpoint_every ?nvram ~host ~m ~seed ()
 
 let host t = t.host
 let trace t = t.trace
@@ -53,20 +107,257 @@ let open_sealed t ciphertext ~context =
   | Some plaintext -> plaintext
   | None -> raise (Tamper_detected context)
 
+(* --- slot headers ----------------------------------------------------
+   Every stored tuple is sealed together with (region, index, epoch), so
+   an authentic ciphertext cannot be moved to another slot or served
+   after it was overwritten: OCB authenticates the binding, the epoch
+   table supplies freshness. *)
+
+let slot_header region index epoch =
+  let name = Trace.region_name region in
+  let b = Buffer.create (String.length name + 9) in
+  Buffer.add_uint8 b (String.length name);
+  Buffer.add_string b name;
+  Buffer.add_int32_be b (Int32.of_int index);
+  Buffer.add_int32_be b (Int32.of_int epoch);
+  Buffer.contents b
+
+let split_header plaintext ~context =
+  let bad () = raise (Tamper_detected (context ^ ": malformed slot header")) in
+  let len = String.length plaintext in
+  if len < 1 then bad ();
+  let n = Char.code plaintext.[0] in
+  if len < 1 + n + 8 then bad ();
+  let name = String.sub plaintext 1 n in
+  let index = Int32.to_int (String.get_int32_be plaintext (1 + n)) in
+  let epoch = Int32.to_int (String.get_int32_be plaintext (1 + n + 4)) in
+  let body = String.sub plaintext (1 + n + 8) (len - 1 - n - 8) in
+  (name, index, epoch, body)
+
+let seal_slot t region index plaintext =
+  let key = (region, index) in
+  let epoch = (match Hashtbl.find_opt t.epochs key with Some e -> e | None -> 0) + 1 in
+  Hashtbl.replace t.epochs key epoch;
+  seal t (slot_header region index epoch ^ plaintext)
+
+let open_slot t region index ciphertext ~context =
+  let name, idx, epoch, body = split_header (open_sealed t ciphertext ~context) ~context in
+  let fresh =
+    String.equal name (Trace.region_name region)
+    && idx = index
+    && Hashtbl.find_opt t.epochs (region, index) = Some epoch
+  in
+  if not fresh then raise (Tamper_detected (context ^ ": stale or relocated ciphertext"));
+  body
+
+(* --- checkpoints -----------------------------------------------------
+   Placement is a function of the transfer clock alone (every [c] ops),
+   so the extra [Write Checkpoint[0]] trace entries depend only on input
+   shape — Definitions 1 and 3 survive the extension of the trace.  The
+   sealed blob is encrypted with a nonce from a counter range disjoint
+   from data nonces ([ckpt_nonce_base], mirroring the responder-range
+   trick in {!Channel}), so replaying the prefix after a crash re-derives
+   data nonces without colliding with checkpoint nonces. *)
+
+let ckpt_nonce_base = 1 lsl 60
+
+let encode_saved s =
+  let b = Buffer.create 256 in
+  Buffer.add_int32_be b (Int32.of_int s.s_version);
+  Buffer.add_int64_be b (Int64.of_int s.s_ops);
+  Buffer.add_int64_be b (Int64.of_int s.s_nonce_ctr);
+  Buffer.add_int64_be b (Int64.of_int s.s_cycles);
+  Buffer.add_int32_be b (Int32.of_int s.s_mem_in_use);
+  Buffer.add_int32_be b (Int32.of_int s.s_mem_peak);
+  Buffer.add_int32_be b (Int32.of_int (List.length s.s_epochs));
+  List.iter
+    (fun (name, index, epoch) ->
+      Buffer.add_uint8 b (String.length name);
+      Buffer.add_string b name;
+      Buffer.add_int32_be b (Int32.of_int index);
+      Buffer.add_int32_be b (Int32.of_int epoch))
+    s.s_epochs;
+  Buffer.contents b
+
+let decode_saved s ~context =
+  let bad () = raise (Tamper_detected (context ^ ": malformed checkpoint")) in
+  let pos = ref 0 in
+  let need n = if !pos + n > String.length s then bad () in
+  let u32 () =
+    need 4;
+    let v = Int32.to_int (String.get_int32_be s !pos) in
+    pos := !pos + 4;
+    v
+  in
+  let u64 () =
+    need 8;
+    let v = Int64.to_int (String.get_int64_be s !pos) in
+    pos := !pos + 8;
+    v
+  in
+  let s_version = u32 () in
+  let s_ops = u64 () in
+  let s_nonce_ctr = u64 () in
+  let s_cycles = u64 () in
+  let s_mem_in_use = u32 () in
+  let s_mem_peak = u32 () in
+  let n = u32 () in
+  let s_epochs =
+    List.init n (fun _ ->
+        need 1;
+        let len = Char.code s.[!pos] in
+        incr pos;
+        need len;
+        let name = String.sub s !pos len in
+        pos := !pos + len;
+        let index = u32 () in
+        let epoch = u32 () in
+        (name, index, epoch))
+  in
+  if !pos <> String.length s then bad ();
+  { s_version; s_ops; s_nonce_ctr; s_cycles; s_mem_in_use; s_mem_peak; s_epochs }
+
+let sorted_epochs t =
+  Hashtbl.fold (fun (region, index) epoch acc -> (Trace.region_name region, index, epoch) :: acc)
+    t.epochs []
+  |> List.sort compare
+
+let saved_of_state t ~version =
+  { s_version = version;
+    s_ops = t.ops;
+    s_nonce_ctr = t.nonce_ctr;
+    s_cycles = t.cycles;
+    s_mem_in_use = t.mem_in_use;
+    s_mem_peak = t.mem_peak;
+    s_epochs = sorted_epochs t;
+  }
+
+let take_checkpoint t =
+  incr t.nvram;
+  let version = !(t.nvram) in
+  let blob = encode_saved (saved_of_state t ~version) in
+  let nonce = Prf.nonce_at t.nonce_prf (ckpt_nonce_base + version) in
+  let sealed = nonce ^ Ocb.encrypt t.key ~nonce blob in
+  let (_ : Host.t) = Host.define_region t.host Trace.Checkpoint ~size:1 in
+  Trace.record t.trace Trace.Write Trace.Checkpoint 0;
+  Host.raw_set t.host Trace.Checkpoint 0 sealed;
+  Host.save_checkpoint t.host;
+  t.last_checkpoint <- t.ops;
+  t.checkpoints_taken <- t.checkpoints_taken + 1;
+  t.last_checkpoint_bytes <- String.length sealed
+
+(* Ghost replay reached the checkpointed transfer: prove the re-derived
+   private state matches the sealed one, then swap the host back to its
+   checkpoint image and go live. *)
+let complete_resume t target =
+  let matches =
+    t.nonce_ctr = target.s_nonce_ctr
+    && t.cycles = target.s_cycles
+    && t.mem_in_use = target.s_mem_in_use
+    && sorted_epochs t = target.s_epochs
+  in
+  if not matches then
+    raise (Tamper_detected "resume: replayed prefix diverged from the sealed checkpoint");
+  t.mem_peak <- max t.mem_peak target.s_mem_peak;
+  Host.restore_checkpoint t.host;
+  t.ghost_ops <- target.s_ops;
+  t.mode <- Normal;
+  t.resumed <- true
+
+let in_ghost t = match t.mode with Ghost _ -> true | Normal -> false
+
+(* Runs before every transfer: leave ghost mode at the checkpoint
+   boundary, then (live only) take a due checkpoint and ask the fault
+   plan whether this transfer is attacked. *)
+let begin_op t =
+  (match t.mode with
+  | Ghost { until; target } when t.ops >= until -> complete_resume t target
+  | _ -> ());
+  match t.mode with
+  | Ghost _ -> None
+  | Normal ->
+      (match t.checkpoint_every with
+      | Some c when t.ops mod c = 0 && t.ops > t.last_checkpoint -> take_checkpoint t
+      | _ -> ());
+      (match t.faults with
+      | Some inj -> (
+          match Injector.on_transfer inj ~transfer:t.ops with
+          | Some Injector.Crash -> raise (Crashed { transfer = t.ops })
+          | d -> d)
+      | None -> None)
+
+let stash_overwritten t region index =
+  match t.faults with
+  | Some inj when Injector.wants_replay inj -> (
+      match Host.peek t.host region index with
+      | Some old -> Hashtbl.replace t.replay_stash (region, index) old
+      | None -> ())
+  | _ -> ()
+
+let tamper_byte t region index =
+  (* deterministic byte position: tied to the transfer clock *)
+  Host.tamper t.host region index ~byte:t.ops
+
 let get t region index =
-  Trace.record t.trace Trace.Read region index;
+  let fault = begin_op t in
+  if not (in_ghost t) then Trace.record t.trace Trace.Read region index;
+  (match fault with
+  | Some Injector.Corrupt -> tamper_byte t region index
+  | Some Injector.Replay -> (
+      match Hashtbl.find_opt t.replay_stash (region, index) with
+      | Some stale -> Host.raw_set t.host region index stale
+      | None -> tamper_byte t region index)
+  | Some Injector.Crash | None -> ());
+  t.ops <- t.ops + 1;
   let c = Host.raw_get t.host region index in
-  open_sealed t c ~context:(Format.asprintf "%a" Trace.pp_entry { Trace.op = Read; region; index })
+  open_slot t region index c
+    ~context:(Format.asprintf "%a" Trace.pp_entry { Trace.op = Read; region; index })
 
 let put t region index plaintext =
-  Trace.record t.trace Trace.Write region index;
-  Host.raw_set t.host region index (seal t plaintext)
+  let fault = begin_op t in
+  if not (in_ghost t) then Trace.record t.trace Trace.Write region index;
+  t.ops <- t.ops + 1;
+  stash_overwritten t region index;
+  Host.raw_set t.host region index (seal_slot t region index plaintext);
+  match fault with
+  | Some Injector.Corrupt -> tamper_byte t region index
+  | Some Injector.Replay -> (
+      (* the host "loses" the write and keeps serving the old version *)
+      match Hashtbl.find_opt t.replay_stash (region, index) with
+      | Some stale -> Host.raw_set t.host region index stale
+      | None -> tamper_byte t region index)
+  | Some Injector.Crash | None -> ()
 
 let load_region t region tuples =
   let (_ : Host.t) = Host.define_region t.host region ~size:(Array.length tuples) in
-  Array.iteri (fun i p -> Host.raw_set t.host region i (seal t p)) tuples
+  Array.iteri (fun i p -> Host.raw_set t.host region i (seal_slot t region i p)) tuples
 
 let transfers t = Trace.length t.trace
+
+let ops t = t.ops
+
+(* --- resume ---------------------------------------------------------- *)
+
+let resume ?faults ?checkpoint_every ~nvram ~host ~m ~seed () =
+  if not (Host.has_checkpoint host) then invalid_arg "Coprocessor.resume: no checkpoint held";
+  (* The host first recovers its own image so the sealed blob is the one
+     paired with it, then empties its live state: the replayed prefix
+     rebuilds the pre-crash world from pristine inputs. *)
+  Host.restore_checkpoint host;
+  let t = make_t ?faults ?checkpoint_every ~nvram ~host ~m ~seed () in
+  let sealed = Host.raw_get host Trace.Checkpoint 0 in
+  let blob = open_sealed t sealed ~context:"checkpoint" in
+  let target = decode_saved blob ~context:"checkpoint" in
+  if target.s_version <> !(t.nvram) then
+    raise (Tamper_detected "checkpoint: version rollback detected");
+  Host.reset host;
+  t.mode <- Ghost { until = target.s_ops; target };
+  t.last_checkpoint <- target.s_ops;
+  t
+
+let resuming t = in_ghost t
+
+(* --- ledger, randomness, cycles -------------------------------------- *)
 
 let alloc t n =
   if t.mem_in_use + n > t.m then
@@ -89,7 +380,10 @@ let fresh_seed t = Rng.int t.rng 0x3FFFFFFF
 let tick t n = t.cycles <- t.cycles + n
 let cycles t = t.cycles
 
-let decrypt_for_recipient t ciphertext = open_sealed t ciphertext ~context:"recipient"
+let decrypt_for_recipient t ciphertext =
+  let plain = open_sealed t ciphertext ~context:"recipient" in
+  let _, _, _, body = split_header plain ~context:"recipient" in
+  body
 
 module Registry = Ppj_obs.Registry
 module Obs_counter = Ppj_obs.Counter
@@ -109,4 +403,9 @@ let observe ?(labels = []) t reg =
     (Trace.by_region t.trace);
   Registry.set_gauge ~labels reg "scpu.mem_limit" (float_of_int t.m);
   Registry.set_gauge ~labels reg "scpu.mem_in_use" (float_of_int t.mem_in_use);
-  Registry.set_gauge ~labels reg "scpu.mem_peak" (float_of_int t.mem_peak)
+  Registry.set_gauge ~labels reg "scpu.mem_peak" (float_of_int t.mem_peak);
+  set "recovery.checkpoints" t.checkpoints_taken;
+  set "recovery.resumes" (if t.resumed then 1 else 0);
+  set "recovery.ghost_ops" t.ghost_ops;
+  Registry.set_gauge ~labels reg "recovery.checkpoint.bytes"
+    (float_of_int t.last_checkpoint_bytes)

@@ -4,13 +4,47 @@ module Region_map = Map.Make (struct
   let compare = Stdlib.compare
 end)
 
+type image = {
+  i_regions : string option array Region_map.t;
+  i_disk : string list;
+  i_disk_tuples : int;
+}
+
 type t = {
   mutable regions : string option array Region_map.t;
   mutable disk : string list;  (* reversed *)
   mutable disk_tuples : int;
+  mutable checkpoint_image : image option;
+      (* the host's own memory/disk as of the coprocessor's last sealed
+         checkpoint — host-side recovery state, so it costs no transfers.
+         Every byte of it is ciphertext the coprocessor authenticates on
+         read (and epoch-checks for freshness), so a host serving a
+         doctored image is caught exactly like any other tampering. *)
 }
 
-let create () = { regions = Region_map.empty; disk = []; disk_tuples = 0 }
+let create () =
+  { regions = Region_map.empty; disk = []; disk_tuples = 0; checkpoint_image = None }
+
+let copy_regions regions = Region_map.map Array.copy regions
+
+let save_checkpoint t =
+  t.checkpoint_image <-
+    Some { i_regions = copy_regions t.regions; i_disk = t.disk; i_disk_tuples = t.disk_tuples }
+
+let has_checkpoint t = t.checkpoint_image <> None
+
+let restore_checkpoint t =
+  match t.checkpoint_image with
+  | None -> invalid_arg "Host.restore_checkpoint: no checkpoint image held"
+  | Some img ->
+      t.regions <- copy_regions img.i_regions;
+      t.disk <- img.i_disk;
+      t.disk_tuples <- img.i_disk_tuples
+
+let reset t =
+  t.regions <- Region_map.empty;
+  t.disk <- [];
+  t.disk_tuples <- 0
 
 let define_region t region ~size =
   t.regions <- Region_map.add region (Array.make size None) t.regions;
@@ -32,6 +66,11 @@ let raw_get t region i =
            { Trace.op = Read; region; index = i })
 
 let raw_set t region i c = (slots t region).(i) <- Some c
+
+let peek t region i =
+  match Region_map.find_opt region t.regions with
+  | Some a when i >= 0 && i < Array.length a -> a.(i)
+  | _ -> None
 
 let tamper t region i ~byte =
   let c = Bytes.of_string (raw_get t region i) in

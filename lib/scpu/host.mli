@@ -22,6 +22,11 @@ val raw_get : t -> Trace.region -> int -> string
 
 val raw_set : t -> Trace.region -> int -> string -> unit
 
+val peek : t -> Trace.region -> int -> string option
+(** Ciphertext at a slot if the region exists and the slot is filled;
+    never raises (the fault injector uses it to stash stale
+    ciphertexts). *)
+
 val tamper : t -> Trace.region -> int -> byte:int -> unit
 (** Malicious-host bit flip in a stored ciphertext. *)
 
@@ -35,6 +40,28 @@ val disk : t -> string list
 
 val disk_writes : t -> int
 (** Number of tuples written to disk. *)
+
+(** {2 Crash recovery}
+
+    When the coprocessor checkpoints, the host keeps a copy of its own
+    memory and disk as of that moment ({!save_checkpoint}) — host-side
+    state, no transfers charged.  After a coprocessor crash,
+    {!restore_checkpoint} rewinds the host to that copy so the resumed
+    coprocessor continues against exactly the state its sealed checkpoint
+    describes.  The image is all ciphertext; serving a doctored one is
+    detected by authenticated decryption and the per-slot epoch check. *)
+
+val save_checkpoint : t -> unit
+
+val has_checkpoint : t -> bool
+
+val restore_checkpoint : t -> unit
+(** @raise Invalid_argument if no image is held. *)
+
+val reset : t -> unit
+(** Empty regions and disk (the checkpoint image, if any, is kept).  The
+    resume path uses this to rebuild the pre-crash world from pristine
+    inputs before rolling forward. *)
 
 val observe : ?labels:(string * string) list -> t -> Ppj_obs.Registry.t -> unit
 (** Publish host-side figures into a registry: [host.disk_tuples], the

@@ -10,6 +10,7 @@ type region =
   | Oram_store
   | Oram_shelter
   | Disk
+  | Checkpoint
 
 type entry = { op : op; region : region; index : int }
 
@@ -51,6 +52,25 @@ let region_name = function
   | Oram_store -> "oram_store"
   | Oram_shelter -> "oram_shelter"
   | Disk -> "disk"
+  | Checkpoint -> "checkpoint"
+
+let region_of_name s =
+  match s with
+  | "cartesian" -> Cartesian
+  | "scratch" -> Scratch
+  | "joined" -> Joined
+  | "buffer" -> Buffer
+  | "output" -> Output
+  | "oram_store" -> Oram_store
+  | "oram_shelter" -> Oram_shelter
+  | "disk" -> Disk
+  | "checkpoint" -> Checkpoint
+  | _ ->
+      let prefix = "table:" in
+      let pl = String.length prefix in
+      if String.length s > pl && String.sub s 0 pl = prefix then
+        Table (String.sub s pl (String.length s - pl))
+      else invalid_arg ("Trace.region_of_name: " ^ s)
 
 let by_region t =
   let order = ref [] in
@@ -61,6 +81,15 @@ let by_region t =
     Hashtbl.replace tbl e.region (match e.op with Read -> (r + 1, w) | Write -> (r, w + 1))
   done;
   List.rev_map (fun region -> (region, Hashtbl.find tbl region)) !order
+
+let concat ts =
+  let out = create () in
+  List.iter (fun t -> for i = 0 to t.len - 1 do
+      let e = t.entries.(i) in
+      record out e.op e.region e.index
+    done)
+    ts;
+  out
 
 let equal a b =
   a.len = b.len
@@ -89,6 +118,7 @@ let pp_region ppf = function
   | Oram_store -> Format.fprintf ppf "oram"
   | Oram_shelter -> Format.fprintf ppf "shelter"
   | Disk -> Format.fprintf ppf "disk"
+  | Checkpoint -> Format.fprintf ppf "ckpt"
 
 let pp_entry ppf e =
   Format.fprintf ppf "%c %a[%d]" (match e.op with Read -> 'R' | Write -> 'W') pp_region e.region e.index

@@ -19,6 +19,7 @@ type region =
   | Oram_store  (** permuted main memory of the square-root ORAM *)
   | Oram_shelter  (** the ORAM's per-epoch shelter *)
   | Disk  (** host disk (final results) *)
+  | Checkpoint  (** sealed coprocessor recovery state (one slot) *)
 
 type entry = { op : op; region : region; index : int }
 
@@ -43,8 +44,18 @@ val region_name : region -> string
 (** Stable machine-readable region label for metrics and JSON export
     (e.g. ["table:A"], ["cartesian"], ["oram_shelter"]). *)
 
+val region_of_name : string -> region
+(** Inverse of {!region_name} (used when parsing sealed checkpoints).
+    @raise Invalid_argument on an unknown label. *)
+
 val by_region : t -> (region * (int * int)) list
 (** Per-region (reads, writes), in first-appearance order. *)
+
+val concat : t list -> t
+(** A fresh trace holding the given traces' entries in order.  The
+    privacy checker compares these {e extended traces} for crash-resume
+    runs: what the adversary saw before the crash followed by what it
+    sees after, as one view. *)
 
 val equal : t -> t -> bool
 (** Exact equality of ordered location lists — the check for

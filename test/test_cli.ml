@@ -15,7 +15,7 @@ let test_version () = check_exit "--version exits 0" 0 [ "--version" ]
 let test_help_renders () =
   List.iter
     (fun sub -> check_exit (sub ^ " --help") 0 [ sub; "--help" ])
-    [ "run"; "parallel"; "serve"; "submit"; "fetch"; "gen"; "csv-join" ]
+    [ "run"; "parallel"; "serve"; "submit"; "fetch"; "gen"; "csv-join"; "chaos" ]
 
 let test_run_ok () =
   check_exit "run alg4" 0
@@ -24,6 +24,29 @@ let test_run_ok () =
 let test_run_with_metrics () =
   check_exit "run --metrics" 0
     [ "run"; "--algorithm"; "alg5"; "--na"; "8"; "--nb"; "8"; "--matches"; "6"; "--metrics" ]
+
+let test_run_fault_plan_crash_resumes () =
+  (* An injected crash with checkpointing must still exit 0 (the join
+     resumes and matches the oracle, or the run would exit 1). *)
+  check_exit "run --fault-plan crash" 0
+    [ "run"; "--algorithm"; "alg5"; "--na"; "8"; "--nb"; "8"; "--matches"; "6";
+      "--fault-plan"; "crash@t=80;checkpoint@every=16"; "--metrics" ]
+
+let test_run_fault_plan_corrupt_detected () =
+  (* Injected ciphertext corruption must abort with a nonzero exit, never
+     print a wrong answer. *)
+  Alcotest.(check bool) "tamper aborts nonzero" true
+    (run
+       [ "run"; "--algorithm"; "alg5"; "--na"; "8"; "--nb"; "8"; "--matches"; "6";
+         "--fault-plan"; "corrupt@t=40" ]
+    <> 0)
+
+let test_run_bad_fault_plan_fails () =
+  Alcotest.(check bool) "garbage plan is non-zero" true
+    (run [ "run"; "--fault-plan"; "explode@t=3" ] <> 0)
+
+let test_chaos_ok () =
+  check_exit "chaos --runs 6" 0 [ "chaos"; "--runs"; "6" ]
 
 let test_parallel_ok () =
   check_exit "parallel p=2" 0 [ "parallel"; "-p"; "2"; "--na"; "8"; "--nb"; "8"; "--matches"; "6" ]
@@ -65,6 +88,12 @@ let () =
           Alcotest.test_case "--help across subcommands" `Quick test_help_renders;
           Alcotest.test_case "run succeeds" `Quick test_run_ok;
           Alcotest.test_case "run --metrics succeeds" `Quick test_run_with_metrics;
+          Alcotest.test_case "run --fault-plan crash resumes" `Quick
+            test_run_fault_plan_crash_resumes;
+          Alcotest.test_case "run --fault-plan corrupt aborts" `Quick
+            test_run_fault_plan_corrupt_detected;
+          Alcotest.test_case "bad fault plan fails" `Quick test_run_bad_fault_plan_fails;
+          Alcotest.test_case "chaos succeeds" `Quick test_chaos_ok;
           Alcotest.test_case "parallel succeeds" `Quick test_parallel_ok;
           Alcotest.test_case "privacy succeeds" `Quick test_privacy_ok;
           Alcotest.test_case "bogus algorithm fails" `Quick test_bogus_algorithm_fails;

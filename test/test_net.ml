@@ -51,8 +51,14 @@ let in_process_delivery algorithm =
 
 let no_sleep = { Client.default_config with recv_timeout = 0.05; sleep = ignore }
 
-let client ?config ?registry ?tap ?fault server =
-  Client.create ?config ?registry (Transport.loopback ?tap ?fault server)
+let client ?config ?registry ?tap ?faults server =
+  Client.create ?config ?registry (Transport.loopback ?tap ?faults server)
+
+(* Wire faults come from the one plan grammar the whole stack shares. *)
+let inj ?registry s =
+  match Ppj_fault.Plan.of_string s with
+  | Ok plan -> Ppj_fault.Injector.create ?registry plan
+  | Error e -> Alcotest.fail ("bad fault plan: " ^ e)
 
 let ok = function Ok v -> v | Error e -> Alcotest.fail e
 
@@ -329,31 +335,23 @@ let counter_value reg name = Counter.value (Registry.counter reg name)
 
 let test_retry_recovers_from_drop () =
   let server = Server.create ~mac_key () in
-  let dropped = ref false in
-  let fault dir (f : Frame.t) =
-    if (not !dropped) && dir = Wiretap.To_client && f.Frame.tag = Wire.tag_of Wire.Contract_ok
-    then begin
-      dropped := true;
-      true
-    end
-    else false
-  in
   let sleeps = ref [] in
   let config =
     { Client.default_config with recv_timeout = 0.01; sleep = (fun d -> sleeps := d :: !sleeps) }
   in
   let reg = Registry.create () in
-  let c = client ~config ~registry:reg ~fault server in
+  let faults = inj ~registry:reg "drop@dir=to_client,tag=contract-ok" in
+  let c = client ~config ~registry:reg ~faults server in
   ok (Client.attest c);
   ok (Client.handshake c ~rng:(Rng.create 1) ~id:"carol" ~mac_key);
   ok (Client.bind_contract c contract);
   Alcotest.(check int) "one retry" 1 (counter_value reg "net.client.retries");
   Alcotest.(check int) "one timeout" 1 (counter_value reg "net.client.timeouts");
+  Alcotest.(check int) "one injected drop" 1 (counter_value reg "fault.net.drop");
   Alcotest.(check (list (float 1e-9))) "one backoff sleep" [ 0.05 ] !sleeps
 
 let test_retries_exhaust () =
   let server = Server.create ~mac_key () in
-  let fault dir _ = dir = Wiretap.To_client in
   let sleeps = ref [] in
   let config =
     { Client.default_config with
@@ -363,22 +361,26 @@ let test_retries_exhaust () =
     }
   in
   let reg = Registry.create () in
-  let c = client ~config ~registry:reg ~fault server in
+  let faults = inj ~registry:reg "drop@dir=to_client,count=100" in
+  let c = client ~config ~registry:reg ~faults server in
   (match Client.attest c with
   | Ok () -> Alcotest.fail "attest succeeded with every reply dropped"
   | Error e -> Alcotest.(check bool) "mentions attempts" true (contains ~sub:"4 attempt" e));
   Alcotest.(check int) "retries = max_retries" 3 (counter_value reg "net.client.retries");
   Alcotest.(check int) "a timeout per attempt" 4 (counter_value reg "net.client.timeouts");
+  (* one reply dropped per attempt — the fault metrics account for every
+     timeout the client saw *)
+  Alcotest.(check int) "a drop per attempt" 4 (counter_value reg "fault.net.drop");
+  Alcotest.(check int) "injected total matches" 4
+    (Ppj_fault.Injector.injected faults);
   Alcotest.(check (list (float 1e-9)))
     "exponential backoff" [ 0.2; 0.1; 0.05 ] !sleeps
 
 let test_non_idempotent_not_retried () =
   let server = Server.create ~mac_key () in
-  let fault dir (f : Frame.t) =
-    dir = Wiretap.To_client && f.Frame.tag = Wire.tag_of Wire.Upload_ok
-  in
   let reg = Registry.create () in
-  let c = client ~config:no_sleep ~registry:reg ~fault server in
+  let faults = inj ~registry:reg "drop@dir=to_client,tag=upload-ok" in
+  let c = client ~config:no_sleep ~registry:reg ~faults server in
   let a, _ = workload () in
   ok (Client.attest c);
   ok (Client.handshake c ~rng:(Rng.create 2) ~id:"alice" ~mac_key);
@@ -396,19 +398,7 @@ let test_execute_retry_is_idempotent () =
   let a, b = workload () in
   submit_over server "alice" a;
   submit_over server "bob" b;
-  let dropped = ref false in
-  let fault dir (f : Frame.t) =
-    if
-      (not !dropped)
-      && dir = Wiretap.To_client
-      && f.Frame.tag = Wire.tag_of (Wire.Execute_ok { transfers = 0 })
-    then begin
-      dropped := true;
-      true
-    end
-    else false
-  in
-  let c = client ~config:no_sleep ~fault server in
+  let c = client ~config:no_sleep ~faults:(inj "drop@dir=to_client,tag=execute-ok") server in
   let _, tuples =
     ok
       (Client.fetch_result c ~rng:(Rng.create 99) ~id:"carol" ~mac_key ~contract
@@ -422,35 +412,18 @@ let test_execute_retry_is_idempotent () =
     (counter_value (Server.registry server) "net.server.joins.executed")
 
 let test_slow_reply_duplicate_discarded () =
-  (* The reply is slow, not lost: the first Execute_ok arrives only after
-     the retry has provoked a second one.  The client must consume one
-     and discard the buffered duplicate instead of handing it to the
-     next RPC (which used to fail with "unexpected reply" and desync the
-     whole exchange). *)
+  (* The reply is slow, not lost: the plan's [delay] holds the first
+     Execute_ok until the retry's duplicate passes, so two replies to the
+     same seq sit buffered.  The client must consume one and discard the
+     other instead of handing it to the next RPC (which used to fail
+     with "unexpected reply" and desync the whole exchange). *)
   let server = Server.create ~mac_key ~seed:5 () in
   let a, b = workload () in
   submit_over server "alice" a;
   submit_over server "bob" b;
-  let inner = Transport.loopback server in
-  let execute_ok = Wire.tag_of (Wire.Execute_ok { transfers = 0 }) in
-  let held = ref None and intercepted = ref false in
-  let recv ~timeout =
-    match !held with
-    | Some bytes ->
-        (* deliver the delayed original; the retry's duplicate is still
-           queued behind it *)
-        held := None;
-        Some bytes
-    | None -> (
-        match inner.Transport.recv ~timeout with
-        | Some bytes when (not !intercepted) && Char.code bytes.[4] = execute_ok ->
-            intercepted := true;
-            held := Some bytes;
-            None  (* starve this attempt: the RPC times out and retries *)
-        | r -> r)
-  in
   let reg = Registry.create () in
-  let c = Client.create ~config:no_sleep ~registry:reg { inner with Transport.recv } in
+  let faults = inj ~registry:reg "delay@dir=to_client,tag=execute-ok" in
+  let c = client ~config:no_sleep ~registry:reg ~faults server in
   ok (Client.attest c);
   ok (Client.handshake c ~rng:(Rng.create 99) ~id:"carol" ~mac_key);
   ok (Client.bind_contract c contract);
@@ -461,6 +434,7 @@ let test_slow_reply_duplicate_discarded () =
     (in_process_delivery Service.Alg4)
     (List.map T.encode tuples);
   Alcotest.(check int) "execute retried once" 1 (counter_value reg "net.client.retries");
+  Alcotest.(check int) "one injected delay" 1 (counter_value reg "fault.net.delay");
   Alcotest.(check int) "duplicate reply dropped" 1
     (counter_value reg "net.client.stale.dropped");
   Alcotest.(check int) "join ran once" 1
@@ -489,6 +463,82 @@ let test_execute_config_change_recomputes () =
     "fetch delivers the latest config's result"
     (in_process_delivery Service.Alg5)
     (List.map T.encode tuples)
+
+(* --- coprocessor crash, client retry, checkpoint resume --------------- *)
+
+let test_crash_resume_over_loopback () =
+  (* The coprocessor dies mid-join.  The server answers the Execute with
+     a typed Unavailable and stashes the crashed instance; the client's
+     retry of the same config resumes it from the last sealed checkpoint
+     and the delivery is still byte-identical to the fault-free run. *)
+  let reg = Registry.create () in
+  let faults = inj ~registry:reg "crash@t=150;checkpoint@every=32" in
+  let server = Server.create ~mac_key ~seed:5 ~faults () in
+  let a, b = workload () in
+  submit_over server "alice" a;
+  submit_over server "bob" b;
+  let c = client ~config:no_sleep ~registry:reg server in
+  let _, tuples =
+    ok
+      (Client.fetch_result c ~rng:(Rng.create 99) ~id:"carol" ~mac_key ~contract
+         (service_config Service.Alg5))
+  in
+  Alcotest.(check (list string))
+    "delivery survives a coprocessor crash"
+    (in_process_delivery Service.Alg5)
+    (List.map T.encode tuples);
+  Alcotest.(check int) "the crash was injected" 1 (counter_value reg "fault.scpu.crash");
+  Alcotest.(check int) "client saw one unavailable" 1
+    (counter_value reg "net.client.unavailable");
+  let sreg = Server.registry server in
+  Alcotest.(check int) "server recorded the crash" 1
+    (counter_value sreg "net.server.joins.crashed");
+  Alcotest.(check int) "join concluded exactly once" 1
+    (counter_value sreg "net.server.joins.executed")
+
+(* --- chaos soak ------------------------------------------------------- *)
+
+let test_chaos_soak_never_wrong () =
+  (* Random-but-seeded plans against the full client/server stack: every
+     run must end in the oracle's answer or a typed refusal — never a
+     wrong answer (and, structurally, never a hang: nothing in the
+     loopback stack sleeps). *)
+  let reg = Registry.create () in
+  let runs = Chaos.soak ~registry:reg ~seed0:1 ~runs:40 () in
+  List.iter
+    (fun r ->
+      if not (Chaos.safe r) then
+        Alcotest.fail
+          (Printf.sprintf "seed %d plan %S: %s" r.Chaos.seed
+             (Ppj_fault.Plan.to_string r.Chaos.plan)
+             (Chaos.outcome_to_string r.Chaos.outcome)))
+    runs;
+  Alcotest.(check int) "all runs counted" 40 (counter_value reg "chaos.runs");
+  Alcotest.(check bool) "some runs complete correctly" true
+    (List.exists (fun r -> r.Chaos.outcome = Chaos.Correct) runs);
+  Alcotest.(check bool) "some faults actually fired" true
+    (List.exists (fun r -> r.Chaos.injected > 0) runs)
+
+let test_chaos_runs_are_reproducible () =
+  (* The same seed must reproduce the same plan, the same firings and
+     the same outcome — a chaos finding is a bug report, not an
+     anecdote. *)
+  let once = Chaos.soak ~seed0:1 ~runs:10 () in
+  let again = Chaos.soak ~seed0:1 ~runs:10 () in
+  List.iter2
+    (fun r r' ->
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d plan reproduces" r.Chaos.seed)
+        (Ppj_fault.Plan.to_string r.Chaos.plan)
+        (Ppj_fault.Plan.to_string r'.Chaos.plan);
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d outcome reproduces" r.Chaos.seed)
+        (Chaos.outcome_to_string r.Chaos.outcome)
+        (Chaos.outcome_to_string r'.Chaos.outcome);
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d firings reproduce" r.Chaos.seed)
+        r.Chaos.injected r'.Chaos.injected)
+    once again
 
 (* --- protocol error paths -------------------------------------------- *)
 
@@ -647,6 +697,71 @@ let test_unix_socket_two_process () =
             (in_process_delivery Service.Alg5)
             (List.map T.encode tuples))
 
+let test_unix_socket_survives_dead_client () =
+  (* A client that bursts requests and vanishes without reading a single
+     reply: the server's queued replies land on a closed socket, so the
+     writes raise EPIPE — which, with SIGPIPE at its default disposition,
+     would kill the whole server process.  serve_unix must ignore SIGPIPE,
+     tear down just that connection, and keep serving: a full join must
+     still complete afterwards. *)
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ppj-net-sigpipe-%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  match Unix.fork () with
+  | 0 ->
+      (try
+         let server = Server.create ~mac_key ~seed:5 () in
+         Server.serve_unix server ~path ~max_sessions:4 ()
+       with _ -> ());
+      Unix._exit 0
+  | pid ->
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        (fun () ->
+          let connect () =
+            let rec go n =
+              match Transport.connect_unix ~path () with
+              | Ok t -> t
+              | Error e -> if n = 0 then Alcotest.fail e else (Unix.sleepf 0.05; go (n - 1))
+            in
+            go 100
+          in
+          (* the rude client: 64 requests, zero reads, immediate close *)
+          let rude = connect () in
+          let req =
+            Frame.encode (Wire.to_frame ~seq:1 (Wire.Attest_request { version = Wire.version }))
+          in
+          for _ = 1 to 64 do
+            rude.Transport.send req
+          done;
+          rude.Transport.close ();
+          (* the server must still be alive and complete a join *)
+          let a, b = workload () in
+          let submit id rel =
+            let c = Client.create (connect ()) in
+            ok
+              (Client.submit_relation c ~rng:(Rng.create (Hashtbl.hash id)) ~id ~mac_key ~contract
+                 ~schema rel);
+            Client.close c
+          in
+          submit "alice" a;
+          submit "bob" b;
+          let c = Client.create (connect ()) in
+          let _, tuples =
+            ok
+              (Client.fetch_result c ~rng:(Rng.create 99) ~id:"carol" ~mac_key ~contract
+                 (service_config Service.Alg4))
+          in
+          Client.close c;
+          Alcotest.(check (list string))
+            "join completes after a client died mid-reply"
+            (in_process_delivery Service.Alg4)
+            (List.map T.encode tuples))
+
 let () =
   Alcotest.run "net"
     [ ( "frame",
@@ -683,6 +798,15 @@ let () =
           Alcotest.test_case "changed execute config recomputes" `Quick
             test_execute_config_change_recomputes;
         ] );
+      ( "recovery",
+        [ Alcotest.test_case "crash resumes from checkpoint" `Quick
+            test_crash_resume_over_loopback ] );
+      ( "chaos",
+        [ Alcotest.test_case "soak is never wrong, never hung" `Quick
+            test_chaos_soak_never_wrong;
+          Alcotest.test_case "runs are seed-reproducible" `Quick
+            test_chaos_runs_are_reproducible;
+        ] );
       ( "errors",
         [ Alcotest.test_case "version mismatch" `Quick test_version_mismatch;
           Alcotest.test_case "hello before attest" `Quick test_hello_before_attest;
@@ -695,5 +819,8 @@ let () =
         ] );
       ( "unix",
         [ Alcotest.test_case "two-process join over a socket" `Quick
-            test_unix_socket_two_process ] );
+            test_unix_socket_two_process;
+          Alcotest.test_case "server survives a client dying mid-reply" `Quick
+            test_unix_socket_survives_dead_client;
+        ] );
     ]

@@ -125,7 +125,7 @@ let test_oddeven_known_counts () =
 
 let setup_region values ~pad =
   let host = Host.create () in
-  let co = Co.create ~host ~m:8 ~seed:3 in
+  let co = Co.create ~host ~m:8 ~seed:3 () in
   let n = Array.length values in
   let size = if pad then Bitonic.next_pow2 n else n in
   let (_ : Host.t) = Host.define_region host Trace.Scratch ~size in
@@ -189,7 +189,7 @@ let test_is_sentinel () =
 let filter_case ~src_len ~reals ~delta () =
   let width = 9 in
   let host = Host.create () in
-  let co = Co.create ~host ~m:8 ~seed:7 in
+  let co = Co.create ~host ~m:8 ~seed:7 () in
   let (_ : Host.t) = Host.define_region host Trace.Output ~size:src_len in
   (* Scatter [reals] real oTuples among decoys. *)
   let st = Random.State.make [| src_len; reals |] in
@@ -268,7 +268,7 @@ let test_filter_optimal_delta () =
 let test_filter_trace_data_independent () =
   let run seed =
     let host = Host.create () in
-    let co = Co.create ~host ~m:8 ~seed:11 in
+    let co = Co.create ~host ~m:8 ~seed:11 () in
     let (_ : Host.t) = Host.define_region host Trace.Output ~size:20 in
     let st = Random.State.make [| seed |] in
     let reals = 4 in
@@ -298,7 +298,7 @@ module Oram = Ppj_oblivious.Oram
 
 let oram_setup ?(n = 20) () =
   let host = Host.create () in
-  let co = Co.create ~host ~m:8 ~seed:3 in
+  let co = Co.create ~host ~m:8 ~seed:3 () in
   let values = Array.init n (fun i -> Printf.sprintf "value-%04d" i) in
   (co, values, Oram.create co ~values)
 
@@ -380,7 +380,7 @@ let test_oram_bad_index () =
 let test_shuffle_permutes () =
   let values = Array.init 20 (fun i -> Printf.sprintf "v%03d" i) in
   let host = Host.create () in
-  let co = Co.create ~host ~m:8 ~seed:13 in
+  let co = Co.create ~host ~m:8 ~seed:13 () in
   let (_ : Host.t) =
     Host.define_region host Trace.Scratch ~size:(Bitonic.next_pow2 20)
   in
@@ -394,7 +394,7 @@ let test_shuffle_permutes () =
 let test_shuffle_changes_order () =
   let values = Array.init 64 (fun i -> Printf.sprintf "v%03d" i) in
   let host = Host.create () in
-  let co = Co.create ~host ~m:8 ~seed:17 in
+  let co = Co.create ~host ~m:8 ~seed:17 () in
   let (_ : Host.t) = Host.define_region host Trace.Scratch ~size:64 in
   Array.iteri (fun i v -> Co.put co Trace.Scratch i v) values;
   Shuffle.shuffle co Trace.Scratch ~n:64 ~width:4;

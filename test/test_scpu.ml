@@ -15,7 +15,7 @@ let qtest name ?(count = 100) arb prop =
 
 let fresh ?(m = 8) ?(seed = 1) () =
   let host = Host.create () in
-  (host, Co.create ~host ~m ~seed)
+  (host, Co.create ~host ~m ~seed ())
 
 (* --- Trace --- *)
 
