@@ -30,69 +30,6 @@ let sbox, inv_sbox =
   done;
   (s, si)
 
-type key = { rounds : int; rk : int array array (* 4 words per round *) }
-
-let expand raw =
-  if String.length raw <> 16 then invalid_arg "Aes.expand: key must be 16 bytes";
-  let nk = 4 and nr = 10 in
-  let w = Array.make (4 * (nr + 1)) 0 in
-  for i = 0 to nk - 1 do
-    w.(i) <-
-      (Char.code raw.[4 * i] lsl 24)
-      lor (Char.code raw.[(4 * i) + 1] lsl 16)
-      lor (Char.code raw.[(4 * i) + 2] lsl 8)
-      lor Char.code raw.[(4 * i) + 3]
-  done;
-  let sub_word x =
-    (sbox.((x lsr 24) land 0xff) lsl 24)
-    lor (sbox.((x lsr 16) land 0xff) lsl 16)
-    lor (sbox.((x lsr 8) land 0xff) lsl 8)
-    lor sbox.(x land 0xff)
-  in
-  let rot_word x = ((x lsl 8) lor (x lsr 24)) land 0xFFFFFFFF in
-  let rcon = Array.make 11 0 in
-  let r = ref 1 in
-  for i = 1 to 10 do
-    rcon.(i) <- !r lsl 24;
-    r := if !r land 0x80 <> 0 then ((!r lsl 1) lxor 0x11b) land 0xff else (!r lsl 1) land 0xff
-  done;
-  for i = nk to (4 * (nr + 1)) - 1 do
-    let temp = w.(i - 1) in
-    let temp = if i mod nk = 0 then sub_word (rot_word temp) lxor rcon.(i / nk) else temp in
-    w.(i) <- w.(i - nk) lxor temp
-  done;
-  let rk = Array.init (nr + 1) (fun r -> Array.init 4 (fun c -> w.((4 * r) + c))) in
-  { rounds = nr; rk }
-
-(* The state is 16 bytes in input order: column c occupies bytes 4c..4c+3. *)
-
-let add_round_key st rk =
-  for c = 0 to 3 do
-    let w = rk.(c) in
-    st.(4 * c) <- st.(4 * c) lxor ((w lsr 24) land 0xff);
-    st.((4 * c) + 1) <- st.((4 * c) + 1) lxor ((w lsr 16) land 0xff);
-    st.((4 * c) + 2) <- st.((4 * c) + 2) lxor ((w lsr 8) land 0xff);
-    st.((4 * c) + 3) <- st.((4 * c) + 3) lxor (w land 0xff)
-  done
-
-let sub_bytes st box = Array.iteri (fun i v -> st.(i) <- box.(v)) st
-
-let shift_rows st =
-  let t = Array.copy st in
-  for r = 1 to 3 do
-    for c = 0 to 3 do
-      st.(r + (4 * c)) <- t.(r + (4 * ((c + r) mod 4)))
-    done
-  done
-
-let inv_shift_rows st =
-  let t = Array.copy st in
-  for r = 1 to 3 do
-    for c = 0 to 3 do
-      st.(r + (4 * ((c + r) mod 4))) <- t.(r + (4 * c))
-    done
-  done
-
 (* Precomputed GF(2^8) multiplication tables keep MixColumns off the
    bit-serial gmul path (the coprocessor simulator encrypts every single
    tuple transfer, so AES throughput dominates measured-run wall time). *)
@@ -105,57 +42,347 @@ let t11 = mul_table 11
 let t13 = mul_table 13
 let t14 = mul_table 14
 
-let mix_columns st =
-  for c = 0 to 3 do
-    let a0 = st.(4 * c) and a1 = st.((4 * c) + 1) and a2 = st.((4 * c) + 2) and a3 = st.((4 * c) + 3) in
-    st.(4 * c) <- t2.(a0) lxor t3.(a1) lxor a2 lxor a3;
-    st.((4 * c) + 1) <- a0 lxor t2.(a1) lxor t3.(a2) lxor a3;
-    st.((4 * c) + 2) <- a0 lxor a1 lxor t2.(a2) lxor t3.(a3);
-    st.((4 * c) + 3) <- t3.(a0) lxor a1 lxor a2 lxor t2.(a3)
-  done
+(* --- T-tables ---------------------------------------------------------
+   Each round of the cipher is SubBytes, ShiftRows, MixColumns and
+   AddRoundKey.  With the state held as four big-endian 32-bit column
+   words s0..s3 (column c = input bytes 4c..4c+3), the first three steps
+   fuse into four table lookups per output word:
 
-let inv_mix_columns st =
-  for c = 0 to 3 do
-    let a0 = st.(4 * c) and a1 = st.((4 * c) + 1) and a2 = st.((4 * c) + 2) and a3 = st.((4 * c) + 3) in
-    st.(4 * c) <- t14.(a0) lxor t11.(a1) lxor t13.(a2) lxor t9.(a3);
-    st.((4 * c) + 1) <- t9.(a0) lxor t14.(a1) lxor t11.(a2) lxor t13.(a3);
-    st.((4 * c) + 2) <- t13.(a0) lxor t9.(a1) lxor t14.(a2) lxor t11.(a3);
-    st.((4 * c) + 3) <- t11.(a0) lxor t13.(a1) lxor t9.(a2) lxor t14.(a3)
-  done
+     out_c = Te0[s_c >> 24] ^ Te1[(s_{c+1} >> 16) & ff]
+           ^ Te2[(s_{c+2} >> 8) & ff] ^ Te3[s_{c+3} & ff] ^ rk
 
-let state_of_block b =
-  let s = Block.to_string b in
-  Array.init 16 (fun i -> Char.code s.[i])
+   where Te0[x] packs MixColumns' first-column coefficients of S[x]
+   ((2,1,1,3) · S[x]) and Te1..Te3 are byte rotations of Te0.  The
+   decryption set Td0..Td3 does the same for InvSubBytes/InvShiftRows/
+   InvMixColumns with the (14,9,13,11) coefficient column of S^-1. *)
 
-let block_of_state st =
-  let b = Bytes.create 16 in
-  Array.iteri (fun i v -> Bytes.set b i (Char.chr v)) st;
-  Block.of_bytes b
+let rotr32_8 w = ((w lsr 8) lor (w lsl 24)) land 0xFFFFFFFF
+
+let te0, te1, te2, te3, td0, td1, td2, td3 =
+  let e0 = Array.make 256 0 and e1 = Array.make 256 0 in
+  let e2 = Array.make 256 0 and e3 = Array.make 256 0 in
+  let d0 = Array.make 256 0 and d1 = Array.make 256 0 in
+  let d2 = Array.make 256 0 and d3 = Array.make 256 0 in
+  for x = 0 to 255 do
+    let s = sbox.(x) in
+    let w = (t2.(s) lsl 24) lor (s lsl 16) lor (s lsl 8) lor t3.(s) in
+    e0.(x) <- w;
+    e1.(x) <- rotr32_8 w;
+    e2.(x) <- rotr32_8 (rotr32_8 w);
+    e3.(x) <- rotr32_8 (rotr32_8 (rotr32_8 w));
+    let si = inv_sbox.(x) in
+    let v = (t14.(si) lsl 24) lor (t9.(si) lsl 16) lor (t13.(si) lsl 8) lor t11.(si) in
+    d0.(x) <- v;
+    d1.(x) <- rotr32_8 v;
+    d2.(x) <- rotr32_8 (rotr32_8 v);
+    d3.(x) <- rotr32_8 (rotr32_8 (rotr32_8 v))
+  done;
+  (e0, e1, e2, e3, d0, d1, d2, d3)
+
+(* Round constants, hoisted to module level: the MMO hash expands a fresh
+   key per 16-byte block, so rebuilding this table inside [expand] was a
+   measurable per-block cost. *)
+let rcon =
+  let t = Array.make 11 0 in
+  let r = ref 1 in
+  for i = 1 to 10 do
+    t.(i) <- !r lsl 24;
+    r := if !r land 0x80 <> 0 then ((!r lsl 1) lxor 0x11b) land 0xff else (!r lsl 1) land 0xff
+  done;
+  t
+
+type key = {
+  rounds : int;
+  rk : int array; (* 4 words per round, flat: rk.(4*r + c) *)
+  mutable drk : int array option;
+      (* InvMixColumns-transformed round keys for the equivalent inverse
+         cipher, built on first decryption (most keys — the PRF, the
+         hash's per-block keys — only ever encrypt) *)
+}
+
+let sub_word x =
+  (sbox.((x lsr 24) land 0xff) lsl 24)
+  lor (sbox.((x lsr 16) land 0xff) lsl 16)
+  lor (sbox.((x lsr 8) land 0xff) lsl 8)
+  lor sbox.(x land 0xff)
+
+let rot_word x = ((x lsl 8) lor (x lsr 24)) land 0xFFFFFFFF
+
+let expand_of get len =
+  if len <> 16 then invalid_arg "Aes.expand: key must be 16 bytes";
+  let nk = 4 and nr = 10 in
+  let w = Array.make (4 * (nr + 1)) 0 in
+  for i = 0 to nk - 1 do
+    w.(i) <-
+      (get (4 * i) lsl 24)
+      lor (get ((4 * i) + 1) lsl 16)
+      lor (get ((4 * i) + 2) lsl 8)
+      lor get ((4 * i) + 3)
+  done;
+  for i = nk to (4 * (nr + 1)) - 1 do
+    let temp = w.(i - 1) in
+    let temp = if i mod nk = 0 then sub_word (rot_word temp) lxor rcon.(i / nk) else temp in
+    w.(i) <- w.(i - nk) lxor temp
+  done;
+  { rounds = nr; rk = w; drk = None }
+
+let expand raw = expand_of (fun i -> Char.code (String.unsafe_get raw i)) (String.length raw)
+
+let expand_bytes raw ~pos =
+  if pos < 0 || pos + 16 > Bytes.length raw then invalid_arg "Aes.expand_bytes";
+  expand_of (fun i -> Char.code (Bytes.unsafe_get raw (pos + i))) 16
+
+(* InvMixColumns on a round-key word, for the equivalent inverse cipher. *)
+let inv_mix_word w =
+  let a0 = (w lsr 24) land 0xff and a1 = (w lsr 16) land 0xff in
+  let a2 = (w lsr 8) land 0xff and a3 = w land 0xff in
+  ((t14.(a0) lxor t11.(a1) lxor t13.(a2) lxor t9.(a3)) lsl 24)
+  lor ((t9.(a0) lxor t14.(a1) lxor t11.(a2) lxor t13.(a3)) lsl 16)
+  lor ((t13.(a0) lxor t9.(a1) lxor t14.(a2) lxor t11.(a3)) lsl 8)
+  lor (t11.(a0) lxor t13.(a1) lxor t9.(a2) lxor t14.(a3))
+
+let dkeys k =
+  match k.drk with
+  | Some d -> d
+  | None ->
+      let nr = k.rounds in
+      let d = Array.make (4 * (nr + 1)) 0 in
+      for c = 0 to 3 do
+        d.(c) <- k.rk.((4 * nr) + c);
+        d.((4 * nr) + c) <- k.rk.(c)
+      done;
+      for r = 1 to nr - 1 do
+        for c = 0 to 3 do
+          d.((4 * r) + c) <- inv_mix_word k.rk.((4 * (nr - r)) + c)
+        done
+      done;
+      k.drk <- Some d;
+      d
+
+let get32 b pos =
+  (Char.code (Bytes.unsafe_get b pos) lsl 24)
+  lor (Char.code (Bytes.unsafe_get b (pos + 1)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get b (pos + 2)) lsl 8)
+  lor Char.code (Bytes.unsafe_get b (pos + 3))
+
+let put32 b pos w =
+  Bytes.unsafe_set b pos (Char.unsafe_chr ((w lsr 24) land 0xff));
+  Bytes.unsafe_set b (pos + 1) (Char.unsafe_chr ((w lsr 16) land 0xff));
+  Bytes.unsafe_set b (pos + 2) (Char.unsafe_chr ((w lsr 8) land 0xff));
+  Bytes.unsafe_set b (pos + 3) (Char.unsafe_chr (w land 0xff))
+
+let check_range name buf pos =
+  if pos < 0 || pos + 16 > Bytes.length buf then invalid_arg name
+
+(* All table indices below are masked to 0..255 (state words never exceed
+   32 bits), so unsafe_get is in bounds by construction. *)
+let tbl = Array.unsafe_get
+
+let encrypt_into k ~src ~src_pos ~dst ~dst_pos =
+  check_range "Aes.encrypt_into: src" src src_pos;
+  check_range "Aes.encrypt_into: dst" dst dst_pos;
+  let rk = k.rk in
+  let rec go r s0 s1 s2 s3 =
+    if r = k.rounds then begin
+      let b = 4 * r in
+      let f a b' c d i =
+        ((tbl sbox (a lsr 24) lsl 24)
+        lor (tbl sbox ((b' lsr 16) land 0xff) lsl 16)
+        lor (tbl sbox ((c lsr 8) land 0xff) lsl 8)
+        lor tbl sbox (d land 0xff))
+        lxor Array.unsafe_get rk i
+      in
+      put32 dst dst_pos (f s0 s1 s2 s3 b);
+      put32 dst (dst_pos + 4) (f s1 s2 s3 s0 (b + 1));
+      put32 dst (dst_pos + 8) (f s2 s3 s0 s1 (b + 2));
+      put32 dst (dst_pos + 12) (f s3 s0 s1 s2 (b + 3))
+    end
+    else begin
+      let b = 4 * r in
+      let u0 =
+        tbl te0 (s0 lsr 24) lxor tbl te1 ((s1 lsr 16) land 0xff)
+        lxor tbl te2 ((s2 lsr 8) land 0xff)
+        lxor tbl te3 (s3 land 0xff)
+        lxor Array.unsafe_get rk b
+      in
+      let u1 =
+        tbl te0 (s1 lsr 24) lxor tbl te1 ((s2 lsr 16) land 0xff)
+        lxor tbl te2 ((s3 lsr 8) land 0xff)
+        lxor tbl te3 (s0 land 0xff)
+        lxor Array.unsafe_get rk (b + 1)
+      in
+      let u2 =
+        tbl te0 (s2 lsr 24) lxor tbl te1 ((s3 lsr 16) land 0xff)
+        lxor tbl te2 ((s0 lsr 8) land 0xff)
+        lxor tbl te3 (s1 land 0xff)
+        lxor Array.unsafe_get rk (b + 2)
+      in
+      let u3 =
+        tbl te0 (s3 lsr 24) lxor tbl te1 ((s0 lsr 16) land 0xff)
+        lxor tbl te2 ((s1 lsr 8) land 0xff)
+        lxor tbl te3 (s2 land 0xff)
+        lxor Array.unsafe_get rk (b + 3)
+      in
+      go (r + 1) u0 u1 u2 u3
+    end
+  in
+  go 1
+    (get32 src src_pos lxor rk.(0))
+    (get32 src (src_pos + 4) lxor rk.(1))
+    (get32 src (src_pos + 8) lxor rk.(2))
+    (get32 src (src_pos + 12) lxor rk.(3))
+
+let decrypt_into k ~src ~src_pos ~dst ~dst_pos =
+  check_range "Aes.decrypt_into: src" src src_pos;
+  check_range "Aes.decrypt_into: dst" dst dst_pos;
+  let rk = dkeys k in
+  let rec go r s0 s1 s2 s3 =
+    if r = k.rounds then begin
+      let b = 4 * r in
+      let f a b' c d i =
+        ((tbl inv_sbox (a lsr 24) lsl 24)
+        lor (tbl inv_sbox ((b' lsr 16) land 0xff) lsl 16)
+        lor (tbl inv_sbox ((c lsr 8) land 0xff) lsl 8)
+        lor tbl inv_sbox (d land 0xff))
+        lxor Array.unsafe_get rk i
+      in
+      put32 dst dst_pos (f s0 s3 s2 s1 b);
+      put32 dst (dst_pos + 4) (f s1 s0 s3 s2 (b + 1));
+      put32 dst (dst_pos + 8) (f s2 s1 s0 s3 (b + 2));
+      put32 dst (dst_pos + 12) (f s3 s2 s1 s0 (b + 3))
+    end
+    else begin
+      let b = 4 * r in
+      let u0 =
+        tbl td0 (s0 lsr 24) lxor tbl td1 ((s3 lsr 16) land 0xff)
+        lxor tbl td2 ((s2 lsr 8) land 0xff)
+        lxor tbl td3 (s1 land 0xff)
+        lxor Array.unsafe_get rk b
+      in
+      let u1 =
+        tbl td0 (s1 lsr 24) lxor tbl td1 ((s0 lsr 16) land 0xff)
+        lxor tbl td2 ((s3 lsr 8) land 0xff)
+        lxor tbl td3 (s2 land 0xff)
+        lxor Array.unsafe_get rk (b + 1)
+      in
+      let u2 =
+        tbl td0 (s2 lsr 24) lxor tbl td1 ((s1 lsr 16) land 0xff)
+        lxor tbl td2 ((s0 lsr 8) land 0xff)
+        lxor tbl td3 (s3 land 0xff)
+        lxor Array.unsafe_get rk (b + 2)
+      in
+      let u3 =
+        tbl td0 (s3 lsr 24) lxor tbl td1 ((s2 lsr 16) land 0xff)
+        lxor tbl td2 ((s1 lsr 8) land 0xff)
+        lxor tbl td3 (s0 land 0xff)
+        lxor Array.unsafe_get rk (b + 3)
+      in
+      go (r + 1) u0 u1 u2 u3
+    end
+  in
+  go 1
+    (get32 src src_pos lxor rk.(0))
+    (get32 src (src_pos + 4) lxor rk.(1))
+    (get32 src (src_pos + 8) lxor rk.(2))
+    (get32 src (src_pos + 12) lxor rk.(3))
 
 let encrypt k b =
-  let st = state_of_block b in
-  add_round_key st k.rk.(0);
-  for r = 1 to k.rounds - 1 do
-    sub_bytes st sbox;
-    shift_rows st;
-    mix_columns st;
-    add_round_key st k.rk.(r)
-  done;
-  sub_bytes st sbox;
-  shift_rows st;
-  add_round_key st k.rk.(k.rounds);
-  block_of_state st
+  let dst = Bytes.create 16 in
+  encrypt_into k ~src:(Bytes.unsafe_of_string (Block.to_string b)) ~src_pos:0 ~dst ~dst_pos:0;
+  Block.of_bytes dst
 
 let decrypt k b =
-  let st = state_of_block b in
-  add_round_key st k.rk.(k.rounds);
-  inv_shift_rows st;
-  sub_bytes st inv_sbox;
-  for r = k.rounds - 1 downto 1 do
-    add_round_key st k.rk.(r);
-    inv_mix_columns st;
+  let dst = Bytes.create 16 in
+  decrypt_into k ~src:(Bytes.unsafe_of_string (Block.to_string b)) ~src_pos:0 ~dst ~dst_pos:0;
+  Block.of_bytes dst
+
+(* --- Reference path ---------------------------------------------------
+   The original byte-wise implementation (16-int state, explicit
+   SubBytes/ShiftRows/MixColumns passes), retained as the cross-check
+   oracle for the fused T-table rounds and as the baseline the crypto
+   bench measures speedup against. *)
+module Reference = struct
+  let add_round_key st rk base =
+    for c = 0 to 3 do
+      let w = rk.(base + c) in
+      st.(4 * c) <- st.(4 * c) lxor ((w lsr 24) land 0xff);
+      st.((4 * c) + 1) <- st.((4 * c) + 1) lxor ((w lsr 16) land 0xff);
+      st.((4 * c) + 2) <- st.((4 * c) + 2) lxor ((w lsr 8) land 0xff);
+      st.((4 * c) + 3) <- st.((4 * c) + 3) lxor (w land 0xff)
+    done
+
+  let sub_bytes st box = Array.iteri (fun i v -> st.(i) <- box.(v)) st
+
+  let shift_rows st =
+    let t = Array.copy st in
+    for r = 1 to 3 do
+      for c = 0 to 3 do
+        st.(r + (4 * c)) <- t.(r + (4 * ((c + r) mod 4)))
+      done
+    done
+
+  let inv_shift_rows st =
+    let t = Array.copy st in
+    for r = 1 to 3 do
+      for c = 0 to 3 do
+        st.(r + (4 * ((c + r) mod 4))) <- t.(r + (4 * c))
+      done
+    done
+
+  let mix_columns st =
+    for c = 0 to 3 do
+      let a0 = st.(4 * c) and a1 = st.((4 * c) + 1) in
+      let a2 = st.((4 * c) + 2) and a3 = st.((4 * c) + 3) in
+      st.(4 * c) <- t2.(a0) lxor t3.(a1) lxor a2 lxor a3;
+      st.((4 * c) + 1) <- a0 lxor t2.(a1) lxor t3.(a2) lxor a3;
+      st.((4 * c) + 2) <- a0 lxor a1 lxor t2.(a2) lxor t3.(a3);
+      st.((4 * c) + 3) <- t3.(a0) lxor a1 lxor a2 lxor t2.(a3)
+    done
+
+  let inv_mix_columns st =
+    for c = 0 to 3 do
+      let a0 = st.(4 * c) and a1 = st.((4 * c) + 1) in
+      let a2 = st.((4 * c) + 2) and a3 = st.((4 * c) + 3) in
+      st.(4 * c) <- t14.(a0) lxor t11.(a1) lxor t13.(a2) lxor t9.(a3);
+      st.((4 * c) + 1) <- t9.(a0) lxor t14.(a1) lxor t11.(a2) lxor t13.(a3);
+      st.((4 * c) + 2) <- t13.(a0) lxor t9.(a1) lxor t14.(a2) lxor t11.(a3);
+      st.((4 * c) + 3) <- t11.(a0) lxor t13.(a1) lxor t9.(a2) lxor t14.(a3)
+    done
+
+  let state_of_block b =
+    let s = Block.to_string b in
+    Array.init 16 (fun i -> Char.code s.[i])
+
+  let block_of_state st =
+    let b = Bytes.create 16 in
+    Array.iteri (fun i v -> Bytes.set b i (Char.chr v)) st;
+    Block.of_bytes b
+
+  let encrypt k b =
+    let st = state_of_block b in
+    add_round_key st k.rk 0;
+    for r = 1 to k.rounds - 1 do
+      sub_bytes st sbox;
+      shift_rows st;
+      mix_columns st;
+      add_round_key st k.rk (4 * r)
+    done;
+    sub_bytes st sbox;
+    shift_rows st;
+    add_round_key st k.rk (4 * k.rounds);
+    block_of_state st
+
+  let decrypt k b =
+    let st = state_of_block b in
+    add_round_key st k.rk (4 * k.rounds);
     inv_shift_rows st;
-    sub_bytes st inv_sbox
-  done;
-  add_round_key st k.rk.(0);
-  block_of_state st
+    sub_bytes st inv_sbox;
+    for r = k.rounds - 1 downto 1 do
+      add_round_key st k.rk (4 * r);
+      inv_mix_columns st;
+      inv_shift_rows st;
+      sub_bytes st inv_sbox
+    done;
+    add_round_key st k.rk 0;
+    block_of_state st
+end

@@ -65,4 +65,19 @@ let ntz n =
 
 let equal = String.equal
 
+(* Constant-time comparison: fold the XOR of every byte pair so the
+   running time depends only on the (public) lengths, never on where the
+   first difference sits — the early-exit [String.equal] is exactly the
+   tag-check timing channel the OCB spec warns against. *)
+let ct_equal a b =
+  let la = String.length a and lb = String.length b in
+  if la <> lb then false
+  else begin
+    let d = ref 0 in
+    for i = 0 to la - 1 do
+      d := !d lor (Char.code (String.unsafe_get a i) lxor Char.code (String.unsafe_get b i))
+    done;
+    !d = 0
+  end
+
 let pp ppf t = String.iter (fun c -> Format.fprintf ppf "%02x" (Char.code c)) t

@@ -38,5 +38,12 @@ val ntz : int -> int
 
 val equal : t -> t -> bool
 
+val ct_equal : string -> string -> bool
+(** Constant-time equality for secret values (authentication tags, MACs):
+    XOR-folds every byte pair so timing reveals only the lengths, which
+    are public.  Accepts plain strings so callers can compare tags and
+    MACs that are not 16 bytes; blocks coerce via the private-string
+    equality [(a :> string)]. *)
+
 val pp : Format.formatter -> t -> unit
 (** Hexadecimal rendering. *)

@@ -1,19 +1,35 @@
 (* H_i = E_{H_{i-1}}(m_i) xor m_i over 16-byte blocks, with unambiguous
-   length padding. *)
+   length padding.  One streaming pass: full blocks are consumed straight
+   out of the message (no padded copy via [^], no [String.sub] per
+   block), and the padding — always exactly two blocks: the tail bytes,
+   0x80, zeros, then the 16-byte length — is assembled in a 32-byte
+   scratch.  A fresh key is expanded per block by construction (the
+   chaining value is the key), which is why [Aes.expand] keeps its round
+   constants at module level. *)
 let digest msg =
-  let padded =
-    let pad = Block.size - (String.length msg mod Block.size) in
-    msg ^ String.make 1 '\x80'
-    ^ String.make ((pad + Block.size - 1) mod Block.size) '\000'
-    ^ Block.to_string (Block.of_int (String.length msg))
+  let len = String.length msg in
+  let src = Bytes.unsafe_of_string msg in
+  let h = Bytes.make Block.size '\000' in
+  let step buf pos =
+    let k = Aes.expand_bytes h ~pos:0 in
+    Aes.encrypt_into k ~src:buf ~src_pos:pos ~dst:h ~dst_pos:0;
+    for j = 0 to Block.size - 1 do
+      Bytes.unsafe_set h j
+        (Char.unsafe_chr
+           (Char.code (Bytes.unsafe_get h j) lxor Char.code (Bytes.unsafe_get buf (pos + j))))
+    done
   in
-  let h = ref Block.zero in
-  let n = String.length padded / Block.size in
-  for i = 0 to n - 1 do
-    let m = Block.of_string (String.sub padded (i * Block.size) Block.size) in
-    let k = Aes.expand (Block.to_string !h) in
-    h := Block.xor (Aes.encrypt k m) m
+  let full = len / Block.size in
+  for i = 0 to full - 1 do
+    step src (i * Block.size)
   done;
-  Block.to_string !h
+  let rem = len - (full * Block.size) in
+  let tail = Bytes.make (2 * Block.size) '\000' in
+  Bytes.blit src (full * Block.size) tail 0 rem;
+  Bytes.set tail rem '\x80';
+  Bytes.set_int64_be tail 24 (Int64.of_int len);
+  step tail 0;
+  step tail Block.size;
+  Bytes.unsafe_to_string h
 
 let mac ~key msg = digest (key ^ digest (key ^ msg))

@@ -23,16 +23,16 @@ let enc k b =
   k.cipher_calls <- k.cipher_calls + 1;
   Aes.encrypt k.aes b
 
-let dec k b =
-  k.cipher_calls <- k.cipher_calls + 1;
-  Aes.decrypt k.aes b
-
 let l_at k j =
   let n = Array.length k.l_tab in
   if j >= n then begin
-    let tab = Array.make (j + 1) Block.zero in
+    (* Grow geometrically and fill every new slot: one O(cap) doubling
+       pass instead of an O(m^2) copy-per-index cascade when offsets for
+       a long message arrive incrementally. *)
+    let cap = max (2 * n) (j + 1) in
+    let tab = Array.make cap Block.zero in
     Array.blit k.l_tab 0 tab 0 n;
-    for i = n to j do
+    for i = n to cap - 1 do
       tab.(i) <- Block.double tab.(i - 1)
     done;
     k.l_tab <- tab
@@ -73,77 +73,190 @@ let offset_direct k ~nonce i =
   done;
   !z
 
-let blocks_of msg =
-  (* Split into m blocks where blocks 1..m-1 are full and block m has
-     1..16 bytes (or 0 bytes only when the whole message is empty). *)
-  let len = String.length msg in
-  if len = 0 then [| "" |]
+(* --- allocation-free core --------------------------------------------
+   The hot path works on caller-supplied [Bytes] at explicit offsets: no
+   [blocks_of] substring array, no [Block.xor] string per block.  The
+   running offset Z, the checksum and one cipher block live in three
+   16-byte scratch buffers per call (constant, not per block); Z is
+   advanced in place by XORing L(ntz i) into it.  The string
+   [encrypt]/[decrypt] API below is a thin wrapper and produces
+   byte-identical output (the pinned KATs pin both). *)
+
+let xor_str_into (s : string) (b : bytes) =
+  for i = 0 to Block.size - 1 do
+    Bytes.unsafe_set b i
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get b i) lxor Char.code (String.unsafe_get s i)))
+  done
+
+(* z <- E(N xor L), charging one cipher call. *)
+let z0_into k ~nonce z =
+  check_nonce nonce;
+  Bytes.blit_string nonce 0 z 0 Block.size;
+  xor_str_into (k.l0 :> string) z;
+  k.cipher_calls <- k.cipher_calls + 1;
+  Aes.encrypt_into k.aes ~src:z ~src_pos:0 ~dst:z ~dst_pos:0
+
+(* z <- f(z, i) in place. *)
+let advance k z i =
+  k.f_apps <- k.f_apps + 1;
+  xor_str_into (l_at k (Block.ntz i) :> string) z
+
+let blocks_for len = if len = 0 then 1 else (len + Block.size - 1) / Block.size
+
+let check_span name buf pos len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then invalid_arg name
+
+let seal_into k ~nonce ~src ~src_pos ~src_len ~dst ~dst_pos =
+  check_span "Ocb.seal_into: src" src src_pos src_len;
+  check_span "Ocb.seal_into: dst" dst dst_pos (src_len + tag_length);
+  let z = Bytes.create Block.size in
+  let sum = Bytes.make Block.size '\000' in
+  let tmp = Bytes.create Block.size in
+  z0_into k ~nonce z;
+  let m = blocks_for src_len in
+  for i = 1 to m - 1 do
+    advance k z i;
+    let off = src_pos + (Block.size * (i - 1)) in
+    let out = dst_pos + (Block.size * (i - 1)) in
+    for j = 0 to Block.size - 1 do
+      let mj = Char.code (Bytes.unsafe_get src (off + j)) in
+      Bytes.unsafe_set sum j (Char.unsafe_chr (Char.code (Bytes.unsafe_get sum j) lxor mj));
+      Bytes.unsafe_set tmp j (Char.unsafe_chr (mj lxor Char.code (Bytes.unsafe_get z j)))
+    done;
+    k.cipher_calls <- k.cipher_calls + 1;
+    Aes.encrypt_into k.aes ~src:tmp ~src_pos:0 ~dst:tmp ~dst_pos:0;
+    for j = 0 to Block.size - 1 do
+      Bytes.unsafe_set dst (out + j)
+        (Char.unsafe_chr
+           (Char.code (Bytes.unsafe_get tmp j) lxor Char.code (Bytes.unsafe_get z j)))
+    done
+  done;
+  advance k z m;
+  let last_off = src_pos + (Block.size * (m - 1)) in
+  let last_out = dst_pos + (Block.size * (m - 1)) in
+  let last_len = src_len - (Block.size * (m - 1)) in
+  (* Y[m] = E(len(M[m]) xor L(-1) xor Z[m]), computed in [tmp]. *)
+  Bytes.fill tmp 0 Block.size '\000';
+  Bytes.set_int64_be tmp 8 (Int64.of_int (8 * last_len));
+  xor_str_into (k.l_inv :> string) tmp;
+  for j = 0 to Block.size - 1 do
+    Bytes.unsafe_set tmp j
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get tmp j) lxor Char.code (Bytes.unsafe_get z j)))
+  done;
+  k.cipher_calls <- k.cipher_calls + 1;
+  Aes.encrypt_into k.aes ~src:tmp ~src_pos:0 ~dst:tmp ~dst_pos:0;
+  (* C[m] = M[m] xor (first |M[m]| bytes of Y[m]); checksum gains
+     pad(C[m]) xor Y[m]. *)
+  for j = 0 to last_len - 1 do
+    let c = Char.code (Bytes.unsafe_get src (last_off + j)) lxor Char.code (Bytes.unsafe_get tmp j) in
+    Bytes.unsafe_set dst (last_out + j) (Char.unsafe_chr c);
+    Bytes.unsafe_set sum j (Char.unsafe_chr (Char.code (Bytes.unsafe_get sum j) lxor c))
+  done;
+  for j = 0 to Block.size - 1 do
+    Bytes.unsafe_set sum j
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get sum j) lxor Char.code (Bytes.unsafe_get tmp j)))
+  done;
+  (* Tag = E(checksum xor Z[m]). *)
+  for j = 0 to Block.size - 1 do
+    Bytes.unsafe_set sum j
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get sum j) lxor Char.code (Bytes.unsafe_get z j)))
+  done;
+  k.cipher_calls <- k.cipher_calls + 1;
+  Aes.encrypt_into k.aes ~src:sum ~src_pos:0 ~dst ~dst_pos:(dst_pos + src_len)
+
+let open_into k ~nonce ~src ~src_pos ~src_len ~dst ~dst_pos =
+  check_span "Ocb.open_into: src" src src_pos src_len;
+  if src_len < tag_length then false
   else begin
-    let m = (len + Block.size - 1) / Block.size in
-    Array.init m (fun i ->
-        let off = i * Block.size in
-        String.sub msg off (min Block.size (len - off)))
+    let body_len = src_len - tag_length in
+    check_span "Ocb.open_into: dst" dst dst_pos body_len;
+    let z = Bytes.create Block.size in
+    let sum = Bytes.make Block.size '\000' in
+    let tmp = Bytes.create Block.size in
+    z0_into k ~nonce z;
+    let m = blocks_for body_len in
+    for i = 1 to m - 1 do
+      advance k z i;
+      let off = src_pos + (Block.size * (i - 1)) in
+      let out = dst_pos + (Block.size * (i - 1)) in
+      for j = 0 to Block.size - 1 do
+        Bytes.unsafe_set tmp j
+          (Char.unsafe_chr
+             (Char.code (Bytes.unsafe_get src (off + j))
+             lxor Char.code (Bytes.unsafe_get z j)))
+      done;
+      k.cipher_calls <- k.cipher_calls + 1;
+      Aes.decrypt_into k.aes ~src:tmp ~src_pos:0 ~dst:tmp ~dst_pos:0;
+      for j = 0 to Block.size - 1 do
+        let mj = Char.code (Bytes.unsafe_get tmp j) lxor Char.code (Bytes.unsafe_get z j) in
+        Bytes.unsafe_set dst (out + j) (Char.unsafe_chr mj);
+        Bytes.unsafe_set sum j (Char.unsafe_chr (Char.code (Bytes.unsafe_get sum j) lxor mj))
+      done
+    done;
+    advance k z m;
+    let last_off = src_pos + (Block.size * (m - 1)) in
+    let last_out = dst_pos + (Block.size * (m - 1)) in
+    let last_len = body_len - (Block.size * (m - 1)) in
+    (* Stash C[m] zero-padded before the plaintext overwrite ([src] and
+       [dst] may alias): the checksum needs pad(C[m]). *)
+    let last_ct = Bytes.make Block.size '\000' in
+    Bytes.blit src last_off last_ct 0 last_len;
+    Bytes.fill tmp 0 Block.size '\000';
+    Bytes.set_int64_be tmp 8 (Int64.of_int (8 * last_len));
+    xor_str_into (k.l_inv :> string) tmp;
+    for j = 0 to Block.size - 1 do
+      Bytes.unsafe_set tmp j
+        (Char.unsafe_chr
+           (Char.code (Bytes.unsafe_get tmp j) lxor Char.code (Bytes.unsafe_get z j)))
+    done;
+    k.cipher_calls <- k.cipher_calls + 1;
+    Aes.encrypt_into k.aes ~src:tmp ~src_pos:0 ~dst:tmp ~dst_pos:0;
+    for j = 0 to last_len - 1 do
+      Bytes.unsafe_set dst (last_out + j)
+        (Char.unsafe_chr
+           (Char.code (Bytes.unsafe_get last_ct j) lxor Char.code (Bytes.unsafe_get tmp j)))
+    done;
+    for j = 0 to Block.size - 1 do
+      Bytes.unsafe_set sum j
+        (Char.unsafe_chr
+           (Char.code (Bytes.unsafe_get sum j)
+           lxor Char.code (Bytes.unsafe_get last_ct j)
+           lxor Char.code (Bytes.unsafe_get tmp j)
+           lxor Char.code (Bytes.unsafe_get z j)))
+    done;
+    k.cipher_calls <- k.cipher_calls + 1;
+    Aes.encrypt_into k.aes ~src:sum ~src_pos:0 ~dst:sum ~dst_pos:0;
+    (* Constant-time tag check: XOR-fold every byte so a forger learns
+       nothing from verification timing (the early-exit string compare
+       this replaces leaked the length of the matching tag prefix). *)
+    let d = ref 0 in
+    for j = 0 to tag_length - 1 do
+      d :=
+        !d
+        lor (Char.code (Bytes.unsafe_get sum j)
+            lxor Char.code (Bytes.unsafe_get src (src_pos + body_len + j)))
+    done;
+    !d = 0
   end
 
-let len_block s = Block.of_int (8 * String.length s)
-
-let xor_partial full partial =
-  (* xor [partial] against the first bytes of the 16-byte string [full]. *)
-  String.init (String.length partial) (fun i ->
-      Char.chr (Char.code partial.[i] lxor Char.code (Block.to_string full).[i]))
-
-let pad_to_block s =
-  let b = Bytes.make Block.size '\000' in
-  Bytes.blit_string s 0 b 0 (String.length s);
-  Block.of_bytes b
+(* --- string API (thin wrappers over the in-place core) --------------- *)
 
 let encrypt k ~nonce msg =
-  let blocks = blocks_of msg in
-  let m = Array.length blocks in
-  let z = ref (z0 k nonce) in
-  let checksum = ref Block.zero in
-  let out = Buffer.create (String.length msg + tag_length) in
-  for i = 1 to m - 1 do
-    z := f k !z i;
-    let mi = Block.of_string blocks.(i - 1) in
-    Buffer.add_string out (Block.to_string (Block.xor (enc k (Block.xor mi !z)) !z));
-    checksum := Block.xor !checksum mi
-  done;
-  z := f k !z m;
-  let last = blocks.(m - 1) in
-  let x_m = Block.xor (Block.xor (len_block last) k.l_inv) !z in
-  let y_m = enc k x_m in
-  let c_m = xor_partial y_m last in
-  Buffer.add_string out c_m;
-  checksum := Block.xor !checksum (Block.xor (pad_to_block c_m) y_m);
-  let tag = enc k (Block.xor !checksum !z) in
-  Buffer.add_string out (Block.to_string tag);
-  Buffer.contents out
+  let len = String.length msg in
+  let out = Bytes.create (len + tag_length) in
+  seal_into k ~nonce ~src:(Bytes.unsafe_of_string msg) ~src_pos:0 ~src_len:len ~dst:out
+    ~dst_pos:0;
+  Bytes.unsafe_to_string out
 
 let decrypt k ~nonce ct =
-  if String.length ct < tag_length then None
+  let len = String.length ct in
+  if len < tag_length then None
   else begin
-    let body = String.sub ct 0 (String.length ct - tag_length) in
-    let tag = String.sub ct (String.length ct - tag_length) tag_length in
-    let blocks = blocks_of body in
-    let m = Array.length blocks in
-    let z = ref (z0 k nonce) in
-    let checksum = ref Block.zero in
-    let out = Buffer.create (String.length body) in
-    for i = 1 to m - 1 do
-      z := f k !z i;
-      let ci = Block.of_string blocks.(i - 1) in
-      let mi = Block.xor (dec k (Block.xor ci !z)) !z in
-      Buffer.add_string out (Block.to_string mi);
-      checksum := Block.xor !checksum mi
-    done;
-    z := f k !z m;
-    let last = blocks.(m - 1) in
-    let x_m = Block.xor (Block.xor (len_block last) k.l_inv) !z in
-    let y_m = enc k x_m in
-    let m_m = xor_partial y_m last in
-    Buffer.add_string out m_m;
-    checksum := Block.xor !checksum (Block.xor (pad_to_block last) y_m);
-    let expect = Block.to_string (enc k (Block.xor !checksum !z)) in
-    if String.equal expect tag then Some (Buffer.contents out) else None
+    let out = Bytes.create (len - tag_length) in
+    if
+      open_into k ~nonce ~src:(Bytes.unsafe_of_string ct) ~src_pos:0 ~src_len:len ~dst:out
+        ~dst_pos:0
+    then Some (Bytes.unsafe_to_string out)
+    else None
   end

@@ -28,7 +28,47 @@ val encrypt : key -> nonce:string -> string -> string
 val decrypt : key -> nonce:string -> string -> string option
 (** Returns [None] if the authentication tag does not verify — the
     tamper-detection step that reduces a malicious adversary to an
-    honest-but-curious one (§3.3.1). *)
+    honest-but-curious one (§3.3.1).  The tag comparison is constant
+    time (XOR fold over all bytes). *)
+
+(** {2 Allocation-free hot path}
+
+    The string API above is a thin wrapper over these: the coprocessor
+    seals/unseals every tuple transfer, so the core works in caller
+    supplied (reusable) [Bytes] buffers at explicit offsets — no
+    per-block substring or xor allocations, offsets maintained in
+    place.  Both produce byte-identical ciphertext (the pinned KATs in
+    the test suite cover both paths). *)
+
+val seal_into :
+  key ->
+  nonce:string ->
+  src:bytes ->
+  src_pos:int ->
+  src_len:int ->
+  dst:bytes ->
+  dst_pos:int ->
+  unit
+(** Seal [src_len] plaintext bytes at [src.[src_pos..]] into
+    [src_len + tag_length] bytes at [dst.[dst_pos..]] (ciphertext then
+    tag).  [src] and [dst] may be the same buffer when
+    [src_pos = dst_pos].  @raise Invalid_argument on out-of-bounds
+    ranges or a non-16-byte nonce. *)
+
+val open_into :
+  key ->
+  nonce:string ->
+  src:bytes ->
+  src_pos:int ->
+  src_len:int ->
+  dst:bytes ->
+  dst_pos:int ->
+  bool
+(** Open [src_len] ciphertext-plus-tag bytes at [src.[src_pos..]],
+    writing [src_len - tag_length] plaintext bytes at [dst.[dst_pos..]].
+    Returns [false] (leaving [dst] unspecified) if the tag does not
+    verify — checked in constant time — or if [src_len < tag_length].
+    Aliasing as for {!seal_into}. *)
 
 val offset_sequential : key -> nonce:string -> int -> Block.t
 (** [offset_sequential k ~nonce i] computes Z[i] (i ≥ 1) by applying

@@ -76,24 +76,31 @@ let alg4 ~p ~m ~seed ~predicate rels =
       Instance.ensure_cartesian inst;
       let lo, hi = range_of ~l:(Instance.l inst) ~p k in
       let width = Instance.out_width inst in
-      let len = max 1 (hi - lo) in
-      let (_ : Host.t) = Host.define_region host Trace.Output ~size:len in
-      let s = ref 0 in
-      for idx = lo to hi - 1 do
-        let it = Instance.get_ituple inst idx in
-        if Instance.satisfy inst it then begin
-          Coprocessor.put co Trace.Output (idx - lo) (Instance.join_ituple inst it);
-          incr s
+      (* When p > l some shards get an empty range: they define no Output
+         region and run no filter, so their region size and persist
+         behaviour match the src_len the non-empty path would use — the
+         old [max 1 (hi - lo)] sizing gave empty shards a phantom slot
+         that diverged from the [~src_len:(hi - lo)] filter input. *)
+      if hi > lo then begin
+        let len = hi - lo in
+        let (_ : Host.t) = Host.define_region host Trace.Output ~size:len in
+        let s = ref 0 in
+        for idx = lo to hi - 1 do
+          let it = Instance.get_ituple inst idx in
+          if Instance.satisfy inst it then begin
+            Coprocessor.put co Trace.Output (idx - lo) (Instance.join_ituple inst it);
+            incr s
+          end
+          else Coprocessor.put co Trace.Output (idx - lo) (Instance.decoy inst)
+        done;
+        if !s > 0 then begin
+          let buffer =
+            Filter.run co ~src:Trace.Output ~src_len:len ~mu:!s
+              ~is_real:(fun o -> not (Decoy.is_decoy o))
+              ~width ()
+          in
+          Host.persist host buffer ~count:!s
         end
-        else Coprocessor.put co Trace.Output (idx - lo) (Instance.decoy inst)
-      done;
-      if !s > 0 then begin
-        let buffer =
-          Filter.run co ~src:Trace.Output ~src_len:(hi - lo) ~mu:!s
-            ~is_real:(fun o -> not (Decoy.is_decoy o))
-            ~width ()
-        in
-        Host.persist host buffer ~count:!s
       end)
     insts;
   outcome insts

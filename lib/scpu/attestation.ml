@@ -23,7 +23,8 @@ let verify ~device_key ~expected chain =
     | (name, digest) :: erest, cert :: crest ->
         String.equal cert.name name
         && String.equal cert.code_digest digest
-        && String.equal cert.mac (mac ~key:device_key (prev_mac ^ name ^ digest))
+        (* the MAC is device-key-derived: constant-time compare *)
+        && Ppj_crypto.Block.ct_equal cert.mac (mac ~key:device_key (prev_mac ^ name ^ digest))
         && go cert.mac erest crest
     | _ -> false
   in

@@ -36,6 +36,7 @@ let party_id p = p.id
 
 module Group = Ppj_crypto.Group
 module Hash = Ppj_crypto.Hash
+module Block = Ppj_crypto.Block
 
 module Handshake = struct
   type hello = { id : string; gx : int; mac : string }
@@ -52,7 +53,8 @@ module Handshake = struct
     ({ id; gx; mac = hello_mac ~mac_key ~id ~gx }, x)
 
   let respond rng ~mac_key (h : hello) =
-    if not (String.equal h.mac (hello_mac ~mac_key ~id:h.id ~gx:h.gx)) then
+    (* MACs are secret-derived: compare in constant time. *)
+    if not (Block.ct_equal h.mac (hello_mac ~mac_key ~id:h.id ~gx:h.gx)) then
       Error "handshake: hello does not authenticate"
     else begin
       let y = Group.random_exponent rng in
@@ -65,7 +67,7 @@ module Handshake = struct
 
   let finish ~id ~mac_key ~exponent (r : reply) =
     let gx = Group.power Group.g exponent in
-    if not (String.equal r.mac (reply_mac ~mac_key ~id ~gx ~gy:r.gy)) then
+    if not (Block.ct_equal r.mac (reply_mac ~mac_key ~id ~gx ~gy:r.gy)) then
       Error "handshake: reply does not authenticate"
     else Ok (party ~id ~secret:(Group.key_of (Group.power r.gy exponent)))
 

@@ -98,6 +98,37 @@ let test_aes_bad_key () =
   Alcotest.check_raises "short key" (Invalid_argument "Aes.expand: key must be 16 bytes")
     (fun () -> ignore (Aes.expand "short"))
 
+let prop_aes_ttable_matches_reference =
+  (* The fused T-table rounds against the retained byte-wise oracle:
+     1k random key/block pairs, both directions. *)
+  qtest "T-table agrees with Aes.Reference" ~count:1000 (QCheck.pair arb_block arb_block)
+    (fun (k, m) ->
+      let key = Aes.expand (Block.to_string k) in
+      Block.equal (Aes.encrypt key m) (Aes.Reference.encrypt key m)
+      && Block.equal (Aes.decrypt key m) (Aes.Reference.decrypt key m))
+
+let test_aes_encrypt_into_aliasing () =
+  (* In-place use (src == dst at the same offset) must match the pure API. *)
+  let key = Aes.expand (of_hex "2b7e151628aed2a6abf7158809cf4f3c") in
+  let pt = of_hex "6bc1bee22e409f96e93d7e117393172a" in
+  let buf = Bytes.of_string ("pad!" ^ pt ^ "tail") in
+  Aes.encrypt_into key ~src:buf ~src_pos:4 ~dst:buf ~dst_pos:4;
+  Alcotest.(check string) "in-place encrypt" "3ad77bb40d7a3660a89ecaf32466ef97"
+    (hex (Bytes.sub_string buf 4 16));
+  Alcotest.(check string) "prefix untouched" "pad!" (Bytes.sub_string buf 0 4);
+  Alcotest.(check string) "suffix untouched" "tail" (Bytes.sub_string buf 20 4);
+  Aes.decrypt_into key ~src:buf ~src_pos:4 ~dst:buf ~dst_pos:4;
+  Alcotest.(check string) "in-place decrypt" (hex pt) (hex (Bytes.sub_string buf 4 16))
+
+let test_aes_expand_bytes () =
+  let raw = of_hex "000102030405060708090a0b0c0d0e0f" in
+  let buf = Bytes.of_string ("xx" ^ raw) in
+  let k1 = Aes.expand raw and k2 = Aes.expand_bytes buf ~pos:2 in
+  let m = Block.of_string (of_hex "00112233445566778899aabbccddeeff") in
+  Alcotest.(check bool) "same schedule" true (Block.equal (Aes.encrypt k1 m) (Aes.encrypt k2 m));
+  Alcotest.check_raises "out of bounds" (Invalid_argument "Aes.expand_bytes") (fun () ->
+      ignore (Aes.expand_bytes (Bytes.create 10) ~pos:0))
+
 (* --- OCB --- *)
 
 let okey = Ocb.key_of_string (of_hex "000102030405060708090a0b0c0d0e0f")
@@ -161,6 +192,75 @@ let prop_ocb_cross_key =
   qtest "decryption under the wrong key fails" arb_msg (fun m ->
       let other = Ocb.key_of_string (of_hex "ffeeddccbbaa99887766554433221100") in
       Ocb.decrypt other ~nonce:nonce0 (Ocb.encrypt okey ~nonce:nonce0 m) = None)
+
+let test_ocb_in_place_matches_string_api () =
+  (* seal_into/open_into at an offset in a reused oversized scratch must
+     produce byte-identical ciphertext to the string API and roundtrip,
+     for every message length 0..64 (all four padding shapes). *)
+  let scratch = Bytes.create 256 in
+  let back = Bytes.create 256 in
+  for len = 0 to 64 do
+    let msg = String.init len (fun i -> Char.chr ((len + (7 * i)) land 0xff)) in
+    let want = Ocb.encrypt okey ~nonce:nonce0 msg in
+    Bytes.blit_string msg 0 scratch 3 len;
+    Ocb.seal_into okey ~nonce:nonce0 ~src:scratch ~src_pos:3 ~src_len:len ~dst:scratch
+      ~dst_pos:71;
+    let got = Bytes.sub_string scratch 71 (len + Ocb.tag_length) in
+    Alcotest.(check string) (Printf.sprintf "seal_into len %d" len) (hex want) (hex got);
+    Alcotest.(check bool) (Printf.sprintf "open_into len %d" len) true
+      (Ocb.open_into okey ~nonce:nonce0 ~src:scratch ~src_pos:71
+         ~src_len:(len + Ocb.tag_length) ~dst:back ~dst_pos:5);
+    Alcotest.(check string) (Printf.sprintf "roundtrip len %d" len) (hex msg)
+      (hex (Bytes.sub_string back 5 len))
+  done
+
+let test_ocb_open_into_rejects_flip () =
+  let msg = String.make 33 'p' in
+  let ct = Ocb.encrypt okey ~nonce:nonce0 msg in
+  let src = Bytes.of_string ct in
+  let dst = Bytes.create (String.length msg) in
+  (* flip one bit of the tag *)
+  let pos = String.length ct - 1 in
+  Bytes.set src pos (Char.chr (Char.code (Bytes.get src pos) lxor 1));
+  Alcotest.(check bool) "flipped tag rejected" false
+    (Ocb.open_into okey ~nonce:nonce0 ~src ~src_pos:0 ~src_len:(String.length ct) ~dst
+       ~dst_pos:0);
+  Alcotest.(check bool) "short input rejected" false
+    (Ocb.open_into okey ~nonce:nonce0 ~src ~src_pos:0 ~src_len:8 ~dst ~dst_pos:0)
+
+let test_ocb_long_message_l_tab () =
+  (* A multi-hundred-block message walks l_at through the geometric
+     growth path; the result must still roundtrip and match a
+     freshly-keyed encryption (same L table contents). *)
+  let msg = String.init (16 * 300) (fun i -> Char.chr (i land 0xff)) in
+  let fresh = Ocb.key_of_string (of_hex "000102030405060708090a0b0c0d0e0f") in
+  let c1 = Ocb.encrypt okey ~nonce:nonce0 msg in
+  let c2 = Ocb.encrypt fresh ~nonce:nonce0 msg in
+  Alcotest.(check bool) "same ciphertext" true (String.equal c1 c2);
+  match Ocb.decrypt okey ~nonce:nonce0 c1 with
+  | Some m -> Alcotest.(check bool) "roundtrip" true (String.equal m msg)
+  | None -> Alcotest.fail "long message failed to authenticate"
+
+(* --- constant-time compare --- *)
+
+let test_ct_equal_basic () =
+  Alcotest.(check bool) "equal" true (Block.ct_equal "abcd" "abcd");
+  Alcotest.(check bool) "unequal" false (Block.ct_equal "abcd" "abce");
+  Alcotest.(check bool) "length mismatch" false (Block.ct_equal "abc" "abcd");
+  Alcotest.(check bool) "empty" true (Block.ct_equal "" "")
+
+let test_ct_equal_rejects_every_bit_flip () =
+  let tag = of_hex "0123456789abcdeffedcba9876543210" in
+  Alcotest.(check bool) "identical tag accepted" true (Block.ct_equal tag tag);
+  for byte = 0 to 15 do
+    for bit = 0 to 7 do
+      let flipped =
+        String.mapi (fun i c -> if i = byte then Char.chr (Char.code c lxor (1 lsl bit)) else c) tag
+      in
+      if Block.ct_equal tag flipped then
+        Alcotest.failf "bit flip at byte %d bit %d accepted" byte bit
+    done
+  done
 
 (* Pinned known-answer vectors for this OCB implementation.
 
@@ -309,7 +409,10 @@ let () =
           prop_xor_commutative;
           prop_double_halve;
           prop_halve_double;
-          prop_double_linear
+          prop_double_linear;
+          Alcotest.test_case "ct_equal basics" `Quick test_ct_equal_basic;
+          Alcotest.test_case "ct_equal rejects every bit flip" `Quick
+            test_ct_equal_rejects_every_bit_flip
         ] );
       ( "aes",
         [ Alcotest.test_case "FIPS-197 vector" `Quick test_aes_fips;
@@ -318,7 +421,10 @@ let () =
           Alcotest.test_case "SP800-38A vector 3" `Quick test_aes_sp800_3;
           Alcotest.test_case "SP800-38A vector 4" `Quick test_aes_sp800_4;
           Alcotest.test_case "bad key" `Quick test_aes_bad_key;
-          prop_aes_roundtrip
+          Alcotest.test_case "encrypt_into aliasing" `Quick test_aes_encrypt_into_aliasing;
+          Alcotest.test_case "expand_bytes" `Quick test_aes_expand_bytes;
+          prop_aes_roundtrip;
+          prop_aes_ttable_matches_reference
         ] );
       ( "ocb",
         [ Alcotest.test_case "ciphertext length" `Quick test_ocb_length;
@@ -332,6 +438,10 @@ let () =
           Alcotest.test_case "pinned KAT: 16 bytes" `Quick test_ocb_kat_16;
           Alcotest.test_case "pinned KAT: 24 bytes" `Quick test_ocb_kat_24;
           Alcotest.test_case "pinned KAT: 40 bytes" `Quick test_ocb_kat_40;
+          Alcotest.test_case "in-place equals string API, len 0-64" `Quick
+            test_ocb_in_place_matches_string_api;
+          Alcotest.test_case "open_into rejects tag flip" `Quick test_ocb_open_into_rejects_flip;
+          Alcotest.test_case "long message L-table growth" `Quick test_ocb_long_message_l_tab;
           prop_ocb_roundtrip;
           prop_ocb_tamper;
           prop_ocb_offsets_agree;

@@ -83,6 +83,33 @@ let test_more_cos_than_results () =
   let o = Par.alg5 ~p:8 ~m:4 ~seed:5 ~predicate:pred [ a; b ] in
   Alcotest.(check bool) "still correct" true (tuple_set o.Par.results = want)
 
+let test_alg4_more_cos_than_tuples () =
+  (* p > L = |A|x|B|: some shards get an empty index range.  They must
+     behave exactly like absent workers — zero transfers, no phantom
+     Output slot — while the join result and the accounting invariant
+     (sum = speedup * max) stay intact. *)
+  let rng = Rng.create 23 in
+  let a, b = W.equijoin_pair rng ~na:2 ~nb:3 ~matches:2 ~max_multiplicity:1 in
+  let l = Instance.l (Instance.create ~m:4 ~seed:1 ~predicate:pred [ a; b ]) in
+  let p = l + 5 in
+  let want =
+    tuple_set (Instance.oracle (Instance.create ~m:4 ~seed:1 ~predicate:pred [ a; b ]))
+  in
+  let o = Par.alg4 ~p ~m:4 ~seed:5 ~predicate:pred [ a; b ] in
+  Alcotest.(check bool) "correct with p > L" true (tuple_set o.Par.results = want);
+  Alcotest.(check int) "one slot per coprocessor" p (Array.length o.Par.per_co_transfers);
+  let empties = Array.fold_left (fun n t -> if t = 0 then n + 1 else n) 0 o.Par.per_co_transfers in
+  Alcotest.(check bool) "empty shards exist and do zero transfers" true (empties >= p - l);
+  let sum = Array.fold_left ( + ) 0 o.Par.per_co_transfers in
+  let mx = Array.fold_left max 1 o.Par.per_co_transfers in
+  Alcotest.(check (float 1e-6)) "sum = speedup * max" (float_of_int sum)
+    (o.Par.speedup *. float_of_int mx);
+  (* Each non-empty shard moves at least its range's writes; with p > L
+     every non-empty shard holds exactly one index. *)
+  Array.iter
+    (fun t -> Alcotest.(check bool) "shard transfers are 0 or >= 1" true (t = 0 || t >= 1))
+    o.Par.per_co_transfers
+
 let test_empty_join_parallel () =
   let rng = Rng.create 17 in
   let a, b = W.equijoin_pair rng ~na:5 ~nb:5 ~matches:0 ~max_multiplicity:1 in
@@ -154,6 +181,7 @@ let () =
           Alcotest.test_case "alg5 p=1..8" `Quick test_alg5_correct;
           Alcotest.test_case "alg6 p=1..8" `Quick test_alg6_correct;
           Alcotest.test_case "more cos than results" `Quick test_more_cos_than_results;
+          Alcotest.test_case "alg4 p > L empty shards" `Quick test_alg4_more_cos_than_tuples;
           Alcotest.test_case "empty join" `Quick test_empty_join_parallel
         ] );
       ( "speedup",
