@@ -27,6 +27,10 @@ module Obs = Ppj_obs
    schema. *)
 let registry = Obs.Registry.default
 
+(* Flight recorder shared by the networked experiments; its span tree is
+   exported as the "trace" section of the JSON document. *)
+let recorder = Obs.Recorder.create ~name:"bench" ()
+
 let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -533,7 +537,7 @@ let netjoin () =
   let mac_key = "bench-mac-key" in
   (* Client and server share the bench registry, so every net.* counter
      and latency histogram lands in the BENCH_*.json export. *)
-  let server = Net.Server.create ~registry ~mac_key ~seed:5 () in
+  let server = Net.Server.create ~registry ~recorder ~mac_key ~seed:5 () in
   let a, b = measured_workload () in
   let schema = W.keyed_schema () in
   let contract =
@@ -543,7 +547,7 @@ let netjoin () =
       predicate = "eq(key,key)";
     }
   in
-  let client () = Net.Client.create ~registry (Net.Transport.loopback server) in
+  let client () = Net.Client.create ~registry ~recorder (Net.Transport.loopback server) in
   let ok = function Ok v -> v | Error e -> failwith e in
   let submit id rel =
     let c = client () in
@@ -592,7 +596,7 @@ let chaos () =
      of this experiment is the machine-readable soak verdict. *)
   let results =
     Obs.Registry.span ~labels:[ ("phase", "chaos") ] registry "bench.chaos.seconds" (fun () ->
-        Net.Chaos.soak ~registry ~seed0:1 ~runs ())
+        Net.Chaos.soak ~registry ~recorder ~seed0:1 ~runs ())
   in
   let tally p = List.length (List.filter p results) in
   let correct = tally (fun r -> r.Net.Chaos.outcome = Net.Chaos.Correct) in
@@ -808,7 +812,10 @@ let write_json path ran =
       [ ("schema", Obs.Json.Str "ppj.bench/1");
         ("generated_at_unix", Obs.Json.Float (Unix.time ()));
         ("experiments", Obs.Json.List (List.map (fun n -> Obs.Json.Str n) ran));
-        ("metrics", Obs.Snapshot.to_json (Obs.Registry.snapshot registry))
+        ("metrics", Obs.Snapshot.to_json (Obs.Registry.snapshot registry));
+        (* Perfetto-loadable span tree of the networked experiments (empty
+           when none of them ran). *)
+        ("trace", Obs.Recorder.to_perfetto recorder)
       ]
   in
   let oc = open_out path in

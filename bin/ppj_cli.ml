@@ -14,6 +14,31 @@ module T = Ppj_relation.Tuple
 module Rng = Ppj_crypto.Rng
 module Co = Ppj_scpu.Coprocessor
 module Trace = Ppj_scpu.Trace
+module Recorder = Ppj_obs.Recorder
+module Json = Ppj_obs.Json
+
+let die fmt = Format.kasprintf (fun m -> Format.eprintf "error: %s@." m; exit 1) fmt
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's flight-recorder trace to $(docv) as Chrome/Perfetto trace-event \
+           JSON (load it at ui.perfetto.dev or chrome://tracing).")
+
+(* A recorder only when the user asked for an export. *)
+let make_recorder ~name trace_out = Option.map (fun _ -> Recorder.create ~name ()) trace_out
+
+let write_trace trace_out recorder =
+  match (trace_out, recorder) with
+  | Some path, Some r ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (Json.to_string (Recorder.to_perfetto r));
+          Out_channel.output_char oc '\n');
+      Format.printf "trace -> %s@." path
+  | _ -> ()
 
 type algorithm = A1 | A1v | A2 | A3 | A4 | A5 | A6 | A7
 
@@ -55,10 +80,11 @@ let metrics_arg =
     & info [ "metrics" ]
         ~doc:"Also print the run's metrics snapshot (per-region transfer counters, memory ledger, stats).")
 
-let make_instance ?faults ~na ~nb ~matches ~mult ~m ~seed () =
+let make_instance ?recorder ?faults ~na ~nb ~matches ~mult ~m ~seed () =
   let rng = Rng.create seed in
   let a, b = W.equijoin_pair rng ~na ~nb ~matches ~max_multiplicity:mult in
-  Instance.create ?faults ~m ~seed:(seed + 1) ~predicate:(P.equijoin2 "key" "key") [ a; b ]
+  Instance.create ?recorder ?faults ~m ~seed:(seed + 1) ~predicate:(P.equijoin2 "key" "key")
+    [ a; b ]
 
 let fault_plan_arg =
   Arg.(
@@ -90,9 +116,10 @@ let execute algorithm ~eps ~mult inst =
   | A7 -> fst (Algorithm7.run inst ~attr_a:"key" ~attr_b:"key")
 
 let run_cmd =
-  let run algorithm na nb matches mult m seed eps metrics fault_plan =
+  let run algorithm na nb matches mult m seed eps metrics fault_plan trace_out =
+    let recorder = make_recorder ~name:"cli" trace_out in
     let faults = Option.map make_injector fault_plan in
-    let inst = make_instance ?faults ~na ~nb ~matches ~mult ~m ~seed () in
+    let inst = make_instance ?recorder ?faults ~na ~nb ~matches ~mult ~m ~seed () in
     let rec attempt resumes_left =
       match execute algorithm ~eps ~mult inst with
       | r -> r
@@ -103,13 +130,38 @@ let run_cmd =
           end;
           Format.printf "coprocessor crashed at transfer %d; resuming from last checkpoint@."
             transfer;
-          Instance.recover inst;
-          attempt (resumes_left - 1)
+          resume (resumes_left - 1)
       | exception Co.Tamper_detected msg ->
           Format.eprintf "TAMPER DETECTED: %s@." msg;
           exit 1
+    (* The resume span hangs under the original join span, like the
+       service's crash-resume path, so the exported tree stays connected. *)
+    and resume resumes_left =
+      match recorder with
+      | None ->
+          Instance.recover inst;
+          attempt resumes_left
+      | Some r ->
+          Recorder.with_span r
+            ?parent:(Instance.join_span inst)
+            ~attrs:[ ("attempt", Recorder.int (Instance.resumes inst + 1)) ]
+            "resume"
+            (fun () ->
+              Instance.recover inst;
+              attempt resumes_left)
     in
-    let r = attempt 8 in
+    let run_join () =
+      match recorder with
+      | None -> attempt 8
+      | Some r ->
+          Recorder.with_span r "join" (fun () ->
+              (match Recorder.current_span_id r with
+              | Some id -> Instance.set_join_span inst id
+              | None -> ());
+              attempt 8)
+    in
+    let r = run_join () in
+    write_trace trace_out recorder;
     if Instance.resumes inst > 0 then
       Format.printf "(join completed after %d crash-resume(s))@.@." (Instance.resumes inst);
     Format.printf "@[<v>%a@,@,results:@," Report.pp r;
@@ -130,7 +182,7 @@ let run_cmd =
     end
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a join algorithm on a synthetic workload and print the results.")
-    Term.(const run $ algorithm_arg $ na_arg $ nb_arg $ matches_arg $ mult_arg $ m_arg $ seed_arg $ eps_arg $ metrics_arg $ fault_plan_arg)
+    Term.(const run $ algorithm_arg $ na_arg $ nb_arg $ matches_arg $ mult_arg $ m_arg $ seed_arg $ eps_arg $ metrics_arg $ fault_plan_arg $ trace_out_arg)
 
 let trace_cmd =
   let run algorithm na nb matches mult m seed eps limit =
@@ -290,8 +342,6 @@ let wait_arg =
     value & opt float 10.
     & info [ "wait" ] ~doc:"Seconds to keep retrying the initial connection (0 = one attempt).")
 
-let die fmt = Format.kasprintf (fun m -> Format.eprintf "error: %s@." m; exit 1) fmt
-
 let socket_arg =
   Arg.(
     required
@@ -337,13 +387,36 @@ let print_client_metrics client =
   Format.printf "@.metrics:@.%a@." Ppj_obs.Snapshot.pp
     (Ppj_obs.Registry.snapshot (Net.Client.registry client))
 
+let log_level_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Emit structured key=value log lines on stderr at $(docv) \
+           (debug|info|warn|error).  Silent when omitted.")
+
 let serve_cmd =
-  let run socket mac_key seed max_sessions metrics =
-    let server = Net.Server.create ~seed ~mac_key () in
+  let run socket mac_key seed max_sessions metrics log_level trace_out fault_plan
+      checkpoint_every =
+    let logger =
+      match log_level with
+      | None -> Ppj_obs.Log.null
+      | Some s -> (
+          match Ppj_obs.Log.level_of_string s with
+          | Ok level -> Ppj_obs.Log.create ~level ~name:"ppj.server" ()
+          | Error e -> die "%s" e)
+    in
+    let recorder = make_recorder ~name:"server" trace_out in
+    let faults = Option.map make_injector fault_plan in
+    let server =
+      Net.Server.create ~seed ~mac_key ?recorder ~logger ?faults ?checkpoint_every ()
+    in
     Format.printf "ppj serve: listening on %s@." socket;
     Format.print_flush ();
     Net.Server.serve_unix server ~path:socket ?max_sessions ();
     Format.printf "ppj serve: done after %d session(s)@." (Net.Server.sessions_closed server);
+    write_trace trace_out recorder;
     if metrics then
       Format.printf "@.metrics:@.%a@." Ppj_obs.Snapshot.pp
         (Ppj_obs.Registry.snapshot (Net.Server.registry server))
@@ -354,24 +427,35 @@ let serve_cmd =
       & opt (some int) None
       & info [ "max-sessions" ] ~doc:"Exit once this many sessions have closed.")
   in
+  let checkpoint_every_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "checkpoint-every" ]
+          ~doc:"Seal a recovery checkpoint every N coprocessor transfers.")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc:"Run the join service as a server on a Unix-domain socket.")
-    Term.(const run $ socket_arg $ mac_key_arg $ seed_arg $ max_sessions_arg $ metrics_arg)
+    Term.(
+      const run $ socket_arg $ mac_key_arg $ seed_arg $ max_sessions_arg $ metrics_arg
+      $ log_level_arg $ trace_out_arg $ fault_plan_arg $ checkpoint_every_arg)
 
 let submit_cmd =
-  let run socket mac_key id contract path metrics wait =
+  let run socket mac_key id contract path metrics wait trace_out =
     match read_csv path ~name:id with
     | Error e -> die "%s" e
     | Ok rel -> (
         match connect_with_retry ~wait socket with
         | Error e -> die "%s" e
         | Ok transport ->
-            let client = Net.Client.create transport in
+            let recorder = make_recorder ~name:"client" trace_out in
+            let client = Net.Client.create ?recorder transport in
             let rng = Rng.create (Hashtbl.hash (id, path)) in
             let schema = rel.Ppj_relation.Relation.schema in
             let outcome = Net.Client.submit_relation client ~rng ~id ~mac_key ~contract ~schema rel in
             if metrics then print_client_metrics client;
             Net.Client.close client;
+            write_trace trace_out recorder;
             (match outcome with
             | Ok () ->
                 Format.printf "submitted %d tuples under %s as %s@."
@@ -386,10 +470,11 @@ let submit_cmd =
              bind the contract, upload encrypted).")
     Term.(
       const run $ socket_arg $ mac_key_arg $ id_arg $ contract_term $ path_arg $ metrics_arg
-      $ wait_arg)
+      $ wait_arg $ trace_out_arg)
 
 let fetch_cmd =
-  let run socket mac_key id contract algorithm m seed eps mult attr_a attr_b out metrics wait =
+  let run socket mac_key id contract algorithm m seed eps mult attr_a attr_b out metrics wait
+      trace_out =
     let algorithm =
       match algorithm with
       | A1 -> Service.Alg1 { n = mult }
@@ -405,11 +490,13 @@ let fetch_cmd =
     match connect_with_retry ~wait socket with
     | Error e -> die "%s" e
     | Ok transport -> (
-        let client = Net.Client.create transport in
+        let recorder = make_recorder ~name:"client" trace_out in
+        let client = Net.Client.create ?recorder transport in
         let rng = Rng.create (Hashtbl.hash (id, "fetch")) in
         let outcome = Net.Client.fetch_result client ~rng ~id ~mac_key ~contract config in
         if metrics then print_client_metrics client;
         Net.Client.close client;
+        write_trace trace_out recorder;
         match outcome with
         | Error e -> die "%s" e
         | Ok (schema, tuples) -> (
@@ -429,7 +516,8 @@ let fetch_cmd =
              the sealed result.")
     Term.(
       const run $ socket_arg $ mac_key_arg $ id_arg $ contract_term $ algorithm_arg $ m_arg
-      $ seed_arg $ eps_arg $ mult_arg $ attr_a $ attr_b $ out $ metrics_arg $ wait_arg)
+      $ seed_arg $ eps_arg $ mult_arg $ attr_a $ attr_b $ out $ metrics_arg $ wait_arg
+      $ trace_out_arg)
 
 let gen_cmd =
   let run na nb matches mult seed out_a out_b =
@@ -446,9 +534,10 @@ let gen_cmd =
     Term.(const run $ na_arg $ nb_arg $ matches_arg $ mult_arg $ seed_arg $ out_a $ out_b)
 
 let chaos_cmd =
-  let run runs seed0 verbose =
+  let run runs seed0 verbose trace_out =
     let reg = Ppj_obs.Registry.create () in
-    let results = Net.Chaos.soak ~registry:reg ~seed0 ~runs () in
+    let recorder = make_recorder ~name:"chaos" trace_out in
+    let results = Net.Chaos.soak ~registry:reg ?recorder ~seed0 ~runs () in
     let tally p = List.length (List.filter p results) in
     let correct = tally (fun r -> r.Net.Chaos.outcome = Net.Chaos.Correct) in
     let resumed =
@@ -473,6 +562,7 @@ let chaos_cmd =
       "chaos: %d runs — %d correct (%d after crash-resume), %d tamper-detected, %d refused, %d \
        wrong; %d fault event(s) fired@."
       runs correct resumed tamper refused (List.length wrong) injected;
+    write_trace trace_out recorder;
     if wrong <> [] then exit 1
   in
   let runs_arg = Arg.(value & opt int 50 & info [ "runs" ] ~doc:"Seeded fault plans to soak.") in
@@ -486,7 +576,80 @@ let chaos_cmd =
          "Soak the client/server join under random seeded fault plans: every run must end in \
           the oracle's answer or a typed refusal.  Exits nonzero if any run returns a wrong \
           answer.")
-    Term.(const run $ runs_arg $ seed0_arg $ verbose_arg)
+    Term.(const run $ runs_arg $ seed0_arg $ verbose_arg $ trace_out_arg)
+
+let trace_check_cmd =
+  let run files require_shared merged_out =
+    let read path =
+      match In_channel.with_open_text path In_channel.input_all with
+      | exception Sys_error e -> die "%s" e
+      | text -> (
+          match Json.of_string text with
+          | Error e -> die "%s: not JSON: %s" path e
+          | Ok j -> (
+              match Recorder.events_of j with
+              | Error e -> die "%s: %s" path e
+              | Ok [] -> die "%s: trace has no events" path
+              | Ok events -> (path, j, events)))
+    in
+    let traces = List.map read files in
+    List.iter
+      (fun (path, _, events) -> Format.printf "%s: %d event(s)@." path (List.length events))
+      traces;
+    let trace_ids =
+      List.concat_map
+        (fun (_, _, events) ->
+          List.filter_map
+            (fun e ->
+              match Option.bind (Json.member "args" e) (Json.member "trace_id") with
+              | Some (Json.Str id) -> Some id
+              | _ -> None)
+            events)
+        traces
+      |> List.sort_uniq String.compare
+    in
+    (match trace_ids with
+    | [] -> die "no span carries a trace id"
+    | [ id ] -> Format.printf "trace id: %s@." id
+    | ids ->
+        if require_shared then
+          die "expected one shared trace id, found %d: %s" (List.length ids)
+            (String.concat ", " ids)
+        else Format.printf "%d distinct trace ids@." (List.length ids));
+    match merged_out with
+    | None -> ()
+    | Some path -> (
+        match Recorder.merge (List.map (fun (_, j, _) -> j) traces) with
+        | Error e -> die "merge: %s" e
+        | Ok merged ->
+            Out_channel.with_open_text path (fun oc ->
+                Out_channel.output_string oc (Json.to_string merged);
+                Out_channel.output_char oc '\n');
+            Format.printf "merged %d trace(s) -> %s@." (List.length traces) path)
+  in
+  let files_arg = Arg.(non_empty & pos_all file [] & info [] ~docv:"TRACE.json") in
+  let require_shared_arg =
+    Arg.(
+      value & flag
+      & info [ "require-shared-trace" ]
+          ~doc:
+            "Fail unless every span across all files carries the same trace id — i.e. the \
+             files are two sides of one propagated trace.")
+  in
+  let merged_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "merged-out" ] ~docv:"FILE"
+          ~doc:"Also write the concatenation of all input traces to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:
+         "Validate exported flight-recorder traces: well-formed trace-event JSON, non-empty, \
+          and (optionally) sharing one propagated trace id.  Useful in CI before uploading \
+          trace artifacts.")
+    Term.(const run $ files_arg $ require_shared_arg $ merged_out_arg)
 
 let () =
   let doc = "privacy preserving joins on (simulated) secure coprocessors" in
@@ -494,4 +657,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "ppj" ~version:"0.2.0" ~doc)
           [ run_cmd; trace_cmd; privacy_cmd; cost_cmd; nstar_cmd; parallel_cmd; csv_join_cmd;
-            serve_cmd; submit_cmd; fetch_cmd; gen_cmd; chaos_cmd ]))
+            serve_cmd; submit_cmd; fetch_cmd; gen_cmd; chaos_cmd; trace_check_cmd ]))

@@ -15,6 +15,11 @@ type t = {
   host : Host.t;
   m : int;
   seed : int;
+  recorder : Ppj_obs.Recorder.t option;
+  event_batch : int option;
+  mutable join_span : string option;
+      (* flight-recorder id of the original join span, so a later resume
+         span can be parented under it even across a server round trip *)
   faults : Ppj_fault.Injector.t option;
   checkpoint_every : int option;
   nvram : int ref;
@@ -51,7 +56,8 @@ let load_tables co ~rels ~sizes ~widths =
       Coprocessor.load_region co (Trace.Table r.Relation.name) slots)
     rels
 
-let create ?(fixed_time = true) ?faults ?checkpoint_every ~m ~seed ~predicate rels =
+let create ?(fixed_time = true) ?recorder ?event_batch ?faults ?checkpoint_every ~m ~seed
+    ~predicate rels =
   if rels = [] then invalid_arg "Instance.create: no relations";
   (* A fault plan may carry its own checkpoint interval
      ([checkpoint@every=C]); an explicit argument wins. *)
@@ -62,7 +68,9 @@ let create ?(fixed_time = true) ?faults ?checkpoint_every ~m ~seed ~predicate re
   in
   let host = Host.create () in
   let nvram = ref 0 in
-  let co = Coprocessor.create ?faults ?checkpoint_every ~nvram ~host ~m ~seed () in
+  let co =
+    Coprocessor.create ?recorder ?event_batch ?faults ?checkpoint_every ~nvram ~host ~m ~seed ()
+  in
   let rels = Array.of_list rels in
   let widths = Array.map (fun r -> Schema.width r.Relation.schema) rels in
   let sizes = Array.map Relation.cardinality rels in
@@ -72,6 +80,9 @@ let create ?(fixed_time = true) ?faults ?checkpoint_every ~m ~seed ~predicate re
     host;
     m;
     seed;
+    recorder;
+    event_batch;
+    join_span = None;
     faults;
     checkpoint_every;
     nvram;
@@ -91,15 +102,17 @@ let create ?(fixed_time = true) ?faults ?checkpoint_every ~m ~seed ~predicate re
 
 let recover t =
   t.prior_traces <- Coprocessor.trace t.co :: t.prior_traces;
-  let { host; m; seed; faults; checkpoint_every; nvram; _ } = t in
+  let { host; m; seed; recorder; event_batch; faults; checkpoint_every; nvram; _ } = t in
   let co =
     if Host.has_checkpoint host then
-      Coprocessor.resume ?faults ?checkpoint_every ~nvram ~host ~m ~seed ()
+      Coprocessor.resume ?recorder ?event_batch ?faults ?checkpoint_every ~nvram ~host ~m ~seed
+        ()
     else begin
       (* Crash before the first checkpoint: nothing sealed, so the rerun
          is a fresh protocol execution from the pristine inputs. *)
       Host.reset host;
-      Coprocessor.create ?faults ?checkpoint_every ~nvram ~host ~m ~seed ()
+      Coprocessor.create ?recorder ?event_batch ?faults ?checkpoint_every ~nvram ~host ~m ~seed
+        ()
     end
   in
   load_tables co ~rels:t.rels ~sizes:t.sizes ~widths:t.widths;
@@ -108,6 +121,10 @@ let recover t =
   t.resume_count <- t.resume_count + 1
 
 let resumes t = t.resume_count
+
+let recorder t = t.recorder
+let set_join_span t id = t.join_span <- Some id
+let join_span t = t.join_span
 
 let extended_trace t =
   match t.prior_traces with

@@ -18,6 +18,8 @@ type t
 
 val create :
   ?fixed_time:bool ->
+  ?recorder:Ppj_obs.Recorder.t ->
+  ?event_batch:int ->
   ?faults:Ppj_fault.Injector.t ->
   ?checkpoint_every:int ->
   m:int ->
@@ -49,6 +51,17 @@ val recover : t -> unit
 
 val resumes : t -> int
 (** How many times {!recover} ran. *)
+
+val recorder : t -> Ppj_obs.Recorder.t option
+(** The flight recorder threaded through at {!create}, shared with every
+    replacement coprocessor {!recover} brings up. *)
+
+val set_join_span : t -> string -> unit
+(** Remember the id of this join's top-level span, so a later resume
+    span can be parented under it (the original span has ended by the
+    time a crashed join is retried). *)
+
+val join_span : t -> string option
 
 val extended_trace : t -> Trace.t
 (** The adversary's full view across crashes: every pre-crash trace

@@ -1,6 +1,7 @@
 module Channel = Ppj_scpu.Channel
 module Attestation = Ppj_scpu.Attestation
 module Coprocessor = Ppj_scpu.Coprocessor
+module Recorder = Ppj_obs.Recorder
 module Host = Ppj_scpu.Host
 module Schema = Ppj_relation.Schema
 module Tuple = Ppj_relation.Tuple
@@ -56,39 +57,85 @@ let run_algorithm config inst =
 
 exception Join_crashed of { inst : Instance.t; transfer : int }
 
-let execute_join ?faults ?checkpoint_every ?(max_resumes = 0) config ~predicate rels =
+let algorithm_name = function
+  | Alg1 _ -> "alg1"
+  | Alg2 _ -> "alg2"
+  | Alg3 _ -> "alg3"
+  | Alg4 -> "alg4"
+  | Alg5 -> "alg5"
+  | Alg6 _ -> "alg6"
+  | Alg7 _ -> "alg7"
+  | Auto _ -> "auto"
+
+(* The resume span hangs under the {e original} join span — which has
+   already ended by the time a crashed join is retried, possibly in a
+   later server round trip — so the crash–resume–retry sequence reads as
+   one connected tree in the exported trace. *)
+let with_resume_span inst f =
+  match Instance.recorder inst with
+  | None -> f ()
+  | Some r ->
+      Recorder.with_span r ?parent:(Instance.join_span inst)
+        ~attrs:[ ("attempt", Recorder.int (Instance.resumes inst + 1)) ]
+        "resume" f
+
+let with_join_span ?recorder config inst f =
+  match recorder with
+  | None -> f ()
+  | Some r ->
+      Recorder.with_span r
+        ~attrs:
+          [ ("algorithm", Recorder.sym (algorithm_name config.algorithm));
+            ("m", Recorder.int config.m)
+          ]
+        "join"
+        (fun () ->
+          (match Recorder.current_span_id r with
+          | Some id -> Instance.set_join_span inst id
+          | None -> ());
+          f ())
+
+let execute_join ?faults ?checkpoint_every ?recorder ?event_batch ?(max_resumes = 0) config
+    ~predicate rels =
   let inst =
-    Instance.create ?faults ?checkpoint_every ~m:config.m ~seed:config.seed ~predicate rels
+    Instance.create ?recorder ?event_batch ?faults ?checkpoint_every ~m:config.m
+      ~seed:config.seed ~predicate rels
   in
   let rec attempt resumes_left =
     match run_algorithm config inst with
     | report -> report
     | exception Coprocessor.Crashed { transfer } ->
         if resumes_left <= 0 then raise (Join_crashed { inst; transfer })
-        else begin
-          Instance.recover inst;
-          attempt (resumes_left - 1)
-        end
+        else
+          with_resume_span inst (fun () ->
+              Instance.recover inst;
+              attempt (resumes_left - 1))
   in
-  (inst, attempt max_resumes)
+  (inst, with_join_span ?recorder config inst (fun () -> attempt max_resumes))
 
 let resume_join config inst =
   (* One recovery per call: if the replacement coprocessor also crashes
      (a plan can carry several crash events), the caller — typically a
      server answering a retrying client — gets [Join_crashed] again and
      may call back. *)
-  Instance.recover inst;
-  match run_algorithm config inst with
-  | report -> (inst, report)
-  | exception Coprocessor.Crashed { transfer } -> raise (Join_crashed { inst; transfer })
+  with_resume_span inst (fun () ->
+      Instance.recover inst;
+      match run_algorithm config inst with
+      | report -> (inst, report)
+      | exception Coprocessor.Crashed { transfer } -> raise (Join_crashed { inst; transfer }))
 
 let seal_to inst ~recipient ~contract =
   (* T re-reads the disk batches, decrypts them, and seals the stream to
      the recipient's session key. *)
-  let co = Instance.co inst in
-  let host = Coprocessor.host co in
-  let otuples = List.map (Coprocessor.decrypt_for_recipient co) (Host.disk host) in
-  Channel.seal_result recipient contract otuples
+  let body () =
+    let co = Instance.co inst in
+    let host = Coprocessor.host co in
+    let otuples = List.map (Coprocessor.decrypt_for_recipient co) (Host.disk host) in
+    Channel.seal_result recipient contract otuples
+  in
+  match Instance.recorder inst with
+  | None -> body ()
+  | Some r -> Recorder.with_span r "output" body
 
 let open_delivery ~schema ~recipient ~contract sealed =
   let* reals = Channel.open_result recipient contract sealed in
@@ -103,18 +150,26 @@ let accept_all contract submissions =
     (Ok []) submissions
   |> Result.map List.rev
 
-let run config ~contract ~submissions ~recipient ~predicate =
+let run ?recorder config ~contract ~submissions ~recipient ~predicate =
   (* Every phase runs under a wall-clock span; the spans land in the
-     report's metrics next to the per-region transfer counters. *)
+     report's metrics next to the per-region transfer counters.  With a
+     recorder, the same phases open flight-recorder spans too. *)
   let reg = Ppj_obs.Registry.create () in
-  let phase name f = Ppj_obs.Registry.span ~labels:[ ("phase", name) ] reg "service.phase.seconds" f in
+  let phase name f =
+    let f =
+      match recorder with
+      | None -> f
+      | Some r -> fun () -> Recorder.with_span r ("phase." ^ name) f
+    in
+    Ppj_obs.Registry.span ~labels:[ ("phase", name) ] reg "service.phase.seconds" f
+  in
   (* Outbound authentication: the requestors check the service's chain
      before entrusting it with data (§3.3.3). *)
   let attested = phase "attestation" (fun () -> verify_chain (attestation_chain ())) in
   if not attested then Error "outbound authentication failed"
   else
     let* rels = phase "submission_verify" (fun () -> accept_all contract submissions) in
-    let inst, report = phase "join" (fun () -> execute_join config ~predicate rels) in
+    let inst, report = phase "join" (fun () -> execute_join ?recorder config ~predicate rels) in
     let* delivered =
       phase "sealing" (fun () ->
           let sealed = seal_to inst ~recipient ~contract in

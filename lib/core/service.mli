@@ -59,9 +59,14 @@ exception Join_crashed of { inst : Instance.t; transfer : int }
     when a remote client retries — can pick the join back up from the
     last sealed checkpoint. *)
 
+val algorithm_name : algorithm -> string
+(** Short lowercase tag ("alg5", "auto") for logs, spans and reports. *)
+
 val execute_join :
   ?faults:Ppj_fault.Injector.t ->
   ?checkpoint_every:int ->
+  ?recorder:Ppj_obs.Recorder.t ->
+  ?event_batch:int ->
   ?max_resumes:int ->
   config ->
   predicate:Predicate.t ->
@@ -72,12 +77,18 @@ val execute_join :
     injector for this run and [checkpoint_every] the sealed recovery
     checkpoints; on an injected coprocessor crash, up to [max_resumes]
     (default 0) in-process recoveries are attempted before
-    {!Join_crashed} escapes. *)
+    {!Join_crashed} escapes.  With a [recorder], the run opens a "join"
+    span (remembered in the instance for later resume parenting), each
+    in-process recovery opens a "resume" span under it, and the
+    coprocessor emits transfer-batch/fault/checkpoint events
+    ([event_batch] tunes their granularity). *)
 
 val resume_join : config -> Instance.t -> Instance.t * Report.t
 (** Recover the crashed instance from its last sealed checkpoint (or from
     scratch if it never checkpointed) and re-run the algorithm to
-    completion.  @raise Join_crashed if a further crash event fires. *)
+    completion, under a "resume" span parented on the original join span
+    when the instance carries a recorder.
+    @raise Join_crashed if a further crash event fires. *)
 
 val seal_to :
   Instance.t -> recipient:Channel.party -> contract:Channel.contract -> string
@@ -94,6 +105,7 @@ val open_delivery :
     surviving payloads under the joined schema. *)
 
 val run :
+  ?recorder:Ppj_obs.Recorder.t ->
   config ->
   contract:Channel.contract ->
   submissions:(Channel.party * Schema.t * Channel.submission) list ->

@@ -80,10 +80,13 @@ let client_config =
 
 let ( let* ) = Result.bind
 
-let play ~faults server seed =
+let play ?recorder ~client_registry ~faults server seed =
   let a, b = workload seed in
   let session k =
-    let c = Client.create ~config:client_config (Transport.loopback ~faults server) in
+    let c =
+      Client.create ~config:client_config ~registry:client_registry ?recorder
+        (Transport.loopback ~faults server)
+    in
     Fun.protect ~finally:(fun () -> Client.close c) (fun () -> k c)
   in
   let submit id rel =
@@ -99,14 +102,18 @@ let play ~faults server seed =
         ~rng:(Rng.create (seed + 99))
         ~id:"carol" ~mac_key ~contract config)
 
-let run_one ?registry ~seed () =
+let run_one ?registry ?recorder ~seed () =
   let reg = match registry with Some r -> r | None -> Registry.create () in
   let plan = Plan.random ~seed in
   let faults = Injector.create plan in
-  let server = Server.create ~mac_key ~seed:5 ~faults () in
+  (* A soak is thousands of joins: reservoir-cap the per-run latency
+     histograms so observability stays O(cap) however long it runs. *)
+  let server_registry = Registry.create ~histogram_cap:512 () in
+  let client_registry = Registry.create ~histogram_cap:512 () in
+  let server = Server.create ~registry:server_registry ?recorder ~mac_key ~seed:5 ~faults () in
   let expected = oracle seed in
   let outcome =
-    match play ~faults server seed with
+    match play ?recorder ~client_registry ~faults server seed with
     | Error e -> if contains ~sub:"tamper" e then Tamper e else Refused e
     | Ok (_schema, tuples) ->
         let got = List.map Tuple.encode tuples in
@@ -130,5 +137,5 @@ let run_one ?registry ~seed () =
   | Wrong _ -> count "chaos.wrong");
   { seed; plan; outcome; crashes; injected = Injector.injected faults }
 
-let soak ?registry ?(seed0 = 1) ~runs () =
-  List.init runs (fun i -> run_one ?registry ~seed:(seed0 + i) ())
+let soak ?registry ?recorder ?(seed0 = 1) ~runs () =
+  List.init runs (fun i -> run_one ?registry ?recorder ~seed:(seed0 + i) ())

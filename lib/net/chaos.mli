@@ -39,12 +39,22 @@ val safe : run -> bool
 
 val outcome_to_string : outcome -> string
 
-val run_one : ?registry:Ppj_obs.Registry.t -> seed:int -> unit -> run
+val run_one :
+  ?registry:Ppj_obs.Registry.t -> ?recorder:Ppj_obs.Recorder.t -> seed:int -> unit -> run
 (** One seeded trial.  Deterministic: the same [seed] reproduces the
     same plan, the same fault firings, and the same outcome.  Counters
     [chaos.runs], [chaos.correct], [chaos.tamper], [chaos.refused],
     [chaos.wrong] and [chaos.faults.injected] accumulate in
-    [registry]. *)
+    [registry].  [recorder] is handed to both the client and the server
+    side, so a soak can export one flight-recorder trace showing every
+    crash, resume and retry; the per-run latency registries are
+    reservoir-capped so a long soak's memory stays bounded. *)
 
-val soak : ?registry:Ppj_obs.Registry.t -> ?seed0:int -> runs:int -> unit -> run list
+val soak :
+  ?registry:Ppj_obs.Registry.t ->
+  ?recorder:Ppj_obs.Recorder.t ->
+  ?seed0:int ->
+  runs:int ->
+  unit ->
+  run list
 (** [runs] trials on consecutive seeds starting at [seed0] (default 1). *)

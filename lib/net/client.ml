@@ -4,6 +4,7 @@ module Relation = Ppj_relation.Relation
 module Tuple = Ppj_relation.Tuple
 module Service = Ppj_core.Service
 module Registry = Ppj_obs.Registry
+module Recorder = Ppj_obs.Recorder
 
 type config = {
   recv_timeout : float;
@@ -27,6 +28,7 @@ type t = {
   transport : Transport.t;
   config : config;
   registry : Registry.t;
+  recorder : Recorder.t option;
   decoder : Frame.Decoder.t;
   mutable party : Channel.party option;
   mutable contract : Channel.contract option;
@@ -37,10 +39,11 @@ type t = {
          lost) and must be dropped, not handed to the next RPC *)
 }
 
-let create ?(config = default_config) ?registry transport =
+let create ?(config = default_config) ?registry ?recorder transport =
   { transport;
     config;
     registry = (match registry with Some r -> r | None -> Registry.create ());
+    recorder;
     decoder = Frame.Decoder.create ();
     party = None;
     contract = None;
@@ -49,6 +52,15 @@ let create ?(config = default_config) ?registry transport =
   }
 
 let registry t = t.registry
+
+let recorder t = t.recorder
+
+(* The client drives the session sequentially, so — unlike the server's
+   interleaved select loop — it can safely hold spans across several
+   round trips ("handshake" covers attest + hello, "upload" the whole
+   chunk stream). *)
+let with_span t ?attrs name f =
+  match t.recorder with None -> f () | Some r -> Recorder.with_span r ?attrs name f
 
 let count ?by t name = Ppj_obs.Counter.incr ?by (Registry.counter t.registry name)
 
@@ -170,7 +182,10 @@ let with_party t k =
   | None -> Error "client: handshake not complete"
 
 let attest t =
-  match rpc t ~name:"attest" ~idempotent:true (Wire.Attest_request { version = Wire.version }) with
+  (* Stamp this client's trace context into the first frame of the
+     session: the server adopts it, so its spans join our trace. *)
+  let ctx = Option.map Recorder.ctx t.recorder in
+  match rpc t ~name:"attest" ~idempotent:true (Wire.Attest_request { version = Wire.version; ctx }) with
   | Ok (Wire.Attest_chain chain) ->
       if Service.verify_chain chain then Ok ()
       else Error "attest: chain failed verification against the trusted layer digests"
@@ -209,24 +224,30 @@ let upload t ~schema relation =
           let chunk_bytes = max 1 t.config.chunk_bytes in
           let chunks = max 1 ((n + chunk_bytes - 1) / chunk_bytes) in
           let sealed_schema = Channel.seal party (Wire.schema_to_string schema) in
-          send t (Wire.Upload_begin { sealed_schema; chunks });
-          for seq = 0 to chunks - 1 do
-            let off = seq * chunk_bytes in
-            send t
-              (Wire.Upload_chunk { seq; bytes = String.sub body off (min chunk_bytes (n - off)) })
-          done;
-          (match rpc t ~name:"upload" ~idempotent:false Wire.Upload_done with
-          | Ok Wire.Upload_ok -> Ok ()
-          | Ok m -> unexpected "upload" m
-          | Error _ as e -> e))
+          with_span t ~attrs:[ ("chunks", Recorder.int chunks) ] "upload" (fun () ->
+              send t (Wire.Upload_begin { sealed_schema; chunks });
+              for seq = 0 to chunks - 1 do
+                let off = seq * chunk_bytes in
+                send t
+                  (Wire.Upload_chunk
+                     { seq; bytes = String.sub body off (min chunk_bytes (n - off)) })
+              done;
+              match rpc t ~name:"upload" ~idempotent:false Wire.Upload_done with
+              | Ok Wire.Upload_ok -> Ok ()
+              | Ok m -> unexpected "upload" m
+              | Error _ as e -> e))
 
 let execute t config =
   with_party t (fun party ->
       let sealed_config = Channel.seal party (Wire.config_to_string config) in
-      match rpc t ~name:"execute" ~idempotent:true (Wire.Execute { sealed_config }) with
-      | Ok (Wire.Execute_ok { transfers }) -> Ok transfers
-      | Ok m -> unexpected "execute" m
-      | Error _ as e -> e)
+      with_span t
+        ~attrs:[ ("algorithm", Recorder.sym (Service.algorithm_name config.Service.algorithm)) ]
+        "execute"
+        (fun () ->
+          match rpc t ~name:"execute" ~idempotent:true (Wire.Execute { sealed_config }) with
+          | Ok (Wire.Execute_ok { transfers }) -> Ok transfers
+          | Ok m -> unexpected "execute" m
+          | Error _ as e -> e))
 
 let ( let* ) = Result.bind
 
@@ -234,27 +255,35 @@ let fetch t =
   with_party t (fun party ->
       match t.contract with
       | None -> Error "client: no contract bound"
-      | Some contract -> (
-          match rpc t ~name:"fetch" ~idempotent:true Wire.Fetch with
-          | Ok (Wire.Result { sealed_schema; sealed_body }) ->
-              let* plain = Channel.open_sealed party sealed_schema in
-              let* schema = Wire.schema_of_string plain in
-              let* tuples = Service.open_delivery ~schema ~recipient:party ~contract sealed_body in
-              Ok (schema, tuples)
-          | Ok m -> unexpected "fetch" m
-          | Error _ as e -> e))
+      | Some contract ->
+          with_span t "fetch" (fun () ->
+              match rpc t ~name:"fetch" ~idempotent:true Wire.Fetch with
+              | Ok (Wire.Result { sealed_schema; sealed_body }) ->
+                  let* plain = Channel.open_sealed party sealed_schema in
+                  let* schema = Wire.schema_of_string plain in
+                  let* tuples =
+                    Service.open_delivery ~schema ~recipient:party ~contract sealed_body
+                  in
+                  Ok (schema, tuples)
+              | Ok m -> unexpected "fetch" m
+              | Error _ as e -> e))
 
 let close t = t.transport.Transport.close ()
 
+(* The handshake span covers attest + hello: together they are the
+   "establish a channel with an attested service" step of §3.3.3. *)
+let establish t ~rng ~id ~mac_key =
+  with_span t "handshake" (fun () ->
+      let* () = attest t in
+      handshake t ~rng ~id ~mac_key)
+
 let submit_relation t ~rng ~id ~mac_key ~contract ~schema relation =
-  let* () = attest t in
-  let* () = handshake t ~rng ~id ~mac_key in
+  let* () = establish t ~rng ~id ~mac_key in
   let* () = bind_contract t contract in
   upload t ~schema relation
 
 let fetch_result t ~rng ~id ~mac_key ~contract config =
-  let* () = attest t in
-  let* () = handshake t ~rng ~id ~mac_key in
+  let* () = establish t ~rng ~id ~mac_key in
   let* () = bind_contract t contract in
   let* _transfers = execute t config in
   fetch t

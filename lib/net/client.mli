@@ -37,9 +37,17 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> ?registry:Ppj_obs.Registry.t -> Transport.t -> t
+val create :
+  ?config:config -> ?registry:Ppj_obs.Registry.t -> ?recorder:Ppj_obs.Recorder.t -> Transport.t -> t
+(** With a [recorder], the client stamps its trace context into the
+    session's [Attest_request] (so the server's spans join this trace)
+    and opens spans around the lifecycle steps: "handshake" (attest +
+    hello, via the conveniences below), "upload" (the whole chunk
+    stream), "execute" and "fetch". *)
 
 val registry : t -> Ppj_obs.Registry.t
+
+val recorder : t -> Ppj_obs.Recorder.t option
 
 val attest : t -> (unit, string) result
 (** Fetch the attestation chain and verify it against

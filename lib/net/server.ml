@@ -7,6 +7,8 @@ module Service = Ppj_core.Service
 module Instance = Ppj_core.Instance
 module Report = Ppj_core.Report
 module Registry = Ppj_obs.Registry
+module Recorder = Ppj_obs.Recorder
+module Log = Ppj_obs.Log
 module Rng = Ppj_crypto.Rng
 
 type contract_state = {
@@ -54,6 +56,8 @@ type session = {
 type t = {
   mac_key : string;
   registry : Registry.t;
+  recorder : Recorder.t option;
+  log : Log.t;
   rng : Rng.t;
   guard : Channel.Handshake.responder;
   contracts : (string, contract_state) Hashtbl.t;  (* digest -> *)
@@ -63,10 +67,12 @@ type t = {
   mutable sessions_closed : int;
 }
 
-let create ?registry ?(seed = 7) ?(replay_capacity = 4096) ?(max_contracts = 1024) ?faults
-    ?checkpoint_every ~mac_key () =
+let create ?registry ?recorder ?(logger = Log.null) ?(seed = 7) ?(replay_capacity = 4096)
+    ?(max_contracts = 1024) ?faults ?checkpoint_every ~mac_key () =
   { mac_key;
     registry = (match registry with Some r -> r | None -> Registry.create ());
+    recorder;
+    log = logger;
     rng = Rng.create seed;
     guard = Channel.Handshake.responder ~capacity:replay_capacity ();
     contracts = Hashtbl.create 8;
@@ -78,12 +84,18 @@ let create ?registry ?(seed = 7) ?(replay_capacity = 4096) ?(max_contracts = 102
 
 let registry t = t.registry
 
+let recorder t = t.recorder
+
+let with_span t name f =
+  match t.recorder with None -> f () | Some r -> Recorder.with_span r name f
+
 let sessions_closed t = t.sessions_closed
 
 let counter ?labels t name = Ppj_obs.Counter.incr (Registry.counter ?labels t.registry name)
 
 let open_session t =
   counter t "net.server.sessions.opened";
+  Log.debug t.log "session opened";
   { phase = Expect_attest;
     party = None;
     peer_id = "?";
@@ -93,8 +105,9 @@ let open_session t =
     crashed = None;
   }
 
-let close_session t (_ : session) =
+let close_session t session =
   t.sessions_closed <- t.sessions_closed + 1;
+  Log.debug t.log "session closed" ~kv:[ ("peer", session.peer_id) ];
   counter t "net.server.sessions.closed"
 
 let err code fmt =
@@ -102,12 +115,22 @@ let err code fmt =
 
 (* --- per-message handlers ------------------------------------------- *)
 
-let on_attest_request session v =
-  if v <> Wire.version then
+let on_attest_request t session v ctx =
+  if v <> Wire.version then begin
+    Log.warn t.log "version mismatch" ~kv:[ ("offered", string_of_int v) ];
     err Wire.Unsupported_version "server speaks version %d, client offered %d" Wire.version v
+  end
   else begin
     (* Duplicate-tolerant: a client whose reply frame was lost re-asks. *)
     if session.phase = Expect_attest then session.phase <- Expect_hello;
+    (* Join the client's trace: subsequent server spans parent under the
+       client's stamped span, so both processes export one tree. *)
+    (match (ctx, t.recorder) with
+    | Some c, Some r ->
+        Recorder.adopt r c;
+        Log.info t.log "trace context adopted"
+          ~kv:[ ("trace_id", Ppj_obs.Trace_ctx.trace_id c) ]
+    | _ -> ());
     [ Wire.Attest_chain (Service.attestation_chain ()) ]
   end
 
@@ -115,14 +138,22 @@ let on_hello t session h =
   match session.phase with
   | Expect_attest -> err Wire.Bad_state "hello before attestation fetch"
   | Established -> err Wire.Bad_state "handshake already complete"
-  | Expect_hello -> (
-      match Channel.Handshake.respond_guarded t.guard t.rng ~mac_key:t.mac_key h with
-      | Error e -> err Wire.Auth_failed "%s" e
-      | Ok (reply, party) ->
-          session.party <- Some party;
-          session.peer_id <- h.Channel.Handshake.id;
-          session.phase <- Established;
-          [ Wire.Hello_reply reply ])
+  | Expect_hello ->
+      (* One span per message, not per session: the select loop interleaves
+         sessions on one recorder, so cross-message spans would nest
+         arbitrarily.  The client side holds the long spans. *)
+      with_span t "handshake" (fun () ->
+          match Channel.Handshake.respond_guarded t.guard t.rng ~mac_key:t.mac_key h with
+          | Error e ->
+              Log.warn t.log "handshake rejected"
+                ~kv:[ ("peer", h.Channel.Handshake.id); ("reason", e) ];
+              err Wire.Auth_failed "%s" e
+          | Ok (reply, party) ->
+              session.party <- Some party;
+              session.peer_id <- h.Channel.Handshake.id;
+              session.phase <- Established;
+              Log.info t.log "handshake established" ~kv:[ ("peer", session.peer_id) ];
+              [ Wire.Hello_reply reply ])
 
 let established session k =
   match (session.phase, session.party) with
@@ -173,6 +204,7 @@ let on_contract t session sealed =
                         session.crashed <- None
                     | _ -> ());
                     session.bound <- Some cs;
+                    Log.info t.log "contract bound" ~kv:[ ("peer", session.peer_id) ];
                     [ Wire.Contract_ok ]
               end))
 
@@ -237,6 +269,11 @@ let on_upload_done t session =
                     | Ok relation ->
                         Hashtbl.replace cs.submissions session.peer_id (u.schema, relation);
                         counter t "net.server.submissions.accepted";
+                        Log.info t.log "submission accepted"
+                          ~kv:
+                            [ ("peer", session.peer_id);
+                              ("chunks", string_of_int u.total_chunks)
+                            ];
                         [ Wire.Upload_ok ])))
 
 let on_execute t session sealed_config =
@@ -271,42 +308,62 @@ let on_execute t session sealed_config =
                               (fun p -> snd (Hashtbl.find cs.submissions p))
                               cs.contract.Channel.providers
                           in
+                          let alg = Service.algorithm_name config.Service.algorithm in
                           match
                             Registry.span t.registry "net.server.join.seconds" (fun () ->
-                                let inst, report =
-                                  match session.crashed with
-                                  | Some (digest, inst) when String.equal digest config_digest
-                                    ->
-                                      (* Same config retried after a crash:
-                                         pick the join up from the last
-                                         sealed checkpoint. *)
-                                      Service.resume_join config inst
-                                  | _ ->
-                                      Service.execute_join ?faults:t.faults
-                                        ?checkpoint_every:t.checkpoint_every config ~predicate
-                                        rels
-                                in
-                                let sealed_body =
-                                  Service.seal_to inst ~recipient:party ~contract:cs.contract
-                                in
-                                let sealed_schema =
-                                  Channel.seal party
-                                    (Wire.schema_to_string (Instance.joined_schema inst))
-                                in
-                                { sealed_schema;
-                                  sealed_body;
-                                  transfers = report.Report.transfers;
-                                  config_digest;
-                                })
+                                with_span t "execute" (fun () ->
+                                    let inst, report =
+                                      match session.crashed with
+                                      | Some (digest, inst)
+                                        when String.equal digest config_digest ->
+                                          (* Same config retried after a crash:
+                                             pick the join up from the last
+                                             sealed checkpoint. *)
+                                          Log.info t.log "resuming crashed join"
+                                            ~kv:
+                                              [ ("peer", session.peer_id);
+                                                ("algorithm", alg)
+                                              ];
+                                          Service.resume_join config inst
+                                      | _ ->
+                                          Service.execute_join ?faults:t.faults
+                                            ?checkpoint_every:t.checkpoint_every
+                                            ?recorder:t.recorder config ~predicate rels
+                                    in
+                                    let sealed_body =
+                                      Service.seal_to inst ~recipient:party
+                                        ~contract:cs.contract
+                                    in
+                                    let sealed_schema =
+                                      Channel.seal party
+                                        (Wire.schema_to_string (Instance.joined_schema inst))
+                                    in
+                                    { sealed_schema;
+                                      sealed_body;
+                                      transfers = report.Report.transfers;
+                                      config_digest;
+                                    }))
                           with
                           | result ->
                               session.crashed <- None;
                               session.result <- Some result;
                               counter t "net.server.joins.executed";
+                              Log.info t.log "join executed"
+                                ~kv:
+                                  [ ("peer", session.peer_id);
+                                    ("algorithm", alg);
+                                    ("transfers", string_of_int result.transfers)
+                                  ];
                               [ Wire.Execute_ok { transfers = result.transfers } ]
                           | exception Service.Join_crashed { inst; transfer } ->
                               session.crashed <- Some (config_digest, inst);
                               counter t "net.server.joins.crashed";
+                              Log.warn t.log "join crashed"
+                                ~kv:
+                                  [ ("peer", session.peer_id);
+                                    ("algorithm", alg);
+                                    ("transfer", string_of_int transfer)
+                                  ];
                               err Wire.Unavailable
                                 "coprocessor crashed at transfer %d; retry to resume" transfer
                           | exception Ppj_scpu.Coprocessor.Tamper_detected msg ->
@@ -314,26 +371,38 @@ let on_execute t session sealed_config =
                                  terminates on detected tampering. *)
                               session.crashed <- None;
                               counter t "net.server.joins.tampered";
+                              Log.error t.log "tamper detected"
+                                ~kv:[ ("peer", session.peer_id); ("detail", msg) ];
                               err Wire.Internal "tamper detected: %s" msg
                           | exception e ->
+                              Log.error t.log "join failed"
+                                ~kv:[ ("peer", session.peer_id);
+                                      ("error", Printexc.to_string e)
+                                    ];
                               err Wire.Internal "join failed: %s" (Printexc.to_string e))))))
 
-let on_fetch session =
+let on_fetch t session =
   established session (fun _party ->
       match session.result with
-      | Some { sealed_schema; sealed_body; _ } -> [ Wire.Result { sealed_schema; sealed_body } ]
+      | Some { sealed_schema; sealed_body; _ } ->
+          Log.info t.log "result fetched"
+            ~kv:
+              [ ("peer", session.peer_id);
+                ("bytes", string_of_int (String.length sealed_body))
+              ];
+          [ Wire.Result { sealed_schema; sealed_body } ]
       | None -> err Wire.Bad_state "nothing executed on this session yet")
 
 let handle t session msg =
   match msg with
-  | Wire.Attest_request { version } -> on_attest_request session version
+  | Wire.Attest_request { version; ctx } -> on_attest_request t session version ctx
   | Wire.Hello h -> on_hello t session h
   | Wire.Contract { sealed } -> on_contract t session sealed
   | Wire.Upload_begin { sealed_schema; chunks } -> on_upload_begin t session ~sealed_schema ~chunks
   | Wire.Upload_chunk { seq; bytes } -> on_upload_chunk t session ~seq ~bytes
   | Wire.Upload_done -> on_upload_done t session
   | Wire.Execute { sealed_config } -> on_execute t session sealed_config
-  | Wire.Fetch -> on_fetch session
+  | Wire.Fetch -> on_fetch t session
   | Wire.Attest_chain _ | Wire.Hello_reply _ | Wire.Contract_ok | Wire.Upload_ok
   | Wire.Execute_ok _ | Wire.Result _ | Wire.Error _ ->
       err Wire.Bad_state "client-bound message sent to server"

@@ -18,6 +18,8 @@ type t
 
 val create :
   ?registry:Ppj_obs.Registry.t ->
+  ?recorder:Ppj_obs.Recorder.t ->
+  ?logger:Ppj_obs.Log.t ->
   ?seed:int ->
   ?replay_capacity:int ->
   ?max_contracts:int ->
@@ -35,6 +37,15 @@ val create :
     binding a fresh contract beyond that is answered with a typed
     [Contract_rejected] error rather than growing without limit.
 
+    [recorder] arms the flight recorder: the server opens per-message
+    spans ("handshake", "execute" — never spans that straddle messages,
+    since the select loop interleaves sessions on one recorder), threads
+    the recorder into {!Ppj_core.Service.execute_join}, and adopts the
+    trace context a v3 client stamps into its [Attest_request] so both
+    processes' spans share one trace.  [logger] (default
+    {!Ppj_obs.Log.null}) receives structured key=value lines for session
+    lifecycle, handshakes, contract binding, uploads, joins and fetches.
+
     [faults] arms coprocessor fault injection for every join this server
     runs and [checkpoint_every] sealed recovery checkpoints.  An injected
     coprocessor crash answers the [Execute] with a typed [Unavailable]
@@ -44,6 +55,8 @@ val create :
     [Internal] "tamper detected" error, never a wrong answer. *)
 
 val registry : t -> Ppj_obs.Registry.t
+
+val recorder : t -> Ppj_obs.Recorder.t option
 
 val sessions_closed : t -> int
 

@@ -3,7 +3,9 @@ module Attestation = Ppj_scpu.Attestation
 module Schema = Ppj_relation.Schema
 module Service = Ppj_core.Service
 
-let version = 2
+(* v3 added the optional trace context on [Attest_request]; the decoder
+   still accepts the bare v2 payload (version only, no context). *)
+let version = 3
 
 (* --- primitive writers/readers ------------------------------------- *)
 (* Integers are big-endian; [str] is a u32 length prefix plus the raw
@@ -254,7 +256,7 @@ let error_code_of_int = function
   | _ -> Internal
 
 type msg =
-  | Attest_request of { version : int }
+  | Attest_request of { version : int; ctx : Ppj_obs.Trace_ctx.t option }
   | Attest_chain of Attestation.certificate list
   | Hello of Channel.Handshake.hello
   | Hello_reply of Channel.Handshake.reply
@@ -308,7 +310,15 @@ let tag_name = function
 let to_frame ?(seq = 0) msg =
   let payload =
     match msg with
-    | Attest_request { version } -> encode (fun b -> W.u16 b version)
+    | Attest_request { version; ctx } ->
+        encode (fun b ->
+            W.u16 b version;
+            match ctx with
+            | None -> W.u8 b 0
+            | Some c ->
+                W.u8 b 1;
+                W.str b (Ppj_obs.Trace_ctx.trace_id c);
+                W.str b (Ppj_obs.Trace_ctx.span_id c))
     | Attest_chain certs ->
         encode (fun b ->
             W.list b
@@ -355,7 +365,24 @@ let to_frame ?(seq = 0) msg =
 let of_frame { Frame.tag; payload; _ } =
   let dec f = decode payload f in
   match tag with
-  | 1 -> dec (fun r -> Attest_request { version = R.u16 r })
+  | 1 ->
+      dec (fun r ->
+          let version = R.u16 r in
+          let ctx =
+            (* A bare v2 payload ends after the version. *)
+            if r.R.pos = String.length r.R.src then None
+            else
+              match R.u8 r with
+              | 0 -> None
+              | 1 -> (
+                  let trace_id = R.str r in
+                  let span_id = R.str r in
+                  match Ppj_obs.Trace_ctx.of_strings ~trace_id ~span_id with
+                  | Ok c -> Some c
+                  | Error m -> R.fail "%s" m)
+              | k -> R.fail "bad trace-context flag %d" k
+          in
+          Attest_request { version; ctx })
   | 2 ->
       dec (fun r ->
           Attest_chain

@@ -37,7 +37,11 @@ type error_code =
 val error_code_to_string : error_code -> string
 
 type msg =
-  | Attest_request of { version : int }
+  | Attest_request of { version : int; ctx : Ppj_obs.Trace_ctx.t option }
+      (** [ctx] (v3) lets the client stamp its flight-recorder trace
+          context into the session; the server adopts it so both sides'
+          spans share one trace.  Decoding accepts the bare v2 payload
+          (no context) for compatibility. *)
   | Attest_chain of Attestation.certificate list
   | Hello of Channel.Handshake.hello
   | Hello_reply of Channel.Handshake.reply

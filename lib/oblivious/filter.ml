@@ -43,9 +43,7 @@ let optimal_delta ~mu =
     !best
   end
 
-let run ?(network = Sort.Bitonic) co ~src ~src_len ~mu ?delta ~is_real ~width () =
-  let delta = match delta with Some d -> d | None -> optimal_delta ~mu in
-  let delta = max 1 delta in
+let run_filter ~network co ~src ~src_len ~mu ~delta ~is_real ~width =
   let cap = mu + delta in
   let p = Bitonic.next_pow2 cap in
   let host = Coprocessor.host co in
@@ -76,3 +74,11 @@ let run ?(network = Sort.Bitonic) co ~src ~src_len ~mu ?delta ~is_real ~width ()
     Sort.sort ~network co Trace.Buffer ~n:p ~compare
   done;
   Trace.Buffer
+
+let run ?(network = Sort.Bitonic) co ~src ~src_len ~mu ?delta ~is_real ~width () =
+  let delta = match delta with Some d -> d | None -> optimal_delta ~mu in
+  let delta = max 1 delta in
+  Coprocessor.with_span co
+    ~attrs:[ ("src_len", src_len); ("mu", mu); ("delta", delta) ]
+    "filter"
+    (fun () -> run_filter ~network co ~src ~src_len ~mu ~delta ~is_real ~width)

@@ -6,17 +6,18 @@ let tag_width = 8
 
 let shuffle co region ~n ~width =
   let rng = Coprocessor.rng co in
-  (* Tag pass: prepend a random 8-byte tag to every element. *)
-  for i = 0 to n - 1 do
-    let x = Coprocessor.get co region i in
-    let tag = Bytes.create tag_width in
-    Bytes.set_int64_be tag 0 (Int64.of_int (Rng.int rng max_int));
-    Coprocessor.put co region i (Bytes.to_string tag ^ x)
-  done;
-  let compare a b = String.compare (String.sub a 0 tag_width) (String.sub b 0 tag_width) in
-  Sort.sort_padded co region ~n ~width:(width + tag_width) ~compare;
-  (* Strip pass. *)
-  for i = 0 to n - 1 do
-    let x = Coprocessor.get co region i in
-    Coprocessor.put co region i (String.sub x tag_width (String.length x - tag_width))
-  done
+  Coprocessor.with_span co ~attrs:[ ("n", n) ] "shuffle" (fun () ->
+      (* Tag pass: prepend a random 8-byte tag to every element. *)
+      for i = 0 to n - 1 do
+        let x = Coprocessor.get co region i in
+        let tag = Bytes.create tag_width in
+        Bytes.set_int64_be tag 0 (Int64.of_int (Rng.int rng max_int));
+        Coprocessor.put co region i (Bytes.to_string tag ^ x)
+      done;
+      let compare a b = String.compare (String.sub a 0 tag_width) (String.sub b 0 tag_width) in
+      Sort.sort_padded co region ~n ~width:(width + tag_width) ~compare;
+      (* Strip pass. *)
+      for i = 0 to n - 1 do
+        let x = Coprocessor.get co region i in
+        Coprocessor.put co region i (String.sub x tag_width (String.length x - tag_width))
+      done)

@@ -19,22 +19,23 @@ let schedule_of network n =
 
 let sort ?(network = Bitonic) co region ~n ~compare =
   let cmp = with_sentinels compare in
-  (* Holding the two elements of a compare-exchange is the "+2" of the
-     paper's M + 2 memory accounting; it is transient, not ledger space. *)
-  Array.iter
-    (fun (p, q) ->
-      let a = Coprocessor.get co region p in
-      let b = Coprocessor.get co region q in
-      Coprocessor.tick co 1;
-      if cmp a b > 0 then begin
-        Coprocessor.put co region p b;
-        Coprocessor.put co region q a
-      end
-      else begin
-        Coprocessor.put co region p a;
-        Coprocessor.put co region q b
-      end)
-    (schedule_of network n)
+  Coprocessor.with_span co ~attrs:[ ("n", n) ] "sort" (fun () ->
+      (* Holding the two elements of a compare-exchange is the "+2" of the
+         paper's M + 2 memory accounting; it is transient, not ledger space. *)
+      Array.iter
+        (fun (p, q) ->
+          let a = Coprocessor.get co region p in
+          let b = Coprocessor.get co region q in
+          Coprocessor.tick co 1;
+          if cmp a b > 0 then begin
+            Coprocessor.put co region p b;
+            Coprocessor.put co region q a
+          end
+          else begin
+            Coprocessor.put co region p a;
+            Coprocessor.put co region q b
+          end)
+        (schedule_of network n))
 
 let padded_size n = Bitonic.next_pow2 n
 

@@ -1,4 +1,11 @@
-type t = { mutable values : float array; mutable len : int; mutable total : float }
+type t = {
+  mutable values : float array;
+  mutable len : int;
+  mutable seen : int;
+  mutable total : float;
+  cap : int option;
+  mutable lcg : int64;
+}
 
 type summary = {
   count : int;
@@ -8,28 +15,61 @@ type summary = {
   mean : float;
   p50 : float;
   p95 : float;
+  p99 : float;
+  sampled : bool;
 }
 
-let create () = { values = Array.make 16 0.; len = 0; total = 0. }
+let create ?cap () =
+  (match cap with
+  | Some c when c < 1 -> invalid_arg "Histogram.create: cap must be >= 1"
+  | _ -> ());
+  let initial = match cap with Some c -> Stdlib.min c 16 | None -> 16 in
+  { values = Array.make initial 0.; len = 0; seen = 0; total = 0.; cap;
+    lcg = 0x9E3779B97F4A7C15L }
 
-let observe t v =
-  if not (Float.is_finite v) then invalid_arg "Histogram.observe: non-finite value";
+(* SplitMix64 step: deterministic per-histogram stream, independent of
+   the global [Random] state so snapshots stay reproducible. *)
+let next_rand t =
+  let open Int64 in
+  t.lcg <- add t.lcg 0x9E3779B97F4A7C15L;
+  let z = t.lcg in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  to_int (shift_right_logical z 2) (* non-negative OCaml int on 64-bit *)
+
+let append t v =
   if t.len = Array.length t.values then begin
-    let bigger = Array.make (2 * t.len) 0. in
+    let next = 2 * t.len in
+    let next = match t.cap with Some c -> Stdlib.min c next | None -> next in
+    let bigger = Array.make next 0. in
     Array.blit t.values 0 bigger 0 t.len;
     t.values <- bigger
   end;
   t.values.(t.len) <- v;
-  t.len <- t.len + 1;
+  t.len <- t.len + 1
+
+let observe t v =
+  if not (Float.is_finite v) then invalid_arg "Histogram.observe: non-finite value";
+  (match t.cap with
+  | Some c when t.len >= c ->
+      (* Algorithm R: the (seen+1)-th observation replaces a random slot
+         with probability c / (seen+1). *)
+      let j = next_rand t mod (t.seen + 1) in
+      if j < c then t.values.(j) <- v
+  | _ -> append t v);
+  t.seen <- t.seen + 1;
   t.total <- t.total +. v
 
-let count t = t.len
+let count t = t.seen
 
 let sum t = t.total
 
+let sampled t = match t.cap with Some c -> t.seen > c | None -> false
+
 let sorted t =
   let a = Array.sub t.values 0 t.len in
-  Array.sort compare a;
+  Array.sort Float.compare a;
   a
 
 let rank_of q len = max 1 (int_of_float (ceil (q /. 100. *. float_of_int len)))
@@ -43,11 +83,13 @@ let summary t =
   else
     let a = sorted t in
     Some
-      { count = t.len;
+      { count = t.seen;
         sum = t.total;
         min = a.(0);
         max = a.(t.len - 1);
-        mean = t.total /. float_of_int t.len;
+        mean = t.total /. float_of_int t.seen;
         p50 = a.(rank_of 50. t.len - 1);
         p95 = a.(rank_of 95. t.len - 1);
+        p99 = a.(rank_of 99. t.len - 1);
+        sampled = sampled t;
       }

@@ -1,8 +1,14 @@
-(** Value histograms with exact quantiles.
+(** Value histograms with exact quantiles up to an optional cap.
 
-    Observations are retained (this is an instrumentation layer for a
-    simulator, not a telemetry agent), so quantiles are exact
-    nearest-rank values rather than sketch approximations. *)
+    By default every observation is retained (this is an instrumentation
+    layer for a simulator, not a telemetry agent), so quantiles are exact
+    nearest-rank values rather than sketch approximations.  Long-running
+    soak loops can bound memory with [create ~cap]: past [cap]
+    observations the histogram switches to deterministic reservoir
+    sampling (Algorithm R driven by an internal SplitMix64 stream, never
+    the global [Random] state), [count]/[sum]/[mean] stay exact, and
+    quantiles become reservoir estimates — flagged by [sampled] in the
+    summary. *)
 
 type t
 
@@ -14,20 +20,31 @@ type summary = {
   mean : float;
   p50 : float;
   p95 : float;
+  p99 : float;
+  sampled : bool;
+      (** [true] when the histogram dropped observations past its cap, so
+          min/max/quantiles are reservoir estimates. *)
 }
 
-val create : unit -> t
+val create : ?cap:int -> unit -> t
+(** [cap] bounds retained observations (default: unbounded).
+    @raise Invalid_argument if [cap < 1]. *)
 
 val observe : t -> float -> unit
 (** Non-finite observations raise [Invalid_argument]. *)
 
 val count : t -> int
+(** Total observations, including any dropped by the reservoir. *)
 
 val sum : t -> float
 
+val sampled : t -> bool
+(** [true] once a capped histogram has seen more than [cap] values. *)
+
 val percentile : t -> float -> float option
 (** Nearest-rank percentile: for [q] in (0, 100], the value at sorted
-    rank [ceil (q/100 * count)]; [None] on an empty histogram.
+    rank [ceil (q/100 * count)]; [None] on an empty histogram.  Computed
+    over the reservoir when capped.
     @raise Invalid_argument if [q] is outside (0, 100]. *)
 
 val summary : t -> summary option

@@ -184,7 +184,11 @@ let of_string input =
           (* Integer overflow: fall back to float. *)
           match float_of_string_opt tok with Some f -> Float f | None -> fail "bad number")
   in
-  let rec parse_value () =
+  (* Nesting guard: the parser recurses per container level, so a
+     hostile "[[[[..." would otherwise exhaust the stack. *)
+  let max_depth = 512 in
+  let rec parse_value depth =
+    if depth > max_depth then fail "nesting too deep";
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
@@ -197,11 +201,11 @@ let of_string input =
         skip_ws ();
         if peek () = Some ']' then (advance (); List [])
         else begin
-          let items = ref [ parse_value () ] in
+          let items = ref [ parse_value (depth + 1) ] in
           skip_ws ();
           while peek () = Some ',' do
             advance ();
-            items := parse_value () :: !items;
+            items := parse_value (depth + 1) :: !items;
             skip_ws ()
           done;
           expect ']';
@@ -217,7 +221,7 @@ let of_string input =
             let k = parse_string () in
             skip_ws ();
             expect ':';
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             (k, v)
           in
           let fields = ref [ field () ] in
@@ -233,7 +237,7 @@ let of_string input =
     | Some _ -> parse_number ()
   in
   match
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> n then fail "trailing garbage";
     v

@@ -1,0 +1,54 @@
+type level = Debug | Info | Warn | Error
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "debug" -> Ok Debug
+  | "info" -> Ok Info
+  | "warn" | "warning" -> Ok Warn
+  | "error" -> Ok Error
+  | _ -> Error (Printf.sprintf "unknown log level %S (debug|info|warn|error)" s)
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+type t = { name : string; mutable level : level; sink : string -> unit }
+
+let create ?(level = Info) ?(sink = prerr_endline) ~name () = { name; level; sink }
+
+let null = { name = "null"; level = Error; sink = ignore }
+
+let set_level t level = t.level <- level
+let level t = t.level
+
+let enabled t l = severity l >= severity t.level
+
+(* key=value needs quoting only when the value would break tokenising. *)
+let quote v =
+  let needs =
+    v = ""
+    || String.exists
+         (fun c -> c = ' ' || c = '=' || c = '"' || Char.code c < 0x20 || Char.code c >= 0x7f)
+         v
+  in
+  if needs then Printf.sprintf "%S" v else v
+
+let log t l ?(kv = []) msg =
+  if enabled t l then begin
+    let b = Buffer.create 96 in
+    Buffer.add_string b (Printf.sprintf "ts=%.6f" (Clock.now ()));
+    Buffer.add_string b (" level=" ^ level_to_string l);
+    Buffer.add_string b (" logger=" ^ quote t.name);
+    Buffer.add_string b (" msg=" ^ quote msg);
+    List.iter (fun (k, v) -> Buffer.add_string b (" " ^ k ^ "=" ^ quote v)) kv;
+    t.sink (Buffer.contents b)
+  end
+
+let debug t ?kv msg = log t Debug ?kv msg
+let info t ?kv msg = log t Info ?kv msg
+let warn t ?kv msg = log t Warn ?kv msg
+let error t ?kv msg = log t Error ?kv msg

@@ -3,9 +3,12 @@ type instrument =
   | I_gauge of float ref
   | I_histogram of Histogram.t
 
-type t = (string * (string * string) list, instrument) Hashtbl.t
+type t = {
+  table : (string * (string * string) list, instrument) Hashtbl.t;
+  histogram_cap : int option;
+}
 
-let create () : t = Hashtbl.create 32
+let create ?histogram_cap () = { table = Hashtbl.create 32; histogram_cap }
 
 let default = create ()
 
@@ -16,11 +19,11 @@ let kind_name = function
 
 let find t ~labels name make =
   let key = (name, List.sort compare labels) in
-  match Hashtbl.find_opt t key with
+  match Hashtbl.find_opt t.table key with
   | Some i -> i
   | None ->
       let i = make () in
-      Hashtbl.replace t key i;
+      Hashtbl.replace t.table key i;
       i
 
 let mismatch name want got =
@@ -34,7 +37,7 @@ let counter ?(labels = []) t name =
   | i -> mismatch name "counter" i
 
 let histogram ?(labels = []) t name =
-  match find t ~labels name (fun () -> I_histogram (Histogram.create ())) with
+  match find t ~labels name (fun () -> I_histogram (Histogram.create ?cap:t.histogram_cap ())) with
   | I_histogram h -> h
   | i -> mismatch name "histogram" i
 
@@ -72,8 +75,8 @@ let snapshot t =
       match value with
       | Some value -> { Snapshot.name; labels; value } :: acc
       | None -> acc)
-    t []
+    t.table []
   |> List.sort (fun a b ->
          compare (a.Snapshot.name, a.Snapshot.labels) (b.Snapshot.name, b.Snapshot.labels))
 
-let clear = Hashtbl.reset
+let clear t = Hashtbl.reset t.table

@@ -33,8 +33,10 @@ let value_fields = function
         ("max", Json.Float s.Histogram.max);
         ("mean", Json.Float s.Histogram.mean);
         ("p50", Json.Float s.Histogram.p50);
-        ("p95", Json.Float s.Histogram.p95)
+        ("p95", Json.Float s.Histogram.p95);
+        ("p99", Json.Float s.Histogram.p99)
       ]
+      @ (if s.Histogram.sampled then [ ("sampled", Json.Bool true) ] else [])
 
 let metric_to_json m =
   Json.Obj
@@ -103,7 +105,12 @@ let metric_of_json j =
         let* mean = num_field j "mean" in
         let* p50 = num_field j "p50" in
         let* p95 = num_field j "p95" in
-        Ok (Summary { Histogram.count; sum; min = mn; max = mx; mean; p50; p95 })
+        (* p99/sampled are absent in pre-PR-5 snapshot files; default them. *)
+        let* p99 =
+          match Json.member "p99" j with None -> Ok p95 | Some _ -> num_field j "p99"
+        in
+        let sampled = match Json.member "sampled" j with Some (Json.Bool b) -> b | _ -> false in
+        Ok (Summary { Histogram.count; sum; min = mn; max = mx; mean; p50; p95; p99; sampled })
     | k -> Error (Printf.sprintf "snapshot: unknown metric kind %S" k)
   in
   Ok { name; labels; value }
@@ -131,9 +138,10 @@ let pp_metric ppf m =
   | Counter v -> Format.fprintf ppf "%s%a %d" m.name pp_labels m.labels v
   | Gauge v -> Format.fprintf ppf "%s%a %g" m.name pp_labels m.labels v
   | Summary s ->
-      Format.fprintf ppf "%s%a count=%d sum=%g min=%g p50=%g p95=%g max=%g" m.name pp_labels
-        m.labels s.Histogram.count s.Histogram.sum s.Histogram.min s.Histogram.p50
-        s.Histogram.p95 s.Histogram.max
+      Format.fprintf ppf "%s%a count=%d sum=%g min=%g p50=%g p95=%g p99=%g max=%g%s" m.name
+        pp_labels m.labels s.Histogram.count s.Histogram.sum s.Histogram.min s.Histogram.p50
+        s.Histogram.p95 s.Histogram.p99 s.Histogram.max
+        (if s.Histogram.sampled then " (sampled)" else "")
 
 let pp ppf ms =
   Format.fprintf ppf "@[<v>";

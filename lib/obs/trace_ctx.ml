@@ -1,0 +1,26 @@
+type t = { trace_id : string; span_id : string }
+
+let root_span = "0"
+
+let id_ok s =
+  let n = String.length s in
+  n > 0 && n <= 32
+  && String.for_all
+       (fun c ->
+         match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> true | _ -> false)
+       s
+
+let of_strings ~trace_id ~span_id =
+  if not (id_ok trace_id) then Error "trace_ctx: bad trace_id"
+  else if not (id_ok span_id) then Error "trace_ctx: bad span_id"
+  else Ok { trace_id; span_id }
+
+let make ~trace_id ~span_id =
+  match of_strings ~trace_id ~span_id with Ok t -> t | Error m -> invalid_arg m
+
+let trace_id t = t.trace_id
+let span_id t = t.span_id
+
+let parent t = if String.equal t.span_id root_span then None else Some t.span_id
+
+let pp ppf t = Format.fprintf ppf "%s/%s" t.trace_id t.span_id

@@ -1,0 +1,28 @@
+(** Propagated trace context: which trace a remote peer is part of and
+    which of its spans is the caller.
+
+    The pair travels over the wire (stamped by the client into the first
+    message of a session), so both fields are validated: 1–32 characters
+    drawn from [[a-zA-Z0-9._-]].  That keeps hostile bytes out of server
+    logs and keeps the carrier too narrow to smuggle tuple data. *)
+
+type t = private { trace_id : string; span_id : string }
+
+val root_span : string
+(** Sentinel span id ("0") meaning "no parent span" — a context naming
+    only the trace. *)
+
+val make : trace_id:string -> span_id:string -> t
+(** @raise Invalid_argument on malformed ids. *)
+
+val of_strings : trace_id:string -> span_id:string -> (t, string) result
+(** Non-raising constructor for wire decoding. *)
+
+val trace_id : t -> string
+
+val span_id : t -> string
+
+val parent : t -> string option
+(** [span_id], unless it is {!root_span}. *)
+
+val pp : Format.formatter -> t -> unit

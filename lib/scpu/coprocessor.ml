@@ -2,6 +2,7 @@ module Rng = Ppj_crypto.Rng
 module Ocb = Ppj_crypto.Ocb
 module Prf = Ppj_crypto.Prf
 module Injector = Ppj_fault.Injector
+module Recorder = Ppj_obs.Recorder
 
 exception Tamper_detected of string
 exception Memory_exceeded of string
@@ -32,6 +33,12 @@ type t = {
   mutable mem_peak : int;
   rng : Rng.t;
   mutable cycles : int;
+  (* --- flight recorder --- *)
+  recorder : Recorder.t option;
+  event_batch : int;
+      (* one [scpu.transfer.batch] event per this many live transfers;
+         the batch clock is the op counter, so event placement is a
+         function of input shape alone (Definitions 1/3) *)
   (* --- robustness layer --- *)
   faults : Injector.t option;
   checkpoint_every : int option;
@@ -62,7 +69,8 @@ type t = {
   mutable open_bytes : int;
 }
 
-let make_t ?faults ?checkpoint_every ?nvram ~host ~m ~seed () =
+let make_t ?recorder ?(event_batch = 64) ?faults ?checkpoint_every ?nvram ~host ~m ~seed () =
+  if event_batch < 1 then invalid_arg "Coprocessor: event_batch must be >= 1";
   let rng = Rng.create seed in
   let key_rng = Rng.split rng "storage-key" in
   { host;
@@ -75,6 +83,8 @@ let make_t ?faults ?checkpoint_every ?nvram ~host ~m ~seed () =
     mem_peak = 0;
     rng = Rng.split rng "internal";
     cycles = 0;
+    recorder;
+    event_batch;
     faults;
     checkpoint_every;
     nvram = (match nvram with Some r -> r | None -> ref 0);
@@ -93,12 +103,30 @@ let make_t ?faults ?checkpoint_every ?nvram ~host ~m ~seed () =
     open_bytes = 0;
   }
 
-let create ?faults ?checkpoint_every ?nvram ~host ~m ~seed () =
-  make_t ?faults ?checkpoint_every ?nvram ~host ~m ~seed ()
+let create ?recorder ?event_batch ?faults ?checkpoint_every ?nvram ~host ~m ~seed () =
+  make_t ?recorder ?event_batch ?faults ?checkpoint_every ?nvram ~host ~m ~seed ()
 
 let host t = t.host
 let trace t = t.trace
 let m t = t.m
+let recorder t = t.recorder
+
+(* Recorder pass-throughs for layers below ppj_obs in the dependency
+   graph (lib/oblivious).  Attributes are integers only — counts and
+   sizes, the quantities the host already observes. *)
+let int_attrs attrs = List.map (fun (k, v) -> (k, Recorder.int v)) attrs
+
+let with_span t ?(attrs = []) name f =
+  match t.recorder with
+  | None -> f ()
+  | Some r -> Recorder.with_span r ~attrs:(int_attrs attrs) name f
+
+let emit t ?(attrs = []) name =
+  match t.recorder with
+  | None -> ()
+  | Some r -> Recorder.event r ~attrs:(int_attrs attrs) name
+
+let event = emit
 
 let nonce_size = 16
 
@@ -274,7 +302,8 @@ let take_checkpoint t =
   Host.save_checkpoint t.host;
   t.last_checkpoint <- t.ops;
   t.checkpoints_taken <- t.checkpoints_taken + 1;
-  t.last_checkpoint_bytes <- String.length sealed
+  t.last_checkpoint_bytes <- String.length sealed;
+  emit t "scpu.checkpoint" ~attrs:[ ("ops", t.ops); ("bytes", String.length sealed) ]
 
 (* Ghost replay reached the checkpointed transfer: prove the re-derived
    private state matches the sealed one, then swap the host back to its
@@ -292,7 +321,8 @@ let complete_resume t target =
   Host.restore_checkpoint t.host;
   t.ghost_ops <- target.s_ops;
   t.mode <- Normal;
-  t.resumed <- true
+  t.resumed <- true;
+  emit t "scpu.resumed" ~attrs:[ ("ops", t.ops); ("ghost_ops", t.ghost_ops) ]
 
 let in_ghost t = match t.mode with Ghost _ -> true | Normal -> false
 
@@ -312,7 +342,9 @@ let begin_op t =
       (match t.faults with
       | Some inj -> (
           match Injector.on_transfer inj ~transfer:t.ops with
-          | Some Injector.Crash -> raise (Crashed { transfer = t.ops })
+          | Some Injector.Crash ->
+              emit t "fault.crash" ~attrs:[ ("transfer", t.ops) ];
+              raise (Crashed { transfer = t.ops })
           | d -> d)
       | None -> None)
 
@@ -328,17 +360,27 @@ let tamper_byte t region index =
   (* deterministic byte position: tied to the transfer clock *)
   Host.tamper t.host region index ~byte:t.ops
 
+(* Live transfers tick the recorder every [event_batch] ops; placement
+   follows the op clock, so the event stream is shape-deterministic. *)
+let batch_tick t =
+  if not (in_ghost t) && t.ops mod t.event_batch = 0 then
+    emit t "scpu.transfer.batch" ~attrs:[ ("ops", t.ops) ]
+
 let get t region index =
   let fault = begin_op t in
   if not (in_ghost t) then Trace.record t.trace Trace.Read region index;
   (match fault with
-  | Some Injector.Corrupt -> tamper_byte t region index
+  | Some Injector.Corrupt ->
+      emit t "fault.corrupt" ~attrs:[ ("transfer", t.ops) ];
+      tamper_byte t region index
   | Some Injector.Replay -> (
+      emit t "fault.replay" ~attrs:[ ("transfer", t.ops) ];
       match Hashtbl.find_opt t.replay_stash (region, index) with
       | Some stale -> Host.raw_set t.host region index stale
       | None -> tamper_byte t region index)
   | Some Injector.Crash | None -> ());
   t.ops <- t.ops + 1;
+  batch_tick t;
   let c = Host.raw_get t.host region index in
   open_slot t region index c
     ~context:(Format.asprintf "%a" Trace.pp_entry { Trace.op = Read; region; index })
@@ -347,11 +389,15 @@ let put t region index plaintext =
   let fault = begin_op t in
   if not (in_ghost t) then Trace.record t.trace Trace.Write region index;
   t.ops <- t.ops + 1;
+  batch_tick t;
   stash_overwritten t region index;
   Host.raw_set t.host region index (seal_slot t region index plaintext);
   match fault with
-  | Some Injector.Corrupt -> tamper_byte t region index
+  | Some Injector.Corrupt ->
+      emit t "fault.corrupt" ~attrs:[ ("transfer", t.ops - 1) ];
+      tamper_byte t region index
   | Some Injector.Replay -> (
+      emit t "fault.replay" ~attrs:[ ("transfer", t.ops - 1) ];
       (* the host "loses" the write and keeps serving the old version *)
       match Hashtbl.find_opt t.replay_stash (region, index) with
       | Some stale -> Host.raw_set t.host region index stale
@@ -368,13 +414,13 @@ let ops t = t.ops
 
 (* --- resume ---------------------------------------------------------- *)
 
-let resume ?faults ?checkpoint_every ~nvram ~host ~m ~seed () =
+let resume ?recorder ?event_batch ?faults ?checkpoint_every ~nvram ~host ~m ~seed () =
   if not (Host.has_checkpoint host) then invalid_arg "Coprocessor.resume: no checkpoint held";
   (* The host first recovers its own image so the sealed blob is the one
      paired with it, then empties its live state: the replayed prefix
      rebuilds the pre-crash world from pristine inputs. *)
   Host.restore_checkpoint host;
-  let t = make_t ?faults ?checkpoint_every ~nvram ~host ~m ~seed () in
+  let t = make_t ?recorder ?event_batch ?faults ?checkpoint_every ~nvram ~host ~m ~seed () in
   let sealed = Host.raw_get host Trace.Checkpoint 0 in
   let blob = open_sealed t sealed ~context:"checkpoint" in
   let target = decode_saved blob ~context:"checkpoint" in

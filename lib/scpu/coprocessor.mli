@@ -47,6 +47,8 @@ exception Crashed of { transfer : int }
     sealed checkpoint. *)
 
 val create :
+  ?recorder:Ppj_obs.Recorder.t ->
+  ?event_batch:int ->
   ?faults:Ppj_fault.Injector.t ->
   ?checkpoint_every:int ->
   ?nvram:int ref ->
@@ -55,14 +57,20 @@ val create :
   seed:int ->
   unit ->
   t
-(** [m] is the free memory in tuples (the paper's [M]).  [faults]
-    schedules host attacks and crashes against this run's transfers;
-    [checkpoint_every] seals recovery state every so many transfers
-    (off by default — the paper's protocol is unchanged unless asked
-    for); [nvram] is the crash-surviving monotonic version counter,
-    shared with any later {!resume}. *)
+(** [m] is the free memory in tuples (the paper's [M]).  [recorder]
+    receives flight-recorder events — one [scpu.transfer.batch] per
+    [event_batch] live transfers (default 64), [fault.*] on injected
+    faults, [scpu.checkpoint] / [scpu.resumed] on recovery — all keyed
+    to the op clock so the event stream depends on input shape only.
+    [faults] schedules host attacks and crashes against this run's
+    transfers; [checkpoint_every] seals recovery state every so many
+    transfers (off by default — the paper's protocol is unchanged unless
+    asked for); [nvram] is the crash-surviving monotonic version
+    counter, shared with any later {!resume}. *)
 
 val resume :
+  ?recorder:Ppj_obs.Recorder.t ->
+  ?event_batch:int ->
   ?faults:Ppj_fault.Injector.t ->
   ?checkpoint_every:int ->
   nvram:int ref ->
@@ -85,6 +93,19 @@ val resuming : t -> bool
 (** Still inside the ghost replay prefix. *)
 
 val host : t -> Host.t
+
+val recorder : t -> Ppj_obs.Recorder.t option
+
+val with_span : t -> ?attrs:(string * int) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk under a flight-recorder span (no-op without a
+    recorder).  Attributes are integers only — counts and sizes, the
+    quantities the host adversary already observes — so layers below
+    [ppj_obs] in the dependency graph (the oblivious building blocks)
+    can open phase spans without depending on the recorder's attribute
+    types. *)
+
+val event : t -> ?attrs:(string * int) list -> string -> unit
+(** Record a flight-recorder point event (no-op without a recorder). *)
 
 val trace : t -> Trace.t
 

@@ -137,7 +137,7 @@ let test_frame_large_payload_chunked () =
 
 let test_wire_roundtrip () =
   let msgs =
-    [ Wire.Attest_request { version = 1 };
+    [ Wire.Attest_request { version = 1; ctx = None };
       Wire.Attest_chain (Service.attestation_chain ());
       Wire.Hello { Ch.Handshake.id = "alice"; gx = 123456; mac = "m" };
       Wire.Hello_reply { Ch.Handshake.gy = 654321; mac = "mm" };
@@ -192,7 +192,7 @@ let test_replies_echo_request_seq () =
   let session = Server.open_session server in
   match
     Server.handle_frame server session
-      (Wire.to_frame ~seq:77 (Wire.Attest_request { version = Wire.version }))
+      (Wire.to_frame ~seq:77 (Wire.Attest_request { version = Wire.version; ctx = None }))
   with
   | [ f ] -> Alcotest.(check int) "seq echoed" 77 f.Frame.seq
   | l -> Alcotest.fail (Printf.sprintf "expected one reply, got %d" (List.length l))
@@ -556,7 +556,7 @@ let test_version_mismatch () =
   let server = Server.create ~mac_key () in
   let session = Server.open_session server in
   check_error Wire.Unsupported_version
-    (reply_of server session (Wire.Attest_request { version = 99 }))
+    (reply_of server session (Wire.Attest_request { version = 99; ctx = None }))
 
 let test_hello_before_attest () =
   let server = Server.create ~mac_key () in
@@ -577,13 +577,13 @@ let test_replayed_hello_rejected () =
   let server = Server.create ~mac_key () in
   let h, _ = Ch.Handshake.hello (Rng.create 5) ~id:"alice" ~mac_key in
   let s1 = Server.open_session server in
-  let _ = reply_of server s1 (Wire.Attest_request { version = Wire.version }) in
+  let _ = reply_of server s1 (Wire.Attest_request { version = Wire.version; ctx = None }) in
   (match reply_of server s1 (Wire.Hello h) with
   | Wire.Hello_reply _ -> ()
   | m -> Alcotest.fail (Format.asprintf "expected hello-reply, got %a" Wire.pp m));
   (* An adversary replays the captured hello on a fresh connection. *)
   let s2 = Server.open_session server in
-  let _ = reply_of server s2 (Wire.Attest_request { version = Wire.version }) in
+  let _ = reply_of server s2 (Wire.Attest_request { version = Wire.version; ctx = None }) in
   check_error Wire.Auth_failed (reply_of server s2 (Wire.Hello h))
 
 let test_non_recipient_cannot_execute () =
@@ -610,7 +610,7 @@ let test_execute_before_uploads () =
 let establish server id =
   let session = Server.open_session server in
   let send msg = Server.handle_frame server session (Wire.to_frame msg) in
-  let _ = send (Wire.Attest_request { version = Wire.version }) in
+  let _ = send (Wire.Attest_request { version = Wire.version; ctx = None }) in
   let h, exponent = Ch.Handshake.hello (Rng.create 8) ~id ~mac_key in
   match send (Wire.Hello h) with
   | [ f ] -> (
@@ -733,7 +733,7 @@ let test_unix_socket_survives_dead_client () =
           (* the rude client: 64 requests, zero reads, immediate close *)
           let rude = connect () in
           let req =
-            Frame.encode (Wire.to_frame ~seq:1 (Wire.Attest_request { version = Wire.version }))
+            Frame.encode (Wire.to_frame ~seq:1 (Wire.Attest_request { version = Wire.version; ctx = None }))
           in
           for _ = 1 to 64 do
             rude.Transport.send req

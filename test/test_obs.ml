@@ -44,7 +44,9 @@ let test_histogram_percentiles () =
       Alcotest.(check (float 1e-9)) "max" 100.0 s.Histogram.max;
       Alcotest.(check (float 1e-9)) "mean" 50.5 s.Histogram.mean;
       Alcotest.(check (float 1e-9)) "p50" 50.0 s.Histogram.p50;
-      Alcotest.(check (float 1e-9)) "p95" 95.0 s.Histogram.p95
+      Alcotest.(check (float 1e-9)) "p95" 95.0 s.Histogram.p95;
+      Alcotest.(check (float 1e-9)) "p99" 99.0 s.Histogram.p99;
+      Alcotest.(check bool) "uncapped is never sampled" false s.Histogram.sampled
 
 let test_histogram_single_observation () =
   let h = Histogram.create () in
@@ -53,7 +55,63 @@ let test_histogram_single_observation () =
   | None -> Alcotest.fail "expected a summary"
   | Some s ->
       Alcotest.(check (float 1e-9)) "p50 = the value" 3.25 s.Histogram.p50;
-      Alcotest.(check (float 1e-9)) "p95 = the value" 3.25 s.Histogram.p95
+      Alcotest.(check (float 1e-9)) "p95 = the value" 3.25 s.Histogram.p95;
+      Alcotest.(check (float 1e-9)) "p99 = the value" 3.25 s.Histogram.p99
+
+let test_histogram_sorts_negatives () =
+  (* Float.compare, not polymorphic compare: mixed-sign values must sort
+     numerically. *)
+  let h = Histogram.create () in
+  List.iter (Histogram.observe h) [ 3.5; -2.0; 0.0; -7.25; 1.0 ];
+  match Histogram.summary h with
+  | None -> Alcotest.fail "expected a summary"
+  | Some s ->
+      Alcotest.(check (float 1e-9)) "min" (-7.25) s.Histogram.min;
+      Alcotest.(check (float 1e-9)) "max" 3.5 s.Histogram.max;
+      Alcotest.(check (float 1e-9)) "p50" 0.0 s.Histogram.p50
+
+let test_histogram_reservoir_cap () =
+  let cap = 64 in
+  let h = Histogram.create ~cap () in
+  for i = 1 to 1000 do
+    Histogram.observe h (float_of_int i)
+  done;
+  Alcotest.(check int) "count is logical, not the sample size" 1000 (Histogram.count h);
+  Alcotest.(check bool) "past the cap means sampled" true (Histogram.sampled h);
+  match Histogram.summary h with
+  | None -> Alcotest.fail "expected a summary"
+  | Some s ->
+      Alcotest.(check int) "summary count" 1000 s.Histogram.count;
+      Alcotest.(check (float 1e-9)) "sum is exact despite sampling" 500500.0 s.Histogram.sum;
+      Alcotest.(check (float 1e-9)) "mean is exact despite sampling" 500.5 s.Histogram.mean;
+      Alcotest.(check bool) "summary carries the sampled flag" true s.Histogram.sampled;
+      (* Algorithm R keeps a uniform sample of 1..1000: percentiles are
+         estimates, but must stay inside the observed range. *)
+      Alcotest.(check bool) "p50 estimate in range" true (s.Histogram.p50 >= 1.0 && s.Histogram.p50 <= 1000.0)
+
+let test_histogram_reservoir_deterministic () =
+  (* The replacement stream is seeded per histogram, not from the global
+     [Random]: two identically-fed histograms must sample identically. *)
+  let fill () =
+    let h = Histogram.create ~cap:16 () in
+    for i = 1 to 500 do
+      Histogram.observe h (float_of_int ((i * 37) mod 251))
+    done;
+    Histogram.summary h
+  in
+  Alcotest.(check bool) "same feed, same reservoir" true (fill () = fill ())
+
+let test_histogram_below_cap_is_exact () =
+  let h = Histogram.create ~cap:100 () in
+  List.iter (Histogram.observe h) [ 5.0; 1.0; 3.0 ];
+  Alcotest.(check bool) "below cap never sampled" false (Histogram.sampled h);
+  match Histogram.summary h with
+  | Some s -> Alcotest.(check (float 1e-9)) "exact p50" 3.0 s.Histogram.p50
+  | None -> Alcotest.fail "expected a summary"
+
+let test_histogram_rejects_bad_cap () =
+  Alcotest.check_raises "cap 0" (Invalid_argument "Histogram.create: cap must be >= 1")
+    (fun () -> ignore (Histogram.create ~cap:0 ()))
 
 let test_histogram_empty () =
   Alcotest.(check bool) "empty has no summary" true (Histogram.summary (Histogram.create ()) = None)
@@ -169,6 +227,70 @@ let test_json_unicode_escape () =
   | Ok _ -> Alcotest.fail "expected a string"
   | Error e -> Alcotest.failf "parse failed: %s" e
 
+(* Randomised round trip: any value the generator below can build must
+   survive to_string ∘ of_string unchanged.  Floats are drawn finite
+   (non-finite serialises as null by design) and strings over the full
+   byte range the escaper handles. *)
+let json_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [ return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) (int_range (-1_000_000) 1_000_000);
+        map (fun f -> Json.Float f) (float_range (-1e9) 1e9);
+        map (fun s -> Json.Str s) (string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 12))
+      ]
+  in
+  let key = string_size ~gen:printable (int_range 0 8) in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 0 then scalar
+          else
+            frequency
+              [ (2, scalar);
+                (1, map (fun l -> Json.List l) (list_size (int_range 0 4) (self (n / 2))));
+                (1, map (fun kvs -> Json.Obj kvs)
+                     (list_size (int_range 0 4) (pair key (self (n / 2)))))
+              ])
+        (min n 8))
+
+let test_json_random_round_trip () =
+  let cell =
+    QCheck.Test.make_cell ~count:200 ~name:"json round trip"
+      (QCheck.make ~print:Json.to_string json_gen) (fun v ->
+        match Json.of_string (Json.to_string v) with
+        | Ok v' -> Json.equal v v'
+        | Error _ -> false)
+  in
+  QCheck.Test.check_cell_exn ~rand:(Random.State.make [| 2026 |]) cell
+
+let test_json_rejects_truncated_escapes () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted truncated escape %S" s)
+    [ {|"ab\|}; {|"ab\u00|}; {|"ab\u00zz"|}; {|"\q"|}; "\"ab" ]
+
+let test_json_rejects_trailing_garbage () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted trailing garbage in %S" s)
+    [ "{} x"; "[1] ]"; "null,"; "42 43" ]
+
+let test_json_nesting_depth () =
+  let nested n = String.concat "" (List.init n (Fun.const "[")) ^ String.concat "" (List.init n (Fun.const "]")) in
+  (match Json.of_string (nested 100) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "rejected 100-deep nesting: %s" e);
+  match Json.of_string (nested 600) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "600-deep nesting accepted: stack-overflow guard missing"
+
 let test_snapshot_json_round_trip () =
   let reg = Registry.create () in
   Counter.incr (Registry.counter reg ~labels:[ ("alg", "alg5") ] "transfers") ~by:123;
@@ -200,7 +322,12 @@ let () =
         [ Alcotest.test_case "percentiles 1..100" `Quick test_histogram_percentiles;
           Alcotest.test_case "single observation" `Quick test_histogram_single_observation;
           Alcotest.test_case "empty" `Quick test_histogram_empty;
-          Alcotest.test_case "rejects non-finite" `Quick test_histogram_rejects_non_finite
+          Alcotest.test_case "rejects non-finite" `Quick test_histogram_rejects_non_finite;
+          Alcotest.test_case "sorts negatives" `Quick test_histogram_sorts_negatives;
+          Alcotest.test_case "reservoir cap" `Quick test_histogram_reservoir_cap;
+          Alcotest.test_case "reservoir deterministic" `Quick test_histogram_reservoir_deterministic;
+          Alcotest.test_case "below cap exact" `Quick test_histogram_below_cap_is_exact;
+          Alcotest.test_case "rejects bad cap" `Quick test_histogram_rejects_bad_cap
         ] );
       ( "span",
         [ Alcotest.test_case "measures elapsed" `Quick test_span_measures_elapsed;
@@ -217,6 +344,10 @@ let () =
           Alcotest.test_case "float stays float" `Quick test_json_float_stays_float;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
           Alcotest.test_case "unicode escape" `Quick test_json_unicode_escape;
+          Alcotest.test_case "random round trip" `Quick test_json_random_round_trip;
+          Alcotest.test_case "truncated escapes" `Quick test_json_rejects_truncated_escapes;
+          Alcotest.test_case "trailing garbage" `Quick test_json_rejects_trailing_garbage;
+          Alcotest.test_case "nesting depth guard" `Quick test_json_nesting_depth;
           Alcotest.test_case "snapshot round trip" `Quick test_snapshot_json_round_trip;
           Alcotest.test_case "union second wins" `Quick test_snapshot_union_second_wins
         ] )
