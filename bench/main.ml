@@ -627,6 +627,97 @@ let chaos () =
     failwith "chaos soak produced a wrong answer"
   end
 
+(* --- loadtest: open-loop SLO harness over a real Unix socket --------- *)
+
+let env_int name default =
+  match Sys.getenv_opt name with Some s -> int_of_string s | None -> default
+
+let env_float name default =
+  match Sys.getenv_opt name with Some s -> float_of_string s | None -> default
+
+let loadtest () =
+  header "Loadtest: open-loop concurrent sessions against the reactor server";
+  let module Net = Ppj_net in
+  let sessions = env_int "PPJ_LOADTEST_SESSIONS" 1200 in
+  let min_concurrent = env_int "PPJ_LOADTEST_MIN_CONCURRENT" (min sessions 1000) in
+  let p99_gate = env_float "PPJ_LOADTEST_P99_GATE" 120. in
+  let rate = env_float "PPJ_LOADTEST_RATE" 0. in
+  let trace_out = Sys.getenv_opt "PPJ_LOADTEST_TRACE" in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ppj-loadtest-%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  match Unix.fork () with
+  | 0 ->
+      (* Server child: reactor loop sized for the whole burst, torn down
+         by SIGTERM once the parent has its numbers.  Its flight
+         recorder (when PPJ_LOADTEST_TRACE is set) is written on the way
+         out — that file is the CI trace artifact. *)
+      let stopped = ref false in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stopped := true));
+      let srv_recorder =
+        match trace_out with
+        | Some _ -> Some (Obs.Recorder.create ~name:"loadtest-server" ())
+        | None -> None
+      in
+      (try
+         let server =
+           Net.Server.create ?recorder:srv_recorder ~mac_key:Net.Loadgen.mac_key ~seed:5 ()
+         in
+         let limits =
+           { Net.Reactor.default_limits with max_conns = 4096; idle_timeout = 60. }
+         in
+         Net.Reactor.serve_unix
+           (Net.Reactor.create ~limits server)
+           ~path ~backlog:4096
+           ~stop:(fun () -> !stopped)
+           ()
+       with _ -> ());
+      (match (trace_out, srv_recorder) with
+      | Some file, Some r -> (
+          try
+            Out_channel.with_open_text file (fun oc ->
+                Out_channel.output_string oc (Obs.Json.to_string (Obs.Recorder.to_perfetto r));
+                Out_channel.output_char oc '\n')
+          with Sys_error _ -> ())
+      | _ -> ());
+      Unix._exit 0
+  | pid ->
+      let stats =
+        Fun.protect
+          ~finally:(fun () ->
+            (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+            try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+          (fun () ->
+            let spec =
+              { Net.Loadgen.default_spec with
+                sessions;
+                rate = (if rate <= 0. then infinity else rate);
+              }
+            in
+            Obs.Registry.span ~labels:[ ("phase", "loadtest") ] registry
+              "bench.loadtest.seconds" (fun () ->
+                match Net.Loadgen.run ~registry ~spec ~path () with
+                | Ok stats -> stats
+                | Error e -> failwith ("loadtest: " ^ e)))
+      in
+      row "%s\n" (Format.asprintf "%a" Net.Loadgen.pp_stats stats);
+      (* SLO gates: zero wrong answers, zero hangs, the promised
+         concurrency actually reached, and p99 under the bar. *)
+      if stats.Net.Loadgen.wrong > 0 then failwith "loadtest delivered a wrong answer";
+      if stats.Net.Loadgen.hung > 0 then failwith "loadtest left sessions hung";
+      if stats.Net.Loadgen.max_concurrent < min_concurrent then
+        failwith
+          (Printf.sprintf "loadtest peaked at %d concurrent sessions; needed >= %d"
+             stats.Net.Loadgen.max_concurrent min_concurrent);
+      if stats.Net.Loadgen.p99 > p99_gate then
+        failwith
+          (Printf.sprintf "loadtest p99 %.2fs exceeds the %.2fs gate" stats.Net.Loadgen.p99
+             p99_gate);
+      row "SLO gates               : wrong=0 hung=0 concurrent>=%d p99<=%.0fs  all met\n"
+        min_concurrent p99_gate
+
 (* --- Crypto hot path --- *)
 
 let crypto_bench () =
@@ -779,6 +870,7 @@ let experiments =
     ("equijoin", equijoin_ext);
     ("netjoin", netjoin);
     ("chaos", chaos);
+    ("loadtest", loadtest);
     ("crypto", crypto_bench);
     ("bechamel", bechamel)
   ]

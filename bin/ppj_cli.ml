@@ -398,7 +398,7 @@ let log_level_arg =
 
 let serve_cmd =
   let run socket mac_key seed max_sessions metrics log_level trace_out fault_plan
-      checkpoint_every =
+      checkpoint_every max_conns idle_timeout max_queue_bytes backlog =
     let logger =
       match log_level with
       | None -> Ppj_obs.Log.null
@@ -412,9 +412,13 @@ let serve_cmd =
     let server =
       Net.Server.create ~seed ~mac_key ?recorder ~logger ?faults ?checkpoint_every ()
     in
+    let limits =
+      { Net.Reactor.default_limits with max_conns; idle_timeout; max_queue_bytes }
+    in
+    let reactor = Net.Reactor.create ~limits server in
     Format.printf "ppj serve: listening on %s@." socket;
     Format.print_flush ();
-    Net.Server.serve_unix server ~path:socket ?max_sessions ();
+    Net.Reactor.serve_unix reactor ~path:socket ~backlog ?max_sessions ();
     Format.printf "ppj serve: done after %d session(s)@." (Net.Server.sessions_closed server);
     write_trace trace_out recorder;
     if metrics then
@@ -434,11 +438,36 @@ let serve_cmd =
       & info [ "checkpoint-every" ]
           ~doc:"Seal a recovery checkpoint every N coprocessor transfers.")
   in
+  let max_conns_arg =
+    Arg.(
+      value
+      & opt int Net.Reactor.default_limits.Net.Reactor.max_conns
+      & info [ "max-conns" ]
+          ~doc:"Admission cap: connections beyond this are refused with a typed unavailable.")
+  in
+  let idle_timeout_arg =
+    Arg.(
+      value
+      & opt float Net.Reactor.default_limits.Net.Reactor.idle_timeout
+      & info [ "idle-timeout" ]
+          ~doc:"Seconds a connection may complete no frame before it is evicted.")
+  in
+  let max_queue_bytes_arg =
+    Arg.(
+      value
+      & opt int Net.Reactor.default_limits.Net.Reactor.max_queue_bytes
+      & info [ "max-queue-bytes" ]
+          ~doc:"Per-connection outbound queue cap; a slow reader beyond it is shed.")
+  in
+  let backlog_arg =
+    Arg.(value & opt int 1024 & info [ "backlog" ] ~doc:"Listen backlog for connect storms.")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc:"Run the join service as a server on a Unix-domain socket.")
     Term.(
       const run $ socket_arg $ mac_key_arg $ seed_arg $ max_sessions_arg $ metrics_arg
-      $ log_level_arg $ trace_out_arg $ fault_plan_arg $ checkpoint_every_arg)
+      $ log_level_arg $ trace_out_arg $ fault_plan_arg $ checkpoint_every_arg $ max_conns_arg
+      $ idle_timeout_arg $ max_queue_bytes_arg $ backlog_arg)
 
 let submit_cmd =
   let run socket mac_key id contract path metrics wait trace_out =
@@ -578,6 +607,45 @@ let chaos_cmd =
           answer.")
     Term.(const run $ runs_arg $ seed0_arg $ verbose_arg $ trace_out_arg)
 
+let loadtest_cmd =
+  let run socket sessions rate session_deadline seed =
+    let spec =
+      { Net.Loadgen.default_spec with
+        sessions;
+        rate = (if rate <= 0. then infinity else rate);
+        session_deadline;
+        seed;
+      }
+    in
+    Format.printf "ppj loadtest: %d open-loop session(s) against %s@." sessions socket;
+    Format.print_flush ();
+    match Net.Loadgen.run ~spec ~path:socket () with
+    | Error e -> die "%s" e
+    | Ok stats ->
+        Format.printf "%a@." Net.Loadgen.pp_stats stats;
+        if stats.Net.Loadgen.wrong > 0 || stats.Net.Loadgen.hung > 0 then exit 1
+  in
+  let sessions_arg =
+    Arg.(value & opt int 200 & info [ "sessions" ] ~doc:"Concurrent recipient sessions to drive.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "rate" ] ~doc:"Open-loop arrivals per second (0 = one burst).")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt float 120.
+      & info [ "session-deadline" ] ~doc:"Seconds before an unconcluded session counts as hung.")
+  in
+  Cmd.v
+    (Cmd.info "loadtest"
+       ~doc:
+         "Drive an open-loop concurrent-session load against a running serve (started with \
+          --mac-key loadtest-mac-key) and report joins/sec and p50/p95/p99 latency.  Exits \
+          nonzero on any wrong-answer or hung session.")
+    Term.(const run $ socket_arg $ sessions_arg $ rate_arg $ deadline_arg $ seed_arg)
+
 let trace_check_cmd =
   let run files require_shared merged_out =
     let read path =
@@ -657,4 +725,5 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "ppj" ~version:"0.2.0" ~doc)
           [ run_cmd; trace_cmd; privacy_cmd; cost_cmd; nstar_cmd; parallel_cmd; csv_join_cmd;
-            serve_cmd; submit_cmd; fetch_cmd; gen_cmd; chaos_cmd; trace_check_cmd ]))
+            serve_cmd; submit_cmd; fetch_cmd; gen_cmd; chaos_cmd; loadtest_cmd;
+            trace_check_cmd ]))

@@ -80,13 +80,19 @@ let client_config =
 
 let ( let* ) = Result.bind
 
-let play ?recorder ~client_registry ~faults server seed =
+let play ?recorder ~client_registry ~faults ~use_reactor server seed =
   let a, b = workload seed in
   let session k =
-    let c =
-      Client.create ~config:client_config ~registry:client_registry ?recorder
-        (Transport.loopback ~faults server)
+    (* The reactor path routes the same bytes through the per-connection
+       machinery (decoder, bounded queue, admission) instead of calling
+       the engine directly; the fault gate is interposed by [faulty], so
+       one plan grammar covers both paths. *)
+    let transport =
+      if use_reactor then
+        Transport.faulty ~faults (Transport.via_reactor (Reactor.create server))
+      else Transport.loopback ~faults server
     in
+    let c = Client.create ~config:client_config ~registry:client_registry ?recorder transport in
     Fun.protect ~finally:(fun () -> Client.close c) (fun () -> k c)
   in
   let submit id rel =
@@ -102,7 +108,7 @@ let play ?recorder ~client_registry ~faults server seed =
         ~rng:(Rng.create (seed + 99))
         ~id:"carol" ~mac_key ~contract config)
 
-let run_one ?registry ?recorder ~seed () =
+let run_one ?registry ?recorder ?(reactor = false) ~seed () =
   let reg = match registry with Some r -> r | None -> Registry.create () in
   let plan = Plan.random ~seed in
   let faults = Injector.create plan in
@@ -113,7 +119,7 @@ let run_one ?registry ?recorder ~seed () =
   let server = Server.create ~registry:server_registry ?recorder ~mac_key ~seed:5 ~faults () in
   let expected = oracle seed in
   let outcome =
-    match play ?recorder ~client_registry ~faults server seed with
+    match play ?recorder ~client_registry ~faults ~use_reactor:reactor server seed with
     | Error e -> if contains ~sub:"tamper" e then Tamper e else Refused e
     | Ok (_schema, tuples) ->
         let got = List.map Tuple.encode tuples in
@@ -137,5 +143,5 @@ let run_one ?registry ?recorder ~seed () =
   | Wrong _ -> count "chaos.wrong");
   { seed; plan; outcome; crashes; injected = Injector.injected faults }
 
-let soak ?registry ?recorder ?(seed0 = 1) ~runs () =
-  List.init runs (fun i -> run_one ?registry ?recorder ~seed:(seed0 + i) ())
+let soak ?registry ?recorder ?(seed0 = 1) ?reactor ~runs () =
+  List.init runs (fun i -> run_one ?registry ?recorder ?reactor ~seed:(seed0 + i) ())

@@ -40,7 +40,12 @@ val safe : run -> bool
 val outcome_to_string : outcome -> string
 
 val run_one :
-  ?registry:Ppj_obs.Registry.t -> ?recorder:Ppj_obs.Recorder.t -> seed:int -> unit -> run
+  ?registry:Ppj_obs.Registry.t ->
+  ?recorder:Ppj_obs.Recorder.t ->
+  ?reactor:bool ->
+  seed:int ->
+  unit ->
+  run
 (** One seeded trial.  Deterministic: the same [seed] reproduces the
     same plan, the same fault firings, and the same outcome.  Counters
     [chaos.runs], [chaos.correct], [chaos.tamper], [chaos.refused],
@@ -54,7 +59,12 @@ val soak :
   ?registry:Ppj_obs.Registry.t ->
   ?recorder:Ppj_obs.Recorder.t ->
   ?seed0:int ->
+  ?reactor:bool ->
   runs:int ->
   unit ->
   run list
-(** [runs] trials on consecutive seeds starting at [seed0] (default 1). *)
+(** [runs] trials on consecutive seeds starting at [seed0] (default 1).
+    [reactor] (default false) routes every session through
+    {!Transport.via_reactor} instead of the direct loopback, proving the
+    reactor's connection machinery preserves the safety claim under the
+    same fault plans. *)

@@ -1,0 +1,44 @@
+(** Readiness abstraction: one interface over [select] and [poll].
+
+    The reactor asks "which of these descriptors are readable/writable
+    within [timeout] seconds" and does not care how the answer is
+    produced.  Two backends answer it:
+
+    - [Select] wraps {!Unix.select} — portable, but limited to
+      descriptors below [FD_SETSIZE] (1024 on Linux), so it cannot hold
+      the thousands of sessions the loadtest drives.
+    - [Poll] calls the [poll(2)] binding in [poller_stubs.c] — no
+      descriptor cap, O(n) per call, available on every POSIX system
+      this project targets.
+
+    Both backends retry [EINTR] against the caller's original deadline
+    instead of surfacing a spurious early timeout (the bug class the
+    old select loop had: a signal landing mid-poll truncated the wait
+    and, on the client side, was misreported as a receive timeout). *)
+
+type backend = Select | Poll
+
+type t
+
+val create : ?backend:backend -> unit -> t
+(** Default backend is [Poll]. *)
+
+val backend : t -> backend
+
+val backend_name : t -> string
+
+val wait :
+  t ->
+  read:Unix.file_descr list ->
+  write:Unix.file_descr list ->
+  timeout:float ->
+  Unix.file_descr list * Unix.file_descr list
+(** Block until some listed descriptor is ready or [timeout] (seconds)
+    elapses; negative timeout means wait forever.  Returns the readable
+    and writable subsets (possibly both empty on timeout).  A
+    descriptor in an error/hang-up state is reported readable so the
+    owner's next read observes the failure.  [EINTR] never shortens the
+    wait: the call retries with the time remaining.
+
+    @raise Invalid_argument on [Select] with a descriptor ≥ FD_SETSIZE
+    (the reason [Poll] is the default). *)

@@ -1,0 +1,66 @@
+/* poll(2) binding for the reactor's readiness loop.
+ *
+ * Unix.select tops out at FD_SETSIZE (1024) descriptors per process,
+ * which the loadtest harness exceeds by design; poll has no such cap.
+ * The binding is deliberately tiny: the caller passes parallel arrays
+ * of fds and interest bits (1 = read, 2 = write) plus a pre-allocated
+ * revents array the stub fills in (1 = readable/error/hup, 2 =
+ * writable).  Returns poll's ready count, or -1 on EINTR so the OCaml
+ * side can retry with its remaining deadline; any other errno raises.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/signals.h>
+
+#include <errno.h>
+#include <poll.h>
+#include <stdlib.h>
+#include <string.h>
+
+CAMLprim value ppj_poll_stub(value vfds, value vevents, value vrevents,
+                             value vtimeout_ms)
+{
+  CAMLparam4(vfds, vevents, vrevents, vtimeout_ms);
+  mlsize_t n = Wosize_val(vfds);
+  int timeout = Int_val(vtimeout_ms);
+  struct pollfd *pfds;
+  mlsize_t i;
+  int rc, saved_errno;
+
+  if (Wosize_val(vevents) != n || Wosize_val(vrevents) != n)
+    caml_invalid_argument("ppj_poll: array length mismatch");
+
+  pfds = malloc(sizeof(struct pollfd) * (n > 0 ? n : 1));
+  if (pfds == NULL) caml_failwith("ppj_poll: out of memory");
+
+  for (i = 0; i < n; i++) {
+    int ev = Int_val(Field(vevents, i));
+    pfds[i].fd = Int_val(Field(vfds, i)); /* Unix fds are ints at C level */
+    pfds[i].events = (short)(((ev & 1) ? POLLIN : 0) | ((ev & 2) ? POLLOUT : 0));
+    pfds[i].revents = 0;
+  }
+
+  caml_enter_blocking_section();
+  rc = poll(pfds, (nfds_t)n, timeout);
+  saved_errno = errno;
+  caml_leave_blocking_section();
+
+  if (rc < 0) {
+    free(pfds);
+    if (saved_errno == EINTR) CAMLreturn(Val_int(-1));
+    caml_failwith(strerror(saved_errno));
+  }
+
+  for (i = 0; i < n; i++) {
+    int re = 0;
+    if (pfds[i].revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL)) re |= 1;
+    if (pfds[i].revents & (POLLOUT | POLLERR)) re |= 2;
+    /* immediates only: plain Field assignment would also be safe, but
+       Store_field documents the intent */
+    Store_field(vrevents, i, Val_int(re));
+  }
+  free(pfds);
+  CAMLreturn(Val_int(rc));
+}

@@ -436,148 +436,3 @@ let handle_frame t session frame =
         (Registry.counter t.registry "net.server.bytes.out");
       f)
     replies
-
-(* --- Unix-domain-socket serve loop ---------------------------------- *)
-
-(* Client fds are non-blocking: outbound frames queue in [outq] and are
-   flushed opportunistically plus whenever select reports the socket
-   writable, so one client that stops reading while a large Result frame
-   is in flight cannot stall every other session.  [closing] marks a
-   connection to be dropped once its queued output drains (the garbage
-   -> typed-error -> disconnect path). *)
-type conn = {
-  fd : Unix.file_descr;
-  session : session;
-  decoder : Frame.Decoder.t;
-  outq : string Queue.t;
-  mutable out_off : int;  (* bytes of the queue head already written *)
-  mutable closing : bool;
-}
-
-(* Write as much queued output as the socket accepts right now. *)
-let flush_conn conn =
-  match
-    while not (Queue.is_empty conn.outq) do
-      let s = Queue.peek conn.outq in
-      let remaining = String.length s - conn.out_off in
-      let n = Unix.write_substring conn.fd s conn.out_off remaining in
-      if n = remaining then begin
-        ignore (Queue.pop conn.outq);
-        conn.out_off <- 0
-      end
-      else begin
-        conn.out_off <- conn.out_off + n;
-        raise Exit
-      end
-    done
-  with
-  | () -> `Drained
-  | exception Exit -> `Pending
-  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> `Pending
-  | exception Unix.Unix_error _ -> `Broken
-
-let serve_unix t ~path ?(poll_interval = 0.05) ?max_sessions ?(stop = fun () -> false) () =
-  (* A client that vanishes mid-reply turns our next write into SIGPIPE,
-     which kills the whole process by default; ignore it so the write
-     surfaces as EPIPE and tears down that one connection instead.  The
-     previous disposition is restored on exit. *)
-  let sigpipe_prev =
-    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> None
-  in
-  (try Unix.unlink path with Unix.Unix_error _ -> ());
-  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 8 in
-  let drop conn =
-    (* Idempotent: a broken flush mid-reply-list may drop a connection
-       that later enqueues or the select loop try to touch again. *)
-    if Hashtbl.mem conns conn.fd then begin
-      close_session t conn.session;
-      Hashtbl.remove conns conn.fd;
-      try Unix.close conn.fd with Unix.Unix_error _ -> ()
-    end
-  in
-  let after_flush conn = function
-    | `Broken -> drop conn
-    | `Drained -> if conn.closing then drop conn
-    | `Pending -> ()
-  in
-  let enqueue conn frame =
-    Queue.push (Frame.encode frame) conn.outq;
-    after_flush conn (flush_conn conn)
-  in
-  let finished () =
-    match max_sessions with Some n -> t.sessions_closed >= n | None -> false
-  in
-  Fun.protect
-    ~finally:(fun () ->
-      Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) conns;
-      (try Unix.close lfd with Unix.Unix_error _ -> ());
-      (try Unix.unlink path with Unix.Unix_error _ -> ());
-      match sigpipe_prev with
-      | Some prev -> ( try Sys.set_signal Sys.sigpipe prev with Invalid_argument _ -> ())
-      | None -> ())
-    (fun () ->
-      Unix.bind lfd (Unix.ADDR_UNIX path);
-      Unix.listen lfd 16;
-      let buf = Bytes.create 65536 in
-      while not (stop ()) && not (finished ()) do
-        let rfds = lfd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
-        let wfds =
-          Hashtbl.fold
-            (fun fd c acc -> if Queue.is_empty c.outq then acc else fd :: acc)
-            conns []
-        in
-        let readable, writable =
-          match Unix.select rfds wfds [] poll_interval with
-          | r, w, _ -> (r, w)
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
-        in
-        List.iter
-          (fun fd ->
-            match Hashtbl.find_opt conns fd with
-            | None -> ()
-            | Some conn -> after_flush conn (flush_conn conn))
-          writable;
-        List.iter
-          (fun fd ->
-            if fd == lfd then begin
-              match Unix.accept lfd with
-              | cfd, _ ->
-                  Unix.set_nonblock cfd;
-                  Hashtbl.replace conns cfd
-                    { fd = cfd;
-                      session = open_session t;
-                      decoder = Frame.Decoder.create ();
-                      outq = Queue.create ();
-                      out_off = 0;
-                      closing = false;
-                    }
-              | exception Unix.Unix_error _ -> ()
-            end
-            else
-              match Hashtbl.find_opt conns fd with
-              | None -> ()
-              | Some conn when conn.closing -> ()
-              | Some conn -> (
-                  match Unix.read fd buf 0 (Bytes.length buf) with
-                  | 0 -> drop conn
-                  | n ->
-                      Frame.Decoder.feed conn.decoder (Bytes.sub_string buf 0 n);
-                      let rec pump () =
-                        if Hashtbl.mem conns conn.fd && not conn.closing then
-                          match Frame.Decoder.next conn.decoder with
-                          | Ok None -> ()
-                          | Ok (Some frame) ->
-                              List.iter (enqueue conn) (handle_frame t conn.session frame);
-                              pump ()
-                          | Error e ->
-                              conn.closing <- true;
-                              enqueue conn
-                                (Wire.to_frame (Wire.Error { code = Wire.Malformed; message = e }))
-                      in
-                      pump ()
-                  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-                    -> ()
-                  | exception Unix.Unix_error _ -> drop conn))
-          readable
-      done)

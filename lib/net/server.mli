@@ -74,19 +74,7 @@ val handle_frame : t -> session -> Frame.t -> Frame.t list
     number, so clients can match replies to requests and discard retry
     duplicates. *)
 
-val serve_unix :
-  t ->
-  path:string ->
-  ?poll_interval:float ->
-  ?max_sessions:int ->
-  ?stop:(unit -> bool) ->
-  unit ->
-  unit
-(** Bind a Unix-domain socket at [path] (replacing any stale file) and
-    multiplex concurrent connections with [select] — one {!session} per
-    connection, interleaved frame handling, no threads.  Client sockets
-    are non-blocking with per-connection outbound queues flushed via the
-    [select] write set, so a slow-reading client only delays its own
-    replies, never the other sessions.  Returns when [stop ()] becomes
-    true or, if [max_sessions] is given, once that many sessions have
-    closed; the socket file is removed on exit. *)
+(** Serving connections lives in {!Reactor}: it wraps a [t] with
+    readiness-driven per-connection state machines, bounded outbound
+    queues, admission control and idle eviction, and provides the
+    Unix-domain-socket loop ([Reactor.serve_unix]) on top. *)

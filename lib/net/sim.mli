@@ -1,0 +1,38 @@
+(** Deterministic simulated transport: a seeded scheduler interleaving
+    N in-process sessions against one {!Reactor}.
+
+    Every source of nondeterminism the real socket loop has — which
+    session's bytes arrive next, how the kernel splits writes into
+    reads, when the server's replies reach each client — is replaced by
+    draws from one seeded {!Ppj_crypto.Rng}: each step picks a session
+    and moves a random-length slice of bytes in one direction (client →
+    reactor or reactor → client), so partial frames, interleaved
+    uploads and retry races all occur, identically, on every run with
+    the same seed.  A concurrency bug found at seed [s] is a replayable
+    unit test, not a flake.
+
+    Virtual time advances a millisecond per step and is what the
+    reactor's idle eviction sees, so timeout behaviour is simulated
+    too, deterministically. *)
+
+type result = {
+  outcomes : Flow.outcome option list;
+      (** per flow, in input order; [None] = still unfinished when
+          [max_steps] ran out (a hang, made visible) *)
+  steps : int;  (** scheduler steps actually taken *)
+}
+
+val run :
+  ?limits:Reactor.limits ->
+  ?max_steps:int ->
+  ?max_slice:int ->
+  seed:int ->
+  server:Server.t ->
+  Flow.t list ->
+  result
+(** Drive the flows to completion (or [max_steps], default 500_000)
+    against a fresh reactor over [server].  [max_slice] (default 64)
+    bounds how many bytes one step may move — small values force frames
+    through many partial deliveries.  Deterministic: same seed, same
+    server configuration and same flows give byte-identical schedules,
+    outcomes, and server flight-recorder timelines. *)

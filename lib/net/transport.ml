@@ -103,6 +103,40 @@ let loopback ?tap ?faults server =
   in
   { send; recv; close; peer = "loopback" }
 
+(* Like [loopback], but the bytes travel through the reactor's
+   per-connection machinery — decoder, bounded outbound queue, admission
+   control — instead of calling [Server.handle_frame] directly.  Chaos
+   soaks run over this to prove the reactor preserves the protocol's
+   fault semantics; wrap it in {!faulty} for the fault gate. *)
+let via_reactor ?(now = Unix.gettimeofday) reactor =
+  let conn = Reactor.connect reactor ~now:(now ()) ~peer:"reactor-loopback" in
+  let closed = ref false in
+  let send bytes =
+    if !closed then raise Closed;
+    Reactor.feed reactor conn ~now:(now ()) bytes
+  in
+  let recv ~timeout:_ =
+    if !closed then raise Closed;
+    let buf = Buffer.create 256 in
+    let rec drain () =
+      match Reactor.pending conn with
+      | None -> ()
+      | Some (s, off) ->
+          Buffer.add_string buf (String.sub s off (String.length s - off));
+          Reactor.wrote conn (String.length s - off);
+          drain ()
+    in
+    drain ();
+    if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+  in
+  let close () =
+    if not !closed then begin
+      closed := true;
+      Reactor.close reactor conn
+    end
+  in
+  { send; recv; close; peer = "reactor-loopback" }
+
 (* Wrap a byte transport in the same fault gate the loopback uses: both
    directions are reassembled into frames, gated, and re-encoded, so one
    plan grammar covers in-process and socket deployments alike. *)
@@ -153,6 +187,7 @@ let connect_unix ~path () =
       Error (Printf.sprintf "connect %s: %s" path (Unix.error_message err))
   | fd ->
       let closed = ref false in
+      let poller = Poller.create () in
       let send s =
         if !closed then raise Closed;
         let b = Bytes.of_string s in
@@ -167,13 +202,17 @@ let connect_unix ~path () =
       let buf = Bytes.create 65536 in
       let recv ~timeout =
         if !closed then raise Closed;
-        match Unix.select [ fd ] [] [] timeout with
-        | [], _, _ -> None
+        (* EINTR must not shorten the wait: a signal mid-select used to
+           surface here as a spurious receive timeout, charging a retry
+           (and its backoff) to the client for nothing.  [Poller.wait]
+           retries against the original deadline. *)
+        match Poller.wait poller ~read:[ fd ] ~write:[] ~timeout with
+        | [], _ -> None
         | _ -> (
             match Unix.read fd buf 0 (Bytes.length buf) with
             | 0 -> raise Closed
-            | n -> Some (Bytes.sub_string buf 0 n))
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> None
+            | n -> Some (Bytes.sub_string buf 0 n)
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> None)
       in
       let close () =
         if not !closed then begin

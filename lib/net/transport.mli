@@ -9,10 +9,14 @@
       microseconds and are exactly reproducible.  Takes a
       {!Ppj_fault.Injector} for frame faults and a {!Wiretap} observing
       every frame.
+    - {!via_reactor} — like {!loopback}, but the bytes pass through a
+      {!Reactor}'s per-connection machinery (decoder, bounded outbound
+      queue, admission control), so the reactor path is exercised by the
+      same deterministic in-process harnesses.
     - {!connect_unix} — a Unix-domain-socket connection to a process
-      running {!Server.serve_unix}, with [select]-based receive
-      timeouts.  Wrap it in {!faulty} to drive the same fault plans over
-      a real socket. *)
+      running [Reactor.serve_unix], with EINTR-safe {!Poller}-based
+      receive timeouts.  Wrap it in {!faulty} to drive the same fault
+      plans over a real socket. *)
 
 exception Closed
 (** Raised by [recv]/[send] when the peer has gone away. *)
@@ -37,6 +41,14 @@ val loopback :
     frame: loss happens on the wire, where the adversary already
     looked), and its [timeout\@recv] events make [recv] report silence.
     Call it several times on one server to simulate several parties. *)
+
+val via_reactor : ?now:(unit -> float) -> Reactor.t -> t
+(** One client connection admitted through [reactor].  Sends feed the
+    reactor at [now ()] (default wall clock — pass a virtual clock for
+    timeout tests); receives drain the connection's outbound queue;
+    closing the transport closes the reactor connection.  Nothing
+    sleeps, so it composes with the chaos harness exactly like
+    {!loopback}. *)
 
 val faulty : faults:Ppj_fault.Injector.t -> t -> t
 (** Interpose the same fault gate on any byte transport: both directions

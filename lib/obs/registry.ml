@@ -48,6 +48,8 @@ let gauge_ref ?(labels = []) t name =
 
 let set_gauge ?labels t name v = gauge_ref ?labels t name := v
 
+let observe ?labels t name v = Histogram.observe (histogram ?labels t name) v
+
 let span ?labels t name f =
   let h = histogram ?labels t name in
   let t0 = Clock.now () in

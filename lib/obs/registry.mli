@@ -23,6 +23,11 @@ val histogram : ?labels:(string * string) list -> t -> string -> Histogram.t
 val set_gauge : ?labels:(string * string) list -> t -> string -> float -> unit
 (** Last write wins. *)
 
+val observe : ?labels:(string * string) list -> t -> string -> float -> unit
+(** Record one value into the histogram [name] — shorthand for
+    {!histogram} + {!Histogram.observe} at call sites that never need
+    the instrument itself (the load generator's latency samples). *)
+
 val span : ?labels:(string * string) list -> t -> string -> (unit -> 'a) -> 'a
 (** Run the thunk, recording its wall-clock duration (seconds, via
     {!Clock}) into the histogram [name].  Durations of raising thunks are

@@ -289,7 +289,7 @@ let test_two_process_crash_resume_trace () =
          let server =
            Server.create ~recorder ~mac_key ~seed:5 ~faults ~checkpoint_every:16 ()
          in
-         Server.serve_unix server ~path ~max_sessions:3 ();
+         Reactor.serve_unix (Reactor.create server) ~path ~max_sessions:3 ();
          let oc = open_out trace_path in
          output_string oc (Json.to_string (Recorder.to_perfetto recorder));
          close_out oc

@@ -658,7 +658,7 @@ let test_unix_socket_two_process () =
       (* Child: a separate OS process running the service. *)
       (try
          let server = Server.create ~mac_key ~seed:5 () in
-         Server.serve_unix server ~path ~max_sessions:3 ()
+         Reactor.serve_unix (Reactor.create server) ~path ~max_sessions:3 ()
        with _ -> ());
       Unix._exit 0
   | pid ->
@@ -713,7 +713,7 @@ let test_unix_socket_survives_dead_client () =
   | 0 ->
       (try
          let server = Server.create ~mac_key ~seed:5 () in
-         Server.serve_unix server ~path ~max_sessions:4 ()
+         Reactor.serve_unix (Reactor.create server) ~path ~max_sessions:4 ()
        with _ -> ());
       Unix._exit 0
   | pid ->
