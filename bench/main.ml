@@ -7,19 +7,22 @@
      dune exec bench/main.exe -- measured --json out.json  # machine-readable export
 
    Experiments: tab5.1 tab5.2 tab5.3 fig4.1 sec4.6.5 fig5.1 fig5.2
-   fig5.3 fig5.4 measured parallel aggregate ablation oram equijoin
-   netjoin chaos crypto bechamel.
+   fig5.3 fig5.4 measured parallel shard aggregate ablation oram
+   equijoin netjoin chaos loadtest crypto bechamel.
    Set PPJ_CSV_DIR to also emit plottable CSV for the figures.
    [--json PATH] dumps the metrics registry (per-region transfer
    counters, model-vs-measured gauges, per-experiment wall-clock spans)
    as JSON; if PATH is a directory a BENCH_<timestamp>.json is created
-   inside it.  Schema: DESIGN.md. *)
+   inside it.  [--deterministic] pins generated_at_unix to
+   $PPJ_BENCH_EPOCH (default 0) so committed baselines diff cleanly.
+   Schema: DESIGN.md. *)
 
 open Ppj_core
 module W = Ppj_relation.Workload
 module P = Ppj_relation.Predicate
 module Rng = Ppj_crypto.Rng
 module Par = Ppj_parallel.Parallel
+module Shard = Ppj_shard
 module Obs = Ppj_obs
 
 (* Experiments record into this registry; [--json PATH] dumps it (plus
@@ -388,6 +391,75 @@ let parallel () =
       ("alg6", "Algorithm 6", fun ~p -> Par.alg6 ~p ~m:4 ~seed:5 ~eps:1e-9 ~predicate:pred [ a; b ])
     ];
   row "(speedup = total transfers / slowest coprocessor's transfers)\n"
+
+(* --- Sharded coordinator --- *)
+
+(* End-to-end run of the lib/shard coordinator: replicate partitioning
+   over p in-process shards executing Algorithm 4 slices, pad-to-max
+   oblivious merge.  The gateable number is the transfer-model speedup
+   (total transfers / slowest shard) — deterministic and
+   hardware-independent, matching the Parallel convention; wall-clock
+   seconds per p are recorded informationally (a single-core CI runner
+   cannot show real Domains parallelism). *)
+let shard () =
+  header "Sharded coordinator (lib/shard): one submit across p shards";
+  let a, b = measured_workload () in
+  let pred = P.equijoin2 "key" "key" in
+  let l = 2400 and s = 24 in
+  (* Per-shard closed form for Algorithm 4's slice k of p: the slice
+     scans its l_k = |slice of L| pairs twice and runs the filter
+     against the pad-to-max public budget mu = min(l_k, S). *)
+  let formula ~p k =
+    let lo = k * l / p and hi = (k + 1) * l / p in
+    let lk = hi - lo in
+    (2. *. float_of_int lk) +. Cost.filter_cost ~omega:lk ~mu:(min lk s)
+  in
+  let lo_band, hi_band = padded_band in
+  row "%-4s %-12s %9s %9s %8s %6s  %s\n" "p" "backend" "seconds" "speedup" "merge" "band"
+    "per-shard transfers (measured/formula)";
+  List.iter
+    (fun p ->
+      let metrics = Shard.Metrics.create ~registry () in
+      let config =
+        { Shard.Coordinator.p; m = 4; seed = 5; inner = Service.Alg4;
+          strategy = Shard.Partitioner.Replicate }
+      in
+      let t0 = Unix.gettimeofday () in
+      match Shard.Coordinator.run_local ~metrics config ~predicate:pred [ a; b ] with
+      | Error e -> failwith ("shard bench: " ^ e)
+      | Ok o ->
+          let seconds = Unix.gettimeofday () -. t0 in
+          let labels = [ ("p", string_of_int p) ] in
+          Obs.Registry.set_gauge ~labels registry "bench.shard.seconds" seconds;
+          Obs.Registry.set_gauge ~labels registry "bench.shard.speedup"
+            o.Shard.Coordinator.speedup;
+          Obs.Registry.set_gauge
+            ~labels:(("backend", o.Shard.Coordinator.backend) :: labels)
+            registry "bench.shard.backend" 1.;
+          let all_ok = ref true in
+          let cells =
+            Array.to_list o.Shard.Coordinator.per_shard_transfers
+            |> List.mapi (fun k measured ->
+                   let f = formula ~p k in
+                   let ratio = float_of_int measured /. f in
+                   if not (ratio >= lo_band && ratio <= hi_band) then all_ok := false;
+                   let labels = ("shard", string_of_int k) :: labels in
+                   Obs.Registry.set_gauge ~labels registry "bench.shard.transfers"
+                     (float_of_int measured);
+                   Obs.Registry.set_gauge ~labels registry "bench.shard.formula" f;
+                   Obs.Registry.set_gauge ~labels registry "bench.shard.ratio" ratio;
+                   Printf.sprintf "%d/%.0f" measured f)
+          in
+          Obs.Registry.set_gauge ~labels registry "bench.shard.within_tolerance"
+            (if !all_ok then 1. else 0.);
+          row "%-4d %-12s %9.4f %8.2fx %8d %6s  %s\n" p o.Shard.Coordinator.backend seconds
+            o.Shard.Coordinator.speedup o.Shard.Coordinator.merge.Shard.Merge.comparators
+            (if !all_ok then "ok" else "FAIL")
+            (String.concat " " cells))
+    [ 1; 2; 4 ];
+  row "(speedup = total transfers / slowest shard; per-shard formula:\n";
+  row " 2*l_k + filter(l_k, min(l_k, S)) within the padded band %.2g-%.2g.\n" lo_band hi_band;
+  row " CI gates on bench.shard.speedup{p=4} >= 1.5 in BENCH_shard.json.)\n"
 
 (* --- Aggregation ablation --- *)
 
@@ -864,6 +936,7 @@ let experiments =
     ("fig5.4", fig54);
     ("measured", measured);
     ("parallel", parallel);
+    ("shard", shard);
     ("aggregate", aggregate);
     ("ablation", ablation);
     ("oram", oram);
@@ -877,17 +950,35 @@ let experiments =
 
 (* [--json PATH] may appear anywhere in the argument list; the remaining
    arguments select experiments as before.  PATH may be a directory, in
-   which case a timestamped BENCH_*.json is created inside it. *)
+   which case a timestamped BENCH_*.json is created inside it.
+   [--deterministic] pins the document's [generated_at_unix] to
+   $PPJ_BENCH_EPOCH (default 0) so committed baselines and CI-gated
+   artifacts diff cleanly across runs. *)
 let parse_args argv =
-  let rec go json acc = function
-    | "--json" :: path :: rest -> go (Some path) acc rest
+  let rec go json det acc = function
+    | "--json" :: path :: rest -> go (Some path) det acc rest
     | "--json" :: [] ->
         prerr_endline "--json requires a path";
         exit 1
-    | x :: rest -> go json (x :: acc) rest
-    | [] -> (json, List.rev acc)
+    | "--deterministic" :: rest -> go json true acc rest
+    | x :: rest -> go json det (x :: acc) rest
+    | [] -> (json, det, List.rev acc)
   in
-  match Array.to_list argv with _ :: args -> go None [] args | [] -> (None, [])
+  match Array.to_list argv with
+  | _ :: args -> go None false [] args
+  | [] -> (None, false, [])
+
+let epoch ~deterministic =
+  if not deterministic then Unix.time ()
+  else
+    match Sys.getenv_opt "PPJ_BENCH_EPOCH" with
+    | None -> 0.
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some f -> f
+        | None ->
+            Printf.eprintf "PPJ_BENCH_EPOCH must be a unix time, got %S\n" s;
+            exit 1)
 
 let json_file_of path =
   if Sys.file_exists path && Sys.is_directory path then begin
@@ -898,11 +989,11 @@ let json_file_of path =
   end
   else path
 
-let write_json path ran =
+let write_json path ~deterministic ran =
   let doc =
     Obs.Json.Obj
       [ ("schema", Obs.Json.Str "ppj.bench/1");
-        ("generated_at_unix", Obs.Json.Float (Unix.time ()));
+        ("generated_at_unix", Obs.Json.Float (epoch ~deterministic));
         ("experiments", Obs.Json.List (List.map (fun n -> Obs.Json.Str n) ran));
         ("metrics", Obs.Snapshot.to_json (Obs.Registry.snapshot registry));
         (* Perfetto-loadable span tree of the networked experiments (empty
@@ -917,7 +1008,7 @@ let write_json path ran =
   Printf.printf "(wrote %s)\n" path
 
 let () =
-  let json, names = parse_args Sys.argv in
+  let json, deterministic, names = parse_args Sys.argv in
   (* Resolve (and fail on) an unwritable destination before spending a
      minute running experiments. *)
   let json =
@@ -952,4 +1043,4 @@ let () =
           names;
         names
   in
-  Option.iter (fun file -> write_json file ran) json
+  Option.iter (fun file -> write_json file ~deterministic ran) json

@@ -469,41 +469,87 @@ let serve_cmd =
       $ log_level_arg $ trace_out_arg $ fault_plan_arg $ checkpoint_every_arg $ max_conns_arg
       $ idle_timeout_arg $ max_queue_bytes_arg $ backlog_arg)
 
+module Shard = Ppj_shard
+
+let socket_opt_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path of the service.")
+
+let shards_arg =
+  Arg.(
+    value & opt (list string) []
+    & info [ "shards" ] ~docv:"SOCKETS"
+        ~doc:
+          "Comma-separated shard server socket paths.  Fans the operation out across all of \
+           them (replicate partitioning) instead of talking to a single --socket.")
+
+let make_shards ~wait paths =
+  let sockets = Array.of_list paths in
+  Shard.Shards.create ~p:(Array.length sockets) ~connect:(fun k ->
+      connect_with_retry ~wait sockets.(k))
+
+(* --socket and --shards are the single- and multi-server deployments of
+   the same verb; exactly one must be given. *)
+let deployment socket shards =
+  match (socket, shards) with
+  | Some s, [] -> `Single s
+  | None, (_ :: _ as paths) -> `Sharded paths
+  | Some _, _ :: _ -> die "--socket and --shards are mutually exclusive"
+  | None, [] -> die "one of --socket or --shards is required"
+
 let submit_cmd =
-  let run socket mac_key id contract path metrics wait trace_out =
+  let run socket shards mac_key id contract path metrics wait trace_out =
     match read_csv path ~name:id with
     | Error e -> die "%s" e
     | Ok rel -> (
-        match connect_with_retry ~wait socket with
-        | Error e -> die "%s" e
-        | Ok transport ->
-            let recorder = make_recorder ~name:"client" trace_out in
-            let client = Net.Client.create ?recorder transport in
-            let rng = Rng.create (Hashtbl.hash (id, path)) in
-            let schema = rel.Ppj_relation.Relation.schema in
-            let outcome = Net.Client.submit_relation client ~rng ~id ~mac_key ~contract ~schema rel in
-            if metrics then print_client_metrics client;
-            Net.Client.close client;
-            write_trace trace_out recorder;
-            (match outcome with
+        let schema = rel.Ppj_relation.Relation.schema in
+        let report () =
+          Format.printf "submitted %d tuples under %s as %s@."
+            (Array.length rel.Ppj_relation.Relation.tuples)
+            contract.Channel.contract_id id
+        in
+        match deployment socket shards with
+        | `Single socket -> (
+            match connect_with_retry ~wait socket with
+            | Error e -> die "%s" e
+            | Ok transport ->
+                let recorder = make_recorder ~name:"client" trace_out in
+                let client = Net.Client.create ?recorder transport in
+                let rng = Rng.create (Hashtbl.hash (id, path)) in
+                let outcome =
+                  Net.Client.submit_relation client ~rng ~id ~mac_key ~contract ~schema rel
+                in
+                if metrics then print_client_metrics client;
+                Net.Client.close client;
+                write_trace trace_out recorder;
+                (match outcome with Ok () -> report () | Error e -> die "%s" e))
+        | `Sharded paths -> (
+            let sh = make_shards ~wait paths in
+            match
+              Shard.Coordinator.submit_wire ~shards:sh
+                ~seed:(Hashtbl.hash (id, path))
+                ~mac_key ~contract ~id ~schema rel
+            with
+            | Error e -> die "%s" e
             | Ok () ->
-                Format.printf "submitted %d tuples under %s as %s@."
-                  (Array.length rel.Ppj_relation.Relation.tuples)
-                  contract.Channel.contract_id id
-            | Error e -> die "%s" e))
+                report ();
+                Format.printf "replicated across %d shard(s)@." (List.length paths)))
   in
   let path_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"REL.csv") in
   Cmd.v
     (Cmd.info "submit"
        ~doc:"Submit a CSV relation to a running service as a data provider (attest, handshake, \
-             bind the contract, upload encrypted).")
+             bind the contract, upload encrypted).  With --shards, replicate the sealed upload \
+             to every shard server.")
     Term.(
-      const run $ socket_arg $ mac_key_arg $ id_arg $ contract_term $ path_arg $ metrics_arg
-      $ wait_arg $ trace_out_arg)
+      const run $ socket_opt_arg $ shards_arg $ mac_key_arg $ id_arg $ contract_term $ path_arg
+      $ metrics_arg $ wait_arg $ trace_out_arg)
 
 let fetch_cmd =
-  let run socket mac_key id contract algorithm m seed eps mult attr_a attr_b out metrics wait
-      trace_out =
+  let run socket shards mac_key id contract algorithm m seed eps mult attr_a attr_b out metrics
+      wait trace_out =
     let algorithm =
       match algorithm with
       | A1 -> Service.Alg1 { n = mult }
@@ -516,25 +562,56 @@ let fetch_cmd =
       | A7 -> Service.Alg7 { attr_a; attr_b }
     in
     let config = { Service.m; seed; algorithm } in
-    match connect_with_retry ~wait socket with
-    | Error e -> die "%s" e
-    | Ok transport -> (
-        let recorder = make_recorder ~name:"client" trace_out in
-        let client = Net.Client.create ?recorder transport in
-        let rng = Rng.create (Hashtbl.hash (id, "fetch")) in
-        let outcome = Net.Client.fetch_result client ~rng ~id ~mac_key ~contract config in
-        if metrics then print_client_metrics client;
-        Net.Client.close client;
-        write_trace trace_out recorder;
-        match outcome with
+    let deliver schema tuples =
+      let joined = Ppj_relation.Relation.make ~name:"result" schema tuples in
+      match out with
+      | Some path ->
+          Ppj_relation.Csv_io.save joined ~path;
+          Format.printf "%d results -> %s@." (List.length tuples) path
+      | None -> print_string (Ppj_relation.Csv_io.print joined)
+    in
+    match deployment socket shards with
+    | `Single socket -> (
+        match connect_with_retry ~wait socket with
         | Error e -> die "%s" e
-        | Ok (schema, tuples) -> (
-            let joined = Ppj_relation.Relation.make ~name:"result" schema tuples in
-            match out with
-            | Some path ->
-                Ppj_relation.Csv_io.save joined ~path;
-                Format.printf "%d results -> %s@." (List.length tuples) path
-            | None -> print_string (Ppj_relation.Csv_io.print joined)))
+        | Ok transport -> (
+            let recorder = make_recorder ~name:"client" trace_out in
+            let client = Net.Client.create ?recorder transport in
+            let rng = Rng.create (Hashtbl.hash (id, "fetch")) in
+            let outcome = Net.Client.fetch_result client ~rng ~id ~mac_key ~contract config in
+            if metrics then print_client_metrics client;
+            Net.Client.close client;
+            write_trace trace_out recorder;
+            match outcome with
+            | Error e -> die "%s" e
+            | Ok (schema, tuples) -> deliver schema tuples))
+    | `Sharded paths -> (
+        let inner =
+          match algorithm with
+          | Service.Alg4 | Service.Alg5 | Service.Alg6 _ -> algorithm
+          | _ -> die "--shards supports alg4, alg5 and alg6 only"
+        in
+        let sh = make_shards ~wait paths in
+        let shard_config =
+          { Shard.Coordinator.p = List.length paths;
+            m;
+            seed;
+            inner;
+            strategy = Shard.Partitioner.Replicate;
+          }
+        in
+        let shard_metrics = Shard.Metrics.create () in
+        match
+          Shard.Coordinator.fetch_wire ~metrics:shard_metrics ~shards:sh
+            ~seed:(Hashtbl.hash (id, "fetch"))
+            ~mac_key ~contract shard_config
+        with
+        | Error e -> die "%s" e
+        | Ok o ->
+            if metrics then
+              Format.printf "@.metrics:@.%a@." Ppj_obs.Snapshot.pp
+                (Ppj_obs.Registry.snapshot (Shard.Metrics.registry shard_metrics));
+            deliver o.Shard.Coordinator.schema o.Shard.Coordinator.tuples)
   in
   let attr_a = Arg.(value & opt string "key" & info [ "attr-a" ] ~doc:"Join attribute of A.") in
   let attr_b = Arg.(value & opt string "key" & info [ "attr-b" ] ~doc:"Join attribute of B.") in
@@ -542,11 +619,12 @@ let fetch_cmd =
   Cmd.v
     (Cmd.info "fetch"
        ~doc:"As the contract's recipient, ask a running service to execute the join and download \
-             the sealed result.")
+             the sealed result.  With --shards, execute one slice per shard server and merge \
+             the sealed results obliviously.")
     Term.(
-      const run $ socket_arg $ mac_key_arg $ id_arg $ contract_term $ algorithm_arg $ m_arg
-      $ seed_arg $ eps_arg $ mult_arg $ attr_a $ attr_b $ out $ metrics_arg $ wait_arg
-      $ trace_out_arg)
+      const run $ socket_opt_arg $ shards_arg $ mac_key_arg $ id_arg $ contract_term
+      $ algorithm_arg $ m_arg $ seed_arg $ eps_arg $ mult_arg $ attr_a $ attr_b $ out
+      $ metrics_arg $ wait_arg $ trace_out_arg)
 
 let gen_cmd =
   let run na nb matches mult seed out_a out_b =
@@ -646,6 +724,152 @@ let loadtest_cmd =
           nonzero on any wrong-answer or hung session.")
     Term.(const run $ socket_arg $ sessions_arg $ rate_arg $ deadline_arg $ seed_arg)
 
+(* --- sharded deployment: shard-serve / shardtest ---------------------- *)
+
+let shard_serve_cmd =
+  (* A shard server is a vanilla reactor-hosted service: Service already
+     executes [Sharded { k; p; inner }] configs, so the only difference
+     from `serve` is intent (and a trimmed flag surface).  Run p of
+     these and point `submit --shards` / `fetch --shards` at them. *)
+  let run socket mac_key seed max_sessions checkpoint_every metrics log_level =
+    let logger =
+      match log_level with
+      | None -> Ppj_obs.Log.null
+      | Some s -> (
+          match Ppj_obs.Log.level_of_string s with
+          | Ok level -> Ppj_obs.Log.create ~level ~name:"ppj.shard" ()
+          | Error e -> die "%s" e)
+    in
+    let server = Net.Server.create ~seed ~mac_key ~logger ?checkpoint_every () in
+    let reactor = Net.Reactor.create server in
+    Format.printf "ppj shard-serve: shard ready on %s@." socket;
+    Format.print_flush ();
+    Net.Reactor.serve_unix reactor ~path:socket ?max_sessions ();
+    Format.printf "ppj shard-serve: done after %d session(s)@."
+      (Net.Server.sessions_closed server);
+    if metrics then
+      Format.printf "@.metrics:@.%a@." Ppj_obs.Snapshot.pp
+        (Ppj_obs.Registry.snapshot (Net.Server.registry server))
+  in
+  let max_sessions_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-sessions" ] ~doc:"Exit once this many sessions have closed.")
+  in
+  let checkpoint_every_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "checkpoint-every" ]
+          ~doc:"Seal a recovery checkpoint every N coprocessor transfers.")
+  in
+  Cmd.v
+    (Cmd.info "shard-serve"
+       ~doc:"Run one shard server of a sharded deployment on a Unix-domain socket (a reactor \
+             service ready to execute its slice of a sharded join).")
+    Term.(
+      const run $ socket_arg $ mac_key_arg $ seed_arg $ max_sessions_arg $ checkpoint_every_arg
+      $ metrics_arg $ log_level_arg)
+
+let shardtest_cmd =
+  (* The CI smoke: fork p real shard-server processes on Unix sockets,
+     drive a sharded join through them and diff against the sequential
+     single-coprocessor oracle. *)
+  let run p na nb matches mult m seed =
+    if p < 1 then die "p must be positive";
+    let mac_key = "shardtest-mac" in
+    let inner = Service.Alg5 in
+    let rng = Rng.create seed in
+    let a, b = W.equijoin_pair rng ~na ~nb ~matches ~max_multiplicity:mult in
+    let schema = a.Ppj_relation.Relation.schema in
+    let contract =
+      { Channel.contract_id = "shardtest-contract";
+        providers = [ "alice"; "bob" ];
+        recipient = "carol";
+        predicate = "eq(key,key)";
+      }
+    in
+    let sockets =
+      List.init p (fun k ->
+          Filename.concat (Filename.get_temp_dir_name ())
+            (Printf.sprintf "ppj-shardtest-%d-%d.sock" (Unix.getpid ()) k))
+    in
+    List.iter (fun s -> try Sys.remove s with Sys_error _ -> ()) sockets;
+    let children =
+      List.map
+        (fun socket ->
+          match Unix.fork () with
+          | 0 ->
+              let server = Net.Server.create ~seed:5 ~mac_key () in
+              let reactor = Net.Reactor.create server in
+              Net.Reactor.serve_unix reactor ~path:socket ();
+              Stdlib.exit 0
+          | pid -> pid)
+        sockets
+    in
+    let cleanup () =
+      List.iter (fun pid -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ()) children;
+      List.iter (fun pid -> try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()) children;
+      List.iter (fun s -> try Sys.remove s with Sys_error _ -> ()) sockets
+    in
+    let oracle =
+      let party id c = Channel.party ~id ~secret:(String.make 16 c) in
+      let pa = party "alice" 'a' and pb = party "bob" 'b' and pc = party "carol" 'c' in
+      match
+        Service.run
+          { Service.m; seed; algorithm = inner }
+          ~contract
+          ~submissions:
+            [ (pa, schema, Channel.submit pa contract a);
+              (pb, schema, Channel.submit pb contract b)
+            ]
+          ~recipient:pc
+          ~predicate:(P.equijoin2 "key" "key")
+      with
+      | Ok o -> List.map T.encode o.Service.delivered
+      | Error e ->
+          cleanup ();
+          die "oracle failed: %s" e
+    in
+    let shards =
+      let arr = Array.of_list sockets in
+      Shard.Shards.create ~p ~connect:(fun k -> connect_with_retry ~wait:10. arr.(k))
+    in
+    let config =
+      { Shard.Coordinator.p; m; seed; inner; strategy = Shard.Partitioner.Replicate }
+    in
+    let result =
+      Shard.Coordinator.run_wire ~shard_attempts:2 ~shards ~seed:(seed + 17) ~mac_key ~contract
+        ~providers:[ ("alice", schema, a); ("bob", schema, b) ]
+        config
+    in
+    cleanup ();
+    match result with
+    | Error e -> die "sharded join failed: %s" e
+    | Ok o ->
+        let got = List.map T.encode o.Shard.Coordinator.tuples in
+        if List.sort compare got <> List.sort compare oracle then (
+          Format.eprintf "shardtest: MISMATCH — oracle %d tuples, sharded %d@."
+            (List.length oracle) (List.length got);
+          exit 1);
+        Format.printf
+          "shardtest: %d-shard join over %d process(es) matches the oracle (%d tuples); \
+           per-shard transfers [%s], merge %d slots / %d comparators@."
+          p p (List.length got)
+          (String.concat "; "
+             (Array.to_list (Array.map string_of_int o.Shard.Coordinator.wire_per_shard_transfers)))
+          o.Shard.Coordinator.wire_merge.Shard.Merge.slots
+          o.Shard.Coordinator.wire_merge.Shard.Merge.comparators
+  in
+  let p_arg = Arg.(value & opt int 2 & info [ "p" ] ~doc:"Shard servers to fork.") in
+  Cmd.v
+    (Cmd.info "shardtest"
+       ~doc:"Smoke-test the sharded deployment: fork p shard servers on Unix-domain sockets, \
+             run one sharded join through the coordinator and diff the result against the \
+             single-coprocessor oracle.  Exits nonzero on any mismatch.")
+    Term.(const run $ p_arg $ na_arg $ nb_arg $ matches_arg $ mult_arg $ m_arg $ seed_arg)
+
 let trace_check_cmd =
   let run files require_shared merged_out =
     let read path =
@@ -726,4 +950,4 @@ let () =
        (Cmd.group (Cmd.info "ppj" ~version:"0.2.0" ~doc)
           [ run_cmd; trace_cmd; privacy_cmd; cost_cmd; nstar_cmd; parallel_cmd; csv_join_cmd;
             serve_cmd; submit_cmd; fetch_cmd; gen_cmd; chaos_cmd; loadtest_cmd;
-            trace_check_cmd ]))
+            shard_serve_cmd; shardtest_cmd; trace_check_cmd ]))

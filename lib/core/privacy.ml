@@ -34,6 +34,46 @@ let check ~runs = compare_traces (List.map (fun f -> f ()) runs)
 
 let compare_extended trace_lists = compare_traces (List.map Trace.concat trace_lists)
 
+let compare_sharded runs =
+  (* The adversary sees every shard's host, so the view of one run is
+     the per-shard traces in (public) shard order.  Compare the
+     concatenations, then map a divergence position back to the shard
+     it falls in so the report names the leaking shard. *)
+  let arities = List.map List.length runs in
+  match arities with
+  | [] | [ _ ] -> compare_traces (List.map Trace.concat runs)
+  | first :: rest when List.exists (fun a -> a <> first) rest ->
+      let j, a =
+        let rec find i = function
+          | a :: tl -> if a <> first then (i, a) else find (i + 1) tl
+          | [] -> assert false
+        in
+        find 1 rest
+      in
+      Distinguishable
+        { pair = (0, j);
+          position = 0;
+          detail = Printf.sprintf "shard counts differ: %d vs %d shards" first a;
+        }
+  | _ -> (
+      match compare_traces (List.map Trace.concat runs) with
+      | Indistinguishable -> Indistinguishable
+      | Distinguishable { pair = (i, j); position; detail } ->
+          let shard, offset =
+            let rec locate k off = function
+              | [] -> (k - 1, off)  (* past the end: blame the last shard *)
+              | t :: tl ->
+                  let n = Trace.length t in
+                  if off < n then (k, off) else locate (k + 1) (off - n) tl
+            in
+            locate 0 position (List.nth runs i)
+          in
+          Distinguishable
+            { pair = (i, j);
+              position;
+              detail = Printf.sprintf "shard %d (offset %d): %s" shard offset detail;
+            })
+
 let pp_verdict ppf = function
   | Indistinguishable -> Format.fprintf ppf "indistinguishable"
   | Distinguishable { pair = i, j; position; detail } ->

@@ -25,6 +25,16 @@ val compare_extended : Trace.t list list -> verdict
     check holds iff the whole adversary view is a function of input
     shape. *)
 
+val compare_sharded : Trace.t list list -> verdict
+(** Multi-coprocessor variant: each run contributes its per-shard traces
+    in fixed shard order (the adversary observes every shard's host, so
+    the view is their union), and the unions are compared exactly.  A
+    divergence is mapped back to the shard it falls in — the [detail]
+    names the leaking shard — and runs with differing shard counts are
+    distinguishable outright.  Definitions 1 and 3 hold for a sharded
+    execution iff this verdict is [Indistinguishable] over same-shape
+    (for Definition 3: same-[S]) inputs. *)
+
 val check :
   runs:(unit -> Trace.t) list ->
   verdict

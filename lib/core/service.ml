@@ -17,6 +17,7 @@ type algorithm =
   | Alg6 of { eps : float }
   | Alg7 of { attr_a : string; attr_b : string }
   | Auto of { max_eps : float }
+  | Sharded of { k : int; p : int; inner : algorithm }
 
 type config = { m : int; seed : int; algorithm : algorithm }
 
@@ -38,8 +39,37 @@ let verify_chain chain =
   let expected = List.map Attestation.layer_digest attested_layers in
   Attestation.verify ~device_key ~expected chain
 
-let run_algorithm config inst =
+let rec run_algorithm config inst =
   match config.algorithm with
+  | Sharded { k; p; inner } -> (
+      Sharded.check ~k ~p;
+      (* The shard holds the full relations (replicate partitioning);
+         the public total S comes from the untraced §4.3 screening pass,
+         exactly like [Auto]'s planner input. *)
+      let s = Instance.oracle_size inst in
+      let stats =
+        [ ("S", float_of_int s); ("shard", float_of_int k); ("p", float_of_int p) ]
+      in
+      match inner with
+      | Alg4 ->
+          Sharded.alg4 inst ~k ~p ~s;
+          Report.collect inst ~stats ()
+      | Alg5 ->
+          Sharded.alg5 inst ~k ~p ~s;
+          Report.collect inst ~stats ()
+      | Alg6 { eps } ->
+          Sharded.alg6 inst ~k ~p ~s ~shared_seed:(Sharded.shared_seed config.seed) ~eps;
+          Report.collect inst ~stats ()
+      | Auto { max_eps } -> (
+          match fst (Planner.choose ~l:(Instance.l inst) ~s ~m:config.m ~max_eps) with
+          | Planner.Use_alg4 ->
+              run_algorithm { config with algorithm = Sharded { k; p; inner = Alg4 } } inst
+          | Planner.Use_alg5 ->
+              run_algorithm { config with algorithm = Sharded { k; p; inner = Alg5 } } inst
+          | Planner.Use_alg6 { eps } ->
+              run_algorithm { config with algorithm = Sharded { k; p; inner = Alg6 { eps } } } inst)
+      | Alg1 _ | Alg2 _ | Alg3 _ | Alg7 _ | Sharded _ ->
+          invalid_arg "Sharded: inner algorithm must be Alg4, Alg5, Alg6 or Auto")
   | Alg1 { n } -> Algorithm1.run inst ~n
   | Alg2 { n } -> Algorithm2.run inst ~n ()
   | Alg3 { n; attr_a; attr_b } -> Algorithm3.run inst ~n ~attr_a ~attr_b ()
@@ -57,7 +87,7 @@ let run_algorithm config inst =
 
 exception Join_crashed of { inst : Instance.t; transfer : int }
 
-let algorithm_name = function
+let rec algorithm_name = function
   | Alg1 _ -> "alg1"
   | Alg2 _ -> "alg2"
   | Alg3 _ -> "alg3"
@@ -66,6 +96,7 @@ let algorithm_name = function
   | Alg6 _ -> "alg6"
   | Alg7 _ -> "alg7"
   | Auto _ -> "auto"
+  | Sharded { k; p; inner } -> Printf.sprintf "%s[%d/%d]" (algorithm_name inner) k p
 
 (* The resume span hangs under the {e original} join span — which has
    already ended by the time a crashed join is retried, possibly in a

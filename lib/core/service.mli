@@ -26,6 +26,13 @@ type algorithm =
       (** Let the {!Planner} pick the cheapest Chapter 5 algorithm whose
           privacy level is at least [1 - max_eps], using a screening pass
           to learn [S] (the §4.3 preprocessing). *)
+  | Sharded of { k : int; p : int; inner : algorithm }
+      (** Run shard [k] of [p] of a multi-coprocessor job: the {!Sharded}
+          slice of [inner], which must be [Alg4], [Alg5], [Alg6] or
+          [Auto] (resolved by the planner into one of the three).  The
+          server holds the full relations — replicate partitioning — and
+          executes only its slice; a coordinator ([lib/shard]) merges the
+          [p] sealed results. *)
 
 type config = { m : int; seed : int; algorithm : algorithm }
 

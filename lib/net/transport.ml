@@ -174,6 +174,32 @@ let faulty ~faults inner =
   in
   { send; recv; close = inner.close; peer = inner.peer ^ "+faults" }
 
+(* A kill switch for chaos scenarios: once blown, the wrapped transport
+   behaves like a peer that dropped dead mid-session — sends raise
+   [Closed], receives report silence forever (the bytes in flight are
+   lost with the process).  [after_sends] arms an automatic trip after
+   that many successful sends, so a plan can kill a shard server at a
+   deterministic point of the fan-out. *)
+let fused ?after_sends inner =
+  let blown = ref false in
+  let sends = ref 0 in
+  let auto () =
+    match after_sends with Some n when !sends >= n -> blown := true | _ -> ()
+  in
+  let send bytes =
+    auto ();
+    if !blown then raise Closed;
+    inner.send bytes;
+    incr sends;
+    auto ()
+  in
+  let recv ~timeout =
+    auto ();
+    if !blown then None else inner.recv ~timeout
+  in
+  let t = { send; recv; close = inner.close; peer = inner.peer ^ "+fuse" } in
+  (t, fun () -> blown := true)
+
 let connect_unix ~path () =
   match
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in

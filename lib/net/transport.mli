@@ -55,4 +55,11 @@ val faulty : faults:Ppj_fault.Injector.t -> t -> t
     are reassembled into frames, gated by the plan, and re-encoded —
     socket deployments and loopback tests share one fault grammar. *)
 
+val fused : ?after_sends:int -> t -> t * (unit -> unit)
+(** A kill switch over any transport, for kill-one-shard chaos: the
+    returned thunk (or reaching [after_sends] successful sends) blows
+    the fuse, after which sends raise {!Closed} and receives report
+    silence — exactly a peer process dying mid-session.  [close] still
+    reaches the inner transport so resources are reclaimed. *)
+
 val connect_unix : path:string -> unit -> (t, string) result

@@ -142,8 +142,13 @@ let schema_of_string s =
              in
              { Schema.name; ty })))
 
-let algorithm_to b (a : Service.algorithm) =
+let rec algorithm_to b (a : Service.algorithm) =
   match a with
+  | Service.Sharded { k; p; inner } ->
+      W.u8 b 9;
+      W.vint b k;
+      W.vint b p;
+      algorithm_to b inner
   | Service.Alg1 { n } ->
       W.u8 b 1;
       W.vint b n
@@ -168,8 +173,17 @@ let algorithm_to b (a : Service.algorithm) =
       W.u8 b 8;
       W.f64 b max_eps
 
-let algorithm_of r : Service.algorithm =
+let rec algorithm_of r : Service.algorithm =
   match R.u8 r with
+  | 9 ->
+      let k = R.vint r in
+      let p = R.vint r in
+      (* One level of nesting only: a sharded job's slice is a base
+         algorithm, never another sharding. *)
+      let inner = algorithm_of r in
+      (match inner with
+      | Service.Sharded _ -> R.fail "nested sharded algorithm"
+      | _ -> Service.Sharded { k; p; inner })
   | 1 -> Service.Alg1 { n = R.vint r }
   | 2 -> Service.Alg2 { n = R.vint r }
   | 3 ->
@@ -224,6 +238,7 @@ type error_code =
   | Malformed
   | Internal
   | Unavailable
+  | Shard_unavailable
 
 let error_code_to_string = function
   | Unsupported_version -> "unsupported-version"
@@ -234,6 +249,7 @@ let error_code_to_string = function
   | Malformed -> "malformed"
   | Internal -> "internal"
   | Unavailable -> "unavailable"
+  | Shard_unavailable -> "shard-unavailable"
 
 let error_code_to_int = function
   | Unsupported_version -> 1
@@ -244,6 +260,7 @@ let error_code_to_int = function
   | Malformed -> 6
   | Internal -> 7
   | Unavailable -> 8
+  | Shard_unavailable -> 9
 
 let error_code_of_int = function
   | 1 -> Unsupported_version
@@ -253,6 +270,7 @@ let error_code_of_int = function
   | 5 -> Missing_submission
   | 6 -> Malformed
   | 8 -> Unavailable
+  | 9 -> Shard_unavailable
   | _ -> Internal
 
 type msg =

@@ -33,6 +33,11 @@ type error_code =
       (** transient server-side failure (e.g. the coprocessor crashed
           mid-join); an idempotent request may be retried and can
           succeed — the join resumes from its last sealed checkpoint *)
+  | Shard_unavailable
+      (** a shard coordinator could not complete the fan-out: one of the
+          shard servers is down or refused.  Not retried by the per-shard
+          client — recovery (retry the surviving shards, or refuse) is
+          the coordinator's decision *)
 
 val error_code_to_string : error_code -> string
 

@@ -4,12 +4,8 @@ module Tuple = Ppj_relation.Tuple
 module Decoy = Ppj_relation.Decoy
 module Coprocessor = Ppj_scpu.Coprocessor
 module Host = Ppj_scpu.Host
-module Trace = Ppj_scpu.Trace
-module Filter = Ppj_oblivious.Filter
-module Mlfsr = Ppj_crypto.Mlfsr
 module Instance = Ppj_core.Instance
-module Hypergeom = Ppj_core.Hypergeom
-module Params = Ppj_core.Params
+module Sharded = Ppj_core.Sharded
 
 type outcome = {
   results : Tuple.t list;
@@ -20,7 +16,9 @@ type outcome = {
 let check_p p = if p < 1 then invalid_arg "Parallel: p must be positive"
 
 (* Each logical coprocessor is an independent instance over the same
-   relations; its host holds the same (re-encrypted) data. *)
+   relations; its host holds the same (re-encrypted) data.  The slice
+   each one executes lives in {!Ppj_core.Sharded} — the same runners a
+   real shard server dispatches through [Service.Sharded]. *)
 let make_instances ~p ~m ~seed ~predicate rels =
   Array.init p (fun k -> Instance.create ~m ~seed:(seed + (1000 * k)) ~predicate rels)
 
@@ -61,48 +59,14 @@ let observe ?(labels = []) o reg =
       Ppj_obs.Histogram.observe load (float_of_int transfers))
     o.per_co_transfers
 
-let range_of ~l ~p k =
-  let lo = k * l / p in
-  let hi = (k + 1) * l / p in
-  (lo, hi)
-
-let alg4 ~p ~m ~seed ~predicate rels =
+let alg4 ?leaky ~p ~m ~seed ~predicate rels =
   check_p p;
   let insts = make_instances ~p ~m ~seed ~predicate rels in
-  Array.iteri
-    (fun k inst ->
-      let co = Instance.co inst in
-      let host = Coprocessor.host co in
-      Instance.ensure_cartesian inst;
-      let lo, hi = range_of ~l:(Instance.l inst) ~p k in
-      let width = Instance.out_width inst in
-      (* When p > l some shards get an empty range: they define no Output
-         region and run no filter, so their region size and persist
-         behaviour match the src_len the non-empty path would use — the
-         old [max 1 (hi - lo)] sizing gave empty shards a phantom slot
-         that diverged from the [~src_len:(hi - lo)] filter input. *)
-      if hi > lo then begin
-        let len = hi - lo in
-        let (_ : Host.t) = Host.define_region host Trace.Output ~size:len in
-        let s = ref 0 in
-        for idx = lo to hi - 1 do
-          let it = Instance.get_ituple inst idx in
-          if Instance.satisfy inst it then begin
-            Coprocessor.put co Trace.Output (idx - lo) (Instance.join_ituple inst it);
-            incr s
-          end
-          else Coprocessor.put co Trace.Output (idx - lo) (Instance.decoy inst)
-        done;
-        if !s > 0 then begin
-          let buffer =
-            Filter.run co ~src:Trace.Output ~src_len:len ~mu:!s
-              ~is_real:(fun o -> not (Decoy.is_decoy o))
-              ~width ()
-          in
-          Host.persist host buffer ~count:!s
-        end
-      end)
-    insts;
+  (* The public total S (untraced §4.3 screening) sets every shard's
+     filter budget; at p = 1 it equals the sequential mu, so the single
+     coprocessor's trace is byte-identical to Algorithm 4's. *)
+  let s = Instance.oracle_size insts.(0) in
+  Array.iteri (fun k inst -> Sharded.alg4 ?leaky inst ~k ~p ~s) insts;
   outcome insts
 
 let alg5 ~p ~m ~seed ~predicate rels =
@@ -113,47 +77,15 @@ let alg5 ~p ~m ~seed ~predicate rels =
   Instance.ensure_cartesian coord;
   let l = Instance.l coord in
   let s = ref 0 in
-  let co0 = Instance.co coord in
   for idx = 0 to l - 1 do
     let it = Instance.get_ituple coord idx in
     if Instance.satisfy coord it then incr s
   done;
   let s = !s in
-  Array.iteri
-    (fun k inst ->
-      let co = Instance.co inst in
-      let host = Coprocessor.host co in
-      Instance.ensure_cartesian inst;
-      let target_lo, target_hi = (k * s / p, (k + 1) * s / p) in
-      let count = target_hi - target_lo in
-      let (_ : Host.t) = Host.define_region host Trace.Output ~size:(max 1 count) in
-      let flushed = ref 0 in
-      Coprocessor.alloc co m;
-      while !flushed < count do
-        let window_lo = target_lo + !flushed in
-        let window_hi = min target_hi (window_lo + m) in
-        let rank = ref 0 in
-        let stored = ref [] in
-        for idx = 0 to l - 1 do
-          let it = Instance.get_ituple inst idx in
-          if Instance.satisfy inst it then begin
-            if !rank >= window_lo && !rank < window_hi then
-              stored := Instance.join_ituple inst it :: !stored;
-            incr rank
-          end
-        done;
-        List.iteri
-          (fun i o -> Coprocessor.put co Trace.Output (!flushed + i) o)
-          (List.rev !stored);
-        flushed := !flushed + (window_hi - window_lo)
-      done;
-      Coprocessor.free co m;
-      Host.persist host Trace.Output ~count)
-    insts;
-  ignore co0;
+  Array.iteri (fun k inst -> Sharded.alg5 inst ~k ~p ~s) insts;
   outcome insts
 
-let alg6 ~p ~m ~seed ~eps ~predicate rels =
+let alg6 ?leaky ~p ~m ~seed ~eps ~predicate rels =
   check_p p;
   let insts = make_instances ~p ~m ~seed ~predicate rels in
   let coord = insts.(0) in
@@ -166,66 +98,6 @@ let alg6 ~p ~m ~seed ~eps ~predicate rels =
     if Instance.satisfy coord it then incr s
   done;
   let s = !s in
-  if s = 0 then outcome insts
-  else begin
-    let n_star = if m >= s then l else Hypergeom.n_star ~l ~s ~m ~eps in
-    let shared_seed = seed lxor 0x5bd1e995 in
-    Array.iteri
-      (fun k inst ->
-        let co = Instance.co inst in
-        let host = Coprocessor.host co in
-        Instance.ensure_cartesian inst;
-        let lo, hi = range_of ~l ~p k in
-        if hi > lo then begin
-          let my_len = hi - lo in
-          let segs = Params.segments ~l:my_len ~n_star in
-          let (_ : Host.t) = Host.define_region host Trace.Output ~size:(segs * m) in
-          let local_s = ref 0 in
-          let stored = ref [] in
-          let kk = ref 0 in
-          let out_pos = ref 0 in
-          let seen = ref 0 in
-          Coprocessor.alloc co m;
-          let flush () =
-            List.iter
-              (fun o ->
-                Coprocessor.put co Trace.Output !out_pos o;
-                incr out_pos)
-              (List.rev !stored);
-            for _ = !kk to m - 1 do
-              Coprocessor.put co Trace.Output !out_pos (Instance.decoy inst);
-              incr out_pos
-            done;
-            stored := [];
-            kk := 0
-          in
-          let pos = ref (-1) in
-          Seq.iter
-            (fun idx ->
-              incr pos;
-              (* Only this coprocessor's range of the shared sequence. *)
-              if !pos >= lo && !pos < hi then begin
-                incr seen;
-                let it = Instance.get_ituple inst idx in
-                if Instance.satisfy inst it then
-                  if !kk < m then begin
-                    stored := Instance.join_ituple inst it :: !stored;
-                    incr kk;
-                    incr local_s
-                  end;
-                if !seen mod n_star = 0 || !seen = my_len then flush ()
-              end)
-            (Mlfsr.random_order ~n:l ~seed:shared_seed);
-          Coprocessor.free co m;
-          if !local_s > 0 then begin
-            let buffer =
-              Filter.run co ~src:Trace.Output ~src_len:(segs * m) ~mu:!local_s
-                ~is_real:(fun o -> not (Decoy.is_decoy o))
-                ~width:(Instance.out_width inst) ()
-            in
-            Host.persist host buffer ~count:!local_s
-          end
-        end)
-      insts;
-    outcome insts
-  end
+  let shared_seed = Sharded.shared_seed seed in
+  Array.iteri (fun k inst -> Sharded.alg6 ?leaky inst ~k ~p ~s ~shared_seed ~eps) insts;
+  outcome insts

@@ -28,9 +28,19 @@ val observe : ?labels:(string * string) list -> outcome -> Ppj_obs.Registry.t ->
     expose load imbalance directly. *)
 
 val alg4 :
-  p:int -> m:int -> seed:int -> predicate:Predicate.t -> Relation.t list -> outcome
+  ?leaky:bool ->
+  p:int ->
+  m:int ->
+  seed:int ->
+  predicate:Predicate.t ->
+  Relation.t list ->
+  outcome
 (** Each coprocessor handles an iTuple range, writes its fixed-size oTuple
-    stream, and filters its own slice; slices concatenate. *)
+    stream, and filters its own slice with the public
+    [min(slice, S)] budget ({!Ppj_core.Sharded.public_mu});
+    slices concatenate.  [?leaky:true] filters with the data-dependent
+    local match count instead — the property harness's negative
+    control. *)
 
 val alg5 :
   p:int -> m:int -> seed:int -> predicate:Predicate.t -> Relation.t list -> outcome
@@ -39,6 +49,7 @@ val alg5 :
     fixed order (linear speedup, §5.3.5). *)
 
 val alg6 :
+  ?leaky:bool ->
   p:int ->
   m:int ->
   seed:int ->
@@ -47,4 +58,5 @@ val alg6 :
   Relation.t list ->
   outcome
 (** All coprocessors seed identical MLFSRs and each processes its range of
-    the shared random sequence in [n*]-segments. *)
+    the shared random sequence in [n*]-segments, filtering with the
+    public budget (or the leaky local count under [?leaky:true]). *)

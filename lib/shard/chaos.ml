@@ -1,0 +1,165 @@
+module Ch = Ppj_scpu.Channel
+module W = Ppj_relation.Workload
+module P = Ppj_relation.Predicate
+module Tuple = Ppj_relation.Tuple
+module Rng = Ppj_crypto.Rng
+module Service = Ppj_core.Service
+module Registry = Ppj_obs.Registry
+module Plan = Ppj_fault.Plan
+module Injector = Ppj_fault.Injector
+module Server = Ppj_net.Server
+module Transport = Ppj_net.Transport
+module Client = Ppj_net.Client
+
+(* Kill-one-shard chaos: a coordinator drives two in-process shard
+   servers while one of them — the victim — is subjected to either a
+   random fault plan (coprocessor crashes resumed from sealed
+   checkpoints inside the per-shard client's retries, frame drops,
+   recv timeouts...) or a blown fuse that makes its process drop dead
+   mid-session.  The safety contract mirrors [Ppj_net.Chaos]: the
+   coordinator answers the oracle result or a typed refusal, never a
+   wrong answer and never a hang. *)
+
+type outcome =
+  | Correct
+  | Tamper of string
+  | Refused of string
+  | Wrong of { expected : int; delivered : int }
+
+type run = {
+  seed : int;
+  outcome : outcome;
+  victim : int;
+  killed : bool;  (** fuse mode (process death) vs fault-plan mode *)
+  crashes : int;  (** coprocessor crashes across both shard servers *)
+  retries : int;  (** coordinator-level shard re-dials *)
+}
+
+let safe r = match r.outcome with Wrong _ -> false | _ -> true
+
+let outcome_to_string = function
+  | Correct -> "correct"
+  | Tamper m -> "tamper-detected: " ^ m
+  | Refused m -> "refused: " ^ m
+  | Wrong { expected; delivered } ->
+      Printf.sprintf "WRONG ANSWER: expected %d tuples, delivered %d" expected delivered
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.equal (String.sub s i n) sub || go (i + 1)) in
+  n = 0 || go 0
+
+let mac_key = "shard-chaos-mac-key"
+let schema = W.keyed_schema ()
+
+let contract =
+  { Ch.contract_id = "shard-chaos-contract";
+    providers = [ "alice"; "bob" ];
+    recipient = "carol";
+    predicate = "eq(key,key)";
+  }
+
+let workload seed =
+  let rng = Rng.create ((2 * seed) + 1) in
+  W.equijoin_pair rng ~na:8 ~nb:12 ~matches:9 ~max_multiplicity:3
+
+let config =
+  { Coordinator.p = 2;
+    m = 4;
+    seed = 7;
+    inner = Service.Alg5;
+    strategy = Partitioner.Replicate;
+  }
+
+(* What the recipient must decode when nothing interferes: the
+   single-coprocessor run of the same inner algorithm. *)
+let oracle seed =
+  let pa = Ch.party ~id:"alice" ~secret:(String.make 16 'a') in
+  let pb = Ch.party ~id:"bob" ~secret:(String.make 16 'b') in
+  let pc = Ch.party ~id:"carol" ~secret:(String.make 16 'c') in
+  let a, b = workload seed in
+  match
+    Service.run
+      { Service.m = config.Coordinator.m;
+        seed = config.Coordinator.seed;
+        algorithm = config.Coordinator.inner;
+      }
+      ~contract
+      ~submissions:
+        [ (pa, schema, Ch.submit pa contract a); (pb, schema, Ch.submit pb contract b) ]
+      ~recipient:pc ~predicate:(P.equijoin2 "key" "key")
+  with
+  | Ok o -> List.map Tuple.encode o.Service.delivered
+  | Error e -> invalid_arg ("shard chaos oracle failed: " ^ e)
+
+(* Nothing sleeps (loopback transports, ignored backoff), so a run can
+   only finish, never hang. *)
+let client_config =
+  { Client.default_config with recv_timeout = 0.01; max_retries = 6; sleep = ignore }
+
+let run_one ?registry ~seed () =
+  let reg = match registry with Some r -> r | None -> Registry.create () in
+  let victim = seed mod 2 in
+  (* seed mod 3 = 0: blow a fuse on the victim's first [fused_dials]
+     connections (its process "dies", then "restarts"); otherwise arm a
+     random fault plan on the victim server. *)
+  let killed = seed mod 3 = 0 in
+  let fused_dials = 1 + (seed / 3 mod 2) in
+  let after_sends = 2 + (seed / 2 mod 24) in
+  let faults = if killed then None else Some (Injector.create (Plan.random ~seed)) in
+  let server_regs = Array.init 2 (fun _ -> Registry.create ~histogram_cap:512 ()) in
+  let servers =
+    Array.init 2 (fun k ->
+        let faults = if k = victim then faults else None in
+        Server.create ~registry:server_regs.(k) ~mac_key ~seed:5 ?faults ())
+  in
+  let dials = Array.make 2 0 in
+  let connect k =
+    dials.(k) <- dials.(k) + 1;
+    let faults = if k = victim then faults else None in
+    let t = Transport.loopback ?faults servers.(k) in
+    if killed && k = victim && dials.(k) <= fused_dials then
+      Ok (fst (Transport.fused ~after_sends t))
+    else Ok t
+  in
+  let shards = Shards.create ~p:2 ~connect in
+  let a, b = workload seed in
+  let expected = oracle seed in
+  let result =
+    Coordinator.run_wire ~client_config ~shard_attempts:2 ~shards ~seed:(seed + 17)
+      ~mac_key ~contract
+      ~providers:[ ("alice", schema, a); ("bob", schema, b) ]
+      config
+  in
+  let retries =
+    match result with Ok o -> o.Coordinator.shard_retries | Error _ -> 0
+  in
+  let outcome =
+    match result with
+    | Error e -> if contains ~sub:"tamper" e then Tamper e else Refused e
+    | Ok o ->
+        let got = List.map Tuple.encode o.Coordinator.tuples in
+        if List.sort compare got = List.sort compare expected then Correct
+        else Wrong { expected = List.length expected; delivered = List.length got }
+  in
+  let crashes =
+    Array.fold_left
+      (fun n r -> n + Ppj_obs.Counter.value (Registry.counter r "net.server.joins.crashed"))
+      0 server_regs
+  in
+  let count ?by name = Ppj_obs.Counter.incr ?by (Registry.counter reg name) in
+  List.iter
+    (fun n -> ignore (Registry.counter reg n))
+    [ "shard.chaos.correct"; "shard.chaos.tamper"; "shard.chaos.refused"; "shard.chaos.wrong" ];
+  count "shard.chaos.runs";
+  (match outcome with
+  | Correct -> count "shard.chaos.correct"
+  | Tamper _ -> count "shard.chaos.tamper"
+  | Refused _ -> count "shard.chaos.refused"
+  | Wrong _ -> count "shard.chaos.wrong");
+  if crashes > 0 then count ~by:crashes "shard.chaos.crashes";
+  if retries > 0 then count ~by:retries "shard.chaos.retries";
+  { seed; outcome; victim; killed; crashes; retries }
+
+let soak ?registry ?(seed0 = 1) ~runs () =
+  List.init runs (fun i -> run_one ?registry ~seed:(seed0 + i) ())

@@ -1,0 +1,40 @@
+(** Kill-one-shard chaos for the coordinator.
+
+    Each seeded run drives a 2-shard coordinator against in-process
+    shard servers while the victim shard is either killed mid-session
+    (a {!Ppj_net.Transport.fused} transport whose fuse blows after a
+    seed-chosen number of sends, for a seed-chosen number of dials —
+    the coordinator's retry then reaches the "restarted" server) or
+    subjected to a random {!Ppj_fault.Plan} (coprocessor crashes that
+    resume from sealed checkpoints via the per-shard client's retries,
+    frame faults, recv timeouts).
+
+    Safety contract, as in {!Ppj_net.Chaos}: the coordinator returns
+    the single-coprocessor oracle result or a typed refusal
+    ([shard-unavailable: ...] / tamper), never a wrong answer, and a
+    run cannot hang (nothing in the stack sleeps). *)
+
+type outcome =
+  | Correct
+  | Tamper of string
+  | Refused of string
+  | Wrong of { expected : int; delivered : int }
+
+type run = {
+  seed : int;
+  outcome : outcome;
+  victim : int;
+  killed : bool;  (** fuse mode (process death) vs fault-plan mode *)
+  crashes : int;  (** coprocessor crashes across both shard servers *)
+  retries : int;  (** coordinator-level shard re-dials *)
+}
+
+val safe : run -> bool
+(** Everything except [Wrong]. *)
+
+val outcome_to_string : outcome -> string
+
+val run_one : ?registry:Ppj_obs.Registry.t -> seed:int -> unit -> run
+(** [registry] accumulates [shard.chaos.*] counters across runs. *)
+
+val soak : ?registry:Ppj_obs.Registry.t -> ?seed0:int -> runs:int -> unit -> run list

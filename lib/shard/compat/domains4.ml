@@ -1,0 +1,10 @@
+(* OCaml 4.x fallback: no Domains, shard jobs run sequentially on the
+   calling thread.  Functionally identical to the parallel backend — the
+   coordinator's merge and privacy story never depend on scheduling —
+   just without wall-clock speedup.  Selected by the dune copy rule. *)
+
+let available = false
+
+let recommended () = 1
+
+let parallel_map f xs = Array.map f xs

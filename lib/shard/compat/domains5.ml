@@ -1,0 +1,14 @@
+(* OCaml >= 5 backend: one Domain per shard job, joined in order.  The
+   job results cross back to the spawning domain by value; shared state
+   is limited to the Mutex-guarded {!Metrics} sink the jobs write
+   through.  Selected by the dune copy rule on %{ocaml_version}. *)
+
+let available = true
+
+let recommended () = Domain.recommended_domain_count ()
+
+let parallel_map f xs =
+  if Array.length xs <= 1 then Array.map f xs
+  else
+    let domains = Array.map (fun x -> Domain.spawn (fun () -> f x)) xs in
+    Array.map Domain.join domains

@@ -1,0 +1,120 @@
+(** The shard coordinator: one submit fanned out across p shard servers.
+
+    Two backends share the partition → execute → obliviously-merge state
+    machine:
+
+    - {!run_local} — in-process: p {!Ppj_core.Instance}s, each executing
+      its {!Ppj_core.Sharded} slice; on OCaml 5 the slices run on
+      [Domain]s (true parallelism; metrics flow through the
+      Mutex-guarded {!Metrics} sink), on 4.x sequentially.
+    - {!run_wire} — distribution: each shard is a full Reactor-hosted
+      server spoken to over the existing wire protocol; the coordinator
+      submits every provider's relation to every shard (replicate
+      partitioning), executes [Sharded { k; p; inner }], fetches the p
+      sealed results, and merges them with the pad-to-max oblivious
+      {!Merge}.  A shard failure after [shard_attempts] dials is a typed
+      [shard-unavailable] refusal; a shard whose coprocessor crashed
+      resumes from its sealed checkpoint inside the per-shard client's
+      own retries. *)
+
+module Service = Ppj_core.Service
+module Channel = Ppj_scpu.Channel
+module Tuple = Ppj_relation.Tuple
+module Schema = Ppj_relation.Schema
+module Relation = Ppj_relation.Relation
+module Predicate = Ppj_relation.Predicate
+module Client = Ppj_net.Client
+
+type config = {
+  p : int;
+  m : int;  (** per-shard coprocessor memory *)
+  seed : int;
+  inner : Service.algorithm;  (** [Alg4], [Alg5] or [Alg6 _] *)
+  strategy : Partitioner.strategy;
+}
+
+type backend = Sequential | Domains
+
+type outcome = {
+  results : Tuple.t list;
+  per_shard_transfers : int array;
+  speedup : float;  (** model speedup: total transfers / slowest shard *)
+  merge : Merge.stats;
+  backend : string;  (** "domains" or "sequential" — what actually ran *)
+  padded : int;  (** pad tuples the hash partitioner inserted *)
+}
+
+type wire_outcome = {
+  tuples : Tuple.t list;
+  schema : Schema.t;
+  wire_per_shard_transfers : int array;
+  wire_merge : Merge.stats;
+  shard_retries : int;  (** coordinator-level re-dials that happened *)
+}
+
+val validate : config -> (unit, string) result
+(** [Alg5 × Hash] and non-4/5/6 inner algorithms are rejected here,
+    before any work. *)
+
+val run_local :
+  ?metrics:Metrics.t ->
+  ?backend:backend ->
+  config ->
+  predicate:Predicate.t ->
+  Relation.t list ->
+  (outcome, string) result
+(** Default backend: [Domains] when the runtime has them, else
+    [Sequential].  Requesting [Domains] on OCaml 4.x silently degrades
+    to sequential (the [backend] field reports the truth). *)
+
+val submit_wire :
+  ?client_config:Client.config ->
+  ?client_registry:Ppj_obs.Registry.t ->
+  ?shard_attempts:int ->
+  ?retries:int ref ->
+  shards:Shards.t ->
+  seed:int ->
+  mac_key:string ->
+  contract:Channel.contract ->
+  id:string ->
+  schema:Schema.t ->
+  Relation.t ->
+  (unit, string) result
+(** Fan one provider's sealed upload out to every shard server
+    (replicate partitioning: each shard holds the full relation and will
+    execute its slice of the work).  [retries] accumulates
+    coordinator-level re-dials across calls. *)
+
+val fetch_wire :
+  ?metrics:Metrics.t ->
+  ?client_config:Client.config ->
+  ?client_registry:Ppj_obs.Registry.t ->
+  ?shard_attempts:int ->
+  ?retries:int ref ->
+  shards:Shards.t ->
+  seed:int ->
+  mac_key:string ->
+  contract:Channel.contract ->
+  config ->
+  (wire_outcome, string) result
+(** As the contract's recipient: execute [Sharded { k; p; inner }] on
+    every shard, fetch the p sealed results and merge them obliviously.
+    Replicate strategy only (a hash shard cannot learn the global filter
+    budget from its bucket).  [seed] derives the per-session handshake
+    RNGs.  Errors are prefixed ["shard-unavailable: shard k: ..."] — the
+    typed refusal the chaos harness asserts on. *)
+
+val run_wire :
+  ?metrics:Metrics.t ->
+  ?client_config:Client.config ->
+  ?client_registry:Ppj_obs.Registry.t ->
+  ?shard_attempts:int ->
+  shards:Shards.t ->
+  seed:int ->
+  mac_key:string ->
+  contract:Channel.contract ->
+  providers:(string * Schema.t * Relation.t) list ->
+  config ->
+  (wire_outcome, string) result
+(** {!submit_wire} for every provider, then {!fetch_wire}:
+    [shard_retries] in the outcome counts re-dials across both phases. *)

@@ -1,0 +1,681 @@
+(* Sharded multi-coprocessor joins (lib/shard): the oblivious merge
+   network, the replicate/hash partitioner, the coordinator over both
+   backends and over the wire, Definition 1/3 property tests for the
+   promoted slice runners, kill-one-shard chaos, and the load-imbalance
+   metrics. *)
+
+module Sharded = Ppj_core.Sharded
+module Instance = Ppj_core.Instance
+module Privacy = Ppj_core.Privacy
+module Service = Ppj_core.Service
+module Co = Ppj_scpu.Coprocessor
+module Ch = Ppj_scpu.Channel
+module W = Ppj_relation.Workload
+module P = Ppj_relation.Predicate
+module T = Ppj_relation.Tuple
+module Value = Ppj_relation.Value
+module Relation = Ppj_relation.Relation
+module Schema = Ppj_relation.Schema
+module Rng = Ppj_crypto.Rng
+module Registry = Ppj_obs.Registry
+module Counter = Ppj_obs.Counter
+module Histogram = Ppj_obs.Histogram
+module Par = Ppj_parallel.Parallel
+module Server = Ppj_net.Server
+module Transport = Ppj_net.Transport
+module Client = Ppj_net.Client
+module Wire = Ppj_net.Wire
+module Merge = Ppj_shard.Merge
+module Partitioner = Ppj_shard.Partitioner
+module Shards = Ppj_shard.Shards
+module Metrics = Ppj_shard.Metrics
+module Coordinator = Ppj_shard.Coordinator
+module Chaos = Ppj_shard.Chaos
+module Domains_compat = Ppj_shard.Domains_compat
+
+let pred = P.equijoin2 "key" "key"
+let tuple_set l = List.sort compare (List.map (fun t -> Format.asprintf "%a" T.pp t) l)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.equal (String.sub s i n) sub || go (i + 1)) in
+  n = 0 || go 0
+
+let workload ?(seed = 11) () =
+  let rng = Rng.create seed in
+  W.equijoin_pair rng ~na:12 ~nb:18 ~matches:14 ~max_multiplicity:3
+
+let oracle_of rels = Instance.oracle (Instance.create ~m:4 ~seed:1 ~predicate:pred rels)
+
+(* --- merge ------------------------------------------------------------ *)
+
+let test_merge_compacts_stable () =
+  let streams = [ [ Some 1; None; Some 2 ]; []; [ None; Some 3 ] ] in
+  let reals, stats = Merge.run ~pad:None ~is_real:Option.is_some streams in
+  Alcotest.(check (list int)) "reals, shard order" [ 1; 2; 3 ] (List.filter_map Fun.id reals);
+  (* 3 streams padded to max length 3 = 9 slots, network over 16 *)
+  Alcotest.(check int) "slots" 9 stats.Merge.slots;
+  Alcotest.(check bool) "comparators counted" true (stats.Merge.comparators > 0)
+
+let test_merge_schedule_is_shape_only () =
+  (* Two opposite distributions of 4 reals over 3 shards: identical
+     slot and comparator counts — the schedule can't see the split. *)
+  let d1 = [ [ Some 1; Some 2; Some 3; Some 4 ]; [ None; None ]; [ None ] ] in
+  let d2 = [ [ None; None; None; None ]; [ Some 9; Some 8 ]; [ Some 7 ] ] in
+  let r1, s1 = Merge.run ~pad:None ~is_real:Option.is_some d1 in
+  let r2, s2 = Merge.run ~pad:None ~is_real:Option.is_some d2 in
+  Alcotest.(check bool) "same stats" true (s1 = s2);
+  Alcotest.(check (list int)) "d1 reals" [ 1; 2; 3; 4 ] (List.filter_map Fun.id r1);
+  Alcotest.(check (list int)) "d2 reals" [ 9; 8; 7 ] (List.filter_map Fun.id r2)
+
+let test_merge_all_pads_and_empty () =
+  let reals, stats = Merge.run ~pad:None ~is_real:Option.is_some [ [ None ]; [ None ] ] in
+  Alcotest.(check int) "no reals" 0 (List.length reals);
+  Alcotest.(check int) "two slots" 2 stats.Merge.slots;
+  let reals, stats = Merge.run ~pad:None ~is_real:Option.is_some [ []; [] ] in
+  Alcotest.(check int) "empty streams ok" 0 (List.length reals);
+  Alcotest.(check int) "zero slots" 0 stats.Merge.slots
+
+(* --- partitioner ------------------------------------------------------ *)
+
+let zipf_pair seed =
+  let rng = Rng.create seed in
+  let a = W.zipf rng ~name:"a" ~n:20 ~key_domain:6 ~theta:1.2 in
+  let b = W.zipf rng ~name:"b" ~n:15 ~key_domain:6 ~theta:1.2 in
+  (a, b)
+
+(* Hash partitioning needs a roughly flat key histogram to stay under
+   its public bound — skew is exactly what the overflow refusal is for. *)
+let uniform_pair seed =
+  let rng = Rng.create seed in
+  let a = W.uniform rng ~name:"a" ~n:24 ~key_domain:40 in
+  let b = W.uniform rng ~name:"b" ~n:18 ~key_domain:40 in
+  (a, b)
+
+let test_replicate_plan () =
+  let a, b = workload () in
+  match Partitioner.plan Partitioner.Replicate ~p:3 [ a; b ] with
+  | Error e -> Alcotest.fail e
+  | Ok inputs ->
+      Alcotest.(check int) "three shards" 3 (Array.length inputs);
+      Array.iteri
+        (fun k (i : Partitioner.shard_input) ->
+          Alcotest.(check int) "shard index" k i.Partitioner.shard;
+          Alcotest.(check int) "no pads" 0 i.Partitioner.padded;
+          Alcotest.(check int) "full |A|" (Relation.cardinality a)
+            (Relation.cardinality (List.nth i.Partitioner.relations 0)))
+        inputs
+
+let test_hash_buckets_hit_public_bound () =
+  let a, b = uniform_pair 3 in
+  let p = 3 and slack = 2.0 in
+  match Partitioner.plan (Partitioner.Hash { key = "key"; slack }) ~p [ a; b ] with
+  | Error e -> Alcotest.fail e
+  | Ok inputs ->
+      (* Every shard's relation sits exactly at the public bound: bucket
+         sizes reveal nothing beyond (n, p, slack). *)
+      Array.iter
+        (fun (i : Partitioner.shard_input) ->
+          List.iter2
+            (fun rel n ->
+              Alcotest.(check int) "bucket at bound"
+                (Partitioner.bound ~slack ~n ~p)
+                (Relation.cardinality rel))
+            i.Partitioner.relations
+            [ Relation.cardinality a; Relation.cardinality b ])
+        inputs
+
+let test_hash_union_equals_oracle () =
+  (* No spurious matches from the pads, no lost matches from bucketing:
+     the union over shards of each shard's local join is exactly the
+     full join. *)
+  List.iter
+    (fun seed ->
+      let a, b = uniform_pair seed in
+      let want = tuple_set (oracle_of [ a; b ]) in
+      match Partitioner.plan (Partitioner.Hash { key = "key"; slack = 2.5 }) ~p:3 [ a; b ] with
+      | Error e -> Alcotest.fail e
+      | Ok inputs ->
+          let got =
+            Array.to_list inputs
+            |> List.concat_map (fun (i : Partitioner.shard_input) ->
+                   oracle_of i.Partitioner.relations)
+          in
+          Alcotest.(check (list string)) "union = oracle" want (tuple_set got))
+    [ 1; 2; 7 ]
+
+let test_hash_overflow_is_typed_refusal () =
+  let schema = W.keyed_schema () in
+  let one_key =
+    Relation.make ~name:"hot" schema
+      (List.init 10 (fun i -> T.make schema [ Value.Int i; Value.Int 42; Value.Str "" ]))
+  in
+  match Partitioner.plan (Partitioner.Hash { key = "key"; slack = 1.0 }) ~p:3 [ one_key ] with
+  | Ok _ -> Alcotest.fail "skewed bucket should overflow the bound"
+  | Error e -> Alcotest.(check bool) "overflow named" true (contains ~sub:"overflow" e)
+
+let test_hash_bad_key_rejected () =
+  let a, _ = workload () in
+  (match Partitioner.plan (Partitioner.Hash { key = "nope"; slack = 2. }) ~p:2 [ a ] with
+  | Ok _ -> Alcotest.fail "missing key accepted"
+  | Error e -> Alcotest.(check bool) "names the key" true (contains ~sub:"nope" e));
+  match Partitioner.plan (Partitioner.Hash { key = "info"; slack = 2. }) ~p:2 [ a ] with
+  | Ok _ -> Alcotest.fail "string key accepted"
+  | Error e -> Alcotest.(check bool) "integer required" true (contains ~sub:"integer" e)
+
+(* --- Definition 1/3 for the sharded slices (satellite) ---------------- *)
+
+let runs_per_property = 20
+
+type shape = { na : int; nb : int; mult : int; matches : int; s1 : int; s2 : int }
+
+let shape_gen =
+  let open QCheck.Gen in
+  let* na = int_range 4 9 in
+  let* nb = int_range 4 12 in
+  let* mult = int_range 1 3 in
+  let* matches = int_range 1 (min nb (na * mult)) in
+  let* s1 = int_range 0 9999 in
+  let* s2 = int_range 0 9999 in
+  let s2 = if s2 = s1 then s2 + 10000 else s2 in
+  return { na; nb; mult; matches; s1; s2 }
+
+let pp_shape sh =
+  Printf.sprintf "{na=%d; nb=%d; mult=%d; matches=%d; s1=%d; s2=%d}" sh.na sh.nb sh.mult
+    sh.matches sh.s1 sh.s2
+
+let shape_arb = QCheck.make ~print:pp_shape shape_gen
+
+(* The union of per-shard traces for one database: shard k runs its
+   slice on a fresh coprocessor holding the full relations, exactly as
+   a replicate shard server would.  The coprocessor seed is fixed —
+   Definition 1 quantifies over the data only. *)
+let shard_traces ~p run sh ~data_seed =
+  let rng = Rng.create data_seed in
+  let a, b =
+    W.equijoin_pair rng ~na:sh.na ~nb:sh.nb ~matches:sh.matches ~max_multiplicity:sh.mult
+  in
+  let s = Instance.oracle_size (Instance.create ~m:3 ~seed:1234 ~predicate:pred [ a; b ]) in
+  List.init p (fun k ->
+      let inst = Instance.create ~m:3 ~seed:1234 ~predicate:pred [ a; b ] in
+      run inst ~k ~s;
+      Co.trace (Instance.co inst))
+
+let sharded_indistinguishable ~p run sh =
+  let runs = List.map (fun s -> shard_traces ~p run sh ~data_seed:s) [ sh.s1; sh.s2 ] in
+  match Privacy.compare_sharded runs with
+  | Privacy.Indistinguishable -> true
+  | Privacy.Distinguishable _ -> false
+
+let property_case ~qcheck_seed name run =
+  let cell =
+    QCheck.Test.make_cell ~count:runs_per_property ~name shape_arb (fun sh ->
+        sharded_indistinguishable ~p:3 run sh)
+  in
+  Alcotest.test_case name `Quick (fun () ->
+      QCheck.Test.check_cell_exn ~rand:(Random.State.make [| qcheck_seed |]) cell)
+
+let sharded_properties =
+  [ property_case ~qcheck_seed:41 "sharded algorithm 4" (fun inst ~k ~s ->
+        Sharded.alg4 inst ~k ~p:3 ~s);
+    property_case ~qcheck_seed:42 "sharded algorithm 5" (fun inst ~k ~s ->
+        Sharded.alg5 inst ~k ~p:3 ~s);
+    property_case ~qcheck_seed:43 "sharded algorithm 6" (fun inst ~k ~s ->
+        Sharded.alg6 inst ~k ~p:3 ~s ~shared_seed:(Sharded.shared_seed 1234) ~eps:1e-12)
+  ]
+
+(* Deterministic pair: same shape, same S = 3, but the matches all live
+   in shard 0's slice for [b_lo] and in shard 1's for [b_hi]. *)
+let concentrated () =
+  let schema = W.keyed_schema () in
+  let mk name keys =
+    Relation.make ~name schema
+      (List.mapi (fun i k -> T.make schema [ Value.Int i; Value.Int k; Value.Str "" ]) keys)
+  in
+  let a = mk "a" [ 0; 1; 2; 3 ] in
+  let b_lo = mk "b" [ 0; 0; 0; 9 ] in
+  let b_hi = mk "b" [ 3; 3; 3; 9 ] in
+  (a, b_lo, b_hi)
+
+let leaky_traces ?(leaky = true) b_choice =
+  let a, b_lo, b_hi = concentrated () in
+  let b = if b_choice = 0 then b_lo else b_hi in
+  let s = Instance.oracle_size (Instance.create ~m:3 ~seed:1234 ~predicate:pred [ a; b ]) in
+  List.init 2 (fun k ->
+      let inst = Instance.create ~m:3 ~seed:1234 ~predicate:pred [ a; b ] in
+      Sharded.alg4 ~leaky inst ~k ~p:2 ~s;
+      Co.trace (Instance.co inst))
+
+let test_leaky_negative_control () =
+  (* With mu = local s_k the shard-0 trace sees 3 matches vs 0: the
+     verdict must name the leaking shard. *)
+  match Privacy.compare_sharded [ leaky_traces 0; leaky_traces 1 ] with
+  | Privacy.Indistinguishable -> Alcotest.fail "leaky slices escaped detection"
+  | Privacy.Distinguishable { detail; _ } ->
+      Alcotest.(check bool)
+        (Printf.sprintf "names shard 0 (got %s)" detail)
+        true
+        (contains ~sub:"shard 0" detail)
+
+let test_public_budget_heals_the_leak () =
+  (* Same pair under the public min(slice, S) budget: indistinguishable —
+     this is precisely what the promoted runners fix. *)
+  match
+    Privacy.compare_sharded [ leaky_traces ~leaky:false 0; leaky_traces ~leaky:false 1 ]
+  with
+  | Privacy.Indistinguishable -> ()
+  | Privacy.Distinguishable d ->
+      Alcotest.fail (Format.asprintf "%a" Privacy.pp_verdict (Privacy.Distinguishable d))
+
+let test_shard_count_mismatch_distinguishable () =
+  match Privacy.compare_sharded [ leaky_traces ~leaky:false 0; [ List.hd (leaky_traces ~leaky:false 1) ] ] with
+  | Privacy.Distinguishable { detail; _ } ->
+      Alcotest.(check bool) "counts named" true (contains ~sub:"shard counts differ" detail)
+  | Privacy.Indistinguishable -> Alcotest.fail "differing arity slipped through"
+
+(* --- coordinator, in-process backend ---------------------------------- *)
+
+let local_config ?(p = 2) ?(strategy = Partitioner.Replicate) inner =
+  { Coordinator.p; m = 4; seed = 5; inner; strategy }
+
+let check_local_correct name ?strategy inner ps () =
+  let a, b = workload () in
+  let want = tuple_set (oracle_of [ a; b ]) in
+  List.iter
+    (fun p ->
+      match
+        Coordinator.run_local ~backend:Coordinator.Sequential
+          (local_config ~p ?strategy inner)
+          ~predicate:pred [ a; b ]
+      with
+      | Error e -> Alcotest.fail (Printf.sprintf "%s p=%d: %s" name p e)
+      | Ok o ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s p=%d = oracle" name p)
+            want
+            (tuple_set o.Coordinator.results))
+    ps
+
+let test_local_replicate_alg4 = check_local_correct "alg4" Service.Alg4 [ 1; 2; 3; 4; 8 ]
+let test_local_replicate_alg5 = check_local_correct "alg5" Service.Alg5 [ 1; 2; 3; 4; 8 ]
+
+let test_local_replicate_alg6 =
+  check_local_correct "alg6" (Service.Alg6 { eps = 1e-9 }) [ 1; 2; 3; 4 ]
+
+let test_local_hash_alg4 =
+  check_local_correct "hash alg4"
+    ~strategy:(Partitioner.Hash { key = "key"; slack = 2.5 })
+    Service.Alg4 [ 1; 2; 3 ]
+
+let test_local_hash_alg6 =
+  check_local_correct "hash alg6"
+    ~strategy:(Partitioner.Hash { key = "key"; slack = 2.5 })
+    (Service.Alg6 { eps = 1e-9 })
+    [ 1; 2; 3 ]
+
+let test_alg5_hash_rejected () =
+  let a, b = workload () in
+  match
+    Coordinator.run_local
+      (local_config ~strategy:(Partitioner.Hash { key = "key"; slack = 2. }) Service.Alg5)
+      ~predicate:pred [ a; b ]
+  with
+  | Ok _ -> Alcotest.fail "Alg5 x Hash must be rejected"
+  | Error e -> Alcotest.(check bool) "names Algorithm 5" true (contains ~sub:"Algorithm 5" e)
+
+let test_bad_inner_rejected () =
+  let a, b = workload () in
+  match Coordinator.run_local (local_config (Service.Alg1 { n = 3 })) ~predicate:pred [ a; b ] with
+  | Ok _ -> Alcotest.fail "Alg1 inner accepted"
+  | Error e -> Alcotest.(check bool) "typed" true (contains ~sub:"inner algorithm" e)
+
+let test_domains_matches_sequential () =
+  let a, b = workload () in
+  let run backend =
+    match
+      Coordinator.run_local ~backend (local_config ~p:4 Service.Alg4) ~predicate:pred [ a; b ]
+    with
+    | Error e -> Alcotest.fail e
+    | Ok o -> o
+  in
+  let seq = run Coordinator.Sequential in
+  let dom = run Coordinator.Domains in
+  Alcotest.(check (list string)) "same results" (tuple_set seq.Coordinator.results)
+    (tuple_set dom.Coordinator.results);
+  Alcotest.(check bool) "same per-shard transfers" true
+    (seq.Coordinator.per_shard_transfers = dom.Coordinator.per_shard_transfers);
+  Alcotest.(check string) "sequential backend reported" "sequential" seq.Coordinator.backend;
+  let expect = if Domains_compat.available then "domains" else "sequential" in
+  Alcotest.(check string) "domains backend reported" expect dom.Coordinator.backend
+
+let test_local_speedup_accounting () =
+  let a, b = workload () in
+  match
+    Coordinator.run_local ~backend:Coordinator.Sequential (local_config ~p:4 Service.Alg4)
+      ~predicate:pred [ a; b ]
+  with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      let sum = Array.fold_left ( + ) 0 o.Coordinator.per_shard_transfers in
+      let mx = Array.fold_left max 1 o.Coordinator.per_shard_transfers in
+      Alcotest.(check (float 1e-6)) "sum = speedup * max" (float_of_int sum)
+        (o.Coordinator.speedup *. float_of_int mx);
+      Alcotest.(check bool) "p=4 speeds up" true (o.Coordinator.speedup > 1.5);
+      Alcotest.(check bool) "merge slots cover shards" true
+        (o.Coordinator.merge.Merge.slots > 0)
+
+let test_hash_reports_padding () =
+  let a, b = uniform_pair 5 in
+  match
+    Coordinator.run_local ~backend:Coordinator.Sequential
+      (local_config ~p:3 ~strategy:(Partitioner.Hash { key = "key"; slack = 2.5 }) Service.Alg4)
+      ~predicate:pred [ a; b ]
+  with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      Alcotest.(check bool) "pads counted" true (o.Coordinator.padded > 0);
+      Alcotest.(check (list string)) "still the oracle" (tuple_set (oracle_of [ a; b ]))
+        (tuple_set o.Coordinator.results)
+
+(* --- coordinator over the wire ---------------------------------------- *)
+
+let mac_key = "test-shard-mac-key"
+let schema = W.keyed_schema ()
+
+let contract =
+  { Ch.contract_id = "shard-test-contract";
+    providers = [ "alice"; "bob" ];
+    recipient = "carol";
+    predicate = "eq(key,key)";
+  }
+
+let no_sleep = { Client.default_config with sleep = ignore; recv_timeout = 0.01 }
+
+let wire_config inner = { Coordinator.p = 2; m = 4; seed = 7; inner; strategy = Partitioner.Replicate }
+
+let wire_setup ?(connect_hook = fun _ t -> t) () =
+  let servers = Array.init 2 (fun _ -> Server.create ~mac_key ~seed:5 ()) in
+  let shards =
+    Shards.create ~p:2 ~connect:(fun k -> Ok (connect_hook k (Transport.loopback servers.(k))))
+  in
+  shards
+
+let run_wire ?(shard_attempts = 1) ?metrics shards inner =
+  let a, b = workload () in
+  Coordinator.run_wire ?metrics ~client_config:no_sleep ~shard_attempts ~shards ~seed:23
+    ~mac_key ~contract
+    ~providers:[ ("alice", schema, a); ("bob", schema, b) ]
+    (wire_config inner)
+
+let test_wire_matches_oracle () =
+  List.iter
+    (fun inner ->
+      let shards = wire_setup () in
+      match run_wire shards inner with
+      | Error e -> Alcotest.fail e
+      | Ok o ->
+          let a, b = workload () in
+          Alcotest.(check (list string)) "wire join = oracle" (tuple_set (oracle_of [ a; b ]))
+            (tuple_set o.Coordinator.tuples);
+          Alcotest.(check int) "two shards reported" 2
+            (Array.length o.Coordinator.wire_per_shard_transfers);
+          Alcotest.(check bool) "schema delivered" true (Schema.fields o.Coordinator.schema <> []);
+          Alcotest.(check int) "no retries on a clean run" 0 o.Coordinator.shard_retries;
+          Alcotest.(check int) "both shards healthy" 2 (Shards.healthy_count shards))
+    [ Service.Alg4; Service.Alg5; Service.Alg6 { eps = 1e-9 } ]
+
+let test_wire_p_mismatch () =
+  let shards = wire_setup () in
+  let a, b = workload () in
+  match
+    Coordinator.run_wire ~client_config:no_sleep ~shards ~seed:23 ~mac_key ~contract
+      ~providers:[ ("alice", schema, a); ("bob", schema, b) ]
+      { (wire_config Service.Alg4) with Coordinator.p = 3 }
+  with
+  | Ok _ -> Alcotest.fail "p mismatch accepted"
+  | Error e -> Alcotest.(check bool) "arity error" true (contains ~sub:"arity" e)
+
+let test_wire_hash_rejected () =
+  let shards = wire_setup () in
+  let a, b = workload () in
+  match
+    Coordinator.run_wire ~client_config:no_sleep ~shards ~seed:23 ~mac_key ~contract
+      ~providers:[ ("alice", schema, a); ("bob", schema, b) ]
+      { (wire_config Service.Alg4) with
+        Coordinator.strategy = Partitioner.Hash { key = "key"; slack = 2. }
+      }
+  with
+  | Ok _ -> Alcotest.fail "hash over the wire accepted"
+  | Error e -> Alcotest.(check bool) "in-process only" true (contains ~sub:"in-process" e)
+
+let test_wire_kill_is_typed_refusal () =
+  (* Shard 1's transport dies after a few sends on every dial: with one
+     attempt the coordinator must refuse with the typed prefix, never
+     deliver a partial join. *)
+  let shards =
+    wire_setup
+      ~connect_hook:(fun k t -> if k = 1 then fst (Transport.fused ~after_sends:3 t) else t)
+      ()
+  in
+  match run_wire shards Service.Alg5 with
+  | Ok _ -> Alcotest.fail "killed shard yielded a result"
+  | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "typed refusal (got %s)" e)
+        true
+        (contains ~sub:"shard-unavailable: shard 1:" e);
+      (match Shards.health shards 1 with
+      | Shards.Unhealthy _ -> ()
+      | Shards.Healthy -> Alcotest.fail "victim still marked healthy");
+      Alcotest.(check bool) "failure counted" true (Shards.failures shards 1 > 0)
+
+let test_wire_retry_survives_kill () =
+  (* The fuse blows only on shard 1's first dial — the coordinator's
+     second attempt reaches the restarted shard and completes. *)
+  let dials = ref 0 in
+  let shards =
+    wire_setup
+      ~connect_hook:(fun k t ->
+        if k = 1 then begin
+          incr dials;
+          if !dials = 1 then fst (Transport.fused ~after_sends:3 t) else t
+        end
+        else t)
+      ()
+  in
+  match run_wire ~shard_attempts:2 shards Service.Alg5 with
+  | Error e -> Alcotest.fail ("retry should have recovered: " ^ e)
+  | Ok o ->
+      let a, b = workload () in
+      Alcotest.(check (list string)) "recovered join = oracle" (tuple_set (oracle_of [ a; b ]))
+        (tuple_set o.Coordinator.tuples);
+      Alcotest.(check bool) "a retry happened" true (o.Coordinator.shard_retries >= 1)
+
+(* --- wire codec for the sharded algorithm ----------------------------- *)
+
+let test_sharded_config_roundtrip () =
+  List.iter
+    (fun inner ->
+      let cfg =
+        { Service.m = 4; seed = 7; algorithm = Service.Sharded { k = 1; p = 3; inner } }
+      in
+      match Wire.config_of_string (Wire.config_to_string cfg) with
+      | Ok c -> Alcotest.(check bool) "config roundtrips" true (c = cfg)
+      | Error e -> Alcotest.fail e)
+    [ Service.Alg4; Service.Alg5; Service.Alg6 { eps = 1e-7 }; Service.Auto { max_eps = 1e-6 } ]
+
+let test_nested_sharded_rejected () =
+  let cfg =
+    { Service.m = 4;
+      seed = 7;
+      algorithm =
+        Service.Sharded { k = 0; p = 2; inner = Service.Sharded { k = 0; p = 2; inner = Service.Alg4 } };
+    }
+  in
+  match Wire.config_of_string (Wire.config_to_string cfg) with
+  | Ok _ -> Alcotest.fail "nested sharded decoded"
+  | Error e -> Alcotest.(check bool) "nested named" true (contains ~sub:"nested" e)
+
+let test_shard_unavailable_code_roundtrip () =
+  let msg = Wire.Error { code = Wire.Shard_unavailable; message = "shard 1 gone" } in
+  (match Wire.of_frame (Wire.to_frame msg) with
+  | Ok m -> Alcotest.(check bool) "error roundtrips" true (m = msg)
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check string) "string form" "shard-unavailable"
+    (Wire.error_code_to_string Wire.Shard_unavailable)
+
+let test_sharded_algorithm_name () =
+  Alcotest.(check string) "name carries k/p" "alg5[1/3]"
+    (Service.algorithm_name (Service.Sharded { k = 1; p = 3; inner = Service.Alg5 }))
+
+(* --- chaos: kill one shard mid-join ----------------------------------- *)
+
+let test_chaos_soak () =
+  let registry = Registry.create () in
+  let runs = Chaos.soak ~registry ~seed0:1 ~runs:45 () in
+  List.iter
+    (fun (r : Chaos.run) ->
+      if not (Chaos.safe r) then
+        Alcotest.fail
+          (Printf.sprintf "seed %d (victim %d, killed %b): %s" r.Chaos.seed r.Chaos.victim
+             r.Chaos.killed
+             (Chaos.outcome_to_string r.Chaos.outcome)))
+    runs;
+  let count pred = List.length (List.filter pred runs) in
+  let correct = count (fun r -> r.Chaos.outcome = Chaos.Correct) in
+  let refused = count (fun r -> match r.Chaos.outcome with Chaos.Refused _ -> true | _ -> false) in
+  Alcotest.(check bool) "some runs survive" true (correct > 0);
+  Alcotest.(check bool) "some runs refuse (typed)" true (refused > 0);
+  (* the checkpoint/resume path: a coprocessor crashed on a shard server
+     and the join still completed correctly *)
+  let resumed = count (fun r -> r.Chaos.crashes > 0 && r.Chaos.outcome = Chaos.Correct) in
+  Alcotest.(check bool) "crash-resume produced correct joins" true (resumed > 0);
+  let retried = count (fun r -> r.Chaos.retries > 0) in
+  Alcotest.(check bool) "coordinator retries exercised" true (retried > 0);
+  Alcotest.(check int) "registry counted every run" 45
+    (Counter.value (Registry.counter registry "shard.chaos.runs"))
+
+(* --- load imbalance metrics (satellite) ------------------------------- *)
+
+let summary_of registry name =
+  match Histogram.summary (Registry.histogram registry name) with
+  | Some s -> s
+  | None -> Alcotest.fail (name ^ " histogram is empty")
+
+let test_parallel_load_balanced_under_zipf () =
+  (* Replicate slicing is shape-driven: even a Zipf-skewed key
+     distribution must keep parallel.co.load flat. *)
+  let a, b = zipf_pair 9 in
+  let o = Par.alg4 ~p:4 ~m:4 ~seed:5 ~predicate:pred [ a; b ] in
+  let registry = Registry.create () in
+  Par.observe o registry;
+  let s = summary_of registry "parallel.co.load" in
+  Alcotest.(check int) "one sample per coprocessor" 4 s.Histogram.count;
+  Alcotest.(check bool) "p95 <= max" true (s.Histogram.p95 <= s.Histogram.max);
+  Alcotest.(check bool) "balanced: max < 3 * min" true (s.Histogram.max < 3. *. s.Histogram.min)
+
+let test_parallel_leaky_skew_is_visible () =
+  (* Negative control: with the leaky mu = s_k budget, a workload whose
+     matches all sit in one slice shows up in the histogram spread. *)
+  let a, b_lo, _ = concentrated () in
+  let o = Par.alg4 ~leaky:true ~p:2 ~m:3 ~seed:5 ~predicate:pred [ a; b_lo ] in
+  let leaky_reg = Registry.create () in
+  Par.observe o leaky_reg;
+  let s = summary_of leaky_reg "parallel.co.load" in
+  Alcotest.(check bool) "skew visible: max > min" true (s.Histogram.max > s.Histogram.min);
+  let o = Par.alg4 ~p:2 ~m:3 ~seed:5 ~predicate:pred [ a; b_lo ] in
+  let public_reg = Registry.create () in
+  Par.observe o public_reg;
+  let s = summary_of public_reg "parallel.co.load" in
+  Alcotest.(check (float 1e-9)) "public budget flattens it" s.Histogram.min s.Histogram.max
+
+let test_shard_load_histogram () =
+  let a, b = zipf_pair 9 in
+  let metrics = Metrics.create () in
+  match
+    Coordinator.run_local ~metrics ~backend:Coordinator.Sequential
+      (local_config ~p:4 Service.Alg4) ~predicate:pred [ a; b ]
+  with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      let registry = Metrics.registry metrics in
+      let s = summary_of registry "shard.co.load" in
+      Alcotest.(check int) "one sample per shard" 4 s.Histogram.count;
+      Alcotest.(check bool) "p95 <= max" true (s.Histogram.p95 <= s.Histogram.max);
+      Alcotest.(check bool) "balanced under zipf" true (s.Histogram.max < 3. *. s.Histogram.min);
+      Alcotest.(check int) "total transfers counted"
+        (Array.fold_left ( + ) 0 o.Coordinator.per_shard_transfers)
+        (Counter.value (Registry.counter registry "shard.transfers.total"));
+      Alcotest.(check int) "all shards completed" 4
+        (Counter.value (Registry.counter registry "shard.co.completed"))
+
+let test_wire_metrics () =
+  let shards = wire_setup () in
+  let metrics = Metrics.create () in
+  match run_wire ~metrics shards Service.Alg4 with
+  | Error e -> Alcotest.fail e
+  | Ok _ ->
+      let registry = Metrics.registry metrics in
+      let s = summary_of registry "shard.co.load" in
+      Alcotest.(check int) "both shards observed" 2 s.Histogram.count
+
+(* ---------------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "shard"
+    [ ( "merge",
+        [ Alcotest.test_case "compacts stable" `Quick test_merge_compacts_stable;
+          Alcotest.test_case "schedule is shape-only" `Quick test_merge_schedule_is_shape_only;
+          Alcotest.test_case "all pads / empty" `Quick test_merge_all_pads_and_empty
+        ] );
+      ( "partitioner",
+        [ Alcotest.test_case "replicate plan" `Quick test_replicate_plan;
+          Alcotest.test_case "hash buckets at public bound" `Quick
+            test_hash_buckets_hit_public_bound;
+          Alcotest.test_case "hash union = oracle" `Quick test_hash_union_equals_oracle;
+          Alcotest.test_case "hash overflow refused" `Quick test_hash_overflow_is_typed_refusal;
+          Alcotest.test_case "hash bad key refused" `Quick test_hash_bad_key_rejected
+        ] );
+      ( "definition 1/3",
+        sharded_properties
+        @ [ Alcotest.test_case "leaky negative control" `Quick test_leaky_negative_control;
+            Alcotest.test_case "public budget heals the leak" `Quick
+              test_public_budget_heals_the_leak;
+            Alcotest.test_case "shard count mismatch" `Quick
+              test_shard_count_mismatch_distinguishable
+          ] );
+      ( "coordinator local",
+        [ Alcotest.test_case "replicate alg4 = oracle" `Quick test_local_replicate_alg4;
+          Alcotest.test_case "replicate alg5 = oracle" `Quick test_local_replicate_alg5;
+          Alcotest.test_case "replicate alg6 = oracle" `Quick test_local_replicate_alg6;
+          Alcotest.test_case "hash alg4 = oracle" `Quick test_local_hash_alg4;
+          Alcotest.test_case "hash alg6 = oracle" `Quick test_local_hash_alg6;
+          Alcotest.test_case "alg5 x hash rejected" `Quick test_alg5_hash_rejected;
+          Alcotest.test_case "bad inner rejected" `Quick test_bad_inner_rejected;
+          Alcotest.test_case "domains = sequential" `Quick test_domains_matches_sequential;
+          Alcotest.test_case "speedup accounting" `Quick test_local_speedup_accounting;
+          Alcotest.test_case "hash padding reported" `Quick test_hash_reports_padding
+        ] );
+      ( "coordinator wire",
+        [ Alcotest.test_case "2-shard join = oracle" `Quick test_wire_matches_oracle;
+          Alcotest.test_case "p mismatch refused" `Quick test_wire_p_mismatch;
+          Alcotest.test_case "hash refused over wire" `Quick test_wire_hash_rejected;
+          Alcotest.test_case "kill -> typed refusal" `Quick test_wire_kill_is_typed_refusal;
+          Alcotest.test_case "retry survives kill" `Quick test_wire_retry_survives_kill
+        ] );
+      ( "wire codec",
+        [ Alcotest.test_case "sharded config roundtrip" `Quick test_sharded_config_roundtrip;
+          Alcotest.test_case "nested sharded rejected" `Quick test_nested_sharded_rejected;
+          Alcotest.test_case "shard-unavailable roundtrip" `Quick
+            test_shard_unavailable_code_roundtrip;
+          Alcotest.test_case "algorithm name" `Quick test_sharded_algorithm_name
+        ] );
+      ("chaos", [ Alcotest.test_case "kill-one-shard soak" `Quick test_chaos_soak ]);
+      ( "load",
+        [ Alcotest.test_case "parallel balanced under zipf" `Quick
+            test_parallel_load_balanced_under_zipf;
+          Alcotest.test_case "leaky skew visible" `Quick test_parallel_leaky_skew_is_visible;
+          Alcotest.test_case "shard.co.load histogram" `Quick test_shard_load_histogram;
+          Alcotest.test_case "wire metrics" `Quick test_wire_metrics
+        ] )
+    ]
