@@ -924,6 +924,196 @@ let bechamel () =
          | Some [ est ] -> row "%-24s %14.0f ns/run\n" name est
          | _ -> row "%-24s %14s\n" name "n/a")
 
+(* --- durable store: journal throughput, replay scaling, recovery --- *)
+
+let recovery () =
+  header "Recovery: journal append throughput, replay scaling, restart p99";
+  let module Store = Ppj_store.Store in
+  let module Journal = Ppj_store.Journal in
+  let module Net = Ppj_net in
+  let module Ch = Ppj_scpu.Channel in
+  let mac_key = "bench-recovery-mac" in
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+        Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+        (try Unix.rmdir path with Unix.Unix_error _ -> ())
+    | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+  in
+  let tmp_dir tag =
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "ppj-bench-%s-%d" tag (Unix.getpid ()))
+    in
+    rm_rf d;
+    d
+  in
+  (* Journal append throughput: fsync-per-record, the server's write
+     discipline for acknowledged state. *)
+  let dir = tmp_dir "append" in
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "journal.bin" in
+  let record = String.make 1024 'r' in
+  let appends = 2_000 in
+  let w = Result.get_ok (Journal.open_append path) in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to appends do
+    match Journal.append w record with
+    | Ok () -> ()
+    | Error _ -> failwith "bench journal append failed"
+  done;
+  let append_s = Unix.gettimeofday () -. t0 in
+  let mb = float_of_int (Journal.size w) /. 1048576. in
+  Journal.close w;
+  rm_rf dir;
+  Obs.Registry.set_gauge registry "store.bench.append.records" (float_of_int appends);
+  Obs.Registry.set_gauge registry "store.bench.append.mb_per_s" (mb /. append_s);
+  row "journal append            : %d x 1KiB records, fsync each — %.1f MB/s (%.0f appends/s)\n"
+    appends (mb /. append_s)
+    (float_of_int appends /. append_s);
+  (* Replay time vs journal length: boot-time cost of the un-compacted
+     tail. *)
+  List.iter
+    (fun records ->
+      let dir = tmp_dir (Printf.sprintf "replay-%d" records) in
+      (* A huge compaction threshold so the journal tail, not the
+         snapshot, is what replays. *)
+      (match Store.open_dir ~compact_bytes:(1 lsl 30) ~mac_key dir with
+      | Error _ -> failwith "bench store open failed"
+      | Ok (s, _) ->
+          for i = 0 to records - 1 do
+            match Store.put_contract s ~digest:(Printf.sprintf "d%06d" i) record with
+            | Ok () -> ()
+            | Error _ -> failwith "bench store append failed"
+          done;
+          Store.close s);
+      let labels = [ ("records", string_of_int records) ] in
+      let replayed =
+        Obs.Registry.span ~labels registry "store.bench.replay.seconds" (fun () ->
+            match Store.open_dir ~compact_bytes:(1 lsl 30) ~mac_key dir with
+            | Error _ -> failwith "bench store replay failed"
+            | Ok (s, h) ->
+                Store.close s;
+                h.Store.journal_records)
+      in
+      if replayed <> records then failwith "bench replay lost records";
+      (match Obs.Snapshot.find ~labels (Obs.Registry.snapshot registry) "store.bench.replay.seconds" with
+      | Some { Obs.Snapshot.value = Obs.Snapshot.Summary { Obs.Histogram.mean; _ }; _ } ->
+          row "replay %6d records      : %.4f s\n" records mean
+      | _ -> ());
+      rm_rf dir)
+    [ 100; 1_000; 5_000 ];
+  (* End-to-end restart recovery: a server generation dies mid-join
+     (injected coprocessor crash, checkpoint already durable); measure
+     reopen + fresh Server + client retry to a verified delivery. *)
+  let runs = 12 in
+  let schema = W.keyed_schema () in
+  let contract =
+    { Ch.contract_id = "bench-recovery";
+      providers = [ "alice"; "bob" ];
+      recipient = "carol";
+      predicate = "eq(key,key)";
+    }
+  in
+  let config = { Service.m = 4; seed = 9; algorithm = Service.Alg5 } in
+  let no_sleep =
+    { Net.Client.default_config with
+      recv_timeout = 0.05;
+      backoff = Net.Client.Exponential;
+      sleep = ignore;
+    }
+  in
+  let correct = ref 0 and wrong = ref 0 in
+  for seed = 1 to runs do
+    let dir = tmp_dir (Printf.sprintf "recover-%d" seed) in
+    let rng = Rng.create seed in
+    let a, b = W.equijoin_pair rng ~na:12 ~nb:18 ~matches:14 ~max_multiplicity:3 in
+    let oracle =
+      let party id c = Ch.party ~id ~secret:(String.make 16 c) in
+      let pa = party "alice" 'a' and pb = party "bob" 'b' and pc = party "carol" 'c' in
+      match
+        Service.run config ~contract
+          ~submissions:
+            [ (pa, schema, Ch.submit pa contract a); (pb, schema, Ch.submit pb contract b) ]
+          ~recipient:pc
+          ~predicate:(P.equijoin2 "key" "key")
+      with
+      | Ok o -> List.sort compare (List.map Ppj_relation.Tuple.encode o.Service.delivered)
+      | Error e -> failwith e
+    in
+    let store1 =
+      match Store.open_dir ~mac_key dir with
+      | Ok (s, _) -> s
+      | Error _ -> failwith "bench recovery open failed"
+    in
+    let faults =
+      match Ppj_fault.Plan.of_string "crash@t=150" with
+      | Ok plan -> Ppj_fault.Injector.create plan
+      | Error e -> failwith e
+    in
+    let server1 =
+      Net.Server.create ~mac_key ~seed:5 ~faults ~checkpoint_every:32 ~store:store1 ()
+    in
+    let submit id rel =
+      let c = Net.Client.create ~config:no_sleep (Net.Transport.loopback server1) in
+      (match
+         Net.Client.submit_relation c
+           ~rng:(Rng.create (Hashtbl.hash id))
+           ~id ~mac_key ~contract ~schema rel
+       with
+      | Ok () -> ()
+      | Error e -> failwith e);
+      Net.Client.close c
+    in
+    submit "alice" a;
+    submit "bob" b;
+    let c1 =
+      Net.Client.create
+        ~config:{ no_sleep with max_retries = 0 }
+        (Net.Transport.loopback server1)
+    in
+    (match
+       Net.Client.fetch_result c1 ~rng:(Rng.create 99) ~id:"carol" ~mac_key ~contract config
+     with
+    | Ok _ -> failwith "bench recovery: join survived the injected crash"
+    | Error _ -> ());
+    Net.Client.close c1;
+    Store.close store1;
+    let delivered =
+      Obs.Registry.span registry "store.bench.recovery.seconds" (fun () ->
+          let store2 =
+            match Store.open_dir ~mac_key dir with
+            | Ok (s, _) -> s
+            | Error _ -> failwith "bench recovery reopen failed"
+          in
+          let server2 = Net.Server.create ~mac_key ~seed:6 ~store:store2 () in
+          let c2 = Net.Client.create ~config:no_sleep (Net.Transport.loopback server2) in
+          let out =
+            match
+              Net.Client.fetch_result c2 ~rng:(Rng.create 100) ~id:"carol" ~mac_key ~contract
+                config
+            with
+            | Ok (_, tuples) ->
+                List.sort compare (List.map Ppj_relation.Tuple.encode tuples)
+            | Error e -> failwith e
+          in
+          Net.Client.close c2;
+          Store.close store2;
+          out)
+    in
+    if delivered = oracle then incr correct else incr wrong;
+    rm_rf dir
+  done;
+  Obs.Registry.set_gauge registry "store.bench.recovery.correct" (float_of_int !correct);
+  Obs.Registry.set_gauge registry "store.bench.recovery.wrong" (float_of_int !wrong);
+  (match Obs.Snapshot.find (Obs.Registry.snapshot registry) "store.bench.recovery.seconds" with
+  | Some { Obs.Snapshot.value = Obs.Snapshot.Summary { Obs.Histogram.p50; p99; _ }; _ } ->
+      row "restart recovery          : %d runs, %d correct, %d wrong — p50 %.4f s, p99 %.4f s\n"
+        runs !correct !wrong p50 p99
+  | _ -> ());
+  if !wrong > 0 then failwith "recovery bench produced a wrong answer"
+
 let experiments =
   [ ("tab5.1", tab51);
     ("tab5.2", tab52);
@@ -943,6 +1133,7 @@ let experiments =
     ("equijoin", equijoin_ext);
     ("netjoin", netjoin);
     ("chaos", chaos);
+    ("recovery", recovery);
     ("loadtest", loadtest);
     ("crypto", crypto_bench);
     ("bechamel", bechamel)

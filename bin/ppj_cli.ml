@@ -396,9 +396,36 @@ let log_level_arg =
           "Emit structured key=value log lines on stderr at $(docv) \
            (debug|info|warn|error).  Silent when omitted.")
 
+module Store = Ppj_store.Store
+
+let state_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "state-dir" ] ~docv:"DIR"
+        ~doc:
+          "Durable state directory (created if missing).  Contracts, uploads, join \
+           checkpoints and NVRAM are journalled and fsynced there, so a killed server \
+           restarted on the same $(docv) resumes mid-flight joins when clients retry.  \
+           A rolled-back or unreadable $(docv) is refused at startup.")
+
+let open_store ~registry ~mac_key = function
+  | None -> None
+  | Some dir -> (
+      match Store.open_dir ~registry ~mac_key dir with
+      | Ok (store, h) ->
+          Format.printf
+            "ppj serve: durable state %s (epoch %d, %d snapshot + %d journal records%s)@." dir
+            h.Store.epoch h.Store.snapshot_records h.Store.journal_records
+            (if h.Store.quarantined_bytes > 0 then
+               Printf.sprintf ", quarantined %d byte(s) of torn tail" h.Store.quarantined_bytes
+             else "");
+          Some store
+      | Error e -> die "state-dir %s refused: %s" dir (Store.error_message e))
+
 let serve_cmd =
   let run socket mac_key seed max_sessions metrics log_level trace_out fault_plan
-      checkpoint_every max_conns idle_timeout max_queue_bytes backlog =
+      checkpoint_every state_dir max_conns idle_timeout max_queue_bytes backlog =
     let logger =
       match log_level with
       | None -> Ppj_obs.Log.null
@@ -409,8 +436,11 @@ let serve_cmd =
     in
     let recorder = make_recorder ~name:"server" trace_out in
     let faults = Option.map make_injector fault_plan in
+    let registry = Ppj_obs.Registry.create () in
+    let store = open_store ~registry ~mac_key state_dir in
     let server =
-      Net.Server.create ~seed ~mac_key ?recorder ~logger ?faults ?checkpoint_every ()
+      Net.Server.create ~registry ~seed ~mac_key ?recorder ~logger ?faults ?checkpoint_every
+        ?store ()
     in
     let limits =
       { Net.Reactor.default_limits with max_conns; idle_timeout; max_queue_bytes }
@@ -420,6 +450,7 @@ let serve_cmd =
     Format.print_flush ();
     Net.Reactor.serve_unix reactor ~path:socket ~backlog ?max_sessions ();
     Format.printf "ppj serve: done after %d session(s)@." (Net.Server.sessions_closed server);
+    Option.iter Store.close store;
     write_trace trace_out recorder;
     if metrics then
       Format.printf "@.metrics:@.%a@." Ppj_obs.Snapshot.pp
@@ -466,8 +497,8 @@ let serve_cmd =
     (Cmd.info "serve" ~doc:"Run the join service as a server on a Unix-domain socket.")
     Term.(
       const run $ socket_arg $ mac_key_arg $ seed_arg $ max_sessions_arg $ metrics_arg
-      $ log_level_arg $ trace_out_arg $ fault_plan_arg $ checkpoint_every_arg $ max_conns_arg
-      $ idle_timeout_arg $ max_queue_bytes_arg $ backlog_arg)
+      $ log_level_arg $ trace_out_arg $ fault_plan_arg $ checkpoint_every_arg $ state_dir_arg
+      $ max_conns_arg $ idle_timeout_arg $ max_queue_bytes_arg $ backlog_arg)
 
 module Shard = Ppj_shard
 
@@ -724,6 +755,309 @@ let loadtest_cmd =
           nonzero on any wrong-answer or hung session.")
     Term.(const run $ socket_arg $ sessions_arg $ rate_arg $ deadline_arg $ seed_arg)
 
+(* --- durable state: store-check / restart-chaos ----------------------- *)
+
+module Journal = Ppj_store.Journal
+module Record = Ppj_store.Record
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let store_check_cmd =
+  let run dir mac_key =
+    let r = Store.check ~mac_key dir in
+    let h = r.Store.r_health in
+    let opt f = function None -> Json.Null | Some v -> f v in
+    let json =
+      Json.Obj
+        [ ("ok", Json.Bool r.Store.r_ok);
+          ("error", opt (fun e -> Json.Str e) r.Store.r_error);
+          ("snapshot_epoch", Json.Int r.Store.r_snapshot_epoch);
+          ("journal_epoch", opt (fun e -> Json.Int e) r.Store.r_journal_epoch);
+          ("snapshot_bytes", Json.Int r.Store.r_snapshot_bytes);
+          ("journal_bytes", Json.Int r.Store.r_journal_bytes);
+          ("snapshot_records", Json.Int h.Store.snapshot_records);
+          ("journal_records", Json.Int h.Store.journal_records);
+          ("journal_discarded", Json.Int h.Store.journal_discarded);
+          ("quarantined_records", Json.Int h.Store.quarantined_records);
+          ("quarantined_tail_bytes", Json.Int h.Store.quarantined_bytes);
+          ("contracts", Json.Int r.Store.r_contracts);
+          ("submissions", Json.Int r.Store.r_submissions);
+          ("checkpoints", Json.Int r.Store.r_checkpoints);
+          ("results", Json.Int r.Store.r_results);
+          ("nvram", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) r.Store.r_nvram));
+        ]
+    in
+    print_endline (Json.to_string json);
+    if not r.Store.r_ok then exit 1
+  in
+  let dir_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"State directory to validate.")
+  in
+  Cmd.v
+    (Cmd.info "store-check"
+       ~doc:
+         "Validate a durable state directory offline and print a deterministic JSON report: \
+          epochs, record counts per kind, NVRAM counters, and any quarantined tail.  Exits \
+          nonzero when the directory must be refused (rollback or unreadable state) — the \
+          same verdict a restarting server would reach.")
+    Term.(const run $ dir_arg $ mac_key_arg)
+
+let restart_chaos_cmd =
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+        Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+        (try Unix.rmdir path with Unix.Unix_error _ -> ())
+    | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+  in
+  let flip_byte path off =
+    let s = In_channel.with_open_bin path In_channel.input_all in
+    let b = Bytes.of_string s in
+    Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x40));
+    Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc b)
+  in
+  let plain_meta epoch = "\x00" ^ Record.encode (Record.Meta { format = 1; epoch }) in
+  let fork_server ?fault_plan ~socket ~state_dir ~mac_key ~checkpoint_every () =
+    Format.print_flush ();
+    match Unix.fork () with
+    | 0 ->
+        let faults = Option.map make_injector fault_plan in
+        let store =
+          match Store.open_dir ~mac_key state_dir with
+          | Ok (s, _) -> s
+          | Error e ->
+              Format.eprintf "restart-chaos server: state-dir refused: %s@."
+                (Store.error_message e);
+              Stdlib.exit 3
+        in
+        let server = Net.Server.create ~seed:5 ~mac_key ?faults ~checkpoint_every ~store () in
+        let reactor = Net.Reactor.create server in
+        Net.Reactor.serve_unix reactor ~path:socket ();
+        Store.close store;
+        Stdlib.exit 0
+    | pid -> pid
+  in
+  (* One seeded run: kill the real server process mid-join (or, when the
+     join outruns the planned transfer, after delivery), restart it on
+     the same state directory and require the oracle's answer — or a
+     typed refusal — from the recovered process.  Never a wrong answer,
+     never a corrupted store. *)
+  let run_one ~verbose ~checkpoint_every ~mac_key seed =
+    let tmp = Filename.get_temp_dir_name () in
+    let tag = Printf.sprintf "ppj-restart-%d-%d" (Unix.getpid ()) seed in
+    let state_dir = Filename.concat tmp tag in
+    let socket = Filename.concat tmp (tag ^ ".sock") in
+    rm_rf state_dir;
+    let rng = Rng.create (2 * seed + 1) in
+    let a, b = W.equijoin_pair rng ~na:10 ~nb:14 ~matches:8 ~max_multiplicity:3 in
+    let schema = a.Ppj_relation.Relation.schema in
+    let contract =
+      { Channel.contract_id = Printf.sprintf "restart-%d" seed;
+        providers = [ "alice"; "bob" ];
+        recipient = "carol";
+        predicate = "eq(key,key)";
+      }
+    in
+    let config = { Service.m = 4; seed = seed + 7; algorithm = Service.Alg5 } in
+    let oracle =
+      let party id c = Channel.party ~id ~secret:(String.make 16 c) in
+      let pa = party "alice" 'a' and pb = party "bob" 'b' and pc = party "carol" 'c' in
+      match
+        Service.run config ~contract
+          ~submissions:
+            [ (pa, schema, Channel.submit pa contract a);
+              (pb, schema, Channel.submit pb contract b)
+            ]
+          ~recipient:pc
+          ~predicate:(P.equijoin2 "key" "key")
+      with
+      | Ok o -> List.sort compare (List.map T.encode o.Service.delivered)
+      | Error e -> die "restart-chaos oracle failed: %s" e
+    in
+    let with_client k =
+      match connect_with_retry ~wait:10. socket with
+      | Error e -> Error e
+      | Ok tr ->
+          let c = Net.Client.create tr in
+          Fun.protect ~finally:(fun () -> Net.Client.close c) (fun () -> k c)
+    in
+    let submit id rel =
+      with_client (fun c ->
+          Net.Client.submit_relation c
+            ~rng:(Rng.create (seed + Hashtbl.hash id))
+            ~id ~mac_key ~contract ~schema rel)
+    in
+    let fetch () =
+      with_client (fun c ->
+          Net.Client.fetch_result c ~rng:(Rng.create (seed + 99)) ~id:"carol" ~mac_key ~contract
+            config)
+    in
+    let kill_at = 4 + (seed mod 10) in
+    let pid1 =
+      fork_server
+        ~fault_plan:(Printf.sprintf "kill9@t=%d" kill_at)
+        ~socket ~state_dir ~mac_key ~checkpoint_every ()
+    in
+    let fail fmt =
+      Format.kasprintf
+        (fun m ->
+          (try Unix.kill pid1 Sys.sigkill with Unix.Unix_error _ -> ());
+          ignore (Unix.waitpid [] pid1);
+          rm_rf state_dir;
+          die "%s" m)
+        fmt
+    in
+    (match submit "alice" a with Ok () -> () | Error e -> fail "seed %d: submit alice: %s" seed e);
+    (match submit "bob" b with Ok () -> () | Error e -> fail "seed %d: submit bob: %s" seed e);
+    let first = fetch () in
+    let mid_execute_kill = Result.is_error first in
+    (* The join outran the planned kill: the result is already durable —
+       SIGKILL anyway and require the restarted process to re-seal it. *)
+    if not mid_execute_kill then (
+      try Unix.kill pid1 Sys.sigkill with Unix.Unix_error _ -> ());
+    ignore (Unix.waitpid [] pid1);
+    let pid2 = fork_server ~socket ~state_dir ~mac_key ~checkpoint_every () in
+    let second = fetch () in
+    (try Unix.kill pid2 Sys.sigterm with Unix.Unix_error _ -> ());
+    ignore (Unix.waitpid [] pid2);
+    let report = Store.check ~mac_key state_dir in
+    let outcome =
+      if not report.Store.r_ok then
+        `Wrong
+          (Printf.sprintf "store refused after run: %s"
+             (Option.value ~default:"?" report.Store.r_error))
+      else
+        match second with
+        | Error e -> `Refused e
+        | Ok (_, tuples) ->
+            let got = List.sort compare (List.map T.encode tuples) in
+            if got = oracle then `Correct
+            else
+              `Wrong
+                (Printf.sprintf "oracle %d tuples, recovered server delivered %d"
+                   (List.length oracle) (List.length got))
+    in
+    (match outcome with
+    | `Wrong _ -> ()  (* keep the state dir for post-mortem *)
+    | `Correct | `Refused _ -> rm_rf state_dir);
+    (try Sys.remove socket with Sys_error _ -> ());
+    if verbose || match outcome with `Wrong _ -> true | _ -> false then
+      Format.printf "seed %-4d  kill9@@t=%-3d %-12s  %s@." seed kill_at
+        (if mid_execute_kill then "mid-execute" else "post-result")
+        (match outcome with
+        | `Correct -> "correct"
+        | `Refused e -> "refused: " ^ e
+        | `Wrong e -> "WRONG: " ^ e);
+    (outcome, mid_execute_kill)
+  in
+  (* Doctored-state legs: every tampered directory must be detected —
+     quarantined (recover-to-prefix) or refused outright — never read as
+     if it were intact. *)
+  let detection_legs ~mac_key =
+    let tmp = Filename.get_temp_dir_name () in
+    let fresh tag =
+      let dir = Filename.concat tmp (Printf.sprintf "ppj-leg-%s-%d" tag (Unix.getpid ())) in
+      rm_rf dir;
+      dir
+    in
+    let populate dir =
+      match Store.open_dir ~mac_key dir with
+      | Error e -> die "restart-chaos leg: %s" (Store.error_message e)
+      | Ok (s, _) ->
+          List.iter
+            (fun (d, body) ->
+              match Store.put_contract s ~digest:d body with
+              | Ok () -> ()
+              | Error e -> die "restart-chaos leg: %s" (Store.append_error_message e))
+            [ ("digest-a", String.make 64 'a'); ("digest-b", String.make 64 'b') ];
+          Store.close s
+    in
+    let journal dir = Filename.concat dir "journal.bin" in
+    let size p = (Unix.stat p).Unix.st_size in
+    (* Forged rollback: a journal generation ahead of the snapshot proves
+       the snapshot was rolled back — refuse. *)
+    let rolled = fresh "rollback" in
+    Unix.mkdir rolled 0o700;
+    (match
+       ( Journal.write_atomic (Filename.concat rolled "snapshot.bin") [ plain_meta 2 ],
+         Journal.write_atomic (journal rolled) [ plain_meta 3 ] )
+     with
+    | Ok (), Ok () -> ()
+    | Error e, _ | _, Error e -> die "restart-chaos leg: %s" e);
+    let r = Store.check ~mac_key rolled in
+    if r.Store.r_ok then die "restart-chaos: forged rollback was not refused";
+    (match r.Store.r_error with
+    | Some e when contains ~sub:"rollback" e -> ()
+    | e -> die "restart-chaos: rollback refusal missing: %s" (Option.value ~default:"ok" e));
+    rm_rf rolled;
+    (* Truncation: a torn tail is quarantined or refused, never applied. *)
+    let trunc = fresh "truncate" in
+    populate trunc;
+    Journal.truncate_file (journal trunc) (size (journal trunc) - 3);
+    let r = Store.check ~mac_key trunc in
+    if r.Store.r_ok && r.Store.r_health.Store.quarantined_bytes = 0 then
+      die "restart-chaos: truncated journal read back as intact";
+    rm_rf trunc;
+    (* Bit-flip: flipping one sealed byte must fail authentication. *)
+    let flip = fresh "bitflip" in
+    populate flip;
+    flip_byte (journal flip) (size (journal flip) - 5);
+    let r = Store.check ~mac_key flip in
+    if
+      r.Store.r_ok
+      && r.Store.r_health.Store.quarantined_records = 0
+      && r.Store.r_health.Store.quarantined_bytes = 0
+    then die "restart-chaos: bit-flipped journal read back as intact";
+    rm_rf flip;
+    Format.printf "detection: forged-rollback refused, truncation quarantined, bit-flip \
+                   quarantined@."
+  in
+  let run runs seed0 checkpoint_every mac_key verbose =
+    let results =
+      List.init runs (fun i -> run_one ~verbose ~checkpoint_every ~mac_key (seed0 + i))
+    in
+    let count p = List.length (List.filter p results) in
+    let correct = count (fun (o, _) -> o = `Correct) in
+    let resumed = count (fun (o, mid) -> o = `Correct && mid) in
+    let refused = count (fun (o, _) -> match o with `Refused _ -> true | _ -> false) in
+    let wrong = count (fun (o, _) -> match o with `Wrong _ -> true | _ -> false) in
+    detection_legs ~mac_key;
+    Format.printf
+      "restart-chaos: %d run(s) — %d correct (%d recovered from a mid-execute kill -9), %d \
+       refused, %d wrong@."
+      runs correct resumed refused wrong;
+    if wrong > 0 || correct = 0 then exit 1
+  in
+  let runs_arg =
+    Arg.(value & opt int 5 & info [ "runs" ] ~doc:"Seeded kill -9 restart runs to soak.")
+  in
+  let seed0_arg = Arg.(value & opt int 1 & info [ "seed0" ] ~doc:"First seed of the soak.") in
+  let checkpoint_every_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "checkpoint-every" ]
+          ~doc:"Seal (and persist) a recovery checkpoint every N coprocessor transfers.")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every run, not only unsafe ones.")
+  in
+  Cmd.v
+    (Cmd.info "restart-chaos"
+       ~doc:
+         "Process-level durability soak: fork the real server with a seeded kill -9 fault \
+          mid-join, restart it on the same --state-dir and require the recovered process to \
+          deliver the oracle's answer (or a typed refusal) to a retrying client.  Also \
+          proves doctored state directories — forged rollback, truncation, bit-flips — are \
+          detected and refused.  Exits nonzero on any wrong answer or undetected tampering.")
+    Term.(const run $ runs_arg $ seed0_arg $ checkpoint_every_arg $ mac_key_arg $ verbose_arg)
+
 (* --- sharded deployment: shard-serve / shardtest ---------------------- *)
 
 let shard_serve_cmd =
@@ -731,7 +1065,7 @@ let shard_serve_cmd =
      executes [Sharded { k; p; inner }] configs, so the only difference
      from `serve` is intent (and a trimmed flag surface).  Run p of
      these and point `submit --shards` / `fetch --shards` at them. *)
-  let run socket mac_key seed max_sessions checkpoint_every metrics log_level =
+  let run socket mac_key seed max_sessions checkpoint_every state_dir metrics log_level =
     let logger =
       match log_level with
       | None -> Ppj_obs.Log.null
@@ -740,13 +1074,16 @@ let shard_serve_cmd =
           | Ok level -> Ppj_obs.Log.create ~level ~name:"ppj.shard" ()
           | Error e -> die "%s" e)
     in
-    let server = Net.Server.create ~seed ~mac_key ~logger ?checkpoint_every () in
+    let registry = Ppj_obs.Registry.create () in
+    let store = open_store ~registry ~mac_key state_dir in
+    let server = Net.Server.create ~registry ~seed ~mac_key ~logger ?checkpoint_every ?store () in
     let reactor = Net.Reactor.create server in
     Format.printf "ppj shard-serve: shard ready on %s@." socket;
     Format.print_flush ();
     Net.Reactor.serve_unix reactor ~path:socket ?max_sessions ();
     Format.printf "ppj shard-serve: done after %d session(s)@."
       (Net.Server.sessions_closed server);
+    Option.iter Store.close store;
     if metrics then
       Format.printf "@.metrics:@.%a@." Ppj_obs.Snapshot.pp
         (Ppj_obs.Registry.snapshot (Net.Server.registry server))
@@ -770,7 +1107,7 @@ let shard_serve_cmd =
              service ready to execute its slice of a sharded join).")
     Term.(
       const run $ socket_arg $ mac_key_arg $ seed_arg $ max_sessions_arg $ checkpoint_every_arg
-      $ metrics_arg $ log_level_arg)
+      $ state_dir_arg $ metrics_arg $ log_level_arg)
 
 let shardtest_cmd =
   (* The CI smoke: fork p real shard-server processes on Unix sockets,
@@ -950,4 +1287,5 @@ let () =
        (Cmd.group (Cmd.info "ppj" ~version:"0.2.0" ~doc)
           [ run_cmd; trace_cmd; privacy_cmd; cost_cmd; nstar_cmd; parallel_cmd; csv_join_cmd;
             serve_cmd; submit_cmd; fetch_cmd; gen_cmd; chaos_cmd; loadtest_cmd;
+            store_check_cmd; restart_chaos_cmd;
             shard_serve_cmd; shardtest_cmd; trace_check_cmd ]))

@@ -22,6 +22,7 @@ type t = {
          span can be parented under it even across a server round trip *)
   faults : Ppj_fault.Injector.t option;
   checkpoint_every : int option;
+  on_checkpoint : (version:int -> image:Host.export -> unit) option;
   nvram : int ref;
   predicate : Predicate.t;
   fixed_time : bool;
@@ -56,8 +57,8 @@ let load_tables co ~rels ~sizes ~widths =
       Coprocessor.load_region co (Trace.Table r.Relation.name) slots)
     rels
 
-let create ?(fixed_time = true) ?recorder ?event_batch ?faults ?checkpoint_every ~m ~seed
-    ~predicate rels =
+let create ?(fixed_time = true) ?recorder ?event_batch ?faults ?checkpoint_every ?on_checkpoint
+    ?(nvram_init = 0) ~m ~seed ~predicate rels =
   if rels = [] then invalid_arg "Instance.create: no relations";
   (* A fault plan may carry its own checkpoint interval
      ([checkpoint@every=C]); an explicit argument wins. *)
@@ -67,9 +68,10 @@ let create ?(fixed_time = true) ?recorder ?event_batch ?faults ?checkpoint_every
     | None -> Option.bind faults Ppj_fault.Injector.checkpoint_every
   in
   let host = Host.create () in
-  let nvram = ref 0 in
+  let nvram = ref nvram_init in
   let co =
-    Coprocessor.create ?recorder ?event_batch ?faults ?checkpoint_every ~nvram ~host ~m ~seed ()
+    Coprocessor.create ?recorder ?event_batch ?faults ?checkpoint_every ?on_checkpoint ~nvram
+      ~host ~m ~seed ()
   in
   let rels = Array.of_list rels in
   let widths = Array.map (fun r -> Schema.width r.Relation.schema) rels in
@@ -85,6 +87,7 @@ let create ?(fixed_time = true) ?recorder ?event_batch ?faults ?checkpoint_every
     join_span = None;
     faults;
     checkpoint_every;
+    on_checkpoint;
     nvram;
     predicate;
     fixed_time;
@@ -102,23 +105,30 @@ let create ?(fixed_time = true) ?recorder ?event_batch ?faults ?checkpoint_every
 
 let recover t =
   t.prior_traces <- Coprocessor.trace t.co :: t.prior_traces;
-  let { host; m; seed; recorder; event_batch; faults; checkpoint_every; nvram; _ } = t in
+  let { host; m; seed; recorder; event_batch; faults; checkpoint_every; on_checkpoint; nvram; _ }
+      =
+    t
+  in
   let co =
     if Host.has_checkpoint host then
-      Coprocessor.resume ?recorder ?event_batch ?faults ?checkpoint_every ~nvram ~host ~m ~seed
-        ()
+      Coprocessor.resume ?recorder ?event_batch ?faults ?checkpoint_every ?on_checkpoint ~nvram
+        ~host ~m ~seed ()
     else begin
       (* Crash before the first checkpoint: nothing sealed, so the rerun
          is a fresh protocol execution from the pristine inputs. *)
       Host.reset host;
-      Coprocessor.create ?recorder ?event_batch ?faults ?checkpoint_every ~nvram ~host ~m ~seed
-        ()
+      Coprocessor.create ?recorder ?event_batch ?faults ?checkpoint_every ?on_checkpoint ~nvram
+        ~host ~m ~seed ()
     end
   in
   load_tables co ~rels:t.rels ~sizes:t.sizes ~widths:t.widths;
   t.co <- co;
   t.cartesian <- false;
   t.resume_count <- t.resume_count + 1
+
+let adopt_checkpoint t ~image ~nvram =
+  t.nvram := nvram;
+  Host.install_checkpoint t.host image
 
 let resumes t = t.resume_count
 

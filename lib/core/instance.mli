@@ -22,6 +22,8 @@ val create :
   ?event_batch:int ->
   ?faults:Ppj_fault.Injector.t ->
   ?checkpoint_every:int ->
+  ?on_checkpoint:(version:int -> image:Ppj_scpu.Host.export -> unit) ->
+  ?nvram_init:int ->
   m:int ->
   seed:int ->
   predicate:Predicate.t ->
@@ -35,11 +37,23 @@ val create :
     timing adversary — the ablation the paper's principle exists to
     forbid.  [faults] schedules host attacks and coprocessor crashes
     against the run; [checkpoint_every] arms sealed recovery checkpoints.
+    [nvram_init] (default 0) pre-loads the NVRAM version counter — a
+    durable server passes the persisted value so checkpoint versions
+    keep climbing across process restarts instead of restarting at 1
+    (which the monotonic durable counter would refuse).
     @raise Invalid_argument on an empty relation list. *)
 
 val co : t -> Coprocessor.t
 (** The {e current} coprocessor — replaced by {!recover}, so algorithms
     must re-read it rather than hold it across a crash. *)
+
+val adopt_checkpoint : t -> image:Ppj_scpu.Host.export -> nvram:int -> unit
+(** Install a durably persisted checkpoint into a {e fresh} instance: the
+    host adopts [image] as its held checkpoint and the shared NVRAM
+    counter is set to [nvram].  A following {!recover} then resumes from
+    it exactly as if the coprocessor had crashed in this process — the
+    ghost replay (deterministic in relations and seed) re-derives and
+    verifies the sealed state. *)
 
 val recover : t -> unit
 (** After [Coprocessor.Crashed]: bank the crashed run's trace, bring up a

@@ -126,11 +126,11 @@ let with_join_span ?recorder config inst f =
           | None -> ());
           f ())
 
-let execute_join ?faults ?checkpoint_every ?recorder ?event_batch ?(max_resumes = 0) config
-    ~predicate rels =
+let execute_join ?faults ?checkpoint_every ?on_checkpoint ?nvram_init ?recorder ?event_batch
+    ?(max_resumes = 0) config ~predicate rels =
   let inst =
-    Instance.create ?recorder ?event_batch ?faults ?checkpoint_every ~m:config.m
-      ~seed:config.seed ~predicate rels
+    Instance.create ?recorder ?event_batch ?faults ?checkpoint_every ?on_checkpoint ?nvram_init
+      ~m:config.m ~seed:config.seed ~predicate rels
   in
   let rec attempt resumes_left =
     match run_algorithm config inst with
@@ -155,18 +155,21 @@ let resume_join config inst =
       | report -> (inst, report)
       | exception Coprocessor.Crashed { transfer } -> raise (Join_crashed { inst; transfer }))
 
-let seal_to inst ~recipient ~contract =
-  (* T re-reads the disk batches, decrypts them, and seals the stream to
-     the recipient's session key. *)
-  let body () =
-    let co = Instance.co inst in
-    let host = Coprocessor.host co in
-    let otuples = List.map (Coprocessor.decrypt_for_recipient co) (Host.disk host) in
-    Channel.seal_result recipient contract otuples
-  in
+let result_otuples inst =
+  (* T re-reads the disk batches and decrypts them: the plaintext oTuple
+     stream (reals still interleaved with decoys). *)
+  let co = Instance.co inst in
+  let host = Coprocessor.host co in
+  List.map (Coprocessor.decrypt_for_recipient co) (Host.disk host)
+
+let seal_otuples inst ~recipient ~contract otuples =
+  let body () = Channel.seal_result recipient contract otuples in
   match Instance.recorder inst with
   | None -> body ()
   | Some r -> Recorder.with_span r "output" body
+
+let seal_to inst ~recipient ~contract =
+  seal_otuples inst ~recipient ~contract (result_otuples inst)
 
 let open_delivery ~schema ~recipient ~contract sealed =
   let* reals = Channel.open_result recipient contract sealed in

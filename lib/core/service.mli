@@ -72,6 +72,8 @@ val algorithm_name : algorithm -> string
 val execute_join :
   ?faults:Ppj_fault.Injector.t ->
   ?checkpoint_every:int ->
+  ?on_checkpoint:(version:int -> image:Ppj_scpu.Host.export -> unit) ->
+  ?nvram_init:int ->
   ?recorder:Ppj_obs.Recorder.t ->
   ?event_batch:int ->
   ?max_resumes:int ->
@@ -88,7 +90,9 @@ val execute_join :
     span (remembered in the instance for later resume parenting), each
     in-process recovery opens a "resume" span under it, and the
     coprocessor emits transfer-batch/fault/checkpoint events
-    ([event_batch] tunes their granularity). *)
+    ([event_batch] tunes their granularity).  [on_checkpoint] receives
+    every sealed checkpoint's NVRAM version and host image — the hook a
+    durable server persists them through. *)
 
 val resume_join : config -> Instance.t -> Instance.t * Report.t
 (** Recover the crashed instance from its last sealed checkpoint (or from
@@ -97,10 +101,25 @@ val resume_join : config -> Instance.t -> Instance.t * Report.t
     when the instance carries a recorder.
     @raise Join_crashed if a further crash event fires. *)
 
+val result_otuples : Instance.t -> string list
+(** Re-read the persisted oTuple stream through [T] and decrypt it:
+    the plaintext stream (reals still interleaved with decoys) that
+    {!seal_otuples} seals — and that a durable server caches so a
+    restarted process can re-seal to a fresh session key. *)
+
+val seal_otuples :
+  Instance.t ->
+  recipient:Channel.party ->
+  contract:Channel.contract ->
+  string list ->
+  string
+(** Seal an oTuple stream to the recipient's session key as one message
+    (under an "output" span when the instance carries a recorder). *)
+
 val seal_to :
   Instance.t -> recipient:Channel.party -> contract:Channel.contract -> string
-(** Re-read the persisted oTuple stream through [T], decrypt, and seal it
-    to the recipient's session key as one message. *)
+(** [seal_otuples] of [result_otuples]: re-read the persisted oTuple
+    stream through [T], decrypt, and seal it to the recipient. *)
 
 val open_delivery :
   schema:Schema.t ->

@@ -55,6 +55,13 @@ let on_transfer t ~transfer =
                   Replay
               | Plan.Crash ->
                   fired t "fault.scpu.crash";
+                  Crash
+              | Plan.Kill9 ->
+                  (* A genuine non-graceful death: no exception to catch,
+                     no atexit, no flush — exactly what a durable server
+                     must survive from its state directory. *)
+                  fired t "fault.scpu.kill9";
+                  Unix.kill (Unix.getpid ()) Sys.sigkill;
                   Crash)
         | _ -> scan rest)
   in

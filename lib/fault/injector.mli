@@ -9,8 +9,12 @@
     again when the resumed run replays past the same transfer index.
 
     Every firing bumps a [fault.*] counter in the injector's registry:
-    [fault.scpu.corrupt|replay|crash], [fault.net.drop|duplicate|delay|
-    corrupt], [fault.recv.timeout], and the total [fault.injected]. *)
+    [fault.scpu.corrupt|replay|crash|kill9], [fault.net.drop|duplicate|
+    delay|corrupt], [fault.recv.timeout], and the total [fault.injected].
+
+    A [kill9] event is special: firing it SIGKILLs the whole process on
+    the spot (the counter bump is lost with it) — the process-level
+    chaos the durable state directory exists to survive. *)
 
 type t
 

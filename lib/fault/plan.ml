@@ -2,7 +2,7 @@ module Rng = Ppj_crypto.Rng
 
 type dir = To_server | To_client
 
-type scpu_action = Corrupt | Replay | Crash
+type scpu_action = Corrupt | Replay | Crash | Kill9
 
 type net_action = Drop | Duplicate | Delay | Corrupt_frame
 
@@ -30,6 +30,7 @@ let scpu action transfer =
 let crash_at t = scpu Crash t
 let corrupt_at t = scpu Corrupt t
 let replay_at t = scpu Replay t
+let kill9_at t = scpu Kill9 t
 
 let net action ?dir ?tag ?(skip = 0) ?(count = 1) () =
   if skip < 0 || count < 1 then invalid_arg "Plan: bad skip/count";
@@ -52,6 +53,7 @@ let scpu_action_to_string = function
   | Corrupt -> "corrupt"
   | Replay -> "replay"
   | Crash -> "crash"
+  | Kill9 -> "kill9"
 
 let net_action_to_string = function
   | Drop -> "drop"
@@ -149,6 +151,7 @@ let parse_event s =
   let* args = parse_args args_s in
   match String.trim action with
   | "crash" -> parse_scpu Crash args
+  | "kill9" -> parse_scpu Kill9 args
   | "replay" -> parse_scpu Replay args
   | "corrupt" ->
       (* t=<k> addresses a coprocessor transfer; anything else is a frame

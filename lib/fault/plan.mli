@@ -20,6 +20,11 @@ type scpu_action =
   | Corrupt  (** flip a bit of the host slot touched by transfer [t] *)
   | Replay  (** serve a stale previous ciphertext of that slot instead *)
   | Crash  (** kill the coprocessor before transfer [t] executes *)
+  | Kill9
+      (** SIGKILL the {e whole process} before transfer [t]: no exception,
+          no cleanup — the process-level crash a durable server must
+          survive via its state directory.  Never drawn by {!random}
+          (it would kill the harness); only explicit plans carry it. *)
 
 type net_action =
   | Drop
@@ -58,6 +63,7 @@ val make : ?checkpoint_every:int -> event list -> t
 val crash_at : int -> event
 val corrupt_at : int -> event
 val replay_at : int -> event
+val kill9_at : int -> event
 
 val drop : ?dir:dir -> ?tag:string -> ?skip:int -> ?count:int -> unit -> event
 val duplicate : ?dir:dir -> ?tag:string -> ?skip:int -> ?count:int -> unit -> event
@@ -71,6 +77,7 @@ val recv_timeout : int -> event
     [;]-separated events, each [action\@key=value,...]:
 
     - [crash\@t=120], [corrupt\@t=5], [replay\@t=9] — coprocessor events;
+    - [kill9\@t=120] — SIGKILL the whole server process at that transfer;
     - [drop], [dup], [delay], [corrupt-frame] with optional
       [dir=to_server|to_client], [tag=<wire tag name>], [skip=N],
       [count=N] (defaults: both directions, any tag, skip 0, count 1);

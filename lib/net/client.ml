@@ -6,11 +6,15 @@ module Service = Ppj_core.Service
 module Registry = Ppj_obs.Registry
 module Recorder = Ppj_obs.Recorder
 
+type backoff = Exponential | Decorrelated of { seed : int }
+
 type config = {
   recv_timeout : float;
   max_retries : int;
   backoff_base : float;
   backoff_factor : float;
+  backoff_cap : float;
+  backoff : backoff;
   sleep : float -> unit;
   chunk_bytes : int;
 }
@@ -20,6 +24,8 @@ let default_config =
     max_retries = 3;
     backoff_base = 0.05;
     backoff_factor = 2.0;
+    backoff_cap = 2.0;
+    backoff = Decorrelated { seed = 0 };
     sleep = Unix.sleepf;
     chunk_bytes = 1024;
   }
@@ -27,6 +33,7 @@ let default_config =
 type t = {
   transport : Transport.t;
   config : config;
+  backoff_rng : Ppj_crypto.Rng.t option;  (* armed iff backoff is Decorrelated *)
   registry : Registry.t;
   recorder : Recorder.t option;
   decoder : Frame.Decoder.t;
@@ -40,8 +47,23 @@ type t = {
 }
 
 let create ?(config = default_config) ?registry ?recorder transport =
+  let backoff_rng =
+    match config.backoff with
+    | Exponential -> None
+    | Decorrelated { seed } ->
+        (* seed 0 asks for per-process entropy — the whole point of the
+           jitter is that a fleet of clients retrying the same outage
+           does not re-synchronise into thundering herds.  A nonzero
+           seed pins the schedule for tests and load experiments. *)
+        let seed =
+          if seed <> 0 then seed
+          else 1 + (Hashtbl.hash (Unix.getpid (), Unix.gettimeofday ()) land 0x3FFFFFFF)
+        in
+        Some (Ppj_crypto.Rng.split (Ppj_crypto.Rng.create seed) "client-backoff")
+  in
   { transport;
     config;
+    backoff_rng;
     registry = (match registry with Some r -> r | None -> Registry.create ());
     recorder;
     decoder = Frame.Decoder.create ();
@@ -128,6 +150,22 @@ let recv_reply t =
    Retransmissions reuse the request's seq, so however many duplicate
    replies a retried RPC provokes, all of them share one seq and are
    swept aside once that seq concludes. *)
+(* The sleep before the next retry, given the previous one ([0.] before
+   the first).  Exponential is the legacy fixed ladder; Decorrelated is
+   the AWS-style jittered recurrence [min cap (uniform base (prev * 3))]
+   — successive sleeps are randomised {e and} de-correlated from other
+   clients', so a shared outage does not produce synchronised retry
+   waves. *)
+let next_sleep t prev =
+  match t.backoff_rng with
+  | None ->
+      min t.config.backoff_cap
+        (if prev <= 0. then t.config.backoff_base else prev *. t.config.backoff_factor)
+  | Some rng ->
+      let lo = t.config.backoff_base in
+      let hi = max lo (prev *. 3.) in
+      min t.config.backoff_cap (lo +. Ppj_crypto.Rng.float rng (hi -. lo))
+
 let rpc t ~name ~idempotent msg =
   Registry.span ~labels:[ ("rpc", name) ] t.registry "net.client.rpc.seconds" (fun () ->
       let seq = alloc_seq t in
@@ -135,7 +173,13 @@ let rpc t ~name ~idempotent msg =
         t.last_done <- max t.last_done seq;
         r
       in
-      let rec attempt tries backoff =
+      let retry tries prev_sleep k =
+        let s = next_sleep t prev_sleep in
+        count t "net.client.retries";
+        t.config.sleep s;
+        k (tries + 1) s
+      in
+      let rec attempt tries prev_sleep =
         match
           send_seq t ~seq msg;
           recv_reply t
@@ -145,11 +189,7 @@ let rpc t ~name ~idempotent msg =
             conclude (Error (Printf.sprintf "%s: undecodable reply: %s" name e))
         | Error `Timeout ->
             count t "net.client.timeouts";
-            if idempotent && tries < t.config.max_retries then begin
-              count t "net.client.retries";
-              t.config.sleep backoff;
-              attempt (tries + 1) (backoff *. t.config.backoff_factor)
-            end
+            if idempotent && tries < t.config.max_retries then retry tries prev_sleep attempt
             else
               conclude (Error (Printf.sprintf "%s: no reply after %d attempt(s)" name (tries + 1)))
         | Ok frame -> (
@@ -162,9 +202,7 @@ let rpc t ~name ~idempotent msg =
                    under the same seq and backoff schedule as a lost
                    reply. *)
                 count t "net.client.unavailable";
-                count t "net.client.retries";
-                t.config.sleep backoff;
-                attempt (tries + 1) (backoff *. t.config.backoff_factor)
+                retry tries prev_sleep attempt
             | Ok (Wire.Error { code; message }) ->
                 conclude
                   (Error
@@ -172,7 +210,7 @@ let rpc t ~name ~idempotent msg =
                         (Wire.error_code_to_string code) message))
             | Ok reply -> conclude (Ok reply))
       in
-      attempt 0 t.config.backoff_base)
+      attempt 0 0.)
 
 let unexpected name msg = Error (Format.asprintf "%s: unexpected reply %a" name Wire.pp msg)
 

@@ -22,18 +22,30 @@ module Relation = Ppj_relation.Relation
 module Tuple = Ppj_relation.Tuple
 module Service = Ppj_core.Service
 
+type backoff =
+  | Exponential  (** fixed ladder: [base, base*factor, ...], capped *)
+  | Decorrelated of { seed : int }
+      (** decorrelated jitter: each sleep is
+          [min cap (uniform base (prev * 3))], so a fleet of clients
+          retrying the same outage spreads out instead of hammering the
+          server in synchronised waves.  [seed = 0] draws per-process
+          entropy at {!create}; a nonzero seed pins the schedule for
+          deterministic tests and load experiments. *)
+
 type config = {
   recv_timeout : float;  (** seconds to wait for each reply *)
   max_retries : int;  (** extra attempts for idempotent RPCs *)
-  backoff_base : float;  (** sleep before the first retry *)
-  backoff_factor : float;  (** multiplier per subsequent retry *)
+  backoff_base : float;  (** first retry sleep / jitter lower bound *)
+  backoff_factor : float;  (** multiplier per retry ([Exponential] only) *)
+  backoff_cap : float;  (** upper bound on any single retry sleep *)
+  backoff : backoff;
   sleep : float -> unit;  (** injectable for deterministic tests *)
   chunk_bytes : int;  (** upload chunk size *)
 }
 
 val default_config : config
-(** 2 s timeout, 3 retries, 50 ms base backoff doubling per retry,
-    [Unix.sleepf], 1 KiB chunks. *)
+(** 2 s timeout, 3 retries, 50 ms base backoff under entropy-seeded
+    decorrelated jitter capped at 2 s, [Unix.sleepf], 1 KiB chunks. *)
 
 type t
 

@@ -1,0 +1,144 @@
+module Schema = Ppj_relation.Schema
+module Relation = Ppj_relation.Relation
+module Tuple = Ppj_relation.Tuple
+module Trace = Ppj_scpu.Trace
+module Host = Ppj_scpu.Host
+
+(* Self-contained length-prefixed codecs: the store keeps bodies opaque,
+   and [Wire]'s framing helpers are private to it, so the durable body
+   grammar lives here, next to the server that owns it. *)
+
+let w_u32 b v = Buffer.add_int32_be b (Int32.of_int v)
+
+let w_str b s =
+  w_u32 b (String.length s);
+  Buffer.add_string b s
+
+exception Malformed of string
+
+type reader = { src : string; mutable pos : int }
+
+let need r n =
+  if r.pos + n > String.length r.src then raise (Malformed "truncated field")
+
+let r_u8 r =
+  need r 1;
+  let v = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let r_u32 r =
+  need r 4;
+  let v = Int32.to_int (String.get_int32_be r.src r.pos) land 0xFFFFFFFF in
+  r.pos <- r.pos + 4;
+  v
+
+let r_str r =
+  let n = r_u32 r in
+  need r n;
+  let v = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  v
+
+let decoding name f s =
+  match f { src = s; pos = 0 } with
+  | v -> Ok v
+  | exception Malformed m -> Error (Printf.sprintf "%s: %s" name m)
+  | exception Invalid_argument m -> Error (Printf.sprintf "%s: %s" name m)
+
+let finished r = if r.pos <> String.length r.src then raise (Malformed "trailing bytes")
+
+(* --- accepted submissions -------------------------------------------- *)
+
+let submission_to_string schema (rel : Relation.t) =
+  let b = Buffer.create 256 in
+  w_str b (Wire.schema_to_string schema);
+  w_str b rel.Relation.name;
+  w_u32 b (Relation.cardinality rel);
+  Array.iter (fun t -> w_str b (Tuple.encode t)) rel.Relation.tuples;
+  Buffer.contents b
+
+let submission_of_string s =
+  decoding "submission" (fun r ->
+      let schema =
+        match Wire.schema_of_string (r_str r) with
+        | Ok s -> s
+        | Error m -> raise (Malformed m)
+      in
+      let name = r_str r in
+      let n = r_u32 r in
+      let tuples = List.init n (fun _ -> Tuple.decode schema (r_str r)) in
+      finished r;
+      (schema, Relation.make ~name schema tuples))
+    s
+
+(* --- host checkpoint images ------------------------------------------ *)
+
+let checkpoint_to_string (e : Host.export) =
+  let b = Buffer.create 1024 in
+  w_u32 b (List.length e.Host.e_regions);
+  List.iter
+    (fun (region, slots) ->
+      w_str b (Trace.region_name region);
+      w_u32 b (Array.length slots);
+      Array.iter
+        (fun slot ->
+          match slot with
+          | None -> Buffer.add_uint8 b 0
+          | Some c ->
+              Buffer.add_uint8 b 1;
+              w_str b c)
+        slots)
+    e.Host.e_regions;
+  w_u32 b (List.length e.Host.e_disk);
+  List.iter (fun c -> w_str b c) e.Host.e_disk;
+  w_u32 b e.Host.e_disk_tuples;
+  Buffer.contents b
+
+let checkpoint_of_string s =
+  decoding "checkpoint" (fun r ->
+      let n_regions = r_u32 r in
+      let e_regions =
+        List.init n_regions (fun _ ->
+            let region = Trace.region_of_name (r_str r) in
+            let n = r_u32 r in
+            let slots =
+              Array.init n (fun _ ->
+                  match r_u8 r with
+                  | 0 -> None
+                  | 1 -> Some (r_str r)
+                  | tag -> raise (Malformed (Printf.sprintf "bad slot tag %d" tag)))
+            in
+            (region, slots))
+      in
+      let n_disk = r_u32 r in
+      let e_disk = List.init n_disk (fun _ -> r_str r) in
+      let e_disk_tuples = r_u32 r in
+      finished r;
+      { Host.e_regions; e_disk; e_disk_tuples })
+    s
+
+(* --- cached results --------------------------------------------------- *)
+
+(* The plaintext oTuple stream plus the joined schema and the transfer
+   count of the run that produced it.  Plaintext on purpose: session
+   keys are ephemeral, so a restarted server must re-seal the cached
+   result to the {e new} session — the store's own sealing layer is what
+   protects it at rest. *)
+let result_to_string ~schema ~transfers otuples =
+  let b = Buffer.create 256 in
+  w_str b schema;
+  w_u32 b transfers;
+  w_u32 b (List.length otuples);
+  List.iter (fun o -> w_str b o) otuples;
+  Buffer.contents b
+
+let result_of_string s =
+  decoding "result" (fun r ->
+      let schema = r_str r in
+      let transfers = r_u32 r in
+      let n = r_u32 r in
+      let otuples = List.init n (fun _ -> r_str r) in
+      finished r;
+      (schema, transfers, otuples))
+    s

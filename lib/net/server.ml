@@ -10,6 +10,7 @@ module Registry = Ppj_obs.Registry
 module Recorder = Ppj_obs.Recorder
 module Log = Ppj_obs.Log
 module Rng = Ppj_crypto.Rng
+module Store = Ppj_store.Store
 
 type contract_state = {
   contract : Channel.contract;
@@ -64,23 +65,59 @@ type t = {
   max_contracts : int;
   faults : Ppj_fault.Injector.t option;
   checkpoint_every : int option;
+  store : Store.t option;
   mutable sessions_closed : int;
 }
 
+let counter ?labels t name = Ppj_obs.Counter.incr (Registry.counter ?labels t.registry name)
+
+(* Boot replay: rebuild the in-memory contract/submission tables from
+   the durable store.  The store already authenticated every record; a
+   body this server version cannot decode is quarantined (skipped and
+   counted), never half-applied. *)
+let replay_store t store =
+  List.iter
+    (fun (digest, body) ->
+      match Wire.contract_of_string body with
+      | Error e ->
+          counter t "net.server.store.body_rejected";
+          Log.warn t.log "durable contract rejected" ~kv:[ ("reason", e) ]
+      | Ok contract ->
+          let cs = { contract; digest; submissions = Hashtbl.create 4 } in
+          List.iter
+            (fun (provider, sbody) ->
+              match Persist.submission_of_string sbody with
+              | Error e ->
+                  counter t "net.server.store.body_rejected";
+                  Log.warn t.log "durable submission rejected"
+                    ~kv:[ ("provider", provider); ("reason", e) ]
+              | Ok (schema, relation) ->
+                  Hashtbl.replace cs.submissions provider (schema, relation))
+            (Store.submissions_of store digest);
+          Hashtbl.replace t.contracts digest cs;
+          Log.info t.log "durable contract restored"
+            ~kv:[ ("submissions", string_of_int (Hashtbl.length cs.submissions)) ])
+    (Store.contracts store)
+
 let create ?registry ?recorder ?(logger = Log.null) ?(seed = 7) ?(replay_capacity = 4096)
-    ?(max_contracts = 1024) ?faults ?checkpoint_every ~mac_key () =
-  { mac_key;
-    registry = (match registry with Some r -> r | None -> Registry.create ());
-    recorder;
-    log = logger;
-    rng = Rng.create seed;
-    guard = Channel.Handshake.responder ~capacity:replay_capacity ();
-    contracts = Hashtbl.create 8;
-    max_contracts;
-    faults;
-    checkpoint_every;
-    sessions_closed = 0;
-  }
+    ?(max_contracts = 1024) ?faults ?checkpoint_every ?store ~mac_key () =
+  let t =
+    { mac_key;
+      registry = (match registry with Some r -> r | None -> Registry.create ());
+      recorder;
+      log = logger;
+      rng = Rng.create seed;
+      guard = Channel.Handshake.responder ~capacity:replay_capacity ();
+      contracts = Hashtbl.create 8;
+      max_contracts;
+      faults;
+      checkpoint_every;
+      store;
+      sessions_closed = 0;
+    }
+  in
+  (match store with Some s -> replay_store t s | None -> ());
+  t
 
 let registry t = t.registry
 
@@ -90,8 +127,6 @@ let with_span t name f =
   match t.recorder with None -> f () | Some r -> Recorder.with_span r name f
 
 let sessions_closed t = t.sessions_closed
-
-let counter ?labels t name = Ppj_obs.Counter.incr (Registry.counter ?labels t.registry name)
 
 let open_session t =
   counter t "net.server.sessions.opened";
@@ -112,6 +147,29 @@ let close_session t session =
 
 let err code fmt =
   Printf.ksprintf (fun message -> [ Wire.Error { code; message } ]) fmt
+
+(* Durable-write discipline: state-changing requests are acknowledged
+   only once their record is fsynced.  A store that sealed itself
+   (ENOSPC / short write) sheds those requests with a typed
+   [Unavailable] — reads and already-cached results keep working. *)
+let shed_if_sealed t k =
+  match t.store with
+  | Some s when Store.is_sealed s ->
+      counter t "net.server.store.shed";
+      err Wire.Unavailable "durable store sealed read-only (out of space); request shed"
+  | _ -> k ()
+
+let persisted t write k =
+  match t.store with
+  | None -> k ()
+  | Some s -> (
+      match write s with
+      | Ok () -> k ()
+      | Error e ->
+          counter t "net.server.store.shed";
+          Log.error t.log "durable append failed"
+            ~kv:[ ("reason", Store.append_error_message e) ];
+          err Wire.Unavailable "%s; request shed" (Store.append_error_message e))
 
 (* --- per-message handlers ------------------------------------------- *)
 
@@ -187,25 +245,33 @@ let on_contract t session sealed =
                     err Wire.Contract_rejected "server is at its %d-contract capacity"
                       t.max_contracts
                 | found ->
-                    let cs =
-                      match found with
-                      | Some cs -> cs
-                      | None ->
-                          let cs = { contract; digest; submissions = Hashtbl.create 4 } in
-                          Hashtbl.replace t.contracts digest cs;
-                          counter t "net.server.contracts.registered";
-                          cs
+                    let bind cs =
+                      (match session.bound with
+                      | Some prev when not (String.equal prev.digest digest) ->
+                          (* Rebinding resets any per-contract session state. *)
+                          session.result <- None;
+                          session.upload <- None;
+                          session.crashed <- None
+                      | _ -> ());
+                      session.bound <- Some cs;
+                      Log.info t.log "contract bound" ~kv:[ ("peer", session.peer_id) ];
+                      [ Wire.Contract_ok ]
                     in
-                    (match session.bound with
-                    | Some prev when not (String.equal prev.digest digest) ->
-                        (* Rebinding resets any per-contract session state. *)
-                        session.result <- None;
-                        session.upload <- None;
-                        session.crashed <- None
-                    | _ -> ());
-                    session.bound <- Some cs;
-                    Log.info t.log "contract bound" ~kv:[ ("peer", session.peer_id) ];
-                    [ Wire.Contract_ok ]
+                    (match found with
+                    | Some cs -> bind cs
+                    | None ->
+                        (* Registration is acknowledged only once durable. *)
+                        shed_if_sealed t (fun () ->
+                            persisted t
+                              (fun s ->
+                                Store.put_contract s ~digest (Wire.contract_to_string contract))
+                              (fun () ->
+                                let cs =
+                                  { contract; digest; submissions = Hashtbl.create 4 }
+                                in
+                                Hashtbl.replace t.contracts digest cs;
+                                counter t "net.server.contracts.registered";
+                                bind cs)))
               end))
 
 let on_upload_begin _t session ~sealed_schema ~chunks =
@@ -267,14 +333,73 @@ let on_upload_done t session =
                     match Channel.accept party cs.contract u.schema submission with
                     | Error e -> err Wire.Auth_failed "submission: %s" e
                     | Ok relation ->
-                        Hashtbl.replace cs.submissions session.peer_id (u.schema, relation);
-                        counter t "net.server.submissions.accepted";
-                        Log.info t.log "submission accepted"
-                          ~kv:
-                            [ ("peer", session.peer_id);
-                              ("chunks", string_of_int u.total_chunks)
-                            ];
-                        [ Wire.Upload_ok ])))
+                        shed_if_sealed t (fun () ->
+                            persisted t
+                              (fun s ->
+                                Store.put_submission s ~contract:cs.digest
+                                  ~provider:session.peer_id
+                                  (Persist.submission_to_string u.schema relation))
+                              (fun () ->
+                                Hashtbl.replace cs.submissions session.peer_id
+                                  (u.schema, relation);
+                                counter t "net.server.submissions.accepted";
+                                Log.info t.log "submission accepted"
+                                  ~kv:
+                                    [ ("peer", session.peer_id);
+                                      ("chunks", string_of_int u.total_chunks)
+                                    ];
+                                [ Wire.Upload_ok ])))))
+
+(* Digests are raw bytes; hex keeps the durable counter names printable
+   in store-check reports and logs. *)
+let hex s =
+  String.concat "" (List.map (Printf.sprintf "%02x") (List.map Char.code (List.init (String.length s) (String.get s))))
+
+let nvram_name ~contract ~config = "nvram:" ^ hex contract ^ ":" ^ hex config
+
+(* A restarted server serving an already-computed join: the durable
+   result body holds the plaintext oTuple stream, re-sealed here to this
+   session's fresh ephemeral keys (the original session keys died with
+   the old process). *)
+let durable_result t session party cs config_digest =
+  match t.store with
+  | None -> None
+  | Some store -> (
+      match Store.result store ~contract:cs.digest ~config:config_digest with
+      | None -> None
+      | Some body -> (
+          match Persist.result_of_string body with
+          | Error e ->
+              counter t "net.server.store.body_rejected";
+              Log.warn t.log "durable result rejected" ~kv:[ ("reason", e) ];
+              None
+          | Ok (schema_str, transfers, otuples) ->
+              let sealed_body = Channel.seal_result party cs.contract otuples in
+              let sealed_schema = Channel.seal party schema_str in
+              session.result <- Some { sealed_schema; sealed_body; transfers; config_digest };
+              counter t "net.server.results.restored";
+              Log.info t.log "durable result served" ~kv:[ ("peer", session.peer_id) ];
+              Some [ Wire.Execute_ok { transfers } ]))
+
+let durable_checkpoint t cs config_digest =
+  match t.store with
+  | None -> None
+  | Some store -> (
+      match Store.checkpoint store ~contract:cs.digest ~config:config_digest with
+      | None -> None
+      | Some body -> (
+          let rejected reason =
+            counter t "net.server.store.body_rejected";
+            Log.warn t.log "durable checkpoint rejected" ~kv:[ ("reason", reason) ];
+            None
+          in
+          match
+            ( Persist.checkpoint_of_string body,
+              Store.nvram store (nvram_name ~contract:cs.digest ~config:config_digest) )
+          with
+          | Ok image, Some nv -> Some (image, nv)
+          | Error e, _ -> rejected e
+          | Ok _, None -> rejected "missing nvram counter"))
 
 let on_execute t session sealed_config =
   bound session (fun party cs ->
@@ -291,7 +416,10 @@ let on_execute t session sealed_config =
                 match session.result with
                 | Some r when String.equal r.config_digest config_digest ->
                     [ Wire.Execute_ok { transfers = r.transfers } ]
-                | _ -> (
+                | _ ->
+                match durable_result t session party cs config_digest with
+                | Some replies -> replies
+                | None -> (
                     let missing =
                       List.filter
                         (fun p -> not (Hashtbl.mem cs.submissions p))
@@ -309,6 +437,36 @@ let on_execute t session sealed_config =
                               cs.contract.Channel.providers
                           in
                           let alg = Service.algorithm_name config.Service.algorithm in
+                          let name = nvram_name ~contract:cs.digest ~config:config_digest in
+                          let on_checkpoint =
+                            match t.store with
+                            | None -> None
+                            | Some store ->
+                                Some
+                                  (fun ~version ~image ->
+                                    (* NVRAM first: a crash between the two
+                                       appends leaves the durable counter
+                                       ahead of the newest checkpoint, which
+                                       resume validation rejects as a
+                                       rollback — quarantined and re-executed
+                                       fresh, never answered wrong. *)
+                                    (match Store.nvram_set store ~name version with
+                                    | Ok () | Error _ -> ());
+                                    match
+                                      Store.put_checkpoint store ~contract:cs.digest
+                                        ~config:config_digest
+                                        (Persist.checkpoint_to_string image)
+                                    with
+                                    | Ok () | Error _ -> ())
+                          in
+                          let nvram_init =
+                            Option.bind t.store (fun s -> Store.nvram s name)
+                          in
+                          let fresh () =
+                            Service.execute_join ?faults:t.faults
+                              ?checkpoint_every:t.checkpoint_every ?on_checkpoint ?nvram_init
+                              ?recorder:t.recorder config ~predicate rels
+                          in
                           match
                             Registry.span t.registry "net.server.join.seconds" (fun () ->
                                 with_span t "execute" (fun () ->
@@ -325,19 +483,75 @@ let on_execute t session sealed_config =
                                                 ("algorithm", alg)
                                               ];
                                           Service.resume_join config inst
-                                      | _ ->
-                                          Service.execute_join ?faults:t.faults
-                                            ?checkpoint_every:t.checkpoint_every
-                                            ?recorder:t.recorder config ~predicate rels
+                                      | _ -> (
+                                          match durable_checkpoint t cs config_digest with
+                                          | Some (image, nv) -> (
+                                              (* The join that died with the old
+                                                 process: rebuild the instance
+                                                 from durable submissions, adopt
+                                                 the persisted host image, and
+                                                 resume from the sealed
+                                                 checkpoint. *)
+                                              let inst =
+                                                Instance.create ?recorder:t.recorder
+                                                  ?faults:t.faults
+                                                  ?checkpoint_every:t.checkpoint_every
+                                                  ?on_checkpoint ~m:config.Service.m
+                                                  ~seed:config.Service.seed ~predicate rels
+                                              in
+                                              Instance.adopt_checkpoint inst ~image ~nvram:nv;
+                                              Log.info t.log "resuming crashed join"
+                                                ~kv:
+                                                  [ ("peer", session.peer_id);
+                                                    ("algorithm", alg);
+                                                    ("source", "durable")
+                                                  ];
+                                              match Service.resume_join config inst with
+                                              | r ->
+                                                  counter t "net.server.joins.resumed_durable";
+                                                  r
+                                              | exception
+                                                  Ppj_scpu.Coprocessor.Tamper_detected msg ->
+                                                  (* Stale or doctored durable
+                                                     checkpoint: quarantine it
+                                                     and recompute from the
+                                                     pristine inputs. *)
+                                                  (match t.store with
+                                                  | Some s -> (
+                                                      match
+                                                        Store.clear_checkpoint s
+                                                          ~contract:cs.digest
+                                                          ~config:config_digest
+                                                      with
+                                                      | Ok () | Error _ -> ())
+                                                  | None -> ());
+                                                  counter t
+                                                    "net.server.checkpoints.quarantined";
+                                                  Log.warn t.log
+                                                    "durable checkpoint quarantined"
+                                                    ~kv:[ ("detail", msg) ];
+                                                  fresh ())
+                                          | None -> fresh ())
                                     in
+                                    let otuples = Service.result_otuples inst in
                                     let sealed_body =
-                                      Service.seal_to inst ~recipient:party
-                                        ~contract:cs.contract
+                                      Service.seal_otuples inst ~recipient:party
+                                        ~contract:cs.contract otuples
                                     in
-                                    let sealed_schema =
-                                      Channel.seal party
-                                        (Wire.schema_to_string (Instance.joined_schema inst))
+                                    let schema_str =
+                                      Wire.schema_to_string (Instance.joined_schema inst)
                                     in
+                                    let sealed_schema = Channel.seal party schema_str in
+                                    (match t.store with
+                                    | Some store -> (
+                                        match
+                                          Store.put_result store ~contract:cs.digest
+                                            ~config:config_digest
+                                            (Persist.result_to_string ~schema:schema_str
+                                               ~transfers:report.Report.transfers otuples)
+                                        with
+                                        | Ok () | Error _ -> ())
+                                    | None -> ());
                                     { sealed_schema;
                                       sealed_body;
                                       transfers = report.Report.transfers;

@@ -25,6 +25,7 @@ val create :
   ?max_contracts:int ->
   ?faults:Ppj_fault.Injector.t ->
   ?checkpoint_every:int ->
+  ?store:Ppj_store.Store.t ->
   mac_key:string ->
   unit ->
   t
@@ -52,7 +53,21 @@ val create :
     error and stashes the crashed instance on the session; the client's
     retry of the same config resumes it from the last sealed checkpoint
     rather than starting over.  Detected tampering is terminal: a typed
-    [Internal] "tamper detected" error, never a wrong answer. *)
+    [Internal] "tamper detected" error, never a wrong answer.
+
+    [store] makes the server durable.  On create, registered contracts
+    and accepted submissions are replayed from it; thereafter every
+    state-changing request is acknowledged only after its record is
+    journalled and fsynced (a sealed store sheds such requests with a
+    typed [Unavailable]).  Join checkpoints and the NVRAM version are
+    persisted as they are sealed, so a SIGKILLed server restarted on the
+    same state directory resumes a mid-flight join from the durable
+    checkpoint when the client retries — and an already-finished join's
+    cached oTuple stream is re-sealed to the retrying client's fresh
+    session keys.  A durable checkpoint that fails resume validation
+    (stale version, doctored image) is quarantined and the join is
+    recomputed from the pristine durable submissions: slower, never
+    wrong. *)
 
 val registry : t -> Ppj_obs.Registry.t
 

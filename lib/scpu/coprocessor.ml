@@ -42,6 +42,10 @@ type t = {
   (* --- robustness layer --- *)
   faults : Injector.t option;
   checkpoint_every : int option;
+  on_checkpoint : (version:int -> image:Host.export -> unit) option;
+      (* durability hook: fired after every sealed checkpoint with the
+         NVRAM version and the host's ciphertext image, so a server can
+         persist both and survive its own death, not just [T]'s *)
   nvram : int ref;
       (* monotonic checkpoint version in [T]'s battery-backed NVRAM (the
          4758 keeps such a counter across power loss): a host replaying
@@ -69,7 +73,8 @@ type t = {
   mutable open_bytes : int;
 }
 
-let make_t ?recorder ?(event_batch = 64) ?faults ?checkpoint_every ?nvram ~host ~m ~seed () =
+let make_t ?recorder ?(event_batch = 64) ?faults ?checkpoint_every ?on_checkpoint ?nvram ~host
+    ~m ~seed () =
   if event_batch < 1 then invalid_arg "Coprocessor: event_batch must be >= 1";
   let rng = Rng.create seed in
   let key_rng = Rng.split rng "storage-key" in
@@ -87,6 +92,7 @@ let make_t ?recorder ?(event_batch = 64) ?faults ?checkpoint_every ?nvram ~host 
     event_batch;
     faults;
     checkpoint_every;
+    on_checkpoint;
     nvram = (match nvram with Some r -> r | None -> ref 0);
     epochs = Hashtbl.create 64;
     replay_stash = Hashtbl.create 16;
@@ -103,8 +109,10 @@ let make_t ?recorder ?(event_batch = 64) ?faults ?checkpoint_every ?nvram ~host 
     open_bytes = 0;
   }
 
-let create ?recorder ?event_batch ?faults ?checkpoint_every ?nvram ~host ~m ~seed () =
-  make_t ?recorder ?event_batch ?faults ?checkpoint_every ?nvram ~host ~m ~seed ()
+let create ?recorder ?event_batch ?faults ?checkpoint_every ?on_checkpoint ?nvram ~host ~m
+    ~seed () =
+  make_t ?recorder ?event_batch ?faults ?checkpoint_every ?on_checkpoint ?nvram ~host ~m ~seed
+    ()
 
 let host t = t.host
 let trace t = t.trace
@@ -300,6 +308,12 @@ let take_checkpoint t =
   Trace.record t.trace Trace.Write Trace.Checkpoint 0;
   Host.raw_set t.host Trace.Checkpoint 0 sealed;
   Host.save_checkpoint t.host;
+  (match t.on_checkpoint with
+  | Some f -> (
+      match Host.export_checkpoint t.host with
+      | Some image -> f ~version ~image
+      | None -> ())
+  | None -> ());
   t.last_checkpoint <- t.ops;
   t.checkpoints_taken <- t.checkpoints_taken + 1;
   t.last_checkpoint_bytes <- String.length sealed;
@@ -414,13 +428,17 @@ let ops t = t.ops
 
 (* --- resume ---------------------------------------------------------- *)
 
-let resume ?recorder ?event_batch ?faults ?checkpoint_every ~nvram ~host ~m ~seed () =
+let resume ?recorder ?event_batch ?faults ?checkpoint_every ?on_checkpoint ~nvram ~host ~m
+    ~seed () =
   if not (Host.has_checkpoint host) then invalid_arg "Coprocessor.resume: no checkpoint held";
   (* The host first recovers its own image so the sealed blob is the one
      paired with it, then empties its live state: the replayed prefix
      rebuilds the pre-crash world from pristine inputs. *)
   Host.restore_checkpoint host;
-  let t = make_t ?recorder ?event_batch ?faults ?checkpoint_every ~nvram ~host ~m ~seed () in
+  let t =
+    make_t ?recorder ?event_batch ?faults ?checkpoint_every ?on_checkpoint ~nvram ~host ~m
+      ~seed ()
+  in
   let sealed = Host.raw_get host Trace.Checkpoint 0 in
   let blob = open_sealed t sealed ~context:"checkpoint" in
   let target = decode_saved blob ~context:"checkpoint" in

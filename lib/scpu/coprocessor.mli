@@ -51,6 +51,7 @@ val create :
   ?event_batch:int ->
   ?faults:Ppj_fault.Injector.t ->
   ?checkpoint_every:int ->
+  ?on_checkpoint:(version:int -> image:Host.export -> unit) ->
   ?nvram:int ref ->
   host:Host.t ->
   m:int ->
@@ -66,13 +67,17 @@ val create :
     transfers; [checkpoint_every] seals recovery state every so many
     transfers (off by default — the paper's protocol is unchanged unless
     asked for); [nvram] is the crash-surviving monotonic version
-    counter, shared with any later {!resume}. *)
+    counter, shared with any later {!resume}.  [on_checkpoint] fires
+    after every sealed checkpoint with the new NVRAM version and the
+    host's ciphertext image, letting a server persist both so the join
+    survives process death, not just coprocessor crashes. *)
 
 val resume :
   ?recorder:Ppj_obs.Recorder.t ->
   ?event_batch:int ->
   ?faults:Ppj_fault.Injector.t ->
   ?checkpoint_every:int ->
+  ?on_checkpoint:(version:int -> image:Host.export -> unit) ->
   nvram:int ref ->
   host:Host.t ->
   m:int ->

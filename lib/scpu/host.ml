@@ -33,6 +33,35 @@ let save_checkpoint t =
 
 let has_checkpoint t = t.checkpoint_image <> None
 
+type export = {
+  e_regions : (Trace.region * string option array) list;
+  e_disk : string list;  (* reversed, as held internally *)
+  e_disk_tuples : int;
+}
+
+let export_checkpoint t =
+  match t.checkpoint_image with
+  | None -> None
+  | Some img ->
+      Some
+        { e_regions =
+            Region_map.fold (fun r a acc -> (r, Array.copy a) :: acc) img.i_regions []
+            |> List.rev;
+          e_disk = img.i_disk;
+          e_disk_tuples = img.i_disk_tuples;
+        }
+
+let install_checkpoint t e =
+  t.checkpoint_image <-
+    Some
+      { i_regions =
+          List.fold_left
+            (fun m (r, a) -> Region_map.add r (Array.copy a) m)
+            Region_map.empty e.e_regions;
+        i_disk = e.e_disk;
+        i_disk_tuples = e.e_disk_tuples;
+      }
+
 let restore_checkpoint t =
   match t.checkpoint_image with
   | None -> invalid_arg "Host.restore_checkpoint: no checkpoint image held"

@@ -55,6 +55,23 @@ val save_checkpoint : t -> unit
 
 val has_checkpoint : t -> bool
 
+type export = {
+  e_regions : (Trace.region * string option array) list;
+  e_disk : string list;  (** reversed write order, as held internally *)
+  e_disk_tuples : int;
+}
+(** A serialisable copy of the held checkpoint image — all ciphertext,
+    so persisting it off-process grants the host nothing it could not
+    already read. *)
+
+val export_checkpoint : t -> export option
+(** Copy of the held image, if any. *)
+
+val install_checkpoint : t -> export -> unit
+(** Adopt [export] as the held checkpoint image (copies the arrays);
+    used when a restarted process rebuilds the host from durable
+    state before resuming. *)
+
 val restore_checkpoint : t -> unit
 (** @raise Invalid_argument if no image is held. *)
 

@@ -337,7 +337,11 @@ let test_retry_recovers_from_drop () =
   let server = Server.create ~mac_key () in
   let sleeps = ref [] in
   let config =
-    { Client.default_config with recv_timeout = 0.01; sleep = (fun d -> sleeps := d :: !sleeps) }
+    { Client.default_config with
+      recv_timeout = 0.01;
+      backoff = Client.Exponential;
+      sleep = (fun d -> sleeps := d :: !sleeps);
+    }
   in
   let reg = Registry.create () in
   let faults = inj ~registry:reg "drop@dir=to_client,tag=contract-ok" in
@@ -357,6 +361,7 @@ let test_retries_exhaust () =
     { Client.default_config with
       recv_timeout = 0.01;
       max_retries = 3;
+      backoff = Client.Exponential;
       sleep = (fun d -> sleeps := d :: !sleeps);
     }
   in
