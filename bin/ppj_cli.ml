@@ -40,7 +40,7 @@ let write_trace trace_out recorder =
       Format.printf "trace -> %s@." path
   | _ -> ()
 
-type algorithm = A1 | A1v | A2 | A3 | A4 | A5 | A6 | A7
+type algorithm = A1 | A1v | A2 | A3 | A4 | A5 | A6 | A7 | A8
 
 let algorithm_conv =
   let parse = function
@@ -52,13 +52,15 @@ let algorithm_conv =
     | "alg5" -> Ok A5
     | "alg6" -> Ok A6
     | "alg7" -> Ok A7
-    | s -> Error (`Msg (Printf.sprintf "unknown algorithm %S (alg1|alg1v|alg2|alg3|alg4|alg5|alg6|alg7)" s))
+    | "alg8" -> Ok A8
+    | s -> Error (`Msg (Printf.sprintf "unknown algorithm %S (alg1|alg1v|alg2|alg3|alg4|alg5|alg6|alg7|alg8)" s))
   in
   let print ppf a =
     Format.pp_print_string ppf
       (match a with
       | A1 -> "alg1" | A1v -> "alg1v" | A2 -> "alg2" | A3 -> "alg3"
-      | A4 -> "alg4" | A5 -> "alg5" | A6 -> "alg6" | A7 -> "alg7")
+      | A4 -> "alg4" | A5 -> "alg5" | A6 -> "alg6" | A7 -> "alg7"
+      | A8 -> "alg8")
   in
   Arg.conv (parse, print)
 
@@ -114,6 +116,7 @@ let execute algorithm ~eps ~mult inst =
   | A5 -> Algorithm5.run inst
   | A6 -> fst (Algorithm6.run inst ~eps ())
   | A7 -> fst (Algorithm7.run inst ~attr_a:"key" ~attr_b:"key")
+  | A8 -> fst (Algorithm8.run inst ~attr_a:"key" ~attr_b:"key")
 
 let run_cmd =
   let run algorithm na nb matches mult m seed eps metrics fault_plan trace_out =
@@ -591,6 +594,7 @@ let fetch_cmd =
       | A5 -> Service.Alg5
       | A6 -> Service.Alg6 { eps }
       | A7 -> Service.Alg7 { attr_a; attr_b }
+      | A8 -> Service.Alg8 { attr_a; attr_b }
     in
     let config = { Service.m; seed; algorithm } in
     let deliver schema tuples =
@@ -619,8 +623,8 @@ let fetch_cmd =
     | `Sharded paths -> (
         let inner =
           match algorithm with
-          | Service.Alg4 | Service.Alg5 | Service.Alg6 _ -> algorithm
-          | _ -> die "--shards supports alg4, alg5 and alg6 only"
+          | Service.Alg4 | Service.Alg5 | Service.Alg6 _ | Service.Alg8 _ -> algorithm
+          | _ -> die "--shards supports alg4, alg5, alg6 and alg8 only"
         in
         let sh = make_shards ~wait paths in
         let shard_config =

@@ -1,0 +1,30 @@
+(** Algorithm 8: oblivious binary equi-join in
+    O((|A| + |B| + S) log² (|A| + |B| + S)) transfers, after
+    Krastnikov–Kerschbaum–Stebila (arXiv 2003.09481).
+
+    Obliviously sorts the tagged union of both relations by (join key,
+    source), annotates per-key multiplicities with forward/backward
+    prefix passes, obliviously expands and aligns each side to the
+    output size S with two more network sorts per side, and zips the
+    aligned expansions into exactly S real oTuples.  The transfer trace
+    is a function of (|A|, |B|, S) alone — S being public under
+    Definition 3, exactly as in Algorithms 4–6 — so Definitions 1 and 3
+    hold; {!Cost.alg8} is the exact closed form.
+
+    Unlike {!Algorithm7}, duplicate join keys are allowed on both sides:
+    the expansion emits the full per-key cross product. *)
+
+type stats = { s : int }  (** Exact join size (public output size S). *)
+
+val run : Instance.t -> attr_a:string -> attr_b:string -> Report.t * stats
+(** Equi-join on [attr_a] = [attr_b] over a binary instance.  The
+    results are persisted to disk undecoyed (S is public); the report's
+    [S] stat is the exact join size. *)
+
+val run_slice : Instance.t -> attr_a:string -> attr_b:string -> k:int -> p:int -> stats
+(** Shard entry point: run the identical sort/annotate/expand pipeline
+    but emit only output ranks [kS/p, (k+1)S/p) (§5.3.5-style
+    result-rank partitioning).  Each shard's trace is a function of
+    (|A|, |B|, S, k, p); the union of all shards' outputs is the full
+    join.  [run] is [run_slice ~k:0 ~p:1] plus report collection.
+    @raise Invalid_argument if [k] is not in [0, p). *)

@@ -1,13 +1,21 @@
 module Filter = Ppj_oblivious.Filter
+module Bitonic = Ppj_oblivious.Bitonic
 
 let log2f x = log x /. log 2.
 let fi = float_of_int
 
+(* The closed forms take log2 of their size parameters; n = 0 or b = 0
+   would silently evaluate to -inf/nan, which then "wins" (or poisons)
+   every [argmin] comparison.  Reject degenerate inputs loudly. *)
+let require_pos name v = if v < 1 then invalid_arg (name ^ " must be >= 1")
+
 let alg1 ~a ~b ~n =
+  require_pos "Cost.alg1: n" n;
   let lg = log2f (fi (2 * n)) in
   fi a +. (2. *. fi n *. fi a) +. (2. *. fi a *. fi b) +. (2. *. fi a *. fi b *. lg *. lg)
 
 let alg1_variant ~a ~b =
+  require_pos "Cost.alg1_variant: b" b;
   let lg = log2f (fi b) in
   fi a +. (2. *. fi a *. fi b) +. (fi a *. fi b *. lg *. lg)
 
@@ -16,6 +24,7 @@ let alg2 ~a ~b ~n ~m ?(delta = 0) () =
   fi a +. (fi n *. fi a) +. (gamma *. fi a *. fi b)
 
 let alg3 ~a ~b ~n ?(presorted = false) () =
+  require_pos "Cost.alg3: b" b;
   let lg = log2f (fi b) in
   let sort = if presorted then 0. else fi b *. lg *. lg in
   fi a +. (fi a *. fi n) +. sort +. (3. *. fi a *. fi b)
@@ -86,6 +95,61 @@ let alg6 ~l ~s ~m ~eps =
   else
     let n_star = Hypergeom.n_star ~l ~s ~m ~eps in
     alg6_given ~l ~s ~m ~n_star
+
+(* Exact (not asymptotic) transfer counts for the sort-based extensions.
+   Each term mirrors one ledgered get/put in the implementation, so the
+   bench's scaling experiment can assert measured = formula, not just
+   measured ~ formula.  A network sort of p slots costs 4 transfers per
+   comparator; padding to p = 2^ceil(log2 n) writes p - n sentinels. *)
+
+let sort_exact n =
+  let p = Bitonic.next_pow2 n in
+  (p - n) + (4 * Bitonic.comparator_count p)
+
+let filter_exact ~omega ~mu =
+  if mu <= 0 || omega <= 0 then 0
+  else begin
+    let delta = max 1 (Filter.optimal_delta ~mu) in
+    let cap = mu + delta in
+    let pf = Bitonic.next_pow2 cap in
+    let fill = min omega cap in
+    let rounds = if omega > cap then (omega - cap + delta - 1) / delta else 0 in
+    let refill = omega - fill in
+    (2 * fill) + (cap - fill)
+    + ((pf - cap) + (4 * Bitonic.comparator_count pf))
+    + (rounds * 4 * Bitonic.comparator_count pf)
+    + (2 * refill)
+    + ((rounds * delta) - refill)
+  end
+
+let alg7 ~a ~b ~s =
+  require_pos "Cost.alg7: a" a;
+  require_pos "Cost.alg7: b" b;
+  if s < 0 then invalid_arg "Cost.alg7: s must be >= 0";
+  let t = a + b in
+  let stage = 2 * t in
+  let sort = sort_exact t in
+  let scan = 2 * t in
+  fi (stage + sort + scan + filter_exact ~omega:t ~mu:s)
+
+let alg8 ~a ~b ~s =
+  require_pos "Cost.alg8: a" a;
+  require_pos "Cost.alg8: b" b;
+  if s < 0 then invalid_arg "Cost.alg8: s must be >= 0";
+  let t = a + b in
+  let union = (2 * t) + sort_exact t in
+  let annotate = 4 * t in
+  let expand =
+    if s = 0 then 0
+    else begin
+      let nl = t + s in
+      (* One side: seed pass, S blank slots, distribute sort,
+         fill-forward, align sort. *)
+      let side = (2 * t) + s + sort_exact nl + (2 * nl) + sort_exact nl in
+      (2 * side) + (3 * s)
+    end
+  in
+  fi (union + annotate + expand)
 
 let smc ~l ~s ?(xi1 = 67) ?(xi2 = 67) ?(k0 = 64) ?(k1 = 100) ?(w = 1) () =
   (fi xi1 *. fi k0 *. fi l *. fi (ge w))

@@ -66,6 +66,26 @@ val alg6 : l:int -> s:int -> m:int -> eps:float -> float
 (** Eqn. 5.7 with n* solved from Eqn. 5.6; handles the M ≥ S (L + S) and
     ε = 0 (Algorithm 4 degeneration) corners per §5.3.3. *)
 
+(* Sort-based extensions (exact transfer counts, not asymptotics). *)
+
+val filter_exact : omega:int -> mu:int -> int
+(** Exact ledgered transfers of {!Ppj_oblivious.Filter.run} at the
+    default Δ*: buffer fill, sentinel padding, the initial padded sort
+    and every refill round — term for term what the implementation's
+    trace records, unlike the paper's approximation {!filter_cost}.
+    Returns 0 when [mu = 0] or [omega = 0] (the filter is skipped). *)
+
+val alg7 : a:int -> b:int -> s:int -> float
+(** Exact transfers of {!Algorithm7.run}: staging the tagged union, the
+    padded network sort, the PK–FK scan and the oblivious filter.
+    @raise Invalid_argument if [a < 1], [b < 1] or [s < 0]. *)
+
+val alg8 : a:int -> b:int -> s:int -> float
+(** Exact transfers of {!Algorithm8.run}: the tagged-union sort, both
+    annotation passes, per-side oblivious expansion (two padded sorts
+    over [a + b + s] slots each) and the zip emitting [s] oTuples.
+    @raise Invalid_argument if [a < 1], [b < 1] or [s < 0]. *)
+
 val smc : l:int -> s:int -> ?xi1:int -> ?xi2:int -> ?k0:int -> ?k1:int -> ?w:int -> unit -> float
 (** Eqn. 5.8 with the paper's parameters (ξ₁ = ξ₂ = 67 for privacy level
     1 − 10⁻²⁰, κ₀ = 64, κ₁ = 100, ϖ = 1). *)

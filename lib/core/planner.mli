@@ -11,11 +11,16 @@ type plan =
   | Use_alg4
   | Use_alg5
   | Use_alg6 of { eps : float }
+  | Use_alg8
 
-val choose : l:int -> s:int -> m:int -> max_eps:float -> plan * float
+val choose :
+  ?ab:int * int -> l:int -> s:int -> m:int -> max_eps:float -> unit -> plan * float
 (** Cheapest of Algorithms 4, 5, and 6 at privacy level at least
     [1 - max_eps]; [max_eps = 0.] restricts to the exact algorithms.
-    Returns the plan and its predicted transfer count. *)
+    Passing [ab = (|A|, |B|)] also admits Algorithm 8 — only callers
+    that know the binary equi-join attributes (and hence can execute
+    it) should do so.  Returns the plan and its predicted transfer
+    count. *)
 
 val choose_ch4 :
   a:int -> b:int -> n:int -> m:int -> equijoin:bool -> Cost.ch4_algorithm * float

@@ -16,6 +16,7 @@ type algorithm =
   | Alg5
   | Alg6 of { eps : float }
   | Alg7 of { attr_a : string; attr_b : string }
+  | Alg8 of { attr_a : string; attr_b : string }
   | Auto of { max_eps : float }
   | Sharded of { k : int; p : int; inner : algorithm }
 
@@ -60,16 +61,23 @@ let rec run_algorithm config inst =
       | Alg6 { eps } ->
           Sharded.alg6 inst ~k ~p ~s ~shared_seed:(Sharded.shared_seed config.seed) ~eps;
           Report.collect inst ~stats ()
+      | Alg8 { attr_a; attr_b } ->
+          Sharded.alg8 inst ~k ~p ~attr_a ~attr_b;
+          Report.collect inst ~stats ()
       | Auto { max_eps } -> (
-          match fst (Planner.choose ~l:(Instance.l inst) ~s ~m:config.m ~max_eps) with
+          match fst (Planner.choose ~l:(Instance.l inst) ~s ~m:config.m ~max_eps ()) with
           | Planner.Use_alg4 ->
               run_algorithm { config with algorithm = Sharded { k; p; inner = Alg4 } } inst
           | Planner.Use_alg5 ->
               run_algorithm { config with algorithm = Sharded { k; p; inner = Alg5 } } inst
           | Planner.Use_alg6 { eps } ->
-              run_algorithm { config with algorithm = Sharded { k; p; inner = Alg6 { eps } } } inst)
+              run_algorithm { config with algorithm = Sharded { k; p; inner = Alg6 { eps } } } inst
+          | Planner.Use_alg8 ->
+              (* Unreachable: the planner only proposes Algorithm 8 when
+                 given [ab], which [Auto] cannot supply (no attrs). *)
+              invalid_arg "Sharded: planner proposed Alg8 without attributes")
       | Alg1 _ | Alg2 _ | Alg3 _ | Alg7 _ | Sharded _ ->
-          invalid_arg "Sharded: inner algorithm must be Alg4, Alg5, Alg6 or Auto")
+          invalid_arg "Sharded: inner algorithm must be Alg4, Alg5, Alg6, Alg8 or Auto")
   | Alg1 { n } -> Algorithm1.run inst ~n
   | Alg2 { n } -> Algorithm2.run inst ~n ()
   | Alg3 { n; attr_a; attr_b } -> Algorithm3.run inst ~n ~attr_a ~attr_b ()
@@ -77,13 +85,15 @@ let rec run_algorithm config inst =
   | Alg5 -> Algorithm5.run inst
   | Alg6 { eps } -> fst (Algorithm6.run inst ~eps ())
   | Alg7 { attr_a; attr_b } -> fst (Algorithm7.run inst ~attr_a ~attr_b)
+  | Alg8 { attr_a; attr_b } -> fst (Algorithm8.run inst ~attr_a ~attr_b)
   | Auto { max_eps } -> (
       (* Screening inside T to learn S, then plan. *)
       let s = Instance.oracle_size inst in
-      match fst (Planner.choose ~l:(Instance.l inst) ~s ~m:config.m ~max_eps) with
+      match fst (Planner.choose ~l:(Instance.l inst) ~s ~m:config.m ~max_eps ()) with
       | Planner.Use_alg4 -> Algorithm4.run inst ()
       | Planner.Use_alg5 -> Algorithm5.run inst
-      | Planner.Use_alg6 { eps } -> fst (Algorithm6.run inst ~eps ()))
+      | Planner.Use_alg6 { eps } -> fst (Algorithm6.run inst ~eps ())
+      | Planner.Use_alg8 -> invalid_arg "Auto: planner proposed Alg8 without attributes")
 
 exception Join_crashed of { inst : Instance.t; transfer : int }
 
@@ -95,6 +105,7 @@ let rec algorithm_name = function
   | Alg5 -> "alg5"
   | Alg6 _ -> "alg6"
   | Alg7 _ -> "alg7"
+  | Alg8 _ -> "alg8"
   | Auto _ -> "auto"
   | Sharded { k; p; inner } -> Printf.sprintf "%s[%d/%d]" (algorithm_name inner) k p
 

@@ -22,14 +22,18 @@ type algorithm =
   | Alg6 of { eps : float }
   | Alg7 of { attr_a : string; attr_b : string }
       (** The sort-based oblivious PK–FK equijoin extension. *)
+  | Alg8 of { attr_a : string; attr_b : string }
+      (** The sort-based oblivious many-to-many equijoin
+          ({!Algorithm8}): duplicates allowed on both sides,
+          O((|A| + |B| + S) log² ·) transfers. *)
   | Auto of { max_eps : float }
       (** Let the {!Planner} pick the cheapest Chapter 5 algorithm whose
           privacy level is at least [1 - max_eps], using a screening pass
           to learn [S] (the §4.3 preprocessing). *)
   | Sharded of { k : int; p : int; inner : algorithm }
       (** Run shard [k] of [p] of a multi-coprocessor job: the {!Sharded}
-          slice of [inner], which must be [Alg4], [Alg5], [Alg6] or
-          [Auto] (resolved by the planner into one of the three).  The
+          slice of [inner], which must be [Alg4], [Alg5], [Alg6], [Alg8]
+          or [Auto] (resolved by the planner into one of the first three).  The
           server holds the full relations — replicate partitioning — and
           executes only its slice; a coordinator ([lib/shard]) merges the
           [p] sealed results. *)

@@ -163,3 +163,8 @@ let alg6 ?(leaky = false) inst ~k ~p ~s ~shared_seed ~eps =
       end
     end
   end
+
+let alg8 inst ~k ~p ~attr_a ~attr_b =
+  check ~k ~p;
+  let (_ : Algorithm8.stats) = Algorithm8.run_slice inst ~attr_a ~attr_b ~k ~p in
+  ()

@@ -57,3 +57,11 @@ val alg6 :
 (** Process shard [k]'s position range of the shared-seed MLFSR order in
     [n*]-segments, flush [m]-blocks with decoy padding, filter with the
     public budget. *)
+
+val alg8 : Instance.t -> k:int -> p:int -> attr_a:string -> attr_b:string -> unit
+(** {!Algorithm8.run_slice}: the full sort/annotate/expand pipeline with
+    only the result ranks [kS/p, (k+1)S/p) emitted — Algorithm 5's
+    result-rank partitioning applied to the sort-based join.  S is
+    computed inside the pipeline (it is public under Definition 3), so
+    no [s] argument is needed; the slice trace is a function of
+    [(|A|, |B|, S, k, p)]. *)

@@ -172,6 +172,10 @@ let rec algorithm_to b (a : Service.algorithm) =
   | Service.Auto { max_eps } ->
       W.u8 b 8;
       W.f64 b max_eps
+  | Service.Alg8 { attr_a; attr_b } ->
+      W.u8 b 10;
+      W.str b attr_a;
+      W.str b attr_b
 
 let rec algorithm_of r : Service.algorithm =
   match R.u8 r with
@@ -199,6 +203,10 @@ let rec algorithm_of r : Service.algorithm =
       let attr_b = R.str r in
       Service.Alg7 { attr_a; attr_b }
   | 8 -> Service.Auto { max_eps = R.f64 r }
+  | 10 ->
+      let attr_a = R.str r in
+      let attr_b = R.str r in
+      Service.Alg8 { attr_a; attr_b }
   | k -> R.fail "unknown algorithm tag %d" k
 
 let config_to_string (c : Service.config) =

@@ -19,8 +19,7 @@ let log2 n =
    i land k = 0.  Emitting (min, max) in ascending orientation and
    swapping operands for descending blocks yields a pure
    "swap-if-out-of-order" schedule. *)
-let schedule n =
-  if not (is_pow2 n) then invalid_arg "Bitonic.schedule: length must be a power of two";
+let build_schedule n =
   let out = ref [] in
   let k = ref 2 in
   while !k <= n do
@@ -36,6 +35,25 @@ let schedule n =
     k := !k * 2
   done;
   Array.of_list (List.rev !out)
+
+(* The schedule is a pure function of n and every sort of that size walks
+   it in full, so rebuilding it per call (list-cons + rev + of_list) was
+   pure hot-path waste.  Memoize per size; [schedule_builds] counts cache
+   misses so the regression test can prove a repeat sort rebuilds
+   nothing. *)
+let cache : (int, (int * int) array) Hashtbl.t = Hashtbl.create 16
+let builds = ref 0
+let schedule_builds () = !builds
+
+let schedule n =
+  if not (is_pow2 n) then invalid_arg "Bitonic.schedule: length must be a power of two";
+  match Hashtbl.find_opt cache n with
+  | Some s -> s
+  | None ->
+      incr builds;
+      let s = build_schedule n in
+      Hashtbl.add cache n s;
+      s
 
 let stage_count n =
   if n = 1 then 0

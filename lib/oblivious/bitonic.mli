@@ -13,8 +13,15 @@ val next_pow2 : int -> int
 val schedule : int -> (int * int) array
 (** [schedule n] (with [n] a power of two) is the ordered list of
     compare-exchanges [(p, q)] meaning "ensure a.(p) <= a.(q)"; executing
-    them in order sorts ascending.
+    them in order sorts ascending.  Schedules are memoized per size (they
+    are pure functions of [n]); callers must not mutate the returned
+    array.
     @raise Invalid_argument if [n] is not a positive power of two. *)
+
+val schedule_builds : unit -> int
+(** How many schedules have been built (memoization cache misses) since
+    process start — a repeat sort of an already-seen size must not bump
+    this. *)
 
 val stage_count : int -> int
 (** Exact number of stages: ½ log₂ n (log₂ n + 1). *)

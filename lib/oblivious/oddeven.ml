@@ -3,8 +3,7 @@ let is_pow2 n = n > 0 && n land (n - 1) = 0
 (* Knuth's merge exchange (TAOCP vol. 3, Algorithm 5.2.2M): p runs
    2^(t-1), 2^(t-2), ..., 1; within each p-pass the offsets d shrink from
    p through q - p while the phase selector r switches to p. *)
-let schedule n =
-  if not (is_pow2 n) then invalid_arg "Oddeven.schedule: length must be a power of two";
+let build_schedule n =
   let out = ref [] in
   if n > 1 then begin
     let t =
@@ -30,6 +29,23 @@ let schedule n =
     done
   end;
   Array.of_list (List.rev !out)
+
+(* Memoized per size (the schedule depends on n alone), mirroring
+   {!Bitonic.schedule}; [comparator_count] also goes through the cache, so
+   cost queries no longer rebuild the network either. *)
+let cache : (int, (int * int) array) Hashtbl.t = Hashtbl.create 16
+let builds = ref 0
+let schedule_builds () = !builds
+
+let schedule n =
+  if not (is_pow2 n) then invalid_arg "Oddeven.schedule: length must be a power of two";
+  match Hashtbl.find_opt cache n with
+  | Some s -> s
+  | None ->
+      incr builds;
+      let s = build_schedule n in
+      Hashtbl.add cache n s;
+      s
 
 let comparator_count n = Array.length (schedule n)
 

@@ -11,7 +11,12 @@
 val schedule : int -> (int * int) array
 (** Compare-exchanges [(p, q)] with [p < q], meaning "ensure
     a.(p) <= a.(q)"; executing in order sorts ascending.  [n] must be a
-    positive power of two. *)
+    positive power of two.  Memoized per size; callers must not mutate
+    the returned array. *)
+
+val schedule_builds : unit -> int
+(** Memoization cache misses since process start (see
+    {!Bitonic.schedule_builds}). *)
 
 val comparator_count : int -> int
 

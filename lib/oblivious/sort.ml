@@ -41,6 +41,17 @@ let padded_size n = Bitonic.next_pow2 n
 
 let sort_padded ?(network = Bitonic) co region ~n ~width ~compare =
   let p = Bitonic.next_pow2 n in
+  (* Padding to the next power of two is pure network overhead — up to
+     [n - 2] extra slots just past a power of two.  Surface it so the
+     bench harness attributes the cost to the padding, not the
+     algorithm: a per-region gauge (last call wins) plus a cumulative
+     counter across the whole run. *)
+  Ppj_obs.Registry.set_gauge
+    ~labels:[ ("region", Trace.region_name region) ]
+    Ppj_obs.Registry.default "oblivious.sort.pad_slots"
+    (float_of_int (p - n));
+  Ppj_obs.Counter.incr ~by:(p - n)
+    (Ppj_obs.Registry.counter Ppj_obs.Registry.default "oblivious.sort.pad_slots_total");
   for i = n to p - 1 do
     Coprocessor.put co region i (sentinel ~width)
   done;

@@ -43,7 +43,11 @@ val sort_padded :
   unit
 (** Sort a region of arbitrary length [n]: slots [n ..) up to the next
     power of two must exist in the region and are (re)written as
-    sentinels first.  After the call the first [n] slots are sorted. *)
+    sentinels first.  After the call the first [n] slots are sorted.
+    Records the power-of-two padding overhead in the default obs registry
+    as the [oblivious.sort.pad_slots] gauge (per region, last call wins)
+    and the [oblivious.sort.pad_slots_total] counter, so benches can
+    separate padding cost from algorithmic cost. *)
 
 val padded_size : int -> int
 (** Host-region size needed by {!sort_padded}. *)

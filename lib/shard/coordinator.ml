@@ -49,12 +49,14 @@ let validate config =
     match (config.inner, config.strategy) with
     | (Service.Alg4 | Service.Alg6 _), _ -> Ok ()
     | Service.Alg5, Partitioner.Replicate -> Ok ()
-    | Service.Alg5, Partitioner.Hash _ ->
-        (* Algorithm 5's scan pattern is a function of the output size of
-           the data it holds; under hash partitioning that is the
-           data-dependent s_k, which no padding budget can hide. *)
+    | Service.Alg8 _, Partitioner.Replicate -> Ok ()
+    | (Service.Alg5 | Service.Alg8 _), Partitioner.Hash _ ->
+        (* Algorithms 5 and 8 emit result-rank slices: the trace is a
+           function of the output size of the data each shard holds,
+           which under hash partitioning is the data-dependent s_k no
+           padding budget can hide. *)
         Error "coordinator: hash partitioning cannot keep Algorithm 5 oblivious; use replicate"
-    | _, _ -> Error "coordinator: inner algorithm must be Alg4, Alg5 or Alg6"
+    | _, _ -> Error "coordinator: inner algorithm must be Alg4, Alg5, Alg6 or Alg8"
 
 (* --- in-process backend --------------------------------------------- *)
 
@@ -68,6 +70,8 @@ let run_slice config ~shard ~s inst =
       | Service.Alg6 { eps } ->
           Sharded.alg6 inst ~k:shard ~p:config.p ~s
             ~shared_seed:(Sharded.shared_seed config.seed) ~eps
+      | Service.Alg8 { attr_a; attr_b } ->
+          Sharded.alg8 inst ~k:shard ~p:config.p ~attr_a ~attr_b
       | _ -> assert false)
   | Partitioner.Hash _ -> (
       (* data partitioning: the whole algorithm over this shard's bucket,

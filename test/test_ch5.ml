@@ -355,6 +355,81 @@ let prop_alg7_random =
       (not st.Algorithm7.pk_violated)
       && same_results r.Report.results (Instance.oracle inst))
 
+(* --- Algorithm 8: sort-based oblivious many-to-many equi-join --- *)
+
+let test_alg8_correct () =
+  let inst = equi ~na:12 ~nb:20 ~matches:15 ~mult:3 () in
+  let r, st = Algorithm8.run inst ~attr_a:"key" ~attr_b:"key" in
+  Alcotest.(check bool) "oracle" true (same_results r.Report.results (Instance.oracle inst));
+  Alcotest.(check int) "S" 15 st.Algorithm8.s
+
+let test_alg8_empty () =
+  let inst = equi ~matches:0 ~mult:1 () in
+  let r, st = Algorithm8.run inst ~attr_a:"key" ~attr_b:"key" in
+  Alcotest.(check int) "S = 0" 0 st.Algorithm8.s;
+  Alcotest.(check int) "empty" 0 (List.length r.Report.results)
+
+let test_alg8_many_to_many () =
+  (* Duplicate keys on BOTH sides — the case Algorithm 7 refuses.  A
+     narrow key domain forces multi-tuple runs in A and B alike. *)
+  let rng = Rng.create 97 in
+  let a = W.uniform rng ~name:"A" ~n:9 ~key_domain:3 in
+  let b = W.uniform rng ~name:"B" ~n:11 ~key_domain:3 in
+  let inst = mk (P.equijoin2 "key" "key") [ a; b ] in
+  let oracle = Instance.oracle inst in
+  let r, st = Algorithm8.run inst ~attr_a:"key" ~attr_b:"key" in
+  Alcotest.(check bool) "oracle" true (same_results r.Report.results oracle);
+  Alcotest.(check int) "S = |oracle|" (List.length oracle) st.Algorithm8.s
+
+let test_alg8_sharded_slices_union () =
+  (* Running the slice entry point on p fresh replicas must partition
+     the join: slices are disjoint by construction (result-rank ranges)
+     and their union is the full oracle. *)
+  let p = 3 in
+  let fresh () =
+    let rng = Rng.create 101 in
+    let a = W.uniform rng ~name:"A" ~n:8 ~key_domain:3 in
+    let b = W.uniform rng ~name:"B" ~n:10 ~key_domain:3 in
+    mk (P.equijoin2 "key" "key") [ a; b ]
+  in
+  let oracle = Instance.oracle (fresh ()) in
+  let slices =
+    List.init p (fun k ->
+        let inst = fresh () in
+        let (_ : Algorithm8.stats) =
+          Algorithm8.run_slice inst ~attr_a:"key" ~attr_b:"key" ~k ~p
+        in
+        (Report.collect inst ()).Report.results)
+  in
+  let sizes = List.map List.length slices in
+  Alcotest.(check int) "slice sizes sum to S" (List.length oracle) (List.fold_left ( + ) 0 sizes);
+  Alcotest.(check bool) "union = oracle" true (same_results (List.concat slices) oracle)
+
+let test_alg8_private () =
+  (* Definition 3: same shape, same S, same trace — duplicates allowed. *)
+  let run data_seed =
+    let rng = Rng.create data_seed in
+    let a, b = W.equijoin_pair rng ~na:8 ~nb:12 ~matches:9 ~max_multiplicity:3 in
+    let inst = Instance.create ~m:3 ~seed:1234 ~predicate:(P.equijoin2 "key" "key") [ a; b ] in
+    ignore (Algorithm8.run inst ~attr_a:"key" ~attr_b:"key");
+    Ppj_scpu.Coprocessor.trace (Instance.co inst)
+  in
+  match Privacy.compare_traces [ run 1; run 2; run 3 ] with
+  | Privacy.Indistinguishable -> ()
+  | v -> Alcotest.failf "%a" Privacy.pp_verdict v
+
+let prop_alg8_random =
+  qtest "alg8 on random many-to-many workloads" ~count:30
+    QCheck.(pair (int_range 2 6) (int_range 0 300))
+    (fun (key_domain, seed) ->
+      let rng = Rng.create (seed + 13000) in
+      let a = W.uniform rng ~name:"A" ~n:7 ~key_domain in
+      let b = W.uniform rng ~name:"B" ~n:9 ~key_domain in
+      let inst = mk (P.equijoin2 "key" "key") [ a; b ] in
+      let r, st = Algorithm8.run inst ~attr_a:"key" ~attr_b:"key" in
+      let oracle = Instance.oracle inst in
+      st.Algorithm8.s = List.length oracle && same_results r.Report.results oracle)
+
 (* --- Multi-way joins (Definition 3 is m-way) --- *)
 
 let three_way_instance ?(m = 4) () =
@@ -454,6 +529,14 @@ let () =
           Alcotest.test_case "detects PK violation" `Quick test_alg7_detects_pk_violation;
           Alcotest.test_case "Definition 3 holds" `Quick test_alg7_private;
           prop_alg7_random
+        ] );
+      ( "algorithm8",
+        [ Alcotest.test_case "correct" `Quick test_alg8_correct;
+          Alcotest.test_case "empty" `Quick test_alg8_empty;
+          Alcotest.test_case "many-to-many duplicates" `Quick test_alg8_many_to_many;
+          Alcotest.test_case "sharded slices union" `Quick test_alg8_sharded_slices_union;
+          Alcotest.test_case "Definition 3 holds" `Quick test_alg8_private;
+          prop_alg8_random
         ] );
       ( "multiway",
         [ Alcotest.test_case "L product" `Quick test_multiway_l;

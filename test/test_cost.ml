@@ -216,10 +216,62 @@ let test_measured_alg3_order () =
   let ratio = float_of_int r.Report.transfers /. formula in
   Alcotest.(check bool) "within 3x" true (ratio < 3. && ratio > 1. /. 3.)
 
+let test_measured_alg7_exact () =
+  (* Cost.alg7 mirrors the implementation transfer for transfer. *)
+  let inst = small_instance () in
+  let r, st = Algorithm7.run inst ~attr_a:"key" ~attr_b:"key" in
+  Alcotest.(check (float 0.)) "exact"
+    (Cost.alg7 ~a:12 ~b:16 ~s:st.Algorithm7.s)
+    (float_of_int r.Report.transfers)
+
+let test_measured_alg8_exact () =
+  let check_at ~na ~nb ~matches ~mult =
+    let rng = Rng.create 177 in
+    let a, b = W.equijoin_pair rng ~na ~nb ~matches ~max_multiplicity:mult in
+    let inst = Instance.create ~m:4 ~seed:5 ~predicate:(P.equijoin2 "key" "key") [ a; b ] in
+    let r, st = Algorithm8.run inst ~attr_a:"key" ~attr_b:"key" in
+    Alcotest.(check (float 0.))
+      (Printf.sprintf "exact at %dx%d" na nb)
+      (Cost.alg8 ~a:na ~b:nb ~s:st.Algorithm8.s)
+      (float_of_int r.Report.transfers)
+  in
+  check_at ~na:12 ~nb:16 ~matches:12 ~mult:3;
+  check_at ~na:7 ~nb:9 ~matches:0 ~mult:1;
+  check_at ~na:5 ~nb:30 ~matches:20 ~mult:4
+
+(* --- Degenerate-input guards ---
+   log2 of 0 is -inf; before the guards a degenerate size silently
+   "won" every argmin.  Both winner paths must refuse instead. *)
+
+let raises_invalid f = match f () with
+  | exception Invalid_argument _ -> true
+  | _ -> false
+
+let test_degenerate_inputs_rejected () =
+  Alcotest.(check bool) "alg1 n=0" true (raises_invalid (fun () -> Cost.alg1 ~a:10 ~b:10 ~n:0));
+  Alcotest.(check bool) "alg1_variant b=0" true (raises_invalid (fun () -> Cost.alg1_variant ~a:10 ~b:0));
+  Alcotest.(check bool) "alg3 b=0" true (raises_invalid (fun () -> Cost.alg3 ~a:10 ~b:0 ~n:2 ()));
+  Alcotest.(check bool) "alg7 a=0" true (raises_invalid (fun () -> Cost.alg7 ~a:0 ~b:10 ~s:0));
+  Alcotest.(check bool) "alg8 s<0" true (raises_invalid (fun () -> Cost.alg8 ~a:10 ~b:10 ~s:(-1)))
+
+let test_degenerate_winner_paths_rejected () =
+  (* The general path dies in alg1's N guard, the equijoin path (also
+     containing alg3) in either; neither may return a winner. *)
+  Alcotest.(check bool) "general_winner n=0" true
+    (raises_invalid (fun () -> Cost.general_winner ~b:16 ~n:0 ~m:4));
+  Alcotest.(check bool) "equijoin_winner n=0" true
+    (raises_invalid (fun () -> Cost.equijoin_winner ~b:16 ~n:0 ~m:4));
+  Alcotest.(check bool) "equijoin_winner b=0" true
+    (raises_invalid (fun () -> Cost.equijoin_winner ~b:0 ~n:2 ~m:4));
+  (* Healthy inputs still produce winners on both paths. *)
+  let (_ : Cost.ch4_algorithm) = Cost.general_winner ~b:16 ~n:2 ~m:4 in
+  let (_ : Cost.ch4_algorithm) = Cost.equijoin_winner ~b:16 ~n:2 ~m:4 in
+  ()
+
 (* --- Planner --- *)
 
 let test_planner_prefers_alg6_when_allowed () =
-  let plan, cost = Planner.choose ~l:640_000 ~s:6_400 ~m:64 ~max_eps:1e-20 in
+  let plan, cost = Planner.choose ~l:640_000 ~s:6_400 ~m:64 ~max_eps:1e-20 () in
   (match plan with
   | Planner.Use_alg6 { eps } -> Alcotest.(check (float 0.)) "eps" 1e-20 eps
   | _ -> Alcotest.fail "expected Algorithm 6");
@@ -228,15 +280,27 @@ let test_planner_prefers_alg6_when_allowed () =
 
 let test_planner_exact_only () =
   (* max_eps = 0 rules out Algorithm 6; Algorithm 5 wins at these sizes. *)
-  match Planner.choose ~l:640_000 ~s:6_400 ~m:64 ~max_eps:0. with
+  match Planner.choose ~l:640_000 ~s:6_400 ~m:64 ~max_eps:0. () with
   | Planner.Use_alg5, _ -> ()
   | _ -> Alcotest.fail "expected Algorithm 5"
 
 let test_planner_alg4_when_memory_tiny () =
   (* With M = 1 Algorithm 5 costs S*L; Algorithm 4 wins. *)
-  match Planner.choose ~l:10_000 ~s:2_000 ~m:1 ~max_eps:0. with
+  match Planner.choose ~l:10_000 ~s:2_000 ~m:1 ~max_eps:0. () with
   | Planner.Use_alg4, _ -> ()
   | _ -> Alcotest.fail "expected Algorithm 4"
+
+let test_planner_alg8_with_ab () =
+  (* Given (|A|, |B|) the planner admits Algorithm 8, whose
+     n-log-squared cost beats Algorithm 5's S/M scans here; without
+     [ab] the same point keeps its old winner. *)
+  (match Planner.choose ~ab:(800, 800) ~l:640_000 ~s:800 ~m:64 ~max_eps:0. () with
+  | Planner.Use_alg8, cost ->
+      Alcotest.(check (float 0.)) "cost is alg8's" (Cost.alg8 ~a:800 ~b:800 ~s:800) cost
+  | _ -> Alcotest.fail "expected Algorithm 8");
+  match Planner.choose ~l:640_000 ~s:800 ~m:64 ~max_eps:0. () with
+  | Planner.Use_alg8, _ -> Alcotest.fail "alg8 offered without ab"
+  | _ -> ()
 
 let test_planner_ch4 () =
   let alg, _ = Planner.choose_ch4 ~a:100_000 ~b:100_000 ~n:400 ~m:2 ~equijoin:false in
@@ -297,12 +361,19 @@ let () =
           Alcotest.test_case "alg5 exact" `Quick test_measured_alg5;
           Alcotest.test_case "alg4 order" `Quick test_measured_alg4_order;
           Alcotest.test_case "alg1 order" `Quick test_measured_alg1_order;
-          Alcotest.test_case "alg3 order" `Quick test_measured_alg3_order
+          Alcotest.test_case "alg3 order" `Quick test_measured_alg3_order;
+          Alcotest.test_case "alg7 exact" `Quick test_measured_alg7_exact;
+          Alcotest.test_case "alg8 exact" `Quick test_measured_alg8_exact
+        ] );
+      ( "guards",
+        [ Alcotest.test_case "degenerate inputs rejected" `Quick test_degenerate_inputs_rejected;
+          Alcotest.test_case "winner paths rejected" `Quick test_degenerate_winner_paths_rejected
         ] );
       ( "planner",
         [ Alcotest.test_case "prefers alg6" `Quick test_planner_prefers_alg6_when_allowed;
           Alcotest.test_case "exact only" `Quick test_planner_exact_only;
           Alcotest.test_case "alg4 for tiny memory" `Quick test_planner_alg4_when_memory_tiny;
+          Alcotest.test_case "alg8 needs ab" `Quick test_planner_alg8_with_ab;
           Alcotest.test_case "chapter 4 choices" `Quick test_planner_ch4
         ] );
       ( "params",

@@ -179,6 +179,7 @@ let test_codec_roundtrips () =
       Service.Alg4;
       Service.Alg6 { eps = 1e-12 };
       Service.Alg7 { attr_a = "key"; attr_b = "key" };
+      Service.Alg8 { attr_a = "key"; attr_b = "key" };
       Service.Auto { max_eps = 1e-9 };
     ]
 

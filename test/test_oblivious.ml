@@ -64,6 +64,26 @@ let test_schedule_data_independent () =
   (* The same (n) must always yield the identical comparator list. *)
   Alcotest.(check bool) "identical schedules" true (Bitonic.schedule 64 = Bitonic.schedule 64)
 
+let test_schedule_memoized () =
+  (* Regression: schedules used to be rebuilt on every sort call —
+     O(n log^2 n) allocation on the hot path.  Warm each size once, then
+     assert repeat requests hit the cache. *)
+  ignore (Bitonic.schedule 512);
+  ignore (Oddeven.schedule 512);
+  let bb = Bitonic.schedule_builds () and ob = Oddeven.schedule_builds () in
+  for _ = 1 to 5 do
+    ignore (Bitonic.schedule 512);
+    ignore (Oddeven.schedule 512);
+    ignore (Bitonic.comparator_count 512);
+    ignore (Oddeven.comparator_count 512)
+  done;
+  Alcotest.(check int) "bitonic: no rebuild" bb (Bitonic.schedule_builds ());
+  Alcotest.(check int) "odd-even: no rebuild" ob (Oddeven.schedule_builds ());
+  (* A genuinely new size is still a (single) cache miss. *)
+  ignore (Bitonic.schedule 2048);
+  ignore (Bitonic.schedule 2048);
+  Alcotest.(check int) "one miss for a new size" (bb + 1) (Bitonic.schedule_builds ())
+
 (* --- 0-1 principle (Knuth, TAOCP vol. 3, Thm. Z) ---
 
    A comparator network sorts every input iff it sorts every 0/1 input.
@@ -92,6 +112,28 @@ let exhaustive_01 name sort_in_place =
 
 let test_bitonic_01_principle = exhaustive_01 "bitonic" Bitonic.sort_in_place
 let test_oddeven_01_principle = exhaustive_01 "odd-even" Oddeven.sort_in_place
+
+(* Exhaustive enumeration stops at n = 16; push the same 0-1 argument to
+   network widths up to 1024 with random vectors, including the padded
+   non-power-of-two case the algorithms actually hit: n real 0/1 entries
+   followed by next_pow2(n) - n pad slots (value 2, ordered last exactly
+   like sort_padded's sentinels). *)
+let random_01_padded name sort_in_place =
+  qtest (name ^ " 0-1 vectors to n=1024, padded") ~count:60
+    QCheck.(pair (int_range 1 1024) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let p = Bitonic.next_pow2 n in
+      let st = Random.State.make [| n; seed |] in
+      let a = Array.init p (fun i -> if i < n then Random.State.int st 2 else 2) in
+      let ones = Array.fold_left (fun acc v -> if v = 1 then acc + 1 else acc) 0 a in
+      sort_in_place compare a;
+      let want i = if i < n - ones then 0 else if i < n then 1 else 2 in
+      let ok = ref true in
+      Array.iteri (fun i v -> if v <> want i then ok := false) a;
+      !ok)
+
+let prop_bitonic_01_random = random_01_padded "bitonic" Bitonic.sort_in_place
+let prop_oddeven_01_random = random_01_padded "odd-even" Oddeven.sort_in_place
 
 (* --- Odd-even merge network (ablation alternative) --- *)
 
@@ -154,6 +196,26 @@ let test_sort_padded_region () =
   Alcotest.(check (array string)) "first n sorted"
     [| "aaa"; "bbb"; "ccc"; "ddd"; "eee" |]
     (read_back co n)
+
+let test_sort_padded_gauge () =
+  (* sort_padded surfaces its power-of-two overhead: 5 -> 8 slots means
+     3 pad writes on the gauge (and at least that on the counter). *)
+  let values = [| "eee"; "aaa"; "ddd"; "ccc"; "bbb" |] in
+  let _, co, n = setup_region values ~pad:true in
+  Sort.sort_padded co Trace.Scratch ~n ~width:3 ~compare:String.compare;
+  let snap = Ppj_obs.Registry.snapshot Ppj_obs.Registry.default in
+  (match
+     Ppj_obs.Snapshot.find
+       ~labels:[ ("region", Trace.region_name Trace.Scratch) ]
+       snap "oblivious.sort.pad_slots"
+   with
+  | Some { Ppj_obs.Snapshot.value = Ppj_obs.Snapshot.Gauge v; _ } ->
+      Alcotest.(check (float 0.)) "pad slots gauge" 3. v
+  | _ -> Alcotest.fail "oblivious.sort.pad_slots gauge missing");
+  match Ppj_obs.Snapshot.find snap "oblivious.sort.pad_slots_total" with
+  | Some { Ppj_obs.Snapshot.value = Ppj_obs.Snapshot.Counter c; _ } ->
+      Alcotest.(check bool) "cumulative counter" true (c >= 3)
+  | _ -> Alcotest.fail "oblivious.sort.pad_slots_total counter missing"
 
 let test_sort_trace_data_independent () =
   (* Definition 1 for the sort primitive: same length, any data, same
@@ -408,7 +470,10 @@ let () =
           Alcotest.test_case "pow2 required" `Quick test_schedule_requires_pow2;
           Alcotest.test_case "exact counts" `Quick test_counts_match_formula;
           Alcotest.test_case "schedule deterministic" `Quick test_schedule_data_independent;
+          Alcotest.test_case "schedule memoized" `Quick test_schedule_memoized;
           Alcotest.test_case "0-1 principle, exhaustive to n=16" `Quick test_bitonic_01_principle;
+          prop_bitonic_01_random;
+          prop_oddeven_01_random;
           prop_bitonic_sorts;
           prop_bitonic_sorts_adversarial
         ] );
@@ -422,6 +487,7 @@ let () =
       ( "sort",
         [ Alcotest.test_case "sorts a region" `Quick test_sort_region;
           Alcotest.test_case "padded sort" `Quick test_sort_padded_region;
+          Alcotest.test_case "pad overhead gauge" `Quick test_sort_padded_gauge;
           Alcotest.test_case "trace data-independence + cost" `Quick test_sort_trace_data_independent;
           Alcotest.test_case "sentinels last" `Quick test_sentinels_sort_last;
           Alcotest.test_case "is_sentinel" `Quick test_is_sentinel

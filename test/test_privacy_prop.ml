@@ -76,7 +76,9 @@ let safe_algorithms =
     ("algorithm 3", fun i -> ignore (Algorithm3.run i ~n:3 ~attr_a:"key" ~attr_b:"key" ()));
     ("algorithm 4", fun i -> ignore (Algorithm4.run i ()));
     ("algorithm 5", fun i -> ignore (Algorithm5.run i));
-    ("algorithm 6", fun i -> ignore (Algorithm6.run i ~eps:1e-12 ()))
+    ("algorithm 6", fun i -> ignore (Algorithm6.run i ~eps:1e-12 ()));
+    ("algorithm 7", fun i -> ignore (Algorithm7.run i ~attr_a:"key" ~attr_b:"key"));
+    ("algorithm 8", fun i -> ignore (Algorithm8.run i ~attr_a:"key" ~attr_b:"key"))
   ]
 
 let definition_cases =

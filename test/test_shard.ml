@@ -221,7 +221,9 @@ let sharded_properties =
     property_case ~qcheck_seed:42 "sharded algorithm 5" (fun inst ~k ~s ->
         Sharded.alg5 inst ~k ~p:3 ~s);
     property_case ~qcheck_seed:43 "sharded algorithm 6" (fun inst ~k ~s ->
-        Sharded.alg6 inst ~k ~p:3 ~s ~shared_seed:(Sharded.shared_seed 1234) ~eps:1e-12)
+        Sharded.alg6 inst ~k ~p:3 ~s ~shared_seed:(Sharded.shared_seed 1234) ~eps:1e-12);
+    property_case ~qcheck_seed:44 "sharded algorithm 8" (fun inst ~k ~s:_ ->
+        Sharded.alg8 inst ~k ~p:3 ~attr_a:"key" ~attr_b:"key")
   ]
 
 (* Deterministic pair: same shape, same S = 3, but the matches all live
@@ -302,6 +304,11 @@ let test_local_replicate_alg5 = check_local_correct "alg5" Service.Alg5 [ 1; 2; 
 let test_local_replicate_alg6 =
   check_local_correct "alg6" (Service.Alg6 { eps = 1e-9 }) [ 1; 2; 3; 4 ]
 
+let test_local_replicate_alg8 =
+  check_local_correct "alg8"
+    (Service.Alg8 { attr_a = "key"; attr_b = "key" })
+    [ 1; 2; 3; 4; 8 ]
+
 let test_local_hash_alg4 =
   check_local_correct "hash alg4"
     ~strategy:(Partitioner.Hash { key = "key"; slack = 2.5 })
@@ -322,6 +329,20 @@ let test_alg5_hash_rejected () =
   with
   | Ok _ -> Alcotest.fail "Alg5 x Hash must be rejected"
   | Error e -> Alcotest.(check bool) "names Algorithm 5" true (contains ~sub:"Algorithm 5" e)
+
+let test_alg8_hash_rejected () =
+  (* Same reason as Algorithm 5: result-rank slices over data-dependent
+     local output sizes. *)
+  let a, b = workload () in
+  match
+    Coordinator.run_local
+      (local_config
+         ~strategy:(Partitioner.Hash { key = "key"; slack = 2. })
+         (Service.Alg8 { attr_a = "key"; attr_b = "key" }))
+      ~predicate:pred [ a; b ]
+  with
+  | Ok _ -> Alcotest.fail "Alg8 x Hash must be rejected"
+  | Error e -> Alcotest.(check bool) "says replicate" true (contains ~sub:"replicate" e)
 
 let test_bad_inner_rejected () =
   let a, b = workload () in
@@ -502,7 +523,12 @@ let test_sharded_config_roundtrip () =
       match Wire.config_of_string (Wire.config_to_string cfg) with
       | Ok c -> Alcotest.(check bool) "config roundtrips" true (c = cfg)
       | Error e -> Alcotest.fail e)
-    [ Service.Alg4; Service.Alg5; Service.Alg6 { eps = 1e-7 }; Service.Auto { max_eps = 1e-6 } ]
+    [ Service.Alg4;
+      Service.Alg5;
+      Service.Alg6 { eps = 1e-7 };
+      Service.Alg8 { attr_a = "key"; attr_b = "key" };
+      Service.Auto { max_eps = 1e-6 }
+    ]
 
 let test_nested_sharded_rejected () =
   let cfg =
@@ -648,9 +674,11 @@ let () =
         [ Alcotest.test_case "replicate alg4 = oracle" `Quick test_local_replicate_alg4;
           Alcotest.test_case "replicate alg5 = oracle" `Quick test_local_replicate_alg5;
           Alcotest.test_case "replicate alg6 = oracle" `Quick test_local_replicate_alg6;
+          Alcotest.test_case "replicate alg8 = oracle" `Quick test_local_replicate_alg8;
           Alcotest.test_case "hash alg4 = oracle" `Quick test_local_hash_alg4;
           Alcotest.test_case "hash alg6 = oracle" `Quick test_local_hash_alg6;
           Alcotest.test_case "alg5 x hash rejected" `Quick test_alg5_hash_rejected;
+          Alcotest.test_case "alg8 x hash rejected" `Quick test_alg8_hash_rejected;
           Alcotest.test_case "bad inner rejected" `Quick test_bad_inner_rejected;
           Alcotest.test_case "domains = sequential" `Quick test_domains_matches_sequential;
           Alcotest.test_case "speedup accounting" `Quick test_local_speedup_accounting;
