@@ -38,22 +38,37 @@ let build_schedule n =
 
 (* The schedule is a pure function of n and every sort of that size walks
    it in full, so rebuilding it per call (list-cons + rev + of_list) was
-   pure hot-path waste.  Memoize per size; [schedule_builds] counts cache
-   misses so the regression test can prove a repeat sort rebuilds
-   nothing. *)
-let cache : (int, (int * int) array) Hashtbl.t = Hashtbl.create 16
-let builds = ref 0
-let schedule_builds () = !builds
+   pure hot-path waste.  Memoize per size.  Shard jobs on the Domains
+   backend sort concurrently, so the cache is an immutable map published
+   through an Atomic compare-and-set rather than a shared Hashtbl — a
+   domain that loses the publish race discards its build and adopts the
+   winner's.  [schedule_builds] counts installed schedules, so a repeat
+   sort of a seen size never bumps it and the regression test can prove
+   no rebuild happened. *)
+module Sizes = Map.Make (Int)
+
+let cache : (int * int) array Sizes.t Atomic.t = Atomic.make Sizes.empty
+let builds = Atomic.make 0
+let schedule_builds () = Atomic.get builds
 
 let schedule n =
   if not (is_pow2 n) then invalid_arg "Bitonic.schedule: length must be a power of two";
-  match Hashtbl.find_opt cache n with
+  match Sizes.find_opt n (Atomic.get cache) with
   | Some s -> s
   | None ->
-      incr builds;
       let s = build_schedule n in
-      Hashtbl.add cache n s;
-      s
+      let rec publish () =
+        let cur = Atomic.get cache in
+        match Sizes.find_opt n cur with
+        | Some winner -> winner
+        | None ->
+            if Atomic.compare_and_set cache cur (Sizes.add n s cur) then begin
+              Atomic.incr builds;
+              s
+            end
+            else publish ()
+      in
+      publish ()
 
 let stage_count n =
   if n = 1 then 0

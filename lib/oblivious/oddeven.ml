@@ -31,21 +31,34 @@ let build_schedule n =
   Array.of_list (List.rev !out)
 
 (* Memoized per size (the schedule depends on n alone), mirroring
-   {!Bitonic.schedule}; [comparator_count] also goes through the cache, so
-   cost queries no longer rebuild the network either. *)
-let cache : (int, (int * int) array) Hashtbl.t = Hashtbl.create 16
-let builds = ref 0
-let schedule_builds () = !builds
+   {!Bitonic.schedule} including its Atomic-published immutable map —
+   shard domains sort concurrently, so a shared Hashtbl would race.
+   [comparator_count] also goes through the cache, so cost queries no
+   longer rebuild the network either. *)
+module Sizes = Map.Make (Int)
+
+let cache : (int * int) array Sizes.t Atomic.t = Atomic.make Sizes.empty
+let builds = Atomic.make 0
+let schedule_builds () = Atomic.get builds
 
 let schedule n =
   if not (is_pow2 n) then invalid_arg "Oddeven.schedule: length must be a power of two";
-  match Hashtbl.find_opt cache n with
+  match Sizes.find_opt n (Atomic.get cache) with
   | Some s -> s
   | None ->
-      incr builds;
       let s = build_schedule n in
-      Hashtbl.add cache n s;
-      s
+      let rec publish () =
+        let cur = Atomic.get cache in
+        match Sizes.find_opt n cur with
+        | Some winner -> winner
+        | None ->
+            if Atomic.compare_and_set cache cur (Sizes.add n s cur) then begin
+              Atomic.incr builds;
+              s
+            end
+            else publish ()
+      in
+      publish ()
 
 let comparator_count n = Array.length (schedule n)
 

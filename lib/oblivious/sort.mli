@@ -47,7 +47,10 @@ val sort_padded :
     Records the power-of-two padding overhead in the default obs registry
     as the [oblivious.sort.pad_slots] gauge (per region, last call wins)
     and the [oblivious.sort.pad_slots_total] counter, so benches can
-    separate padding cost from algorithmic cost. *)
+    separate padding cost from algorithmic cost.  The registry is safe to
+    hit from concurrent shard domains, but the gauge is last-writer-wins
+    across them — read the atomic counter, not the gauge, when shards
+    run in parallel. *)
 
 val padded_size : int -> int
 (** Host-region size needed by {!sort_padded}. *)

@@ -1,11 +1,16 @@
-type t = { mutable v : int }
+(* Atomic so increments from concurrent shard domains never lose
+   updates; the sum of [incr]s is then deterministic regardless of
+   interleaving. *)
+type t = int Atomic.t
 
-let create () = { v = 0 }
+let create () = Atomic.make 0
 
 let incr ?(by = 1) t =
   if by < 0 then invalid_arg "Counter.incr: negative increment";
-  t.v <- t.v + by
+  ignore (Atomic.fetch_and_add t by)
 
-let set_to t v = if v > t.v then t.v <- v
+let rec set_to t v =
+  let cur = Atomic.get t in
+  if v > cur && not (Atomic.compare_and_set t cur v) then set_to t v
 
-let value t = t.v
+let value t = Atomic.get t

@@ -6,9 +6,16 @@ type instrument =
 type t = {
   table : (string * (string * string) list, instrument) Hashtbl.t;
   histogram_cap : int option;
+  (* Instruments are looked up from shard domains (the oblivious-sort pad
+     metrics fire inside Domains-backend jobs), so every access to the
+     Hashtbl goes through this lock; the instruments themselves are
+     either atomic (Counter), single-word writes (gauges), or documented
+     as needing external synchronization (Histogram). *)
+  lock : Mutex.t;
 }
 
-let create ?histogram_cap () = { table = Hashtbl.create 32; histogram_cap }
+let create ?histogram_cap () =
+  { table = Hashtbl.create 32; histogram_cap; lock = Mutex.create () }
 
 let default = create ()
 
@@ -17,14 +24,19 @@ let kind_name = function
   | I_gauge _ -> "gauge"
   | I_histogram _ -> "histogram"
 
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
 let find t ~labels name make =
   let key = (name, List.sort compare labels) in
-  match Hashtbl.find_opt t.table key with
-  | Some i -> i
-  | None ->
-      let i = make () in
-      Hashtbl.replace t.table key i;
-      i
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some i -> i
+      | None ->
+          let i = make () in
+          Hashtbl.replace t.table key i;
+          i)
 
 let mismatch name want got =
   invalid_arg
@@ -63,22 +75,23 @@ let span ?labels t name f =
       raise e
 
 let snapshot t =
-  Hashtbl.fold
-    (fun (name, labels) i acc ->
-      let value =
-        match i with
-        | I_counter c -> Some (Snapshot.Counter (Counter.value c))
-        | I_gauge r -> Some (Snapshot.Gauge !r)
-        | I_histogram h -> (
-            match Histogram.summary h with
-            | Some s -> Some (Snapshot.Summary s)
-            | None -> None (* empty histograms stay out of snapshots *))
-      in
-      match value with
-      | Some value -> { Snapshot.name; labels; value } :: acc
-      | None -> acc)
-    t.table []
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun (name, labels) i acc ->
+          let value =
+            match i with
+            | I_counter c -> Some (Snapshot.Counter (Counter.value c))
+            | I_gauge r -> Some (Snapshot.Gauge !r)
+            | I_histogram h -> (
+                match Histogram.summary h with
+                | Some s -> Some (Snapshot.Summary s)
+                | None -> None (* empty histograms stay out of snapshots *))
+          in
+          match value with
+          | Some value -> { Snapshot.name; labels; value } :: acc
+          | None -> acc)
+        t.table [])
   |> List.sort (fun a b ->
          compare (a.Snapshot.name, a.Snapshot.labels) (b.Snapshot.name, b.Snapshot.labels))
 
-let clear t = Hashtbl.reset t.table
+let clear t = locked t (fun () -> Hashtbl.reset t.table)

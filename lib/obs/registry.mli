@@ -3,7 +3,15 @@
     Metric identity is (name, sorted labels); asking twice for the same
     identity returns the same underlying instrument, and asking for an
     existing identity with a different kind raises.  {!snapshot} is
-    deterministic — see {!Snapshot}. *)
+    deterministic — see {!Snapshot}.
+
+    Instrument lookup, {!set_gauge}, {!snapshot} and {!clear} are
+    thread-safe (a per-registry mutex guards the table, and {!Counter}
+    is atomic), so hot paths running inside shard domains — the
+    oblivious-sort pad metrics — may hit a shared registry directly.
+    {!Histogram} observations are NOT internally synchronized; callers
+    observing into one histogram from several domains must serialize
+    themselves (the shard {!Metrics} sink does). *)
 
 type t
 

@@ -1,7 +1,10 @@
 (* OCaml >= 5 backend: one Domain per shard job, joined in order.  The
-   job results cross back to the spawning domain by value; shared state
-   is limited to the Mutex-guarded {!Metrics} sink the jobs write
-   through.  Selected by the dune copy rule on %{ocaml_version}. *)
+   job results cross back to the spawning domain by value; the only
+   shared mutable state jobs touch is designed for it — the
+   Mutex-guarded {!Metrics} sink, the Atomic-published schedule caches
+   in {!Ppj_oblivious.Bitonic}/{!Ppj_oblivious.Oddeven}, and the
+   mutex-guarded {!Ppj_obs.Registry} the sort pad metrics hit.
+   Selected by the dune copy rule on %{ocaml_version}. *)
 
 let available = true
 

@@ -50,12 +50,17 @@ let validate config =
     | (Service.Alg4 | Service.Alg6 _), _ -> Ok ()
     | Service.Alg5, Partitioner.Replicate -> Ok ()
     | Service.Alg8 _, Partitioner.Replicate -> Ok ()
-    | (Service.Alg5 | Service.Alg8 _), Partitioner.Hash _ ->
+    | ((Service.Alg5 | Service.Alg8 _) as inner), Partitioner.Hash _ ->
         (* Algorithms 5 and 8 emit result-rank slices: the trace is a
            function of the output size of the data each shard holds,
            which under hash partitioning is the data-dependent s_k no
            padding budget can hide. *)
-        Error "coordinator: hash partitioning cannot keep Algorithm 5 oblivious; use replicate"
+        let name =
+          match inner with Service.Alg5 -> "Algorithm 5" | _ -> "Algorithm 8"
+        in
+        Error
+          (Printf.sprintf
+             "coordinator: hash partitioning cannot keep %s oblivious; use replicate" name)
     | _, _ -> Error "coordinator: inner algorithm must be Alg4, Alg5, Alg6 or Alg8"
 
 (* --- in-process backend --------------------------------------------- *)

@@ -369,6 +369,44 @@ let test_domains_matches_sequential () =
   let expect = if Domains_compat.available then "domains" else "sequential" in
   Alcotest.(check string) "domains backend reported" expect dom.Coordinator.backend
 
+(* Regression for the Domains-backend data races: concurrent first-touch
+   of a schedule size must build it exactly once with every caller
+   handed the same published array (losers of the publish race adopt the
+   winner's build), and registry counters hammered from parallel jobs
+   must not lose increments.  On 4.14 Domains_compat degrades to a
+   sequential map and these become plain memoization/accounting checks. *)
+let test_parallel_schedule_cache () =
+  let module Bitonic = Ppj_oblivious.Bitonic in
+  let module Oddeven = Ppj_oblivious.Oddeven in
+  let check_network name schedule builds n =
+    let before = builds () in
+    let results = Domains_compat.parallel_map (fun () -> schedule n) (Array.make 8 ()) in
+    Alcotest.(check int) (name ^ ": built once") (before + 1) (builds ());
+    Array.iter
+      (fun s -> Alcotest.(check bool) (name ^ ": one shared array") true (s == results.(0)))
+      results
+  in
+  (* 4096 is fresh: nothing else in this binary sorts a region that big. *)
+  check_network "bitonic" Bitonic.schedule Bitonic.schedule_builds 4096;
+  check_network "odd-even" Oddeven.schedule Oddeven.schedule_builds 4096
+
+let test_parallel_registry_counters () =
+  let registry = Registry.create () in
+  let jobs = 8 and per_job = 1000 in
+  let (_ : unit array) =
+    Domains_compat.parallel_map
+      (fun k ->
+        for i = 1 to per_job do
+          Counter.incr (Registry.counter registry "race.counter");
+          Registry.set_gauge
+            ~labels:[ ("job", string_of_int k) ]
+            registry "race.gauge" (float_of_int i)
+        done)
+      (Array.init jobs (fun k -> k))
+  in
+  Alcotest.(check int) "no lost increments" (jobs * per_job)
+    (Counter.value (Registry.counter registry "race.counter"))
+
 let test_local_speedup_accounting () =
   let a, b = workload () in
   match
@@ -697,6 +735,11 @@ let () =
           Alcotest.test_case "shard-unavailable roundtrip" `Quick
             test_shard_unavailable_code_roundtrip;
           Alcotest.test_case "algorithm name" `Quick test_sharded_algorithm_name
+        ] );
+      ( "domains concurrency",
+        [ Alcotest.test_case "schedule cache builds once" `Quick test_parallel_schedule_cache;
+          Alcotest.test_case "registry counters lose nothing" `Quick
+            test_parallel_registry_counters
         ] );
       ("chaos", [ Alcotest.test_case "kill-one-shard soak" `Quick test_chaos_soak ]);
       ( "load",
