@@ -1315,6 +1315,9 @@ let json_file_of path =
   else path
 
 let write_json path ~deterministic ran =
+  (* build.info only: the full stamp's uptime gauge would break
+     [--deterministic] artifact diffing *)
+  Obs.Buildinfo.stamp_build registry;
   let doc =
     Obs.Json.Obj
       [ ("schema", Obs.Json.Str "ppj.bench/1");

@@ -82,6 +82,16 @@ let metrics_arg =
     & info [ "metrics" ]
         ~doc:"Also print the run's metrics snapshot (per-region transfer counters, memory ledger, stats).")
 
+(* Every --metrics export carries the same build/uptime/session gauges,
+   so exports from different verbs line up in one monitoring plane. *)
+let stamped_snapshot ?sessions_active snap =
+  let reg = Ppj_obs.Registry.create () in
+  Ppj_obs.Buildinfo.stamp ?sessions_active reg;
+  Ppj_obs.Snapshot.union (Ppj_obs.Registry.snapshot reg) snap
+
+let print_metrics ?sessions_active snap =
+  Format.printf "@.metrics:@.%a@." Ppj_obs.Snapshot.pp (stamped_snapshot ?sessions_active snap)
+
 let make_instance ?recorder ?faults ~na ~nb ~matches ~mult ~m ~seed () =
   let rng = Rng.create seed in
   let a, b = W.equijoin_pair rng ~na ~nb ~matches ~max_multiplicity:mult in
@@ -172,7 +182,7 @@ let run_cmd =
     if List.length r.Report.results > 20 then Format.printf "  ... (%d total)@," (List.length r.Report.results);
     Format.printf "@]@.";
     if metrics then begin
-      Format.printf "@.metrics:@.%a@." Ppj_obs.Snapshot.pp r.Report.metrics;
+      print_metrics r.Report.metrics;
       match faults with
       | Some inj ->
           Format.printf "@.fault metrics:@.%a@." Ppj_obs.Snapshot.pp
@@ -311,7 +321,7 @@ let parallel_cmd =
     if metrics then begin
       let reg = Ppj_obs.Registry.create () in
       Ppj_parallel.Parallel.observe o reg;
-      Format.printf "@.metrics:@.%a@." Ppj_obs.Snapshot.pp (Ppj_obs.Registry.snapshot reg)
+      print_metrics (Ppj_obs.Registry.snapshot reg)
     end
   in
   Cmd.v (Cmd.info "parallel" ~doc:"Run Algorithm 5 across P simulated coprocessors.")
@@ -387,8 +397,7 @@ let contract_term =
   Term.(const make $ contract_id $ providers $ recipient $ predicate)
 
 let print_client_metrics client =
-  Format.printf "@.metrics:@.%a@." Ppj_obs.Snapshot.pp
-    (Ppj_obs.Registry.snapshot (Net.Client.registry client))
+  print_metrics (Ppj_obs.Registry.snapshot (Net.Client.registry client))
 
 let log_level_arg =
   Arg.(
@@ -426,9 +435,51 @@ let open_store ~registry ~mac_key = function
           Some store
       | Error e -> die "state-dir %s refused: %s" dir (Store.error_message e))
 
+(* Periodic post-mortem telemetry: every [interval] seconds of reactor
+   time, atomically replace [dir]/stats.json with the current scrape, so
+   a kill -9'd server leaves its last-known metrics behind. *)
+let make_stats_tick ~server ~interval = function
+  | None -> None
+  | Some dir ->
+      let last = ref 0. in
+      Some
+        (fun ~now ->
+          if now -. !last >= interval then begin
+            last := now;
+            let _info, snap = Net.Server.scrape server in
+            let tmp = Filename.concat dir "stats.json.tmp" in
+            let path = Filename.concat dir "stats.json" in
+            try
+              Out_channel.with_open_bin tmp (fun oc ->
+                  Out_channel.output_string oc
+                    (Json.to_string (Ppj_obs.Snapshot.to_json snap));
+                  Out_channel.output_char oc '\n');
+              Sys.rename tmp path
+            with Sys_error _ -> ()
+          end)
+
+let health_socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "health-socket" ] ~docv:"PATH"
+        ~doc:
+          "Also listen on $(docv) for readiness/liveness probes: each connection is answered \
+           with one JSON health line and closed — no handshake, no attestation, so an \
+           orchestrator can gate on it without wire credentials.")
+
+let stats_interval_arg =
+  Arg.(
+    value & opt float 5.
+    & info [ "stats-interval" ]
+        ~doc:
+          "Seconds between periodic stats.json snapshots persisted into --state-dir (for \
+           post-mortems after an unclean death).  Ignored without --state-dir.")
+
 let serve_cmd =
   let run socket mac_key seed max_sessions metrics log_level trace_out fault_plan
-      checkpoint_every state_dir max_conns idle_timeout max_queue_bytes backlog =
+      checkpoint_every state_dir max_conns idle_timeout max_queue_bytes backlog health_socket
+      stats_interval =
     let logger =
       match log_level with
       | None -> Ppj_obs.Log.null
@@ -450,13 +501,17 @@ let serve_cmd =
     in
     let reactor = Net.Reactor.create ~limits server in
     Format.printf "ppj serve: listening on %s@." socket;
+    Option.iter (Format.printf "ppj serve: health probe on %s@.") health_socket;
     Format.print_flush ();
-    Net.Reactor.serve_unix reactor ~path:socket ~backlog ?max_sessions ();
+    let tick = make_stats_tick ~server ~interval:stats_interval state_dir in
+    Net.Reactor.serve_unix reactor ~path:socket ?health_path:health_socket ?tick ~backlog
+      ?max_sessions ();
     Format.printf "ppj serve: done after %d session(s)@." (Net.Server.sessions_closed server);
     Option.iter Store.close store;
     write_trace trace_out recorder;
     if metrics then
-      Format.printf "@.metrics:@.%a@." Ppj_obs.Snapshot.pp
+      print_metrics
+        ~sessions_active:(Net.Server.sessions_active server)
         (Ppj_obs.Registry.snapshot (Net.Server.registry server))
   in
   let max_sessions_arg =
@@ -501,7 +556,8 @@ let serve_cmd =
     Term.(
       const run $ socket_arg $ mac_key_arg $ seed_arg $ max_sessions_arg $ metrics_arg
       $ log_level_arg $ trace_out_arg $ fault_plan_arg $ checkpoint_every_arg $ state_dir_arg
-      $ max_conns_arg $ idle_timeout_arg $ max_queue_bytes_arg $ backlog_arg)
+      $ max_conns_arg $ idle_timeout_arg $ max_queue_bytes_arg $ backlog_arg
+      $ health_socket_arg $ stats_interval_arg)
 
 module Shard = Ppj_shard
 
@@ -644,8 +700,7 @@ let fetch_cmd =
         | Error e -> die "%s" e
         | Ok o ->
             if metrics then
-              Format.printf "@.metrics:@.%a@." Ppj_obs.Snapshot.pp
-                (Ppj_obs.Registry.snapshot (Shard.Metrics.registry shard_metrics));
+              print_metrics (Ppj_obs.Registry.snapshot (Shard.Metrics.registry shard_metrics));
             deliver o.Shard.Coordinator.schema o.Shard.Coordinator.tuples)
   in
   let attr_a = Arg.(value & opt string "key" & info [ "attr-a" ] ~doc:"Join attribute of A.") in
@@ -1069,7 +1124,8 @@ let shard_serve_cmd =
      executes [Sharded { k; p; inner }] configs, so the only difference
      from `serve` is intent (and a trimmed flag surface).  Run p of
      these and point `submit --shards` / `fetch --shards` at them. *)
-  let run socket mac_key seed max_sessions checkpoint_every state_dir metrics log_level =
+  let run socket mac_key seed max_sessions checkpoint_every state_dir metrics log_level
+      health_socket stats_interval =
     let logger =
       match log_level with
       | None -> Ppj_obs.Log.null
@@ -1083,13 +1139,17 @@ let shard_serve_cmd =
     let server = Net.Server.create ~registry ~seed ~mac_key ~logger ?checkpoint_every ?store () in
     let reactor = Net.Reactor.create server in
     Format.printf "ppj shard-serve: shard ready on %s@." socket;
+    Option.iter (Format.printf "ppj shard-serve: health probe on %s@.") health_socket;
     Format.print_flush ();
-    Net.Reactor.serve_unix reactor ~path:socket ?max_sessions ();
+    let tick = make_stats_tick ~server ~interval:stats_interval state_dir in
+    Net.Reactor.serve_unix reactor ~path:socket ?health_path:health_socket ?tick
+      ?max_sessions ();
     Format.printf "ppj shard-serve: done after %d session(s)@."
       (Net.Server.sessions_closed server);
     Option.iter Store.close store;
     if metrics then
-      Format.printf "@.metrics:@.%a@." Ppj_obs.Snapshot.pp
+      print_metrics
+        ~sessions_active:(Net.Server.sessions_active server)
         (Ppj_obs.Registry.snapshot (Net.Server.registry server))
   in
   let max_sessions_arg =
@@ -1111,7 +1171,7 @@ let shard_serve_cmd =
              service ready to execute its slice of a sharded join).")
     Term.(
       const run $ socket_arg $ mac_key_arg $ seed_arg $ max_sessions_arg $ checkpoint_every_arg
-      $ state_dir_arg $ metrics_arg $ log_level_arg)
+      $ state_dir_arg $ metrics_arg $ log_level_arg $ health_socket_arg $ stats_interval_arg)
 
 let shardtest_cmd =
   (* The CI smoke: fork p real shard-server processes on Unix sockets,
@@ -1284,12 +1344,235 @@ let trace_check_cmd =
           trace artifacts.")
     Term.(const run $ files_arg $ require_shared_arg $ merged_out_arg)
 
+(* --- telemetry plane: stats / top / health ---------------------------- *)
+
+module Wire = Ppj_net.Wire
+
+let stats_info_to_json ?shard (i : Wire.stats_info) =
+  Json.Obj
+    ((match shard with Some k -> [ ("shard", Json.Int k) ] | None -> [])
+    @ [ ("server_version", Json.Str i.Wire.server_version);
+        ("wire_version", Json.Int i.Wire.wire_version);
+        ("uptime_seconds", Json.Float i.Wire.uptime_seconds);
+        ("sessions_active", Json.Int i.Wire.sessions_active);
+        ("sessions_closed", Json.Int i.Wire.sessions_closed);
+        ("conns_live", Json.Int i.Wire.conns_live);
+        ("queue_bytes", Json.Int i.Wire.queue_bytes);
+        ( "store",
+          match i.Wire.store with
+          | Wire.Store_none -> Json.Null
+          | Wire.Store_open { epoch; sealed } ->
+              Json.Obj [ ("epoch", Json.Int epoch); ("sealed", Json.Bool sealed) ] );
+        ("ready", Json.Bool i.Wire.ready)
+      ])
+
+let stats_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("json", `Json); ("prometheus", `Prometheus); ("pretty", `Pretty) ]) `Json
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:"Output format: json (health + snapshot, machine-readable), prometheus \
+              (exposition text for a scrape endpoint), or pretty.")
+
+let emit_stats format infos snap =
+  match format with
+  | `Json ->
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [ ( "health",
+                  Json.List (List.map (fun (shard, i) -> stats_info_to_json ?shard i) infos) );
+                ("snapshot", Ppj_obs.Snapshot.to_json snap)
+              ]))
+  | `Prometheus -> print_string (Ppj_obs.Snapshot.to_prometheus snap)
+  | `Pretty ->
+      List.iter
+        (fun (shard, i) ->
+          Format.printf "%s%s v%s wire=%d up=%.1fs sessions=%d/%d conns=%d queued=%dB%s@."
+            (match shard with Some k -> Printf.sprintf "shard %d: " k | None -> "")
+            (if i.Wire.ready then "ready" else "degraded")
+            i.Wire.server_version i.Wire.wire_version i.Wire.uptime_seconds
+            i.Wire.sessions_active i.Wire.sessions_closed i.Wire.conns_live i.Wire.queue_bytes
+            (match i.Wire.store with
+            | Wire.Store_none -> ""
+            | Wire.Store_open { epoch; sealed } ->
+                Printf.sprintf " store(epoch=%d%s)" epoch (if sealed then ",sealed" else "")))
+        infos;
+      Format.printf "@.%a@." Ppj_obs.Snapshot.pp snap
+
+let scrape_single ~wait socket =
+  match connect_with_retry ~wait socket with
+  | Error e -> die "%s" e
+  | Ok transport ->
+      let client = Net.Client.create transport in
+      let out = Net.Client.stats client in
+      Net.Client.close client;
+      (match out with Error e -> die "%s" e | Ok v -> v)
+
+let stats_cmd =
+  let run socket shards format wait =
+    match deployment socket shards with
+    | `Single socket ->
+        let info, snap = scrape_single ~wait socket in
+        emit_stats format [ (None, info) ] snap
+    | `Sharded paths -> (
+        let sh = make_shards ~wait paths in
+        match Shard.Coordinator.stats ~shards:sh () with
+        | Error e -> die "%s" e
+        | Ok f ->
+            emit_stats format
+              (List.map (fun (k, i) -> (Some k, i)) f.Shard.Coordinator.shard_infos)
+              f.Shard.Coordinator.fleet_snapshot)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Scrape a running service's live telemetry over the wire (no handshake — stats are \
+          answered in any session phase).  With --shards, scrape every shard server and merge \
+          the snapshots: per-shard series labelled shard=K plus an unlabelled fleet rollup \
+          where counters sum and latency reservoirs merge into fleet-wide p50/p95/p99.")
+    Term.(const run $ socket_opt_arg $ shards_arg $ stats_format_arg $ wait_arg)
+
+let counter_of snap name =
+  match Ppj_obs.Snapshot.find snap name with
+  | Some { Ppj_obs.Snapshot.value = Ppj_obs.Snapshot.Counter c; _ } -> c
+  | _ -> 0
+
+let summary_of snap name =
+  match Ppj_obs.Snapshot.find snap name with
+  | Some { Ppj_obs.Snapshot.value = Ppj_obs.Snapshot.Summary s; _ } -> Some s
+  | _ -> None
+
+let top_cmd =
+  let run socket interval iterations wait =
+    match connect_with_retry ~wait socket with
+    | Error e -> die "%s" e
+    | Ok transport ->
+        let client = Net.Client.create transport in
+        let prev = ref None in
+        let header () =
+          Format.printf "%8s %8s %9s %8s %8s %8s  %s@." "UP" "JOINS" "JOINS/S" "SHED" "EVICT"
+            "SESS" "JOIN LATENCY p50/p95/p99"
+        in
+        let once () =
+          match Net.Client.stats client with
+          | Error e -> die "%s" e
+          | Ok (info, snap) ->
+              let joins = counter_of snap "net.server.joins.executed" in
+              let shed =
+                counter_of snap "net.server.admission.shed"
+                + counter_of snap "net.server.overload.shed"
+                + counter_of snap "net.server.store.shed"
+              in
+              let evicted =
+                counter_of snap "net.server.evicted.idle"
+                + counter_of snap "net.server.evicted.malformed"
+              in
+              let now = Unix.gettimeofday () in
+              let rate =
+                match !prev with
+                | Some (t0, j0) when now > t0 -> float_of_int (joins - j0) /. (now -. t0)
+                | _ -> 0.
+              in
+              prev := Some (now, joins);
+              let lat =
+                match summary_of snap "net.server.join.seconds" with
+                | None -> "-"
+                | Some s ->
+                    Printf.sprintf "%.1f/%.1f/%.1f ms"
+                      (1000. *. s.Ppj_obs.Histogram.p50)
+                      (1000. *. s.Ppj_obs.Histogram.p95)
+                      (1000. *. s.Ppj_obs.Histogram.p99)
+              in
+              Format.printf "%7.1fs %8d %9.2f %8d %8d %8d  %s@." info.Wire.uptime_seconds
+                joins rate shed evicted info.Wire.sessions_active lat;
+              Format.print_flush ()
+        in
+        header ();
+        let rec loop i =
+          once ();
+          if iterations = 0 || i + 1 < iterations then begin
+            Unix.sleepf interval;
+            loop (i + 1)
+          end
+        in
+        loop 0;
+        Net.Client.close client
+  in
+  let interval_arg =
+    Arg.(value & opt float 2. & info [ "interval" ] ~doc:"Seconds between refreshes.")
+  in
+  let iterations_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "iterations" ] ~doc:"Stop after this many refreshes (0 = run until killed).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Periodically scrape a running service and print one line per refresh: uptime, join \
+          throughput, shed/eviction counters and join latency quantiles.")
+    Term.(const run $ socket_arg $ interval_arg $ iterations_arg $ wait_arg)
+
+let health_cmd =
+  let run socket wait =
+    let deadline = Unix.gettimeofday () +. wait in
+    let rec dial () =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX socket) with
+      | () -> fd
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          if Unix.gettimeofday () < deadline then begin
+            Unix.sleepf 0.1;
+            dial ()
+          end
+          else die "health: %s: %s" socket (Unix.error_message e)
+    in
+    let fd = dial () in
+    let buf = Buffer.create 256 in
+    let b = Bytes.create 4096 in
+    let rec drain () =
+      match Unix.read fd b 0 4096 with
+      | 0 -> ()
+      | n ->
+          Buffer.add_subbytes buf b 0 n;
+          drain ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+    in
+    drain ();
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    let body = String.trim (Buffer.contents buf) in
+    print_endline body;
+    match Json.of_string body with
+    | Error e -> die "health: undecodable reply: %s" e
+    | Ok j -> (
+        match Json.member "status" j with
+        | Some (Json.Str "ready") -> ()
+        | Some (Json.Str _) -> exit 1
+        | _ -> die "health: reply carries no status field")
+  in
+  let socket_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Health socket path (what serve --health-socket listens on).")
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Probe a service's health socket and print its one-line JSON health document.  Exits \
+          0 when status is ready, 1 otherwise — suitable as a container readiness command.")
+    Term.(const run $ socket_arg $ wait_arg)
+
 let () =
   let doc = "privacy preserving joins on (simulated) secure coprocessors" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "ppj" ~version:"0.2.0" ~doc)
+       (Cmd.group (Cmd.info "ppj" ~version:Ppj_obs.Buildinfo.semver ~doc)
           [ run_cmd; trace_cmd; privacy_cmd; cost_cmd; nstar_cmd; parallel_cmd; csv_join_cmd;
             serve_cmd; submit_cmd; fetch_cmd; gen_cmd; chaos_cmd; loadtest_cmd;
             store_check_cmd; restart_chaos_cmd;
-            shard_serve_cmd; shardtest_cmd; trace_check_cmd ]))
+            shard_serve_cmd; shardtest_cmd; trace_check_cmd;
+            stats_cmd; top_cmd; health_cmd ]))

@@ -74,6 +74,92 @@ let compare_sharded runs =
               detail = Printf.sprintf "shard %d (offset %d): %s" shard offset detail;
             })
 
+(* --- telemetry exports ------------------------------------------------ *)
+
+module Snapshot = Ppj_obs.Snapshot
+module Histogram = Ppj_obs.Histogram
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Wall-clock metrics legitimately differ between two runs of the same
+   shape; everything else a scrape exports must be a function of input
+   shape alone. *)
+let timing_metric name = contains name "seconds" || contains name "uptime"
+
+let default_value_sensitive name = not (timing_metric name)
+
+let metric_id (m : Snapshot.metric) =
+  m.Snapshot.name
+  ^ String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf "{%s=%s}" k v) m.Snapshot.labels)
+
+let value_diff sensitive a b =
+  match (a, b) with
+  | Snapshot.Counter x, Snapshot.Counter y ->
+      if sensitive && x <> y then Some (Printf.sprintf "counter %d vs %d" x y) else None
+  | Snapshot.Gauge x, Snapshot.Gauge y ->
+      if sensitive && x <> y then Some (Printf.sprintf "gauge %g vs %g" x y) else None
+  | Snapshot.Summary sa, Snapshot.Summary sb ->
+      (* The observation count is shape-derived even for timing
+         histograms (how many joins ran, how many spans opened); the
+         observed values themselves are wall-clock unless the metric is
+         value-sensitive. *)
+      if sa.Histogram.count <> sb.Histogram.count then
+        Some
+          (Printf.sprintf "observation count %d vs %d" sa.Histogram.count
+             sb.Histogram.count)
+      else if
+        sensitive
+        && (sa.Histogram.sum <> sb.Histogram.sum
+           || sa.Histogram.min <> sb.Histogram.min
+           || sa.Histogram.max <> sb.Histogram.max)
+      then Some "summary values differ"
+      else None
+  | _, _ -> Some "metric kind differs"
+
+let compare_exports ?(value_sensitive = default_value_sensitive) snaps =
+  let arr = Array.of_list snaps in
+  let n = Array.length arr in
+  let verdict = ref Indistinguishable in
+  let fail i j position detail =
+    verdict := Distinguishable { pair = (i, j); position; detail };
+    raise Exit
+  in
+  (try
+     for i = 0 to n - 2 do
+       for j = i + 1 to n - 1 do
+         (* Snapshots are sorted by (name, labels), so a structural
+            mismatch shows up as the first position where the two lists
+            disagree on metric identity. *)
+         let rec walk pos a b =
+           match (a, b) with
+           | [], [] -> ()
+           | m :: _, [] ->
+               fail i j pos (Printf.sprintf "metric %s only in export %d" (metric_id m) i)
+           | [], m :: _ ->
+               fail i j pos (Printf.sprintf "metric %s only in export %d" (metric_id m) j)
+           | ma :: ta, mb :: tb ->
+               let ida = metric_id ma and idb = metric_id mb in
+               if ida <> idb then
+                 fail i j pos (Printf.sprintf "metric sets differ: %s vs %s" ida idb)
+               else (
+                 (match
+                    value_diff (value_sensitive ma.Snapshot.name) ma.Snapshot.value
+                      mb.Snapshot.value
+                  with
+                 | Some d -> fail i j pos (Printf.sprintf "%s: %s" ida d)
+                 | None -> ());
+                 walk (pos + 1) ta tb)
+         in
+         walk 0 arr.(i) arr.(j)
+       done
+     done
+   with Exit -> ());
+  !verdict
+
 let pp_verdict ppf = function
   | Indistinguishable -> Format.fprintf ppf "indistinguishable"
   | Distinguishable { pair = i, j; position; detail } ->

@@ -230,6 +230,18 @@ let attest t =
   | Ok m -> unexpected "attest" m
   | Error _ as e -> e
 
+let stats t =
+  match rpc t ~name:"stats" ~idempotent:true Wire.Stats_request with
+  | Ok (Wire.Stats_reply { info; snapshot }) -> (
+      match Ppj_obs.Json.of_string snapshot with
+      | Error e -> Error (Printf.sprintf "stats: undecodable snapshot JSON: %s" e)
+      | Ok json -> (
+          match Ppj_obs.Snapshot.of_json json with
+          | Error e -> Error (Printf.sprintf "stats: %s" e)
+          | Ok snap -> Ok (info, snap)))
+  | Ok m -> unexpected "stats" m
+  | Error _ as e -> e
+
 let handshake t ~rng ~id ~mac_key =
   let hello, exponent = Channel.Handshake.hello rng ~id ~mac_key in
   match rpc t ~name:"handshake" ~idempotent:false (Wire.Hello hello) with

@@ -66,6 +66,12 @@ val attest : t -> (unit, string) result
     {!Service.attested_layers} — refuse to talk to an unattested
     service. *)
 
+val stats : t -> (Wire.stats_info * Ppj_obs.Snapshot.t, string) result
+(** One telemetry scrape: send [Stats_request] (idempotent, retried),
+    decode the reply's snapshot JSON.  Works in any session phase —
+    before {!attest}, mid-upload, after a join — because the server
+    answers it outside the session lifecycle. *)
+
 val handshake :
   t -> rng:Ppj_crypto.Rng.t -> id:string -> mac_key:string -> (unit, string) result
 

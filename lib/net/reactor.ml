@@ -42,7 +42,16 @@ type t = {
 }
 
 let create ?(limits = default_limits) server =
-  { server; limits; conns = Hashtbl.create 64; live = 0; next_id = 0 }
+  let t = { server; limits; conns = Hashtbl.create 64; live = 0; next_id = 0 } in
+  (* Queue depths are scrape-time state, not hot-path state: refresh the
+     gauges only when a stats snapshot asks for them. *)
+  Server.add_prescrape server (fun () ->
+      let queued = Hashtbl.fold (fun _ c acc -> acc + c.queued_bytes - c.out_off) t.conns 0 in
+      Registry.set_gauge (Server.registry server) "net.server.conns.live"
+        (float_of_int t.live);
+      Registry.set_gauge (Server.registry server) "net.server.queue.bytes"
+        (float_of_int queued));
+  t
 
 let server t = t.server
 
@@ -205,8 +214,8 @@ let sweep t ~now =
 
 (* --- Unix-domain-socket serve loop ---------------------------------- *)
 
-let serve_unix t ~path ?poller ?(poll_interval = 0.05) ?(backlog = 1024) ?max_sessions
-    ?(stop = fun () -> false) () =
+let serve_unix t ~path ?health_path ?tick ?poller ?(poll_interval = 0.05) ?(backlog = 1024)
+    ?max_sessions ?(stop = fun () -> false) () =
   let poller = match poller with Some p -> p | None -> Poller.create () in
   (* A client that vanishes mid-reply turns our next write into SIGPIPE,
      which kills the whole process by default; ignore it so the write
@@ -217,6 +226,31 @@ let serve_unix t ~path ?poller ?(poll_interval = 0.05) ?(backlog = 1024) ?max_se
   in
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* The health probe listens on its own socket and speaks no frames:
+     accept, write one JSON line, close.  It is answered straight from
+     the reactor loop before any attestation happens on the main socket,
+     so an orchestrator can gate readiness without wire credentials. *)
+  let hfd =
+    match health_path with
+    | None -> None
+    | Some hp ->
+        (try Unix.unlink hp with Unix.Unix_error _ -> ());
+        Some (hp, Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0)
+  in
+  let serve_health fd =
+    let rec accept_all () =
+      match Unix.accept fd with
+      | cfd, _ ->
+          let body = Server.health_json t.server ^ "\n" in
+          (try ignore (Unix.write_substring cfd body 0 (String.length body))
+           with Unix.Unix_error _ -> ());
+          (try Unix.close cfd with Unix.Unix_error _ -> ());
+          accept_all ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+      | exception Unix.Unix_error _ -> ()
+    in
+    accept_all ()
+  in
   let fds : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 64 in
   let of_conn : (int, Unix.file_descr) Hashtbl.t = Hashtbl.create 64 in
   let drop conn =
@@ -259,6 +293,11 @@ let serve_unix t ~path ?poller ?(poll_interval = 0.05) ?(backlog = 1024) ?max_se
       Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) fds;
       (try Unix.close lfd with Unix.Unix_error _ -> ());
       (try Unix.unlink path with Unix.Unix_error _ -> ());
+      (match hfd with
+      | Some (hp, fd) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          (try Unix.unlink hp with Unix.Unix_error _ -> ())
+      | None -> ());
       match sigpipe_prev with
       | Some prev -> ( try Sys.set_signal Sys.sigpipe prev with Invalid_argument _ -> ())
       | None -> ())
@@ -266,10 +305,19 @@ let serve_unix t ~path ?poller ?(poll_interval = 0.05) ?(backlog = 1024) ?max_se
       Unix.bind lfd (Unix.ADDR_UNIX path);
       Unix.listen lfd backlog;
       Unix.set_nonblock lfd;
+      (match hfd with
+      | Some (hp, fd) ->
+          Unix.bind fd (Unix.ADDR_UNIX hp);
+          Unix.listen fd backlog;
+          Unix.set_nonblock fd
+      | None -> ());
+      let listeners =
+        lfd :: (match hfd with Some (_, fd) -> [ fd ] | None -> [])
+      in
       let buf = Bytes.create 65536 in
       while not (stop ()) && not (finished_serving ()) do
         let read =
-          Hashtbl.fold (fun fd c acc -> if wants_read c then fd :: acc else acc) fds [ lfd ]
+          Hashtbl.fold (fun fd c acc -> if wants_read c then fd :: acc else acc) fds listeners
         in
         let write =
           Hashtbl.fold (fun fd c acc -> if wants_write c then fd :: acc else acc) fds []
@@ -282,9 +330,11 @@ let serve_unix t ~path ?poller ?(poll_interval = 0.05) ?(backlog = 1024) ?max_se
             | None -> ()
             | Some conn -> after_flush conn (flush_conn fd conn))
           writable;
+        (match tick with Some f -> f ~now | None -> ());
         List.iter
           (fun fd ->
-            if fd == lfd then begin
+            if (match hfd with Some (_, h) -> fd == h | None -> false) then serve_health fd
+            else if fd == lfd then begin
               (* Drain the accept queue: under a connect storm one accept
                  per readiness event would admit clients at the poll
                  rate, not the loop rate. *)

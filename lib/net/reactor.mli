@@ -99,6 +99,8 @@ val sweep : t -> now:float -> conn list
 val serve_unix :
   t ->
   path:string ->
+  ?health_path:string ->
+  ?tick:(now:float -> unit) ->
   ?poller:Poller.t ->
   ?poll_interval:float ->
   ?backlog:int ->
@@ -113,6 +115,14 @@ val serve_unix :
     storm is admitted as fast as the loop turns.  Returns when [stop ()]
     becomes true or, with [max_sessions], once that many admitted
     sessions have closed; the socket file is removed on exit.
+
+    [health_path] binds a second Unix socket serving the readiness /
+    liveness probe: each accepted connection is written one line of
+    {!Server.health_json} and closed immediately — no frames, no
+    handshake, answered before any attestation, so an orchestrator can
+    gate on it without wire credentials.  [tick] is invoked once per
+    loop iteration with the loop's clock; the CLI uses it to persist
+    periodic telemetry snapshots into the state directory.
 
     [poller] defaults to the [poll(2)] backend, which is what lets one
     process hold thousands of connections — [select]'s FD_SETSIZE cap

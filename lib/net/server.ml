@@ -67,6 +67,11 @@ type t = {
   checkpoint_every : int option;
   store : Store.t option;
   mutable sessions_closed : int;
+  mutable sessions_open : int;
+  mutable prescrape : (unit -> unit) list;
+      (* run before every stats snapshot; the reactor registers a hook
+         here to refresh its queue-depth gauges without the server
+         depending on it *)
 }
 
 let counter ?labels t name = Ppj_obs.Counter.incr (Registry.counter ?labels t.registry name)
@@ -114,6 +119,8 @@ let create ?registry ?recorder ?(logger = Log.null) ?(seed = 7) ?(replay_capacit
       checkpoint_every;
       store;
       sessions_closed = 0;
+      sessions_open = 0;
+      prescrape = [];
     }
   in
   (match store with Some s -> replay_store t s | None -> ());
@@ -128,7 +135,12 @@ let with_span t name f =
 
 let sessions_closed t = t.sessions_closed
 
+let sessions_active t = t.sessions_open
+
+let add_prescrape t f = t.prescrape <- f :: t.prescrape
+
 let open_session t =
+  t.sessions_open <- t.sessions_open + 1;
   counter t "net.server.sessions.opened";
   Log.debug t.log "session opened";
   { phase = Expect_attest;
@@ -141,6 +153,7 @@ let open_session t =
   }
 
 let close_session t session =
+  t.sessions_open <- Stdlib.max 0 (t.sessions_open - 1);
   t.sessions_closed <- t.sessions_closed + 1;
   Log.debug t.log "session closed" ~kv:[ ("peer", session.peer_id) ];
   counter t "net.server.sessions.closed"
@@ -467,7 +480,19 @@ let on_execute t session sealed_config =
                               ?checkpoint_every:t.checkpoint_every ?on_checkpoint ?nvram_init
                               ?recorder:t.recorder config ~predicate rels
                           in
+                          (* A shard server labels the oblivious layer's
+                             ambient metrics (sort pad gauges) with its
+                             slice index, so a federated scrape can tell
+                             the shards apart even when several slices
+                             run in one process. *)
+                          let in_shard_scope f =
+                            match config.Service.algorithm with
+                            | Service.Sharded { k; _ } ->
+                                Ppj_obs.Ambient.with_labels [ ("shard", string_of_int k) ] f
+                            | _ -> f ()
+                          in
                           match
+                            in_shard_scope (fun () ->
                             Registry.span t.registry "net.server.join.seconds" (fun () ->
                                 with_span t "execute" (fun () ->
                                     let inst, report =
@@ -556,7 +581,7 @@ let on_execute t session sealed_config =
                                       sealed_body;
                                       transfers = report.Report.transfers;
                                       config_digest;
-                                    }))
+                                    })))
                           with
                           | result ->
                               session.crashed <- None;
@@ -595,6 +620,79 @@ let on_execute t session sealed_config =
                                     ];
                               err Wire.Internal "join failed: %s" (Printexc.to_string e))))))
 
+(* --- telemetry scrape ------------------------------------------------- *)
+
+let int_gauge snap name =
+  match Ppj_obs.Snapshot.find snap name with
+  | Some { Ppj_obs.Snapshot.value = Ppj_obs.Snapshot.Gauge v; _ } -> int_of_float v
+  | _ -> 0
+
+(* The server's registry plus the process-wide default one: the
+   oblivious layer's pad metrics report to the latter (they run below
+   any notion of a server), and a scrape should surface both.  On an
+   identity collision the server's own registry wins. *)
+let scrape t =
+  List.iter (fun f -> f ()) t.prescrape;
+  Ppj_obs.Buildinfo.stamp ~sessions_active:t.sessions_open t.registry;
+  (match t.store with
+  | Some s ->
+      Registry.set_gauge t.registry "store.sealed" (if Store.is_sealed s then 1. else 0.);
+      Registry.set_gauge t.registry "store.epoch" (float_of_int (Store.epoch s))
+  | None -> ());
+  let snap =
+    Ppj_obs.Snapshot.union (Registry.snapshot Registry.default) (Registry.snapshot t.registry)
+  in
+  let store_status =
+    match t.store with
+    | None -> Wire.Store_none
+    | Some s -> Wire.Store_open { epoch = Store.epoch s; sealed = Store.is_sealed s }
+  in
+  let ready =
+    match t.store with Some s -> not (Store.is_sealed s) | None -> true
+  in
+  ( { Wire.server_version = Ppj_obs.Buildinfo.semver;
+      wire_version = Wire.version;
+      uptime_seconds = Ppj_obs.Buildinfo.uptime ();
+      sessions_active = t.sessions_open;
+      sessions_closed = t.sessions_closed;
+      conns_live = int_gauge snap "net.server.conns.live";
+      queue_bytes = int_gauge snap "net.server.queue.bytes";
+      store = store_status;
+      ready;
+    },
+    snap )
+
+(* Answered in ANY phase — a scrape is admin traffic outside the join
+   lifecycle: no attestation, no handshake, no session state touched.
+   The reply carries only aggregate shape-public telemetry (see
+   Privacy.compare_exports), so serving it unauthenticated leaks
+   nothing the adversary's wire view does not already contain. *)
+let on_stats t =
+  counter t "net.server.stats.scrapes";
+  let info, snap = scrape t in
+  [ Wire.Stats_reply
+      { info; snapshot = Ppj_obs.Json.to_string (Ppj_obs.Snapshot.to_json snap) }
+  ]
+
+let health_json t =
+  let info, _ = scrape t in
+  let status = if info.Wire.ready then "ready" else "degraded" in
+  let store =
+    match info.Wire.store with
+    | Wire.Store_none -> "none"
+    | Wire.Store_open { sealed = true; _ } -> "sealed"
+    | Wire.Store_open _ -> "ok"
+  in
+  Ppj_obs.Json.to_string
+    (Ppj_obs.Json.Obj
+       [ ("status", Ppj_obs.Json.Str status);
+         ("version", Ppj_obs.Json.Str info.Wire.server_version);
+         ("wire_version", Ppj_obs.Json.Int info.Wire.wire_version);
+         ("uptime_seconds", Ppj_obs.Json.Float info.Wire.uptime_seconds);
+         ("sessions_active", Ppj_obs.Json.Int info.Wire.sessions_active);
+         ("store", Ppj_obs.Json.Str store)
+       ])
+
 let on_fetch t session =
   established session (fun _party ->
       match session.result with
@@ -617,8 +715,9 @@ let handle t session msg =
   | Wire.Upload_done -> on_upload_done t session
   | Wire.Execute { sealed_config } -> on_execute t session sealed_config
   | Wire.Fetch -> on_fetch t session
+  | Wire.Stats_request -> on_stats t
   | Wire.Attest_chain _ | Wire.Hello_reply _ | Wire.Contract_ok | Wire.Upload_ok
-  | Wire.Execute_ok _ | Wire.Result _ | Wire.Error _ ->
+  | Wire.Execute_ok _ | Wire.Result _ | Wire.Error _ | Wire.Stats_reply _ ->
       err Wire.Bad_state "client-bound message sent to server"
 
 let handle_frame t session frame =

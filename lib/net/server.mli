@@ -75,6 +75,28 @@ val recorder : t -> Ppj_obs.Recorder.t option
 
 val sessions_closed : t -> int
 
+val sessions_active : t -> int
+(** Sessions opened and not yet closed. *)
+
+val add_prescrape : t -> (unit -> unit) -> unit
+(** Register a hook run before every telemetry scrape ({!scrape}); the
+    reactor uses this to refresh its connection/queue-depth gauges
+    without the server depending on it. *)
+
+val scrape : t -> Wire.stats_info * Ppj_obs.Snapshot.t
+(** One telemetry scrape: run the prescrape hooks, stamp the
+    build/uptime/session gauges and (when durable) the [store.*] health
+    gauges, and return the health fields plus the metric snapshot — the
+    server's registry unioned with {!Ppj_obs.Registry.default}, where
+    the oblivious layer's ambient pad metrics report.  This is what a
+    wire [Stats_request] is answered from, in {e any} session phase. *)
+
+val health_json : t -> string
+(** One-line JSON health document ([status]/[version]/[uptime_seconds]/
+    [sessions_active]/[store]) for the reactor's pre-attestation health
+    probe socket.  [status] is ["ready"] unless the durable store sealed
+    itself read-only (["degraded"]). *)
+
 type session
 
 val open_session : t -> session

@@ -4,8 +4,10 @@ module Schema = Ppj_relation.Schema
 module Service = Ppj_core.Service
 
 (* v3 added the optional trace context on [Attest_request]; the decoder
-   still accepts the bare v2 payload (version only, no context). *)
-let version = 3
+   still accepts the bare v2 payload (version only, no context).  v4
+   added the [Stats_request]/[Stats_reply] admin exchange (tags 16/17);
+   every older payload decodes unchanged. *)
+let version = 4
 
 (* --- primitive writers/readers ------------------------------------- *)
 (* Integers are big-endian; [str] is a u32 length prefix plus the raw
@@ -281,6 +283,22 @@ let error_code_of_int = function
   | 9 -> Shard_unavailable
   | _ -> Internal
 
+(* Durable-state health as seen by a scrape: no store configured, or a
+   store at some epoch that may have sealed itself read-only. *)
+type store_status = Store_none | Store_open of { epoch : int; sealed : bool }
+
+type stats_info = {
+  server_version : string;
+  wire_version : int;
+  uptime_seconds : float;
+  sessions_active : int;
+  sessions_closed : int;
+  conns_live : int;
+  queue_bytes : int;
+  store : store_status;
+  ready : bool;
+}
+
 type msg =
   | Attest_request of { version : int; ctx : Ppj_obs.Trace_ctx.t option }
   | Attest_chain of Attestation.certificate list
@@ -297,6 +315,8 @@ type msg =
   | Fetch
   | Result of { sealed_schema : string; sealed_body : string }
   | Error of { code : error_code; message : string }
+  | Stats_request
+  | Stats_reply of { info : stats_info; snapshot : string }
 
 let tag_of = function
   | Attest_request _ -> 1
@@ -314,6 +334,8 @@ let tag_of = function
   | Fetch -> 13
   | Result _ -> 14
   | Error _ -> 15
+  | Stats_request -> 16
+  | Stats_reply _ -> 17
 
 let tag_name = function
   | 1 -> "attest-request"
@@ -331,6 +353,8 @@ let tag_name = function
   | 13 -> "fetch"
   | 14 -> "result"
   | 15 -> "error"
+  | 16 -> "stats-request"
+  | 17 -> "stats-reply"
   | t -> Printf.sprintf "tag-%d" t
 
 let to_frame ?(seq = 0) msg =
@@ -385,6 +409,24 @@ let to_frame ?(seq = 0) msg =
         encode (fun b ->
             W.u8 b (error_code_to_int code);
             W.str b message)
+    | Stats_request -> ""
+    | Stats_reply { info; snapshot } ->
+        encode (fun b ->
+            W.str b info.server_version;
+            W.u16 b info.wire_version;
+            W.f64 b info.uptime_seconds;
+            W.vint b info.sessions_active;
+            W.vint b info.sessions_closed;
+            W.vint b info.conns_live;
+            W.vint b info.queue_bytes;
+            (match info.store with
+            | Store_none -> W.u8 b 0
+            | Store_open { epoch; sealed } ->
+                W.u8 b 1;
+                W.vint b epoch;
+                W.u8 b (if sealed then 1 else 0));
+            W.u8 b (if info.ready then 1 else 0);
+            W.str b snapshot)
   in
   { Frame.tag = tag_of msg; seq; payload }
 
@@ -455,6 +497,41 @@ let of_frame { Frame.tag; payload; _ } =
           let code = error_code_of_int (R.u8 r) in
           let message = R.str r in
           Error { code; message })
+  | 16 -> dec (fun _ -> Stats_request)
+  | 17 ->
+      dec (fun r ->
+          let server_version = R.str r in
+          let wire_version = R.u16 r in
+          let uptime_seconds = R.f64 r in
+          let sessions_active = R.vint r in
+          let sessions_closed = R.vint r in
+          let conns_live = R.vint r in
+          let queue_bytes = R.vint r in
+          let store =
+            match R.u8 r with
+            | 0 -> Store_none
+            | 1 ->
+                let epoch = R.vint r in
+                let sealed = R.u8 r = 1 in
+                Store_open { epoch; sealed }
+            | k -> R.fail "bad store-status flag %d" k
+          in
+          let ready = R.u8 r = 1 in
+          let snapshot = R.str r in
+          Stats_reply
+            { info =
+                { server_version;
+                  wire_version;
+                  uptime_seconds;
+                  sessions_active;
+                  sessions_closed;
+                  conns_live;
+                  queue_bytes;
+                  store;
+                  ready;
+                };
+              snapshot;
+            })
   | t -> Result.Error (Printf.sprintf "unknown message tag %d" t)
 
 let pp ppf msg =

@@ -41,6 +41,29 @@ type error_code =
 
 val error_code_to_string : error_code -> string
 
+type store_status =
+  | Store_none  (** the server runs without a durable store *)
+  | Store_open of { epoch : int; sealed : bool }
+      (** durable store at compaction generation [epoch]; [sealed] once
+          it went read-only (ENOSPC / short write) and state-changing
+          requests are being shed *)
+
+type stats_info = {
+  server_version : string;
+  wire_version : int;
+  uptime_seconds : float;
+  sessions_active : int;  (** sessions opened and not yet closed *)
+  sessions_closed : int;
+  conns_live : int;  (** reactor connections currently registered *)
+  queue_bytes : int;  (** bytes sitting in reactor outbound queues *)
+  store : store_status;
+  ready : bool;
+      (** liveness+readiness in one bit: accepting frames and (if a
+          store is configured) not sealed read-only *)
+}
+(** Health fields of a [Stats_reply], separate from the metric snapshot
+    so probes can gate on them without parsing JSON. *)
+
 type msg =
   | Attest_request of { version : int; ctx : Ppj_obs.Trace_ctx.t option }
       (** [ctx] (v3) lets the client stamp its flight-recorder trace
@@ -61,6 +84,14 @@ type msg =
   | Fetch
   | Result of { sealed_schema : string; sealed_body : string }
   | Error of { code : error_code; message : string }
+  | Stats_request
+      (** (v4) admin scrape: answered in {e any} session phase, before
+          attestation, outside the join lifecycle — a scrape never
+          blocks or perturbs a join and needs no handshake, because the
+          reply carries only aggregate shape-public telemetry *)
+  | Stats_reply of { info : stats_info; snapshot : string }
+      (** [snapshot] is the server's registry rendered as canonical
+          snapshot JSON (schema [ppj.obs/1]) *)
 
 val to_frame : ?seq:int -> msg -> Frame.t
 (** [seq] (default 0) stamps the frame's sequence number: requests carry

@@ -44,10 +44,12 @@ let sort_padded ?(network = Bitonic) co region ~n ~width ~compare =
   (* Padding to the next power of two is pure network overhead — up to
      [n - 2] extra slots just past a power of two.  Surface it so the
      bench harness attributes the cost to the padding, not the
-     algorithm: a per-region gauge (last call wins) plus a cumulative
-     counter across the whole run. *)
+     algorithm: a per-region gauge (last call wins within one label set)
+     plus a cumulative counter across the whole run.  Ambient labels —
+     the shard number under a sharded execution — split the gauge into
+     per-shard series instead of a last-writer-wins global. *)
   Ppj_obs.Registry.set_gauge
-    ~labels:[ ("region", Trace.region_name region) ]
+    ~labels:(("region", Trace.region_name region) :: Ppj_obs.Ambient.labels ())
     Ppj_obs.Registry.default "oblivious.sort.pad_slots"
     (float_of_int (p - n));
   Ppj_obs.Counter.incr ~by:(p - n)

@@ -45,12 +45,13 @@ val sort_padded :
     power of two must exist in the region and are (re)written as
     sentinels first.  After the call the first [n] slots are sorted.
     Records the power-of-two padding overhead in the default obs registry
-    as the [oblivious.sort.pad_slots] gauge (per region, last call wins)
-    and the [oblivious.sort.pad_slots_total] counter, so benches can
-    separate padding cost from algorithmic cost.  The registry is safe to
-    hit from concurrent shard domains, but the gauge is last-writer-wins
-    across them — read the atomic counter, not the gauge, when shards
-    run in parallel. *)
+    as the [oblivious.sort.pad_slots] gauge (per region, last call wins
+    within a label set) and the [oblivious.sort.pad_slots_total] counter,
+    so benches can separate padding cost from algorithmic cost.  The
+    gauge's labels extend with whatever {!Ppj_obs.Ambient.labels} is in
+    scope: a sharded execution runs under [shard="k"], so concurrent
+    shard domains write disjoint per-shard series rather than racing one
+    last-writer-wins global. *)
 
 val padded_size : int -> int
 (** Host-region size needed by {!sort_padded}. *)

@@ -1,0 +1,6 @@
+let labels () = Ambient_compat.get ()
+
+let with_labels extra f =
+  let prev = Ambient_compat.get () in
+  Ambient_compat.set (extra @ prev);
+  Fun.protect ~finally:(fun () -> Ambient_compat.set prev) f

@@ -1,0 +1,16 @@
+(** Dynamically-scoped metric labels.
+
+    Instrumentation deep inside a shared code path (the oblivious sort's
+    padding gauges) cannot thread a shard id down through every caller;
+    instead the coordinator wraps each shard job in {!with_labels} and
+    the instrumentation appends {!labels} to its own.  Storage is
+    per-Domain on OCaml >= 5 (domain-local storage), a plain cell on
+    4.x where shard jobs are sequential — either way concurrent shard
+    jobs never see each other's labels. *)
+
+val labels : unit -> (string * string) list
+(** The ambient labels of the current domain, innermost first. *)
+
+val with_labels : (string * string) list -> (unit -> 'a) -> 'a
+(** Run the thunk with [extra] prepended to the ambient labels; the
+    previous labels are restored on exit, raising or not. *)

@@ -1,0 +1,17 @@
+(* One version string for the whole tree: the CLI banner, the wire
+   stats reply, and the build.info gauge all read it from here. *)
+let semver = "0.3.0"
+
+let started = Unix.gettimeofday ()
+
+let uptime () = Unix.gettimeofday () -. started
+
+let stamp_build registry =
+  Registry.set_gauge
+    ~labels:[ ("ocaml", Sys.ocaml_version); ("version", semver) ]
+    registry "build.info" 1.
+
+let stamp ?(sessions_active = 0) registry =
+  stamp_build registry;
+  Registry.set_gauge registry "server.uptime_seconds" (uptime ());
+  Registry.set_gauge registry "server.sessions.active" (float_of_int sessions_active)

@@ -1,0 +1,24 @@
+(** Build identity and process-lifetime gauges.
+
+    Every surface that exports a {!Registry} snapshot — CLI verbs with
+    [--metrics], the wire stats reply, bench JSON — stamps the same
+    trio before snapshotting, so scrapes from any process carry
+    comparable identity and liveness fields. *)
+
+val semver : string
+(** The release version string shown by [ppj --version]. *)
+
+val started : float
+(** Process start (the moment this module was initialised). *)
+
+val uptime : unit -> float
+(** Seconds since {!started}. *)
+
+val stamp : ?sessions_active:int -> Registry.t -> unit
+(** Set the [build.info] gauge (value 1, labelled with [version] and
+    [ocaml]), [server.uptime_seconds], and [server.sessions.active]
+    ([0] for pure-client processes). *)
+
+val stamp_build : Registry.t -> unit
+(** Just the [build.info] gauge — for deterministic artifacts (bench
+    JSON) where a wall-clock uptime would break diffability. *)

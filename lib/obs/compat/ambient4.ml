@@ -1,0 +1,9 @@
+(* OCaml 4.x fallback: no Domains, so shard jobs run sequentially on the
+   calling thread and one mutable cell is the whole story.  Selected by
+   the dune copy rule. *)
+
+let cur : (string * string) list ref = ref []
+
+let get () = !cur
+
+let set v = cur := v

@@ -1,0 +1,9 @@
+(* OCaml >= 5 backend: domain-local storage, so shard jobs running on
+   parallel Domains each see their own ambient labels without racing.
+   Selected by the dune copy rule on %{ocaml_version}. *)
+
+let key : (string * string) list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
+
+let get () = Domain.DLS.get key
+
+let set v = Domain.DLS.set key v

@@ -17,6 +17,7 @@ type summary = {
   p95 : float;
   p99 : float;
   sampled : bool;
+  samples : float array;
 }
 
 let create ?cap () =
@@ -78,10 +79,23 @@ let percentile t q =
   if not (q > 0. && q <= 100.) then invalid_arg "Histogram.percentile: q outside (0, 100]";
   if t.len = 0 then None else Some (sorted t).(rank_of q t.len - 1)
 
-let summary t =
+(* Evenly-strided downsample of a sorted array: slot [j] takes the value
+   at quantile (j + 1/2) / limit, so the grid's own nearest-rank
+   quantiles track the source's within one stride. *)
+let grid_of_sorted a limit =
+  let n = Array.length a in
+  if n <= limit then a
+  else Array.init limit (fun j -> a.(Stdlib.min (n - 1) (n * (2 * j + 1) / (2 * limit))))
+
+let summary ?sample_limit t =
   if t.len = 0 then None
   else
     let a = sorted t in
+    let samples, clipped =
+      match sample_limit with
+      | Some limit when limit >= 1 && t.len > limit -> (grid_of_sorted a limit, true)
+      | _ -> (a, false)
+    in
     Some
       { count = t.seen;
         sum = t.total;
@@ -91,5 +105,101 @@ let summary t =
         p50 = a.(rank_of 50. t.len - 1);
         p95 = a.(rank_of 95. t.len - 1);
         p99 = a.(rank_of 99. t.len - 1);
-        sampled = sampled t;
+        sampled = sampled t || clipped;
+        samples;
       }
+
+(* --- merging --------------------------------------------------------- *)
+
+(* Weighted nearest-rank quantile over (value, weight) pairs sorted by
+   value: the smallest value whose cumulative weight reaches q * W.
+   With unit weights this is exactly [rank_of]'s convention. *)
+let weighted_quantile pairs total q =
+  let want = q *. total in
+  let n = Array.length pairs in
+  let rec go i cum =
+    if i >= n - 1 then fst pairs.(n - 1)
+    else
+      let cum = cum +. snd pairs.(i) in
+      if cum >= want -. 1e-9 then fst pairs.(i) else go (i + 1) cum
+  in
+  go 0 0.
+
+let weighted_pairs summaries =
+  (* Each retained sample of a reservoir stands for count/|reservoir|
+     observations. *)
+  let pairs =
+    List.concat_map
+      (fun (samples, count) ->
+        let len = Array.length samples in
+        if len = 0 then []
+        else
+          let w = float_of_int count /. float_of_int len in
+          Array.to_list (Array.map (fun v -> (v, w)) samples))
+      summaries
+  in
+  let a = Array.of_list pairs in
+  Array.sort (fun (x, _) (y, _) -> Float.compare x y) a;
+  a
+
+let merge_target = 256
+
+let merge_summaries a b =
+  let count = a.count + b.count in
+  let sum = a.sum +. b.sum in
+  (* Reservoirs from old snapshot files may lack raw samples; stand in a
+     five-point sketch so the merged quantiles stay order-of-magnitude
+     right instead of raising. *)
+  let side s =
+    let samples =
+      if Array.length s.samples > 0 then s.samples
+      else [| s.min; s.p50; s.p95; s.p99; s.max |]
+    in
+    (samples, s.count)
+  in
+  let pairs = weighted_pairs [ side a; side b ] in
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0. pairs in
+  let exact =
+    (not a.sampled) && (not b.sampled)
+    && Array.length a.samples = a.count
+    && Array.length b.samples = b.count
+  in
+  let values = Array.map fst pairs in
+  let samples, clipped =
+    if Array.length values <= merge_target then (values, false)
+    else (grid_of_sorted values merge_target, true)
+  in
+  { count;
+    sum;
+    min = Stdlib.min a.min b.min;
+    max = Stdlib.max a.max b.max;
+    mean = sum /. float_of_int count;
+    p50 = weighted_quantile pairs total 0.50;
+    p95 = weighted_quantile pairs total 0.95;
+    p99 = weighted_quantile pairs total 0.99;
+    sampled = (not exact) || clipped;
+    samples;
+  }
+
+let merge a b =
+  if a.len = 0 then { b with values = Array.copy b.values }
+  else if b.len = 0 then { a with values = Array.copy a.values }
+  else if not (sampled a || sampled b) then
+    (* Both reservoirs hold every observation: the merged histogram is
+       the exact combined multiset, uncapped. *)
+    { values = Array.append (Array.sub a.values 0 a.len) (Array.sub b.values 0 b.len);
+      len = a.len + b.len;
+      seen = a.seen + b.seen;
+      total = a.total +. b.total;
+      cap = None;
+      lcg = 0x9E3779B97F4A7C15L;
+    }
+  else
+    (* At least one side subsampled: rebuild a bounded reservoir on the
+       weighted quantile grid.  count/sum stay exact; quantiles carry
+       the reservoir tolerance. *)
+    let pairs = weighted_pairs [ (sorted a, a.seen); (sorted b, b.seen) ] in
+    let values = grid_of_sorted (Array.map fst pairs) merge_target in
+    let len = Array.length values in
+    { values; len; seen = a.seen + b.seen; total = a.total +. b.total;
+      cap = Some len; lcg = 0x9E3779B97F4A7C15L }

@@ -22,8 +22,14 @@ type summary = {
   p95 : float;
   p99 : float;
   sampled : bool;
-      (** [true] when the histogram dropped observations past its cap, so
+      (** [true] when the histogram dropped observations past its cap (or
+          the summary clipped its exported samples), so
           min/max/quantiles are reservoir estimates. *)
+  samples : float array;
+      (** The retained reservoir, sorted ascending — possibly thinned to
+          [sample_limit] slots on an even quantile grid.  Carried in
+          snapshots so histograms from different processes can be merged
+          with fleet-wide quantiles (see {!merge_summaries}). *)
 }
 
 val create : ?cap:int -> unit -> t
@@ -47,5 +53,25 @@ val percentile : t -> float -> float option
     over the reservoir when capped.
     @raise Invalid_argument if [q] is outside (0, 100]. *)
 
-val summary : t -> summary option
-(** [None] on an empty histogram. *)
+val summary : ?sample_limit:int -> t -> summary option
+(** [None] on an empty histogram.  [sample_limit] bounds the exported
+    [samples] array: a reservoir larger than the limit is thinned onto an
+    even quantile grid (and the summary flagged [sampled]), keeping wire
+    snapshots bounded however many observations the histogram holds.
+    Quantile fields are always computed over the full reservoir. *)
+
+val merge : t -> t -> t
+(** A fresh histogram holding both inputs' observations: [count] and
+    [sum] are exact sums.  When neither input ever dropped an
+    observation the merged reservoir is the exact combined multiset;
+    otherwise it is rebuilt on a bounded weighted quantile grid, so
+    quantiles carry the same tolerance as the inputs' reservoirs.
+    Neither input is mutated. *)
+
+val merge_summaries : summary -> summary -> summary
+(** Pointwise merge of two exported summaries: count/sum/min/max/mean
+    are exact; p50/p95/p99 are weighted nearest-rank quantiles over the
+    carried [samples] (each retained sample weighted count/|samples|).
+    A summary with no samples (old snapshot files) contributes a
+    five-point [min;p50;p95;p99;max] sketch instead.  The result is
+    flagged [sampled] unless both inputs carried every observation. *)

@@ -83,7 +83,9 @@ let snapshot t =
             | I_counter c -> Some (Snapshot.Counter (Counter.value c))
             | I_gauge r -> Some (Snapshot.Gauge !r)
             | I_histogram h -> (
-                match Histogram.summary h with
+                (* Bounded sample export keeps scrape payloads small
+                   however long the process has been up. *)
+                match Histogram.summary ~sample_limit:256 h with
                 | Some s -> Some (Snapshot.Summary s)
                 | None -> None (* empty histograms stay out of snapshots *))
           in

@@ -18,6 +18,32 @@ let union a b =
      gives it precedence on identity collisions. *)
   sort (b @ a)
 
+let relabel (k, v) ms =
+  sort
+    (List.map
+       (fun m ->
+         if List.mem_assoc k m.labels then m
+         else { m with labels = List.sort compare ((k, v) :: m.labels) })
+       ms)
+
+let merge_values name a b =
+  match (a, b) with
+  | Counter x, Counter y -> Counter (x + y)
+  | Gauge x, Gauge y -> Gauge (Float.max x y)
+  | Summary x, Summary y -> Summary (Histogram.merge_summaries x y)
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Snapshot.merge: %s held by two metrics of different kinds" name)
+
+let merge a b =
+  let rec go = function
+    | ([] | [ _ ]) as tail -> tail
+    | x :: y :: rest when identity x = identity y ->
+        go ({ x with value = merge_values x.name x.value y.value } :: rest)
+    | x :: rest -> x :: go rest
+  in
+  go (List.sort (fun x y -> compare (identity x) (identity y)) (a @ b))
+
 let find ?(labels = []) ms name =
   let labels = List.sort compare labels in
   List.find_opt (fun m -> m.name = name && m.labels = labels) ms
@@ -37,6 +63,13 @@ let value_fields = function
         ("p99", Json.Float s.Histogram.p99)
       ]
       @ (if s.Histogram.sampled then [ ("sampled", Json.Bool true) ] else [])
+      @
+      (if Array.length s.Histogram.samples = 0 then []
+       else
+         [ ( "samples",
+             Json.List (Array.to_list (Array.map (fun v -> Json.Float v) s.Histogram.samples))
+           )
+         ])
 
 let metric_to_json m =
   Json.Obj
@@ -110,7 +143,25 @@ let metric_of_json j =
           match Json.member "p99" j with None -> Ok p95 | Some _ -> num_field j "p99"
         in
         let sampled = match Json.member "sampled" j with Some (Json.Bool b) -> b | _ -> false in
-        Ok (Summary { Histogram.count; sum; min = mn; max = mx; mean; p50; p95; p99; sampled })
+        (* samples are absent in pre-telemetry snapshot files *)
+        let* samples =
+          match Json.member "samples" j with
+          | None -> Ok [||]
+          | Some (Json.List vs) ->
+              List.fold_left
+                (fun acc v ->
+                  let* acc = acc in
+                  match v with
+                  | Json.Float f -> Ok (f :: acc)
+                  | Json.Int i -> Ok (float_of_int i :: acc)
+                  | _ -> Error "snapshot: non-numeric histogram sample")
+                (Ok []) vs
+              |> Result.map (fun l -> Array.of_list (List.rev l))
+          | Some _ -> Error "snapshot: samples must be an array"
+        in
+        Ok
+          (Summary
+             { Histogram.count; sum; min = mn; max = mx; mean; p50; p95; p99; sampled; samples })
     | k -> Error (Printf.sprintf "snapshot: unknown metric kind %S" k)
   in
   Ok { name; labels; value }
@@ -118,14 +169,101 @@ let metric_of_json j =
 let of_json j =
   match Json.member "metrics" j with
   | Some (Json.List ms) ->
-      List.fold_left
-        (fun acc m ->
-          let* acc = acc in
-          let* m = metric_of_json m in
-          Ok (m :: acc))
-        (Ok []) ms
-      |> Result.map sort
+      let* parsed =
+        List.fold_left
+          (fun acc m ->
+            let* acc = acc in
+            let* m = metric_of_json m in
+            Ok (m :: acc))
+          (Ok []) ms
+      in
+      (* Two metrics with one identity is a corrupt or hand-edited
+         export: refuse it rather than silently keeping one. *)
+      let sorted = sort parsed in
+      if List.length sorted <> List.length parsed then
+        let dup =
+          let rec find = function
+            | x :: y :: _ when identity x = identity y -> x
+            | _ :: rest -> find rest
+            | [] -> assert false
+          in
+          find (List.sort (fun x y -> compare (identity x) (identity y)) parsed)
+        in
+        Error
+          (Printf.sprintf "snapshot: duplicate metric %s{%s}" dup.name
+             (String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) dup.labels)))
+      else Ok sorted
   | _ -> Error "snapshot: missing metrics array"
+
+(* --- Prometheus text exposition -------------------------------------- *)
+
+let prom_name name =
+  "ppj_"
+  ^ String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
+      name
+
+let prom_escape v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let prom_labels = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_escape v)) labels)
+      ^ "}"
+
+let prom_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let to_prometheus ms =
+  let b = Buffer.create 1024 in
+  let last_type = ref "" in
+  let typ name kind =
+    if !last_type <> name then begin
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind);
+      last_type := name
+    end
+  in
+  List.iter
+    (fun m ->
+      let name = prom_name m.name in
+      match m.value with
+      | Counter v ->
+          typ name "counter";
+          Buffer.add_string b (Printf.sprintf "%s%s %d\n" name (prom_labels m.labels) v)
+      | Gauge v ->
+          typ name "gauge";
+          Buffer.add_string b
+            (Printf.sprintf "%s%s %s\n" name (prom_labels m.labels) (prom_float v))
+      | Summary s ->
+          typ name "summary";
+          List.iter
+            (fun (q, v) ->
+              Buffer.add_string b
+                (Printf.sprintf "%s%s %s\n" name
+                   (prom_labels (m.labels @ [ ("quantile", q) ]))
+                   (prom_float v)))
+            [ ("0.5", s.Histogram.p50); ("0.95", s.Histogram.p95); ("0.99", s.Histogram.p99) ];
+          Buffer.add_string b
+            (Printf.sprintf "%s_sum%s %s\n" name (prom_labels m.labels)
+               (prom_float s.Histogram.sum));
+          Buffer.add_string b
+            (Printf.sprintf "%s_count%s %d\n" name (prom_labels m.labels) s.Histogram.count))
+    (sort ms);
+  Buffer.contents b
 
 let pp_labels ppf = function
   | [] -> ()

@@ -21,6 +21,24 @@ val union : t -> t -> t
 (** Re-sorted concatenation.  On identity collision (same name and
     labels) the metric from the second argument wins. *)
 
+val relabel : string * string -> t -> t
+(** Add one label to every metric (federation stamps [("shard", k)] on
+    each scraped snapshot).  Metrics already carrying the key are left
+    unchanged. *)
+
+val merge : t -> t -> t
+(** Additive union: on identity collision, counters add, gauges keep the
+    max, and histogram summaries merge via {!Histogram.merge_summaries}
+    (count/sum exact, quantiles weighted over the carried reservoirs).
+    Commutative and, over label-disjoint snapshots, associative.
+    @raise Invalid_argument if one identity holds two metric kinds. *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition (version 0.0.4): names are prefixed
+    [ppj_] and mangled to the metric-name alphabet, label values
+    escaped, histograms rendered as summaries with
+    [quantile="0.5"/"0.95"/"0.99"] series plus [_sum]/[_count]. *)
+
 val find : ?labels:(string * string) list -> t -> string -> metric option
 
 val to_json : t -> Json.t
@@ -28,7 +46,9 @@ val to_json : t -> Json.t
     the full schema. *)
 
 val of_json : Json.t -> (t, string) result
-(** Inverse of {!to_json}; [to_json] then [of_json] is the identity. *)
+(** Inverse of {!to_json}; [to_json] then [of_json] is the identity.
+    Rejects exports holding two metrics with one (name, labels)
+    identity rather than silently keeping one. *)
 
 val pp : Format.formatter -> t -> unit
 (** One metric per line, for [--metrics]-style terminal output. *)

@@ -108,7 +108,11 @@ let run_local ?metrics ?backend config ~predicate rels =
       Instance.create ~m:config.m ~seed:(config.seed + (1000 * k)) ~predicate
         input.Partitioner.relations
     in
-    run_slice config ~shard:k ~s inst;
+    (* Ambient shard label: the oblivious layer's pad gauges report
+       per-shard series instead of last-writer-wins globals. *)
+    Ppj_obs.Ambient.with_labels
+      [ ("shard", string_of_int k) ]
+      (fun () -> run_slice config ~shard:k ~s inst);
     let transfers = Coprocessor.transfers (Instance.co inst) in
     (* reported from inside the domain, through the guarded sink *)
     Option.iter (fun m -> Metrics.shard_done m ~shard:k ~transfers) metrics;
@@ -286,3 +290,46 @@ let run_wire ?metrics ?client_config ?client_registry ?shard_attempts ~shards ~s
   let* () = submit_all 0 providers in
   fetch_wire ?metrics ?client_config ?client_registry ?shard_attempts ~retries ~shards ~seed
     ~mac_key ~contract config
+
+(* --- federation ------------------------------------------------------- *)
+
+type fleet_stats = {
+  shard_infos : (int * Wire.stats_info) list;
+  fleet_snapshot : Ppj_obs.Snapshot.t;
+}
+
+let stats ?(client_config = Client.default_config)
+    ?(client_registry = Ppj_obs.Registry.create ()) ~shards () =
+  let session = session ~client_config ~client_registry ~shards in
+  let p = Shards.p shards in
+  (* A scrape needs no attestation and no handshake: [Stats_request] is
+     answered in any session phase, so each fan-out session is just
+     dial → scrape → close. *)
+  let rec fan k acc =
+    if k = p then Ok (List.rev acc)
+    else
+      match session k (fun c -> Client.stats c) with
+      | Error e -> Error (shard_unavailable k e)
+      | Ok (info, snap) -> fan (k + 1) ((k, info, snap) :: acc)
+  in
+  let* scraped = fan 0 [] in
+  let shard_infos = List.map (fun (k, info, _) -> (k, info)) scraped in
+  (* Two views in one snapshot.  Per-shard: every metric relabelled with
+     its shard number (metrics already carrying a [shard] label — the
+     oblivious pad gauges — keep theirs).  Fleet: the unlabelled
+     originals merged, so counters add and reservoir histograms combine
+     into fleet-wide p50/p95/p99.  The label sets are disjoint, so the
+     union is collision-free. *)
+  let fleet =
+    List.fold_left
+      (fun acc (_, _, snap) -> Ppj_obs.Snapshot.merge acc snap)
+      Ppj_obs.Snapshot.empty scraped
+  in
+  let fleet_snapshot =
+    List.fold_left
+      (fun acc (k, _, snap) ->
+        Ppj_obs.Snapshot.union acc
+          (Ppj_obs.Snapshot.relabel ("shard", string_of_int k) snap))
+      fleet scraped
+  in
+  Ok { shard_infos; fleet_snapshot }

@@ -24,6 +24,7 @@ module Schema = Ppj_relation.Schema
 module Relation = Ppj_relation.Relation
 module Predicate = Ppj_relation.Predicate
 module Client = Ppj_net.Client
+module Wire = Ppj_net.Wire
 
 type config = {
   p : int;
@@ -118,3 +119,25 @@ val run_wire :
   (wire_outcome, string) result
 (** {!submit_wire} for every provider, then {!fetch_wire}:
     [shard_retries] in the outcome counts re-dials across both phases. *)
+
+type fleet_stats = {
+  shard_infos : (int * Wire.stats_info) list;
+      (** health fields per shard, in shard order *)
+  fleet_snapshot : Ppj_obs.Snapshot.t;
+      (** one snapshot holding both views: every shard metric relabelled
+          with [shard="k"], plus the unlabelled fleet rollup where
+          counters are summed and reservoir histograms merged — so
+          fleet-wide p50/p95/p99 are computable from one scrape *)
+}
+
+val stats :
+  ?client_config:Client.config ->
+  ?client_registry:Ppj_obs.Registry.t ->
+  shards:Shards.t ->
+  unit ->
+  (fleet_stats, string) result
+(** Federated scrape: one [Stats_request] session per shard (no
+    handshake — the server answers stats in any phase), merged as
+    described on {!fleet_stats}.  A shard that cannot be scraped fails
+    the whole call with the typed ["shard-unavailable"] prefix and is
+    marked unhealthy in the registry. *)

@@ -50,6 +50,8 @@ type t = {
   mutable t_epoch : int;
   mutable writer : Journal.writer option;
   mutable t_sealed : bool;
+  mutable t_records : int;  (** records in the current journal generation *)
+  mutable t_snapshot_bytes : int;  (** size of the sealed snapshot file *)
 }
 
 let dir t = t.t_dir
@@ -275,6 +277,14 @@ let count ?(by = 1) t name =
   | None -> ()
   | Some reg -> Ppj_obs.Counter.incr ~by (Registry.counter reg name)
 
+(* Durable-store health as gauges, so one scrape answers "how big is the
+   journal, which generation are we on, and did the store seal itself
+   read-only" without reading the state directory. *)
+let health_gauges t =
+  gauge t "store.journal.records" t.t_records;
+  gauge t "store.snapshot.bytes" t.t_snapshot_bytes;
+  gauge t "store.sealed" (if t.t_sealed then 1 else 0)
+
 let ensure_dir dirname =
   if not (Sys.file_exists dirname) then (
     (try Unix.mkdir dirname 0o700
@@ -315,11 +325,14 @@ let open_dir ?journal_max_bytes ?(compact_bytes = default_compact_bytes) ?regist
               t_epoch = loaded.l_health.epoch;
               writer = Some w;
               t_sealed = false;
+              t_records = loaded.l_health.journal_records;
+              t_snapshot_bytes = loaded.l_snapshot_bytes;
             }
           in
           let finish () =
             gauge t "store.epoch" t.t_epoch;
             gauge t "store.journal.bytes" (Journal.size w);
+            health_gauges t;
             count ~by:loaded.l_health.quarantined_bytes t "store.quarantined.bytes";
             count ~by:loaded.l_health.quarantined_records t "store.quarantined.records";
             count ~by:loaded.l_health.journal_discarded t "store.discarded.records";
@@ -348,7 +361,9 @@ let rec append_record t r =
           count ~by:(String.length payload) t "store.append.bytes";
           count t "store.fsyncs";
           apply_record t.view r;
+          t.t_records <- t.t_records + 1;
           gauge t "store.journal.bytes" (Journal.size w);
+          health_gauges t;
           if Journal.size w > t.compact_bytes then begin
             match compact t with
             | Ok () -> ()
@@ -358,10 +373,12 @@ let rec append_record t r =
       | Error `Sealed ->
           t.t_sealed <- true;
           count t "store.sealed";
+          health_gauges t;
           Error `Sealed
       | Error (`Io m) ->
           t.t_sealed <- true;
           count t "store.sealed";
+          health_gauges t;
           Error (`Io m))
 
 (* --- compaction ------------------------------------------------------- *)
@@ -415,8 +432,14 @@ and compact t =
             with
             | Ok () ->
                 count t "store.compactions";
+                t.t_records <- 0;
+                t.t_snapshot_bytes <-
+                  (try (Unix.stat (snapshot_path t.t_dir)).Unix.st_size
+                   with Unix.Unix_error _ -> t.t_snapshot_bytes);
                 gauge t "store.epoch" t.t_epoch;
                 gauge t "store.journal.bytes" (Journal.size w);
+                gauge t "store.compaction.last_unix_seconds" (int_of_float (Unix.gettimeofday ()));
+                health_gauges t;
                 Ok ()
             | Error `Sealed ->
                 t.t_sealed <- true;

@@ -312,6 +312,266 @@ let test_snapshot_union_second_wins () =
   | Some { Snapshot.value = Snapshot.Counter 9; _ } -> ()
   | _ -> Alcotest.fail "union did not prefer the second snapshot"
 
+(* --- Histogram.merge --------------------------------------------------- *)
+
+let observe_all h vs = List.iter (Histogram.observe h) vs
+
+let hist_of vs =
+  let h = Histogram.create () in
+  observe_all h vs;
+  h
+
+let summary_exn h =
+  match Histogram.summary h with Some s -> s | None -> Alcotest.fail "expected a summary"
+
+let test_histogram_merge_exact_when_unsampled () =
+  (* Both sides below the reservoir cap: the merge carries every
+     observation, so its summary equals the summary of one histogram
+     that saw the concatenation. *)
+  let a = hist_of [ 1.; 5.; 9. ] and b = hist_of [ 2.; 4.; 100. ] in
+  let m = summary_exn (Histogram.merge a b) in
+  let oracle = summary_exn (hist_of [ 1.; 5.; 9.; 2.; 4.; 100. ]) in
+  Alcotest.(check int) "count" oracle.Histogram.count m.Histogram.count;
+  Alcotest.(check (float 1e-9)) "sum" oracle.Histogram.sum m.Histogram.sum;
+  Alcotest.(check (float 1e-9)) "min" oracle.Histogram.min m.Histogram.min;
+  Alcotest.(check (float 1e-9)) "max" oracle.Histogram.max m.Histogram.max;
+  Alcotest.(check (float 1e-9)) "p50" oracle.Histogram.p50 m.Histogram.p50;
+  Alcotest.(check (float 1e-9)) "p95" oracle.Histogram.p95 m.Histogram.p95;
+  Alcotest.(check (float 1e-9)) "p99" oracle.Histogram.p99 m.Histogram.p99;
+  Alcotest.(check bool) "exact merge is not sampled" false m.Histogram.sampled
+
+let test_histogram_merge_empty_is_copy () =
+  let a = hist_of [ 3.; 7. ] and e = Histogram.create () in
+  let left = summary_exn (Histogram.merge e a) and right = summary_exn (Histogram.merge a e) in
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "count" 2 s.Histogram.count;
+      Alcotest.(check (float 1e-9)) "sum" 10. s.Histogram.sum)
+    [ left; right ];
+  (* and the merge owns its samples: observing the source later must not
+     mutate the merged copy *)
+  let m = Histogram.merge e a in
+  Histogram.observe a 1000.;
+  Alcotest.(check int) "merged copy unaffected" 2 (Histogram.count m)
+
+let test_histogram_merge_count_sum_property () =
+  let gen =
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 0 200) (float_range 0. 1e6))
+        (list_size (int_range 0 200) (float_range 0. 1e6)))
+  in
+  let cell =
+    QCheck.Test.make_cell ~count:100 ~name:"merge preserves count and sum"
+      (QCheck.make gen) (fun (xs, ys) ->
+        let m = Histogram.merge (hist_of xs) (hist_of ys) in
+        let n = List.length xs + List.length ys in
+        Histogram.count m = n
+        &&
+        let want = List.fold_left ( +. ) 0. xs +. List.fold_left ( +. ) 0. ys in
+        abs_float (Histogram.sum m -. want) <= 1e-6 *. (1. +. abs_float want))
+  in
+  QCheck.Test.check_cell_exn ~rand:(Random.State.make [| 71 |]) cell
+
+let test_histogram_merge_sampled_quantile_tolerance () =
+  (* Capped reservoirs: the merged quantiles are estimates, but count and
+     sum stay exact, and quantile estimates stay inside the observed
+     range with sane ordering. *)
+  let a = Histogram.create ~cap:64 () and b = Histogram.create ~cap:64 () in
+  for i = 1 to 1000 do
+    Histogram.observe a (float_of_int i)
+  done;
+  for i = 1001 to 2000 do
+    Histogram.observe b (float_of_int i)
+  done;
+  let s = summary_exn (Histogram.merge a b) in
+  Alcotest.(check int) "count exact" 2000 s.Histogram.count;
+  Alcotest.(check (float 1e-6)) "sum exact" 2001000. s.Histogram.sum;
+  Alcotest.(check bool) "sampled" true s.Histogram.sampled;
+  Alcotest.(check bool) "p50 ordered" true (s.Histogram.p50 <= s.Histogram.p95);
+  Alcotest.(check bool) "p95 ordered" true (s.Histogram.p95 <= s.Histogram.p99);
+  (* both reservoirs are uniform over their half: the median of the union
+     must land near 1000 (loose bound, deterministic seed) *)
+  Alcotest.(check bool) "p50 plausible" true
+    (s.Histogram.p50 > 500. && s.Histogram.p50 < 1500.);
+  Alcotest.(check bool) "p99 in range" true
+    (s.Histogram.p99 >= 1. && s.Histogram.p99 <= 2000.)
+
+(* --- Snapshot.merge ---------------------------------------------------- *)
+
+let test_snapshot_merge_values () =
+  let mk c g hs =
+    let reg = Registry.create () in
+    Counter.incr (Registry.counter reg "joins") ~by:c;
+    Registry.set_gauge reg "depth" g;
+    observe_all (Registry.histogram reg "lat") hs;
+    Registry.snapshot reg
+  in
+  let m = Snapshot.merge (mk 3 5. [ 1.; 2. ]) (mk 4 2. [ 3. ]) in
+  (match Snapshot.find m "joins" with
+  | Some { Snapshot.value = Snapshot.Counter 7; _ } -> ()
+  | _ -> Alcotest.fail "counters must add");
+  (match Snapshot.find m "depth" with
+  | Some { Snapshot.value = Snapshot.Gauge g; _ } -> Alcotest.(check (float 1e-9)) "gauge max" 5. g
+  | _ -> Alcotest.fail "gauge missing");
+  match Snapshot.find m "lat" with
+  | Some { Snapshot.value = Snapshot.Summary s; _ } ->
+      Alcotest.(check int) "summary counts add" 3 s.Histogram.count;
+      Alcotest.(check (float 1e-9)) "summary sums add" 6. s.Histogram.sum;
+      Alcotest.(check (float 1e-9)) "merged p99" 3. s.Histogram.p99
+  | _ -> Alcotest.fail "summary missing"
+
+let test_snapshot_merge_kind_mismatch_raises () =
+  let c =
+    let reg = Registry.create () in
+    Counter.incr (Registry.counter reg "x");
+    Registry.snapshot reg
+  in
+  let g =
+    let reg = Registry.create () in
+    Registry.set_gauge reg "x" 1.;
+    Registry.snapshot reg
+  in
+  match Snapshot.merge c g with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind mismatch must raise"
+
+let test_snapshot_merge_disjoint_union_laws () =
+  (* Label-disjoint snapshots (each carries its own shard label): merge
+     is their union, associative and commutative. *)
+  let mk k =
+    let reg = Registry.create () in
+    Counter.incr (Registry.counter reg ~labels:[ ("shard", string_of_int k) ] "transfers")
+      ~by:(10 + k);
+    Registry.set_gauge reg ~labels:[ ("shard", string_of_int k) ] "pad" (float_of_int k);
+    Registry.snapshot reg
+  in
+  let a = mk 0 and b = mk 1 and c = mk 2 in
+  let l = Snapshot.merge (Snapshot.merge a b) c in
+  let r = Snapshot.merge a (Snapshot.merge b c) in
+  Alcotest.(check bool) "associative" true (l = r);
+  Alcotest.(check bool) "commutative" true (Snapshot.merge a b = Snapshot.merge b a);
+  Alcotest.(check int) "all series present" 6 (List.length l)
+
+let test_snapshot_relabel () =
+  let reg = Registry.create () in
+  Counter.incr (Registry.counter reg "plain");
+  Counter.incr (Registry.counter reg ~labels:[ ("shard", "9") ] "owned");
+  let s = Snapshot.relabel ("shard", "2") (Registry.snapshot reg) in
+  (match Snapshot.find ~labels:[ ("shard", "2") ] s "plain" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "plain metric should gain the label");
+  match Snapshot.find ~labels:[ ("shard", "9") ] s "owned" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "existing shard label must be preserved"
+
+(* --- snapshot JSON: samples, duplicates, prometheus -------------------- *)
+
+let test_snapshot_samples_round_trip () =
+  let reg = Registry.create () in
+  observe_all (Registry.histogram reg "lat") [ 0.25; 0.5; 4.0 ];
+  let snap = Registry.snapshot reg in
+  (match snap with
+  | [ { Snapshot.value = Snapshot.Summary s; _ } ] ->
+      Alcotest.(check int) "samples exported" 3 (Array.length s.Histogram.samples)
+  | _ -> Alcotest.fail "expected one summary");
+  match Snapshot.of_json (Snapshot.to_json snap) with
+  | Ok snap' -> Alcotest.(check bool) "samples survive round trip" true (snap = snap')
+  | Error e -> Alcotest.failf "of_json failed: %s" e
+
+let test_snapshot_rejects_duplicates () =
+  let dup =
+    Json.Obj
+      [ ("schema", Json.Str "ppj.obs/1");
+        ( "metrics",
+          Json.List
+            [ Json.Obj
+                [ ("name", Json.Str "n");
+                  ("labels", Json.Obj [ ("a", Json.Str "1") ]);
+                  ("kind", Json.Str "counter");
+                  ("value", Json.Int 1)
+                ];
+              Json.Obj
+                [ ("name", Json.Str "n");
+                  ("labels", Json.Obj [ ("a", Json.Str "1") ]);
+                  ("kind", Json.Str "counter");
+                  ("value", Json.Int 2)
+                ]
+            ] )
+      ]
+  in
+  match Snapshot.of_json dup with
+  | Error e -> Alcotest.(check bool) "names the duplicate" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "duplicate (name,labels) accepted"
+
+let snapshot_gen =
+  (* Random well-formed snapshots, including merged/prometheus shapes:
+     label sets with shard labels, counters, gauges, and summaries with
+     sample arrays. *)
+  let open QCheck.Gen in
+  let name = oneofl [ "net.server.joins"; "store.epoch"; "lat.seconds"; "pad_slots"; "x" ] in
+  let labels =
+    oneof
+      [ return [];
+        map (fun k -> [ ("shard", string_of_int k) ]) (int_range 0 7);
+        map (fun (k, r) -> [ ("region", r); ("shard", string_of_int k) ])
+          (pair (int_range 0 7) (oneofl [ "heap"; "scratch" ]))
+      ]
+  in
+  let metric =
+    map
+      (fun ((n, ls), vs) ->
+        let reg = Registry.create () in
+        (match vs with
+        | `C v -> Counter.incr (Registry.counter reg ~labels:ls n) ~by:v
+        | `G v -> Registry.set_gauge reg ~labels:ls n v
+        | `S obs -> observe_all (Registry.histogram reg ~labels:ls n) obs);
+        Registry.snapshot reg)
+      (pair (pair name labels)
+         (oneof
+            [ map (fun v -> `C v) (int_range 0 1000);
+              map (fun v -> `G v) (float_range (-1e3) 1e3);
+              map (fun o -> `S o) (list_size (int_range 1 40) (float_range 0. 100.))
+            ]))
+  in
+  map
+    (fun parts -> List.fold_left Snapshot.union Snapshot.empty parts)
+    (list_size (int_range 0 10) metric)
+
+let test_snapshot_fuzz_round_trip_and_prometheus () =
+  let cell =
+    QCheck.Test.make_cell ~count:200 ~name:"snapshot fuzz"
+      (QCheck.make snapshot_gen) (fun snap ->
+        (match Snapshot.of_json (Snapshot.to_json snap) with
+        | Ok snap' -> snap = snap'
+        | Error _ -> false)
+        &&
+        (* exposition must be total and well-typed on anything we emit *)
+        let prom = Snapshot.to_prometheus snap in
+        (snap = [] && prom = "") || String.length prom > 0)
+  in
+  QCheck.Test.check_cell_exn ~rand:(Random.State.make [| 90 |]) cell
+
+let test_prometheus_format () =
+  let reg = Registry.create () in
+  Counter.incr (Registry.counter reg ~labels:[ ("alg", "alg\"5\"") ] "net.joins") ~by:2;
+  Registry.set_gauge reg "build.info" 1.;
+  observe_all (Registry.histogram reg "lat.seconds") [ 0.5; 1.5 ];
+  let prom = Snapshot.to_prometheus (Registry.snapshot reg) in
+  List.iter
+    (fun needle ->
+      let n = String.length needle and m = String.length prom in
+      let rec go i = i + n <= m && (String.sub prom i n = needle || go (i + 1)) in
+      Alcotest.(check bool) (Printf.sprintf "contains %s" needle) true (n = 0 || go 0))
+    [ "# TYPE ppj_build_info gauge";
+      "ppj_build_info 1";
+      "# TYPE ppj_net_joins counter";
+      {|ppj_net_joins{alg="alg\"5\""} 2|};
+      "# TYPE ppj_lat_seconds summary";
+      {|ppj_lat_seconds{quantile="0.5"}|};
+      "ppj_lat_seconds_count 2"
+    ]
+
 let () =
   Alcotest.run "obs"
     [ ( "counter",
@@ -350,5 +610,21 @@ let () =
           Alcotest.test_case "nesting depth guard" `Quick test_json_nesting_depth;
           Alcotest.test_case "snapshot round trip" `Quick test_snapshot_json_round_trip;
           Alcotest.test_case "union second wins" `Quick test_snapshot_union_second_wins
+        ] );
+      ( "merge",
+        [ Alcotest.test_case "exact when unsampled" `Quick test_histogram_merge_exact_when_unsampled;
+          Alcotest.test_case "empty is copy" `Quick test_histogram_merge_empty_is_copy;
+          Alcotest.test_case "count/sum property" `Quick test_histogram_merge_count_sum_property;
+          Alcotest.test_case "sampled tolerance" `Quick test_histogram_merge_sampled_quantile_tolerance;
+          Alcotest.test_case "snapshot values" `Quick test_snapshot_merge_values;
+          Alcotest.test_case "kind mismatch raises" `Quick test_snapshot_merge_kind_mismatch_raises;
+          Alcotest.test_case "disjoint union laws" `Quick test_snapshot_merge_disjoint_union_laws;
+          Alcotest.test_case "relabel" `Quick test_snapshot_relabel
+        ] );
+      ( "export",
+        [ Alcotest.test_case "samples round trip" `Quick test_snapshot_samples_round_trip;
+          Alcotest.test_case "rejects duplicates" `Quick test_snapshot_rejects_duplicates;
+          Alcotest.test_case "fuzz round trip + prometheus" `Quick test_snapshot_fuzz_round_trip_and_prometheus;
+          Alcotest.test_case "prometheus format" `Quick test_prometheus_format
         ] )
     ]
